@@ -1,0 +1,40 @@
+//! E1 — Theorem 3.1: classify named query classes into the three degrees.
+//! Regenerates the classification table (degree per family) and benchmarks
+//! the classification routine itself.
+
+use cq_core::{classify_generated, Degree};
+use cq_structures::{families, star_expansion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn families_table() -> Vec<(&'static str, Box<dyn Fn(usize) -> cq_structures::Structure>, Degree)> {
+    vec![
+        ("undirected paths", Box::new(|i| families::path(i + 2)), Degree::ParaL),
+        ("stars", Box::new(|i| families::star(i + 1)), Degree::ParaL),
+        ("even cycles", Box::new(|i| families::cycle(2 * i + 4)), Degree::ParaL),
+        ("directed paths", Box::new(|i| families::directed_path(i + 2)), Degree::PathComplete),
+        ("coloured paths P*", Box::new(|i| star_expansion(&families::path(i + 2))), Degree::PathComplete),
+        ("odd cycles", Box::new(|i| families::cycle(2 * i + 3)), Degree::PathComplete),
+        ("coloured trees T*", Box::new(|i| star_expansion(&families::tree_t(i + 1))), Degree::TreeComplete),
+        ("cliques", Box::new(|i| families::clique(i + 1)), Degree::W1Hard),
+        ("coloured grids", Box::new(|i| star_expansion(&families::grid(i + 1, i + 1))), Degree::W1Hard),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    println!("E1: class -> degree (Theorem 3.1)");
+    for (name, gen, expected) in families_table() {
+        let samples = if name.contains("trees") || name.contains("grids") { 3 } else { 6 };
+        let got = classify_generated(&*gen, samples).degree;
+        println!("  {name:<22} expected {expected:?} measured {got:?}");
+        assert_eq!(got, expected, "{name}");
+    }
+    let mut g = c.benchmark_group("e01");
+    g.sample_size(10);
+    g.bench_function("classify directed paths (6 samples)", |b| {
+        b.iter(|| classify_generated(|i| families::directed_path(i + 2), 6).degree)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E2 — Lemma 3.3: bounded-tree-depth queries evaluate in pl-space.
+//! Series: peak metered work-tape bits vs database size (grows like log n),
+//! plus runtime of the tree-depth solver vs the backtracking baseline.
+
+use cq_solver::backtrack::BacktrackSolver;
+use cq_solver::treedepth::hom_via_treedepth;
+use cq_structures::families;
+use cq_workloads::random_graph_structure;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E2: peak space bits vs |B| for the star query K_1,6 (td = 2)");
+    let query = families::star(6);
+    for exp in [6u32, 8, 10] {
+        let n = 1usize << exp;
+        let db = random_graph_structure(n, 0.02, 42);
+        let run = hom_via_treedepth(&query, &db);
+        println!(
+            "  |B| = {n:>5}  peak_bits = {:>4}  peak_assignment = {}  answer = {}",
+            run.space.peak_bits, run.space.peak_assignment, run.exists
+        );
+    }
+    let mut g = c.benchmark_group("e02");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let db = random_graph_structure(n, 0.05, 7);
+        g.bench_with_input(BenchmarkId::new("treedepth", n), &db, |b, db| {
+            b.iter(|| hom_via_treedepth(&query, db).exists)
+        });
+        g.bench_with_input(BenchmarkId::new("backtracking", n), &db, |b, db| {
+            b.iter(|| BacktrackSolver::default().exists(&query, db))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

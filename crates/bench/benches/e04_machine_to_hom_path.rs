@@ -1,0 +1,43 @@
+//! E4 — Theorem 4.3: compile jump-machine acceptance into HOM(P*) instances
+//! and verify/measure the blow-up.
+
+use cq_machine::compile::compile_jump_to_hom_path;
+use cq_machine::jump::accepts_jump_machine;
+use cq_machine::problems::{StPathInput, StPathMachine};
+use cq_graphs::families::{cycle_graph, grid_graph};
+use cq_structures::homomorphism_exists;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E4: jump machine -> HOM(P*) blow-up (Theorem 4.3)");
+    for (graph, name, k) in [
+        (cycle_graph(12), "C12", 6usize),
+        (grid_graph(3, 4), "grid3x4", 5),
+    ] {
+        let s = 0;
+        let t = graph.vertex_count() - 1;
+        let input = StPathInput { graph, s, t, k };
+        let machine_answer = accepts_jump_machine(&StPathMachine, &input).accepted;
+        let compiled = compile_jump_to_hom_path(&StPathMachine, &input);
+        let hom_answer = homomorphism_exists(&compiled.query, &compiled.database);
+        println!(
+            "  {name}: k={k} machine={machine_answer} hom={hom_answer} configs={} |B'|={}",
+            compiled.configurations,
+            compiled.database_size()
+        );
+        assert_eq!(machine_answer, hom_answer);
+    }
+    let mut g = c.benchmark_group("e04");
+    g.sample_size(10);
+    let input = StPathInput { graph: cycle_graph(10), s: 0, t: 5, k: 5 };
+    g.bench_function("compile+solve st-path on C10", |b| {
+        b.iter(|| {
+            let compiled = compile_jump_to_hom_path(&StPathMachine, &input);
+            homomorphism_exists(&compiled.query, &compiled.database)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

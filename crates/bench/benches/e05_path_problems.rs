@@ -1,0 +1,55 @@
+//! E5 — Theorem 4.7: the PATH-complete problems (st-path, k-path, k-cycle)
+//! and the reduction chain HOM(P*) -> HOM(->P) -> st-PATH -> HOM(->C).
+
+use cq_reductions::chain::{dirpath_to_st_path, hom_path_star_to_dirpath, st_path_to_dircycle};
+use cq_solver::colour_coding::ColorCodingConfig;
+use cq_solver::problems::{has_k_cycle, has_k_path, st_path_at_most};
+use cq_structures::ops::colored_target;
+use cq_structures::{families, homomorphism_exists, star_expansion};
+use cq_workloads::random_graph;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E5: reduction chain blow-up (Theorem 4.7)");
+    let k = 4usize;
+    let base = families::cycle(10);
+    let b = colored_target(k, &base, |_| (0..10).collect());
+    let query = star_expansion(&families::path(k));
+    let expected = homomorphism_exists(&query, &b);
+    let s1 = hom_path_star_to_dirpath(k, &b);
+    let s2 = dirpath_to_st_path(k, &s1.database);
+    let s3 = st_path_to_dircycle(&s2);
+    println!(
+        "  HOM(P*_{k}) answer={expected}; |B1|={} |G2|={} |B3|={}",
+        s1.database.universe_size(),
+        s2.graph.vertex_count(),
+        s3.database.universe_size()
+    );
+    assert_eq!(s1.holds(), expected);
+    assert_eq!(s2.holds(), expected);
+    assert_eq!(s3.holds(), expected);
+
+    println!("E5: k-path / k-cycle on G(48, 0.08), seed 11");
+    let g = random_graph(48, 0.08, 11);
+    for k in [4usize, 6] {
+        println!(
+            "  k={k} k-path={} k-cycle={}",
+            has_k_path(&g, k, ColorCodingConfig::for_query_size(k)),
+            has_k_cycle(&g, k, ColorCodingConfig::for_query_size(k))
+        );
+    }
+    let mut grp = c.benchmark_group("e05");
+    grp.sample_size(10);
+    grp.bench_function("st-path BFS on G(200,0.05)", |bch| {
+        let g = random_graph(200, 0.05, 3);
+        bch.iter(|| st_path_at_most(&g, 0, 199, 10))
+    });
+    grp.bench_function("k-path colour coding k=6", |bch| {
+        let g = random_graph(64, 0.08, 5);
+        bch.iter(|| has_k_path(&g, 6, ColorCodingConfig { trials: 50, seed: 1 }))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

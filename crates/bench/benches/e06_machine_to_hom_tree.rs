@@ -1,0 +1,38 @@
+//! E6 — Theorem 5.5: compile alternating jump machines into HOM(T*)
+//! instances and verify agreement with the alternation semantics.
+
+use cq_machine::alternating::accepts_alternating_machine;
+use cq_machine::compile::compile_alternating_to_hom_tree;
+use cq_machine::problems::{TreeQueryInput, TreeQueryMachine};
+use cq_structures::ops::colored_target;
+use cq_structures::{families, homomorphism_exists};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E6: alternating machine -> HOM(T*) (Theorem 5.5)");
+    for r in [1usize, 2] {
+        let nodes = families::binary_universe_size(r);
+        let db = colored_target(nodes, &families::clique(3), |_| (0..3).collect());
+        let input = TreeQueryInput { height: r, database: db };
+        let run = accepts_alternating_machine(&TreeQueryMachine, &input);
+        let compiled = compile_alternating_to_hom_tree(&TreeQueryMachine, &input);
+        let hom = homomorphism_exists(&compiled.query, &compiled.database);
+        println!(
+            "  height={r} machine={} hom={} configs={} |B'|={}",
+            run.accepted, hom, compiled.configurations, compiled.database_size()
+        );
+        assert_eq!(run.accepted, hom);
+    }
+    let mut g = c.benchmark_group("e06");
+    g.sample_size(10);
+    let nodes = families::binary_universe_size(2);
+    let db = colored_target(nodes, &families::clique(3), |_| (0..3).collect());
+    let input = TreeQueryInput { height: 2, database: db };
+    g.bench_function("alternating acceptance height=2", |b| {
+        b.iter(|| accepts_alternating_machine(&TreeQueryMachine, &input).accepted)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

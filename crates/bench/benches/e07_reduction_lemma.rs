@@ -1,0 +1,50 @@
+//! E7 — Lemma 3.6 (Reduction Lemma): the four reduction steps, their answer
+//! preservation and their instance blow-up.
+
+use cq_graphs::{families as gf, find_minor_map};
+use cq_reductions::{gaifman_to_structure_instance, minor_to_host_instance, remove_star_colors};
+use cq_structures::ops::colored_target;
+use cq_structures::{families, homomorphism_exists, star_expansion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E7: Reduction Lemma steps (Lemma 3.7, 3.8, 3.9)");
+    // Step HOM(M*) <= HOM(G*): M = P4 minor of the 2x3 grid.
+    let minor = gf::path_graph(4);
+    let host = gf::grid_graph(2, 3);
+    let mu = find_minor_map(&minor, &host).unwrap();
+    let b = colored_target(4, &families::cycle(5), |_| (0..5).collect());
+    let mstar = star_expansion(&minor.to_structure());
+    let expected = homomorphism_exists(&mstar, &b);
+    let r_minor = minor_to_host_instance(&minor, &b, &host, &mu);
+    println!("  minor step: answer {} -> {}  |B'| = {}", expected, r_minor.holds(), r_minor.database_size);
+    assert_eq!(expected, r_minor.holds());
+
+    // Step HOM(G*) <= HOM(A*): ternary structure whose Gaifman graph is a triangle.
+    let vocab = cq_structures::Vocabulary::from_pairs([("R", 3)]).unwrap();
+    let rsym = vocab.id_of("R").unwrap();
+    let mut builder = cq_structures::StructureBuilder::new(vocab);
+    builder.raw_fact(rsym, vec![0, 1, 2]);
+    let a = builder.build().unwrap();
+    let gb = colored_target(3, &families::clique(4), |_| (0..4).collect());
+    let r_gaifman = gaifman_to_structure_instance(&a, &gb);
+    println!("  gaifman step: holds = {}  |B'| = {}", r_gaifman.holds(), r_gaifman.database_size);
+    assert!(r_gaifman.holds());
+
+    // Step HOM(core(A)*) <= HOM(core(A)): odd cycle query.
+    let c5 = families::cycle(5);
+    let cb = colored_target(5, &families::cycle(5), |_| (0..5).collect());
+    let r_star = remove_star_colors(&c5, &cb);
+    println!("  star-removal step: holds = {}  |B'| = {}", r_star.holds(), r_star.database_size);
+    assert!(r_star.holds());
+
+    let mut g = c.benchmark_group("e07");
+    g.sample_size(10);
+    g.bench_function("minor reduction P4 into 2x3 grid", |bch| {
+        bch.iter(|| minor_to_host_instance(&minor, &b, &host, &mu).database_size)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

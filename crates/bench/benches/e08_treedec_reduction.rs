@@ -1,0 +1,36 @@
+//! E8 — Lemma 3.4 + Remark 3.5: the tree-decomposition reduction preserves
+//! homomorphism counts exactly (parsimonious), with polynomial blow-up.
+
+use cq_reductions::treedec_reduction::to_tree_star_instance_auto;
+use cq_structures::{count_homomorphisms_bruteforce, families};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E8: Lemma 3.4 reduction, hom-count preservation (Remark 3.5)");
+    for (a, b, name) in [
+        (families::cycle(4), families::cycle(6), "C4 -> C6"),
+        (families::path(4), families::clique(3), "P4 -> K3"),
+        (families::star(3), families::path(4), "K1,3 -> P4"),
+    ] {
+        let before = count_homomorphisms_bruteforce(&a, &b);
+        let reduced = to_tree_star_instance_auto(&a, &b);
+        let after = count_homomorphisms_bruteforce(&reduced.query, &reduced.database);
+        println!(
+            "  {name:<10} count {before} -> {after}  |T*| = {}  |B'| = {}",
+            reduced.query.universe_size(),
+            reduced.database.universe_size()
+        );
+        assert_eq!(before, after);
+    }
+    let mut g = c.benchmark_group("e08");
+    g.sample_size(10);
+    let a = families::cycle(4);
+    let b = families::cycle(8);
+    g.bench_function("reduce C4 instance over C8", |bch| {
+        bch.iter(|| to_tree_star_instance_auto(&a, &b).database_size)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E9 — Lemma 3.14 / 3.15, Theorems 3.13/4.6/5.6: embedding problems via
+//! colour coding; the hash family h_{p,q} and the embedding solvers.
+
+use cq_solver::colour_coding::{embedding_via_colour_coding, find_injective_hash, ColorCodingConfig};
+use cq_structures::families;
+use cq_workloads::random_graph_structure;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E9: Lemma 3.14 hash family bounds (p < k^2 log n)");
+    for k in [3usize, 5, 7] {
+        let n = 512;
+        let subset: Vec<usize> = (0..k).map(|i| i * 61 % n).collect();
+        let (p, q) = find_injective_hash(&subset, k, n).unwrap();
+        println!("  k={k} n={n}: found p={p} q={q} (bound {})", k * k * 10);
+    }
+    println!("E9: P_k embeddings into G(64, 0.06), seed 13");
+    let db = random_graph_structure(64, 0.06, 13);
+    for k in [4usize, 6, 8] {
+        let found = embedding_via_colour_coding(
+            &families::path(k),
+            &db,
+            ColorCodingConfig::for_query_size(k),
+        )
+        .is_some();
+        println!("  k={k}: embedding found = {found}");
+    }
+    let mut g = c.benchmark_group("e09");
+    g.sample_size(10);
+    for k in [4usize, 6] {
+        let q = families::path(k);
+        g.bench_with_input(BenchmarkId::new("embed P_k", k), &k, |b, _| {
+            b.iter(|| {
+                embedding_via_colour_coding(&q, &db, ColorCodingConfig { trials: 40, seed: 2 })
+                    .is_some()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

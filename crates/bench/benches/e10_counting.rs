@@ -1,0 +1,48 @@
+//! E10 — Theorem 6.1 / Lemma 6.2: the counting classification — sum-product
+//! counting for bounded tree depth, tree-DP counting, and the
+//! inclusion-exclusion Turing reduction.
+
+use cq_reductions::count_star_via_oracle;
+use cq_solver::treedec::count_hom_via_tree_decomposition;
+use cq_solver::treedepth::count_hom_via_treedepth;
+use cq_structures::ops::colored_target;
+use cq_structures::{count_homomorphisms_bruteforce, families};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E10: counting agreement across algorithms");
+    let a = families::path(4);
+    let b = families::clique(4);
+    let brute = count_homomorphisms_bruteforce(&a, &b);
+    let td = count_hom_via_treedepth(&a, &b);
+    let (_, dec) = cq_decomp::treewidth::treewidth_of_structure(&a);
+    let tree = count_hom_via_tree_decomposition(&a, &b, &dec);
+    println!("  #hom(P4, K4): brute={brute} treedepth={td} treeDP={tree}");
+    assert_eq!(brute, td);
+    assert_eq!(brute, tree);
+
+    let c3 = families::cycle(3);
+    let colored = colored_target(3, &families::clique(4), |_| (0..4).collect());
+    let mut oracle = |q: &cq_structures::Structure, db: &cq_structures::Structure| {
+        count_homomorphisms_bruteforce(q, db)
+    };
+    let via_ie = count_star_via_oracle(&c3, &colored, &mut oracle);
+    let direct = count_homomorphisms_bruteforce(&cq_structures::star_expansion(&c3), &colored);
+    println!("  #hom(C3*, coloured K4): inclusion-exclusion={via_ie} direct={direct}");
+    assert_eq!(via_ie, direct);
+
+    let mut g = c.benchmark_group("e10");
+    g.sample_size(10);
+    let star = families::star(5);
+    let big = families::clique(6);
+    g.bench_function("count star into K6: sum-product", |bch| {
+        bch.iter(|| count_hom_via_treedepth(&star, &big))
+    });
+    g.bench_function("count star into K6: brute force", |bch| {
+        bch.iter(|| count_homomorphisms_bruteforce(&star, &big))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E11 — Example 2.2 / Theorem 2.3: the width separations that drive the
+//! classification: td(P_k) grows (log k) while pw(P_k) = 1; pw(T_h) grows
+//! while tw(T_h) = 1; grids witness unbounded treewidth.
+
+use cq_decomp::{pathwidth_exact, treedepth_exact, treewidth_exact};
+use cq_graphs::families::{complete_binary_tree, grid_graph, path_graph};
+use cq_graphs::minor::largest_path_minor;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E11: width separations (Example 2.2)");
+    println!("  paths P_k:      k, pw, td");
+    for k in [2usize, 4, 8, 16] {
+        let g = path_graph(k);
+        println!("    {k:>2}  {}  {}", pathwidth_exact(&g).0, treedepth_exact(&g).0);
+    }
+    println!("  binary trees T_h: h, tw, pw, td, longest path minor");
+    for h in [1usize, 2, 3] {
+        let g = complete_binary_tree(h);
+        println!(
+            "    {h}  {}  {}  {}  {}",
+            treewidth_exact(&g).0,
+            pathwidth_exact(&g).0,
+            treedepth_exact(&g).0,
+            largest_path_minor(&g)
+        );
+    }
+    println!("  grids k x k: k, tw");
+    for k in [2usize, 3, 4] {
+        let g = grid_graph(k, k);
+        println!("    {k}  {}", treewidth_exact(&g).0);
+    }
+    let mut grp = c.benchmark_group("e11");
+    grp.sample_size(10);
+    grp.bench_function("treedepth_exact P_16", |b| {
+        let g = path_graph(16);
+        b.iter(|| treedepth_exact(&g).0)
+    });
+    grp.bench_function("pathwidth_exact T_3", |b| {
+        let g = complete_binary_tree(3);
+        b.iter(|| pathwidth_exact(&g).0)
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

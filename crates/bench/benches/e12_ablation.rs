@@ -1,0 +1,60 @@
+//! E12 — ablations: core preprocessing on/off, arc consistency on/off, and
+//! solver choice in the dispatch engine.
+
+use cq_core::{solve_instance, EngineConfig};
+use cq_solver::backtrack::{BacktrackConfig, BacktrackSolver};
+use cq_structures::families;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("E12: ablation — search effort with and without arc consistency");
+    let a = families::cycle(7);
+    let b = families::path(2);
+    let with_ac = BacktrackSolver::default().solve(&a, &b).1;
+    let without_ac = BacktrackSolver::with_config(BacktrackConfig {
+        preprocess_arc_consistency: false,
+        maintain_arc_consistency: false,
+        fail_first_ordering: true,
+    })
+    .solve(&a, &b)
+    .1;
+    println!(
+        "  C7 -> K2 (no): assignments with AC = {}, without AC = {}",
+        with_ac.assignments, without_ac.assignments
+    );
+
+    println!("E12: ablation — core preprocessing shrinks the evaluated query");
+    let c8 = families::cycle(8);
+    let with_core = solve_instance(&c8, &families::path(2), EngineConfig::default());
+    let without_core = solve_instance(
+        &c8,
+        &families::path(2),
+        EngineConfig { use_core: false, ..EngineConfig::default() },
+    );
+    println!(
+        "  C8 query: evaluated size with core = {}, without = {}",
+        with_core.evaluated_query_size, without_core.evaluated_query_size
+    );
+
+    let mut g = c.benchmark_group("e12");
+    g.sample_size(10);
+    let query = families::cycle(6);
+    let target = families::grid(3, 3);
+    g.bench_function("engine with core preprocessing", |bch| {
+        bch.iter(|| solve_instance(&query, &target, EngineConfig::default()).exists)
+    });
+    g.bench_function("engine without core preprocessing", |bch| {
+        bch.iter(|| {
+            solve_instance(
+                &query,
+                &target,
+                EngineConfig { use_core: false, ..EngineConfig::default() },
+            )
+            .exists
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! bench support (intentionally empty: all logic lives in the bench targets)

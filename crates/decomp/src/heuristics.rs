@@ -1,0 +1,235 @@
+//! Elimination orderings, elimination-based tree decompositions, and
+//! heuristic treewidth upper bounds.
+//!
+//! Given any elimination ordering `π` of the vertices of `G`, simulating the
+//! elimination process (connect the not-yet-eliminated neighbours of the
+//! eliminated vertex into a clique) yields a tree decomposition whose width
+//! is the maximum number of higher neighbours encountered.  Exact treewidth
+//! is the minimum of this quantity over all orderings
+//! ([`crate::treewidth::treewidth_exact`] finds the optimal one); the
+//! *min-degree* and *min-fill* greedy orderings implemented here give cheap
+//! upper bounds for larger graphs (used only by workload generation and
+//! sanity checks, never by the classification of parameter-sized queries).
+
+use crate::decomposition::TreeDecomposition;
+use cq_graphs::{Graph, Vertex};
+use std::collections::BTreeSet;
+
+/// Simulate the elimination process along `order`, returning for each vertex
+/// its *elimination bag* (the vertex together with its not-yet-eliminated
+/// neighbours in the fill-in graph at the moment of elimination).
+fn elimination_bags(g: &Graph, order: &[Vertex]) -> Vec<BTreeSet<Vertex>> {
+    let n = g.vertex_count();
+    assert_eq!(order.len(), n, "order must enumerate every vertex exactly once");
+    let mut fill = g.clone();
+    let mut eliminated = vec![false; n];
+    let mut bags: Vec<BTreeSet<Vertex>> = vec![BTreeSet::new(); n];
+    for &v in order {
+        let higher: Vec<Vertex> = fill.neighbors(v).filter(|&w| !eliminated[w]).collect();
+        let mut bag: BTreeSet<Vertex> = higher.iter().copied().collect();
+        bag.insert(v);
+        bags[v] = bag;
+        for i in 0..higher.len() {
+            for j in (i + 1)..higher.len() {
+                fill.add_edge(higher[i], higher[j]);
+            }
+        }
+        eliminated[v] = true;
+    }
+    bags
+}
+
+/// The width achieved by eliminating along `order` (an upper bound on the
+/// treewidth, tight when the order is optimal).
+pub fn width_of_order(g: &Graph, order: &[Vertex]) -> usize {
+    elimination_bags(g, order)
+        .iter()
+        .map(|b| b.len())
+        .max()
+        .unwrap_or(1)
+        .saturating_sub(1)
+}
+
+/// Build a tree decomposition from an elimination ordering.  The bags are the
+/// elimination bags; bag of `v` is attached to the bag of the earliest
+/// vertex, among `v`'s higher neighbours, that is eliminated after `v` (or to
+/// an arbitrary later bag when `v` has none, which keeps the tree connected).
+pub fn decomposition_from_order(g: &Graph, order: &[Vertex]) -> TreeDecomposition {
+    let n = g.vertex_count();
+    if n == 0 {
+        return TreeDecomposition {
+            tree: Graph::new(1),
+            bags: vec![BTreeSet::new()],
+        };
+    }
+    let bags_by_vertex = elimination_bags(g, order);
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v] = i;
+    }
+    // Bag i corresponds to order[i].
+    let bags: Vec<BTreeSet<Vertex>> = order.iter().map(|&v| bags_by_vertex[v].clone()).collect();
+    let mut tree = Graph::new(n);
+    for (i, &v) in order.iter().enumerate() {
+        if i + 1 == n {
+            break;
+        }
+        // Earliest-later higher neighbour, else the next bag in order.
+        let parent = bags_by_vertex[v]
+            .iter()
+            .filter(|&&w| w != v && position[w] > i)
+            .min_by_key(|&&w| position[w])
+            .map(|&w| position[w])
+            .unwrap_or(i + 1);
+        tree.add_edge(i, parent);
+    }
+    TreeDecomposition { tree, bags }
+}
+
+/// The min-degree elimination ordering: repeatedly eliminate a vertex of
+/// minimum degree in the current fill-in graph.
+pub fn min_degree_ordering(g: &Graph) -> Vec<Vertex> {
+    greedy_ordering(g, |fill, eliminated, v| {
+        fill.neighbors(v).filter(|&w| !eliminated[w]).count()
+    })
+}
+
+/// The min-fill elimination ordering: repeatedly eliminate a vertex whose
+/// elimination adds the fewest fill edges.
+pub fn min_fill_ordering(g: &Graph) -> Vec<Vertex> {
+    greedy_ordering(g, |fill, eliminated, v| {
+        let nbrs: Vec<Vertex> = fill.neighbors(v).filter(|&w| !eliminated[w]).collect();
+        let mut missing = 0usize;
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if !fill.has_edge(nbrs[i], nbrs[j]) {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    })
+}
+
+fn greedy_ordering<F>(g: &Graph, score: F) -> Vec<Vertex>
+where
+    F: Fn(&Graph, &[bool], Vertex) -> usize,
+{
+    let n = g.vertex_count();
+    let mut fill = g.clone();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !eliminated[v])
+            .min_by_key(|&v| (score(&fill, &eliminated, v), v))
+            .expect("vertices remain");
+        let higher: Vec<Vertex> = fill.neighbors(v).filter(|&w| !eliminated[w]).collect();
+        for i in 0..higher.len() {
+            for j in (i + 1)..higher.len() {
+                fill.add_edge(higher[i], higher[j]);
+            }
+        }
+        eliminated[v] = true;
+        order.push(v);
+    }
+    order
+}
+
+/// A heuristic treewidth upper bound: the better of the min-degree and
+/// min-fill orderings.
+pub fn treewidth_upper_bound(g: &Graph) -> (usize, TreeDecomposition) {
+    let candidates = [min_degree_ordering(g), min_fill_ordering(g)];
+    let best = candidates
+        .iter()
+        .min_by_key(|o| width_of_order(g, o))
+        .expect("two candidates");
+    (width_of_order(g, best), decomposition_from_order(g, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_graphs::families::*;
+
+    #[test]
+    fn elimination_of_path_gives_width_1() {
+        let p = path_graph(6);
+        let order: Vec<Vertex> = (0..6).collect();
+        assert_eq!(width_of_order(&p, &order), 1);
+        let td = decomposition_from_order(&p, &order);
+        assert!(td.is_valid_for(&p));
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn bad_order_on_path_can_be_worse() {
+        // Eliminating the middle first on a path creates a fill edge, width 2
+        // at worst; the heuristic orderings avoid this.
+        let p = path_graph(3);
+        assert_eq!(width_of_order(&p, &[1, 0, 2]), 2);
+        assert_eq!(width_of_order(&p, &[0, 1, 2]), 1);
+    }
+
+    #[test]
+    fn min_degree_on_tree_is_optimal() {
+        let t = complete_binary_tree(3);
+        let order = min_degree_ordering(&t);
+        assert_eq!(width_of_order(&t, &order), 1);
+        let td = decomposition_from_order(&t, &order);
+        assert!(td.is_valid_for(&t));
+    }
+
+    #[test]
+    fn min_fill_on_cycle_gives_width_2() {
+        let c = cycle_graph(7);
+        let order = min_fill_ordering(&c);
+        assert_eq!(width_of_order(&c, &order), 2);
+    }
+
+    #[test]
+    fn upper_bound_on_grid() {
+        // tw(grid 3x3) = 3; greedy heuristics achieve 3 on this small grid.
+        let g = grid_graph(3, 3);
+        let (w, td) = treewidth_upper_bound(&g);
+        assert!(td.is_valid_for(&g));
+        assert!((3..=4).contains(&w));
+    }
+
+    #[test]
+    fn upper_bound_on_clique_is_exact() {
+        let k = complete_graph(5);
+        let (w, td) = treewidth_upper_bound(&k);
+        assert_eq!(w, 4);
+        assert!(td.is_valid_for(&k));
+    }
+
+    #[test]
+    fn decomposition_from_order_valid_on_various_graphs() {
+        for g in [
+            star_graph(5),
+            caterpillar_graph(4, 2),
+            grid_graph(2, 4),
+            complete_bipartite_graph(2, 3),
+        ] {
+            let order = min_fill_ordering(&g);
+            let td = decomposition_from_order(&g, &order);
+            assert!(td.is_valid_for(&g), "invalid decomposition for {g}");
+            assert_eq!(td.width(), width_of_order(&g, &order));
+        }
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = Graph::new(0);
+        let td = decomposition_from_order(&g, &[]);
+        assert_eq!(td.bag_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn order_must_cover_all_vertices() {
+        let g = path_graph(3);
+        let _ = width_of_order(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,99 @@
+//! # cq-decomp
+//!
+//! Tree decompositions, path decompositions, elimination forests, and the
+//! three width measures that drive the paper's classification: **treewidth**,
+//! **pathwidth** and **tree depth** (Section 2.2).
+//!
+//! The classification of Theorem 3.1 distinguishes three degrees by whether
+//! the cores of a class have bounded treewidth (hypothesis), bounded
+//! pathwidth (degree `PATH` vs. `TREE`) and bounded tree depth (degree
+//! `para-L` vs. `PATH`).  Everything in this crate is *exact* for the
+//! parameter-sized structures appearing on the left-hand side of `p-HOM`
+//! instances:
+//!
+//! * [`treewidth::treewidth_exact`] — exact treewidth by dynamic programming
+//!   over vertex subsets, with an optimal tree decomposition;
+//! * [`pathwidth::pathwidth_exact`] — exact pathwidth through the vertex
+//!   separation number, with an optimal path decomposition;
+//! * [`treedepth::treedepth_exact`] — exact tree depth by recursive vertex
+//!   deletion with memoization, with a witnessing elimination forest;
+//! * [`decomposition`] — the decomposition data types, their validity
+//!   checkers (the three conditions of Section 2.2), and normal forms used
+//!   by the reductions and solvers (e.g. path decompositions in which
+//!   consecutive bags differ by a single insertion or deletion, as required
+//!   by the `PATH` membership algorithm of Theorem 4.6);
+//! * [`heuristics`] — min-degree / min-fill elimination orderings giving
+//!   treewidth upper bounds for larger graphs (used only by workload
+//!   generators, never by the classification of parameter-sized queries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomposition;
+pub mod heuristics;
+pub mod pathwidth;
+pub mod treedepth;
+pub mod treewidth;
+
+pub use decomposition::{EliminationForest, PathDecomposition, TreeDecomposition};
+pub use heuristics::{min_degree_ordering, min_fill_ordering, treewidth_upper_bound};
+pub use pathwidth::{pathwidth_exact, pathwidth_of_structure};
+pub use treedepth::{treedepth_exact, treedepth_of_structure};
+pub use treewidth::{treewidth_exact, treewidth_of_structure};
+
+use cq_graphs::Graph;
+
+/// The three width measures of one graph, computed exactly.  Convenience
+/// bundle used by the classification engine and the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthProfile {
+    /// Treewidth `tw(G)`.
+    pub treewidth: usize,
+    /// Pathwidth `pw(G)`.
+    pub pathwidth: usize,
+    /// Tree depth `td(G)`.
+    pub treedepth: usize,
+}
+
+/// Compute all three width measures of a graph exactly.
+pub fn width_profile(g: &Graph) -> WidthProfile {
+    WidthProfile {
+        treewidth: treewidth::treewidth_exact(g).0,
+        pathwidth: pathwidth::pathwidth_exact(g).0,
+        treedepth: treedepth::treedepth_exact(g).0,
+    }
+}
+
+/// Compute all three width measures of the Gaifman graph of a structure.
+pub fn width_profile_of_structure(s: &cq_structures::Structure) -> WidthProfile {
+    width_profile(&cq_graphs::gaifman_graph(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_graphs::families::*;
+
+    #[test]
+    fn width_profile_orders_correctly() {
+        // tw <= pw <= td - 1 always holds.
+        for g in [
+            path_graph(6),
+            cycle_graph(5),
+            star_graph(4),
+            grid_graph(2, 3),
+            complete_binary_tree(3),
+        ] {
+            let p = width_profile(&g);
+            assert!(p.treewidth <= p.pathwidth);
+            assert!(p.pathwidth + 1 <= p.treedepth || g.edge_count() == 0);
+        }
+    }
+
+    #[test]
+    fn width_profile_of_structure_matches_graph() {
+        let s = cq_structures::families::grid(2, 3);
+        let g = grid_graph(2, 3);
+        assert_eq!(width_profile_of_structure(&s), width_profile(&g));
+    }
+}

@@ -1,0 +1,175 @@
+//! Standard graph families as [`Graph`] values (the structure-typed versions
+//! live in `cq_structures::families`).
+
+use crate::graph::Graph;
+
+/// The path graph `P_k` on `k ≥ 1` vertices.
+pub fn path_graph(k: usize) -> Graph {
+    assert!(k >= 1);
+    let mut g = Graph::new(k);
+    for i in 0..k - 1 {
+        g.add_edge(i, i + 1);
+    }
+    g
+}
+
+/// The cycle graph `C_k` on `k ≥ 3` vertices.
+pub fn cycle_graph(k: usize) -> Graph {
+    assert!(k >= 3);
+    let mut g = Graph::new(k);
+    for i in 0..k {
+        g.add_edge(i, (i + 1) % k);
+    }
+    g
+}
+
+/// The complete graph `K_k`.
+pub fn complete_graph(k: usize) -> Graph {
+    let mut g = Graph::new(k);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            g.add_edge(i, j);
+        }
+    }
+    g
+}
+
+/// The star `K_{1,k}` with centre 0.
+pub fn star_graph(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for l in 1..=leaves {
+        g.add_edge(0, l);
+    }
+    g
+}
+
+/// The `rows × cols` grid graph, vertices numbered row-major.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The complete binary tree of height `h` (the graph `T_h` of the paper);
+/// `2^{h+1} - 1` vertices in heap layout (children of `i` are `2i+1`, `2i+2`).
+pub fn complete_binary_tree(h: usize) -> Graph {
+    let n = (1usize << (h + 1)) - 1;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                g.add_edge(v, child);
+            }
+        }
+    }
+    g
+}
+
+/// A caterpillar: a spine path with `spine` vertices each carrying `legs`
+/// pendant leaves.
+pub fn caterpillar_graph(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1);
+    let mut g = Graph::new(spine + spine * legs);
+    for i in 0..spine - 1 {
+        g.add_edge(i, i + 1);
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            g.add_edge(i, spine + i * legs + l);
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{m,n}` with parts `0..m` and `m..m+n`.
+pub fn complete_bipartite_graph(m: usize, n: usize) -> Graph {
+    let mut g = Graph::new(m + n);
+    for i in 0..m {
+        for j in 0..n {
+            g.add_edge(i, m + j);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{is_connected, is_tree};
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(path_graph(5).edge_count(), 4);
+        assert_eq!(cycle_graph(5).edge_count(), 5);
+        assert_eq!(complete_graph(5).edge_count(), 10);
+        assert_eq!(star_graph(4).edge_count(), 4);
+        assert_eq!(grid_graph(3, 3).edge_count(), 12);
+        assert_eq!(complete_binary_tree(3).vertex_count(), 15);
+        assert_eq!(complete_binary_tree(3).edge_count(), 14);
+        assert_eq!(caterpillar_graph(3, 2).vertex_count(), 9);
+        assert_eq!(complete_bipartite_graph(2, 3).edge_count(), 6);
+    }
+
+    #[test]
+    fn trees_are_trees() {
+        assert!(is_tree(&path_graph(6)));
+        assert!(is_tree(&star_graph(5)));
+        assert!(is_tree(&complete_binary_tree(4)));
+        assert!(is_tree(&caterpillar_graph(4, 3)));
+        assert!(!is_tree(&grid_graph(2, 2)));
+        assert!(is_connected(&complete_graph(3)));
+    }
+
+    #[test]
+    fn structure_and_graph_families_agree() {
+        use cq_structures::families as sf;
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::path(5)),
+            path_graph(5)
+        );
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::cycle(6)),
+            cycle_graph(6)
+        );
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::grid(3, 4)),
+            grid_graph(3, 4)
+        );
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::tree_t(3)),
+            complete_binary_tree(3)
+        );
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::clique(4)),
+            complete_graph(4)
+        );
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::star(4)),
+            star_graph(4)
+        );
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::complete_bipartite(2, 3)),
+            complete_bipartite_graph(2, 3)
+        );
+        // The Gaifman graph of ->B_k (and of B_k) is the tree T_k.
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::directed_binary_tree(3)),
+            complete_binary_tree(3)
+        );
+        assert_eq!(
+            crate::graph::gaifman_graph(&sf::binary_tree_b(2)),
+            complete_binary_tree(2)
+        );
+    }
+}

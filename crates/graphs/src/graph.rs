@@ -1,0 +1,315 @@
+//! Undirected simple graphs with vertices `0..n`, and Gaifman graphs.
+
+use cq_structures::Structure;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A vertex of a [`Graph`].
+pub type Vertex = usize;
+
+/// An undirected simple graph (no loops, no parallel edges) on vertex set
+/// `0..n`, stored as sorted adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<BTreeSet<Vertex>>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adjacency: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Build a graph from an edge list (vertices are implied by the maximum
+    /// endpoint unless `n` is larger).
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let max = edges
+            .iter()
+            .map(|&(a, b)| a.max(b) + 1)
+            .max()
+            .unwrap_or(0)
+            .max(n);
+        let mut g = Graph::new(max);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Iterate over vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> {
+        0..self.adjacency.len()
+    }
+
+    /// Add an undirected edge (loops are ignored, duplicates are collapsed).
+    pub fn add_edge(&mut self, a: Vertex, b: Vertex) {
+        assert!(a < self.vertex_count() && b < self.vertex_count());
+        if a == b {
+            return;
+        }
+        self.adjacency[a].insert(b);
+        self.adjacency[b].insert(a);
+    }
+
+    /// Remove an edge if present.
+    pub fn remove_edge(&mut self, a: Vertex, b: Vertex) {
+        self.adjacency[a].remove(&b);
+        self.adjacency[b].remove(&a);
+    }
+
+    /// Adjacency test.
+    pub fn has_edge(&self, a: Vertex, b: Vertex) -> bool {
+        self.adjacency[a].contains(&b)
+    }
+
+    /// The neighbourhood of a vertex, in increasing order.
+    pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.adjacency[v].iter().copied()
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).max().unwrap_or(0)
+    }
+
+    /// The edges of the graph as ordered pairs `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(Vertex, Vertex)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for a in self.vertices() {
+            for &b in &self.adjacency[a] {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The subgraph induced by a set of vertices, together with the map from
+    /// old vertex numbers to new ones (renumbered `0..|S|` in increasing
+    /// order).
+    pub fn induced_subgraph(&self, vertices: &BTreeSet<Vertex>) -> (Graph, Vec<Option<Vertex>>) {
+        let mut old_to_new = vec![None; self.vertex_count()];
+        for (new, &old) in vertices.iter().enumerate() {
+            old_to_new[old] = Some(new);
+        }
+        let mut g = Graph::new(vertices.len());
+        for &v in vertices {
+            for &w in &self.adjacency[v] {
+                if let (Some(a), Some(b)) = (old_to_new[v], old_to_new[w]) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        (g, old_to_new)
+    }
+
+    /// The graph obtained by deleting a vertex (later vertices are shifted
+    /// down by one).
+    pub fn delete_vertex(&self, v: Vertex) -> Graph {
+        let keep: BTreeSet<Vertex> = self.vertices().filter(|&u| u != v).collect();
+        self.induced_subgraph(&keep).0
+    }
+
+    /// The graph obtained by contracting the edge `{a, b}` into vertex
+    /// `min(a, b)` (the other endpoint is deleted; its neighbours are
+    /// attached to the survivor).  Panics when `{a, b}` is not an edge.
+    pub fn contract_edge(&self, a: Vertex, b: Vertex) -> Graph {
+        assert!(self.has_edge(a, b), "can only contract existing edges");
+        let (survivor, removed) = (a.min(b), a.max(b));
+        let mut g = self.clone();
+        let moved: Vec<Vertex> = g.adjacency[removed].iter().copied().collect();
+        for w in moved {
+            if w != survivor {
+                g.add_edge(survivor, w);
+            }
+        }
+        g.delete_vertex(removed)
+    }
+
+    /// The complement graph.
+    pub fn complement(&self) -> Graph {
+        let n = self.vertex_count();
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !self.has_edge(a, b) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// Convert to a relational structure over the vocabulary `{E/2}` with the
+    /// symmetric edge relation (a *graph* in the paper's sense).
+    pub fn to_structure(&self) -> Structure {
+        let vocab = cq_structures::Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut b = cq_structures::StructureBuilder::new(vocab).with_universe(self.vertex_count().max(1));
+        for (u, v) in self.edges() {
+            b.raw_fact(e, vec![u, v]);
+            b.raw_fact(e, vec![v, u]);
+        }
+        b.build().expect("valid graph structure")
+    }
+
+    /// Build a graph from any structure by taking its Gaifman graph.
+    pub fn from_structure(s: &Structure) -> Graph {
+        gaifman_graph(s)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph(n={}, m={}) {:?}",
+            self.vertex_count(),
+            self.edge_count(),
+            self.edges()
+        )
+    }
+}
+
+/// The Gaifman graph of a relational structure: vertices are the elements of
+/// the structure, and two distinct elements are adjacent iff they occur
+/// together in some tuple of some relation (Section 2.2).
+pub fn gaifman_graph(s: &Structure) -> Graph {
+    let mut g = Graph::new(s.universe_size());
+    for (a, b) in s.gaifman_edges() {
+        g.add_edge(a, b);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::families as sf;
+
+    #[test]
+    fn basic_construction() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 1); // loop ignored
+        g.add_edge(0, 1); // duplicate ignored
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+        g.remove_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_edges_and_edges_roundtrip() {
+        let g = Graph::from_edges(0, &[(0, 1), (2, 3), (1, 2)]);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+        let g2 = Graph::from_edges(10, &[(0, 1)]);
+        assert_eq!(g2.vertex_count(), 10);
+    }
+
+    #[test]
+    fn induced_subgraph_and_delete() {
+        let g = Graph::from_edges(0, &[(0, 1), (1, 2), (2, 3), (3, 0)]); // C4
+        let sub: BTreeSet<Vertex> = [0, 1, 2].into_iter().collect();
+        let (h, map) = g.induced_subgraph(&sub);
+        assert_eq!(h.vertex_count(), 3);
+        assert_eq!(h.edge_count(), 2);
+        assert_eq!(map[3], None);
+        let d = g.delete_vertex(3);
+        assert_eq!(d.vertex_count(), 3);
+        assert_eq!(d.edge_count(), 2);
+    }
+
+    #[test]
+    fn contraction_of_cycle_gives_smaller_cycle() {
+        let c4 = Graph::from_edges(0, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c3 = c4.contract_edge(0, 1);
+        assert_eq!(c3.vertex_count(), 3);
+        assert_eq!(c3.edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn contracting_a_non_edge_panics() {
+        let g = Graph::from_edges(0, &[(0, 1), (2, 3)]);
+        let _ = g.contract_edge(0, 3);
+    }
+
+    #[test]
+    fn complement_of_empty_is_complete() {
+        let g = Graph::new(4);
+        let c = g.complement();
+        assert_eq!(c.edge_count(), 6);
+        assert_eq!(c.complement().edge_count(), 0);
+    }
+
+    #[test]
+    fn gaifman_graph_of_path_structure() {
+        let p5 = sf::path(5);
+        let g = gaifman_graph(&p5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn gaifman_graph_of_higher_arity_structure_forms_cliques() {
+        // A single ternary tuple over distinct elements induces a triangle.
+        let vocab = cq_structures::Vocabulary::from_pairs([("R", 3)]).unwrap();
+        let r = vocab.id_of("R").unwrap();
+        let mut b = cq_structures::StructureBuilder::new(vocab);
+        b.raw_fact(r, vec![0, 1, 2]);
+        let s = b.build().unwrap();
+        let g = gaifman_graph(&s);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn structure_roundtrip() {
+        let g = Graph::from_edges(0, &[(0, 1), (1, 2)]);
+        let s = g.to_structure();
+        assert!(s.is_graph());
+        let back = Graph::from_structure(&s);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_graph_to_structure_has_singleton_universe() {
+        let g = Graph::new(0);
+        let s = g.to_structure();
+        assert_eq!(s.universe_size(), 1);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let g = Graph::from_edges(0, &[(0, 1)]);
+        assert!(g.to_string().contains("n=2"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # cq-graphs
+//!
+//! Simple undirected graphs, Gaifman graphs of relational structures,
+//! traversal utilities, and graph minors — the graph-theoretic substrate of
+//! the classification in Chen & Müller (PODS 2013).
+//!
+//! The paper's classification (Theorem 3.1) is driven by three graph
+//! measures of the *Gaifman graphs of the cores* of a class of structures —
+//! treewidth, pathwidth and tree depth — and by excluded-minor
+//! characterizations of their boundedness (Theorem 2.3).  This crate supplies
+//!
+//! * [`Graph`] — an adjacency-list undirected graph with vertices `0..n`;
+//! * [`gaifman_graph`] — the Gaifman graph of a structure;
+//! * [`traversal`] — BFS/DFS, connected components, trees, paths, cycles;
+//! * [`minor`] — minor maps (branch-set families), their verification, and
+//!   backtracking minor search used by the excluded-minor experiments;
+//! * [`families`] — paths, cycles, trees, grids, cliques as [`Graph`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod graph;
+pub mod minor;
+pub mod traversal;
+
+pub use graph::{gaifman_graph, Graph, Vertex};
+pub use minor::{find_minor_map, has_minor, MinorMap};
+pub use traversal::{
+    bfs_distances, connected_components, is_connected, is_forest, is_path_graph, is_tree,
+    longest_path_length,
+};

@@ -1,0 +1,278 @@
+//! Graph traversal: BFS, connected components, tree/path/forest recognition,
+//! and simple-path search (used by the `p-st-PATH` and `p-EMB(P)` problems of
+//! Section 4).
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Breadth-first distances from a source vertex (`None` for unreachable
+/// vertices).
+pub fn bfs_distances(g: &Graph, source: Vertex) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.vertex_count()];
+    if source >= g.vertex_count() {
+        return dist;
+    }
+    dist[source] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v].unwrap();
+        for w in g.neighbors(v) {
+            if dist[w].is_none() {
+                dist[w] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The connected components of a graph, each as a sorted vertex list; the
+/// components are ordered by their smallest vertex.
+pub fn connected_components(g: &Graph) -> Vec<Vec<Vertex>> {
+    let mut seen = vec![false; g.vertex_count()];
+    let mut components = Vec::new();
+    for start in g.vertices() {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for w in g.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+/// Whether a graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+/// Whether a graph is acyclic (a forest).
+pub fn is_forest(g: &Graph) -> bool {
+    // A forest has exactly n - c edges where c is the number of components.
+    let c = connected_components(g).len();
+    g.edge_count() + c == g.vertex_count() || (g.vertex_count() == 0 && g.edge_count() == 0)
+}
+
+/// Whether a graph is a tree in the paper's sense: connected and acyclic
+/// (the single-vertex graph is a tree).
+pub fn is_tree(g: &Graph) -> bool {
+    g.vertex_count() >= 1 && is_connected(g) && g.edge_count() == g.vertex_count() - 1
+}
+
+/// Whether a graph is a path graph `P_k`: a tree whose maximum degree is at
+/// most 2 (the single vertex counts as `P_1`).
+pub fn is_path_graph(g: &Graph) -> bool {
+    is_tree(g) && g.max_degree() <= 2
+}
+
+/// Whether a graph is a single cycle `C_k` (`k ≥ 3`): connected, every degree
+/// exactly 2.
+pub fn is_cycle_graph(g: &Graph) -> bool {
+    g.vertex_count() >= 3
+        && is_connected(g)
+        && g.vertices().all(|v| g.degree(v) == 2)
+}
+
+/// The length (number of edges) of a shortest path between `s` and `t`, if
+/// any.
+pub fn shortest_path_length(g: &Graph, s: Vertex, t: Vertex) -> Option<usize> {
+    bfs_distances(g, s).get(t).copied().flatten()
+}
+
+/// Does the graph contain a *simple* path from `s` to `t` with at most
+/// `max_edges` edges?  This is the problem `p-st-PATH` of Section 4 (for
+/// undirected graphs).  Note that for simple graphs a shortest path is always
+/// simple, so BFS suffices.
+pub fn st_path_within(g: &Graph, s: Vertex, t: Vertex, max_edges: usize) -> bool {
+    shortest_path_length(g, s, t).map(|d| d <= max_edges).unwrap_or(false)
+}
+
+/// The number of vertices on a longest *simple* path in the graph, computed
+/// by exhaustive DFS — exponential time, used as the brute-force baseline for
+/// the `p-EMB(P)` experiments and for path-minor detection on small graphs.
+pub fn longest_path_length(g: &Graph) -> usize {
+    fn dfs(g: &Graph, v: Vertex, visited: &mut Vec<bool>, best: &mut usize, length: usize) {
+        *best = (*best).max(length);
+        for w in g.neighbors(v) {
+            if !visited[w] {
+                visited[w] = true;
+                dfs(g, w, visited, best, length + 1);
+                visited[w] = false;
+            }
+        }
+    }
+    let mut best = 0usize;
+    for start in g.vertices() {
+        let mut visited = vec![false; g.vertex_count()];
+        visited[start] = true;
+        dfs(g, start, &mut visited, &mut best, 1);
+    }
+    best
+}
+
+/// Does the graph contain a simple path on exactly `k` vertices?  Brute-force
+/// DFS baseline (the clever solvers live in `cq-solver`).
+pub fn has_simple_path_of_order(g: &Graph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    fn dfs(g: &Graph, v: Vertex, visited: &mut Vec<bool>, remaining: usize) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        for w in g.neighbors(v) {
+            if !visited[w] {
+                visited[w] = true;
+                if dfs(g, w, visited, remaining - 1) {
+                    visited[w] = false;
+                    return true;
+                }
+                visited[w] = false;
+            }
+        }
+        false
+    }
+    g.vertices().any(|start| {
+        let mut visited = vec![false; g.vertex_count()];
+        visited[start] = true;
+        dfs(g, start, &mut visited, k - 1)
+    })
+}
+
+/// Does the graph contain a simple cycle on exactly `k ≥ 3` vertices?
+/// Brute-force DFS baseline used by the `p-CYCLE` experiments.
+pub fn has_simple_cycle_of_order(g: &Graph, k: usize) -> bool {
+    if k < 3 {
+        return false;
+    }
+    fn dfs(
+        g: &Graph,
+        start: Vertex,
+        v: Vertex,
+        visited: &mut Vec<bool>,
+        remaining: usize,
+    ) -> bool {
+        if remaining == 0 {
+            return g.has_edge(v, start);
+        }
+        for w in g.neighbors(v) {
+            if !visited[w] && w > start {
+                visited[w] = true;
+                if dfs(g, start, w, visited, remaining - 1) {
+                    visited[w] = false;
+                    return true;
+                }
+                visited[w] = false;
+            }
+        }
+        false
+    }
+    g.vertices().any(|start| {
+        let mut visited = vec![false; g.vertex_count()];
+        visited[start] = true;
+        dfs(g, start, start, &mut visited, k - 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn bfs_on_path() {
+        let p = families::path_graph(5);
+        let d = bfs_distances(&p, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(shortest_path_length(&p, 0, 4), Some(4));
+        assert_eq!(shortest_path_length(&p, 4, 0), Some(4));
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], None);
+        assert_eq!(shortest_path_length(&g, 0, 3), None);
+        assert!(!st_path_within(&g, 0, 3, 10));
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&families::cycle_graph(4)));
+        assert!(is_connected(&Graph::new(0)));
+    }
+
+    #[test]
+    fn tree_path_cycle_recognition() {
+        assert!(is_tree(&families::path_graph(4)));
+        assert!(is_path_graph(&families::path_graph(4)));
+        assert!(is_path_graph(&families::path_graph(1)));
+        assert!(is_tree(&families::star_graph(5)));
+        assert!(!is_path_graph(&families::star_graph(3)));
+        assert!(!is_tree(&families::cycle_graph(4)));
+        assert!(is_cycle_graph(&families::cycle_graph(4)));
+        assert!(!is_cycle_graph(&families::path_graph(4)));
+        assert!(is_forest(&Graph::from_edges(4, &[(0, 1), (2, 3)])));
+        assert!(!is_forest(&families::cycle_graph(3)));
+        assert!(!is_tree(&Graph::from_edges(4, &[(0, 1), (2, 3)])));
+    }
+
+    #[test]
+    fn st_path_bound() {
+        let c6 = families::cycle_graph(6);
+        assert!(st_path_within(&c6, 0, 3, 3));
+        assert!(!st_path_within(&c6, 0, 3, 2));
+    }
+
+    #[test]
+    fn longest_path_in_small_graphs() {
+        assert_eq!(longest_path_length(&families::path_graph(5)), 5);
+        assert_eq!(longest_path_length(&families::cycle_graph(5)), 5);
+        assert_eq!(longest_path_length(&families::star_graph(4)), 3);
+        assert_eq!(longest_path_length(&families::complete_graph(4)), 4);
+        // The 3x3 grid has a Hamiltonian path.
+        assert_eq!(longest_path_length(&families::grid_graph(3, 3)), 9);
+    }
+
+    #[test]
+    fn simple_path_of_order() {
+        let star = families::star_graph(5);
+        assert!(has_simple_path_of_order(&star, 3));
+        assert!(!has_simple_path_of_order(&star, 4));
+        assert!(has_simple_path_of_order(&star, 0));
+        let grid = families::grid_graph(2, 3);
+        assert!(has_simple_path_of_order(&grid, 6));
+        assert!(!has_simple_path_of_order(&grid, 7));
+    }
+
+    #[test]
+    fn simple_cycle_of_order() {
+        let c5 = families::cycle_graph(5);
+        assert!(has_simple_cycle_of_order(&c5, 5));
+        assert!(!has_simple_cycle_of_order(&c5, 4));
+        assert!(!has_simple_cycle_of_order(&c5, 2));
+        let k4 = families::complete_graph(4);
+        assert!(has_simple_cycle_of_order(&k4, 3));
+        assert!(has_simple_cycle_of_order(&k4, 4));
+        let grid = families::grid_graph(2, 2);
+        assert!(has_simple_cycle_of_order(&grid, 4));
+        assert!(!has_simple_cycle_of_order(&grid, 3));
+    }
+}

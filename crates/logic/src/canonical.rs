@@ -1,0 +1,200 @@
+//! Canonical conjunctions of structures and canonical structures of
+//! `{∧,∃}`-sentences (the two directions of the Chandra–Merlin
+//! correspondence used in Section 3.2 and Theorem 3.12).
+
+use crate::formula::Formula;
+use cq_structures::{Structure, StructureError, Vocabulary};
+use std::collections::HashMap;
+
+/// The variable name used for element `a` in canonical conjunctions.
+pub fn element_variable(a: usize) -> String {
+    format!("x{a}")
+}
+
+/// The *canonical conjunction* of a structure `A` (Section 3.2): a
+/// quantifier-free conjunction in the variables `x_a`, `a ∈ A`, containing
+/// the conjunct `R x_{a_1} … x_{a_r}` for every tuple of every relation.
+///
+/// It is satisfiable in `B` (by some assignment of the `x_a`) iff there is a
+/// homomorphism from `A` to `B`.
+pub fn canonical_conjunction(a: &Structure) -> Formula {
+    let mut conjuncts = Vec::new();
+    for (sym, t) in a.all_tuples() {
+        let vars: Vec<String> = t.iter().map(|&e| element_variable(e)).collect();
+        conjuncts.push(Formula::atom(a.vocabulary().name(sym), &vars));
+    }
+    Formula::and(conjuncts)
+}
+
+/// The canonical conjunction of the substructure induced by a subset of
+/// elements (only tuples entirely inside the subset are kept) — used by the
+/// Lemma 3.3 construction, which takes canonical conjunctions of the
+/// structures `⟨P_c⟩_{A_0}` induced by root-to-`c` paths.
+pub fn canonical_conjunction_of_subset(a: &Structure, subset: &[usize]) -> Formula {
+    let inside = |e: usize| subset.contains(&e);
+    let mut conjuncts = Vec::new();
+    for (sym, t) in a.all_tuples() {
+        if t.iter().all(|&e| inside(e)) {
+            let vars: Vec<String> = t.iter().map(|&e| element_variable(e)).collect();
+            conjuncts.push(Formula::atom(a.vocabulary().name(sym), &vars));
+        }
+    }
+    Formula::and(conjuncts)
+}
+
+/// The existential closure of the canonical conjunction: a `{∧,∃}`-sentence
+/// that corresponds to `A` (quantifier rank `|A|` — the tree-depth-aware
+/// construction of Lemma 3.3 achieves rank `td + 1` instead and lives in
+/// [`crate::treedepth_sentence`]).
+pub fn naive_sentence(a: &Structure) -> Formula {
+    let mut f = canonical_conjunction(a);
+    for e in (0..a.universe_size()).rev() {
+        f = Formula::exists(element_variable(e), f);
+    }
+    f
+}
+
+/// The canonical structure of a `{∧,∃}`-sentence (Theorem 3.12): prenex the
+/// sentence, take one element per quantified variable and one tuple per atom.
+///
+/// Preconditions checked: the formula must be a `{∧,∃}`-sentence and no
+/// variable may be quantified twice (the paper assumes this w.l.o.g. after
+/// renaming).  Free occurrences of unquantified variables are rejected.
+pub fn canonical_structure_of_sentence(phi: &Formula) -> Result<Structure, StructureError> {
+    assert!(
+        phi.is_and_exists(),
+        "canonical_structure_of_sentence expects a {{∧,∃}}-sentence"
+    );
+    assert!(
+        !phi.has_repeated_quantification(),
+        "variables must be quantified at most once (rename first)"
+    );
+    assert!(phi.is_sentence(), "the formula must be a sentence");
+    let variables = phi.quantified_variables();
+    let index: HashMap<&str, usize> = variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
+    // Vocabulary from the atoms.
+    let mut vocab = Vocabulary::new();
+    for atom in phi.atoms() {
+        if let Formula::Atom { relation, vars } = atom {
+            vocab.add(relation.clone(), vars.len())?;
+        }
+    }
+    let universe = variables.len().max(1);
+    let mut s = Structure::new(vocab.clone(), universe)?;
+    for atom in phi.atoms() {
+        if let Formula::Atom { relation, vars } = atom {
+            let sym = vocab.id_of(relation).expect("built from atoms");
+            let tuple: Vec<usize> = vars
+                .iter()
+                .map(|v| {
+                    *index
+                        .get(v.as_str())
+                        .expect("sentence: every atom variable is quantified")
+                })
+                .collect();
+            s.add_tuple(sym, tuple)?;
+        }
+    }
+    Ok(s.with_labels(if variables.is_empty() {
+        vec!["_".to_string()]
+    } else {
+        variables
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::{families, homomorphism_exists};
+
+    #[test]
+    fn canonical_conjunction_of_directed_path() {
+        let p3 = families::directed_path(3);
+        let f = canonical_conjunction(&p3);
+        assert_eq!(f.quantifier_rank(), 0);
+        assert_eq!(f.atoms().len(), 2);
+        assert!(f.is_and_exists());
+        let s = f.to_string();
+        assert!(s.contains("E(x0,x1)"));
+        assert!(s.contains("E(x1,x2)"));
+    }
+
+    #[test]
+    fn canonical_conjunction_of_edgeless_structure_is_true() {
+        let single = cq_structures::Structure::new(Vocabulary::graph(), 1).unwrap();
+        assert_eq!(canonical_conjunction(&single), Formula::True);
+    }
+
+    #[test]
+    fn subset_conjunction_keeps_only_internal_tuples() {
+        let p4 = families::directed_path(4);
+        let f = canonical_conjunction_of_subset(&p4, &[0, 1]);
+        assert_eq!(f.atoms().len(), 1);
+        let g = canonical_conjunction_of_subset(&p4, &[0, 2]);
+        assert_eq!(g, Formula::True);
+        let all = canonical_conjunction_of_subset(&p4, &[0, 1, 2, 3]);
+        assert_eq!(all.atoms().len(), 3);
+    }
+
+    #[test]
+    fn naive_sentence_has_rank_equal_to_universe() {
+        let c4 = families::cycle(4);
+        let f = naive_sentence(&c4);
+        assert!(f.is_sentence());
+        assert!(f.is_and_exists());
+        assert_eq!(f.quantifier_rank(), 4);
+    }
+
+    #[test]
+    fn canonical_structure_roundtrip() {
+        // Structure -> sentence -> structure preserves homomorphism behaviour.
+        for a in [
+            families::directed_path(4),
+            families::cycle(5),
+            families::grid(2, 2),
+        ] {
+            let phi = naive_sentence(&a);
+            let back = canonical_structure_of_sentence(&phi).unwrap();
+            for b in [
+                families::directed_path(4),
+                families::cycle(5),
+                families::cycle(3),
+                families::clique(3),
+                families::grid(2, 3),
+            ] {
+                assert_eq!(
+                    homomorphism_exists(&a, &b),
+                    homomorphism_exists(&back, &b),
+                    "mismatch for target {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_structure_of_trivial_sentence() {
+        let s = canonical_structure_of_sentence(&Formula::True).unwrap();
+        assert_eq!(s.universe_size(), 1);
+        assert_eq!(s.tuple_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_pp_sentence_rejected() {
+        let phi = Formula::forall("x", Formula::atom("P", &["x"]));
+        let _ = canonical_structure_of_sentence(&phi);
+    }
+
+    #[test]
+    #[should_panic]
+    fn open_formula_rejected() {
+        let phi = Formula::atom("P", &["x"]);
+        let _ = canonical_structure_of_sentence(&phi);
+    }
+
+    use cq_structures::Vocabulary;
+}

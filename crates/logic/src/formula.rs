@@ -1,0 +1,347 @@
+//! First-order formula AST over a relational vocabulary, with the syntactic
+//! measures the paper uses: quantifier rank, size, free variables, and
+//! membership in the `{∧,∃}` fragment.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The two quantifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantifierKind {
+    /// Existential quantification `∃x`.
+    Exists,
+    /// Universal quantification `∀x`.
+    Forall,
+}
+
+/// A first-order formula over relational atoms and equality, with named
+/// variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// An atom `R(x_1, …, x_r)`.
+    Atom {
+        /// Relation symbol name.
+        relation: String,
+        /// Argument variables.
+        vars: Vec<String>,
+    },
+    /// Equality `x = y`.
+    Equal(String, String),
+    /// The constant true (empty conjunction).
+    True,
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of zero or more formulas.
+    And(Vec<Formula>),
+    /// Disjunction of zero or more formulas.
+    Or(Vec<Formula>),
+    /// Quantified formula.
+    Quantified {
+        /// The quantifier.
+        kind: QuantifierKind,
+        /// The bound variable.
+        var: String,
+        /// The body.
+        body: Box<Formula>,
+    },
+}
+
+impl Formula {
+    /// Convenience constructor for an atom.
+    pub fn atom<S: AsRef<str>>(relation: &str, vars: &[S]) -> Formula {
+        Formula::Atom {
+            relation: relation.to_string(),
+            vars: vars.iter().map(|v| v.as_ref().to_string()).collect(),
+        }
+    }
+
+    /// Convenience constructor for `∃var. body`.
+    pub fn exists(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Quantified {
+            kind: QuantifierKind::Exists,
+            var: var.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Convenience constructor for `∀var. body`.
+    pub fn forall(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Quantified {
+            kind: QuantifierKind::Forall,
+            var: var.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Conjunction that flattens trivial cases.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.into_iter().next().unwrap(),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// The quantifier rank `qr(φ)` (Section 3.2).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::Atom { .. } | Formula::Equal(_, _) | Formula::True => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_rank()).max().unwrap_or(0)
+            }
+            Formula::Quantified { body, .. } => 1 + body.quantifier_rank(),
+        }
+    }
+
+    /// The number of AST nodes — the `|φ|` of Lemma 3.11 up to a constant.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Atom { vars, .. } => 1 + vars.len(),
+            Formula::Equal(_, _) => 3,
+            Formula::True => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(|f| f.size()).sum::<usize>()
+            }
+            Formula::Quantified { body, .. } => 2 + body.size(),
+        }
+    }
+
+    /// The maximum arity of a relation symbol occurring in the formula
+    /// (`ar(φ)` of Lemma 3.11).
+    pub fn max_arity(&self) -> usize {
+        match self {
+            Formula::Atom { vars, .. } => vars.len(),
+            Formula::Equal(_, _) | Formula::True => 0,
+            Formula::Not(f) => f.max_arity(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.max_arity()).max().unwrap_or(0)
+            }
+            Formula::Quantified { body, .. } => body.max_arity(),
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        match self {
+            Formula::Atom { vars, .. } => vars.iter().cloned().collect(),
+            Formula::Equal(a, b) => [a.clone(), b.clone()].into_iter().collect(),
+            Formula::True => BTreeSet::new(),
+            Formula::Not(f) => f.free_variables(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().flat_map(|f| f.free_variables()).collect()
+            }
+            Formula::Quantified { var, body, .. } => {
+                let mut fv = body.free_variables();
+                fv.remove(var);
+                fv
+            }
+        }
+    }
+
+    /// Is the formula a sentence (no free variables)?
+    pub fn is_sentence(&self) -> bool {
+        self.free_variables().is_empty()
+    }
+
+    /// Is the formula in the `{∧,∃}` fragment (built from atoms, conjunction
+    /// and existential quantification only — no equality, negation,
+    /// disjunction or universal quantification)?  Section 3.2 calls sentences
+    /// of this shape `{∧,∃}`-sentences.
+    pub fn is_and_exists(&self) -> bool {
+        match self {
+            Formula::Atom { .. } | Formula::True => true,
+            Formula::Equal(_, _) | Formula::Not(_) | Formula::Or(_) => false,
+            Formula::And(fs) => fs.iter().all(|f| f.is_and_exists()),
+            Formula::Quantified { kind, body, .. } => {
+                *kind == QuantifierKind::Exists && body.is_and_exists()
+            }
+        }
+    }
+
+    /// All atoms occurring in the formula, in syntactic order.
+    pub fn atoms(&self) -> Vec<&Formula> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Formula>) {
+        match self {
+            Formula::Atom { .. } => out.push(self),
+            Formula::Equal(_, _) | Formula::True => {}
+            Formula::Not(f) => f.collect_atoms(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+            Formula::Quantified { body, .. } => body.collect_atoms(out),
+        }
+    }
+
+    /// All variables that are quantified somewhere in the formula, in
+    /// quantification order (outermost first, left to right).
+    pub fn quantified_variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_quantified(&mut out);
+        out
+    }
+
+    fn collect_quantified(&self, out: &mut Vec<String>) {
+        match self {
+            Formula::Atom { .. } | Formula::Equal(_, _) | Formula::True => {}
+            Formula::Not(f) => f.collect_quantified(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_quantified(out);
+                }
+            }
+            Formula::Quantified { var, body, .. } => {
+                out.push(var.clone());
+                body.collect_quantified(out);
+            }
+        }
+    }
+
+    /// Does any variable get quantified twice (used by Theorem 3.12, which
+    /// assumes variables are quantified at most once)?
+    pub fn has_repeated_quantification(&self) -> bool {
+        let qs = self.quantified_variables();
+        let set: BTreeSet<&String> = qs.iter().collect();
+        set.len() != qs.len()
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom { relation, vars } => write!(f, "{relation}({})", vars.join(",")),
+            Formula::Equal(a, b) => write!(f, "{a}={b}"),
+            Formula::True => write!(f, "⊤"),
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Quantified { kind, var, body } => {
+                let q = match kind {
+                    QuantifierKind::Exists => "∃",
+                    QuantifierKind::Forall => "∀",
+                };
+                write!(f, "{q}{var}.{body}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Formula {
+        // ∃x ∃y ∃z (E(x,y) ∧ E(y,z))
+        Formula::exists(
+            "x",
+            Formula::exists(
+                "y",
+                Formula::exists(
+                    "z",
+                    Formula::And(vec![
+                        Formula::atom("E", &["x", "y"]),
+                        Formula::atom("E", &["y", "z"]),
+                    ]),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn quantifier_rank_and_size() {
+        let f = chain();
+        assert_eq!(f.quantifier_rank(), 3);
+        assert!(f.size() > 5);
+        assert_eq!(f.max_arity(), 2);
+        assert_eq!(Formula::True.quantifier_rank(), 0);
+        let nested = Formula::And(vec![
+            Formula::exists("x", Formula::atom("P", &["x"])),
+            Formula::exists("y", Formula::exists("z", Formula::atom("E", &["y", "z"]))),
+        ]);
+        assert_eq!(nested.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn free_variables_and_sentences() {
+        let open = Formula::atom("E", &["x", "y"]);
+        assert_eq!(open.free_variables().len(), 2);
+        assert!(!open.is_sentence());
+        assert!(chain().is_sentence());
+        let partly = Formula::exists("x", Formula::atom("E", &["x", "y"]));
+        assert_eq!(
+            partly.free_variables().into_iter().collect::<Vec<_>>(),
+            vec!["y".to_string()]
+        );
+        assert!(Formula::True.is_sentence());
+        let eq = Formula::Equal("a".into(), "b".into());
+        assert_eq!(eq.free_variables().len(), 2);
+    }
+
+    #[test]
+    fn and_exists_fragment_recognition() {
+        assert!(chain().is_and_exists());
+        assert!(Formula::True.is_and_exists());
+        assert!(!Formula::Not(Box::new(Formula::True)).is_and_exists());
+        assert!(!Formula::Or(vec![Formula::True]).is_and_exists());
+        assert!(!Formula::forall("x", Formula::atom("P", &["x"])).is_and_exists());
+        assert!(!Formula::Equal("x".into(), "x".into()).is_and_exists());
+    }
+
+    #[test]
+    fn and_flattening() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        let single = Formula::and(vec![Formula::atom("P", &["x"])]);
+        assert_eq!(single, Formula::atom("P", &["x"]));
+        let double = Formula::and(vec![Formula::True, Formula::True]);
+        assert!(matches!(double, Formula::And(_)));
+    }
+
+    #[test]
+    fn atoms_and_quantified_variables() {
+        let f = chain();
+        assert_eq!(f.atoms().len(), 2);
+        assert_eq!(f.quantified_variables(), vec!["x", "y", "z"]);
+        assert!(!f.has_repeated_quantification());
+        let rep = Formula::exists("x", Formula::exists("x", Formula::atom("P", &["x"])));
+        assert!(rep.has_repeated_quantification());
+    }
+
+    #[test]
+    fn display_roundtrip_smoke() {
+        let f = chain();
+        let s = f.to_string();
+        assert!(s.contains("∃x"));
+        assert!(s.contains("E(x,y)"));
+        assert!(s.contains('∧'));
+        let o = Formula::Or(vec![Formula::True, Formula::Equal("a".into(), "b".into())]);
+        assert!(o.to_string().contains('∨'));
+        assert!(Formula::forall("x", Formula::True).to_string().contains('∀'));
+        assert!(Formula::Not(Box::new(Formula::True)).to_string().contains('¬'));
+    }
+}

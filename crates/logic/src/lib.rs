@@ -1,0 +1,37 @@
+//! # cq-logic
+//!
+//! First-order formulas, `{∧,∃}`-sentences, canonical conjunctions, and the
+//! space-metered model checker of Lemma 3.11 — the logical toolbox behind
+//! statement (3) of the Classification Theorem (bounded tree depth ⇒
+//! `para-L`).
+//!
+//! The para-L membership proof (Lemma 3.3) works by compiling a structure of
+//! tree depth `≤ w` into a `{∧,∃}`-sentence of quantifier rank `≤ w + 1`
+//! that *corresponds* to it (it is true in `B` iff the structure maps
+//! homomorphically into `B`), and then model-checking that sentence in space
+//! `O(|φ|·log|φ| + (qr(φ)+ar(φ))·log|A|)` (Lemma 3.11).  Theorem 3.12 shows
+//! the converse: the existence of such a sentence characterizes tree depth.
+//! This crate implements all three directions:
+//!
+//! * [`formula`] — the formula AST, quantifier rank, free variables,
+//!   `{∧,∃}` recognition, prenexing;
+//! * [`canonical`] — canonical conjunctions of structures and the canonical
+//!   structure of a `{∧,∃}`-sentence (Theorem 3.12);
+//! * [`treedepth_sentence`] — the Lemma 3.3 compilation from a structure
+//!   with a tree-depth forest into a corresponding `{∧,∃}`-sentence;
+//! * [`modelcheck`] — the depth-first model checker of Lemma 3.11 with an
+//!   explicit space meter, so that the experiments can verify the
+//!   `O(f(k) + log n)` space bound empirically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod formula;
+pub mod modelcheck;
+pub mod treedepth_sentence;
+
+pub use canonical::{canonical_conjunction, canonical_structure_of_sentence};
+pub use formula::{Formula, QuantifierKind};
+pub use modelcheck::{model_check, model_check_metered, SpaceReport};
+pub use treedepth_sentence::{corresponding_sentence, corresponding_sentence_for_core};

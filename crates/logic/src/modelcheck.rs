@@ -1,0 +1,346 @@
+//! The space-metered first-order model checker of Lemma 3.11.
+//!
+//! Lemma 3.11 shows that `p-MC(FO)` — given a structure `A` and a sentence
+//! `φ`, decide `A ⊨ φ` with parameter `|φ|` — can be decided in space
+//! `O(|φ|·log|φ| + (qr(φ) + ar(φ))·log|A|)`.  The algorithm is a depth-first
+//! recursion over the formula that stores, at any moment, only the current
+//! partial assignment (at most `qr(φ)` variables), one loop counter per open
+//! quantifier, and a constant amount of bookkeeping per recursion frame.
+//!
+//! We implement exactly that recursion and *meter* the space it uses, so that
+//! the experiments can verify the `O(f(k) + log n)` bound empirically: the
+//! [`SpaceReport`] records the peak number of work-tape bits that a Turing
+//! machine implementation of the recursion would need, charged according to
+//! the accounting in the proof of Lemma 3.11.
+
+use crate::formula::{Formula, QuantifierKind};
+use cq_structures::{Element, Structure};
+use std::collections::HashMap;
+
+/// Accounting of the space used by a metered model-checking run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpaceReport {
+    /// Peak number of simultaneously stored assignment entries (bounded by
+    /// the quantifier rank for sentences).
+    pub peak_assignment: usize,
+    /// Peak recursion depth (bounded by the formula size).
+    pub peak_depth: usize,
+    /// Peak number of work-tape bits: each assignment entry is charged
+    /// `⌈log2 |A|⌉` bits, each open recursion frame `⌈log2 |φ|⌉ + 1` bits
+    /// (subformula position + result bit), each open quantifier loop
+    /// `⌈log2 |A|⌉` bits, and each atom evaluation `ar(φ)·⌈log2 |A|⌉` bits.
+    pub peak_bits: usize,
+    /// Number of atom evaluations performed (a time proxy).
+    pub atom_checks: u64,
+}
+
+struct Meter {
+    bits_per_element: usize,
+    bits_per_frame: usize,
+    current_assignment: usize,
+    current_depth: usize,
+    current_loops: usize,
+    current_extra: usize,
+    report: SpaceReport,
+}
+
+impl Meter {
+    fn new(a: &Structure, phi: &Formula) -> Self {
+        let bits_per_element = usize::BITS as usize - a.universe_size().leading_zeros() as usize;
+        let bits_per_frame = (usize::BITS as usize - phi.size().leading_zeros() as usize) + 1;
+        Meter {
+            bits_per_element: bits_per_element.max(1),
+            bits_per_frame: bits_per_frame.max(1),
+            current_assignment: 0,
+            current_depth: 0,
+            current_loops: 0,
+            current_extra: 0,
+            report: SpaceReport::default(),
+        }
+    }
+
+    fn observe(&mut self) {
+        let bits = self.current_assignment * self.bits_per_element
+            + self.current_depth * self.bits_per_frame
+            + self.current_loops * self.bits_per_element
+            + self.current_extra;
+        self.report.peak_bits = self.report.peak_bits.max(bits);
+        self.report.peak_assignment = self.report.peak_assignment.max(self.current_assignment);
+        self.report.peak_depth = self.report.peak_depth.max(self.current_depth);
+    }
+}
+
+/// Evaluate a sentence on a structure using the Lemma 3.11 recursion and
+/// return the truth value together with the space accounting.
+pub fn model_check_metered(a: &Structure, phi: &Formula) -> (bool, SpaceReport) {
+    let mut meter = Meter::new(a, phi);
+    let mut assignment: HashMap<String, Element> = HashMap::new();
+    let value = eval(a, phi, &mut assignment, &mut meter);
+    (value, meter.report)
+}
+
+/// Evaluate a sentence on a structure (truth value only).
+pub fn model_check(a: &Structure, phi: &Formula) -> bool {
+    model_check_metered(a, phi).0
+}
+
+fn eval(
+    a: &Structure,
+    phi: &Formula,
+    assignment: &mut HashMap<String, Element>,
+    meter: &mut Meter,
+) -> bool {
+    meter.current_depth += 1;
+    meter.observe();
+    let result = match phi {
+        Formula::True => true,
+        Formula::Equal(x, y) => {
+            let vx = assignment.get(x).copied();
+            let vy = assignment.get(y).copied();
+            match (vx, vy) {
+                (Some(vx), Some(vy)) => vx == vy,
+                _ => panic!("unassigned variable in equality {x}={y}"),
+            }
+        }
+        Formula::Atom { relation, vars } => {
+            meter.report.atom_checks += 1;
+            // Charge the scratch space for writing the tuple.
+            meter.current_extra += vars.len() * meter.bits_per_element;
+            meter.observe();
+            let sym = a.vocabulary().id_of(relation);
+            let ok = match sym {
+                None => false,
+                Some(sym) => {
+                    let tuple: Vec<Element> = vars
+                        .iter()
+                        .map(|v| {
+                            *assignment
+                                .get(v)
+                                .unwrap_or_else(|| panic!("unassigned variable {v} in atom"))
+                        })
+                        .collect();
+                    a.contains(sym, &tuple)
+                }
+            };
+            meter.current_extra -= vars.len() * meter.bits_per_element;
+            ok
+        }
+        Formula::Not(f) => !eval(a, f, assignment, meter),
+        Formula::And(fs) => {
+            let mut acc = true;
+            for f in fs {
+                let v = eval(a, f, assignment, meter);
+                acc = acc && v;
+                if !acc {
+                    break;
+                }
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            let mut acc = false;
+            for f in fs {
+                let v = eval(a, f, assignment, meter);
+                acc = acc || v;
+                if acc {
+                    break;
+                }
+            }
+            acc
+        }
+        Formula::Quantified { kind, var, body } => {
+            // One loop counter over the universe stays open for the duration.
+            meter.current_loops += 1;
+            let shadowed = assignment.get(var).copied();
+            let mut acc = match kind {
+                QuantifierKind::Exists => false,
+                QuantifierKind::Forall => true,
+            };
+            for b in a.universe() {
+                assignment.insert(var.clone(), b);
+                let newly_assigned = shadowed.is_none();
+                if newly_assigned {
+                    meter.current_assignment += 1;
+                }
+                meter.observe();
+                let v = eval(a, body, assignment, meter);
+                if newly_assigned {
+                    meter.current_assignment -= 1;
+                }
+                match kind {
+                    QuantifierKind::Exists => {
+                        acc = acc || v;
+                        if acc {
+                            break;
+                        }
+                    }
+                    QuantifierKind::Forall => {
+                        acc = acc && v;
+                        if !acc {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Restore the assignment to its previous domain.
+            match shadowed {
+                Some(old) => {
+                    assignment.insert(var.clone(), old);
+                }
+                None => {
+                    assignment.remove(var);
+                }
+            }
+            meter.current_loops -= 1;
+            acc
+        }
+    };
+    meter.current_depth -= 1;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::naive_sentence;
+    use crate::formula::Formula;
+    use cq_structures::{families, homomorphism_exists};
+
+    #[test]
+    fn chain_sentence_on_paths() {
+        // ∃x∃y∃z (E(x,y) ∧ E(y,z)) is true on ->P_3 and false on ->P_2.
+        let phi = Formula::exists(
+            "x",
+            Formula::exists(
+                "y",
+                Formula::exists(
+                    "z",
+                    Formula::And(vec![
+                        Formula::atom("E", &["x", "y"]),
+                        Formula::atom("E", &["y", "z"]),
+                    ]),
+                ),
+            ),
+        );
+        assert!(model_check(&families::directed_path(3), &phi));
+        assert!(!model_check(&families::directed_path(2), &phi));
+    }
+
+    #[test]
+    fn universal_and_negation() {
+        // ∀x ∃y E(x,y): every element has an out-neighbour — true on a
+        // directed cycle, false on a directed path (the last element fails).
+        let phi = Formula::forall(
+            "x",
+            Formula::exists("y", Formula::atom("E", &["x", "y"])),
+        );
+        assert!(model_check(&families::directed_cycle(4), &phi));
+        assert!(!model_check(&families::directed_path(4), &phi));
+        // Negation flips it.
+        let neg = Formula::Not(Box::new(phi));
+        assert!(model_check(&families::directed_path(4), &neg));
+    }
+
+    #[test]
+    fn equality_and_disjunction() {
+        // ∃x ∃y (¬ x = y ∨ E(x,y)): true on any structure with ≥ 2 elements.
+        let phi = Formula::exists(
+            "x",
+            Formula::exists(
+                "y",
+                Formula::Or(vec![
+                    Formula::Not(Box::new(Formula::Equal("x".into(), "y".into()))),
+                    Formula::atom("E", &["x", "y"]),
+                ]),
+            ),
+        );
+        assert!(model_check(&families::path(3), &phi));
+        // ∃x ∃y ¬x=y is false on a 1-element structure.
+        let distinct = Formula::exists(
+            "x",
+            Formula::exists(
+                "y",
+                Formula::Not(Box::new(Formula::Equal("x".into(), "y".into()))),
+            ),
+        );
+        let single = cq_structures::Structure::new(cq_structures::Vocabulary::graph(), 1).unwrap();
+        assert!(!model_check(&single, &distinct));
+    }
+
+    #[test]
+    fn naive_sentences_agree_with_homomorphism_search() {
+        for a in [
+            families::directed_path(3),
+            families::cycle(3),
+            families::cycle(4),
+            families::star(3),
+        ] {
+            let phi = naive_sentence(&a);
+            for b in [
+                families::directed_path(5),
+                families::cycle(3),
+                families::cycle(5),
+                families::path(2),
+                families::clique(3),
+            ] {
+                assert_eq!(
+                    model_check(&b, &phi),
+                    homomorphism_exists(&a, &b),
+                    "query {a} on database {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_relation_symbol_means_false_atom() {
+        let phi = Formula::exists("x", Formula::atom("Missing", &["x"]));
+        assert!(!model_check(&families::path(2), &phi));
+    }
+
+    #[test]
+    fn space_report_tracks_assignment_depth() {
+        let a = families::directed_path(6);
+        let phi = naive_sentence(&families::directed_path(3));
+        let (value, report) = model_check_metered(&a, &phi);
+        assert!(value);
+        assert_eq!(report.peak_assignment, 3); // = quantifier rank
+        assert!(report.peak_depth >= 3);
+        assert!(report.peak_bits > 0);
+        assert!(report.atom_checks > 0);
+    }
+
+    #[test]
+    fn space_grows_logarithmically_in_database() {
+        // For a fixed sentence, peak_bits grows like log |B| (the per-element
+        // bit width), not like |B|.
+        let phi = naive_sentence(&families::directed_path(3));
+        let small = families::directed_path(8);
+        let large = families::directed_path(1024);
+        let (_, small_report) = model_check_metered(&small, &phi);
+        let (_, large_report) = model_check_metered(&large, &phi);
+        assert!(large_report.peak_bits <= small_report.peak_bits * 4);
+        assert_eq!(small_report.peak_assignment, large_report.peak_assignment);
+    }
+
+    #[test]
+    fn short_circuiting_limits_atom_checks() {
+        // On a structure where the first candidate works, the existential
+        // loop stops early.
+        let phi = Formula::exists("x", Formula::atom("E", &["x", "x"]));
+        let vocab = cq_structures::Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut s = cq_structures::Structure::new(vocab, 5).unwrap();
+        s.add_tuple(e, vec![0, 0]).unwrap();
+        let (v, report) = model_check_metered(&s, &phi);
+        assert!(v);
+        assert_eq!(report.atom_checks, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn open_formula_with_unassigned_variable_panics() {
+        let phi = Formula::atom("E", &["x", "y"]);
+        let _ = model_check(&families::path(2), &phi);
+    }
+}

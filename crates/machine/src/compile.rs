@@ -1,0 +1,331 @@
+//! The machine-to-homomorphism compilers of Theorem 4.3 and Theorem 5.5.
+//!
+//! * [`compile_jump_to_hom_path`] turns the acceptance question of a jump
+//!   machine into a `p-HOM(P*)` instance: the query is the coloured path
+//!   `P*_{f(k)+1}`, the database's elements are (level, starting
+//!   configuration) pairs, edges encode the "reaches" relation between
+//!   starting configurations, and the colours pin level 0 to the initial
+//!   configuration and the last level to accepting configurations.  This is
+//!   the hardness half of "`p-HOM(P*)` is PATH-complete".
+//!
+//! * [`compile_alternating_to_hom_tree`] does the same for alternating jump
+//!   machines and `p-HOM(T*)` (Theorem 5.5): the query is the coloured
+//!   complete binary tree `T*_{f(k)}`, a database element is a (tree node,
+//!   starting configuration) pair, and the edge between a node and its
+//!   `b`-child encodes the "`b`-reaches" relation.
+//!
+//! Both compilers add an absorbing accepting configuration so that machines
+//! that accept in fewer than `f(k)` rounds still produce a homomorphism (the
+//! paper instead normalizes machines to use exactly `f(k)` jumps; the
+//! absorbing state is the same normalization performed inside the
+//! reduction).
+
+use crate::alternating::{
+    reachable_start_states as alt_states, AlternatingJumpMachine, AltOutcome, BranchOutcome,
+};
+use crate::jump::{reachable_start_states as jump_states, JumpMachine, SegmentOutcome};
+use cq_structures::ops::colored_target;
+use cq_structures::{families, star_expansion, Structure};
+
+/// A compiled `p-HOM` instance together with bookkeeping about the
+/// compilation (used by the experiments to report blow-up factors).
+#[derive(Debug, Clone)]
+pub struct CompiledInstance {
+    /// The left-hand (query) structure — `P*_{j+1}` or `T*_r`.
+    pub query: Structure,
+    /// The right-hand (database) structure.
+    pub database: Structure,
+    /// Number of machine starting configurations enumerated (the paper's `m`).
+    pub configurations: usize,
+    /// The number of rounds/jumps `f(k)` of the compiled machine.
+    pub rounds: usize,
+}
+
+impl CompiledInstance {
+    /// The paper's size measure of the produced database.
+    pub fn database_size(&self) -> usize {
+        self.database.paper_size()
+    }
+}
+
+/// Compile a jump machine on a concrete input into an equivalent
+/// `p-HOM(P*)` instance (Theorem 4.3).
+///
+/// The machine accepts the input iff there is a homomorphism from
+/// `CompiledInstance::query` to `CompiledInstance::database`.
+pub fn compile_jump_to_hom_path<I: ?Sized, M: JumpMachine<I>>(
+    machine: &M,
+    input: &I,
+) -> CompiledInstance {
+    let rounds = machine.jump_bound(input);
+    let states = jump_states(machine, input);
+    let m = states.len();
+    let accept_idx = m; // absorbing accepting configuration
+    let total_states = m + 1;
+    let index_of = |s: &M::State| states.binary_search(s).expect("state enumerated");
+
+    // reaches[i] = successors of configuration i (one jump later).
+    let mut reaches: Vec<Vec<usize>> = vec![Vec::new(); total_states];
+    let mut accepting = vec![false; total_states];
+    for (i, s) in states.iter().enumerate() {
+        match machine.run_segment(input, s) {
+            SegmentOutcome::Accept => {
+                accepting[i] = true;
+                reaches[i].push(accept_idx);
+            }
+            SegmentOutcome::Reject => {}
+            SegmentOutcome::Jump(at_jump) => {
+                for p in 0..machine.position_count(input) {
+                    let next = machine.resume(input, &at_jump, p);
+                    let j = index_of(&next);
+                    if !reaches[i].contains(&j) {
+                        reaches[i].push(j);
+                    }
+                }
+            }
+        }
+    }
+    accepting[accept_idx] = true;
+    reaches[accept_idx].push(accept_idx);
+
+    // Query: the coloured path with rounds + 1 vertices (levels 0..rounds).
+    let query = star_expansion(&families::path(rounds + 1));
+
+    // Database base graph: (level, configuration) pairs with edges between
+    // consecutive levels following the reaches relation.
+    let levels = rounds + 1;
+    let encode = |level: usize, cfg: usize| level * total_states + cfg;
+    let vocab = cq_structures::Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut builder =
+        cq_structures::StructureBuilder::new(vocab).with_universe(levels * total_states);
+    for level in 0..rounds {
+        for (i, succs) in reaches.iter().enumerate() {
+            for &j in succs {
+                builder.raw_fact(e, vec![encode(level, i), encode(level + 1, j)]);
+                builder.raw_fact(e, vec![encode(level + 1, j), encode(level, i)]);
+            }
+        }
+    }
+    let base = builder.build().expect("valid database base");
+
+    let initial_idx = index_of(&machine.initial(input));
+    let database = colored_target(rounds + 1, &base, |level| {
+        (0..total_states)
+            .filter(|&cfg| {
+                (level != 0 || cfg == initial_idx) && (level != rounds || accepting[cfg])
+            })
+            .map(|cfg| encode(level, cfg))
+            .collect()
+    });
+
+    CompiledInstance {
+        query,
+        database,
+        configurations: m,
+        rounds,
+    }
+}
+
+/// Compile an alternating jump machine on a concrete input into an
+/// equivalent `p-HOM(T*)` instance (Theorem 5.5).
+///
+/// The machine accepts the input iff there is a homomorphism from
+/// `CompiledInstance::query` (the coloured complete binary tree of height
+/// `f(k)`) to `CompiledInstance::database`.
+pub fn compile_alternating_to_hom_tree<I: ?Sized, M: AlternatingJumpMachine<I>>(
+    machine: &M,
+    input: &I,
+) -> CompiledInstance {
+    let rounds = machine.round_bound(input);
+    let states = alt_states(machine, input);
+    let m = states.len();
+    let accept_idx = m;
+    let total_states = m + 1;
+    let index_of = |s: &M::State| states.binary_search(s).expect("state enumerated");
+
+    // b_reaches[b][i] = configurations reachable from i by taking universal
+    // branch b and then one jump.
+    let mut b_reaches: [Vec<Vec<usize>>; 2] =
+        [vec![Vec::new(); total_states], vec![Vec::new(); total_states]];
+    let mut accepting = vec![false; total_states];
+    for (i, s) in states.iter().enumerate() {
+        match machine.run_segment(input, s) {
+            AltOutcome::Halt(true) => {
+                accepting[i] = true;
+                b_reaches[0][i].push(accept_idx);
+                b_reaches[1][i].push(accept_idx);
+            }
+            AltOutcome::Halt(false) => {}
+            AltOutcome::Branch(branches) => {
+                for (b, branch) in branches.iter().enumerate() {
+                    match branch {
+                        BranchOutcome::Halt(true) => b_reaches[b][i].push(accept_idx),
+                        BranchOutcome::Halt(false) => {}
+                        BranchOutcome::Jump(at_jump) => {
+                            for p in 0..machine.position_count(input) {
+                                let next = machine.resume(input, at_jump, p);
+                                let j = index_of(&next);
+                                if !b_reaches[b][i].contains(&j) {
+                                    b_reaches[b][i].push(j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    accepting[accept_idx] = true;
+    b_reaches[0][accept_idx].push(accept_idx);
+    b_reaches[1][accept_idx].push(accept_idx);
+
+    // Query: the coloured complete binary tree of height `rounds` (heap
+    // layout: children of t are 2t+1 and 2t+2).
+    let query = star_expansion(&families::tree_t(rounds));
+    let nodes = families::binary_universe_size(rounds);
+    let internal = if rounds == 0 {
+        0
+    } else {
+        families::binary_universe_size(rounds - 1)
+    };
+
+    let encode = |node: usize, cfg: usize| node * total_states + cfg;
+    let vocab = cq_structures::Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut builder =
+        cq_structures::StructureBuilder::new(vocab).with_universe(nodes * total_states);
+    for t in 0..internal {
+        for (b, child) in [2 * t + 1, 2 * t + 2].into_iter().enumerate() {
+            for (i, succs) in b_reaches[b].iter().enumerate() {
+                for &j in succs {
+                    builder.raw_fact(e, vec![encode(t, i), encode(child, j)]);
+                    builder.raw_fact(e, vec![encode(child, j), encode(t, i)]);
+                }
+            }
+        }
+    }
+    let base = builder.build().expect("valid database base");
+
+    let initial_idx = index_of(&machine.initial(input));
+    let database = colored_target(nodes, &base, |node| {
+        let is_leaf = node >= internal;
+        (0..total_states)
+            .filter(|&cfg| {
+                (node != 0 || cfg == initial_idx) && (!is_leaf || accepting[cfg])
+            })
+            .map(|cfg| encode(node, cfg))
+            .collect()
+    });
+
+    CompiledInstance {
+        query,
+        database,
+        configurations: m,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alternating::accepts_alternating_machine;
+    use crate::jump::accepts_jump_machine;
+    use crate::problems::{StPathInput, StPathMachine, TreeQueryInput, TreeQueryMachine};
+    use cq_graphs::families::{cycle_graph, path_graph, star_graph};
+    use cq_structures::homomorphism_exists;
+
+    #[test]
+    fn st_path_compilation_agrees_with_machine_and_graph() {
+        let machine = StPathMachine;
+        let cases = vec![
+            (path_graph(6), 0, 5, 5, true),
+            (path_graph(6), 0, 5, 4, false),
+            (cycle_graph(6), 0, 3, 3, true),
+            (cycle_graph(6), 0, 3, 2, false),
+            (star_graph(4), 1, 2, 2, true),
+            (star_graph(4), 1, 2, 1, false),
+        ];
+        for (graph, s, t, k, expected) in cases {
+            let input = StPathInput { graph, s, t, k };
+            let run = accepts_jump_machine(&machine, &input);
+            assert_eq!(run.accepted, expected, "machine on k={k}");
+            let compiled = compile_jump_to_hom_path(&machine, &input);
+            assert_eq!(
+                homomorphism_exists(&compiled.query, &compiled.database),
+                expected,
+                "compiled instance k={k}"
+            );
+            assert_eq!(compiled.rounds, k);
+            assert!(compiled.configurations > 0);
+            assert!(compiled.database_size() > 0);
+        }
+    }
+
+    #[test]
+    fn compiled_query_is_a_colored_path() {
+        let input = StPathInput {
+            graph: path_graph(4),
+            s: 0,
+            t: 3,
+            k: 3,
+        };
+        let compiled = compile_jump_to_hom_path(&StPathMachine, &input);
+        // The query is P*_{k+1}: k+2 relation symbols (E plus k+1 colours).
+        assert_eq!(compiled.query.universe_size(), 4);
+        assert_eq!(compiled.query.vocabulary().len(), 5);
+    }
+
+    #[test]
+    fn alternating_compilation_agrees_with_machine() {
+        // The tree-query machine evaluates HOM(T*_r, B); compiling it back to
+        // a HOM(T*) instance must preserve the answer.
+        for (r, target_yes) in [(1usize, true), (2, true)] {
+            let query = cq_structures::star_expansion(&cq_structures::families::tree_t(r));
+            // A database where everything is allowed: the complete binary
+            // tree maps into a big clique.
+            let clique = cq_structures::families::clique(3);
+            let db = cq_structures::ops::colored_target(
+                cq_structures::families::binary_universe_size(r),
+                &clique,
+                |_| (0..3).collect(),
+            );
+            let input = TreeQueryInput {
+                height: r,
+                database: db.clone(),
+            };
+            let run = accepts_alternating_machine(&TreeQueryMachine, &input);
+            assert_eq!(run.accepted, homomorphism_exists(&query, &db));
+            assert_eq!(run.accepted, target_yes);
+
+            let compiled = compile_alternating_to_hom_tree(&TreeQueryMachine, &input);
+            assert_eq!(
+                homomorphism_exists(&compiled.query, &compiled.database),
+                run.accepted,
+                "height {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_compilation_detects_rejection() {
+        // A database whose colours forbid the root: no homomorphism.
+        let r = 1usize;
+        let clique = cq_structures::families::clique(2);
+        let db = cq_structures::ops::colored_target(
+            cq_structures::families::binary_universe_size(r),
+            &clique,
+            |node| if node == 0 { vec![] } else { (0..2).collect() },
+        );
+        let query = cq_structures::star_expansion(&cq_structures::families::tree_t(r));
+        assert!(!homomorphism_exists(&query, &db));
+        let input = TreeQueryInput {
+            height: r,
+            database: db,
+        };
+        let run = accepts_alternating_machine(&TreeQueryMachine, &input);
+        assert!(!run.accepted);
+        let compiled = compile_alternating_to_hom_tree(&TreeQueryMachine, &input);
+        assert!(!homomorphism_exists(&compiled.query, &compiled.database));
+    }
+}

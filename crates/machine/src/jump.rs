@@ -1,0 +1,240 @@
+//! Jump machines (Definition 4.4) modelled at the configuration-graph level.
+//!
+//! A jump machine runs deterministically except that it may, at most `f(k)`
+//! times, *jump*: the input head is placed nondeterministically on some input
+//! position and the run continues from the machine's start state.  Lemma 4.5
+//! shows that accepting languages of pl-space bounded jump machines with
+//! `f(k)` jumps is exactly the class PATH.
+//!
+//! We expose the machine through its deterministic *segments*: from a
+//! starting configuration the machine either halts (accepting or rejecting)
+//! or reaches its jump state; a jump to position `p` yields the next starting
+//! configuration.  This is exactly the granularity at which the reduction of
+//! Theorem 4.3 manipulates machines, and it lets concrete machines be written
+//! as small Rust state machines instead of Turing-machine tables while
+//! preserving the resource accounting (the number of jumps and the number of
+//! distinct starting configurations, which is `2^{O(g(k))}·n^{O(1)}` for a
+//! pl-space bounded machine).
+
+use std::collections::BTreeSet;
+use std::hash::Hash;
+
+/// Outcome of running one deterministic segment of a jump machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentOutcome<S> {
+    /// The machine halted and accepted.
+    Accept,
+    /// The machine halted and rejected.
+    Reject,
+    /// The machine reached its jump state; `S` is the configuration at the
+    /// jump (the successor configuration is obtained by
+    /// [`JumpMachine::resume`] with the chosen input position).
+    Jump(S),
+}
+
+/// A jump machine over inputs of type `I`.
+///
+/// Implementations must guarantee that the number of distinct configurations
+/// returned by [`JumpMachine::initial`] and [`JumpMachine::resume`] is finite
+/// (for pl-space bounded machines it is `2^{O(f(k))}·|x|^{O(1)}`), since the
+/// compiler of Theorem 4.3 enumerates them.
+pub trait JumpMachine<I: ?Sized> {
+    /// A starting configuration (work-tape contents + internal state + input
+    /// head position, abstracted).
+    type State: Clone + Ord + Hash;
+
+    /// The starting configuration on the given input.
+    fn initial(&self, input: &I) -> Self::State;
+
+    /// The number of input positions a jump may target (the paper's `n`).
+    fn position_count(&self, input: &I) -> usize;
+
+    /// An upper bound on the number of jumps any run performs (`f(κ(x))`).
+    fn jump_bound(&self, input: &I) -> usize;
+
+    /// Run deterministically from a starting configuration until the machine
+    /// halts or requests a jump.
+    fn run_segment(&self, input: &I, state: &Self::State) -> SegmentOutcome<Self::State>;
+
+    /// The starting configuration obtained from the configuration at a jump
+    /// by placing the input head on `position`.
+    fn resume(&self, input: &I, at_jump: &Self::State, position: usize) -> Self::State;
+}
+
+/// Metering data for a jump-machine acceptance run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JumpRun {
+    /// Whether the machine accepts the input.
+    pub accepted: bool,
+    /// Number of distinct starting configurations explored.
+    pub configurations: usize,
+    /// The jump bound `f(k)` announced by the machine.
+    pub jump_bound: usize,
+    /// The number of nondeterministic bits a bit-guessing simulation would
+    /// use: `jump_bound · ⌈log2(position_count)⌉` (cf. Lemma 4.5 (2)⇒(1)).
+    pub nondeterministic_bits: usize,
+}
+
+/// Decide acceptance of a jump machine by exhaustive exploration of the
+/// configuration graph (depth-limited by the jump bound), with metering.
+///
+/// This is the reference semantics against which the Theorem 4.3 compilation
+/// is tested: the machine accepts iff some sequence of at most `f(k)` jumps
+/// leads a segment to `Accept`.
+pub fn accepts_jump_machine<I: ?Sized, M: JumpMachine<I>>(machine: &M, input: &I) -> JumpRun {
+    let bound = machine.jump_bound(input);
+    let positions = machine.position_count(input);
+    let mut visited: BTreeSet<(usize, M::State)> = BTreeSet::new();
+
+    fn explore<I: ?Sized, M: JumpMachine<I>>(
+        machine: &M,
+        input: &I,
+        state: &M::State,
+        jumps_left: usize,
+        visited: &mut BTreeSet<(usize, M::State)>,
+    ) -> bool {
+        if !visited.insert((jumps_left, state.clone())) {
+            return false;
+        }
+        match machine.run_segment(input, state) {
+            SegmentOutcome::Accept => true,
+            SegmentOutcome::Reject => false,
+            SegmentOutcome::Jump(at_jump) => {
+                if jumps_left == 0 {
+                    return false;
+                }
+                for p in 0..machine.position_count(input) {
+                    let next = machine.resume(input, &at_jump, p);
+                    if explore(machine, input, &next, jumps_left - 1, visited) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    let initial = machine.initial(input);
+    let accepted = explore(machine, input, &initial, bound, &mut visited);
+    let bits_per_jump = (usize::BITS - positions.max(1).leading_zeros()) as usize;
+    JumpRun {
+        accepted,
+        configurations: visited.len(),
+        jump_bound: bound,
+        nondeterministic_bits: bound * bits_per_jump,
+    }
+}
+
+/// Enumerate all starting configurations reachable from the initial one
+/// (closure under "segment runs to a jump, resume at any position").  This is
+/// the configuration enumeration `c_1, …, c_m` of the Theorem 4.3 proof.
+pub fn reachable_start_states<I: ?Sized, M: JumpMachine<I>>(
+    machine: &M,
+    input: &I,
+) -> Vec<M::State> {
+    let mut seen: BTreeSet<M::State> = BTreeSet::new();
+    let mut queue = vec![machine.initial(input)];
+    seen.insert(machine.initial(input));
+    while let Some(state) = queue.pop() {
+        if let SegmentOutcome::Jump(at_jump) = machine.run_segment(input, &state) {
+            for p in 0..machine.position_count(input) {
+                let next = machine.resume(input, &at_jump, p);
+                if seen.insert(next.clone()) {
+                    queue.push(next);
+                }
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy jump machine over a bit-string input: accept iff the input
+    /// contains at least `k` ones, found by jumping to `k` positions in
+    /// strictly increasing order and verifying a one at each.
+    struct CountOnes {
+        k: usize,
+    }
+
+    /// State: (ones verified so far, minimum next allowed position, alive).
+    type COState = (usize, usize, bool);
+
+    impl JumpMachine<Vec<bool>> for CountOnes {
+        type State = COState;
+
+        fn initial(&self, _input: &Vec<bool>) -> COState {
+            (0, 0, true)
+        }
+
+        fn position_count(&self, input: &Vec<bool>) -> usize {
+            input.len()
+        }
+
+        fn jump_bound(&self, _input: &Vec<bool>) -> usize {
+            self.k
+        }
+
+        fn run_segment(&self, _input: &Vec<bool>, state: &COState) -> SegmentOutcome<COState> {
+            let (found, _, alive) = *state;
+            if !alive {
+                SegmentOutcome::Reject
+            } else if found >= self.k {
+                SegmentOutcome::Accept
+            } else {
+                SegmentOutcome::Jump(*state)
+            }
+        }
+
+        fn resume(&self, input: &Vec<bool>, at_jump: &COState, position: usize) -> COState {
+            let (found, min_pos, alive) = *at_jump;
+            if alive && position >= min_pos && input[position] {
+                (found + 1, position + 1, true)
+            } else {
+                (found, min_pos, false)
+            }
+        }
+    }
+
+    #[test]
+    fn count_ones_accepts_iff_enough_ones() {
+        let input = vec![false, true, false, true, true, false];
+        for k in 0..=4 {
+            let run = accepts_jump_machine(&CountOnes { k }, &input);
+            assert_eq!(run.accepted, k <= 3, "k = {k}");
+            assert_eq!(run.jump_bound, k);
+        }
+    }
+
+    #[test]
+    fn metering_reports_bits() {
+        let input = vec![true; 8];
+        let run = accepts_jump_machine(&CountOnes { k: 3 }, &input);
+        assert!(run.accepted);
+        // 3 jumps, 8 positions -> 4 bits per jump.
+        assert_eq!(run.nondeterministic_bits, 3 * 4);
+        assert!(run.configurations > 0);
+    }
+
+    #[test]
+    fn reachable_states_are_parameter_bounded_not_input_bounded() {
+        // The number of distinct starting configurations of CountOnes is
+        // O(k · n): bounded polynomially in the input and by the parameter.
+        let input = vec![true; 10];
+        let states = reachable_start_states(&CountOnes { k: 2 }, &input);
+        assert!(!states.is_empty());
+        assert!(states.len() <= 2 * (input.len() + 2) * 2 + 2);
+        assert!(states.contains(&(0, 0, true)));
+    }
+
+    #[test]
+    fn empty_input_rejects_positive_k() {
+        let input: Vec<bool> = vec![];
+        let run = accepts_jump_machine(&CountOnes { k: 1 }, &input);
+        assert!(!run.accepted);
+        let run0 = accepts_jump_machine(&CountOnes { k: 0 }, &input);
+        assert!(run0.accepted);
+    }
+}

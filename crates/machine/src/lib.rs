@@ -1,0 +1,45 @@
+//! # cq-machine
+//!
+//! The resource-metered machine substrate behind the classes **PATH** and
+//! **TREE** (Sections 4 and 5 of Chen & Müller, PODS 2013).
+//!
+//! The paper defines PATH through nondeterministic machines that are pl-space
+//! bounded and use `f(k)·log n` nondeterministic bits, and characterizes it
+//! through *jump machines* (Definition 4.4): machines whose only
+//! nondeterminism is to "jump" the input head to a nondeterministically
+//! chosen input position, at most `f(k)` times.  TREE is characterized
+//! through *alternating jump machines* (Definition 5.3, Lemma 5.4) which in
+//! addition may make `f(k)` universal binary guesses.
+//!
+//! We model these machines at the level the paper's reductions operate on —
+//! the configuration graph:
+//!
+//! * a [`jump::JumpMachine`] exposes the deterministic run *segments* between
+//!   jumps (start state → accept / reject / jump request) and the resumption
+//!   of a segment after a jump to a chosen input position;
+//! * an [`alternating::AlternatingJumpMachine`] exposes segments of the
+//!   normalized form used in the proof of Theorem 5.5: run deterministically
+//!   to a halt or a universal binary guess whose two branches each run to a
+//!   halt or a jump request.
+//!
+//! [`jump::accepts_jump_machine`] and
+//! [`alternating::accepts_alternating_machine`] implement the acceptance
+//! semantics directly (with metering of jumps, guessed bits and visited
+//! configurations), and [`compile`] implements the reductions of
+//! Theorem 4.3 and Theorem 5.5 that turn an accepting computation question
+//! into a `p-HOM(P*)` / `p-HOM(T*)` instance.  [`problems`] provides concrete
+//! machines for `p-st-PATH` and for tree-query evaluation, which the
+//! experiments compile and solve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alternating;
+pub mod compile;
+pub mod jump;
+pub mod problems;
+
+pub use alternating::{accepts_alternating_machine, AltOutcome, AlternatingJumpMachine, BranchOutcome};
+pub use compile::{compile_alternating_to_hom_tree, compile_jump_to_hom_path, CompiledInstance};
+pub use jump::{accepts_jump_machine, JumpMachine, JumpRun, SegmentOutcome};
+pub use problems::{StPathMachine, TreeQueryMachine};

@@ -1,0 +1,137 @@
+//! Lemma 6.2 (last step): the pl-Turing reduction
+//! `p-#HOM(A*) ≤ᵀ_pl p-#HOM(A)` by inclusion–exclusion.
+//!
+//! Given a counting instance `(A*, B)`, the reduction queries the oracle for
+//! the number of homomorphisms from `A` into the structures `B_S`
+//! (`S ⊆ A` non-empty), where `B_S` is the substructure of `A × B₀` induced
+//! by `{(a, b) | a ∈ S, b ∈ C_a^B}`.  Writing `N_{⊆S}` for the oracle
+//! answers, inclusion–exclusion gives
+//! `N_{=A} = Σ_S (−1)^{|A|−|S|} N_{⊆S}` — the number of homomorphisms
+//! `h : A → B_A` whose first projection is surjective — and dividing by the
+//! number of bijective homomorphisms of `A` (automorphism-like maps) yields
+//! the number of homomorphisms from `A*` to `B`.
+
+use cq_structures::ops::{direct_product, product_pair};
+use cq_structures::{homomorphisms_iter, Structure};
+use std::collections::BTreeSet;
+
+/// Count homomorphisms from `A*` to `B` using only an oracle for counting
+/// homomorphisms from `A` (Lemma 6.2).  The `oracle` is called on pairs
+/// `(A, B_S)`; all queries have left-hand side exactly `a`, so the oracle's
+/// parameter is bounded by the input parameter, as required of a pl-Turing
+/// reduction.
+///
+/// Exponential in `|A|` (the number of subsets `S`), which is permitted —
+/// the paper's reduction likewise spends `2^{|A|}` oracle calls.
+pub fn count_star_via_oracle(
+    a: &Structure,
+    b: &Structure,
+    oracle: &mut dyn FnMut(&Structure, &Structure) -> u64,
+) -> u64 {
+    let n = a.universe_size();
+    let b0 = b
+        .restrict_to(a.vocabulary())
+        .expect("database must interpret the query vocabulary");
+    let nb = b0.universe_size();
+    let product = direct_product(a, &b0).expect("same vocabulary");
+
+    // Allowed pairs (a, b) with b ∈ C_a^B.
+    let allowed_for = |elem: usize| -> Vec<usize> {
+        match b.vocabulary().id_of(&format!("C_{elem}")) {
+            Some(sym) => b.relation(sym).tuples().iter().map(|t| t[0]).collect(),
+            None => Vec::new(),
+        }
+    };
+
+    // Σ_S (-1)^{|A| - |S|} · #hom(A, B_S), over non-empty S ⊆ A.
+    let mut signed_total: i128 = 0;
+    for mask in 1u64..(1u64 << n) {
+        let s: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        let mut keep: BTreeSet<usize> = BTreeSet::new();
+        for &elem in &s {
+            for img in allowed_for(elem) {
+                keep.insert(product_pair(elem, img, nb));
+            }
+        }
+        let count = if keep.is_empty() {
+            0
+        } else {
+            let (b_s, _) = product.induced_substructure(&keep).expect("non-empty");
+            oracle(a, &b_s)
+        };
+        let sign = if (n - s.len()) % 2 == 0 { 1 } else { -1 };
+        signed_total += sign as i128 * count as i128;
+    }
+    if signed_total <= 0 {
+        return 0;
+    }
+
+    // Number of bijective homomorphisms from A to A (the divisor `S`).
+    let bijective = homomorphisms_iter(a, a)
+        .into_iter()
+        .filter(|h| {
+            let mut seen = BTreeSet::new();
+            h.iter().all(|&x| seen.insert(x))
+        })
+        .count() as i128;
+    debug_assert!(bijective >= 1);
+    debug_assert_eq!(signed_total % bijective, 0, "inclusion–exclusion must divide evenly");
+    (signed_total / bijective) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::ops::colored_target;
+    use cq_structures::{count_homomorphisms_bruteforce, families, star_expansion};
+
+    fn check(a: &Structure, base: &Structure, allowed: impl Fn(usize) -> Vec<usize>) {
+        let astar = star_expansion(a);
+        let b = colored_target(a.universe_size(), base, allowed);
+        let expected = count_homomorphisms_bruteforce(&astar, &b);
+        let mut oracle_calls = 0u64;
+        let mut oracle =
+            |q: &Structure, db: &Structure| -> u64 {
+                oracle_calls += 1;
+                count_homomorphisms_bruteforce(q, db)
+            };
+        let got = count_star_via_oracle(a, &b, &mut oracle);
+        assert_eq!(got, expected, "query {a}");
+        assert!(oracle_calls <= (1 << a.universe_size()));
+    }
+
+    #[test]
+    fn counts_colored_path_instances() {
+        let p3 = families::path(3);
+        check(&p3, &families::path(4), |_| (0..4).collect());
+        check(&p3, &families::cycle(5), |e| vec![e, e + 1]);
+        check(&p3, &families::clique(3), |_| (0..3).collect());
+    }
+
+    #[test]
+    fn counts_colored_cycle_instances() {
+        let c4 = families::cycle(4);
+        check(&c4, &families::cycle(4), |_| (0..4).collect());
+        check(&c4, &families::clique(3), |_| (0..3).collect());
+        let c3 = families::cycle(3);
+        check(&c3, &families::clique(4), |_| (0..4).collect());
+        // Unsatisfiable colours give zero.
+        check(&c3, &families::clique(4), |_| vec![]);
+    }
+
+    #[test]
+    fn counts_with_symmetric_queries() {
+        // The divisor (number of bijective self-homomorphisms) is non-trivial
+        // here: the 4-cycle has 8, the star K_{1,2} has 2.
+        let star2 = families::star(2);
+        check(&star2, &families::clique(3), |_| (0..3).collect());
+        check(&star2, &families::path(4), |e| vec![e, 3 - e]);
+    }
+
+    #[test]
+    fn directed_queries() {
+        let p3 = families::directed_path(3);
+        check(&p3, &families::directed_cycle(5), |_| (0..5).collect());
+        check(&p3, &families::directed_path(4), |e| vec![e]);
+    }
+}

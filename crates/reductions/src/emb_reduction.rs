@@ -1,0 +1,176 @@
+//! Lemma 3.15: `p-EMB(A) ≤pl p-HOM(A*)` for classes of *connected*
+//! structures, via the hash family of Lemma 3.14.
+//!
+//! The reduction maps `(A, B)` to `(A*, B^)` where `B^` is the disjoint
+//! union, over functions `f` in a colouring family `F ⊆ B → A`, of the
+//! expansion `B_f` of `B` interpreting `C_a` by `f⁻¹(a)`.  Because the
+//! colour classes inside one copy are disjoint, every homomorphism
+//! `A* → B_f` is injective, i.e. an embedding of `A` into `B`; conversely,
+//! if an embedding exists, Lemma 3.14 supplies `(p, q)` such that `h_{p,q}`
+//! is injective on its image and hence some `f = g ∘ h_{p,q}` in the
+//! canonical family certifies it.  Connectivity of `A` guarantees a
+//! homomorphism into the disjoint union lands inside a single copy.
+//!
+//! The canonical family `F = {g ∘ h_{p,q}}` has size `|A|^{|A|²}·O(|A|²log|B|)`
+//! — fine for a nondeterministic machine that guesses `f`, but enormous for
+//! a deterministic reducer.  We therefore expose the construction with a
+//! caller-supplied family ([`embedding_to_hom_star_with_family`]) and
+//! provide the canonical family only for very small queries
+//! ([`canonical_family`], used by the tests); the practical embedding
+//! *solver* uses colour coding directly (`cq_solver::colour_coding`).
+
+use crate::ReducedInstance;
+use cq_graphs::{gaifman_graph, traversal};
+use cq_solver::colour_coding::is_prime;
+use cq_structures::{disjoint_union, star_expansion, Element, Structure};
+
+/// A colouring of the database elements by query elements.
+pub type Colouring = Vec<Element>;
+
+/// Build the `(A*, B^)` instance from a caller-supplied family of
+/// colourings `F` (each of length `|B|`, with values `< |A|`).
+pub fn embedding_to_hom_star_with_family(
+    a: &Structure,
+    b: &Structure,
+    family: &[Colouring],
+) -> ReducedInstance {
+    assert!(
+        traversal::is_connected(&gaifman_graph(a)),
+        "Lemma 3.15 requires a connected query"
+    );
+    let query = star_expansion(a);
+
+    // Each copy B_f: expand B with the colours C_a interpreted by f^{-1}(a).
+    let mut copies = Vec::with_capacity(family.len().max(1));
+    for f in family {
+        assert_eq!(f.len(), b.universe_size());
+        let colored = cq_structures::ops::colored_target(a.universe_size(), b, |elem| {
+            f.iter()
+                .enumerate()
+                .filter(|(_, &img)| img == elem)
+                .map(|(bi, _)| bi)
+                .collect()
+        });
+        copies.push(colored);
+    }
+    let database = if copies.is_empty() {
+        // Empty family: trivially unsatisfiable coloured database.
+        cq_structures::ops::colored_target(a.universe_size(), b, |_| Vec::new())
+    } else {
+        let refs: Vec<&Structure> = copies.iter().collect();
+        disjoint_union(&refs).expect("same vocabulary").0
+    };
+    ReducedInstance::new(query, database)
+}
+
+/// The canonical family of Lemma 3.15: all `g ∘ h_{p,q}` with `q < p <
+/// |A|²·log₂|B|`, `p` prime, and `g : {0,…,|A|²−1} → A`.
+///
+/// Exponential in `|A|²` — only usable for very small queries (the tests use
+/// `|A| ≤ 3`); the point of providing it is to execute the lemma literally.
+pub fn canonical_family(a_size: usize, b_size: usize) -> Vec<Colouring> {
+    let k = a_size;
+    let k2 = k * k;
+    let log_n = (usize::BITS - b_size.max(2).leading_zeros()) as usize;
+    let bound = (k2 * log_n).max(3);
+    let mut family = Vec::new();
+    // Enumerate g : {0..k²-1} -> A as base-k numbers.
+    let g_count = k.checked_pow(k2 as u32).expect("canonical family too large");
+    for p in 2..bound {
+        if !is_prime(p) {
+            continue;
+        }
+        for q in 1..p {
+            let hash: Vec<usize> = (0..b_size).map(|m| (q * (m + 1) % p) % k2).collect();
+            for g_code in 0..g_count {
+                let mut g = vec![0usize; k2];
+                let mut code = g_code;
+                for slot in g.iter_mut() {
+                    *slot = code % k;
+                    code /= k;
+                }
+                family.push(hash.iter().map(|&h| g[h]).collect());
+            }
+        }
+    }
+    family
+}
+
+/// The full Lemma 3.15 reduction with the canonical family (tiny queries
+/// only).
+pub fn embedding_to_hom_star(a: &Structure, b: &Structure) -> ReducedInstance {
+    let family = canonical_family(a.universe_size(), b.universe_size());
+    embedding_to_hom_star_with_family(a, b, &family)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::{embedding_exists, families};
+
+    #[test]
+    fn canonical_family_reduction_on_tiny_queries() {
+        // |A| = 2: the canonical family is small enough to enumerate.
+        let a = families::path(2);
+        for (b, expected) in [
+            (families::path(3), true),
+            (families::cycle(4), true),
+            (cq_structures::Structure::new(cq_structures::Vocabulary::graph(), 2).unwrap(), false),
+        ] {
+            assert_eq!(embedding_exists(&a, &b), expected);
+            let reduced = embedding_to_hom_star(&a, &b);
+            assert_eq!(reduced.holds(), expected, "target {b}");
+        }
+    }
+
+    #[test]
+    fn supplied_family_soundness() {
+        // With an arbitrary family, a homomorphism of the produced instance
+        // always yields a genuine embedding (soundness), even if the family
+        // is too small to be complete.
+        let a = families::path(3);
+        let b = families::cycle(6);
+        // A family with a single colouring that assigns colours round-robin.
+        let family = vec![(0..6).map(|i| i % 3).collect::<Colouring>()];
+        let reduced = embedding_to_hom_star_with_family(&a, &b, &family);
+        if reduced.holds() {
+            assert!(embedding_exists(&a, &b));
+        }
+        // And with the right colouring the instance is satisfiable.
+        let aligned = vec![vec![0, 1, 2, 0, 1, 2]];
+        let reduced2 = embedding_to_hom_star_with_family(&a, &b, &aligned);
+        assert!(reduced2.holds());
+    }
+
+    #[test]
+    fn no_embedding_means_no_family_works() {
+        // P_4 does not embed into the star K_{1,3}; no colouring family can
+        // make the produced instance satisfiable (completeness direction is
+        // about existence of a good f; soundness says no f works here).
+        let a = families::path(4);
+        let b = families::star(3);
+        assert!(!embedding_exists(&a, &b));
+        let family: Vec<Colouring> = (0..8)
+            .map(|s| (0..4).map(|i| (i + s) % 4).collect())
+            .collect();
+        let reduced = embedding_to_hom_star_with_family(&a, &b, &family);
+        assert!(!reduced.holds());
+    }
+
+    #[test]
+    fn empty_family_is_unsatisfiable() {
+        let a = families::path(2);
+        let b = families::path(4);
+        let reduced = embedding_to_hom_star_with_family(&a, &b, &[]);
+        assert!(!reduced.holds());
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_query_rejected() {
+        let (a, _) =
+            cq_structures::disjoint_union(&[&families::path(2), &families::path(2)]).unwrap();
+        let b = families::path(5);
+        let _ = embedding_to_hom_star_with_family(&a, &b, &[]);
+    }
+}

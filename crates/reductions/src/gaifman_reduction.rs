@@ -1,0 +1,168 @@
+//! Lemma 3.8: `p-HOM(G*) ≤pl p-HOM(A*)` when `G` is the Gaifman graph of
+//! `A`.
+//!
+//! Given an instance `(G*, B)` (where `B` interprets `E` and the colours
+//! `C_a`) and the structure `A` whose Gaifman graph is `G`, the reduction
+//! outputs `(A*, B')` with `B' = A × B`, colours
+//! `C_a^{B'} = {a} × C_a^B`, and, for every relation symbol `R` of `A`,
+//! `R^{B'}` containing the tuples `((a₁,b₁),…)` such that `ā ∈ R^A` and for
+//! all `i ≠ j` with `a_i ≠ a_j` we have `(b_i, b_j) ∈ E^B`.
+
+use crate::ReducedInstance;
+use cq_structures::{star_expansion, Structure, Tuple};
+
+/// Apply the Lemma 3.8 reduction: `a` is the structure whose Gaifman graph
+/// the query `G*` was built from, and `b` is the database of the `(G*, B)`
+/// instance (interpreting `E` and the colours `C_a`).
+pub fn gaifman_to_structure_instance(a: &Structure, b: &Structure) -> ReducedInstance {
+    let query = star_expansion(a);
+    let nb = b.universe_size();
+    let eb = b.vocabulary().id_of("E");
+
+    // Vocabulary of B': the symbols of A plus the colours C_a.
+    let mut database =
+        Structure::new(query.vocabulary().clone(), a.universe_size() * nb).expect("non-empty");
+
+    // Relation tuples.
+    for (sym, t) in a.all_tuples() {
+        let name = a.vocabulary().name(sym);
+        let target_sym = database.vocabulary().id_of(name).expect("copied symbol");
+        // Enumerate all b-tuples of the same arity and keep the compatible ones.
+        let arity = t.len();
+        let mut assignment: Vec<usize> = vec![0; arity];
+        loop {
+            // Check pairwise E-constraints for distinct query elements.
+            let ok = (0..arity).all(|i| {
+                (0..arity).all(|j| {
+                    if t[i] == t[j] {
+                        // Equal query elements must receive equal images for
+                        // the tuple to be meaningful under the pairing below;
+                        // the paper's definition leaves them unconstrained,
+                        // but tuples with unequal images at equal positions
+                        // can never be the image of a homomorphism, so
+                        // including or excluding them does not change the
+                        // answer.  We exclude them to keep B' smaller.
+                        assignment[i] == assignment[j]
+                    } else {
+                        eb.map(|sym| b.contains(sym, &[assignment[i], assignment[j]]))
+                            .unwrap_or(false)
+                    }
+                })
+            });
+            if ok {
+                let tuple: Tuple = (0..arity).map(|i| t[i] * nb + assignment[i]).collect();
+                database.add_tuple(target_sym, tuple).expect("in range");
+            }
+            // Advance the odometer.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < nb {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+        }
+    }
+
+    // Colours: C_a^{B'} = {a} × C_a^B.
+    for e in a.universe() {
+        let name = format!("C_{e}");
+        let target_sym = database.vocabulary().id_of(&name).expect("colour exists");
+        if let Some(source_sym) = b.vocabulary().id_of(&name) {
+            for t in b.relation(source_sym).tuples() {
+                database
+                    .add_tuple(target_sym, vec![e * nb + t[0]])
+                    .expect("in range");
+            }
+        }
+    }
+
+    ReducedInstance::new(query, database)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::ops::colored_target;
+    use cq_structures::{families, homomorphism_exists};
+
+    // Build the (G*, B) instance corresponding to "does the Gaifman graph of
+    // A map into H (with all colours allowed)?"
+    fn gstar_instance(a: &Structure, h: &Structure) -> (Structure, Structure) {
+        let g = cq_graphs::gaifman_graph(a).to_structure();
+        let query = star_expansion(&g);
+        let database = colored_target(a.universe_size(), h, |_| (0..h.universe_size()).collect());
+        (query, database)
+    }
+
+    #[test]
+    fn binary_structures_roundtrip() {
+        // For a graph-shaped A the reduction essentially reproduces the same
+        // instance; answers must be preserved.
+        for a in [families::cycle(4), families::path(4), families::cycle(5)] {
+            for h in [families::cycle(6), families::clique(3), families::path(3)] {
+                let (gstar, b) = gstar_instance(&a, &h);
+                let expected = homomorphism_exists(&gstar, &b);
+                let reduced = gaifman_to_structure_instance(&a, &b);
+                assert_eq!(reduced.holds(), expected, "{a} -> {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_structure_reduction() {
+        // A with one ternary tuple over three distinct elements: its Gaifman
+        // graph is a triangle, so (G*, B) asks for a triangle in B respecting
+        // colours; the produced (A*, B') must agree.
+        let vocab = cq_structures::Vocabulary::from_pairs([("R", 3)]).unwrap();
+        let r = vocab.id_of("R").unwrap();
+        let mut builder = cq_structures::StructureBuilder::new(vocab);
+        builder.raw_fact(r, vec![0, 1, 2]);
+        let a = builder.build().unwrap();
+
+        // Database for the Gaifman instance: a graph with/without triangles.
+        for (h, expected) in [(families::clique(3), true), (families::grid(3, 3), false)] {
+            let (gstar, b) = gstar_instance(&a, &h);
+            assert_eq!(homomorphism_exists(&gstar, &b), expected);
+            let reduced = gaifman_to_structure_instance(&a, &b);
+            assert_eq!(reduced.holds(), expected, "target {h}");
+        }
+    }
+
+    #[test]
+    fn colours_are_carried_over() {
+        let a = families::path(3);
+        let h = families::path(4);
+        // Pin query vertex i to database vertex i: satisfiable.
+        let good = colored_target(3, &h, |e| vec![e]);
+        let reduced_good = gaifman_to_structure_instance(&a, &good);
+        assert!(reduced_good.holds());
+        // Pin all query vertices to the same database vertex: needs a loop.
+        let bad = colored_target(3, &h, |_| vec![0]);
+        let reduced_bad = gaifman_to_structure_instance(&a, &bad);
+        assert!(!reduced_bad.holds());
+    }
+
+    #[test]
+    fn database_size_is_product() {
+        let a = families::cycle(4);
+        let h = families::cycle(7);
+        let (_, b) = gstar_instance(&a, &h);
+        let reduced = gaifman_to_structure_instance(&a, &b);
+        assert_eq!(reduced.database.universe_size(), 4 * 7);
+        assert_eq!(reduced.query.universe_size(), 4);
+    }
+}
+
+// Small helper re-exported for the tests above (kept private to the paper's
+// reduction: the Gaifman graph is computed through `cq_graphs`).
+#[allow(dead_code)]
+fn _unused() {}

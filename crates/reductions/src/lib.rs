@@ -1,0 +1,73 @@
+//! # cq-reductions
+//!
+//! Every parameterized logspace (pl-) reduction of the paper as an
+//! executable instance transformation, with blow-up accounting.
+//!
+//! | paper result | function |
+//! |---|---|
+//! | Lemma 3.4 (tree-decomposition reduction `p-HOM(A) ≤ p-HOM(R*)`, with the hom-set bijection of Remark 3.5) | [`treedec_reduction::to_tree_star_instance`] |
+//! | Lemma 3.7 (minor reduction `p-HOM(M*) ≤ p-HOM(G*)`) | [`minor_reduction::minor_to_host_instance`] |
+//! | Lemma 3.8 (Gaifman reduction `p-HOM(G*) ≤ p-HOM(A*)`) | [`gaifman_reduction::gaifman_to_structure_instance`] |
+//! | Lemma 3.9 / Corollary 3.10 (`p-HOM(core(A)*) ≤ p-HOM(core(A))`, producing embeddings) | [`star_removal::remove_star_colors`] |
+//! | Lemma 3.15 (`p-EMB(A) ≤ p-HOM(A*)` for connected `A`, via the hash family of Lemma 3.14) | [`emb_reduction::embedding_to_hom_star`] |
+//! | Theorem 4.7 chain (`p-HOM(P*) ≤ p-HOM(->P) ≤ p-st-PATH ≤ p-HOM(->C)`) | [`chain`] |
+//! | Lemma 6.2 (counting Turing reduction `p-#HOM(A*) ≤ᵀ p-#HOM(A)`) | [`counting_ie::count_star_via_oracle`] |
+//!
+//! The machine-to-homomorphism compilations of Theorem 4.3 and Theorem 5.5
+//! live in `cq-machine::compile` (they need the machine substrate).
+//!
+//! All reductions are tested for answer preservation against the reference
+//! solvers, and each returns enough bookkeeping for the blow-up experiment
+//! (E7): the parameter of the produced instance depends only on the
+//! parameter of the input instance, and the database grows polynomially.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod counting_ie;
+pub mod emb_reduction;
+pub mod gaifman_reduction;
+pub mod minor_reduction;
+pub mod star_removal;
+pub mod treedec_reduction;
+
+pub use chain::{dirpath_to_st_path, hom_path_star_to_dirpath, st_path_to_dircycle};
+pub use counting_ie::count_star_via_oracle;
+pub use emb_reduction::embedding_to_hom_star;
+pub use gaifman_reduction::gaifman_to_structure_instance;
+pub use minor_reduction::minor_to_host_instance;
+pub use star_removal::remove_star_colors;
+pub use treedec_reduction::to_tree_star_instance;
+
+/// A produced homomorphism instance `(A', B')` together with blow-up data.
+#[derive(Debug, Clone)]
+pub struct ReducedInstance {
+    /// The left-hand (query) structure of the produced instance.
+    pub query: cq_structures::Structure,
+    /// The right-hand (database) structure of the produced instance.
+    pub database: cq_structures::Structure,
+    /// `|A'|` — must be effectively bounded in the input parameter.
+    pub new_parameter: usize,
+    /// `|B'|` (paper size) — must be polynomial in the input size.
+    pub database_size: usize,
+}
+
+impl ReducedInstance {
+    pub(crate) fn new(query: cq_structures::Structure, database: cq_structures::Structure) -> Self {
+        let new_parameter = query.paper_size();
+        let database_size = database.paper_size();
+        ReducedInstance {
+            query,
+            database,
+            new_parameter,
+            database_size,
+        }
+    }
+
+    /// Does the produced instance have a homomorphism?  (Convenience for
+    /// tests and experiments; uses the reference backtracking solver.)
+    pub fn holds(&self) -> bool {
+        cq_structures::homomorphism_exists(&self.query, &self.database)
+    }
+}

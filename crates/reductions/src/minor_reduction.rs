@@ -1,0 +1,177 @@
+//! Lemma 3.7: `p-HOM(M*) ≤pl p-HOM(G*)` when every `M ∈ M` is a minor of
+//! some `G ∈ G`.
+//!
+//! Given an instance `(M*, B)` and a minor map `μ` from `M` into `G`, the
+//! reduction produces `(G*, B')` with
+//! `B' = (M × B) ∪ {⊥}`, an edge between `(m₁,b₁)` and `(m₂,b₂)` iff
+//! (`m₁ = m₂ ⇒ b₁ = b₂`) and (`(m₁,m₂) ∈ E^M ⇒ (b₁,b₂) ∈ E^B`), `⊥`
+//! adjacent to everything, colour `C_v = {(m, b) | b ∈ C_m^B}` for
+//! `v ∈ μ(m)` and `C_v = {⊥}` for `v` outside the image of `μ`.
+
+use crate::ReducedInstance;
+use cq_graphs::{Graph, MinorMap};
+use cq_structures::ops::colored_target;
+use cq_structures::{star_expansion, Structure, StructureBuilder, Vocabulary};
+
+/// Apply the Lemma 3.7 reduction.
+///
+/// * `minor` — the graph `M` (the Gaifman skeleton of the query `M*`);
+/// * `b` — the database of the `(M*, B)` instance: it must interpret `E` and
+///   the colours `C_m` for every vertex `m` of `M` (as produced by
+///   `star_expansion` / `colored_target`);
+/// * `host` — the graph `G`;
+/// * `mu` — a minor map witnessing `M ≼ G`.
+pub fn minor_to_host_instance(
+    minor: &Graph,
+    b: &Structure,
+    host: &Graph,
+    mu: &MinorMap,
+) -> ReducedInstance {
+    assert!(mu.verify(minor, host), "invalid minor map");
+    let query = star_expansion(&host.to_structure());
+
+    let nb = b.universe_size();
+    let m_count = minor.vertex_count();
+    // Element encoding: (m, b) ↦ m·|B| + b, and ⊥ ↦ m_count·|B|.
+    let bottom = m_count * nb;
+    let universe = bottom + 1;
+    let be = b.vocabulary().id_of("E");
+
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut builder = StructureBuilder::new(vocab).with_universe(universe);
+    for m1 in 0..m_count {
+        for b1 in 0..nb {
+            for m2 in 0..m_count {
+                for b2 in 0..nb {
+                    let same_ok = m1 != m2 || b1 == b2;
+                    let edge_ok = !minor.has_edge(m1, m2)
+                        || be.map(|sym| b.contains(sym, &[b1, b2])).unwrap_or(false);
+                    if same_ok && edge_ok {
+                        builder.raw_fact(e, vec![m1 * nb + b1, m2 * nb + b2]);
+                    }
+                }
+            }
+        }
+    }
+    for v in 0..universe {
+        if v != bottom {
+            builder.raw_fact(e, vec![bottom, v]);
+            builder.raw_fact(e, vec![v, bottom]);
+        }
+    }
+    builder.raw_fact(e, vec![bottom, bottom]);
+    let base = builder.build().expect("non-empty");
+
+    // Colour of host vertex v: the pairs (m, b) with v ∈ μ(m) and b ∈ C_m^B,
+    // or {⊥} when v lies outside every branch set.
+    let database = colored_target(host.vertex_count(), &base, |v| {
+        for m in 0..m_count {
+            if mu.branch_set(m).contains(&v) {
+                let color = b.vocabulary().id_of(&format!("C_{m}"));
+                return match color {
+                    Some(sym) => b
+                        .relation(sym)
+                        .tuples()
+                        .iter()
+                        .map(|t| m * nb + t[0])
+                        .collect(),
+                    None => Vec::new(),
+                };
+            }
+        }
+        vec![bottom]
+    });
+
+    ReducedInstance::new(query, database)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_graphs::{families as gf, find_minor_map};
+    use cq_structures::ops::colored_target;
+    use cq_structures::{families, homomorphism_exists, star_expansion};
+
+    /// Build an `(M*, B)` instance from a plain graph homomorphism question
+    /// "does M map into the graph H?" by allowing every colour everywhere.
+    fn mstar_instance(m: &Graph, h: &Structure) -> (Structure, Structure) {
+        let query = star_expansion(&m.to_structure());
+        let database = colored_target(m.vertex_count(), h, |_| (0..h.universe_size()).collect());
+        (query, database)
+    }
+
+    #[test]
+    fn path_minor_inside_grid_preserves_answers() {
+        // M = P_4 is a minor of G = the 2x3 grid; reduce (P_4*, B) instances.
+        let minor = gf::path_graph(4);
+        let host = gf::grid_graph(2, 3);
+        let mu = find_minor_map(&minor, &host).expect("P4 is a minor of the grid");
+        for target in [families::cycle(5), families::cycle(4), families::path(2)] {
+            let (mstar, b) = mstar_instance(&minor, &target);
+            let expected = homomorphism_exists(&mstar, &b);
+            let reduced = minor_to_host_instance(&minor, &b, &host, &mu);
+            assert_eq!(reduced.holds(), expected, "target {target}");
+        }
+    }
+
+    #[test]
+    fn triangle_minor_inside_k4_preserves_answers() {
+        let minor = gf::cycle_graph(3);
+        let host = gf::complete_graph(4);
+        let mu = find_minor_map(&minor, &host).unwrap();
+        // Triangle* into C_5: yes (odd cycle into odd cycle of length >= 3?
+        // C_3 -> C_5 actually has NO homomorphism).  Use both a yes and a no
+        // target to make sure both answers survive.
+        let yes_target = families::clique(3);
+        let no_target = families::cycle(5);
+        for (target, expected) in [(yes_target, true), (no_target, false)] {
+            let (mstar, b) = mstar_instance(&minor, &target);
+            assert_eq!(homomorphism_exists(&mstar, &b), expected);
+            let reduced = minor_to_host_instance(&minor, &b, &host, &mu);
+            assert_eq!(reduced.holds(), expected);
+        }
+    }
+
+    #[test]
+    fn colour_restrictions_survive_the_reduction() {
+        // Pin each vertex of the minor path to a single target vertex; only
+        // one assignment remains, and it is a homomorphism iff consecutive
+        // pins are adjacent.
+        let minor = gf::path_graph(3);
+        let host = gf::path_graph(5);
+        let mu = find_minor_map(&minor, &host).unwrap();
+        let target = families::path(4);
+        let good = colored_target(3, &target, |e| vec![e]);
+        let bad = colored_target(3, &target, |e| vec![(2 * e) % 4]);
+        let query = star_expansion(&minor.to_structure());
+        assert!(homomorphism_exists(&query, &good));
+        assert!(!homomorphism_exists(&query, &bad));
+        assert!(minor_to_host_instance(&minor, &good, &host, &mu).holds());
+        assert!(!minor_to_host_instance(&minor, &bad, &host, &mu).holds());
+    }
+
+    #[test]
+    fn parameter_is_host_sized() {
+        let minor = gf::path_graph(3);
+        let host = gf::grid_graph(2, 3);
+        let mu = find_minor_map(&minor, &host).unwrap();
+        let (_, b) = mstar_instance(&minor, &families::cycle(6));
+        let reduced = minor_to_host_instance(&minor, &b, &host, &mu);
+        assert_eq!(reduced.query.universe_size(), host.vertex_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_minor_map_rejected() {
+        let minor = gf::cycle_graph(3);
+        let host = gf::path_graph(4);
+        let bogus = MinorMap::new(vec![
+            [0].into_iter().collect(),
+            [1].into_iter().collect(),
+            [2].into_iter().collect(),
+        ]);
+        let (_, b) = mstar_instance(&minor, &families::clique(3));
+        let _ = minor_to_host_instance(&minor, &b, &host, &bogus);
+    }
+}

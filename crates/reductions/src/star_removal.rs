@@ -1,0 +1,143 @@
+//! Lemma 3.9 / Corollary 3.10: `p-HOM(core(A)*) ≤pl p-HOM(core(A))` — and
+//! in fact the produced homomorphisms are embeddings.
+//!
+//! Given an instance `(D*, B)` with `D` a core, the reduction restricts `B`
+//! to the vocabulary of `D` (call it `B₀`), forms the direct product
+//! `D × B₀`, and keeps only the elements `(d, b)` with `b ∈ C_d^B`:
+//!
+//! `B' = ⟨{(d, b) ∈ D × B | b ∈ C_d^B}⟩_{D×B₀}`.
+//!
+//! There is a homomorphism `D* → B` iff there is one `D → B'`; the proof
+//! uses the core property of `D` to "straighten" a homomorphism `g : D → B'`
+//! into one whose first projection is the identity.
+
+use crate::ReducedInstance;
+use cq_structures::ops::{direct_product, product_pair};
+use cq_structures::{core_of, is_core, Structure};
+use std::collections::BTreeSet;
+
+/// Apply the Lemma 3.9 reduction.  `d` must be a core (checked in debug
+/// builds); `b` is the database of the `(D*, B)` instance — it interprets
+/// the vocabulary of `d` plus the colours `C_d`.
+pub fn remove_star_colors(d: &Structure, b: &Structure) -> ReducedInstance {
+    debug_assert!(is_core(d), "Lemma 3.9 requires the query to be a core");
+    // Restrict B to the vocabulary of D.
+    let b0 = b
+        .restrict_to(d.vocabulary())
+        .expect("database must interpret the query vocabulary");
+    let product = direct_product(d, &b0).expect("same vocabulary by construction");
+
+    // Keep the elements (d, b) with b ∈ C_d^B.
+    let nb = b0.universe_size();
+    let mut keep: BTreeSet<usize> = BTreeSet::new();
+    for elem in d.universe() {
+        if let Some(sym) = b.vocabulary().id_of(&format!("C_{elem}")) {
+            for t in b.relation(sym).tuples() {
+                keep.insert(product_pair(elem, t[0], nb));
+            }
+        }
+    }
+    let database = if keep.is_empty() {
+        // No allowed pair at all: produce a trivially unsatisfiable instance
+        // over the right vocabulary (a single element with empty relations
+        // only works when D has some tuple; to be safe, keep one product
+        // element that is in no relation and additionally strip relations by
+        // using an empty-relation structure).
+        Structure::new(d.vocabulary().clone(), 1).expect("non-empty")
+    } else {
+        product
+            .induced_substructure(&keep)
+            .expect("non-empty")
+            .0
+    };
+
+    ReducedInstance::new(d.clone(), database)
+}
+
+/// Convenience for tests: take an arbitrary query, compute its core, and
+/// reduce the `(core*, B)` instance.
+pub fn remove_star_colors_of_core(a: &Structure, b: &Structure) -> ReducedInstance {
+    let core = core_of(a).core;
+    remove_star_colors(&core, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::ops::colored_target;
+    use cq_structures::{families, find_homomorphism, homomorphism_exists, star_expansion};
+
+    fn check(d: &Structure, b_base: &Structure, allowed: impl Fn(usize) -> Vec<usize>) {
+        let dstar = star_expansion(d);
+        let b = colored_target(d.universe_size(), b_base, allowed);
+        let expected = homomorphism_exists(&dstar, &b);
+        let reduced = remove_star_colors(d, &b);
+        assert_eq!(reduced.holds(), expected);
+        // Corollary 3.10: when satisfiable, there is even an embedding of D
+        // into B' (the constructed homomorphism d ↦ (d, h(d)) is injective).
+        if expected {
+            let h = find_homomorphism(&reduced.query, &reduced.database).unwrap();
+            let _ = h;
+            assert!(cq_structures::embedding_exists(
+                &reduced.query,
+                &reduced.database
+            ));
+        }
+    }
+
+    #[test]
+    fn odd_cycles_with_various_colorings() {
+        let c5 = families::cycle(5);
+        assert!(is_core(&c5));
+        // All colours allowed: equivalent to C_5 -> C_5 (yes).
+        check(&c5, &families::cycle(5), |_| (0..5).collect());
+        // Colours pinned to the identity: yes.
+        check(&c5, &families::cycle(5), |e| vec![e]);
+        // Colours pinned to a single vertex: needs a loop, no.
+        check(&c5, &families::cycle(5), |_| vec![0]);
+        // Target is a long even cycle: no homomorphism from an odd cycle.
+        check(&c5, &families::cycle(6), |_| (0..6).collect());
+    }
+
+    #[test]
+    fn directed_paths_as_cores() {
+        let p3 = families::directed_path(3);
+        check(&p3, &families::directed_path(5), |_| (0..5).collect());
+        check(&p3, &families::directed_path(5), |e| vec![e]);
+        check(&p3, &families::directed_path(2), |_| (0..2).collect());
+        check(&p3, &families::directed_cycle(4), |_| (0..4).collect());
+    }
+
+    #[test]
+    fn cliques_as_cores() {
+        let k3 = families::clique(3);
+        check(&k3, &families::clique(4), |_| (0..4).collect());
+        check(&k3, &families::grid(2, 3), |_| (0..6).collect());
+    }
+
+    #[test]
+    fn empty_colors_give_no_instance() {
+        let c3 = families::cycle(3);
+        let reduced = remove_star_colors(&c3, &colored_target(3, &families::clique(3), |_| vec![]));
+        assert!(!reduced.holds());
+    }
+
+    #[test]
+    fn convenience_core_wrapper() {
+        // An even cycle's core is an edge; the reduction then runs on K_2.
+        let c6 = families::cycle(6);
+        let b = colored_target(2, &families::cycle(4), |_| (0..4).collect());
+        let reduced = remove_star_colors_of_core(&c6, &b);
+        assert_eq!(reduced.query.universe_size(), 2);
+        assert!(reduced.holds());
+    }
+
+    #[test]
+    fn parameter_is_query_sized() {
+        let c5 = families::cycle(5);
+        let b = colored_target(5, &families::cycle(15), |_| (0..15).collect());
+        let reduced = remove_star_colors(&c5, &b);
+        assert_eq!(reduced.query.universe_size(), 5);
+        assert!(reduced.database.universe_size() <= 5 * 15);
+    }
+}

@@ -1,0 +1,199 @@
+//! Lemma 3.4: `p-HOM(A) ≤pl p-HOM(R*)` when every structure of `A` has a
+//! width-`w` tree decomposition whose tree lies in `R`.
+//!
+//! Given an instance `(A, B)` and a tree decomposition `(T, (X_t))` of `A`,
+//! the reduction outputs `(T*, B')` where the elements of `B'` are the
+//! partial homomorphisms from `A` to `B` with domain a bag, two partial
+//! homomorphisms are adjacent when they are compatible, and the colour `C_t`
+//! holds the partial homomorphisms with domain exactly `X_t`.  Remark 3.5:
+//! the map `h ↦ (t ↦ h↾X_t)` is a *bijection* between the homomorphisms from
+//! `A` to `B` and those from `T*` to `B'` — so the reduction is parsimonious
+//! and reusable for the counting classification (Theorem 6.1).
+
+use crate::ReducedInstance;
+use cq_decomp::TreeDecomposition;
+use cq_graphs::gaifman_graph;
+use cq_structures::ops::colored_target;
+use cq_structures::{star_expansion, Element, PartialHom, Structure, StructureBuilder, Vocabulary};
+use std::collections::BTreeSet;
+
+/// Enumerate the partial homomorphisms from `a` to `b` whose domain is
+/// exactly the given bag.
+fn bag_partial_homs(a: &Structure, b: &Structure, bag: &BTreeSet<Element>) -> Vec<PartialHom> {
+    let elems: Vec<Element> = bag.iter().copied().collect();
+    let mut out = Vec::new();
+    fn rec(
+        a: &Structure,
+        b: &Structure,
+        elems: &[Element],
+        current: &mut Vec<Element>,
+        out: &mut Vec<PartialHom>,
+    ) {
+        if current.len() == elems.len() {
+            let h = PartialHom::from_pairs(elems.iter().copied().zip(current.iter().copied()));
+            if cq_structures::is_partial_homomorphism(a, b, &h) {
+                out.push(h);
+            }
+            return;
+        }
+        for candidate in b.universe() {
+            current.push(candidate);
+            rec(a, b, elems, current, out);
+            current.pop();
+        }
+    }
+    rec(a, b, &elems, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Apply the Lemma 3.4 reduction to `(a, b)` using the given tree
+/// decomposition of (the Gaifman graph of) `a`.
+///
+/// Returns the produced `(T*, B')` instance; `T` is the decomposition tree
+/// realized as a graph structure over `{E/2}` and then `*`-expanded.
+pub fn to_tree_star_instance(
+    a: &Structure,
+    b: &Structure,
+    td: &TreeDecomposition,
+) -> ReducedInstance {
+    debug_assert!(td.is_valid_for(&gaifman_graph(a)));
+    // The query: T*, where T is the decomposition tree.
+    let t_structure = td.tree.to_structure();
+    let query = star_expansion(&t_structure);
+
+    // The database B': elements are (bag index, partial hom with that bag as
+    // domain); this indexes exactly the union over t of C_t while keeping the
+    // construction finite.  Edges connect compatible partial homomorphisms of
+    // adjacent... — the paper connects *all* compatible pairs; since the tree
+    // query only ever asks about adjacent bags, restricting edges to pairs
+    // whose bags are adjacent in T preserves the homomorphisms (and the
+    // bijection of Remark 3.5).
+    let mut elements: Vec<(usize, PartialHom)> = Vec::new();
+    let mut per_bag: Vec<Vec<usize>> = Vec::with_capacity(td.bags.len());
+    for (t, bag) in td.bags.iter().enumerate() {
+        let homs = bag_partial_homs(a, b, bag);
+        let mut indices = Vec::with_capacity(homs.len());
+        for h in homs {
+            indices.push(elements.len());
+            elements.push((t, h));
+        }
+        per_bag.push(indices);
+    }
+    // Guard against an empty universe (no partial homomorphism at all): keep
+    // one dummy element so the structure stays well-formed; no colour will
+    // allow it, so the produced instance is a no-instance as required.
+    let universe = elements.len().max(1);
+
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut builder = StructureBuilder::new(vocab).with_universe(universe);
+    for (t1, t2) in td.tree.edges() {
+        for &i in &per_bag[t1] {
+            for &j in &per_bag[t2] {
+                if elements[i].1.compatible(&elements[j].1) {
+                    builder.raw_fact(e, vec![i, j]);
+                    builder.raw_fact(e, vec![j, i]);
+                }
+            }
+        }
+    }
+    let base = builder.build().expect("non-empty by construction");
+    let database = colored_target(td.bags.len(), &base, |t| per_bag[t].clone());
+
+    ReducedInstance::new(query, database)
+}
+
+/// Convenience: compute an optimal tree decomposition of `a` and reduce.
+pub fn to_tree_star_instance_auto(a: &Structure, b: &Structure) -> ReducedInstance {
+    let (_, td) = cq_decomp::treewidth::treewidth_of_structure(a);
+    to_tree_star_instance(a, b, &td)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::{count_homomorphisms_bruteforce, families, homomorphism_exists};
+
+    fn check_preserves(a: &Structure, b: &Structure) {
+        let reduced = to_tree_star_instance_auto(a, b);
+        assert_eq!(
+            reduced.holds(),
+            homomorphism_exists(a, b),
+            "answer changed for {a} -> {b}"
+        );
+    }
+
+    #[test]
+    fn preserves_answers_on_small_instances() {
+        let queries = [
+            families::path(4),
+            families::cycle(3),
+            families::cycle(4),
+            families::cycle(5),
+            families::star(3),
+            families::grid(2, 2),
+            families::directed_path(3),
+        ];
+        let targets = [
+            families::path(4),
+            families::cycle(5),
+            families::cycle(6),
+            families::clique(3),
+            families::grid(2, 3),
+            families::directed_cycle(4),
+        ];
+        for a in &queries {
+            for b in &targets {
+                if a.vocabulary().same_symbols(b.vocabulary()) {
+                    check_preserves(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remark_3_5_bijection_preserves_counts() {
+        // The number of homomorphisms is preserved exactly (parsimonious).
+        let cases = [
+            (families::path(3), families::clique(3)),
+            (families::cycle(4), families::cycle(6)),
+            (families::star(2), families::path(3)),
+            (families::cycle(3), families::clique(4)),
+        ];
+        for (a, b) in cases {
+            let reduced = to_tree_star_instance_auto(&a, &b);
+            assert_eq!(
+                count_homomorphisms_bruteforce(&reduced.query, &reduced.database),
+                count_homomorphisms_bruteforce(&a, &b),
+                "count changed for {a} -> {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_depends_only_on_query() {
+        // The produced query is T*, whose size depends only on the input
+        // query's decomposition, not on |B|.
+        let a = families::cycle(5);
+        let r1 = to_tree_star_instance_auto(&a, &families::cycle(7));
+        let r2 = to_tree_star_instance_auto(&a, &families::grid(3, 3));
+        assert_eq!(r1.new_parameter, r2.new_parameter);
+        assert!(r1.database_size <= r2.database_size);
+    }
+
+    #[test]
+    fn unsatisfiable_instance_stays_unsatisfiable() {
+        let reduced = to_tree_star_instance_auto(&families::cycle(3), &families::path(2));
+        assert!(!reduced.holds());
+    }
+
+    #[test]
+    fn database_is_polynomial_in_target() {
+        // |B'| is at most (number of bags) · |B|^{w+1} partial maps; for a
+        // width-1 query it is quadratic.
+        let a = families::path(5);
+        let b = families::path(10);
+        let reduced = to_tree_star_instance_auto(&a, &b);
+        assert!(reduced.database.universe_size() <= 5 * 10 * 10);
+    }
+}

@@ -1,0 +1,444 @@
+//! Colour coding (Lemma 3.14 / Lemma 3.15): the derandomizable hash family
+//! `h_{p,q}` and colour-coding embedding algorithms for forest-shaped
+//! queries.
+//!
+//! Lemma 3.14: for every sufficiently large `n`, every `k`-element subset
+//! `X ⊆ [n]` admits a prime `p < k² log n` and `q < p` such that
+//! `h_{p,q}(m) = (q·m mod p) mod k²` is injective on `X`.  The paper uses
+//! the family inside machines (guess `(p, q)`, Lemma 4.5) and inside the
+//! reduction `p-EMB(A) ≤ p-HOM(A*)` for connected `A` (Lemma 3.15 — that
+//! reduction itself is implemented in `cq-reductions`).
+//!
+//! For a *deterministic, laptop-scale* embedding solver we additionally
+//! provide the classic colour-coding dynamic program (Alon–Yuster–Zwick) for
+//! queries whose Gaifman graph is a forest: colour the host with `k = |A|`
+//! colours, search for a *colourful* homomorphism (which is automatically
+//! injective), and repeat over independent colourings.  "Yes" answers are
+//! certified by an explicit embedding; "no" answers are one-sided Monte
+//! Carlo with error probability at most `(1 - k!/k^k)^trials` — the
+//! substitution is documented in DESIGN.md and the experiments always verify
+//! yes-instances exactly.
+
+use cq_graphs::{gaifman_graph, traversal, Graph};
+use cq_structures::{Element, Structure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Is `p` prime (trial division; the primes involved are `< k² log n`).
+pub fn is_prime(p: usize) -> bool {
+    if p < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= p {
+        if p % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// The hash function `h_{p,q}(m) = (q·m mod p) mod k²` of Lemma 3.14,
+/// evaluated on every `m ∈ [n]` (1-based in the paper; we use `0..n`).
+pub fn hash_coloring(p: usize, q: usize, k: usize, n: usize) -> Vec<usize> {
+    (0..n).map(|m| (q * (m + 1) % p) % (k * k)).collect()
+}
+
+/// Search for `(p, q)` with `q < p < k²·log2(n)` and `p` prime making
+/// `h_{p,q}` injective on the given subset (Lemma 3.14).  Returns `None`
+/// only when no such pair exists in the range (which the lemma rules out for
+/// sufficiently large `n`).
+pub fn find_injective_hash(subset: &[usize], k: usize, n: usize) -> Option<(usize, usize)> {
+    let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    let bound = (k * k * log_n).max(subset.len() + 2);
+    for p in 2..bound {
+        if !is_prime(p) {
+            continue;
+        }
+        for q in 1..p {
+            let mut seen = std::collections::BTreeSet::new();
+            if subset
+                .iter()
+                .all(|&m| seen.insert((q * (m + 1) % p) % (k * k)))
+            {
+                return Some((p, q));
+            }
+        }
+    }
+    None
+}
+
+/// Configuration of the colour-coding embedding search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColorCodingConfig {
+    /// Number of independent random colourings to try.
+    pub trials: usize,
+    /// RNG seed (the experiments are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ColorCodingConfig {
+    fn default() -> Self {
+        ColorCodingConfig {
+            trials: 200,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ColorCodingConfig {
+    /// A number of trials giving error probability below `2^-20` for queries
+    /// of size `k` (using the `e^k` bound on `k^k/k!`).
+    pub fn for_query_size(k: usize) -> Self {
+        let trials = ((k as f64).exp() * 14.0).ceil() as usize;
+        ColorCodingConfig {
+            trials: trials.max(50),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Search for an embedding of a forest-shaped query `a` into `b` by colour
+/// coding.  Returns an explicit embedding when one is found (verified), or
+/// `None` when no trial succeeded (one-sided error: a false "no" has
+/// probability at most `(1 - k!/k^k)^trials`).
+///
+/// Panics when the Gaifman graph of `a` is not a forest — the dynamic
+/// program is only complete for forests (which covers the paper's
+/// `p-EMB(P)`, `p-EMB(T)` experiments; cycles are handled by
+/// [`crate::problems::has_k_cycle`]).
+pub fn embedding_via_colour_coding(
+    a: &Structure,
+    b: &Structure,
+    config: ColorCodingConfig,
+) -> Option<Vec<Element>> {
+    let ga = gaifman_graph(a);
+    assert!(
+        traversal::is_forest(&ga),
+        "colour-coding embedding requires a forest-shaped query"
+    );
+    let k = a.universe_size();
+    if k > b.universe_size() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.trials {
+        let colouring: Vec<usize> = (0..b.universe_size()).map(|_| rng.gen_range(0..k)).collect();
+        if let Some(embedding) = colourful_forest_embedding(a, b, &ga, &colouring) {
+            debug_assert!(cq_structures::is_homomorphism(a, b, &embedding));
+            debug_assert!({
+                let mut seen = std::collections::BTreeSet::new();
+                embedding.iter().all(|&x| seen.insert(x))
+            });
+            return Some(embedding);
+        }
+    }
+    None
+}
+
+/// Find a *colourful* homomorphism (distinct colours on all images, hence an
+/// embedding) of a forest-shaped query by DP over each tree of the forest.
+///
+/// The DP state is (query node, host vertex, set of colours used in the
+/// query subtree); colour sets are `u32` bitmasks (queries have ≤ 22
+/// elements in this repository, well below 32).
+fn colourful_forest_embedding(
+    a: &Structure,
+    b: &Structure,
+    ga: &Graph,
+    colouring: &[usize],
+) -> Option<Vec<Element>> {
+    let k = a.universe_size();
+    assert!(k <= 32, "colour-coding DP uses u32 colour masks");
+    let components = traversal::connected_components(ga);
+    let mut assignment: Vec<Option<Element>> = vec![None; k];
+    // Colours already consumed by earlier components.
+    let mut used_global: u32 = 0;
+
+    for comp in components {
+        let root = comp[0];
+        // children/parent structure of a DFS tree of the component.
+        let mut parent: Vec<Option<usize>> = vec![None; k];
+        let mut order = Vec::new();
+        let mut visited = vec![false; k];
+        let mut stack = vec![root];
+        visited[root] = true;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for w in ga.neighbors(v) {
+                if !visited[w] {
+                    visited[w] = true;
+                    parent[w] = Some(v);
+                    stack.push(w);
+                }
+            }
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &v in &order {
+            if let Some(p) = parent[v] {
+                children[p].push(v);
+            }
+        }
+
+        // table[v][host] = list of (colour mask, witness: map child -> (host, mask))
+        // To keep the implementation simple and exact we store for every
+        // (query node, host) the set of achievable masks with one witness per
+        // mask.
+        type Witness = BTreeMap<u32, Vec<(usize, usize, u32)>>; // mask -> [(child, host, child_mask)]
+        let mut table: Vec<Vec<Witness>> = vec![vec![BTreeMap::new(); b.universe_size()]; k];
+
+        for &v in order.iter().rev() {
+            for host in b.universe() {
+                if !host_ok(a, b, v, host, parent[v], &assignment) {
+                    continue;
+                }
+                let own_mask = 1u32 << colouring[host];
+                if own_mask & used_global != 0 {
+                    continue;
+                }
+                // Combine children: each child contributes a disjoint mask.
+                let mut partial: BTreeMap<u32, Vec<(usize, usize, u32)>> =
+                    [(own_mask, Vec::new())].into_iter().collect();
+                let mut dead = false;
+                for &c in &children[v] {
+                    let mut next: BTreeMap<u32, Vec<(usize, usize, u32)>> = BTreeMap::new();
+                    for (mask, wit) in &partial {
+                        for chost in b.universe() {
+                            if !edge_ok(a, b, v, host, c, chost) {
+                                continue;
+                            }
+                            for (cmask, _) in &table[c][chost] {
+                                if cmask & mask != 0 {
+                                    continue;
+                                }
+                                let combined = mask | cmask;
+                                next.entry(combined).or_insert_with(|| {
+                                    let mut w = wit.clone();
+                                    w.push((c, chost, *cmask));
+                                    w
+                                });
+                            }
+                        }
+                    }
+                    partial = next;
+                    if partial.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                }
+                if !dead {
+                    table[v][host] = partial;
+                }
+            }
+        }
+
+        // Pick any root completion covering |comp| distinct colours.
+        let needed = comp.len() as u32;
+        let mut found = None;
+        'search: for host in b.universe() {
+            for (mask, _) in &table[root][host] {
+                if mask.count_ones() == needed {
+                    found = Some((host, *mask));
+                    break 'search;
+                }
+            }
+        }
+        let (root_host, root_mask) = found?;
+        used_global |= root_mask;
+        // Reconstruct the witness assignment by walking the tables.
+        reconstruct(&table, root, root_host, root_mask, &mut assignment);
+    }
+
+    // Final safety re-check: consistent, total, injective homomorphism.
+    let total: Vec<Element> = assignment.iter().map(|x| x.expect("all assigned"))
+        .collect();
+    let mut seen = std::collections::BTreeSet::new();
+    if total.iter().all(|&x| seen.insert(x)) && cq_structures::is_homomorphism(a, b, &total) {
+        Some(total)
+    } else {
+        None
+    }
+}
+
+type WitnessTable = Vec<Vec<BTreeMap<u32, Vec<(usize, usize, u32)>>>>;
+
+fn reconstruct(
+    table: &WitnessTable,
+    v: usize,
+    host: usize,
+    mask: u32,
+    assignment: &mut Vec<Option<Element>>,
+) {
+    assignment[v] = Some(host);
+    if let Some(witness) = table[v][host].get(&mask) {
+        for &(child, chost, cmask) in witness {
+            reconstruct(table, child, chost, cmask, assignment);
+        }
+    }
+}
+
+/// All tuples of `a` entirely inside {v, parent(v)} must be satisfied by the
+/// candidate images (checks loops on v and the v–parent edges in either
+/// orientation, which is all that a forest query has).
+fn host_ok(
+    a: &Structure,
+    b: &Structure,
+    v: usize,
+    host: usize,
+    parent: Option<usize>,
+    assignment: &[Option<Element>],
+) -> bool {
+    for (sym, t) in a.all_tuples() {
+        if !t.contains(&v) {
+            continue;
+        }
+        let inside = t.iter().all(|&e| {
+            e == v || Some(e) == parent || assignment[e].is_some()
+        });
+        if !inside {
+            continue;
+        }
+        // Only check tuples not involving the (not yet chosen) parent image.
+        if t.iter().any(|&e| Some(e) == parent) {
+            continue;
+        }
+        let mapped: Option<Vec<Element>> = t
+            .iter()
+            .map(|&e| if e == v { Some(host) } else { assignment[e] })
+            .collect();
+        if let Some(mapped) = mapped {
+            let Some(bsym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
+                return false;
+            };
+            if !b.contains(bsym, &mapped) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All tuples of `a` entirely inside {v, c} must be satisfied by the images
+/// (host, chost).
+fn edge_ok(a: &Structure, b: &Structure, v: usize, host: usize, c: usize, chost: usize) -> bool {
+    for (sym, t) in a.all_tuples() {
+        if !t.iter().all(|&e| e == v || e == c) || !t.contains(&c) {
+            continue;
+        }
+        let mapped: Vec<Element> = t
+            .iter()
+            .map(|&e| if e == v { host } else { chost })
+            .collect();
+        let Some(bsym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
+            return false;
+        };
+        if !b.contains(bsym, &mapped) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::{embedding_exists, families};
+
+    #[test]
+    fn hash_family_is_injective_on_small_subsets() {
+        // Lemma 3.14: for every k-subset there exist (p, q) below the bound.
+        let n = 200;
+        let subsets: Vec<Vec<usize>> = vec![
+            vec![3, 77, 150],
+            vec![0, 1, 2, 3, 4],
+            vec![10, 50, 90, 130, 170, 199],
+            (0..8).map(|i| i * 23).collect(),
+        ];
+        for subset in subsets {
+            let k = subset.len();
+            let (p, q) = find_injective_hash(&subset, k, n).expect("lemma 3.14 pair exists");
+            assert!(q < p);
+            assert!(is_prime(p));
+            let colouring = hash_coloring(p, q, k, n);
+            let mut seen = std::collections::BTreeSet::new();
+            assert!(subset.iter().all(|&m| seen.insert(colouring[m])));
+            assert!(colouring.iter().all(|&c| c < k * k));
+        }
+    }
+
+    #[test]
+    fn primality_helper() {
+        assert!(is_prime(2));
+        assert!(is_prime(13));
+        assert!(!is_prime(1));
+        assert!(!is_prime(21));
+    }
+
+    #[test]
+    fn path_embedding_found_in_cycle() {
+        // P_5 embeds into C_8.
+        let a = families::path(5);
+        let b = families::cycle(8);
+        let e = embedding_via_colour_coding(&a, &b, ColorCodingConfig::default());
+        assert!(e.is_some());
+    }
+
+    #[test]
+    fn path_embedding_absent_when_too_long() {
+        // P_5 does not embed into the star K_{1,6} (longest path has 3 vertices).
+        let a = families::path(5);
+        let b = families::star(6);
+        assert!(!embedding_exists(&a, &b));
+        let e = embedding_via_colour_coding(&a, &b, ColorCodingConfig::default());
+        assert!(e.is_none());
+    }
+
+    #[test]
+    fn tree_embedding_matches_reference() {
+        // The complete binary tree of height 2 embeds into the 3x3 grid?
+        let a = families::tree_t(2);
+        for b in [families::grid(3, 3), families::star(8), families::caterpillar(4, 2)] {
+            let expected = embedding_exists(&a, &b);
+            let got =
+                embedding_via_colour_coding(&a, &b, ColorCodingConfig::for_query_size(7)).is_some();
+            assert_eq!(got, expected, "target {b}");
+        }
+    }
+
+    #[test]
+    fn directed_path_embedding() {
+        let a = families::directed_path(4);
+        let yes = families::directed_cycle(6);
+        let no = families::directed_cycle(3);
+        assert!(
+            embedding_via_colour_coding(&a, &yes, ColorCodingConfig::default()).is_some()
+        );
+        assert!(
+            embedding_via_colour_coding(&a, &no, ColorCodingConfig::default()).is_none()
+        );
+    }
+
+    #[test]
+    fn query_larger_than_host_is_rejected_quickly() {
+        let a = families::path(5);
+        let b = families::path(3);
+        assert!(embedding_via_colour_coding(&a, &b, ColorCodingConfig::default()).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn cyclic_query_rejected() {
+        let a = families::cycle(4);
+        let b = families::cycle(6);
+        let _ = embedding_via_colour_coding(&a, &b, ColorCodingConfig::default());
+    }
+
+    #[test]
+    fn trials_scale_with_query_size() {
+        let small = ColorCodingConfig::for_query_size(3);
+        let big = ColorCodingConfig::for_query_size(8);
+        assert!(big.trials > small.trials);
+    }
+}

@@ -1,0 +1,161 @@
+//! Candidate domains and arc consistency for homomorphism search.
+//!
+//! For a homomorphism instance `(A, B)` the *domain* of an element `a ∈ A`
+//! is the set of elements of `B` it may still be mapped to.  Initial domains
+//! are derived from the unary relations (this is what makes `A*` instances so
+//! constrained: every element's domain is the interpretation of its private
+//! colour), and (pairwise) arc consistency shrinks them using the binary
+//! projections of all relations.  Arc consistency is the classical polynomial
+//! -time heuristic; it is sound (never removes a value used by a
+//! homomorphism) but incomplete, and serves as the propagation step of the
+//! backtracking baseline and as an ablation knob (experiment E12).
+
+use cq_structures::{Element, Structure};
+use std::collections::BTreeSet;
+
+/// The candidate images for every element of the left-hand structure.
+pub type Domains = Vec<BTreeSet<Element>>;
+
+/// Initial domains: every element of `B` whose unary constraints allow it.
+///
+/// For every unary relation `U` with `a ∈ U^A`, the images of `a` are
+/// restricted to `U^B`.  Higher-arity relations do not restrict initial
+/// domains (they are handled by propagation and search).
+pub fn initial_domains(a: &Structure, b: &Structure) -> Domains {
+    let all: BTreeSet<Element> = b.universe().collect();
+    let mut domains = vec![all; a.universe_size()];
+    for (sym, t) in a.all_tuples() {
+        if t.len() != 1 {
+            continue;
+        }
+        let name = a.vocabulary().name(sym);
+        let allowed: BTreeSet<Element> = match b.vocabulary().id_of(name) {
+            Some(bsym) => b.relation(bsym).tuples().iter().map(|u| u[0]).collect(),
+            None => BTreeSet::new(),
+        };
+        domains[t[0]] = domains[t[0]].intersection(&allowed).copied().collect();
+    }
+    domains
+}
+
+/// Run (generalized) arc consistency to a fixpoint: repeatedly remove from
+/// the domain of `a` every value `v` such that some tuple of `A` containing
+/// `a` cannot be completed to a tuple of the corresponding relation of `B`
+/// using the current domains.  Returns `false` when some domain becomes
+/// empty (no homomorphism exists).
+pub fn arc_consistency(a: &Structure, b: &Structure, domains: &mut Domains) -> bool {
+    loop {
+        let mut changed = false;
+        for (sym, t) in a.all_tuples() {
+            let name = a.vocabulary().name(sym);
+            let Some(bsym) = b.vocabulary().id_of(name) else {
+                // A non-empty relation of A that B does not interpret: no
+                // homomorphism can exist.
+                for d in domains.iter_mut() {
+                    d.clear();
+                }
+                return false;
+            };
+            let btuples = b.relation(bsym).tuples();
+            // For every position, compute the supported values.
+            for (pos, &elem) in t.iter().enumerate() {
+                let supported: BTreeSet<Element> = btuples
+                    .iter()
+                    .filter(|bt| {
+                        bt.iter()
+                            .zip(t.iter())
+                            .all(|(&bv, &ae)| domains[ae].contains(&bv))
+                    })
+                    .map(|bt| bt[pos])
+                    .collect();
+                let new: BTreeSet<Element> =
+                    domains[elem].intersection(&supported).copied().collect();
+                if new.len() != domains[elem].len() {
+                    domains[elem] = new;
+                    changed = true;
+                }
+            }
+        }
+        if domains.iter().any(|d| d.is_empty()) {
+            return false;
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::{families, star_expansion};
+
+    #[test]
+    fn initial_domains_unrestricted_without_unary_relations() {
+        let a = families::path(3);
+        let b = families::path(5);
+        let d = initial_domains(&a, &b);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|dom| dom.len() == 5));
+    }
+
+    #[test]
+    fn star_expansion_pins_domains_to_singletons_on_itself() {
+        let a = families::path(3);
+        let astar = star_expansion(&a);
+        let d = initial_domains(&astar, &astar);
+        assert!(d.iter().enumerate().all(|(i, dom)| dom.len() == 1 && dom.contains(&i)));
+    }
+
+    #[test]
+    fn arc_consistency_is_incomplete_on_odd_cycles() {
+        // C_3 -> K_2 has no homomorphism, but arc consistency alone cannot
+        // detect it (every edge constraint has supports): the propagation
+        // returns "consistent" and the search is needed — this is exactly why
+        // AC is only an ablation knob and not a decision procedure.
+        let a = families::cycle(3);
+        let b = families::path(2);
+        let mut d = initial_domains(&a, &b);
+        assert!(arc_consistency(&a, &b, &mut d));
+        assert!(d.iter().all(|dom| !dom.is_empty()));
+        assert!(!cq_structures::homomorphism_exists(&a, &b));
+    }
+
+    #[test]
+    fn arc_consistency_keeps_solutions() {
+        // P_4 -> P_3 has homomorphisms; AC must not wipe any domain, and each
+        // surviving value must extend to a solution... at least the ones used
+        // by a known homomorphism must survive.
+        let a = families::path(4);
+        let b = families::path(3);
+        let mut d = initial_domains(&a, &b);
+        assert!(arc_consistency(&a, &b, &mut d));
+        let h = cq_structures::find_homomorphism(&a, &b).unwrap();
+        for (i, &img) in h.iter().enumerate() {
+            assert!(d[i].contains(&img));
+        }
+    }
+
+    #[test]
+    fn missing_relation_in_target_wipes_domains() {
+        let vocab = cq_structures::Vocabulary::from_pairs([("E", 2), ("R", 2)]).unwrap();
+        let r = vocab.id_of("R").unwrap();
+        let mut a = cq_structures::Structure::new(vocab, 2).unwrap();
+        a.add_tuple(r, vec![0, 1]).unwrap();
+        let b = families::path(3);
+        let mut d = initial_domains(&a, &b);
+        assert!(!arc_consistency(&a, &b, &mut d));
+    }
+
+    #[test]
+    fn directed_path_domains_shrink_by_position() {
+        // ->P_3 into ->P_3: AC forces element i to map to position i.
+        let a = families::directed_path(3);
+        let b = families::directed_path(3);
+        let mut d = initial_domains(&a, &b);
+        assert!(arc_consistency(&a, &b, &mut d));
+        assert_eq!(d[0].iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(d[1].iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(d[2].iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Solvers for the concrete PATH-complete problems of Theorem 4.7:
+//! `p-st-PATH`, `p-EMB(P)` (k-path) and `p-EMB(C)` (k-cycle).
+//!
+//! `p-st-PATH` is solvable by plain BFS (shortest paths in simple graphs are
+//! simple).  The k-path and k-cycle problems are solved by colour coding
+//! with a seeded RNG: "yes" answers come with an explicit witness, "no"
+//! answers are one-sided Monte Carlo (error `(1 - k!/k^k)^trials`); small
+//! instances can be cross-checked against the exact DFS baselines in
+//! `cq_graphs::traversal`.
+
+use crate::colour_coding::ColorCodingConfig;
+use cq_graphs::{traversal, Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `p-st-PATH`: is there a path of length at most `k` from `s` to `t`?
+pub fn st_path_at_most(g: &Graph, s: Vertex, t: Vertex, k: usize) -> bool {
+    traversal::st_path_within(g, s, t, k)
+}
+
+/// For a fixed colouring, compute for every vertex `v` the set of colour
+/// masks realizable by colourful simple-in-colours paths on exactly `len`
+/// vertices ending at `v` (and starting anywhere / at `start` when given).
+fn colourful_path_masks(
+    g: &Graph,
+    colouring: &[usize],
+    start: Option<Vertex>,
+    len: usize,
+) -> Vec<std::collections::BTreeSet<u32>> {
+    let n = g.vertex_count();
+    let mut current: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
+    for v in 0..n {
+        if start.is_none() || start == Some(v) {
+            current[v].insert(1u32 << colouring[v]);
+        }
+    }
+    for _ in 1..len {
+        let mut next: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
+        for v in 0..n {
+            for &mask in &current[v] {
+                for w in g.neighbors(v) {
+                    let bit = 1u32 << colouring[w];
+                    if mask & bit == 0 {
+                        next[w].insert(mask | bit);
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// `p-EMB(P)`: does the graph contain a simple path on `k` vertices?
+/// Colour coding; deterministic given the seed in `config`.
+pub fn has_k_path(g: &Graph, k: usize, config: ColorCodingConfig) -> bool {
+    if k == 0 {
+        return true;
+    }
+    if k == 1 {
+        return g.vertex_count() >= 1;
+    }
+    if k > g.vertex_count() {
+        return false;
+    }
+    assert!(k <= 32, "colour masks are u32");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.trials {
+        let colouring: Vec<usize> = (0..g.vertex_count()).map(|_| rng.gen_range(0..k)).collect();
+        let masks = colourful_path_masks(g, &colouring, None, k);
+        if masks
+            .iter()
+            .any(|set| set.iter().any(|m| m.count_ones() as usize == k))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `p-EMB(C)`: does the graph contain a simple cycle on exactly `k ≥ 3`
+/// vertices?  Colour coding: for every start vertex, search a colourful path
+/// on `k` vertices from it that ends at one of its neighbours.
+pub fn has_k_cycle(g: &Graph, k: usize, config: ColorCodingConfig) -> bool {
+    if k < 3 || k > g.vertex_count() {
+        return false;
+    }
+    assert!(k <= 32, "colour masks are u32");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.trials {
+        let colouring: Vec<usize> = (0..g.vertex_count()).map(|_| rng.gen_range(0..k)).collect();
+        for start in g.vertices() {
+            let masks = colourful_path_masks(g, &colouring, Some(start), k);
+            let closes = g.neighbors(start).any(|w| {
+                masks[w]
+                    .iter()
+                    .any(|m| m.count_ones() as usize == k)
+            });
+            if closes {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_graphs::families::*;
+    use cq_graphs::traversal::{has_simple_cycle_of_order, has_simple_path_of_order};
+
+    fn cfg(k: usize) -> ColorCodingConfig {
+        ColorCodingConfig::for_query_size(k)
+    }
+
+    #[test]
+    fn st_path_bounds() {
+        let c8 = cycle_graph(8);
+        assert!(st_path_at_most(&c8, 0, 4, 4));
+        assert!(!st_path_at_most(&c8, 0, 4, 3));
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!st_path_at_most(&disconnected, 0, 3, 10));
+    }
+
+    #[test]
+    fn k_path_matches_exact_baseline() {
+        let graphs = [
+            path_graph(7),
+            cycle_graph(6),
+            star_graph(5),
+            grid_graph(2, 4),
+            caterpillar_graph(3, 2),
+            complete_binary_tree(2),
+        ];
+        for g in &graphs {
+            for k in 1..=7 {
+                let expected = has_simple_path_of_order(g, k);
+                assert_eq!(has_k_path(g, k, cfg(k)), expected, "k={k} graph {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_path_edge_cases() {
+        let g = path_graph(3);
+        assert!(has_k_path(&g, 0, cfg(1)));
+        assert!(has_k_path(&g, 1, cfg(1)));
+        assert!(!has_k_path(&g, 4, cfg(4)));
+    }
+
+    #[test]
+    fn k_cycle_matches_exact_baseline() {
+        let graphs = [
+            cycle_graph(6),
+            grid_graph(2, 3),
+            grid_graph(3, 3),
+            complete_graph(5),
+            path_graph(6),
+            star_graph(4),
+        ];
+        for g in &graphs {
+            for k in 3..=6 {
+                let expected = has_simple_cycle_of_order(g, k);
+                assert_eq!(has_k_cycle(g, k, cfg(k)), expected, "k={k} graph {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_cycle_rejects_degenerate_lengths() {
+        let g = complete_graph(4);
+        assert!(!has_k_cycle(&g, 2, cfg(2)));
+        assert!(!has_k_cycle(&g, 5, cfg(5)));
+    }
+}

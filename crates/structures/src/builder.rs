@@ -1,0 +1,232 @@
+//! A convenience builder for relational structures with named elements and
+//! bulk tuple insertion.
+
+use crate::error::StructureError;
+use crate::structure::{Element, Structure, Tuple};
+use crate::vocabulary::{SymbolId, Vocabulary};
+use std::collections::HashMap;
+
+/// Builder for [`Structure`] values.
+///
+/// The builder interns element names on first use, allows tuples to be added
+/// by element name or by index, and normalizes relations once at
+/// [`StructureBuilder::build`] time (cheaper than per-insert normalization).
+///
+/// ```
+/// use cq_structures::{StructureBuilder, Vocabulary};
+///
+/// let mut b = StructureBuilder::new(Vocabulary::graph());
+/// b.edge_named("u", "v");
+/// b.edge_named("v", "w");
+/// let s = b.build().unwrap();
+/// assert_eq!(s.universe_size(), 3);
+/// // `edge_named` inserts both orientations of each undirected edge.
+/// assert_eq!(s.relation_named("E").len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StructureBuilder {
+    vocab: Vocabulary,
+    names: Vec<String>,
+    by_name: HashMap<String, Element>,
+    tuples: Vec<(SymbolId, Tuple)>,
+    explicit_universe: Option<usize>,
+}
+
+impl StructureBuilder {
+    /// Start a builder over the given vocabulary.
+    pub fn new(vocab: Vocabulary) -> Self {
+        StructureBuilder {
+            vocab,
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            tuples: Vec::new(),
+            explicit_universe: None,
+        }
+    }
+
+    /// Start a builder over the graph vocabulary `{E/2}`.
+    pub fn graph() -> Self {
+        StructureBuilder::new(Vocabulary::graph())
+    }
+
+    /// Declare that the universe is exactly `0..n` regardless of which
+    /// elements appear in tuples (used for structures with isolated
+    /// elements).
+    pub fn with_universe(mut self, n: usize) -> Self {
+        self.explicit_universe = Some(n);
+        self
+    }
+
+    /// Intern an element name, returning its index.
+    pub fn element(&mut self, name: impl Into<String>) -> Element {
+        let name = name.into();
+        if let Some(&e) = self.by_name.get(&name) {
+            return e;
+        }
+        let e = self.names.len();
+        self.by_name.insert(name.clone(), e);
+        self.names.push(name);
+        e
+    }
+
+    /// Number of interned named elements so far.
+    pub fn element_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Add a tuple by symbol name and element names.
+    pub fn fact<S: AsRef<str>>(
+        &mut self,
+        symbol: &str,
+        elements: &[S],
+    ) -> Result<&mut Self, StructureError> {
+        let sym = self
+            .vocab
+            .id_of(symbol)
+            .ok_or_else(|| StructureError::UnknownSymbol(symbol.to_string()))?;
+        let tuple: Tuple = elements.iter().map(|n| self.element(n.as_ref())).collect();
+        self.tuples.push((sym, tuple));
+        Ok(self)
+    }
+
+    /// Add a tuple by symbol id and raw element indices.
+    pub fn raw_fact(&mut self, sym: SymbolId, tuple: Tuple) -> &mut Self {
+        for &e in &tuple {
+            while self.names.len() <= e {
+                let name = format!("_{}", self.names.len());
+                self.by_name.insert(name.clone(), self.names.len());
+                self.names.push(name);
+            }
+        }
+        self.tuples.push((sym, tuple));
+        self
+    }
+
+    /// Convenience: add a *directed* edge `E(u, v)` by element names.
+    pub fn arc_named(&mut self, u: &str, v: &str) -> &mut Self {
+        self.fact("E", &[u, v]).expect("graph vocabulary has E")
+    }
+
+    /// Convenience: add an *undirected* edge (both orientations) by names.
+    pub fn edge_named(&mut self, u: &str, v: &str) -> &mut Self {
+        self.arc_named(u, v);
+        self.arc_named(v, u)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<Structure, StructureError> {
+        let n = match self.explicit_universe {
+            Some(n) => {
+                if self.names.len() > n {
+                    return Err(StructureError::ElementOutOfRange {
+                        element: self.names.len() - 1,
+                        universe: n,
+                    });
+                }
+                n
+            }
+            None => self.names.len().max(1),
+        };
+        let mut s = Structure::new(self.vocab.clone(), n)?;
+        for (sym, t) in self.tuples {
+            let arity = self.vocab.arity(sym);
+            if t.len() != arity {
+                return Err(StructureError::ArityMismatch {
+                    symbol: self.vocab.name(sym).to_string(),
+                    expected: arity,
+                    got: t.len(),
+                });
+            }
+            s.add_tuple_unchecked(sym, t);
+        }
+        s.finalize();
+        let mut labels = self.names;
+        while labels.len() < n {
+            labels.push(format!("_{}", labels.len()));
+        }
+        Ok(s.with_labels(labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_named_graph() {
+        let mut b = StructureBuilder::graph();
+        b.edge_named("x", "y");
+        b.edge_named("y", "z");
+        let s = b.build().unwrap();
+        assert_eq!(s.universe_size(), 3);
+        assert!(s.is_graph());
+        assert_eq!(s.label(0), Some("x"));
+        assert_eq!(s.relation_named("E").len(), 4);
+    }
+
+    #[test]
+    fn element_interning_is_stable() {
+        let mut b = StructureBuilder::graph();
+        let x1 = b.element("x");
+        let y = b.element("y");
+        let x2 = b.element("x");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert_eq!(b.element_count(), 2);
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let mut b = StructureBuilder::graph();
+        assert!(matches!(
+            b.fact("R", &["a", "b"]),
+            Err(StructureError::UnknownSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_universe_with_isolated_elements() {
+        let mut b = StructureBuilder::graph().with_universe(5);
+        b.edge_named("a", "b");
+        let s = b.build().unwrap();
+        assert_eq!(s.universe_size(), 5);
+        assert_eq!(s.gaifman_edges().len(), 1);
+    }
+
+    #[test]
+    fn explicit_universe_too_small_rejected() {
+        let mut b = StructureBuilder::graph().with_universe(1);
+        b.edge_named("a", "b");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn empty_builder_gives_singleton_universe() {
+        let s = StructureBuilder::graph().build().unwrap();
+        assert_eq!(s.universe_size(), 1);
+        assert_eq!(s.tuple_count(), 0);
+    }
+
+    #[test]
+    fn raw_fact_extends_universe() {
+        let vocab = Vocabulary::from_pairs([("R", 3)]).unwrap();
+        let r = vocab.id_of("R").unwrap();
+        let mut b = StructureBuilder::new(vocab);
+        b.raw_fact(r, vec![0, 2, 1]);
+        let s = b.build().unwrap();
+        assert_eq!(s.universe_size(), 3);
+        assert!(s.contains(r, &[0, 2, 1]));
+    }
+
+    #[test]
+    fn arity_mismatch_detected_at_build() {
+        let vocab = Vocabulary::from_pairs([("R", 2)]).unwrap();
+        let r = vocab.id_of("R").unwrap();
+        let mut b = StructureBuilder::new(vocab);
+        b.raw_fact(r, vec![0, 1, 2]);
+        assert!(matches!(
+            b.build(),
+            Err(StructureError::ArityMismatch { .. })
+        ));
+    }
+}

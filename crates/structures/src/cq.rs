@@ -1,0 +1,301 @@
+//! Boolean conjunctive queries and the Chandra–Merlin correspondence.
+//!
+//! A boolean conjunctive query is a sentence `∃x_1 … ∃x_m (α_1 ∧ … ∧ α_ℓ)`
+//! where each `α_i` is an atomic formula `R x_{i_1} … x_{i_r}`.  Chandra and
+//! Merlin observed that each such query `φ` corresponds to a relational
+//! structure `A_φ` (the *canonical structure*, with the variables as
+//! elements and the atoms as tuples) such that `φ` is true on a structure `B`
+//! iff there is a homomorphism from `A_φ` to `B` (Section 1 / 2 of the
+//! paper).  The problems `EVAL(Φ)` and `HOM(A)` are equivalent through this
+//! correspondence, which is what the paper — and this crate — exploits to
+//! phrase everything in terms of structures.
+
+use crate::error::StructureError;
+use crate::structure::Structure;
+use crate::vocabulary::Vocabulary;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An atom `R(x_1, …, x_r)` of a conjunctive query, with variables referred
+/// to by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation symbol name.
+    pub relation: String,
+    /// The variable names, in argument order (repetitions allowed).
+    pub variables: Vec<String>,
+}
+
+impl Atom {
+    /// Create an atom.
+    pub fn new(relation: impl Into<String>, variables: Vec<String>) -> Self {
+        Atom {
+            relation: relation.into(),
+            variables,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.variables.join(","))
+    }
+}
+
+/// A boolean conjunctive query: all variables are (implicitly) existentially
+/// quantified and the body is a conjunction of atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConjunctiveQuery {
+    atoms: Vec<Atom>,
+    /// Variables in first-occurrence order (also contains variables declared
+    /// explicitly without occurring in an atom).
+    variables: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// The empty (trivially true) query.
+    pub fn new() -> Self {
+        ConjunctiveQuery::default()
+    }
+
+    /// Declare a variable explicitly (useful for queries with isolated
+    /// variables, which correspond to isolated elements of the canonical
+    /// structure).
+    pub fn declare_variable(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if !self.variables.contains(&name) {
+            self.variables.push(name);
+        }
+        self
+    }
+
+    /// Add an atom `relation(vars…)`.
+    pub fn atom<S: AsRef<str>>(&mut self, relation: &str, vars: &[S]) -> &mut Self {
+        let vars: Vec<String> = vars.iter().map(|v| v.as_ref().to_string()).collect();
+        for v in &vars {
+            if !self.variables.contains(v) {
+                self.variables.push(v.clone());
+            }
+        }
+        self.atoms.push(Atom::new(relation, vars));
+        self
+    }
+
+    /// The atoms of the query.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The variables of the query, in first-occurrence order.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Number of variables.
+    pub fn variable_count(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// The vocabulary used by the query (relation names with the arities they
+    /// are used at).  Fails when a relation is used with two different
+    /// arities.
+    pub fn vocabulary(&self) -> Result<Vocabulary, StructureError> {
+        let mut v = Vocabulary::new();
+        for a in &self.atoms {
+            v.add(a.relation.clone(), a.variables.len())?;
+        }
+        Ok(v)
+    }
+
+    /// The canonical structure `A_φ` of the query (Chandra–Merlin): elements
+    /// are the variables, and for every atom `R(x̄)` the tuple of the
+    /// corresponding elements is in `R^{A_φ}`.
+    ///
+    /// The query is true on a structure `B` iff `A_φ` maps homomorphically to
+    /// `B` (tested in this module and used pervasively by `cq-core`).
+    pub fn canonical_structure(&self) -> Result<Structure, StructureError> {
+        if self.variables.is_empty() {
+            // The empty query is true everywhere; its canonical structure is
+            // a single isolated element over the empty vocabulary, which maps
+            // into every structure.
+            return Structure::new(self.vocabulary()?, 1);
+        }
+        let vocab = self.vocabulary()?;
+        let index: HashMap<&str, usize> = self
+            .variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+        let mut s = Structure::new(vocab.clone(), self.variables.len())?;
+        for a in &self.atoms {
+            let sym = vocab.id_of(&a.relation).expect("vocabulary built from atoms");
+            let tuple = a
+                .variables
+                .iter()
+                .map(|v| index[v.as_str()])
+                .collect::<Vec<_>>();
+            s.add_tuple(sym, tuple)?;
+        }
+        Ok(s.with_labels(self.variables.clone()))
+    }
+
+    /// Reconstruct a conjunctive query from a structure (the inverse of the
+    /// Chandra–Merlin correspondence): one variable `x_e` per element, one
+    /// atom per tuple.
+    pub fn from_structure(a: &Structure) -> Self {
+        let mut q = ConjunctiveQuery::new();
+        let var_name = |e: usize| match a.label(e) {
+            Some(l) => format!("x_{l}"),
+            None => format!("x{e}"),
+        };
+        for e in a.universe() {
+            q.declare_variable(var_name(e));
+        }
+        for (sym, t) in a.all_tuples() {
+            let vars: Vec<String> = t.iter().map(|&e| var_name(e)).collect();
+            q.atom(a.vocabulary().name(sym), &vars);
+        }
+        q
+    }
+
+    /// Evaluate the boolean query on a database `B` by reduction to the
+    /// homomorphism problem (the `EVAL(Φ) ≡ HOM(A)` equivalence of the
+    /// introduction).
+    pub fn evaluate(&self, db: &Structure) -> Result<bool, StructureError> {
+        let a = self.canonical_structure()?;
+        Ok(crate::homomorphism::homomorphism_exists(&a, db))
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    /// Writes the query in the usual logical notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "∃ {} . ", self.variables.join(" "))?;
+        if self.atoms.is_empty() {
+            write!(f, "⊤")?;
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::homomorphism::homomorphism_exists;
+
+    /// The 3-variable chain query ∃xyz E(x,y) ∧ E(y,z).
+    fn chain_query() -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::new();
+        q.atom("E", &["x", "y"]).atom("E", &["y", "z"]);
+        q
+    }
+
+    #[test]
+    fn canonical_structure_of_chain() {
+        let q = chain_query();
+        assert_eq!(q.variable_count(), 3);
+        let a = q.canonical_structure().unwrap();
+        assert_eq!(a.universe_size(), 3);
+        assert_eq!(a.relation_named("E").len(), 2);
+        // It is isomorphic to the directed path ->P_3.
+        let p3 = families::directed_path(3);
+        assert!(homomorphism_exists(&a, &p3));
+        assert!(homomorphism_exists(&p3, &a));
+    }
+
+    #[test]
+    fn evaluate_chain_on_directed_structures() {
+        let q = chain_query();
+        // True on a directed path with 3 vertices, false on a single arc.
+        assert!(q.evaluate(&families::directed_path(3)).unwrap());
+        assert!(!q.evaluate(&families::directed_path(2)).unwrap());
+        // True on a directed cycle of any length ≥ 2 (can walk around).
+        assert!(q.evaluate(&families::directed_cycle(2)).unwrap());
+    }
+
+    #[test]
+    fn repeated_variables_create_loops() {
+        let mut q = ConjunctiveQuery::new();
+        q.atom("E", &["x", "x"]);
+        let a = q.canonical_structure().unwrap();
+        assert_eq!(a.universe_size(), 1);
+        let e = a.vocabulary().id_of("E").unwrap();
+        assert!(a.contains(e, &[0, 0]));
+        // Such a query asks for a self-loop in the database.
+        assert!(!q.evaluate(&families::directed_path(3)).unwrap());
+    }
+
+    #[test]
+    fn empty_query_is_trivially_true() {
+        let q = ConjunctiveQuery::new();
+        assert!(q.evaluate(&families::path(2)).unwrap());
+        let a = q.canonical_structure().unwrap();
+        assert_eq!(a.universe_size(), 1);
+    }
+
+    #[test]
+    fn isolated_variable_requires_nothing() {
+        let mut q = ConjunctiveQuery::new();
+        q.declare_variable("lonely");
+        q.atom("E", &["x", "y"]);
+        let a = q.canonical_structure().unwrap();
+        assert_eq!(a.universe_size(), 3);
+        assert!(q.evaluate(&families::directed_path(2)).unwrap());
+    }
+
+    #[test]
+    fn conflicting_arities_rejected() {
+        let mut q = ConjunctiveQuery::new();
+        q.atom("R", &["x", "y"]).atom("R", &["x", "y", "z"]);
+        assert!(q.vocabulary().is_err());
+        assert!(q.canonical_structure().is_err());
+    }
+
+    #[test]
+    fn from_structure_roundtrip_semantics() {
+        // Converting a structure to a query and back preserves evaluation.
+        let original = families::cycle(5);
+        let q = ConjunctiveQuery::from_structure(&original);
+        let back = q.canonical_structure().unwrap();
+        for target in [families::cycle(5), families::cycle(3), families::path(4)] {
+            assert_eq!(
+                homomorphism_exists(&original, &target),
+                homomorphism_exists(&back, &target),
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_query_on_grid_and_clique() {
+        let mut q = ConjunctiveQuery::new();
+        q.atom("E", &["x", "y"])
+            .atom("E", &["y", "z"])
+            .atom("E", &["z", "x"])
+            .atom("E", &["y", "x"])
+            .atom("E", &["z", "y"])
+            .atom("E", &["x", "z"]);
+        // Grids are triangle-free and bipartite.
+        assert!(!q.evaluate(&families::grid(3, 3)).unwrap());
+        assert!(q.evaluate(&families::clique(3)).unwrap());
+        assert!(q.evaluate(&families::clique(5)).unwrap());
+    }
+
+    #[test]
+    fn display_contains_atoms() {
+        let q = chain_query();
+        let s = q.to_string();
+        assert!(s.contains("E(x,y)"));
+        assert!(s.contains('∧'));
+        let empty = ConjunctiveQuery::new().to_string();
+        assert!(empty.contains('⊤'));
+        assert_eq!(Atom::new("R", vec!["a".into()]).to_string(), "R(a)");
+    }
+}

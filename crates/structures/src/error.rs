@@ -1,0 +1,111 @@
+//! Error types for structure construction and manipulation.
+
+use std::fmt;
+
+/// Errors that can arise when building or combining relational structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// A tuple was inserted whose length does not match the declared arity of
+    /// the relation symbol.
+    ArityMismatch {
+        /// Name of the offending relation symbol.
+        symbol: String,
+        /// Declared arity.
+        expected: usize,
+        /// Length of the offending tuple.
+        got: usize,
+    },
+    /// A tuple refers to an element outside the universe `0..n`.
+    ElementOutOfRange {
+        /// The offending element.
+        element: usize,
+        /// The universe size.
+        universe: usize,
+    },
+    /// A relation symbol was referenced that is not part of the vocabulary.
+    UnknownSymbol(String),
+    /// A relation symbol was declared twice with different arities.
+    DuplicateSymbol(String),
+    /// The universe of a structure must be non-empty (the paper only
+    /// considers structures with non-empty universes).
+    EmptyUniverse,
+    /// Two structures were combined (product, union, …) but their
+    /// vocabularies are incompatible.
+    VocabularyMismatch {
+        /// Description of where the mismatch was found.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::ArityMismatch {
+                symbol,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for relation {symbol}: expected {expected}, got {got}"
+            ),
+            StructureError::ElementOutOfRange { element, universe } => write!(
+                f,
+                "element {element} out of range for universe of size {universe}"
+            ),
+            StructureError::UnknownSymbol(s) => write!(f, "unknown relation symbol {s}"),
+            StructureError::DuplicateSymbol(s) => {
+                write!(f, "relation symbol {s} declared more than once")
+            }
+            StructureError::EmptyUniverse => write!(f, "structures must have non-empty universe"),
+            StructureError::VocabularyMismatch { detail } => {
+                write!(f, "vocabulary mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = StructureError::ArityMismatch {
+            symbol: "E".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("arity mismatch"));
+        assert!(e.to_string().contains('E'));
+    }
+
+    #[test]
+    fn display_element_out_of_range() {
+        let e = StructureError::ElementOutOfRange {
+            element: 7,
+            universe: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(StructureError::UnknownSymbol("R".into())
+            .to_string()
+            .contains('R'));
+        assert!(StructureError::DuplicateSymbol("R".into())
+            .to_string()
+            .contains("more than once"));
+        assert!(StructureError::EmptyUniverse
+            .to_string()
+            .contains("non-empty"));
+        assert!(StructureError::VocabularyMismatch {
+            detail: "foo".into()
+        }
+        .to_string()
+        .contains("foo"));
+    }
+}

@@ -1,0 +1,373 @@
+//! The concrete structure families of Section 2.1 of the paper, plus a few
+//! standard graph families used by the experiments.
+//!
+//! * [`directed_path`] — `->P_k`, universe `[k]`, arcs `(i, i+1)`;
+//! * [`path`] — `P_k`, the graph underlying `->P_k`;
+//! * [`directed_cycle`] — `->C_k`;
+//! * [`cycle`] — `C_k`;
+//! * [`directed_binary_tree`] — `->B_k`, universe `{0,1}^{≤k}`, relations
+//!   `S0`, `S1`;
+//! * [`binary_tree_b`] — `B_k`, with `S0`, `S1` replaced by their symmetric
+//!   closures;
+//! * [`tree_t`] — `T_k`, the graph underlying `({0,1}^{≤k}, S0 ∪ S1)`;
+//! * [`grid`], [`clique`], [`star`], [`caterpillar`] — standard graph
+//!   families used in the classification experiments (grids are the excluded
+//!   minors for bounded treewidth, Theorem 2.3 (1)).
+//!
+//! All constructors return plain [`Structure`] values over the graph
+//! vocabulary `{E/2}` (or `{S0/2, S1/2}` for the `B` families); element `i`
+//! corresponds to the paper's element `i+1` where the paper's universes are
+//! `[k]`.
+
+use crate::builder::StructureBuilder;
+use crate::structure::Structure;
+use crate::vocabulary::Vocabulary;
+
+/// The directed path `->P_k` on `k ≥ 1` vertices: arcs `(i, i+1)` for
+/// `i ∈ [k-1]` (the paper requires `k ≥ 2`; we also allow the trivial `k = 1`).
+pub fn directed_path(k: usize) -> Structure {
+    assert!(k >= 1, "paths need at least one vertex");
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(k);
+    for i in 0..k.saturating_sub(1) {
+        s.raw_fact(e, vec![i, i + 1]);
+    }
+    s.build().expect("valid path")
+}
+
+/// The undirected path `P_k` (graph underlying `->P_k`).
+pub fn path(k: usize) -> Structure {
+    assert!(k >= 1);
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(k);
+    for i in 0..k.saturating_sub(1) {
+        s.raw_fact(e, vec![i, i + 1]);
+        s.raw_fact(e, vec![i + 1, i]);
+    }
+    s.build().expect("valid path")
+}
+
+/// The directed cycle `->C_k` on `k ≥ 2` vertices: the arcs of `->P_k` plus
+/// the closing arc `(k, 1)`.
+pub fn directed_cycle(k: usize) -> Structure {
+    assert!(k >= 2, "cycles need at least two vertices");
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(k);
+    for i in 0..k {
+        s.raw_fact(e, vec![i, (i + 1) % k]);
+    }
+    s.build().expect("valid cycle")
+}
+
+/// The undirected cycle `C_k`.
+pub fn cycle(k: usize) -> Structure {
+    assert!(k >= 2);
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(k);
+    for i in 0..k {
+        let j = (i + 1) % k;
+        s.raw_fact(e, vec![i, j]);
+        s.raw_fact(e, vec![j, i]);
+    }
+    s.build().expect("valid cycle")
+}
+
+/// Number of binary strings of length at most `k`: `2^{k+1} - 1`.
+pub fn binary_universe_size(k: usize) -> usize {
+    (1usize << (k + 1)) - 1
+}
+
+/// Index of a binary string inside the universe `{0,1}^{≤k}` listed in
+/// length-lexicographic order starting from the empty string (index 0).
+///
+/// With this numbering, string `w` has index `i` iff the binary expansion of
+/// `i + 1` (without its leading 1) is `w` — the standard heap layout, so the
+/// children of index `i` are `2i + 1` and `2i + 2`.
+pub fn binary_string_index(bits: &[u8]) -> usize {
+    let mut idx = 0usize;
+    for &b in bits {
+        idx = 2 * idx + 1 + b as usize;
+    }
+    idx
+}
+
+/// The directed binary-tree structure `->B_k`: universe `{0,1}^{≤k}`, binary
+/// relations `S0 = {(x, x0)}` and `S1 = {(x, x1)}` for `x ∈ {0,1}^{≤k-1}`.
+pub fn directed_binary_tree(k: usize) -> Structure {
+    let n = binary_universe_size(k);
+    let vocab = Vocabulary::from_pairs([("S0", 2), ("S1", 2)]).unwrap();
+    let s0 = vocab.id_of("S0").unwrap();
+    let s1 = vocab.id_of("S1").unwrap();
+    let mut b = StructureBuilder::new(vocab).with_universe(n);
+    if k > 0 {
+        let internal = binary_universe_size(k - 1);
+        for x in 0..internal {
+            b.raw_fact(s0, vec![x, 2 * x + 1]);
+            b.raw_fact(s1, vec![x, 2 * x + 2]);
+        }
+    }
+    b.build().expect("valid binary tree")
+}
+
+/// The structure `B_k`: like `->B_k` but with `S0`, `S1` interpreted by the
+/// symmetric closures of the respective relations.
+pub fn binary_tree_b(k: usize) -> Structure {
+    let n = binary_universe_size(k);
+    let vocab = Vocabulary::from_pairs([("S0", 2), ("S1", 2)]).unwrap();
+    let s0 = vocab.id_of("S0").unwrap();
+    let s1 = vocab.id_of("S1").unwrap();
+    let mut b = StructureBuilder::new(vocab).with_universe(n);
+    if k > 0 {
+        let internal = binary_universe_size(k - 1);
+        for x in 0..internal {
+            b.raw_fact(s0, vec![x, 2 * x + 1]);
+            b.raw_fact(s0, vec![2 * x + 1, x]);
+            b.raw_fact(s1, vec![x, 2 * x + 2]);
+            b.raw_fact(s1, vec![2 * x + 2, x]);
+        }
+    }
+    b.build().expect("valid binary tree")
+}
+
+/// The tree `T_k`: the graph (vocabulary `{E/2}`) underlying the directed
+/// graph `({0,1}^{≤k}, S0 ∪ S1)` — the complete binary tree of height `k`.
+pub fn tree_t(k: usize) -> Structure {
+    let n = binary_universe_size(k);
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut b = StructureBuilder::new(vocab).with_universe(n);
+    if k > 0 {
+        let internal = binary_universe_size(k - 1);
+        for x in 0..internal {
+            for child in [2 * x + 1, 2 * x + 2] {
+                b.raw_fact(e, vec![x, child]);
+                b.raw_fact(e, vec![child, x]);
+            }
+        }
+    }
+    b.build().expect("valid tree")
+}
+
+/// The `rows × cols` grid graph (vertices `(r, c)` numbered row-major).
+/// Grids are the excluded minors characterizing bounded treewidth
+/// (Theorem 2.3 (1), the Excluded Grid Theorem).
+pub fn grid(rows: usize, cols: usize) -> Structure {
+    assert!(rows >= 1 && cols >= 1);
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut s = StructureBuilder::new(vocab).with_universe(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                s.raw_fact(e, vec![idx(r, c), idx(r, c + 1)]);
+                s.raw_fact(e, vec![idx(r, c + 1), idx(r, c)]);
+            }
+            if r + 1 < rows {
+                s.raw_fact(e, vec![idx(r, c), idx(r + 1, c)]);
+                s.raw_fact(e, vec![idx(r + 1, c), idx(r, c)]);
+            }
+        }
+    }
+    s.build().expect("valid grid")
+}
+
+/// The complete graph (clique) `K_k`.
+pub fn clique(k: usize) -> Structure {
+    assert!(k >= 1);
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(k);
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                s.raw_fact(e, vec![i, j]);
+            }
+        }
+    }
+    s.build().expect("valid clique")
+}
+
+/// The star `K_{1,k}`: a centre (element 0) adjacent to `k` leaves.  Stars
+/// have tree depth 2 (centre above leaves), so classes of stars stay in the
+/// para-L degree of Theorem 3.1 (3).
+pub fn star(leaves: usize) -> Structure {
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(leaves + 1);
+    for l in 1..=leaves {
+        s.raw_fact(e, vec![0, l]);
+        s.raw_fact(e, vec![l, 0]);
+    }
+    s.build().expect("valid star")
+}
+
+/// A caterpillar: a spine path with `spine` vertices, each carrying `legs`
+/// pendant leaves.  Caterpillars have pathwidth 1 but unbounded tree depth as
+/// the spine grows — a natural witness family for the `PATH` degree.
+pub fn caterpillar(spine: usize, legs: usize) -> Structure {
+    assert!(spine >= 1);
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(spine + spine * legs);
+    for i in 0..spine.saturating_sub(1) {
+        s.raw_fact(e, vec![i, i + 1]);
+        s.raw_fact(e, vec![i + 1, i]);
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + i * legs + l;
+            s.raw_fact(e, vec![i, leaf]);
+            s.raw_fact(e, vec![leaf, i]);
+        }
+    }
+    s.build().expect("valid caterpillar")
+}
+
+/// The complete bipartite graph `K_{m,n}` — the query shape whose embedding
+/// problem the paper mentions as famously open (Section 7).
+pub fn complete_bipartite(m: usize, n: usize) -> Structure {
+    assert!(m >= 1 && n >= 1);
+    let vocab = Vocabulary::graph();
+    let e = vocab.id_of("E").unwrap();
+    let mut s = StructureBuilder::new(vocab).with_universe(m + n);
+    for i in 0..m {
+        for j in 0..n {
+            s.raw_fact(e, vec![i, m + j]);
+            s.raw_fact(e, vec![m + j, i]);
+        }
+    }
+    s.build().expect("valid complete bipartite graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homomorphism::homomorphism_exists;
+
+    #[test]
+    fn directed_path_shape() {
+        let p = directed_path(4);
+        assert_eq!(p.universe_size(), 4);
+        let e = p.vocabulary().id_of("E").unwrap();
+        assert_eq!(p.relation(e).len(), 3);
+        assert!(p.contains(e, &[0, 1]));
+        assert!(!p.contains(e, &[1, 0]));
+        assert!(p.is_digraph());
+        assert!(!p.is_graph());
+    }
+
+    #[test]
+    fn undirected_path_is_graph() {
+        let p = path(5);
+        assert!(p.is_graph());
+        assert_eq!(p.gaifman_edges().len(), 4);
+    }
+
+    #[test]
+    fn cycles_close_up() {
+        let c = directed_cycle(3);
+        let e = c.vocabulary().id_of("E").unwrap();
+        assert!(c.contains(e, &[2, 0]));
+        assert_eq!(c.relation(e).len(), 3);
+        let uc = cycle(4);
+        assert!(uc.is_graph());
+        assert_eq!(uc.gaifman_edges().len(), 4);
+    }
+
+    #[test]
+    fn binary_tree_sizes() {
+        assert_eq!(binary_universe_size(0), 1);
+        assert_eq!(binary_universe_size(2), 7);
+        let b2 = directed_binary_tree(2);
+        assert_eq!(b2.universe_size(), 7);
+        let s0 = b2.vocabulary().id_of("S0").unwrap();
+        let s1 = b2.vocabulary().id_of("S1").unwrap();
+        // 3 internal nodes, each with one S0 and one S1 child.
+        assert_eq!(b2.relation(s0).len(), 3);
+        assert_eq!(b2.relation(s1).len(), 3);
+        // B_0 has a single element and no edges.
+        let b0 = directed_binary_tree(0);
+        assert_eq!(b0.universe_size(), 1);
+        assert_eq!(b0.tuple_count(), 0);
+    }
+
+    #[test]
+    fn binary_string_indexing_matches_heap_layout() {
+        assert_eq!(binary_string_index(&[]), 0);
+        assert_eq!(binary_string_index(&[0]), 1);
+        assert_eq!(binary_string_index(&[1]), 2);
+        assert_eq!(binary_string_index(&[0, 0]), 3);
+        assert_eq!(binary_string_index(&[1, 1]), 6);
+    }
+
+    #[test]
+    fn symmetric_b_and_tree_t() {
+        let b1 = binary_tree_b(1);
+        let s0 = b1.vocabulary().id_of("S0").unwrap();
+        assert!(b1.contains(s0, &[0, 1]));
+        assert!(b1.contains(s0, &[1, 0]));
+        let t2 = tree_t(2);
+        assert!(t2.is_graph());
+        // A tree on 7 vertices has 6 edges.
+        assert_eq!(t2.gaifman_edges().len(), 6);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.universe_size(), 12);
+        assert!(g.is_graph());
+        // Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+        assert_eq!(g.gaifman_edges().len(), 17);
+        let line = grid(1, 5);
+        assert_eq!(line.gaifman_edges().len(), 4);
+    }
+
+    #[test]
+    fn clique_star_caterpillar() {
+        let k4 = clique(4);
+        assert_eq!(k4.gaifman_edges().len(), 6);
+        assert!(k4.is_graph());
+        let s = star(5);
+        assert_eq!(s.universe_size(), 6);
+        assert_eq!(s.gaifman_edges().len(), 5);
+        let cat = caterpillar(3, 2);
+        assert_eq!(cat.universe_size(), 9);
+        assert_eq!(cat.gaifman_edges().len(), 2 + 6);
+        let kb = complete_bipartite(2, 3);
+        assert_eq!(kb.gaifman_edges().len(), 6);
+        assert!(kb.is_graph());
+    }
+
+    #[test]
+    fn clique_homomorphism_ordering() {
+        // K_3 -> K_4 but not K_4 -> K_3.
+        assert!(homomorphism_exists(&clique(3), &clique(4)));
+        assert!(!homomorphism_exists(&clique(4), &clique(3)));
+    }
+
+    #[test]
+    fn grid_maps_to_single_edge() {
+        // Grids are bipartite: they map homomorphically onto one edge.
+        let g = grid(3, 3);
+        let k2 = path(2);
+        assert!(homomorphism_exists(&g, &k2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_path_panics() {
+        let _ = path(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_short_cycle_panics() {
+        let _ = cycle(1);
+    }
+}

@@ -1,0 +1,325 @@
+//! Structure operations: the `A*` expansion, direct products, disjoint
+//! unions, and symmetric closures.
+//!
+//! The `A*` expansion (Section 2.1) is central to the paper: it adds, for
+//! every element `a` of `A`, a fresh unary relation `C_a` interpreted by the
+//! singleton `{a}`.  Structures of the form `A*` are always cores
+//! (Example 2.1), and the degrees of Theorem 3.1 are represented by
+//! `p-HOM(P*)` and `p-HOM(T*)`.
+
+use crate::error::StructureError;
+use crate::structure::{Element, Structure, Tuple};
+use crate::vocabulary::Vocabulary;
+
+/// The name used for the fresh unary relation symbol `C_a` attached to
+/// element `a` by [`star_expansion`].
+pub fn color_symbol_name(a: Element) -> String {
+    format!("C_{a}")
+}
+
+/// The `A*` expansion of a structure: for every element `a ∈ A` a fresh unary
+/// relation symbol `C_a` interpreted by `{a}` is added.
+///
+/// The companion operation on the *target* side of a homomorphism instance is
+/// performed by the individual reductions (each reduction decides how the
+/// colours of the right-hand structure are populated).
+pub fn star_expansion(a: &Structure) -> Structure {
+    let mut vocab = a.vocabulary().clone();
+    for e in a.universe() {
+        vocab
+            .add(color_symbol_name(e), 1)
+            .expect("fresh colour symbols cannot clash");
+    }
+    let mut out = Structure::new(vocab, a.universe_size()).expect("non-empty by construction");
+    for (sym, t) in a.all_tuples() {
+        let new_sym = out
+            .vocabulary()
+            .id_of(a.vocabulary().name(sym))
+            .expect("copied symbol");
+        out.add_tuple_unchecked(new_sym, t.clone());
+    }
+    for e in a.universe() {
+        let c = out
+            .vocabulary()
+            .id_of(&color_symbol_name(e))
+            .expect("just added");
+        out.add_tuple_unchecked(c, vec![e]);
+    }
+    out.finalize();
+    out
+}
+
+/// Build a "coloured target" for an `A*` instance: given a target `b` over
+/// the vocabulary of `a` and, for every element `e` of `a`, the set of
+/// elements of `b` allowed as images of `e`, produce the expansion of `b`
+/// interpreting `C_e` by that set.
+///
+/// This is the general form used by Lemmas 3.4, 3.7, 3.8 and Theorems 4.3,
+/// 5.5 when they construct the right-hand structure of a `p-HOM(R*)`
+/// instance.
+pub fn colored_target(
+    a_universe: usize,
+    b: &Structure,
+    allowed: impl Fn(Element) -> Vec<Element>,
+) -> Structure {
+    let mut vocab = b.vocabulary().clone();
+    for e in 0..a_universe {
+        vocab
+            .add(color_symbol_name(e), 1)
+            .expect("fresh colour symbols");
+    }
+    let mut out = Structure::new(vocab, b.universe_size()).expect("non-empty");
+    for (sym, t) in b.all_tuples() {
+        let new_sym = out
+            .vocabulary()
+            .id_of(b.vocabulary().name(sym))
+            .expect("copied");
+        out.add_tuple_unchecked(new_sym, t.clone());
+    }
+    for e in 0..a_universe {
+        let c = out
+            .vocabulary()
+            .id_of(&color_symbol_name(e))
+            .expect("just added");
+        for img in allowed(e) {
+            out.add_tuple_unchecked(c, vec![img]);
+        }
+    }
+    out.finalize();
+    out
+}
+
+/// The direct product `A × B` of two structures over the same vocabulary
+/// (Section 3.1): universe `A × B`, and
+/// `R^{A×B} = {((a_1,b_1),…) | ā ∈ R^A, b̄ ∈ R^B}`.
+///
+/// Pair `(a, b)` is encoded as element `a * |B| + b`; use
+/// [`product_pair`] / [`product_unpair`] to convert.
+pub fn direct_product(a: &Structure, b: &Structure) -> Result<Structure, StructureError> {
+    if !a.vocabulary().same_symbols(b.vocabulary()) {
+        return Err(StructureError::VocabularyMismatch {
+            detail: "direct product requires identical vocabularies".to_string(),
+        });
+    }
+    let nb = b.universe_size();
+    let mut out = Structure::new(a.vocabulary().clone(), a.universe_size() * nb)?;
+    for sym in a.vocabulary().ids() {
+        let b_sym = b.vocabulary().id_of(a.vocabulary().name(sym)).unwrap();
+        for ta in a.relation(sym).tuples() {
+            for tb in b.relation(b_sym).tuples() {
+                let combined: Tuple = ta
+                    .iter()
+                    .zip(tb.iter())
+                    .map(|(&x, &y)| x * nb + y)
+                    .collect();
+                out.add_tuple_unchecked(sym, combined);
+            }
+        }
+    }
+    out.finalize();
+    Ok(out)
+}
+
+/// Encode a pair `(a, b)` as a product element.
+pub fn product_pair(a: Element, b: Element, b_size: usize) -> Element {
+    a * b_size + b
+}
+
+/// Decode a product element back into `(a, b)`.
+pub fn product_unpair(e: Element, b_size: usize) -> (Element, Element) {
+    (e / b_size, e % b_size)
+}
+
+/// The disjoint union of a non-empty list of structures over the same
+/// vocabulary; elements of the `i`-th structure are shifted by the sum of the
+/// sizes of the earlier ones.  Returns the structure and the offsets.
+pub fn disjoint_union(parts: &[&Structure]) -> Result<(Structure, Vec<usize>), StructureError> {
+    let Some(first) = parts.first() else {
+        return Err(StructureError::EmptyUniverse);
+    };
+    let vocab: Vocabulary = first.vocabulary().clone();
+    for p in parts {
+        if !p.vocabulary().same_symbols(&vocab) {
+            return Err(StructureError::VocabularyMismatch {
+                detail: "disjoint union requires identical vocabularies".to_string(),
+            });
+        }
+    }
+    let total: usize = parts.iter().map(|p| p.universe_size()).sum();
+    let mut out = Structure::new(vocab.clone(), total)?;
+    let mut offsets = Vec::with_capacity(parts.len());
+    let mut offset = 0usize;
+    for p in parts {
+        offsets.push(offset);
+        for (sym, t) in p.all_tuples() {
+            let new_sym = vocab.id_of(p.vocabulary().name(sym)).unwrap();
+            out.add_tuple_unchecked(new_sym, t.iter().map(|&e| e + offset).collect());
+        }
+        offset += p.universe_size();
+    }
+    out.finalize();
+    Ok((out, offsets))
+}
+
+/// Replace every binary relation of a structure by its symmetric closure
+/// (used to pass from a directed graph to its underlying graph, Section 2.1).
+/// Non-binary relations are copied unchanged.
+pub fn symmetric_closure(a: &Structure) -> Structure {
+    let mut out = Structure::new(a.vocabulary().clone(), a.universe_size()).expect("non-empty");
+    for (sym, t) in a.all_tuples() {
+        out.add_tuple_unchecked(sym, t.clone());
+        if t.len() == 2 && t[0] != t[1] {
+            out.add_tuple_unchecked(sym, vec![t[1], t[0]]);
+        }
+    }
+    out.finalize();
+    out
+}
+
+/// The graph underlying a directed graph without loops: the symmetric closure
+/// of its edge relation (panics when the input has loops, matching the
+/// paper's requirement of irreflexivity).
+pub fn underlying_graph(digraph: &Structure) -> Structure {
+    assert!(digraph.is_digraph(), "underlying_graph expects a digraph");
+    let e = digraph.vocabulary().id_of("E").unwrap();
+    assert!(
+        digraph.relation(e).tuples().iter().all(|t| t[0] != t[1]),
+        "underlying graph is only defined for loop-free digraphs"
+    );
+    symmetric_closure(digraph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::homomorphism::{count_homomorphisms_bruteforce, homomorphism_exists};
+
+    #[test]
+    fn star_expansion_adds_singleton_colors() {
+        let p3 = families::path(3);
+        let p3s = star_expansion(&p3);
+        assert_eq!(p3s.vocabulary().len(), 1 + 3);
+        for e in 0..3 {
+            let c = p3s.vocabulary().id_of(&color_symbol_name(e)).unwrap();
+            assert_eq!(p3s.relation(c).len(), 1);
+            assert!(p3s.contains(c, &[e]));
+        }
+        // Original edges preserved.
+        assert_eq!(p3s.relation_named("E").len(), 4);
+    }
+
+    #[test]
+    fn star_expansion_is_rigid() {
+        // A* admits exactly one homomorphism to itself (the identity), i.e.
+        // it is a core (Example 2.1).  In particular hom-count A* -> A* is 1.
+        let c4 = families::cycle(4);
+        let c4s = star_expansion(&c4);
+        assert_eq!(count_homomorphisms_bruteforce(&c4s, &c4s), 1);
+        // whereas the uncoloured even cycle has many self-homomorphisms.
+        assert!(count_homomorphisms_bruteforce(&c4, &c4) > 1);
+    }
+
+    #[test]
+    fn colored_target_restricts_homomorphisms() {
+        let p3 = families::path(3);
+        let p3s = star_expansion(&p3);
+        let b = families::path(5);
+        // Allow element i of A to map only to element i of B: exactly the
+        // identity-like embedding remains.
+        let colored = colored_target(3, &b, |e| vec![e]);
+        assert_eq!(count_homomorphisms_bruteforce(&p3s, &colored), 1);
+        // Allowing everything recovers all homomorphisms of the uncoloured
+        // instance.
+        let all = colored_target(3, &b, |_| (0..5).collect());
+        assert_eq!(
+            count_homomorphisms_bruteforce(&p3s, &all),
+            count_homomorphisms_bruteforce(&p3, &b)
+        );
+    }
+
+    #[test]
+    fn direct_product_counts() {
+        // hom(A, B × C) ≅ hom(A, B) × hom(A, C), so counts multiply.
+        let a = families::directed_path(2);
+        let b = families::directed_path(3);
+        let c = families::directed_path(4);
+        let prod = direct_product(&b, &c).unwrap();
+        assert_eq!(
+            count_homomorphisms_bruteforce(&a, &prod),
+            count_homomorphisms_bruteforce(&a, &b) * count_homomorphisms_bruteforce(&a, &c)
+        );
+    }
+
+    #[test]
+    fn direct_product_pairing_roundtrip() {
+        let e = product_pair(3, 2, 5);
+        assert_eq!(product_unpair(e, 5), (3, 2));
+    }
+
+    #[test]
+    fn direct_product_requires_same_vocab() {
+        let a = families::path(2);
+        let b = families::directed_binary_tree(1);
+        assert!(direct_product(&a, &b).is_err());
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let p2 = families::path(2);
+        let p3 = families::path(3);
+        let (u, offsets) = disjoint_union(&[&p2, &p3]).unwrap();
+        assert_eq!(u.universe_size(), 5);
+        assert_eq!(offsets, vec![0, 2]);
+        // Edge 0-1 of the second part appears shifted to 2-3.
+        let e = u.vocabulary().id_of("E").unwrap();
+        assert!(u.contains(e, &[2, 3]));
+        assert!(!u.contains(e, &[1, 2]));
+    }
+
+    #[test]
+    fn disjoint_union_empty_and_mismatched() {
+        assert!(disjoint_union(&[]).is_err());
+        let p2 = families::path(2);
+        let b1 = families::directed_binary_tree(1);
+        assert!(disjoint_union(&[&p2, &b1]).is_err());
+    }
+
+    #[test]
+    fn disjoint_union_preserves_homomorphism_into_either_part() {
+        let p3 = families::path(3);
+        let c3 = families::cycle(3);
+        let c4 = families::cycle(4);
+        let (u, _) = disjoint_union(&[&c4, &c3]).unwrap();
+        // The triangle maps into the union (into its triangle part).
+        assert!(homomorphism_exists(&families::cycle(3), &u));
+        // And the path maps in as well.
+        assert!(homomorphism_exists(&p3, &u));
+    }
+
+    #[test]
+    fn symmetric_closure_and_underlying_graph() {
+        let dp = families::directed_path(4);
+        let ug = underlying_graph(&dp);
+        assert!(ug.is_graph());
+        assert_eq!(ug.relation_named("E").len(), 6);
+        // Symmetric closure leaves already-symmetric edge sets unchanged.
+        let p4 = families::path(4);
+        let closed = symmetric_closure(&p4);
+        assert_eq!(closed.universe_size(), p4.universe_size());
+        assert_eq!(
+            closed.relation_named("E").tuples(),
+            p4.relation_named("E").tuples()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn underlying_graph_rejects_loops() {
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut s = Structure::new(vocab, 1).unwrap();
+        s.add_tuple(e, vec![0, 0]).unwrap();
+        let _ = underlying_graph(&s);
+    }
+}

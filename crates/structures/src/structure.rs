@@ -1,0 +1,595 @@
+//! Finite relational structures.
+//!
+//! A τ-structure `A` (Section 2.1 of the paper) consists of a non-empty
+//! finite universe together with an interpretation `R^A ⊆ A^{ar(R)}` of every
+//! relation symbol `R ∈ τ`.  We identify the universe with `0..n`; callers
+//! that need named elements keep their own labelling (see
+//! [`crate::builder::StructureBuilder`]).
+
+use crate::error::StructureError;
+use crate::vocabulary::{SymbolId, Vocabulary};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An element of a structure's universe.
+pub type Element = usize;
+
+/// A tuple of elements, the member of a relation.
+pub type Tuple = Vec<Element>;
+
+/// The interpretation of one relation symbol: a set of tuples of the symbol's
+/// arity, stored sorted and deduplicated for deterministic iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    sorted: bool,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// The arity of this relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        if !self.sorted {
+            self.tuples.sort();
+            self.tuples.dedup();
+            self.sorted = true;
+        }
+    }
+
+    fn insert(&mut self, t: Tuple) {
+        debug_assert_eq!(t.len(), self.arity);
+        self.tuples.push(t);
+        self.sorted = false;
+    }
+
+    /// Tuples, in sorted order.
+    pub fn tuples(&self) -> &[Tuple] {
+        debug_assert!(self.sorted, "relation read before normalization");
+        &self.tuples
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Element]) -> bool {
+        debug_assert!(self.sorted);
+        self.tuples.binary_search_by(|probe| probe.as_slice().cmp(t)).is_ok()
+    }
+}
+
+/// A finite relational structure over a [`Vocabulary`].
+///
+/// Invariants maintained by construction:
+/// * the universe is non-empty (`universe_size >= 1`);
+/// * every stored tuple has the arity of its symbol and all components are
+///   `< universe_size`;
+/// * relation tuple lists are sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Structure {
+    vocab: Vocabulary,
+    universe_size: usize,
+    relations: Vec<Relation>,
+    /// Optional element labels, used only for display/debugging.
+    labels: Option<Vec<String>>,
+}
+
+impl Structure {
+    /// Create a structure with the given vocabulary and universe size and all
+    /// relations empty.
+    pub fn new(vocab: Vocabulary, universe_size: usize) -> Result<Self, StructureError> {
+        if universe_size == 0 {
+            return Err(StructureError::EmptyUniverse);
+        }
+        let relations = vocab.ids().map(|id| Relation::empty(vocab.arity(id))).collect();
+        Ok(Structure {
+            vocab,
+            universe_size,
+            relations,
+            labels: None,
+        })
+    }
+
+    /// Attach display labels to elements (must have length `universe_size`).
+    pub fn with_labels(mut self, labels: Vec<String>) -> Self {
+        assert_eq!(labels.len(), self.universe_size);
+        self.labels = Some(labels);
+        self
+    }
+
+    /// The label of an element, if labels were attached.
+    pub fn label(&self, e: Element) -> Option<&str> {
+        self.labels.as_ref().map(|l| l[e].as_str())
+    }
+
+    /// The vocabulary of the structure.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Size of the universe `|A|`.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Iterator over the universe `0..n`.
+    pub fn universe(&self) -> impl Iterator<Item = Element> {
+        0..self.universe_size
+    }
+
+    /// Insert a tuple into the interpretation of `sym`.
+    ///
+    /// Prefer [`crate::builder::StructureBuilder`] for bulk construction; this
+    /// method re-normalizes the relation on every call sequence boundary via
+    /// [`Structure::finalize`]; it is kept for incremental edits in tests.
+    pub fn add_tuple(&mut self, sym: SymbolId, tuple: Tuple) -> Result<(), StructureError> {
+        let arity = self.vocab.arity(sym);
+        if tuple.len() != arity {
+            return Err(StructureError::ArityMismatch {
+                symbol: self.vocab.name(sym).to_string(),
+                expected: arity,
+                got: tuple.len(),
+            });
+        }
+        if let Some(&e) = tuple.iter().find(|&&e| e >= self.universe_size) {
+            return Err(StructureError::ElementOutOfRange {
+                element: e,
+                universe: self.universe_size,
+            });
+        }
+        self.relations[sym.index()].insert(tuple);
+        self.relations[sym.index()].normalize();
+        Ok(())
+    }
+
+    pub(crate) fn add_tuple_unchecked(&mut self, sym: SymbolId, tuple: Tuple) {
+        self.relations[sym.index()].insert(tuple);
+    }
+
+    pub(crate) fn finalize(&mut self) {
+        for r in &mut self.relations {
+            r.normalize();
+        }
+    }
+
+    /// The interpretation of a symbol.
+    pub fn relation(&self, sym: SymbolId) -> &Relation {
+        &self.relations[sym.index()]
+    }
+
+    /// The interpretation of a symbol looked up by name (panics when absent —
+    /// use [`Vocabulary::id_of`] for fallible lookup).
+    pub fn relation_named(&self, name: &str) -> &Relation {
+        let id = self
+            .vocab
+            .id_of(name)
+            .unwrap_or_else(|| panic!("unknown relation symbol {name}"));
+        self.relation(id)
+    }
+
+    /// Membership test `t ∈ R^A`.
+    pub fn contains(&self, sym: SymbolId, t: &[Element]) -> bool {
+        self.relations[sym.index()].contains(t)
+    }
+
+    /// Total number of tuples over all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// The paper's size measure
+    /// `|A| := |τ| + |A| + Σ_{R∈τ} |R^A| · ar(R)` (Section 2.3).
+    pub fn paper_size(&self) -> usize {
+        self.vocab.len()
+            + self.universe_size
+            + self
+                .relations
+                .iter()
+                .map(|r| r.len() * r.arity())
+                .sum::<usize>()
+    }
+
+    /// Iterate over `(symbol, tuple)` pairs of all relations.
+    pub fn all_tuples(&self) -> impl Iterator<Item = (SymbolId, &Tuple)> {
+        self.vocab.ids().flat_map(move |id| {
+            self.relations[id.index()]
+                .tuples()
+                .iter()
+                .map(move |t| (id, t))
+        })
+    }
+
+    /// The edge set of the Gaifman graph of the structure: all unordered
+    /// pairs `{a, a'}` of *distinct* elements that occur together in some
+    /// tuple of some relation (Section 2.2).
+    pub fn gaifman_edges(&self) -> BTreeSet<(Element, Element)> {
+        let mut edges = BTreeSet::new();
+        for (_, t) in self.all_tuples() {
+            for i in 0..t.len() {
+                for j in (i + 1)..t.len() {
+                    let (a, b) = (t[i], t[j]);
+                    if a != b {
+                        edges.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// The neighbourhood lists of the Gaifman graph, indexed by element.
+    pub fn gaifman_adjacency(&self) -> Vec<Vec<Element>> {
+        let mut adj = vec![BTreeSet::new(); self.universe_size];
+        for (a, b) in self.gaifman_edges() {
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+        adj.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    /// The substructure `⟨X⟩_A` induced by a non-empty subset `X` of the
+    /// universe, together with the map from old elements to new elements.
+    ///
+    /// Elements of the result are renumbered `0..|X|` in increasing order of
+    /// the original elements.
+    pub fn induced_substructure(
+        &self,
+        subset: &BTreeSet<Element>,
+    ) -> Result<(Structure, Vec<Option<Element>>), StructureError> {
+        if subset.is_empty() {
+            return Err(StructureError::EmptyUniverse);
+        }
+        let mut old_to_new: Vec<Option<Element>> = vec![None; self.universe_size];
+        for (new, &old) in subset.iter().enumerate() {
+            if old >= self.universe_size {
+                return Err(StructureError::ElementOutOfRange {
+                    element: old,
+                    universe: self.universe_size,
+                });
+            }
+            old_to_new[old] = Some(new);
+        }
+        let mut out = Structure::new(self.vocab.clone(), subset.len())?;
+        for (sym, t) in self.all_tuples() {
+            if let Some(mapped) = t
+                .iter()
+                .map(|&e| old_to_new[e])
+                .collect::<Option<Vec<Element>>>()
+            {
+                out.add_tuple_unchecked(sym, mapped);
+            }
+        }
+        out.finalize();
+        if let Some(labels) = &self.labels {
+            let new_labels = subset.iter().map(|&old| labels[old].clone()).collect();
+            out = out.with_labels(new_labels);
+        }
+        Ok((out, old_to_new))
+    }
+
+    /// A *restriction* of the structure: forget the interpretations of all
+    /// symbols not present in `keep` (Section 2.1).
+    pub fn restrict_to(&self, keep: &Vocabulary) -> Result<Structure, StructureError> {
+        if !keep.subset_of(&self.vocab) {
+            return Err(StructureError::VocabularyMismatch {
+                detail: "restriction vocabulary is not a subset".to_string(),
+            });
+        }
+        let mut out = Structure::new(keep.clone(), self.universe_size)?;
+        for id in keep.ids() {
+            let own = self.vocab.id_of(keep.name(id)).expect("subset checked");
+            for t in self.relation(own).tuples() {
+                out.add_tuple_unchecked(id, t.clone());
+            }
+        }
+        out.finalize();
+        Ok(out)
+    }
+
+    /// An *expansion* of the structure: extend the vocabulary with the
+    /// symbols of `extra` (all interpreted as empty relations).  Use
+    /// [`Structure::add_tuple`] afterwards to populate them.
+    pub fn expand_vocabulary(&self, extra: &Vocabulary) -> Result<Structure, StructureError> {
+        let vocab = self.vocab.union(extra)?;
+        let mut out = Structure::new(vocab, self.universe_size)?;
+        for (sym, t) in self.all_tuples() {
+            let new_sym = out.vocab.id_of(self.vocab.name(sym)).expect("union");
+            out.add_tuple_unchecked(new_sym, t.clone());
+        }
+        out.finalize();
+        out.labels = self.labels.clone();
+        Ok(out)
+    }
+
+    /// Whether the structure is a *directed graph*: vocabulary `{E}` with `E`
+    /// binary.
+    pub fn is_digraph(&self) -> bool {
+        self.vocab.len() == 1
+            && self
+                .vocab
+                .id_of("E")
+                .map(|id| self.vocab.arity(id) == 2)
+                .unwrap_or(false)
+    }
+
+    /// Whether the structure is a *graph* in the paper's sense: a digraph
+    /// whose edge relation is irreflexive and symmetric.
+    pub fn is_graph(&self) -> bool {
+        if !self.is_digraph() {
+            return false;
+        }
+        let e = self.vocab.id_of("E").unwrap();
+        let rel = self.relation(e);
+        rel.tuples().iter().all(|t| {
+            let (a, b) = (t[0], t[1]);
+            a != b && rel.contains(&[b, a])
+        })
+    }
+
+    /// Check two structures for equality of interpretation under an explicit
+    /// element bijection `perm` (maps self-elements to other-elements).  Used
+    /// by isomorphism tests.
+    pub fn equal_under(&self, other: &Structure, perm: &[Element]) -> bool {
+        if self.universe_size != other.universe_size
+            || !self.vocab.same_symbols(&other.vocab)
+            || perm.len() != self.universe_size
+        {
+            return false;
+        }
+        for id in self.vocab.ids() {
+            let other_id = other.vocab.id_of(self.vocab.name(id)).unwrap();
+            let rel = self.relation(id);
+            let other_rel = other.relation(other_id);
+            if rel.len() != other_rel.len() {
+                return false;
+            }
+            for t in rel.tuples() {
+                let mapped: Tuple = t.iter().map(|&e| perm[e]).collect();
+                if !other_rel.contains(&mapped) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "structure over {} with {} elements:",
+            self.vocab, self.universe_size
+        )?;
+        for id in self.vocab.ids() {
+            write!(f, "  {} = {{", self.vocab.name(id))?;
+            for (i, t) in self.relation(id).tuples().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "(")?;
+                for (j, e) in t.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ",")?;
+                    }
+                    match self.label(*e) {
+                        Some(l) => write!(f, "{l}")?,
+                        None => write!(f, "{e}")?,
+                    }
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Structure {
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut s = Structure::new(vocab, 3).unwrap();
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            s.add_tuple(e, vec![a, b]).unwrap();
+            s.add_tuple(e, vec![b, a]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn empty_universe_rejected() {
+        assert_eq!(
+            Structure::new(Vocabulary::graph(), 0).unwrap_err(),
+            StructureError::EmptyUniverse
+        );
+    }
+
+    #[test]
+    fn arity_and_range_checks() {
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut s = Structure::new(vocab, 2).unwrap();
+        assert!(matches!(
+            s.add_tuple(e, vec![0]),
+            Err(StructureError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.add_tuple(e, vec![0, 5]),
+            Err(StructureError::ElementOutOfRange { .. })
+        ));
+        s.add_tuple(e, vec![0, 1]).unwrap();
+        assert!(s.contains(e, &[0, 1]));
+        assert!(!s.contains(e, &[1, 0]));
+    }
+
+    #[test]
+    fn duplicate_tuples_deduplicated() {
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut s = Structure::new(vocab, 2).unwrap();
+        s.add_tuple(e, vec![0, 1]).unwrap();
+        s.add_tuple(e, vec![0, 1]).unwrap();
+        assert_eq!(s.relation(e).len(), 1);
+        assert_eq!(s.tuple_count(), 1);
+    }
+
+    #[test]
+    fn paper_size_formula() {
+        // |τ| = 1, |A| = 3, |E^A| = 6 tuples of arity 2 ⇒ 1 + 3 + 12 = 16.
+        let t = triangle();
+        assert_eq!(t.paper_size(), 16);
+    }
+
+    #[test]
+    fn gaifman_edges_of_triangle() {
+        let t = triangle();
+        let edges = t.gaifman_edges();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(1, 2)));
+        assert!(edges.contains(&(0, 2)));
+        let adj = t.gaifman_adjacency();
+        assert_eq!(adj[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn gaifman_ignores_loops_and_higher_arity_works() {
+        let vocab = Vocabulary::from_pairs([("R", 3)]).unwrap();
+        let r = vocab.id_of("R").unwrap();
+        let mut s = Structure::new(vocab, 4).unwrap();
+        s.add_tuple(r, vec![0, 0, 1]).unwrap();
+        s.add_tuple(r, vec![2, 3, 2]).unwrap();
+        let edges = s.gaifman_edges();
+        assert_eq!(
+            edges.into_iter().collect::<Vec<_>>(),
+            vec![(0, 1), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn induced_substructure_renumbers() {
+        let t = triangle();
+        let e = t.vocabulary().id_of("E").unwrap();
+        let subset: BTreeSet<Element> = [0, 2].into_iter().collect();
+        let (sub, map) = t.induced_substructure(&subset).unwrap();
+        assert_eq!(sub.universe_size(), 2);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[1], None);
+        assert_eq!(map[2], Some(1));
+        // Edge 0-2 of the triangle survives as 0-1.
+        let es = sub.vocabulary().id_of("E").unwrap();
+        assert!(sub.contains(es, &[0, 1]));
+        assert!(sub.contains(es, &[1, 0]));
+        assert_eq!(sub.relation(es).len(), 2);
+        assert!(t.contains(e, &[0, 1]));
+    }
+
+    #[test]
+    fn induced_substructure_rejects_empty_and_out_of_range() {
+        let t = triangle();
+        assert!(t.induced_substructure(&BTreeSet::new()).is_err());
+        let bad: BTreeSet<Element> = [7].into_iter().collect();
+        assert!(t.induced_substructure(&bad).is_err());
+    }
+
+    #[test]
+    fn restriction_and_expansion() {
+        let vocab = Vocabulary::from_pairs([("E", 2), ("C", 1)]).unwrap();
+        let e = vocab.id_of("E").unwrap();
+        let c = vocab.id_of("C").unwrap();
+        let mut s = Structure::new(vocab, 2).unwrap();
+        s.add_tuple(e, vec![0, 1]).unwrap();
+        s.add_tuple(c, vec![1]).unwrap();
+
+        let only_e = Vocabulary::graph();
+        let r = s.restrict_to(&only_e).unwrap();
+        assert_eq!(r.vocabulary().len(), 1);
+        assert_eq!(r.tuple_count(), 1);
+
+        let extra = Vocabulary::from_pairs([("D", 1)]).unwrap();
+        let ex = s.expand_vocabulary(&extra).unwrap();
+        assert_eq!(ex.vocabulary().len(), 3);
+        assert_eq!(ex.tuple_count(), 2);
+        assert!(ex.relation_named("D").is_empty());
+
+        // Restricting to a non-subset vocabulary fails.
+        let bad = Vocabulary::from_pairs([("Z", 5)]).unwrap();
+        assert!(s.restrict_to(&bad).is_err());
+    }
+
+    #[test]
+    fn graph_predicates() {
+        let t = triangle();
+        assert!(t.is_digraph());
+        assert!(t.is_graph());
+
+        // A directed edge only in one direction is a digraph but not a graph.
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut d = Structure::new(vocab, 2).unwrap();
+        d.add_tuple(e, vec![0, 1]).unwrap();
+        assert!(d.is_digraph());
+        assert!(!d.is_graph());
+
+        // A loop disqualifies a graph.
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut l = Structure::new(vocab, 1).unwrap();
+        l.add_tuple(e, vec![0, 0]).unwrap();
+        assert!(!l.is_graph());
+
+        // Non-graph vocabulary.
+        let other = Structure::new(Vocabulary::from_pairs([("R", 3)]).unwrap(), 1).unwrap();
+        assert!(!other.is_digraph());
+    }
+
+    #[test]
+    fn equal_under_permutation() {
+        let t = triangle();
+        // Any rotation of the triangle is an automorphism.
+        assert!(t.equal_under(&t, &[1, 2, 0]));
+        assert!(t.equal_under(&t, &[0, 1, 2]));
+        // A path is not isomorphic to a triangle under any bijection we test.
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut p = Structure::new(vocab, 3).unwrap();
+        p.add_tuple(e, vec![0, 1]).unwrap();
+        p.add_tuple(e, vec![1, 0]).unwrap();
+        p.add_tuple(e, vec![1, 2]).unwrap();
+        p.add_tuple(e, vec![2, 1]).unwrap();
+        assert!(!t.equal_under(&p, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn labels_and_display() {
+        let t = triangle().with_labels(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(t.label(0), Some("a"));
+        let shown = t.to_string();
+        assert!(shown.contains("E"));
+        assert!(shown.contains("(a,b)"));
+    }
+}

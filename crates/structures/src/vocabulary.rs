@@ -1,0 +1,285 @@
+//! Vocabularies: finite sets of relation symbols with associated arities.
+//!
+//! A vocabulary `τ` in the paper is a finite set of relation symbols, each
+//! with an arity (Section 2.1).  We intern symbols by name and address them
+//! by a dense [`SymbolId`] so that structures can store their relations in a
+//! `Vec` parallel to the vocabulary.
+
+use crate::error::StructureError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense index of a relation symbol within its [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The index as a `usize`, for indexing parallel vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relation symbol: a name together with an arity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelationSymbol {
+    /// Human-readable name (e.g. `"E"`, `"S0"`, `"C_3"`).
+    pub name: String,
+    /// Number of argument positions.
+    pub arity: usize,
+}
+
+impl RelationSymbol {
+    /// Create a new relation symbol.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        RelationSymbol {
+            name: name.into(),
+            arity,
+        }
+    }
+}
+
+impl fmt::Display for RelationSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// A finite vocabulary: an ordered list of relation symbols with a name index.
+///
+/// The order of symbols is significant only in that [`SymbolId`]s are assigned
+/// in insertion order; two vocabularies are *compatible* when they contain the
+/// same named symbols with the same arities, regardless of order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    symbols: Vec<RelationSymbol>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl Vocabulary {
+    /// The empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Build a vocabulary from `(name, arity)` pairs.
+    ///
+    /// Duplicate names with identical arities are collapsed; duplicate names
+    /// with different arities produce an error.
+    pub fn from_pairs<I, S>(pairs: I) -> Result<Self, StructureError>
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        let mut v = Vocabulary::new();
+        for (name, arity) in pairs {
+            v.add(name, arity)?;
+        }
+        Ok(v)
+    }
+
+    /// A vocabulary with a single binary symbol `E` — the vocabulary of
+    /// (directed) graphs as used throughout the paper.
+    pub fn graph() -> Self {
+        Vocabulary::from_pairs([("E", 2)]).expect("static vocabulary")
+    }
+
+    /// Add a relation symbol, returning its [`SymbolId`].
+    ///
+    /// Adding a symbol that already exists with the same arity is a no-op
+    /// returning the existing id; a conflicting arity is an error.
+    pub fn add(&mut self, name: impl Into<String>, arity: usize) -> Result<SymbolId, StructureError> {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            if self.symbols[id.index()].arity == arity {
+                return Ok(id);
+            }
+            return Err(StructureError::DuplicateSymbol(name));
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.symbols.push(RelationSymbol { name, arity });
+        Ok(id)
+    }
+
+    /// Number of relation symbols `|τ|`.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` when the vocabulary has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Look up a symbol id by name.
+    pub fn id_of(&self, name: &str) -> Option<SymbolId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve a symbol id to the symbol.
+    pub fn symbol(&self, id: SymbolId) -> &RelationSymbol {
+        &self.symbols[id.index()]
+    }
+
+    /// Arity of a symbol.
+    pub fn arity(&self, id: SymbolId) -> usize {
+        self.symbols[id.index()].arity
+    }
+
+    /// Name of a symbol.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.symbols[id.index()].name
+    }
+
+    /// Iterate over all `(SymbolId, &RelationSymbol)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &RelationSymbol)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymbolId(i as u32), s))
+    }
+
+    /// All symbol ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = SymbolId> {
+        (0..self.symbols.len() as u32).map(SymbolId)
+    }
+
+    /// The maximum arity over all symbols, or 0 for the empty vocabulary.
+    ///
+    /// Classes of bounded arity (Section 2.1) are classes where this value is
+    /// uniformly bounded over all member structures.
+    pub fn max_arity(&self) -> usize {
+        self.symbols.iter().map(|s| s.arity).max().unwrap_or(0)
+    }
+
+    /// Whether `other` interprets exactly the same named symbols with the
+    /// same arities (order-insensitive).
+    pub fn same_symbols(&self, other: &Vocabulary) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.symbols.iter().all(|s| {
+            other
+                .id_of(&s.name)
+                .map(|id| other.arity(id) == s.arity)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Whether every symbol of `self` appears (same arity) in `other`.
+    pub fn subset_of(&self, other: &Vocabulary) -> bool {
+        self.symbols.iter().all(|s| {
+            other
+                .id_of(&s.name)
+                .map(|id| other.arity(id) == s.arity)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Construct the union of two vocabularies.  Fails when a name appears in
+    /// both with different arities.
+    pub fn union(&self, other: &Vocabulary) -> Result<Vocabulary, StructureError> {
+        let mut v = self.clone();
+        for s in &other.symbols {
+            v.add(s.name.clone(), s.arity)?;
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocabulary::new();
+        let e = v.add("E", 2).unwrap();
+        let c = v.add("C", 1).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.id_of("E"), Some(e));
+        assert_eq!(v.id_of("C"), Some(c));
+        assert_eq!(v.arity(e), 2);
+        assert_eq!(v.name(c), "C");
+        assert_eq!(v.id_of("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_same_arity_is_noop() {
+        let mut v = Vocabulary::new();
+        let a = v.add("E", 2).unwrap();
+        let b = v.add("E", 2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_conflicting_arity_errors() {
+        let mut v = Vocabulary::new();
+        v.add("E", 2).unwrap();
+        assert_eq!(
+            v.add("E", 3),
+            Err(StructureError::DuplicateSymbol("E".into()))
+        );
+    }
+
+    #[test]
+    fn graph_vocabulary() {
+        let v = Vocabulary::graph();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.arity(v.id_of("E").unwrap()), 2);
+        assert_eq!(v.max_arity(), 2);
+    }
+
+    #[test]
+    fn same_symbols_is_order_insensitive() {
+        let a = Vocabulary::from_pairs([("E", 2), ("C", 1)]).unwrap();
+        let b = Vocabulary::from_pairs([("C", 1), ("E", 2)]).unwrap();
+        assert!(a.same_symbols(&b));
+        assert!(b.same_symbols(&a));
+        let c = Vocabulary::from_pairs([("C", 2), ("E", 2)]).unwrap();
+        assert!(!a.same_symbols(&c));
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = Vocabulary::from_pairs([("E", 2)]).unwrap();
+        let b = Vocabulary::from_pairs([("E", 2), ("C", 1)]).unwrap();
+        assert!(a.subset_of(&b));
+        assert!(!b.subset_of(&a));
+        let u = a.union(&b).unwrap();
+        assert!(u.same_symbols(&b));
+        let conflicting = Vocabulary::from_pairs([("E", 3)]).unwrap();
+        assert!(a.union(&conflicting).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Vocabulary::from_pairs([("E", 2), ("C", 1)]).unwrap();
+        let s = v.to_string();
+        assert!(s.contains("E/2"));
+        assert!(s.contains("C/1"));
+        assert_eq!(RelationSymbol::new("R", 3).to_string(), "R/3");
+    }
+
+    #[test]
+    fn max_arity_empty() {
+        assert_eq!(Vocabulary::new().max_arity(), 0);
+        assert!(Vocabulary::new().is_empty());
+    }
+}

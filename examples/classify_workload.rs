@@ -1,0 +1,34 @@
+//! Classify query classes into the three degrees of Theorem 3.1.
+//!
+//! Run with `cargo run --example classify_workload`.
+
+use cq_fine::classification::{classify_generated, Degree};
+use cq_fine::structures::{families, star_expansion};
+
+fn main() {
+    let classes: Vec<(&str, Box<dyn Fn(usize) -> cq_fine::structures::Structure>, usize)> = vec![
+        ("undirected paths", Box::new(|i| families::path(i + 2)), 7),
+        ("stars K_{1,l}", Box::new(|i| families::star(i + 1)), 7),
+        ("even cycles", Box::new(|i| families::cycle(2 * i + 4)), 7),
+        ("directed paths ->P_k", Box::new(|i| families::directed_path(i + 2)), 8),
+        ("coloured paths P*_k", Box::new(|i| star_expansion(&families::path(i + 2))), 8),
+        ("odd cycles", Box::new(|i| families::cycle(2 * i + 3)), 7),
+        ("coloured trees T*_h", Box::new(|i| star_expansion(&families::tree_t(i + 1))), 3),
+        ("cliques K_k", Box::new(|i| families::clique(i + 1)), 6),
+    ];
+
+    println!("class                     degree          max core (tw, pw, td)");
+    for (name, gen, samples) in classes {
+        let c = classify_generated(&*gen, samples);
+        let degree = match c.degree {
+            Degree::ParaL => "para-L",
+            Degree::PathComplete => "PATH-complete",
+            Degree::TreeComplete => "TREE-complete",
+            Degree::W1Hard => "W[1]-hard",
+        };
+        println!(
+            "{name:<25} {degree:<15} ({}, {}, {})",
+            c.max_core_treewidth, c.max_core_pathwidth, c.max_core_treedepth
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # cq-fine
+//!
+//! A full reproduction of Chen & Müller, *"The Fine Classification of
+//! Conjunctive Queries and Parameterized Logarithmic Space Complexity"*
+//! (PODS 2013), as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names so that examples and downstream users can depend on a single crate:
+//!
+//! * [`structures`] — relational structures, homomorphisms, cores, `A*`;
+//! * [`graphs`] — graphs, Gaifman graphs, minors;
+//! * [`decomp`] — tree/path decompositions, treewidth, pathwidth, tree depth;
+//! * [`logic`] — first-order and `{∧,∃}` sentences, metered model checking;
+//! * [`machine`] — the resource-metered machine substrate (jump machines);
+//! * [`solver`] — homomorphism / embedding / counting algorithms;
+//! * [`reductions`] — the paper's pl-reductions as instance transformations;
+//! * [`classification`] — the fine classification itself (Theorem 3.1 / 6.1);
+//! * [`workloads`] — seeded generators used by the experiments.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the experiment
+//! harness.
+
+pub use cq_core as classification;
+pub use cq_decomp as decomp;
+pub use cq_graphs as graphs;
+pub use cq_logic as logic;
+pub use cq_machine as machine;
+pub use cq_reductions as reductions;
+pub use cq_solver as solver;
+pub use cq_structures as structures;
+pub use cq_workloads as workloads;

@@ -1,0 +1,66 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use cq_fine::decomp::width_profile;
+use cq_fine::graphs::gaifman_graph;
+use cq_fine::solver::treedec::{count_hom_via_tree_decomposition, hom_via_tree_decomposition};
+use cq_fine::solver::treedepth::count_hom_via_treedepth;
+use cq_fine::structures::{
+    core_of, count_homomorphisms_bruteforce, homomorphism_exists, is_core, Structure,
+};
+use cq_fine::workloads::{random_graph_structure, random_digraph_structure};
+use proptest::prelude::*;
+
+fn small_graph() -> impl Strategy<Value = Structure> {
+    (3usize..8, 0u64..500).prop_map(|(n, seed)| random_graph_structure(n, 0.4, seed))
+}
+
+fn small_digraph() -> impl Strategy<Value = Structure> {
+    (2usize..7, 0u64..500).prop_map(|(n, seed)| random_digraph_structure(n, 0.3, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core is a core, is homomorphically equivalent to the input, and
+    /// taking the core twice changes nothing.
+    #[test]
+    fn core_invariants(a in small_graph()) {
+        let c = core_of(&a);
+        prop_assert!(is_core(&c.core));
+        prop_assert!(homomorphism_exists(&a, &c.core));
+        prop_assert!(homomorphism_exists(&c.core, &a));
+        prop_assert_eq!(core_of(&c.core).core_size(), c.core_size());
+    }
+
+    /// tw <= pw <= td - 1 (for graphs with at least one edge).
+    #[test]
+    fn width_measure_ordering(a in small_graph()) {
+        let g = gaifman_graph(&a);
+        let p = width_profile(&g);
+        prop_assert!(p.treewidth <= p.pathwidth);
+        if g.edge_count() > 0 {
+            prop_assert!(p.pathwidth < p.treedepth);
+        }
+    }
+
+    /// The tree-decomposition DP and the reference solver agree on decision
+    /// and counting; the tree-depth counter agrees as well.
+    #[test]
+    fn solvers_agree(a in small_digraph(), b in small_digraph()) {
+        let expected = homomorphism_exists(&a, &b);
+        let (_, td) = cq_fine::decomp::treewidth::treewidth_of_structure(&a);
+        prop_assert_eq!(hom_via_tree_decomposition(&a, &b, &td), expected);
+        let expected_count = count_homomorphisms_bruteforce(&a, &b);
+        prop_assert_eq!(count_hom_via_tree_decomposition(&a, &b, &td), expected_count);
+        prop_assert_eq!(count_hom_via_treedepth(&a, &b), expected_count);
+    }
+
+    /// Homomorphism counts multiply over direct products of targets.
+    #[test]
+    fn product_counting_law(a in small_digraph(), b in small_digraph(), c in small_digraph()) {
+        let prod = cq_fine::structures::direct_product(&b, &c).unwrap();
+        let left = count_homomorphisms_bruteforce(&a, &prod);
+        let right = count_homomorphisms_bruteforce(&a, &b) * count_homomorphisms_bruteforce(&a, &c);
+        prop_assert_eq!(left, right);
+    }
+}

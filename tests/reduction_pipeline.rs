@@ -1,0 +1,59 @@
+//! Integration test: reductions compose across crates — machine compilation,
+//! the Theorem 4.7 chain, and the Lemma 3.4 reduction feeding the solvers.
+
+use cq_fine::machine::compile::compile_jump_to_hom_path;
+use cq_fine::machine::jump::accepts_jump_machine;
+use cq_fine::machine::problems::{StPathInput, StPathMachine};
+use cq_fine::graphs::families::cycle_graph;
+use cq_fine::reductions::chain::{dirpath_to_st_path, hom_path_star_to_dirpath, st_path_to_dircycle};
+use cq_fine::reductions::treedec_reduction::to_tree_star_instance_auto;
+use cq_fine::solver::treedec::hom_via_tree_decomposition;
+use cq_fine::structures::ops::colored_target;
+use cq_fine::structures::{families, homomorphism_exists, star_expansion};
+
+#[test]
+fn machine_compilation_feeds_the_path_solver() {
+    for k in [3usize, 4, 6] {
+        let input = StPathInput { graph: cycle_graph(8), s: 0, t: 4, k };
+        let expected = accepts_jump_machine(&StPathMachine, &input).accepted;
+        let compiled = compile_jump_to_hom_path(&StPathMachine, &input);
+        // Solve the compiled instance with the tree-decomposition DP (P* has
+        // treewidth 1), not just the reference solver.
+        let (_, td) = cq_fine::decomp::treewidth::treewidth_of_structure(&compiled.query);
+        let got = hom_via_tree_decomposition(&compiled.query, &compiled.database, &td);
+        assert_eq!(got, expected, "k = {k}");
+    }
+}
+
+#[test]
+fn theorem_4_7_chain_composes() {
+    for (base, k, all_colors) in [
+        (families::cycle(6), 3usize, true),
+        (families::path(5), 4, true),
+        (families::cycle(5), 3, false),
+    ] {
+        let n = base.universe_size();
+        let b = colored_target(k, &base, |e| if all_colors { (0..n).collect() } else { vec![e] });
+        let query = star_expansion(&families::path(k));
+        let expected = homomorphism_exists(&query, &b);
+        let s1 = hom_path_star_to_dirpath(k, &b);
+        let s2 = dirpath_to_st_path(k, &s1.database);
+        let s3 = st_path_to_dircycle(&s2);
+        assert_eq!(s1.holds(), expected);
+        assert_eq!(s2.holds(), expected);
+        assert_eq!(s3.holds(), expected);
+    }
+}
+
+#[test]
+fn lemma_3_4_reduction_feeds_the_tree_solver() {
+    let a = families::cycle(5);
+    let b = families::cycle(7);
+    let expected = homomorphism_exists(&a, &b);
+    let reduced = to_tree_star_instance_auto(&a, &b);
+    let (_, td) = cq_fine::decomp::treewidth::treewidth_of_structure(&reduced.query);
+    assert_eq!(
+        hom_via_tree_decomposition(&reduced.query, &reduced.database, &td),
+        expected
+    );
+}
