@@ -4,8 +4,8 @@
 use cq_decomp::pathwidth::pathwidth_of_structure;
 use cq_solver::pathdp::hom_via_path_decomposition;
 use cq_solver::treedec::hom_via_tree_decomposition;
-use cq_structures::{families, star_expansion};
 use cq_structures::ops::colored_target;
+use cq_structures::{families, star_expansion};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {

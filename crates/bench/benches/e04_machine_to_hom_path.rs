@@ -1,10 +1,10 @@
 //! E4 — Theorem 4.3: compile jump-machine acceptance into HOM(P*) instances
 //! and verify/measure the blow-up.
 
+use cq_graphs::families::{cycle_graph, grid_graph};
 use cq_machine::compile::compile_jump_to_hom_path;
 use cq_machine::jump::accepts_jump_machine;
 use cq_machine::problems::{StPathInput, StPathMachine};
-use cq_graphs::families::{cycle_graph, grid_graph};
 use cq_structures::homomorphism_exists;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -29,7 +29,12 @@ fn bench(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("e04");
     g.sample_size(10);
-    let input = StPathInput { graph: cycle_graph(10), s: 0, t: 5, k: 5 };
+    let input = StPathInput {
+        graph: cycle_graph(10),
+        s: 0,
+        t: 5,
+        k: 5,
+    };
     g.bench_function("compile+solve st-path on C10", |b| {
         b.iter(|| {
             let compiled = compile_jump_to_hom_path(&StPathMachine, &input);

@@ -46,7 +46,16 @@ fn bench(c: &mut Criterion) {
     });
     grp.bench_function("k-path colour coding k=6", |bch| {
         let g = random_graph(64, 0.08, 5);
-        bch.iter(|| has_k_path(&g, 6, ColorCodingConfig { trials: 50, seed: 1 }))
+        bch.iter(|| {
+            has_k_path(
+                &g,
+                6,
+                ColorCodingConfig {
+                    trials: 50,
+                    seed: 1,
+                },
+            )
+        })
     });
     grp.finish();
 }

@@ -13,13 +13,19 @@ fn bench(c: &mut Criterion) {
     for r in [1usize, 2] {
         let nodes = families::binary_universe_size(r);
         let db = colored_target(nodes, &families::clique(3), |_| (0..3).collect());
-        let input = TreeQueryInput { height: r, database: db };
+        let input = TreeQueryInput {
+            height: r,
+            database: db,
+        };
         let run = accepts_alternating_machine(&TreeQueryMachine, &input);
         let compiled = compile_alternating_to_hom_tree(&TreeQueryMachine, &input);
         let hom = homomorphism_exists(&compiled.query, &compiled.database);
         println!(
             "  height={r} machine={} hom={} configs={} |B'|={}",
-            run.accepted, hom, compiled.configurations, compiled.database_size()
+            run.accepted,
+            hom,
+            compiled.configurations,
+            compiled.database_size()
         );
         assert_eq!(run.accepted, hom);
     }
@@ -27,7 +33,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let nodes = families::binary_universe_size(2);
     let db = colored_target(nodes, &families::clique(3), |_| (0..3).collect());
-    let input = TreeQueryInput { height: 2, database: db };
+    let input = TreeQueryInput {
+        height: 2,
+        database: db,
+    };
     g.bench_function("alternating acceptance height=2", |b| {
         b.iter(|| accepts_alternating_machine(&TreeQueryMachine, &input).accepted)
     });

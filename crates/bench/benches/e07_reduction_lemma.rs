@@ -17,7 +17,12 @@ fn bench(c: &mut Criterion) {
     let mstar = star_expansion(&minor.to_structure());
     let expected = homomorphism_exists(&mstar, &b);
     let r_minor = minor_to_host_instance(&minor, &b, &host, &mu);
-    println!("  minor step: answer {} -> {}  |B'| = {}", expected, r_minor.holds(), r_minor.database_size);
+    println!(
+        "  minor step: answer {} -> {}  |B'| = {}",
+        expected,
+        r_minor.holds(),
+        r_minor.database_size
+    );
     assert_eq!(expected, r_minor.holds());
 
     // Step HOM(G*) <= HOM(A*): ternary structure whose Gaifman graph is a triangle.
@@ -28,14 +33,22 @@ fn bench(c: &mut Criterion) {
     let a = builder.build().unwrap();
     let gb = colored_target(3, &families::clique(4), |_| (0..4).collect());
     let r_gaifman = gaifman_to_structure_instance(&a, &gb);
-    println!("  gaifman step: holds = {}  |B'| = {}", r_gaifman.holds(), r_gaifman.database_size);
+    println!(
+        "  gaifman step: holds = {}  |B'| = {}",
+        r_gaifman.holds(),
+        r_gaifman.database_size
+    );
     assert!(r_gaifman.holds());
 
     // Step HOM(core(A)*) <= HOM(core(A)): odd cycle query.
     let c5 = families::cycle(5);
     let cb = colored_target(5, &families::cycle(5), |_| (0..5).collect());
     let r_star = remove_star_colors(&c5, &cb);
-    println!("  star-removal step: holds = {}  |B'| = {}", r_star.holds(), r_star.database_size);
+    println!(
+        "  star-removal step: holds = {}  |B'| = {}",
+        r_star.holds(),
+        r_star.database_size
+    );
     assert!(r_star.holds());
 
     let mut g = c.benchmark_group("e07");

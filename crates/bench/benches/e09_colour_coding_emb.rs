@@ -1,7 +1,9 @@
 //! E9 — Lemma 3.14 / 3.15, Theorems 3.13/4.6/5.6: embedding problems via
 //! colour coding; the hash family h_{p,q} and the embedding solvers.
 
-use cq_solver::colour_coding::{embedding_via_colour_coding, find_injective_hash, ColorCodingConfig};
+use cq_solver::colour_coding::{
+    embedding_via_colour_coding, find_injective_hash, ColorCodingConfig,
+};
 use cq_structures::families;
 use cq_workloads::random_graph_structure;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -31,8 +33,15 @@ fn bench(c: &mut Criterion) {
         let q = families::path(k);
         g.bench_with_input(BenchmarkId::new("embed P_k", k), &k, |b, _| {
             b.iter(|| {
-                embedding_via_colour_coding(&q, &db, ColorCodingConfig { trials: 40, seed: 2 })
-                    .is_some()
+                embedding_via_colour_coding(
+                    &q,
+                    &db,
+                    ColorCodingConfig {
+                        trials: 40,
+                        seed: 2,
+                    },
+                )
+                .is_some()
             })
         });
     }

@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     println!("  paths P_k:      k, pw, td");
     for k in [2usize, 4, 8, 16] {
         let g = path_graph(k);
-        println!("    {k:>2}  {}  {}", pathwidth_exact(&g).0, treedepth_exact(&g).0);
+        println!(
+            "    {k:>2}  {}  {}",
+            pathwidth_exact(&g).0,
+            treedepth_exact(&g).0
+        );
     }
     println!("  binary trees T_h: h, tw, pw, td, longest path minor");
     for h in [1usize, 2, 3] {

@@ -1,9 +1,15 @@
 //! E12 — ablations: core preprocessing on/off, arc consistency on/off, and
-//! solver choice in the dispatch engine.
+//! solver-registry edits in the dispatch engine.
+//!
+//! With the prepared-query engine, solver ablations are **registry edits**
+//! (`SolverRegistry::without`) rather than code forks: the same batch of
+//! instances is driven through engines whose registries differ by one tier,
+//! and the dispatch / answers are compared directly.
 
-use cq_core::{solve_instance, EngineConfig};
+use cq_core::{solve_instance, Engine, EngineConfig, SolverChoice, SolverRegistry};
 use cq_solver::backtrack::{BacktrackConfig, BacktrackSolver};
 use cq_structures::families;
+use cq_workloads::database_fleet;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -29,12 +35,37 @@ fn bench(c: &mut Criterion) {
     let without_core = solve_instance(
         &c8,
         &families::path(2),
-        EngineConfig { use_core: false, ..EngineConfig::default() },
+        EngineConfig {
+            use_core: false,
+            ..EngineConfig::default()
+        },
     );
     println!(
         "  C8 query: evaluated size with core = {}, without = {}",
         with_core.evaluated_query_size, without_core.evaluated_query_size
     );
+
+    println!("E12: ablation — solver tiers removed by registry edits");
+    let cfg = EngineConfig::default();
+    let star = families::star(5);
+    let fleet = database_fleet(6, 12, 0.35, 3);
+    let ablations: [(&str, Option<SolverChoice>); 3] = [
+        ("full registry", None),
+        ("without tree-depth tier", Some(SolverChoice::TreeDepth)),
+        (
+            "without path-sweep tier",
+            Some(SolverChoice::PathDecomposition),
+        ),
+    ];
+    for (name, removed) in &ablations {
+        let registry = match removed {
+            None => SolverRegistry::standard(&cfg),
+            Some(choice) => SolverRegistry::standard(&cfg).without(*choice),
+        };
+        let engine = Engine::with_registry(cfg, registry);
+        let report = engine.solve(&star, &fleet[0]);
+        println!("  {name:<28} star(5) dispatched to {:?}", report.choice);
+    }
 
     let mut g = c.benchmark_group("e12");
     g.sample_size(10);
@@ -48,11 +79,39 @@ fn bench(c: &mut Criterion) {
             solve_instance(
                 &query,
                 &target,
-                EngineConfig { use_core: false, ..EngineConfig::default() },
+                EngineConfig {
+                    use_core: false,
+                    ..EngineConfig::default()
+                },
             )
             .exists
         })
     });
+    g.finish();
+
+    // Registry-edit throughput: the same repeated-query batch through the
+    // full registry and through registries with one tier removed (batch
+    // API, warm cache): how much each licensed tier is worth.
+    let mut g = c.benchmark_group("e12-registry");
+    g.sample_size(10);
+    for (name, removed) in &ablations {
+        let registry = match removed {
+            None => SolverRegistry::standard(&cfg),
+            Some(choice) => SolverRegistry::standard(&cfg).without(*choice),
+        };
+        let engine = Engine::with_registry(cfg, registry);
+        let id = engine.register(&star);
+        let batch: Vec<_> = fleet.iter().map(|db| (id, db)).collect();
+        g.bench_function(*name, |bch| {
+            bch.iter(|| {
+                engine
+                    .solve_batch(&batch)
+                    .iter()
+                    .filter(|r| r.exists)
+                    .count()
+            })
+        });
+    }
     g.finish();
 }
 

@@ -1,15 +1,20 @@
-//! The solver dispatch engine: run, for a single `p-HOM` instance, the
-//! algorithm that the classification licenses for its query — with ablation
-//! knobs (experiment E12).
+//! Engine configuration, per-instance reports, and the single-instance
+//! compatibility entry point.
+//!
+//! The dispatch machinery itself lives in the sibling modules:
+//! [`crate::prepared`] (the once-per-query [`crate::PreparedQuery`]
+//! artifact), [`crate::registry`] (the [`crate::HomSolver`] trait and the
+//! priority-ordered solver registry) and [`crate::service`] (the
+//! plan-caching [`crate::Engine`] with the batch API).  [`solve_instance`]
+//! is the historical one-shot API, now a thin wrapper that builds a
+//! throwaway [`crate::Engine`] — callers with repeated queries should hold
+//! an [`crate::Engine`] and use [`crate::Engine::solve`] /
+//! [`crate::Engine::solve_batch`] so plans are reused.
 
+use crate::service::Engine;
 use crate::Degree;
-use cq_decomp::{pathwidth::pathwidth_exact, treedepth::treedepth_exact, treewidth::treewidth_exact};
-use cq_graphs::gaifman_graph;
-use cq_solver::backtrack::{BacktrackConfig, BacktrackSolver};
-use cq_solver::pathdp::hom_via_path_decomposition;
-use cq_solver::treedec::hom_via_tree_decomposition;
-use cq_solver::treedepth::hom_via_treedepth;
-use cq_structures::{core_of, Structure};
+use cq_solver::backtrack::BacktrackConfig;
+use cq_structures::Structure;
 
 /// Which algorithm the engine picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,52 +77,14 @@ pub struct EngineReport {
 
 /// Solve a single `p-HOM` instance with the algorithm its structure
 /// licenses.
+///
+/// Compatibility wrapper over the prepared-query engine: builds a throwaway
+/// [`Engine`], prepares `a` once and solves.  Repeated-query callers should
+/// hold an [`Engine`] instead — its plan cache amortizes the preparation
+/// (core + width DPs + decompositions) across calls, which this wrapper by
+/// construction cannot.
 pub fn solve_instance(a: &Structure, b: &Structure, config: EngineConfig) -> EngineReport {
-    let evaluated = if config.use_core {
-        core_of(a).core
-    } else {
-        a.clone()
-    };
-    let g = gaifman_graph(&evaluated);
-    let widths = cq_decomp::width_profile(&g);
-
-    let degree_hint = Degree::from_boundedness(
-        widths.treewidth <= config.treewidth_threshold,
-        widths.pathwidth <= config.pathwidth_threshold,
-        widths.treedepth <= config.treedepth_threshold,
-    );
-
-    let (exists, choice) = if widths.treedepth <= config.treedepth_threshold {
-        (hom_via_treedepth(&evaluated, b).exists, SolverChoice::TreeDepth)
-    } else if widths.pathwidth <= config.pathwidth_threshold {
-        let (_, pd) = pathwidth_exact(&g);
-        (
-            hom_via_path_decomposition(&evaluated, b, &pd).exists,
-            SolverChoice::PathDecomposition,
-        )
-    } else if widths.treewidth <= config.treewidth_threshold {
-        let (_, td) = treewidth_exact(&g);
-        (
-            hom_via_tree_decomposition(&evaluated, b, &td),
-            SolverChoice::TreeDecomposition,
-        )
-    } else {
-        (
-            BacktrackSolver::with_config(config.backtrack).exists(&evaluated, b),
-            SolverChoice::Backtracking,
-        )
-    };
-    // Consistency invariant exercised in debug builds: the tree-depth bound
-    // certificate exists whenever we claim it.
-    debug_assert!(widths.treedepth >= treedepth_exact(&g).0);
-
-    EngineReport {
-        exists,
-        choice,
-        degree_hint,
-        widths,
-        evaluated_query_size: evaluated.universe_size(),
-    }
+    Engine::new(config).solve(a, b)
 }
 
 #[cfg(test)]
@@ -128,10 +95,10 @@ mod tests {
     #[test]
     fn engine_answers_match_reference_across_choices() {
         let queries = [
-            families::star(4),                               // tree depth 2
-            star_expansion(&families::path(6)),              // pathwidth 1, depth grows
-            star_expansion(&families::tree_t(2)),            // treewidth 1, pathwidth grows
-            families::clique(4),                             // nothing bounded
+            families::star(4),                    // tree depth 2
+            star_expansion(&families::path(6)),   // pathwidth 1, depth grows
+            star_expansion(&families::tree_t(2)), // treewidth 1, pathwidth grows
+            families::clique(4),                  // nothing bounded
         ];
         let targets = [
             families::clique(4),
@@ -161,11 +128,8 @@ mod tests {
         assert_eq!(r2.choice, SolverChoice::PathDecomposition);
 
         let colored_tree = star_expansion(&families::tree_t(3));
-        let tree_target = cq_structures::ops::colored_target(
-            15,
-            &families::clique(3),
-            |_| (0..3).collect(),
-        );
+        let tree_target =
+            cq_structures::ops::colored_target(15, &families::clique(3), |_| (0..3).collect());
         // T*_3 has pathwidth 2: lower the pathwidth threshold so the tree DP
         // is the licensed algorithm.
         let tree_cfg = EngineConfig {

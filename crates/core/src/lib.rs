@@ -20,21 +20,39 @@
 //! * [`classify_generated`] — classification of an infinite class presented
 //!   by a generator, by sampling a prefix and detecting which width measures
 //!   of the cores grow without bound;
-//! * [`engine`] — a solver dispatcher that, given a single `p-HOM` instance,
-//!   runs the algorithm its classification licenses (tree-depth sentence
-//!   evaluation / path-decomposition sweep / tree-decomposition DP /
-//!   backtracking), with ablation knobs (experiment E12).
+//! * the **prepared-query engine** — the "preprocess the query once, answer
+//!   against many databases" layer:
+//!   - [`prepared`] / [`PreparedQuery`] — the once-per-query artifact (core,
+//!     Gaifman graph, width profile **with** decomposition certificates);
+//!   - [`registry`] / [`HomSolver`] — the solver trait and the
+//!     priority-ordered registry (tree-depth sentence evaluation /
+//!     path-decomposition sweep / tree-decomposition DP / backtracking),
+//!     where ablations (experiment E12) are registry edits;
+//!   - [`service`] / [`Engine`] — the LRU plan cache keyed by an
+//!     isomorphism-invariant query fingerprint, and the batch evaluation
+//!     API ([`Engine::solve_batch`]);
+//!   - [`engine`] — configuration, reports, and the single-instance
+//!     compatibility wrapper [`solve_instance`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod prepared;
+pub mod registry;
+pub mod service;
 
 use cq_decomp::{width_profile, WidthProfile};
 use cq_graphs::gaifman_graph;
 use cq_structures::{core_of, Structure};
 
 pub use engine::{solve_instance, EngineConfig, EngineReport, SolverChoice};
+pub use prepared::PreparedQuery;
+pub use registry::{
+    BacktrackSolver, HomSolver, PathDpSolver, SolveOutcome, SolverRegistry, TreeDecSolver,
+    TreeDepthSolver,
+};
+pub use service::{CacheStats, Engine, QueryId, DEFAULT_PLAN_CACHE_CAPACITY};
 
 /// The degrees of the fine classification (Theorem 3.1, plus the
 /// intractable degree of Grohe's classification for context).
@@ -143,7 +161,11 @@ fn grows(values: &[usize]) -> bool {
         return false;
     }
     let third = values[values.len() / 3];
-    let later_max = values[values.len() / 3..].iter().copied().max().unwrap_or(0);
+    let later_max = values[values.len() / 3..]
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
     later_max > third
 }
 
@@ -167,7 +189,8 @@ pub fn classify_generated(gen: impl Fn(usize) -> Structure, samples: usize) -> C
         pathwidth: grows(&pw),
         treedepth: grows(&td),
     };
-    let degree = Degree::from_boundedness(!growing.treewidth, !growing.pathwidth, !growing.treedepth);
+    let degree =
+        Degree::from_boundedness(!growing.treewidth, !growing.pathwidth, !growing.treedepth);
     Classification {
         degree,
         max_core_treewidth: tw.iter().copied().max().unwrap_or(0),
@@ -196,7 +219,10 @@ mod tests {
             Degree::from_boundedness(true, false, false),
             Degree::TreeComplete
         );
-        assert_eq!(Degree::from_boundedness(false, false, false), Degree::W1Hard);
+        assert_eq!(
+            Degree::from_boundedness(false, false, false),
+            Degree::W1Hard
+        );
     }
 
     #[test]

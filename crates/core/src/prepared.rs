@@ -1,0 +1,244 @@
+//! The [`PreparedQuery`] artifact: everything the engine needs to evaluate
+//! one query against arbitrarily many databases, computed **once**.
+//!
+//! Preparation performs the per-query exponential work the Classification
+//! Theorem licenses spending (it depends only on the parameter): the core
+//! computation (Theorem 3.1 classifies by cores), the Gaifman graph, and the
+//! single-pass structural analysis of [`cq_decomp::analyze`] — the three
+//! width measures **with** their certificates (elimination forest, path
+//! decomposition, tree decomposition).  The solvers of the registry consume
+//! those certificates directly, so nothing exponential in the query runs
+//! again at evaluation time; the regression tests assert this through the
+//! call counters of [`cq_decomp::stats`] and
+//! [`cq_structures::core_computation_count`].
+//!
+//! Two derived per-query artifacts are materialized lazily on first use and
+//! then shared by every subsequent evaluation:
+//!
+//! * the Lemma 3.3 `{∧,∃}`-sentence (tree-depth solver), compiled from the
+//!   elimination-forest certificate;
+//! * the staircase normal form of the path decomposition (path-sweep
+//!   solver).
+
+use crate::engine::EngineConfig;
+use crate::Degree;
+use cq_decomp::{PathDecomposition, StructuralAnalysis, WidthProfile};
+use cq_graphs::{gaifman_graph, Graph};
+use cq_logic::canonical::query_fingerprint;
+use cq_logic::treedepth_sentence::{corresponding_sentence_with_forest, TreeDepthSentence};
+use cq_structures::{core_of, homomorphism_exists, Structure};
+use std::sync::OnceLock;
+
+/// A query prepared for repeated evaluation: the core, its Gaifman graph,
+/// the width profile, and the decomposition certificates — computed once,
+/// reused for every database.
+///
+/// Obtained from [`crate::Engine::prepare`] (which caches prepared queries
+/// by [fingerprint](cq_logic::canonical::query_fingerprint)) or directly
+/// from [`PreparedQuery::prepare`].
+#[derive(Debug)]
+pub struct PreparedQuery {
+    fingerprint: u64,
+    original: Structure,
+    evaluated: Structure,
+    core_applied: bool,
+    gaifman: Graph,
+    analysis: StructuralAnalysis,
+    degree_hint: Degree,
+    sentence: OnceLock<TreeDepthSentence>,
+    staircase: OnceLock<PathDecomposition>,
+}
+
+impl PreparedQuery {
+    /// Prepare a query under the given configuration.  This is the one-time
+    /// per-query cost: core computation (when `config.use_core`), Gaifman
+    /// graph, and the single structural-analysis pass.
+    pub fn prepare(a: &Structure, config: &EngineConfig) -> PreparedQuery {
+        Self::prepare_with_fingerprint(a, config, query_fingerprint(a))
+    }
+
+    /// As [`prepare`](Self::prepare) with a caller-supplied fingerprint (the
+    /// engine computes the fingerprint first for its cache lookup and avoids
+    /// hashing twice).
+    pub(crate) fn prepare_with_fingerprint(
+        a: &Structure,
+        config: &EngineConfig,
+        fingerprint: u64,
+    ) -> PreparedQuery {
+        let evaluated = if config.use_core {
+            core_of(a).core
+        } else {
+            a.clone()
+        };
+        let gaifman = gaifman_graph(&evaluated);
+        let analysis = cq_decomp::analyze(&gaifman);
+        let widths = analysis.widths;
+        let degree_hint = Degree::from_boundedness(
+            widths.treewidth <= config.treewidth_threshold,
+            widths.pathwidth <= config.pathwidth_threshold,
+            widths.treedepth <= config.treedepth_threshold,
+        );
+        PreparedQuery {
+            fingerprint,
+            original: a.clone(),
+            evaluated,
+            core_applied: config.use_core,
+            gaifman,
+            analysis,
+            degree_hint,
+            sentence: OnceLock::new(),
+            staircase: OnceLock::new(),
+        }
+    }
+
+    /// The isomorphism-invariant fingerprint of the original query (the plan
+    /// cache key).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The query exactly as submitted.
+    pub fn original(&self) -> &Structure {
+        &self.original
+    }
+
+    /// The structure actually evaluated: the core of the original when the
+    /// configuration enables core preprocessing, the original otherwise.
+    pub fn evaluated(&self) -> &Structure {
+        &self.evaluated
+    }
+
+    /// Whether `evaluated` is the core of `original`.
+    pub fn core_applied(&self) -> bool {
+        self.core_applied
+    }
+
+    /// Universe size of the evaluated structure.
+    pub fn evaluated_size(&self) -> usize {
+        self.evaluated.universe_size()
+    }
+
+    /// The Gaifman graph of the evaluated structure.
+    pub fn gaifman(&self) -> &Graph {
+        &self.gaifman
+    }
+
+    /// The structural analysis: widths plus certificates.
+    pub fn analysis(&self) -> &StructuralAnalysis {
+        &self.analysis
+    }
+
+    /// The width profile of the evaluated structure.
+    pub fn widths(&self) -> WidthProfile {
+        self.analysis.widths
+    }
+
+    /// The degree this single query would contribute to a class
+    /// classification, judged against the preparing configuration's
+    /// thresholds.
+    pub fn degree_hint(&self) -> Degree {
+        self.degree_hint
+    }
+
+    /// The Lemma 3.3 `{∧,∃}`-sentence corresponding to the evaluated
+    /// structure, compiled on first use from the elimination-forest
+    /// certificate (no tree-depth recomputation) and cached for every later
+    /// evaluation.
+    pub fn sentence(&self) -> &TreeDepthSentence {
+        self.sentence.get_or_init(|| {
+            corresponding_sentence_with_forest(
+                &self.evaluated,
+                &self.analysis.elimination_forest,
+                self.analysis.widths.treedepth,
+            )
+        })
+    }
+
+    /// The staircase normal form of the optimal path decomposition,
+    /// normalized on first use and cached (the Theorem 4.6 sweep consumes
+    /// staircase form).
+    pub fn staircase(&self) -> &PathDecomposition {
+        self.staircase
+            .get_or_init(|| self.analysis.path_decomposition.normalize_staircase())
+    }
+
+    /// Whether this plan answers queries for `candidate`: true when
+    /// `candidate` is homomorphically equivalent to the prepared original —
+    /// exactly the equivalence under which `p-HOM` answers (and cores, hence
+    /// plans) are preserved.  Used by the engine to confirm fingerprint
+    /// matches before reusing a cached plan, so a hash collision can cost a
+    /// cache miss but never a wrong answer.
+    pub fn answers_for(&self, candidate: &Structure) -> bool {
+        if *candidate == self.original {
+            return true;
+        }
+        homomorphism_exists(candidate, &self.original)
+            && homomorphism_exists(&self.original, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::{families, relabeled, star_expansion};
+
+    #[test]
+    fn prepare_carries_certificates_matching_the_widths() {
+        for a in [
+            families::star(4),
+            star_expansion(&families::path(6)),
+            star_expansion(&families::tree_t(2)),
+            families::clique(4),
+        ] {
+            let q = PreparedQuery::prepare(&a, &EngineConfig::default());
+            let w = q.widths();
+            let g = q.gaifman();
+            assert!(q.analysis().tree_decomposition.is_valid_for(g));
+            assert_eq!(q.analysis().tree_decomposition.width(), w.treewidth);
+            assert!(q.analysis().path_decomposition.is_valid_for(g));
+            assert_eq!(q.analysis().path_decomposition.width(), w.pathwidth);
+            assert!(q.analysis().elimination_forest.is_valid_for(g));
+            assert_eq!(q.analysis().elimination_forest.height(), w.treedepth);
+        }
+    }
+
+    #[test]
+    fn lazy_artifacts_are_consistent() {
+        let a = star_expansion(&families::path(6));
+        let q = PreparedQuery::prepare(&a, &EngineConfig::default());
+        let stair = q.staircase();
+        assert!(stair.is_staircase());
+        assert!(stair.width() <= q.widths().pathwidth + 1);
+        let sentence = &q.sentence().sentence;
+        assert!(sentence.is_and_exists());
+        assert!(sentence.is_sentence());
+    }
+
+    #[test]
+    fn core_preprocessing_respects_the_config() {
+        let c8 = families::cycle(8);
+        let with_core = PreparedQuery::prepare(&c8, &EngineConfig::default());
+        let without_core = PreparedQuery::prepare(
+            &c8,
+            &EngineConfig {
+                use_core: false,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(with_core.evaluated_size() < without_core.evaluated_size());
+        assert!(with_core.core_applied());
+        assert!(!without_core.core_applied());
+        assert_eq!(without_core.evaluated(), &c8);
+    }
+
+    #[test]
+    fn answers_for_accepts_relabellings_and_rejects_strangers() {
+        let c7 = families::cycle(7);
+        let q = PreparedQuery::prepare(&c7, &EngineConfig::default());
+        let perm: Vec<usize> = (0..7).rev().collect();
+        assert!(q.answers_for(&c7));
+        assert!(q.answers_for(&relabeled(&c7, &perm)));
+        assert!(!q.answers_for(&families::cycle(5)));
+        assert!(!q.answers_for(&families::path(7)));
+    }
+}

@@ -1,0 +1,311 @@
+//! The [`HomSolver`] trait and the priority-ordered solver registry.
+//!
+//! The Classification Theorem licenses a per-query algorithm choice: the
+//! para-L tree-depth evaluation when the (core's) tree depth is bounded, the
+//! PATH sweep when the pathwidth is bounded, the TREE dynamic program when
+//! the treewidth is bounded, and plain backtracking otherwise.  Instead of a
+//! hard-coded `if`/`else` chain, the engine walks a priority-ordered list of
+//! [`HomSolver`]s and dispatches to the first whose [`HomSolver::admits`]
+//! accepts the prepared query — so ablation experiments (E12) are registry
+//! edits ([`SolverRegistry::without`], [`SolverRegistry::new`]) rather than
+//! code forks.
+//!
+//! Every solver consumes the *certificates* carried by the
+//! [`PreparedQuery`] (compiled sentence, staircase decomposition, tree
+//! decomposition) rather than recomputing anything from the query.
+
+use crate::engine::{EngineConfig, SolverChoice};
+use crate::prepared::PreparedQuery;
+use cq_solver::backtrack::{BacktrackConfig, BacktrackSolver as RawBacktrack};
+use cq_solver::pathdp::hom_via_staircase;
+use cq_solver::treedec::hom_via_tree_decomposition;
+use cq_solver::treedepth::hom_via_compiled_sentence;
+use cq_structures::Structure;
+
+/// What one solver invocation produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOutcome {
+    /// Whether a homomorphism exists.
+    pub exists: bool,
+    /// A solver-specific work/space figure for the experiment reports:
+    /// metered space cells for the tree-depth solver, peak frontier size for
+    /// the path sweep, visited assignments for backtracking.  `None` when
+    /// the solver reports nothing.
+    pub work: Option<u64>,
+}
+
+/// One evaluation algorithm in the registry.
+///
+/// Implementations must be cheap to consult: `admits` reads the prepared
+/// query's cached width profile, and `solve` runs against the prepared
+/// certificates — all exponential-in-the-query work belongs to preparation,
+/// not here.
+pub trait HomSolver: Send + Sync {
+    /// Short human-readable name (used in reports and bench labels).
+    fn name(&self) -> &'static str;
+
+    /// The [`SolverChoice`] tag this solver reports as.
+    fn choice(&self) -> SolverChoice;
+
+    /// Whether this solver's structural licence covers the prepared query
+    /// under the given thresholds.
+    fn admits(&self, query: &PreparedQuery, config: &EngineConfig) -> bool;
+
+    /// Evaluate the prepared query against one database.
+    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome;
+}
+
+/// Tree-depth sentence evaluation (para-L algorithm, Lemma 3.3): model-check
+/// the prepared query's compiled `{∧,∃}`-sentence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeDepthSolver;
+
+impl HomSolver for TreeDepthSolver {
+    fn name(&self) -> &'static str {
+        "tree-depth sentence evaluation"
+    }
+
+    fn choice(&self) -> SolverChoice {
+        SolverChoice::TreeDepth
+    }
+
+    fn admits(&self, query: &PreparedQuery, config: &EngineConfig) -> bool {
+        query.widths().treedepth <= config.treedepth_threshold
+    }
+
+    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
+        let run = hom_via_compiled_sentence(query.sentence(), database);
+        SolveOutcome {
+            exists: run.exists,
+            work: Some(run.space.peak_bits as u64),
+        }
+    }
+}
+
+/// Path-decomposition sweep (PATH algorithm, Theorem 4.6) over the prepared
+/// query's staircase-normalized optimal path decomposition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathDpSolver;
+
+impl HomSolver for PathDpSolver {
+    fn name(&self) -> &'static str {
+        "path-decomposition sweep"
+    }
+
+    fn choice(&self) -> SolverChoice {
+        SolverChoice::PathDecomposition
+    }
+
+    fn admits(&self, query: &PreparedQuery, config: &EngineConfig) -> bool {
+        query.widths().pathwidth <= config.pathwidth_threshold
+    }
+
+    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
+        let report = hom_via_staircase(query.evaluated(), database, query.staircase());
+        SolveOutcome {
+            exists: report.exists,
+            work: Some(report.peak_frontier as u64),
+        }
+    }
+}
+
+/// Tree-decomposition dynamic programming (TREE algorithm) over the prepared
+/// query's optimal tree decomposition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeDecSolver;
+
+impl HomSolver for TreeDecSolver {
+    fn name(&self) -> &'static str {
+        "tree-decomposition DP"
+    }
+
+    fn choice(&self) -> SolverChoice {
+        SolverChoice::TreeDecomposition
+    }
+
+    fn admits(&self, query: &PreparedQuery, config: &EngineConfig) -> bool {
+        query.widths().treewidth <= config.treewidth_threshold
+    }
+
+    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
+        let exists = hom_via_tree_decomposition(
+            query.evaluated(),
+            database,
+            &query.analysis().tree_decomposition,
+        );
+        SolveOutcome { exists, work: None }
+    }
+}
+
+/// Backtracking with propagation — the structural-guarantee-free fallback;
+/// admits every query, so it terminates every registry walk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BacktrackSolver {
+    /// Configuration of the underlying search (the E12 ablation knobs).
+    pub config: BacktrackConfig,
+}
+
+impl HomSolver for BacktrackSolver {
+    fn name(&self) -> &'static str {
+        "backtracking search"
+    }
+
+    fn choice(&self) -> SolverChoice {
+        SolverChoice::Backtracking
+    }
+
+    fn admits(&self, _query: &PreparedQuery, _config: &EngineConfig) -> bool {
+        true
+    }
+
+    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
+        let (hom, stats) =
+            RawBacktrack::with_config(self.config).solve(query.evaluated(), database);
+        SolveOutcome {
+            exists: hom.is_some(),
+            work: Some(stats.assignments),
+        }
+    }
+}
+
+/// A priority-ordered list of solvers; dispatch picks the first that admits
+/// the query.
+pub struct SolverRegistry {
+    solvers: Vec<Box<dyn HomSolver>>,
+}
+
+impl SolverRegistry {
+    /// The standard order of Theorem 3.1: tree depth, then pathwidth, then
+    /// treewidth, then the backtracking fallback, with the backtracking knobs
+    /// taken from `config`.
+    pub fn standard(config: &EngineConfig) -> SolverRegistry {
+        SolverRegistry {
+            solvers: vec![
+                Box::new(TreeDepthSolver),
+                Box::new(PathDpSolver),
+                Box::new(TreeDecSolver),
+                Box::new(BacktrackSolver {
+                    config: config.backtrack,
+                }),
+            ],
+        }
+    }
+
+    /// A registry with an explicit solver list (full control for ablations).
+    pub fn new(solvers: Vec<Box<dyn HomSolver>>) -> SolverRegistry {
+        SolverRegistry { solvers }
+    }
+
+    /// This registry minus every solver reporting the given choice — the E12
+    /// ablation edit ("what happens without the path sweep?").
+    pub fn without(mut self, choice: SolverChoice) -> SolverRegistry {
+        self.solvers.retain(|s| s.choice() != choice);
+        self
+    }
+
+    /// Append a solver at the lowest priority.
+    pub fn push(&mut self, solver: Box<dyn HomSolver>) {
+        self.solvers.push(solver);
+    }
+
+    /// The first solver admitting the query, in priority order.
+    pub fn select(&self, query: &PreparedQuery, config: &EngineConfig) -> Option<&dyn HomSolver> {
+        self.solvers
+            .iter()
+            .map(|s| s.as_ref())
+            .find(|s| s.admits(query, config))
+    }
+
+    /// The solvers in priority order (names are stable bench labels).
+    pub fn solvers(&self) -> impl Iterator<Item = &dyn HomSolver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Whether the registry is empty (no solver will ever be selected).
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.solvers.iter().map(|s| s.name()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::{families, star_expansion};
+
+    fn prepared(a: &Structure) -> PreparedQuery {
+        PreparedQuery::prepare(a, &EngineConfig::default())
+    }
+
+    #[test]
+    fn standard_registry_selects_in_priority_order() {
+        let cfg = EngineConfig::default();
+        let registry = SolverRegistry::standard(&cfg);
+        let cases = [
+            (families::star(5), SolverChoice::TreeDepth),
+            (
+                star_expansion(&families::path(9)),
+                SolverChoice::PathDecomposition,
+            ),
+            (families::clique(5), SolverChoice::Backtracking),
+        ];
+        for (a, expected) in cases {
+            let q = prepared(&a);
+            let s = registry.select(&q, &cfg).expect("fallback admits");
+            assert_eq!(s.choice(), expected, "{a}");
+        }
+    }
+
+    #[test]
+    fn without_removes_a_tier_and_dispatch_falls_through() {
+        let cfg = EngineConfig::default();
+        let registry = SolverRegistry::standard(&cfg).without(SolverChoice::TreeDepth);
+        assert_eq!(registry.len(), 3);
+        // A star has tree depth 2; with the tree-depth solver ablated the
+        // path sweep (pathwidth 1) picks it up.
+        let q = prepared(&families::star(5));
+        let s = registry.select(&q, &cfg).expect("fallback admits");
+        assert_eq!(s.choice(), SolverChoice::PathDecomposition);
+    }
+
+    #[test]
+    fn empty_registry_selects_nothing() {
+        let cfg = EngineConfig::default();
+        let registry = SolverRegistry::new(Vec::new());
+        assert!(registry.is_empty());
+        let q = prepared(&families::star(3));
+        assert!(registry.select(&q, &cfg).is_none());
+    }
+
+    #[test]
+    fn all_registry_solvers_agree_with_the_reference() {
+        let cfg = EngineConfig::default();
+        let registry = SolverRegistry::standard(&cfg);
+        // A query every solver admits: a star (td 2, pw 1, tw 1).
+        let a = families::star(3);
+        let q = prepared(&a);
+        for b in [families::clique(3), families::cycle(6), families::path(4)] {
+            let expected = cq_structures::homomorphism_exists(&a, &b);
+            for s in registry.solvers() {
+                assert_eq!(
+                    s.solve(&q, &b).exists,
+                    expected,
+                    "{} on {a} -> {b}",
+                    s.name()
+                );
+            }
+        }
+    }
+}

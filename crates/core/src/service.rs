@@ -1,0 +1,484 @@
+//! The traffic-facing [`Engine`]: an LRU plan cache over prepared queries,
+//! registered query handles, and the batch evaluation API.
+//!
+//! This is the "preprocess the query once, answer against many databases"
+//! layer: [`Engine::prepare`] returns an [`Arc<PreparedQuery>`] — served
+//! from the cache when an equivalent query was prepared before —
+//! [`Engine::solve`] evaluates one instance through it, and
+//! [`Engine::solve_batch`] evaluates a whole workload, preparing each
+//! distinct query exactly once.
+//!
+//! Cache correctness: entries are keyed by the isomorphism-invariant
+//! [fingerprint](cq_logic::canonical::query_fingerprint) of the submitted
+//! query and **confirmed** by a homomorphic-equivalence check
+//! ([`PreparedQuery::answers_for`]) before reuse — homomorphic equivalence
+//! is precisely the equivalence preserving `p-HOM` answers, so a fingerprint
+//! collision degrades to a cache miss, never to a wrong answer.
+
+use crate::engine::{EngineConfig, EngineReport};
+use crate::prepared::PreparedQuery;
+use crate::registry::SolverRegistry;
+use cq_logic::canonical::query_fingerprint;
+use cq_structures::Structure;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Source of per-process unique engine identities (for [`QueryId`]
+/// affinity checks).
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Default number of cached plans ([`Engine::with_cache_capacity`] overrides).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Handle to a query registered with an [`Engine`] (see
+/// [`Engine::register`]); the batch API refers to queries through it.
+///
+/// Handles carry the identity of the engine that issued them: using a
+/// handle with a different engine panics with a clear message instead of
+/// silently resolving to that engine's unrelated plan at the same index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId {
+    engine: u64,
+    index: usize,
+}
+
+/// Counters describing the plan cache's behaviour so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to prepare a fresh plan.
+    pub misses: u64,
+    /// Plans evicted by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+struct CacheSlot {
+    fingerprint: u64,
+    plan: Arc<PreparedQuery>,
+    last_used: u64,
+    /// Non-identical submitted forms (e.g. relabellings) already verified
+    /// homomorphically equivalent to the plan's original — so repeat
+    /// lookups of the same form cost a structural equality check instead of
+    /// two exponential homomorphism searches per solve.
+    verified_aliases: Vec<Structure>,
+}
+
+/// Cap on memoized relabelled forms per cached plan (a client cycling more
+/// distinct orderings than this re-verifies the overflow ones).
+const MAX_VERIFIED_ALIASES: usize = 16;
+
+impl CacheSlot {
+    fn matches(&mut self, candidate: &Structure) -> bool {
+        if *candidate == *self.plan.original() || self.verified_aliases.contains(candidate) {
+            return true;
+        }
+        if self.plan.answers_for(candidate) {
+            if self.verified_aliases.len() < MAX_VERIFIED_ALIASES {
+                self.verified_aliases.push(candidate.clone());
+            }
+            return true;
+        }
+        false
+    }
+}
+
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    slots: Vec<CacheSlot>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn lookup(&mut self, fingerprint: u64, candidate: &Structure) -> Option<Arc<PreparedQuery>> {
+        self.tick += 1;
+        let now = self.tick;
+        for slot in &mut self.slots {
+            if slot.fingerprint == fingerprint && slot.matches(candidate) {
+                slot.last_used = now;
+                self.hits += 1;
+                return Some(Arc::clone(&slot.plan));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn insert(&mut self, plan: Arc<PreparedQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.evict_down_to(self.capacity.saturating_sub(1));
+        self.tick += 1;
+        self.slots.push(CacheSlot {
+            fingerprint: plan.fingerprint(),
+            plan,
+            last_used: self.tick,
+            verified_aliases: Vec::new(),
+        });
+    }
+
+    /// Evict least-recently-used slots until at most `target` remain.
+    fn evict_down_to(&mut self, target: usize) {
+        while self.slots.len() > target {
+            let pos = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.slots.swap_remove(pos);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// The prepared-query evaluation engine: solver registry + plan cache +
+/// batch API.  Cheap to share across threads (`&Engine` is `Send + Sync`;
+/// all interior state is mutex-guarded).
+pub struct Engine {
+    id: u64,
+    config: EngineConfig,
+    registry: SolverRegistry,
+    cache: Mutex<PlanCache>,
+    registered: Mutex<Vec<Arc<PreparedQuery>>>,
+}
+
+impl Engine {
+    /// An engine with the standard solver registry and default cache
+    /// capacity.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine::with_registry(config, SolverRegistry::standard(&config))
+    }
+
+    /// An engine with an explicit solver registry (ablations, experiments).
+    pub fn with_registry(config: EngineConfig, registry: SolverRegistry) -> Engine {
+        Engine {
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            config,
+            registry,
+            cache: Mutex::new(PlanCache {
+                capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+                tick: 0,
+                slots: Vec::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            registered: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Override the plan cache capacity (0 disables caching).  Shrinking
+    /// below the current population evicts least-recently-used plans
+    /// immediately, so the new capacity holds from this call on.
+    pub fn with_cache_capacity(self, capacity: usize) -> Engine {
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            cache.capacity = capacity;
+            cache.evict_down_to(capacity);
+        }
+        self
+    }
+
+    /// The configuration this engine prepares and solves under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The solver registry used for dispatch.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// Prepare a query — or fetch the cached plan of an equivalent query
+    /// prepared earlier.  This is the only place per-query exponential work
+    /// (core, width DPs, decompositions) happens.
+    pub fn prepare(&self, query: &Structure) -> Arc<PreparedQuery> {
+        let fingerprint = query_fingerprint(query);
+        if let Some(plan) = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .lookup(fingerprint, query)
+        {
+            return plan;
+        }
+        // Prepare outside the lock: preparation is the expensive part, and
+        // concurrent preparers of different queries should not serialize.
+        // (Two threads racing on the *same* query both prepare; the loser's
+        // plan is a duplicate cache entry that LRU eventually drops —
+        // correctness is unaffected.)
+        let plan = Arc::new(PreparedQuery::prepare_with_fingerprint(
+            query,
+            &self.config,
+            fingerprint,
+        ));
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(Arc::clone(&plan));
+        plan
+    }
+
+    /// Register a query for batch evaluation, returning its handle.  Goes
+    /// through the plan cache, so registering the same (or an equivalent)
+    /// query twice prepares it once.
+    pub fn register(&self, query: &Structure) -> QueryId {
+        let plan = self.prepare(query);
+        let mut registered = self.registered.lock().expect("registry lock");
+        registered.push(plan);
+        QueryId {
+            engine: self.id,
+            index: registered.len() - 1,
+        }
+    }
+
+    /// The prepared plan behind a registered handle.
+    ///
+    /// Panics when the handle was issued by a different engine.
+    pub fn prepared(&self, id: QueryId) -> Arc<PreparedQuery> {
+        assert_eq!(
+            id.engine, self.id,
+            "QueryId was issued by a different Engine (handles are not transferable)"
+        );
+        Arc::clone(&self.registered.lock().expect("registry lock")[id.index])
+    }
+
+    /// Evaluate one instance end to end (prepare through the cache, then
+    /// solve).
+    pub fn solve(&self, query: &Structure, database: &Structure) -> EngineReport {
+        let plan = self.prepare(query);
+        self.solve_prepared(&plan, database)
+    }
+
+    /// Evaluate a prepared query against one database: select the first
+    /// admitting solver in registry priority order and run it on the plan's
+    /// certificates.  No per-query exponential work happens here.
+    pub fn solve_prepared(&self, plan: &PreparedQuery, database: &Structure) -> EngineReport {
+        let solver = self
+            .registry
+            .select(plan, &self.config)
+            .expect("solver registry has no solver admitting this query (ablated registries must keep a fallback)");
+        let outcome = solver.solve(plan, database);
+        EngineReport {
+            exists: outcome.exists,
+            choice: solver.choice(),
+            degree_hint: plan.degree_hint(),
+            widths: plan.widths(),
+            evaluated_query_size: plan.evaluated_size(),
+        }
+    }
+
+    /// Evaluate a batch of (registered query, database) instances.  Each
+    /// distinct query was prepared exactly once (at
+    /// [`register`](Self::register) time); the batch loop performs only
+    /// per-database solver work.
+    pub fn solve_batch(&self, batch: &[(QueryId, &Structure)]) -> Vec<EngineReport> {
+        batch
+            .iter()
+            .map(|&(id, database)| self.solve_prepared(&self.prepared(id), database))
+            .collect()
+    }
+
+    /// Evaluate a batch of raw (query, database) instances: every distinct
+    /// query is prepared once through the plan cache, every instance is
+    /// evaluated against its cached plan.
+    pub fn solve_batch_instances(&self, batch: &[(&Structure, &Structure)]) -> Vec<EngineReport> {
+        batch
+            .iter()
+            .map(|&(query, database)| self.solve(query, database))
+            .collect()
+    }
+
+    /// Plan cache behaviour so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().expect("cache lock");
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            entries: cache.slots.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("registry", &self.registry)
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SolverChoice;
+    use cq_structures::{families, homomorphism_exists, relabeled};
+
+    #[test]
+    fn solve_matches_reference_and_reuses_plans() {
+        let engine = Engine::new(EngineConfig::default());
+        let queries = [families::star(4), families::cycle(5), families::clique(4)];
+        let targets = [families::clique(4), families::grid(3, 3)];
+        for _round in 0..2 {
+            for a in &queries {
+                for b in &targets {
+                    let report = engine.solve(a, b);
+                    assert_eq!(report.exists, homomorphism_exists(a, b), "{a} -> {b}");
+                }
+            }
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 3, "one preparation per distinct query");
+        assert_eq!(stats.hits as usize, 2 * 3 * 2 - 3);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn register_and_solve_batch() {
+        let engine = Engine::new(EngineConfig::default());
+        let star = families::star(4);
+        let cycle = families::cycle(5);
+        let star_id = engine.register(&star);
+        let cycle_id = engine.register(&cycle);
+        let targets: Vec<Structure> = (3..7).map(families::clique).collect();
+        let batch: Vec<(QueryId, &Structure)> = targets
+            .iter()
+            .flat_map(|t| [(star_id, t), (cycle_id, t)])
+            .collect();
+        let reports = engine.solve_batch(&batch);
+        assert_eq!(reports.len(), batch.len());
+        for ((id, t), report) in batch.iter().zip(&reports) {
+            let q = if *id == star_id { &star } else { &cycle };
+            assert_eq!(report.exists, homomorphism_exists(q, t), "{q} -> {t}");
+        }
+    }
+
+    #[test]
+    fn registering_an_equivalent_query_hits_the_cache() {
+        let engine = Engine::new(EngineConfig::default());
+        let c7 = families::cycle(7);
+        let perm: Vec<usize> = (0..7).rev().collect();
+        let id1 = engine.register(&c7);
+        let id2 = engine.register(&relabeled(&c7, &perm));
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 1);
+        // Both handles resolve to the same plan.
+        assert!(Arc::ptr_eq(&engine.prepared(id1), &engine.prepared(id2)));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_plan() {
+        let engine = Engine::new(EngineConfig::default()).with_cache_capacity(2);
+        let a = families::star(3);
+        let b = families::star(4);
+        let c = families::star(5);
+        let t = families::clique(3);
+        engine.solve(&a, &t); // miss -> {a}
+        engine.solve(&b, &t); // miss -> {a, b}
+        engine.solve(&a, &t); // hit, a most recent
+        engine.solve(&c, &t); // miss, evicts b
+        engine.solve(&a, &t); // hit
+        engine.solve(&b, &t); // miss again (was evicted)
+        let stats = engine.cache_stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = Engine::new(EngineConfig::default()).with_cache_capacity(0);
+        let a = families::star(3);
+        let t = families::clique(3);
+        engine.solve(&a, &t);
+        engine.solve(&a, &t);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately_and_zero_disables() {
+        let engine = Engine::new(EngineConfig::default());
+        let t = families::clique(3);
+        for legs in 3..8 {
+            engine.solve(&families::star(legs), &t);
+        }
+        assert_eq!(engine.cache_stats().entries, 5);
+        // Shrink below the population: trims to the new capacity at once.
+        let engine = engine.with_cache_capacity(2);
+        assert_eq!(engine.cache_stats().entries, 2);
+        assert_eq!(engine.cache_stats().evictions, 3);
+        // Shrink to zero after use: caching is actually off.
+        let engine = engine.with_cache_capacity(0);
+        assert_eq!(engine.cache_stats().entries, 0);
+        let before = engine.cache_stats();
+        engine.solve(&families::star(3), &t);
+        engine.solve(&families::star(3), &t);
+        let after = engine.cache_stats();
+        assert_eq!(after.hits, before.hits, "no hits once disabled");
+        assert_eq!(after.entries, 0);
+    }
+
+    #[test]
+    fn relabelled_lookups_are_verified_once_then_memoized() {
+        let engine = Engine::new(EngineConfig::default());
+        let c7 = families::cycle(7);
+        let perm: Vec<usize> = (0..7).rev().collect();
+        let twisted = relabeled(&c7, &perm);
+        engine.prepare(&c7);
+        // Repeated lookups of the same relabelled form all hit; the
+        // hom-equivalence verification runs only on the first (observable
+        // here as: answers stay correct and every lookup is a hit).
+        for _ in 0..3 {
+            let plan = engine.prepare(&twisted);
+            assert!(std::sync::Arc::ptr_eq(&plan, &engine.prepare(&c7)));
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "issued by a different Engine")]
+    fn query_ids_are_not_transferable_between_engines() {
+        let engine_a = Engine::new(EngineConfig::default());
+        let engine_b = Engine::new(EngineConfig::default());
+        // Give engine_b a registration at index 0 so a silent index-based
+        // resolution would *succeed* (with the wrong plan) if unguarded.
+        let _ = engine_b.register(&families::clique(4));
+        let id_a = engine_a.register(&families::star(3));
+        let _ = engine_b.prepared(id_a);
+    }
+
+    #[test]
+    fn ablated_registry_changes_dispatch_not_answers() {
+        let cfg = EngineConfig::default();
+        let full = Engine::new(cfg);
+        let ablated = Engine::with_registry(
+            cfg,
+            SolverRegistry::standard(&cfg).without(SolverChoice::TreeDepth),
+        );
+        let a = families::star(5);
+        for b in [families::clique(3), families::cycle(6)] {
+            let r_full = full.solve(&a, &b);
+            let r_ablated = ablated.solve(&a, &b);
+            assert_eq!(r_full.choice, SolverChoice::TreeDepth);
+            assert_eq!(r_ablated.choice, SolverChoice::PathDecomposition);
+            assert_eq!(r_full.exists, r_ablated.exists);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Regression tests for the prepared-query engine's core guarantee: all
+//! per-query exponential work (core computation, width DPs, decompositions)
+//! runs **at most once per prepared query**, no matter how many databases
+//! the query is evaluated against.
+//!
+//! The assertions read the thread-local call counters of
+//! [`cq_decomp::stats`] and [`cq_structures::core_computation_count`]; the
+//! test harness runs every `#[test]` on its own thread, so the counters
+//! observe exactly the calls made by that test.
+
+use cq_core::{Engine, EngineConfig, PreparedQuery, QueryId};
+use cq_decomp::stats;
+use cq_structures::{core_computation_count, families, homomorphism_exists, star_expansion};
+
+/// The historical bug this guards against: `solve_instance` computed the
+/// width profile (one pass over all three exact DPs) and then called
+/// `pathwidth_exact` / `treewidth_exact` *again* to get the decompositions
+/// it had just thrown away.  Preparation must run each DP exactly once, and
+/// the resulting `StructuralAnalysis` must carry the certificates.
+#[test]
+fn preparing_a_query_runs_each_width_dp_exactly_once() {
+    let a = star_expansion(&families::path(6)); // pathwidth 1: path-sweep tier
+    let decomp_before = stats::counts();
+    let cores_before = core_computation_count();
+
+    let q = PreparedQuery::prepare(&a, &EngineConfig::default());
+
+    let delta = stats::counts().since(&decomp_before);
+    assert_eq!(delta.treewidth_calls, 1, "one treewidth DP per preparation");
+    assert_eq!(delta.pathwidth_calls, 1, "one pathwidth DP per preparation");
+    assert_eq!(
+        delta.treedepth_calls, 1,
+        "one tree-depth DP per preparation"
+    );
+    assert_eq!(core_computation_count() - cores_before, 1);
+
+    // The certificates are right there — nothing needs recomputing.
+    let w = q.widths();
+    assert_eq!(q.analysis().tree_decomposition.width(), w.treewidth);
+    assert_eq!(q.analysis().path_decomposition.width(), w.pathwidth);
+    assert_eq!(q.analysis().elimination_forest.height(), w.treedepth);
+}
+
+/// Solving through a prepared query does zero additional per-query work,
+/// across all four solver tiers.
+#[test]
+fn solving_a_prepared_query_recomputes_nothing() {
+    let engine = Engine::new(EngineConfig::default());
+    let queries = [
+        families::star(4),                    // tree-depth solver
+        star_expansion(&families::path(6)),   // path sweep
+        star_expansion(&families::tree_t(2)), // tree DP
+        families::clique(4),                  // backtracking
+    ];
+    let targets = [
+        families::clique(4),
+        families::cycle(6),
+        families::grid(3, 3),
+    ];
+    for a in &queries {
+        let plan = engine.prepare(a);
+        let decomp_before = stats::counts();
+        let cores_before = core_computation_count();
+        for b in &targets {
+            let report = engine.solve_prepared(&plan, b);
+            assert_eq!(report.exists, homomorphism_exists(a, b), "{a} -> {b}");
+        }
+        let delta = stats::counts().since(&decomp_before);
+        assert_eq!(delta.total(), 0, "no width DP during evaluation of {a}");
+        assert_eq!(
+            core_computation_count(),
+            cores_before,
+            "no core computation during evaluation of {a}"
+        );
+    }
+}
+
+/// Acceptance criterion: a batch of N instances sharing one query performs
+/// exactly one core computation and one decomposition pass, total.
+#[test]
+fn batch_over_one_query_prepares_once() {
+    let engine = Engine::new(EngineConfig::default());
+    let query = families::cycle(5);
+    let targets: Vec<_> = (3..11).map(families::clique).collect();
+
+    let decomp_before = stats::counts();
+    let cores_before = core_computation_count();
+
+    let id = engine.register(&query);
+    let batch: Vec<(QueryId, &_)> = targets.iter().map(|t| (id, t)).collect();
+    let reports = engine.solve_batch(&batch);
+
+    assert_eq!(reports.len(), targets.len());
+    for (t, report) in targets.iter().zip(&reports) {
+        assert_eq!(report.exists, homomorphism_exists(&query, t));
+    }
+    let delta = stats::counts().since(&decomp_before);
+    assert_eq!(delta.treewidth_calls, 1);
+    assert_eq!(delta.pathwidth_calls, 1);
+    assert_eq!(delta.treedepth_calls, 1);
+    assert_eq!(core_computation_count() - cores_before, 1);
+}
+
+/// The raw-instance batch API behaves identically: repeated occurrences of
+/// the same query hit the plan cache instead of re-preparing.
+#[test]
+fn instance_batch_with_repeated_queries_prepares_each_distinct_query_once() {
+    let engine = Engine::new(EngineConfig::default());
+    let star = families::star(4);
+    let cycle = families::cycle(5);
+    let targets: Vec<_> = (3..7).map(families::clique).collect();
+
+    let decomp_before = stats::counts();
+    let cores_before = core_computation_count();
+
+    let batch: Vec<(&_, &_)> = targets
+        .iter()
+        .flat_map(|t| [(&star, t), (&cycle, t)])
+        .collect();
+    let reports = engine.solve_batch_instances(&batch);
+
+    for ((q, t), report) in batch.iter().zip(&reports) {
+        assert_eq!(report.exists, homomorphism_exists(q, t), "{q} -> {t}");
+    }
+    let delta = stats::counts().since(&decomp_before);
+    assert_eq!(delta.total(), 6, "two distinct queries, three DPs each");
+    assert_eq!(core_computation_count() - cores_before, 2);
+    assert_eq!(engine.cache_stats().misses, 2);
+    assert_eq!(engine.cache_stats().hits as usize, batch.len() - 2);
+}

@@ -20,7 +20,11 @@ use std::collections::BTreeSet;
 /// neighbours in the fill-in graph at the moment of elimination).
 fn elimination_bags(g: &Graph, order: &[Vertex]) -> Vec<BTreeSet<Vertex>> {
     let n = g.vertex_count();
-    assert_eq!(order.len(), n, "order must enumerate every vertex exactly once");
+    assert_eq!(
+        order.len(),
+        n,
+        "order must enumerate every vertex exactly once"
+    );
     let mut fill = g.clone();
     let mut eliminated = vec![false; n];
     let mut bags: Vec<BTreeSet<Vertex>> = vec![BTreeSet::new(); n];

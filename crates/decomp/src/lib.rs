@@ -32,12 +32,14 @@
 pub mod decomposition;
 pub mod heuristics;
 pub mod pathwidth;
+pub mod stats;
 pub mod treedepth;
 pub mod treewidth;
 
 pub use decomposition::{EliminationForest, PathDecomposition, TreeDecomposition};
 pub use heuristics::{min_degree_ordering, min_fill_ordering, treewidth_upper_bound};
 pub use pathwidth::{pathwidth_exact, pathwidth_of_structure};
+pub use stats::DecompCounts;
 pub use treedepth::{treedepth_exact, treedepth_of_structure};
 pub use treewidth::{treewidth_exact, treewidth_of_structure};
 
@@ -56,12 +58,62 @@ pub struct WidthProfile {
 }
 
 /// Compute all three width measures of a graph exactly.
+///
+/// Callers that also need the witnessing decompositions should use
+/// [`analyze`] instead, which computes widths *and* certificates in a single
+/// pass — calling `width_profile` and then the individual exact functions
+/// runs the exponential subset DPs twice.
 pub fn width_profile(g: &Graph) -> WidthProfile {
-    WidthProfile {
-        treewidth: treewidth::treewidth_exact(g).0,
-        pathwidth: pathwidth::pathwidth_exact(g).0,
-        treedepth: treedepth::treedepth_exact(g).0,
+    analyze(g).widths
+}
+
+/// The complete structural analysis of one graph: the three exact width
+/// measures **together with the certificates** the width computations
+/// produce — the optimal tree decomposition, the optimal path decomposition
+/// and a minimum-height elimination forest.
+///
+/// This is the unit of work the prepared-query engine computes once per
+/// query and then reuses across every database the query is evaluated
+/// against; the solvers consume the certificates directly, so no width
+/// computation ever runs twice for the same prepared query (asserted by the
+/// regression tests through [`stats::counts`]).
+#[derive(Debug, Clone)]
+pub struct StructuralAnalysis {
+    /// The three width measures.
+    pub widths: WidthProfile,
+    /// Optimal tree decomposition (width `widths.treewidth`).
+    pub tree_decomposition: TreeDecomposition,
+    /// Optimal path decomposition (width `widths.pathwidth`).
+    pub path_decomposition: PathDecomposition,
+    /// Elimination forest of minimum height (`widths.treedepth`).
+    pub elimination_forest: EliminationForest,
+}
+
+/// Analyse a graph exactly, returning widths **with** their certificates.
+///
+/// Runs each exponential width DP exactly once; the invariant
+/// `tw ≤ pw ≤ td - 1` (for graphs with an edge) holds between the returned
+/// widths, and each certificate is valid for `g` with width/height equal to
+/// the corresponding measure.
+pub fn analyze(g: &Graph) -> StructuralAnalysis {
+    let (treewidth, tree_decomposition) = treewidth::treewidth_exact(g);
+    let (pathwidth, path_decomposition) = pathwidth::pathwidth_exact(g);
+    let (treedepth, elimination_forest) = treedepth::treedepth_exact(g);
+    StructuralAnalysis {
+        widths: WidthProfile {
+            treewidth,
+            pathwidth,
+            treedepth,
+        },
+        tree_decomposition,
+        path_decomposition,
+        elimination_forest,
     }
+}
+
+/// Analyse the Gaifman graph of a structure (see [`analyze`]).
+pub fn analyze_structure(s: &cq_structures::Structure) -> StructuralAnalysis {
+    analyze(&cq_graphs::gaifman_graph(s))
 }
 
 /// Compute all three width measures of the Gaifman graph of a structure.
@@ -86,7 +138,7 @@ mod tests {
         ] {
             let p = width_profile(&g);
             assert!(p.treewidth <= p.pathwidth);
-            assert!(p.pathwidth + 1 <= p.treedepth || g.edge_count() == 0);
+            assert!(p.pathwidth < p.treedepth || g.edge_count() == 0);
         }
     }
 
@@ -95,5 +147,35 @@ mod tests {
         let s = cq_structures::families::grid(2, 3);
         let g = grid_graph(2, 3);
         assert_eq!(width_profile_of_structure(&s), width_profile(&g));
+    }
+
+    #[test]
+    fn analyze_carries_matching_certificates() {
+        for g in [
+            path_graph(6),
+            cycle_graph(5),
+            star_graph(4),
+            grid_graph(2, 3),
+            complete_binary_tree(3),
+        ] {
+            let a = analyze(&g);
+            assert!(a.tree_decomposition.is_valid_for(&g));
+            assert_eq!(a.tree_decomposition.width(), a.widths.treewidth);
+            assert!(a.path_decomposition.is_valid_for(&g));
+            assert_eq!(a.path_decomposition.width(), a.widths.pathwidth);
+            assert!(a.elimination_forest.is_valid_for(&g));
+            assert_eq!(a.elimination_forest.height(), a.widths.treedepth);
+        }
+    }
+
+    #[test]
+    fn analyze_runs_each_width_dp_exactly_once() {
+        let g = cycle_graph(6);
+        let before = stats::counts();
+        let _ = analyze(&g);
+        let delta = stats::counts().since(&before);
+        assert_eq!(delta.treewidth_calls, 1);
+        assert_eq!(delta.pathwidth_calls, 1);
+        assert_eq!(delta.treedepth_calls, 1);
     }
 }

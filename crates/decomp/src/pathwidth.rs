@@ -42,6 +42,7 @@ fn boundary_size(g: &Graph, s: u64) -> u32 {
 ///
 /// Panics when the graph has more than [`EXACT_LIMIT`] vertices.
 pub fn pathwidth_exact(g: &Graph) -> (usize, PathDecomposition) {
+    crate::stats::record_pathwidth_call();
     let n = g.vertex_count();
     assert!(
         n <= EXACT_LIMIT,

@@ -1,0 +1,98 @@
+//! Thread-local instrumentation counters for the exponential width
+//! computations.
+//!
+//! The exact width functions ([`crate::treewidth::treewidth_exact`],
+//! [`crate::pathwidth::pathwidth_exact`], [`crate::treedepth::treedepth_exact`])
+//! are the expensive per-query work of the evaluation pipeline, so the
+//! prepared-query engine must invoke each **at most once per query**.  These
+//! counters exist so tests can assert that property instead of trusting it:
+//! they are bumped at the entry of each exact function and read back as a
+//! [`DecompCounts`] snapshot.
+//!
+//! The counters are thread-local, which makes them race-free under Rust's
+//! default multi-threaded test harness (each `#[test]` runs on its own
+//! thread and observes only its own calls).
+
+use std::cell::Cell;
+
+thread_local! {
+    static TREEWIDTH_CALLS: Cell<u64> = const { Cell::new(0) };
+    static PATHWIDTH_CALLS: Cell<u64> = const { Cell::new(0) };
+    static TREEDEPTH_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Snapshot of the per-thread width-computation call counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecompCounts {
+    /// Calls to `treewidth_exact` on this thread.
+    pub treewidth_calls: u64,
+    /// Calls to `pathwidth_exact` on this thread.
+    pub pathwidth_calls: u64,
+    /// Calls to `treedepth_exact` on this thread.
+    pub treedepth_calls: u64,
+}
+
+impl DecompCounts {
+    /// Total number of exact width computations.
+    pub fn total(&self) -> u64 {
+        self.treewidth_calls + self.pathwidth_calls + self.treedepth_calls
+    }
+
+    /// Component-wise difference since an earlier snapshot.
+    pub fn since(&self, earlier: &DecompCounts) -> DecompCounts {
+        DecompCounts {
+            treewidth_calls: self.treewidth_calls - earlier.treewidth_calls,
+            pathwidth_calls: self.pathwidth_calls - earlier.pathwidth_calls,
+            treedepth_calls: self.treedepth_calls - earlier.treedepth_calls,
+        }
+    }
+}
+
+/// Read the current thread's counters.
+pub fn counts() -> DecompCounts {
+    DecompCounts {
+        treewidth_calls: TREEWIDTH_CALLS.with(Cell::get),
+        pathwidth_calls: PATHWIDTH_CALLS.with(Cell::get),
+        treedepth_calls: TREEDEPTH_CALLS.with(Cell::get),
+    }
+}
+
+/// Reset the current thread's counters to zero.
+pub fn reset() {
+    TREEWIDTH_CALLS.with(|c| c.set(0));
+    PATHWIDTH_CALLS.with(|c| c.set(0));
+    TREEDEPTH_CALLS.with(|c| c.set(0));
+}
+
+pub(crate) fn record_treewidth_call() {
+    TREEWIDTH_CALLS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn record_pathwidth_call() {
+    PATHWIDTH_CALLS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn record_treedepth_call() {
+    TREEDEPTH_CALLS.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_graphs::families::cycle_graph;
+
+    #[test]
+    fn counters_track_exact_calls_on_this_thread() {
+        let before = counts();
+        let g = cycle_graph(5);
+        let _ = crate::treewidth::treewidth_exact(&g);
+        let _ = crate::pathwidth::pathwidth_exact(&g);
+        let _ = crate::treedepth::treedepth_exact(&g);
+        let _ = crate::treedepth::treedepth_exact(&g);
+        let delta = counts().since(&before);
+        assert_eq!(delta.treewidth_calls, 1);
+        assert_eq!(delta.pathwidth_calls, 1);
+        assert_eq!(delta.treedepth_calls, 2);
+        assert_eq!(delta.total(), 4);
+    }
+}

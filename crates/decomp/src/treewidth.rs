@@ -65,6 +65,7 @@ fn q_set(g: &Graph, s: u64, v: Vertex) -> Vec<Vertex> {
 /// Panics when the graph has more than [`EXACT_LIMIT`] vertices — callers
 /// that may receive large graphs should use [`treewidth`] instead.
 pub fn treewidth_exact(g: &Graph) -> (usize, TreeDecomposition) {
+    crate::stats::record_treewidth_call();
     let n = g.vertex_count();
     assert!(
         n <= EXACT_LIMIT,

@@ -134,14 +134,8 @@ mod tests {
     #[test]
     fn structure_and_graph_families_agree() {
         use cq_structures::families as sf;
-        assert_eq!(
-            crate::graph::gaifman_graph(&sf::path(5)),
-            path_graph(5)
-        );
-        assert_eq!(
-            crate::graph::gaifman_graph(&sf::cycle(6)),
-            cycle_graph(6)
-        );
+        assert_eq!(crate::graph::gaifman_graph(&sf::path(5)), path_graph(5));
+        assert_eq!(crate::graph::gaifman_graph(&sf::cycle(6)), cycle_graph(6));
         assert_eq!(
             crate::graph::gaifman_graph(&sf::grid(3, 4)),
             grid_graph(3, 4)
@@ -154,10 +148,7 @@ mod tests {
             crate::graph::gaifman_graph(&sf::clique(4)),
             complete_graph(4)
         );
-        assert_eq!(
-            crate::graph::gaifman_graph(&sf::star(4)),
-            star_graph(4)
-        );
+        assert_eq!(crate::graph::gaifman_graph(&sf::star(4)), star_graph(4));
         assert_eq!(
             crate::graph::gaifman_graph(&sf::complete_bipartite(2, 3)),
             complete_bipartite_graph(2, 3)

@@ -163,7 +163,8 @@ impl Graph {
     pub fn to_structure(&self) -> Structure {
         let vocab = cq_structures::Vocabulary::graph();
         let e = vocab.id_of("E").unwrap();
-        let mut b = cq_structures::StructureBuilder::new(vocab).with_universe(self.vertex_count().max(1));
+        let mut b =
+            cq_structures::StructureBuilder::new(vocab).with_universe(self.vertex_count().max(1));
         for (u, v) in self.edges() {
             b.raw_fact(e, vec![u, v]);
             b.raw_fact(e, vec![v, u]);

@@ -84,10 +84,9 @@ impl MinorMap {
         }
         // Edge realization.
         for (m1, m2) in minor.edges() {
-            let realized = self.branch_sets[m1].iter().any(|&v| {
-                host.neighbors(v)
-                    .any(|w| self.branch_sets[m2].contains(&w))
-            });
+            let realized = self.branch_sets[m1]
+                .iter()
+                .any(|&v| host.neighbors(v).any(|w| self.branch_sets[m2].contains(&w)));
             if !realized {
                 return false;
             }
@@ -222,8 +221,7 @@ fn assign(
     // tractable on the parameter-sized inputs this is used for).
     let budget = (host.vertex_count() + 1)
         .saturating_sub(minor.vertex_count())
-        .max(1)
-        .min(6);
+        .clamp(1, 6);
     for seed in host.vertices() {
         if used[seed] {
             continue;

@@ -80,9 +80,7 @@ pub fn is_path_graph(g: &Graph) -> bool {
 /// Whether a graph is a single cycle `C_k` (`k ≥ 3`): connected, every degree
 /// exactly 2.
 pub fn is_cycle_graph(g: &Graph) -> bool {
-    g.vertex_count() >= 3
-        && is_connected(g)
-        && g.vertices().all(|v| g.degree(v) == 2)
+    g.vertex_count() >= 3 && is_connected(g) && g.vertices().all(|v| g.degree(v) == 2)
 }
 
 /// The length (number of edges) of a shortest path between `s` and `t`, if
@@ -96,7 +94,9 @@ pub fn shortest_path_length(g: &Graph, s: Vertex, t: Vertex) -> Option<usize> {
 /// undirected graphs).  Note that for simple graphs a shortest path is always
 /// simple, so BFS suffices.
 pub fn st_path_within(g: &Graph, s: Vertex, t: Vertex, max_edges: usize) -> bool {
-    shortest_path_length(g, s, t).map(|d| d <= max_edges).unwrap_or(false)
+    shortest_path_length(g, s, t)
+        .map(|d| d <= max_edges)
+        .unwrap_or(false)
 }
 
 /// The number of vertices on a longest *simple* path in the graph, computed
@@ -157,13 +157,7 @@ pub fn has_simple_cycle_of_order(g: &Graph, k: usize) -> bool {
     if k < 3 {
         return false;
     }
-    fn dfs(
-        g: &Graph,
-        start: Vertex,
-        v: Vertex,
-        visited: &mut Vec<bool>,
-        remaining: usize,
-    ) -> bool {
+    fn dfs(g: &Graph, start: Vertex, v: Vertex, visited: &mut Vec<bool>, remaining: usize) -> bool {
         if remaining == 0 {
             return g.has_edge(v, start);
         }

@@ -1,8 +1,11 @@
 //! Canonical conjunctions of structures and canonical structures of
 //! `{∧,∃}`-sentences (the two directions of the Chandra–Merlin
-//! correspondence used in Section 3.2 and Theorem 3.12).
+//! correspondence used in Section 3.2 and Theorem 3.12), plus the
+//! isomorphism-invariant [`query_fingerprint`] the prepared-query engine
+//! keys its plan cache on.
 
 use crate::formula::Formula;
+use cq_graphs::gaifman_graph;
 use cq_structures::{Structure, StructureError, Vocabulary};
 use std::collections::HashMap;
 
@@ -106,6 +109,109 @@ pub fn canonical_structure_of_sentence(phi: &Formula) -> Result<Structure, Struc
     }))
 }
 
+/// FNV-1a, used for all fingerprint hashing: deterministic across runs and
+/// platforms (unlike `DefaultHasher`, whose algorithm is unspecified).
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn hash_str(s: &str) -> u64 {
+    fnv1a(s.bytes().map(|b| b as u64))
+}
+
+/// An isomorphism-invariant fingerprint of a query structure — the key of
+/// the prepared-query engine's plan cache.
+///
+/// Two isomorphic structures (the same query written with different element
+/// orderings) always receive the same fingerprint, because the fingerprint
+/// is built exclusively from label-free data: the vocabulary signature, the
+/// universe size, and the sorted multiset of per-element colours produced by
+/// Weisfeiler–Leman-style refinement seeded with each element's relational
+/// incidences (relation name, arity, position, multiplicity) and iterated
+/// over the Gaifman graph.  Tuple colours — the relation name combined with
+/// the refined colours of the tuple's elements in order — enter the final
+/// hash as a sorted multiset as well.
+///
+/// The converse does **not** hold in general (this is a hash, and WL
+/// refinement is not a complete isomorphism test), so cache lookups must
+/// confirm a candidate entry semantically — the engine verifies homomorphic
+/// equivalence, which is exactly the equivalence that preserves `p-HOM`
+/// answers — before reusing a plan.  A fingerprint collision therefore
+/// costs a cache miss at worst, never a wrong answer.
+pub fn query_fingerprint(a: &Structure) -> u64 {
+    let n = a.universe_size();
+    let g = gaifman_graph(a);
+
+    // Initial colour: the sorted multiset of (relation, arity, position)
+    // incidences of each element.
+    let mut incidences: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (sym, t) in a.all_tuples() {
+        let name = hash_str(a.vocabulary().name(sym));
+        for (pos, &e) in t.iter().enumerate() {
+            incidences[e].push(fnv1a([name, t.len() as u64, pos as u64]));
+        }
+    }
+    let mut colors: Vec<u64> = incidences
+        .into_iter()
+        .map(|mut inc| {
+            inc.sort_unstable();
+            fnv1a(inc)
+        })
+        .collect();
+
+    // Three refinement rounds over the Gaifman graph: enough to separate the
+    // small parameter-sized queries the cache sees in practice, cheap enough
+    // to be negligible next to a single backtracking step.
+    for _ in 0..3 {
+        let mut next = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut neigh: Vec<u64> = g.neighbors(v).map(|w| colors[w]).collect();
+            neigh.sort_unstable();
+            neigh.insert(0, colors[v]);
+            next.push(fnv1a(neigh));
+        }
+        colors = next;
+    }
+
+    // Tuple colours: relation name + refined element colours in order.
+    let mut tuple_colors: Vec<u64> = a
+        .all_tuples()
+        .map(|(sym, t)| {
+            let name = hash_str(a.vocabulary().name(sym));
+            fnv1a(std::iter::once(name).chain(t.iter().map(|&e| colors[e])))
+        })
+        .collect();
+    tuple_colors.sort_unstable();
+
+    // Vocabulary signature: sorted (name, arity) pairs.
+    let mut vocab_sig: Vec<u64> = a
+        .vocabulary()
+        .iter()
+        .map(|(sym, _)| {
+            fnv1a([
+                hash_str(a.vocabulary().name(sym)),
+                a.vocabulary().arity(sym) as u64,
+            ])
+        })
+        .collect();
+    vocab_sig.sort_unstable();
+
+    colors.sort_unstable();
+    fnv1a(
+        std::iter::once(n as u64)
+            .chain(vocab_sig)
+            .chain(colors)
+            .chain(tuple_colors),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +302,57 @@ mod tests {
         let _ = canonical_structure_of_sentence(&phi);
     }
 
-    use cq_structures::Vocabulary;
+    #[test]
+    fn fingerprint_is_invariant_under_relabelling() {
+        let base = [
+            families::cycle(7),
+            families::directed_path(6),
+            star_expansion(&families::path(4)),
+            families::grid(2, 3),
+        ];
+        for a in &base {
+            let n = a.universe_size();
+            // A fixed scramble plus the reversal, applied to every family.
+            let reversal: Vec<usize> = (0..n).rev().collect();
+            let scramble: Vec<usize> = (0..n).map(|i| (i * 5 + 3) % n).collect();
+            let fp = query_fingerprint(a);
+            assert_eq!(fp, query_fingerprint(&relabeled(a, &reversal)), "{a}");
+            if scramble
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                == n
+            {
+                assert_eq!(fp, query_fingerprint(&relabeled(a, &scramble)), "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_queries() {
+        let queries = [
+            families::cycle(6),
+            families::cycle(7),
+            families::path(7),
+            families::directed_path(7),
+            families::star(6),
+            families::clique(4),
+            star_expansion(&families::path(4)),
+        ];
+        let fps: Vec<u64> = queries.iter().map(query_fingerprint).collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "{} vs {}", queries[i], queries[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let a = star_expansion(&families::tree_t(2));
+        assert_eq!(query_fingerprint(&a), query_fingerprint(&a.clone()));
+    }
+
+    use cq_structures::ops::relabeled;
+    use cq_structures::{star_expansion, Vocabulary};
 }

@@ -101,9 +101,7 @@ impl Formula {
             Formula::Equal(_, _) => 3,
             Formula::True => 1,
             Formula::Not(f) => 1 + f.size(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(|f| f.size()).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(|f| f.size()).sum::<usize>(),
             Formula::Quantified { body, .. } => 2 + body.size(),
         }
     }
@@ -341,7 +339,11 @@ mod tests {
         assert!(s.contains('∧'));
         let o = Formula::Or(vec![Formula::True, Formula::Equal("a".into(), "b".into())]);
         assert!(o.to_string().contains('∨'));
-        assert!(Formula::forall("x", Formula::True).to_string().contains('∀'));
-        assert!(Formula::Not(Box::new(Formula::True)).to_string().contains('¬'));
+        assert!(Formula::forall("x", Formula::True)
+            .to_string()
+            .contains('∀'));
+        assert!(Formula::Not(Box::new(Formula::True))
+            .to_string()
+            .contains('¬'));
     }
 }

@@ -31,7 +31,9 @@ pub mod formula;
 pub mod modelcheck;
 pub mod treedepth_sentence;
 
-pub use canonical::{canonical_conjunction, canonical_structure_of_sentence};
+pub use canonical::{canonical_conjunction, canonical_structure_of_sentence, query_fingerprint};
 pub use formula::{Formula, QuantifierKind};
 pub use modelcheck::{model_check, model_check_metered, SpaceReport};
-pub use treedepth_sentence::{corresponding_sentence, corresponding_sentence_for_core};
+pub use treedepth_sentence::{
+    corresponding_sentence, corresponding_sentence_for_core, corresponding_sentence_with_forest,
+};

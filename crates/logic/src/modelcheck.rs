@@ -230,10 +230,7 @@ mod tests {
     fn universal_and_negation() {
         // ∀x ∃y E(x,y): every element has an out-neighbour — true on a
         // directed cycle, false on a directed path (the last element fails).
-        let phi = Formula::forall(
-            "x",
-            Formula::exists("y", Formula::atom("E", &["x", "y"])),
-        );
+        let phi = Formula::forall("x", Formula::exists("y", Formula::atom("E", &["x", "y"])));
         assert!(model_check(&families::directed_cycle(4), &phi));
         assert!(!model_check(&families::directed_path(4), &phi));
         // Negation flips it.

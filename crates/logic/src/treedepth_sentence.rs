@@ -57,6 +57,27 @@ pub fn corresponding_sentence(a: &Structure) -> TreeDepthSentence {
 pub fn corresponding_sentence_for_core(core: &Structure) -> TreeDepthSentence {
     let g = gaifman_graph(core);
     let (depth, forest) = treedepth_exact(&g);
+    corresponding_sentence_with_forest(core, &forest, depth)
+}
+
+/// Compile a structure into a corresponding `{∧,∃}`-sentence using a
+/// **caller-provided** elimination forest of height `depth` — the prepared
+/// query path: the engine already holds the forest certificate from its
+/// one-shot structural analysis, so no tree-depth computation runs here.
+///
+/// The forest must be valid for the Gaifman graph of `a` (checked in debug
+/// builds); the sentence's quantifier rank is at most `depth + 1`
+/// (Lemma 3.3, with the rank guarantee relative to `a` itself — pass the
+/// core and its forest to obtain the paper's core-relative bound).
+pub fn corresponding_sentence_with_forest(
+    a: &Structure,
+    provided_forest: &EliminationForest,
+    depth: usize,
+) -> TreeDepthSentence {
+    let core = a;
+    let forest = provided_forest.clone();
+    debug_assert!(forest.is_valid_for(&gaifman_graph(core)));
+    debug_assert_eq!(forest.height(), depth);
     let children = forest.children();
 
     // Recursive φ_c construction.

@@ -21,7 +21,7 @@
 //! reduction).
 
 use crate::alternating::{
-    reachable_start_states as alt_states, AlternatingJumpMachine, AltOutcome, BranchOutcome,
+    reachable_start_states as alt_states, AltOutcome, AlternatingJumpMachine, BranchOutcome,
 };
 use crate::jump::{reachable_start_states as jump_states, JumpMachine, SegmentOutcome};
 use cq_structures::ops::colored_target;
@@ -146,8 +146,10 @@ pub fn compile_alternating_to_hom_tree<I: ?Sized, M: AlternatingJumpMachine<I>>(
 
     // b_reaches[b][i] = configurations reachable from i by taking universal
     // branch b and then one jump.
-    let mut b_reaches: [Vec<Vec<usize>>; 2] =
-        [vec![Vec::new(); total_states], vec![Vec::new(); total_states]];
+    let mut b_reaches: [Vec<Vec<usize>>; 2] = [
+        vec![Vec::new(); total_states],
+        vec![Vec::new(); total_states],
+    ];
     let mut accepting = vec![false; total_states];
     for (i, s) in states.iter().enumerate() {
         match machine.run_segment(input, s) {
@@ -211,9 +213,7 @@ pub fn compile_alternating_to_hom_tree<I: ?Sized, M: AlternatingJumpMachine<I>>(
     let database = colored_target(nodes, &base, |node| {
         let is_leaf = node >= internal;
         (0..total_states)
-            .filter(|&cfg| {
-                (node != 0 || cfg == initial_idx) && (!is_leaf || accepting[cfg])
-            })
+            .filter(|&cfg| (node != 0 || cfg == initial_idx) && (!is_leaf || accepting[cfg]))
             .map(|cfg| encode(node, cfg))
             .collect()
     });

@@ -39,7 +39,9 @@ pub mod compile;
 pub mod jump;
 pub mod problems;
 
-pub use alternating::{accepts_alternating_machine, AltOutcome, AlternatingJumpMachine, BranchOutcome};
+pub use alternating::{
+    accepts_alternating_machine, AltOutcome, AlternatingJumpMachine, BranchOutcome,
+};
 pub use compile::{compile_alternating_to_hom_tree, compile_jump_to_hom_path, CompiledInstance};
 pub use jump::{accepts_jump_machine, JumpMachine, JumpRun, SegmentOutcome};
 pub use problems::{StPathMachine, TreeQueryMachine};

@@ -13,7 +13,7 @@
 //!   node and *existentially* guess (by a jump) its image, verifying the
 //!   colour and edge constraints.
 
-use crate::alternating::{AlternatingJumpMachine, AltOutcome, BranchOutcome};
+use crate::alternating::{AltOutcome, AlternatingJumpMachine, BranchOutcome};
 use crate::jump::{JumpMachine, SegmentOutcome};
 use cq_graphs::{Graph, Vertex};
 use cq_structures::Structure;
@@ -69,7 +69,9 @@ impl JumpMachine<StPathInput> for StPathMachine {
 
     fn resume(&self, input: &StPathInput, at_jump: &StPathState, position: usize) -> StPathState {
         let (walked, current, alive) = *at_jump;
-        let ok = alive && position < input.graph.vertex_count() && input.graph.has_edge(current, position);
+        let ok = alive
+            && position < input.graph.vertex_count()
+            && input.graph.has_edge(current, position);
         (walked + 1, position, ok)
     }
 }
@@ -129,7 +131,11 @@ impl AlternatingJumpMachine<TreeQueryInput> for TreeQueryMachine {
         input.height + 1
     }
 
-    fn run_segment(&self, input: &TreeQueryInput, state: &TreeQueryState) -> AltOutcome<TreeQueryState> {
+    fn run_segment(
+        &self,
+        input: &TreeQueryInput,
+        state: &TreeQueryState,
+    ) -> AltOutcome<TreeQueryState> {
         let (node, image, _pending, alive) = *state;
         if !alive {
             return AltOutcome::Halt(false);
@@ -160,7 +166,12 @@ impl AlternatingJumpMachine<TreeQueryInput> for TreeQueryMachine {
         ]))
     }
 
-    fn resume(&self, input: &TreeQueryInput, at_jump: &TreeQueryState, position: usize) -> TreeQueryState {
+    fn resume(
+        &self,
+        input: &TreeQueryInput,
+        at_jump: &TreeQueryState,
+        position: usize,
+    ) -> TreeQueryState {
         let (node, image, pending, alive) = *at_jump;
         if !alive || pending == UNSET {
             return (node, image, UNSET, false);
@@ -189,7 +200,12 @@ mod tests {
 
     #[test]
     fn st_path_machine_matches_bfs_on_many_instances() {
-        let graphs = vec![path_graph(7), cycle_graph(8), grid_graph(3, 3), complete_graph(4)];
+        let graphs = vec![
+            path_graph(7),
+            cycle_graph(8),
+            grid_graph(3, 3),
+            complete_graph(4),
+        ];
         for graph in graphs {
             let n = graph.vertex_count();
             for (s, t) in [(0, n - 1), (0, n / 2), (1, n - 2)] {
@@ -215,7 +231,12 @@ mod tests {
         let mut g = Graph::new(4);
         g.add_edge(0, 1);
         g.add_edge(2, 3);
-        let input = StPathInput { graph: g, s: 0, t: 3, k: 10 };
+        let input = StPathInput {
+            graph: g,
+            s: 0,
+            t: 3,
+            k: 10,
+        };
         assert!(!accepts_jump_machine(&StPathMachine, &input).accepted);
     }
 

@@ -59,7 +59,11 @@ pub fn count_star_via_oracle(
             let (b_s, _) = product.induced_substructure(&keep).expect("non-empty");
             oracle(a, &b_s)
         };
-        let sign = if (n - s.len()) % 2 == 0 { 1 } else { -1 };
+        let sign = if (n - s.len()).is_multiple_of(2) {
+            1
+        } else {
+            -1
+        };
         signed_total += sign as i128 * count as i128;
     }
     if signed_total <= 0 {
@@ -75,7 +79,11 @@ pub fn count_star_via_oracle(
         })
         .count() as i128;
     debug_assert!(bijective >= 1);
-    debug_assert_eq!(signed_total % bijective, 0, "inclusion–exclusion must divide evenly");
+    debug_assert_eq!(
+        signed_total % bijective,
+        0,
+        "inclusion–exclusion must divide evenly"
+    );
     (signed_total / bijective) as u64
 }
 
@@ -90,11 +98,10 @@ mod tests {
         let b = colored_target(a.universe_size(), base, allowed);
         let expected = count_homomorphisms_bruteforce(&astar, &b);
         let mut oracle_calls = 0u64;
-        let mut oracle =
-            |q: &Structure, db: &Structure| -> u64 {
-                oracle_calls += 1;
-                count_homomorphisms_bruteforce(q, db)
-            };
+        let mut oracle = |q: &Structure, db: &Structure| -> u64 {
+            oracle_calls += 1;
+            count_homomorphisms_bruteforce(q, db)
+        };
         let got = count_star_via_oracle(a, &b, &mut oracle);
         assert_eq!(got, expected, "query {a}");
         assert!(oracle_calls <= (1 << a.universe_size()));

@@ -75,7 +75,9 @@ pub fn canonical_family(a_size: usize, b_size: usize) -> Vec<Colouring> {
     let bound = (k2 * log_n).max(3);
     let mut family = Vec::new();
     // Enumerate g : {0..k²-1} -> A as base-k numbers.
-    let g_count = k.checked_pow(k2 as u32).expect("canonical family too large");
+    let g_count = k
+        .checked_pow(k2 as u32)
+        .expect("canonical family too large");
     for p in 2..bound {
         if !is_prime(p) {
             continue;
@@ -115,7 +117,10 @@ mod tests {
         for (b, expected) in [
             (families::path(3), true),
             (families::cycle(4), true),
-            (cq_structures::Structure::new(cq_structures::Vocabulary::graph(), 2).unwrap(), false),
+            (
+                cq_structures::Structure::new(cq_structures::Vocabulary::graph(), 2).unwrap(),
+                false,
+            ),
         ] {
             assert_eq!(embedding_exists(&a, &b), expected);
             let reduced = embedding_to_hom_star(&a, &b);

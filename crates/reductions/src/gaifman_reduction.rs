@@ -88,6 +88,11 @@ pub fn gaifman_to_structure_instance(a: &Structure, b: &Structure) -> ReducedIns
     ReducedInstance::new(query, database)
 }
 
+// Small helper re-exported for the tests above (kept private to the paper's
+// reduction: the Gaifman graph is computed through `cq_graphs`).
+#[allow(dead_code)]
+fn _unused() {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,8 +166,3 @@ mod tests {
         assert_eq!(reduced.query.universe_size(), 4);
     }
 }
-
-// Small helper re-exported for the tests above (kept private to the paper's
-// reduction: the Gaifman graph is computed through `cq_graphs`).
-#[allow(dead_code)]
-fn _unused() {}

@@ -45,10 +45,7 @@ pub fn remove_star_colors(d: &Structure, b: &Structure) -> ReducedInstance {
         // using an empty-relation structure).
         Structure::new(d.vocabulary().clone(), 1).expect("non-empty")
     } else {
-        product
-            .induced_substructure(&keep)
-            .expect("non-empty")
-            .0
+        product.induced_substructure(&keep).expect("non-empty").0
     };
 
     ReducedInstance::new(d.clone(), database)

@@ -32,7 +32,7 @@ pub fn is_prime(p: usize) -> bool {
     }
     let mut d = 2;
     while d * d <= p {
-        if p % d == 0 {
+        if p.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -125,7 +125,9 @@ pub fn embedding_via_colour_coding(
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     for _ in 0..config.trials {
-        let colouring: Vec<usize> = (0..b.universe_size()).map(|_| rng.gen_range(0..k)).collect();
+        let colouring: Vec<usize> = (0..b.universe_size())
+            .map(|_| rng.gen_range(0..k))
+            .collect();
         if let Some(embedding) = colourful_forest_embedding(a, b, &ga, &colouring) {
             debug_assert!(cq_structures::is_homomorphism(a, b, &embedding));
             debug_assert!({
@@ -209,7 +211,7 @@ fn colourful_forest_embedding(
                             if !edge_ok(a, b, v, host, c, chost) {
                                 continue;
                             }
-                            for (cmask, _) in &table[c][chost] {
+                            for cmask in table[c][chost].keys() {
                                 if cmask & mask != 0 {
                                     continue;
                                 }
@@ -238,7 +240,7 @@ fn colourful_forest_embedding(
         let needed = comp.len() as u32;
         let mut found = None;
         'search: for host in b.universe() {
-            for (mask, _) in &table[root][host] {
+            for mask in table[root][host].keys() {
                 if mask.count_ones() == needed {
                     found = Some((host, *mask));
                     break 'search;
@@ -252,7 +254,9 @@ fn colourful_forest_embedding(
     }
 
     // Final safety re-check: consistent, total, injective homomorphism.
-    let total: Vec<Element> = assignment.iter().map(|x| x.expect("all assigned"))
+    let total: Vec<Element> = assignment
+        .iter()
+        .map(|x| x.expect("all assigned"))
         .collect();
     let mut seen = std::collections::BTreeSet::new();
     if total.iter().all(|&x| seen.insert(x)) && cq_structures::is_homomorphism(a, b, &total) {
@@ -294,9 +298,9 @@ fn host_ok(
         if !t.contains(&v) {
             continue;
         }
-        let inside = t.iter().all(|&e| {
-            e == v || Some(e) == parent || assignment[e].is_some()
-        });
+        let inside = t
+            .iter()
+            .all(|&e| e == v || Some(e) == parent || assignment[e].is_some());
         if !inside {
             continue;
         }
@@ -399,7 +403,11 @@ mod tests {
     fn tree_embedding_matches_reference() {
         // The complete binary tree of height 2 embeds into the 3x3 grid?
         let a = families::tree_t(2);
-        for b in [families::grid(3, 3), families::star(8), families::caterpillar(4, 2)] {
+        for b in [
+            families::grid(3, 3),
+            families::star(8),
+            families::caterpillar(4, 2),
+        ] {
             let expected = embedding_exists(&a, &b);
             let got =
                 embedding_via_colour_coding(&a, &b, ColorCodingConfig::for_query_size(7)).is_some();
@@ -412,12 +420,8 @@ mod tests {
         let a = families::directed_path(4);
         let yes = families::directed_cycle(6);
         let no = families::directed_cycle(3);
-        assert!(
-            embedding_via_colour_coding(&a, &yes, ColorCodingConfig::default()).is_some()
-        );
-        assert!(
-            embedding_via_colour_coding(&a, &no, ColorCodingConfig::default()).is_none()
-        );
+        assert!(embedding_via_colour_coding(&a, &yes, ColorCodingConfig::default()).is_some());
+        assert!(embedding_via_colour_coding(&a, &no, ColorCodingConfig::default()).is_none());
     }
 
     #[test]

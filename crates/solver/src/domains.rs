@@ -104,7 +104,10 @@ mod tests {
         let a = families::path(3);
         let astar = star_expansion(&a);
         let d = initial_domains(&astar, &astar);
-        assert!(d.iter().enumerate().all(|(i, dom)| dom.len() == 1 && dom.contains(&i)));
+        assert!(d
+            .iter()
+            .enumerate()
+            .all(|(i, dom)| dom.len() == 1 && dom.contains(&i)));
     }
 
     #[test]

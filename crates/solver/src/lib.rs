@@ -31,7 +31,7 @@ pub mod treedepth;
 pub use backtrack::BacktrackSolver;
 pub use colour_coding::{hash_coloring, ColorCodingConfig};
 pub use domains::{arc_consistency, initial_domains, Domains};
-pub use pathdp::{hom_via_path_decomposition, PathDpReport};
+pub use pathdp::{hom_via_path_decomposition, hom_via_staircase, PathDpReport};
 pub use problems::{has_k_cycle, has_k_path, st_path_at_most};
 pub use treedec::{count_hom_via_tree_decomposition, hom_via_tree_decomposition};
-pub use treedepth::{count_hom_via_treedepth, hom_via_treedepth};
+pub use treedepth::{count_hom_via_treedepth, hom_via_compiled_sentence, hom_via_treedepth};

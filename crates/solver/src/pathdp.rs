@@ -71,7 +71,17 @@ pub fn hom_via_path_decomposition(
     pd: &PathDecomposition,
 ) -> PathDpReport {
     debug_assert!(pd.is_valid_for(&gaifman_graph(a)));
-    let stair = pd.normalize_staircase();
+    hom_via_staircase(a, b, &pd.normalize_staircase())
+}
+
+/// As [`hom_via_path_decomposition`], but for a decomposition that is
+/// **already** in staircase normal form — the prepared-query path: the
+/// engine normalizes once at preparation time and sweeps the same staircase
+/// against every database, instead of re-normalizing per evaluation.
+///
+/// Staircase form is checked in debug builds.
+pub fn hom_via_staircase(a: &Structure, b: &Structure, stair: &PathDecomposition) -> PathDpReport {
+    debug_assert!(stair.is_staircase());
     let mut report = PathDpReport {
         exists: false,
         peak_frontier: 0,
@@ -140,7 +150,12 @@ fn extend(
 }
 
 /// Check all tuples of `a` lying entirely inside the bag against `h`.
-fn consistent_on_bag(a: &Structure, b: &Structure, h: &PartialHom, bag: &BTreeSet<Element>) -> bool {
+fn consistent_on_bag(
+    a: &Structure,
+    b: &Structure,
+    h: &PartialHom,
+    bag: &BTreeSet<Element>,
+) -> bool {
     for (sym, t) in a.all_tuples() {
         if !t.iter().all(|e| bag.contains(e)) {
             continue;
@@ -241,8 +256,7 @@ mod tests {
 
     #[test]
     fn convenience_wrapper_works() {
-        let report =
-            hom_with_computed_path_decomposition(&families::path(4), &families::cycle(6));
+        let report = hom_with_computed_path_decomposition(&families::path(4), &families::cycle(6));
         assert!(report.exists);
         assert!(report.bags >= 1);
     }

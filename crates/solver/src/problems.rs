@@ -29,15 +29,15 @@ fn colourful_path_masks(
 ) -> Vec<std::collections::BTreeSet<u32>> {
     let n = g.vertex_count();
     let mut current: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
-    for v in 0..n {
+    for (v, masks) in current.iter_mut().enumerate() {
         if start.is_none() || start == Some(v) {
-            current[v].insert(1u32 << colouring[v]);
+            masks.insert(1u32 << colouring[v]);
         }
     }
     for _ in 1..len {
         let mut next: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
-        for v in 0..n {
-            for &mask in &current[v] {
+        for (v, masks) in current.iter().enumerate() {
+            for &mask in masks {
                 for w in g.neighbors(v) {
                     let bit = 1u32 << colouring[w];
                     if mask & bit == 0 {
@@ -91,11 +91,9 @@ pub fn has_k_cycle(g: &Graph, k: usize, config: ColorCodingConfig) -> bool {
         let colouring: Vec<usize> = (0..g.vertex_count()).map(|_| rng.gen_range(0..k)).collect();
         for start in g.vertices() {
             let masks = colourful_path_masks(g, &colouring, Some(start), k);
-            let closes = g.neighbors(start).any(|w| {
-                masks[w]
-                    .iter()
-                    .any(|m| m.count_ones() as usize == k)
-            });
+            let closes = g
+                .neighbors(start)
+                .any(|w| masks[w].iter().any(|m| m.count_ones() as usize == k));
             if closes {
                 return true;
             }

@@ -96,11 +96,7 @@ pub fn hom_via_tree_decomposition(a: &Structure, b: &Structure, td: &TreeDecompo
     let mut viable: Vec<Option<BTreeSet<PartialHom>>> = vec![None; n_bags];
     for &t in &post {
         let own = bag_assignments(a, b, &td.bags[t]);
-        let children: Vec<usize> = td
-            .tree
-            .neighbors(t)
-            .filter(|&c| parent[c] == t)
-            .collect();
+        let children: Vec<usize> = td.tree.neighbors(t).filter(|&c| parent[c] == t).collect();
         let mut ok = BTreeSet::new();
         'assignments: for h in own {
             for &c in &children {
@@ -143,11 +139,7 @@ pub fn count_hom_via_tree_decomposition(
     let mut counts: Vec<Option<BTreeMap<PartialHom, u64>>> = vec![None; n_bags];
     for &t in &post {
         let own = bag_assignments(a, b, &td.bags[t]);
-        let children: Vec<usize> = td
-            .tree
-            .neighbors(t)
-            .filter(|&c| parent[c] == t)
-            .collect();
+        let children: Vec<usize> = td.tree.neighbors(t).filter(|&c| parent[c] == t).collect();
         let mut map = BTreeMap::new();
         for h in own {
             let mut total: u64 = 1;
@@ -157,17 +149,10 @@ pub fn count_hom_via_tree_decomposition(
                 // we must not double count the shared vertices X_t ∩ X_c: we
                 // sum over child assignments h_c that agree with h on the
                 // intersection, and each contributes its own extension count.
-                let shared: Vec<Element> = td.bags[t]
-                    .intersection(&td.bags[c])
-                    .copied()
-                    .collect();
+                let shared: Vec<Element> = td.bags[t].intersection(&td.bags[c]).copied().collect();
                 let sum: u64 = child_counts
                     .iter()
-                    .filter(|(hc, _)| {
-                        shared
-                            .iter()
-                            .all(|&v| hc.get(v) == h.get(v))
-                    })
+                    .filter(|(hc, _)| shared.iter().all(|&v| hc.get(v) == h.get(v)))
                     .map(|(_, &cnt)| cnt)
                     .sum();
                 total = total.saturating_mul(sum);

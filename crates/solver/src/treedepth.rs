@@ -42,7 +42,18 @@ pub struct TreeDepthRun {
 
 /// Decide `HOM(A, B)` through the Lemma 3.3 / Lemma 3.11 pipeline.
 pub fn hom_via_treedepth(a: &Structure, b: &Structure) -> TreeDepthRun {
-    let compiled = corresponding_sentence(a);
+    hom_via_compiled_sentence(&corresponding_sentence(a), b)
+}
+
+/// Decide `HOM(A, B)` from an **already compiled** tree-depth sentence — the
+/// prepared-query path: the engine compiles the query's sentence once (from
+/// the elimination-forest certificate of its structural analysis) and
+/// model-checks that same sentence against every database, so per-database
+/// work is the Lemma 3.11 model check alone.
+pub fn hom_via_compiled_sentence(
+    compiled: &cq_logic::treedepth_sentence::TreeDepthSentence,
+    b: &Structure,
+) -> TreeDepthRun {
     let (exists, space) = model_check_metered(b, &compiled.sentence);
     TreeDepthRun {
         exists,
@@ -236,9 +247,8 @@ mod tests {
     #[test]
     fn counting_colored_instances() {
         let q = star_expansion(&families::star(2));
-        let target = cq_structures::ops::colored_target(3, &families::clique(4), |e| {
-            vec![e, (e + 1) % 4]
-        });
+        let target =
+            cq_structures::ops::colored_target(3, &families::clique(4), |e| vec![e, (e + 1) % 4]);
         assert_eq!(
             count_hom_via_treedepth(&q, &target),
             count_homomorphisms_bruteforce(&q, &target)

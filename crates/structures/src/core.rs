@@ -14,7 +14,26 @@
 
 use crate::homomorphism::{find_homomorphism, homomorphism_exists};
 use crate::structure::{Element, Structure};
+use std::cell::Cell;
 use std::collections::BTreeSet;
+
+thread_local! {
+    static CORE_COMPUTATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`core_of`] computations performed on the current thread.
+///
+/// Core computation is the other exponential per-query cost besides the
+/// width DPs; the prepared-query engine must run it at most once per query.
+/// This thread-local counter lets tests assert that (thread-locality makes
+/// it race-free under the multi-threaded test harness).
+pub fn core_computation_count() -> u64 {
+    CORE_COMPUTATIONS.with(Cell::get)
+}
+
+fn record_core_computation() {
+    CORE_COMPUTATIONS.with(|c| c.set(c.get() + 1));
+}
 
 /// The result of a core computation: the core itself plus bookkeeping that
 /// tests and the classification engine use.
@@ -78,6 +97,7 @@ pub fn is_core(a: &Structure) -> bool {
 /// smaller than `A \ {x}`), and repeat until no element can be dropped.  The
 /// final structure is a core and is homomorphically equivalent to the input.
 pub fn core_of(a: &Structure) -> CoreComputation {
+    record_core_computation();
     let n = a.universe_size();
     // survivors[i] = original element currently representing position i.
     let mut survivors: Vec<Element> = a.universe().collect();
@@ -91,11 +111,8 @@ pub fn core_of(a: &Structure) -> CoreComputation {
         let mut shrunk = false;
         if current.universe_size() > 1 {
             for x in current.universe() {
-                let rest: BTreeSet<Element> =
-                    current.universe().filter(|&e| e != x).collect();
-                let (sub, old_to_new) = current
-                    .induced_substructure(&rest)
-                    .expect("non-empty");
+                let rest: BTreeSet<Element> = current.universe().filter(|&e| e != x).collect();
+                let (sub, old_to_new) = current.induced_substructure(&rest).expect("non-empty");
                 if let Some(h) = find_homomorphism(&current, &sub) {
                     // Compose the global retraction with h (mapping current
                     // elements to sub elements, then back to original labels).
@@ -120,10 +137,7 @@ pub fn core_of(a: &Structure) -> CoreComputation {
                     let (smaller, _) = current
                         .induced_substructure(&image_in_current)
                         .expect("image non-empty");
-                    survivors = image_in_current
-                        .iter()
-                        .map(|&e| survivors[e])
-                        .collect();
+                    survivors = image_in_current.iter().map(|&e| survivors[e]).collect();
                     current = smaller;
                     let _ = old_to_new;
                     shrunk = true;
@@ -254,11 +268,7 @@ mod tests {
         for &img in &c.retraction {
             assert!(c.survivors.contains(&img));
         }
-        assert!(crate::homomorphism::is_homomorphism(
-            &a,
-            &a,
-            &c.retraction
-        ));
+        assert!(crate::homomorphism::is_homomorphism(&a, &a, &c.retraction));
         // Survivors induce exactly the core.
         assert_eq!(c.survivors.len(), c.core_size());
     }

@@ -129,7 +129,9 @@ impl ConjunctiveQuery {
             .collect();
         let mut s = Structure::new(vocab.clone(), self.variables.len())?;
         for a in &self.atoms {
-            let sym = vocab.id_of(&a.relation).expect("vocabulary built from atoms");
+            let sym = vocab
+                .id_of(&a.relation)
+                .expect("vocabulary built from atoms");
             let tuple = a
                 .variables
                 .iter()

@@ -167,7 +167,9 @@ pub fn is_homomorphism(a: &Structure, b: &Structure, h: &[Element]) -> bool {
 /// preserved (this is preservation with respect to the *induced substructure*
 /// on the domain).
 pub fn is_partial_homomorphism(a: &Structure, b: &Structure, h: &PartialHom) -> bool {
-    if h.pairs().any(|(x, y)| x >= a.universe_size() || y >= b.universe_size()) {
+    if h.pairs()
+        .any(|(x, y)| x >= a.universe_size() || y >= b.universe_size())
+    {
         return false;
     }
     for (sym, t) in a.all_tuples() {

@@ -39,16 +39,15 @@ pub mod ops;
 pub mod structure;
 pub mod vocabulary;
 
-pub use crate::core::{core_of, is_core, CoreComputation};
+pub use crate::core::{core_computation_count, core_of, is_core, CoreComputation};
 pub use builder::StructureBuilder;
 pub use cq::{Atom, ConjunctiveQuery};
 pub use error::StructureError;
 pub use homomorphism::{
     count_homomorphisms_bruteforce, embedding_exists, find_embedding, find_homomorphism,
-    homomorphism_exists, homomorphisms_iter, is_homomorphism, is_partial_homomorphism,
-    PartialHom,
+    homomorphism_exists, homomorphisms_iter, is_homomorphism, is_partial_homomorphism, PartialHom,
 };
-pub use ops::{direct_product, disjoint_union, star_expansion, symmetric_closure};
+pub use ops::{direct_product, disjoint_union, relabeled, star_expansion, symmetric_closure};
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{RelationSymbol, SymbolId, Vocabulary};
 

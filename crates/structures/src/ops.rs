@@ -176,6 +176,30 @@ pub fn symmetric_closure(a: &Structure) -> Structure {
     out
 }
 
+/// Relabel the elements of a structure through a permutation
+/// (`perm[old] = new`): the result is isomorphic to the input with every
+/// tuple rewritten through `perm`.
+///
+/// Panics when `perm` is not a permutation of `0..a.universe_size()`.  Used
+/// to present "the same query built with a different vertex ordering" — the
+/// prepared-query engine's plan cache must recognize relabelled queries as
+/// cache hits.
+pub fn relabeled(a: &Structure, perm: &[Element]) -> Structure {
+    let n = a.universe_size();
+    assert_eq!(perm.len(), n, "permutation length must match the universe");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "perm must be a permutation of 0..{n}");
+        seen[p] = true;
+    }
+    let mut out = Structure::new(a.vocabulary().clone(), n).expect("non-empty");
+    for (sym, t) in a.all_tuples() {
+        out.add_tuple_unchecked(sym, t.iter().map(|&e| perm[e]).collect());
+    }
+    out.finalize();
+    out
+}
+
 /// The graph underlying a directed graph without loops: the symmetric closure
 /// of its edge relation (panics when the input has loops, matching the
 /// paper's requirement of irreflexivity).

@@ -74,7 +74,9 @@ impl Relation {
     /// Membership test.
     pub fn contains(&self, t: &[Element]) -> bool {
         debug_assert!(self.sorted);
-        self.tuples.binary_search_by(|probe| probe.as_slice().cmp(t)).is_ok()
+        self.tuples
+            .binary_search_by(|probe| probe.as_slice().cmp(t))
+            .is_ok()
     }
 }
 
@@ -101,7 +103,10 @@ impl Structure {
         if universe_size == 0 {
             return Err(StructureError::EmptyUniverse);
         }
-        let relations = vocab.ids().map(|id| Relation::empty(vocab.arity(id))).collect();
+        let relations = vocab
+            .ids()
+            .map(|id| Relation::empty(vocab.arity(id)))
+            .collect();
         Ok(Structure {
             vocab,
             universe_size,
@@ -484,10 +489,7 @@ mod tests {
         s.add_tuple(r, vec![0, 0, 1]).unwrap();
         s.add_tuple(r, vec![2, 3, 2]).unwrap();
         let edges = s.gaifman_edges();
-        assert_eq!(
-            edges.into_iter().collect::<Vec<_>>(),
-            vec![(0, 1), (2, 3)]
-        );
+        assert_eq!(edges.into_iter().collect::<Vec<_>>(), vec![(0, 1), (2, 3)]);
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl Vocabulary {
     ///
     /// Adding a symbol that already exists with the same arity is a no-op
     /// returning the existing id; a conflicting arity is an error.
-    pub fn add(&mut self, name: impl Into<String>, arity: usize) -> Result<SymbolId, StructureError> {
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+    ) -> Result<SymbolId, StructureError> {
         let name = name.into();
         if let Some(&id) = self.by_name.get(&name) {
             if self.symbols[id.index()].arity == arity {

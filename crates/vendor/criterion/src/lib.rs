@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! mirrors the small surface of criterion 0.5 that the workspace's benches
+//! use — `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId` and
+//! `Bencher::iter` — backed by a plain `std::time::Instant` harness.
+//!
+//! It reports median / mean wall-clock time per iteration to stdout.  It
+//! does not do criterion's statistical analysis, HTML reports or regression
+//! detection; it exists so `cargo bench` runs and produces comparable
+//! numbers in an offline container.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: a function name plus an optional parameter,
+/// printed as `name/parameter` like the real crate does.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier with a parameter component (`name/parameter`).
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts both
+/// string literals and explicit ids.
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            parameter: None,
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time the closure: a few warm-up runs, then `samples` timed runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+const WARMUP_ITERS: usize = 3;
+const DEFAULT_SAMPLES: usize = 20;
+
+fn report(group: &str, id: &BenchmarkId, recorded: &[Duration]) {
+    if recorded.is_empty() {
+        return;
+    }
+    let mut sorted = recorded.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let label = if group.is_empty() {
+        id.render()
+    } else {
+        format!("{group}/{}", id.render())
+    };
+    println!(
+        "bench {label:<60} median {median:>12?}  mean {mean:>12?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            samples: self.samples,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id, &b.recorded);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            recorded: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id, &b.recorded);
+        self
+    }
+
+    /// End the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            samples: DEFAULT_SAMPLES,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        report("", &id, &b.recorded);
+        self
+    }
+}
+
+/// Declare a function that runs a list of bench functions against a fresh
+/// [`Criterion`] (API mirror of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups (API mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_the_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut runs = 0usize;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 5 + 3, "samples plus warm-up");
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 7).render(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(3).render(), "3");
+        assert_eq!("plain".into_benchmark_id().render(), "plain");
+    }
+}

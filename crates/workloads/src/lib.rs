@@ -51,10 +51,15 @@ pub fn random_digraph_structure(n: usize, arc_probability: f64, seed: u64) -> St
 /// (`R0 … R{relations-1}`), `n` elements and roughly `tuples_per_relation`
 /// tuples each — the kind of instance a relational engine would evaluate a
 /// conjunctive query against.
-pub fn random_database(n: usize, relations: usize, tuples_per_relation: usize, seed: u64) -> Structure {
+pub fn random_database(
+    n: usize,
+    relations: usize,
+    tuples_per_relation: usize,
+    seed: u64,
+) -> Structure {
     let mut rng = StdRng::seed_from_u64(seed);
-    let vocab = Vocabulary::from_pairs((0..relations).map(|i| (format!("R{i}"), 2)))
-        .expect("fresh names");
+    let vocab =
+        Vocabulary::from_pairs((0..relations).map(|i| (format!("R{i}"), 2))).expect("fresh names");
     let mut b = StructureBuilder::new(vocab.clone()).with_universe(n);
     for r in 0..relations {
         let sym = vocab.id_of(&format!("R{r}")).unwrap();
@@ -121,6 +126,91 @@ pub fn path_plus_noise(n: usize, noise_arcs: usize, seed: u64) -> Structure {
     b.build().expect("non-empty")
 }
 
+/// A fleet of random graph databases sharing size and density — the
+/// database side of a repeated-query workload (one prepared query evaluated
+/// against every member).
+pub fn database_fleet(count: usize, n: usize, edge_probability: f64, seed: u64) -> Vec<Structure> {
+    (0..count)
+        .map(|i| random_graph_structure(n, edge_probability, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// A batch-evaluation traffic trace: a small set of distinct query shapes, a
+/// fleet of databases, and a sequence of (query index, database index)
+/// instances in which each query recurs many times — the shape of traffic
+/// the prepared-query engine's plan cache exists for.
+#[derive(Debug, Clone)]
+pub struct BatchWorkload {
+    /// The distinct query structures (each index is referenced many times by
+    /// the trace).
+    pub queries: Vec<Structure>,
+    /// The database fleet.
+    pub databases: Vec<Structure>,
+    /// The instance sequence as (query index, database index) pairs.
+    pub trace: Vec<(usize, usize)>,
+}
+
+impl BatchWorkload {
+    /// The instances of the trace as structure pairs, borrowed from the
+    /// workload (the shape `Engine::solve_batch_instances` consumes).
+    pub fn instances(&self) -> Vec<(&Structure, &Structure)> {
+        self.trace
+            .iter()
+            .map(|&(q, d)| (&self.queries[q], &self.databases[d]))
+            .collect()
+    }
+
+    /// Number of instances in the trace.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+/// A deterministic repeated-query trace over graph-shaped queries (stars,
+/// paths, odd cycles — one query per structural tier of the engine's solver
+/// registry) against a fleet of random graph databases.  Every query occurs
+/// `repeats_per_query` times; the interleaving is seeded and shuffled so
+/// cache behaviour is realistic rather than perfectly clustered.
+pub fn repeated_query_traffic(
+    db_count: usize,
+    db_size: usize,
+    repeats_per_query: usize,
+    seed: u64,
+) -> BatchWorkload {
+    use cq_structures::families;
+    assert!(db_count > 0, "a traffic trace needs at least one database");
+    let queries = vec![
+        families::star(4),   // tree depth 2 -> para-L tier
+        families::cycle(7),  // pathwidth 2, tree depth 4 -> path tier
+        families::path(6),   // collapses to an edge under coring
+        families::clique(4), // treewidth 3 -> tree-DP tier
+    ];
+    let databases = database_fleet(db_count, db_size, 0.35, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    let mut trace: Vec<(usize, usize)> = (0..queries.len())
+        .flat_map(|q| (0..repeats_per_query).map(move |_| q))
+        .map(|q| (q, 0usize))
+        .collect();
+    for slot in trace.iter_mut() {
+        slot.1 = rng.gen_range(0..databases.len());
+    }
+    // Fisher–Yates interleave of the query order.
+    for i in (1..trace.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        trace.swap(i, j);
+    }
+    BatchWorkload {
+        queries,
+        databases,
+        trace,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +249,26 @@ mod tests {
         let star_s = star.canonical_structure().unwrap();
         assert_eq!(cq_decomp::width_profile_of_structure(&chain_s).pathwidth, 1);
         assert_eq!(cq_decomp::width_profile_of_structure(&star_s).treedepth, 2);
+    }
+
+    #[test]
+    fn batch_workload_is_deterministic_and_well_formed() {
+        let w1 = repeated_query_traffic(6, 12, 5, 11);
+        let w2 = repeated_query_traffic(6, 12, 5, 11);
+        assert_eq!(w1.trace, w2.trace);
+        assert_eq!(w1.len(), 4 * 5);
+        assert!(!w1.is_empty());
+        assert_eq!(w1.databases.len(), 6);
+        for &(q, d) in &w1.trace {
+            assert!(q < w1.queries.len());
+            assert!(d < w1.databases.len());
+        }
+        // Every query index recurs `repeats_per_query` times.
+        for q in 0..w1.queries.len() {
+            assert_eq!(w1.trace.iter().filter(|&&(qq, _)| qq == q).count(), 5);
+        }
+        let instances = w1.instances();
+        assert_eq!(instances.len(), w1.len());
     }
 
     #[test]

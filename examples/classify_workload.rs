@@ -5,15 +5,34 @@
 use cq_fine::classification::{classify_generated, Degree};
 use cq_fine::structures::{families, star_expansion};
 
+/// A named class: label, generator, and how many members to sample.
+type NamedClass = (
+    &'static str,
+    Box<dyn Fn(usize) -> cq_fine::structures::Structure>,
+    usize,
+);
+
 fn main() {
-    let classes: Vec<(&str, Box<dyn Fn(usize) -> cq_fine::structures::Structure>, usize)> = vec![
+    let classes: Vec<NamedClass> = vec![
         ("undirected paths", Box::new(|i| families::path(i + 2)), 7),
         ("stars K_{1,l}", Box::new(|i| families::star(i + 1)), 7),
         ("even cycles", Box::new(|i| families::cycle(2 * i + 4)), 7),
-        ("directed paths ->P_k", Box::new(|i| families::directed_path(i + 2)), 8),
-        ("coloured paths P*_k", Box::new(|i| star_expansion(&families::path(i + 2))), 8),
+        (
+            "directed paths ->P_k",
+            Box::new(|i| families::directed_path(i + 2)),
+            8,
+        ),
+        (
+            "coloured paths P*_k",
+            Box::new(|i| star_expansion(&families::path(i + 2))),
+            8,
+        ),
         ("odd cycles", Box::new(|i| families::cycle(2 * i + 3)), 7),
-        ("coloured trees T*_h", Box::new(|i| star_expansion(&families::tree_t(i + 1))), 3),
+        (
+            "coloured trees T*_h",
+            Box::new(|i| star_expansion(&families::tree_t(i + 1))),
+            3,
+        ),
         ("cliques K_k", Box::new(|i| families::clique(i + 1)), 6),
     ];
 

@@ -5,16 +5,21 @@
 //!
 //! Run with `cargo run --example machine_characterization`.
 
+use cq_fine::graphs::families::grid_graph;
 use cq_fine::machine::alternating::accepts_alternating_machine;
 use cq_fine::machine::compile::{compile_alternating_to_hom_tree, compile_jump_to_hom_path};
 use cq_fine::machine::jump::accepts_jump_machine;
 use cq_fine::machine::problems::{StPathInput, StPathMachine, TreeQueryInput, TreeQueryMachine};
 use cq_fine::structures::{families, homomorphism_exists, ops::colored_target};
-use cq_fine::graphs::families::grid_graph;
 
 fn main() {
     // PATH: the st-path jump machine on a 3x4 grid.
-    let input = StPathInput { graph: grid_graph(3, 4), s: 0, t: 11, k: 6 };
+    let input = StPathInput {
+        graph: grid_graph(3, 4),
+        s: 0,
+        t: 11,
+        k: 6,
+    };
     let run = accepts_jump_machine(&StPathMachine, &input);
     let compiled = compile_jump_to_hom_path(&StPathMachine, &input);
     let hom = homomorphism_exists(&compiled.query, &compiled.database);
@@ -28,7 +33,10 @@ fn main() {
     // TREE: the tree-query alternating machine evaluating T*_2 on a triangle.
     let nodes = families::binary_universe_size(2);
     let db = colored_target(nodes, &families::clique(3), |_| (0..3).collect());
-    let input = TreeQueryInput { height: 2, database: db };
+    let input = TreeQueryInput {
+        height: 2,
+        database: db,
+    };
     let run = accepts_alternating_machine(&TreeQueryMachine, &input);
     let compiled = compile_alternating_to_hom_tree(&TreeQueryMachine, &input);
     let hom = homomorphism_exists(&compiled.query, &compiled.database);

@@ -41,7 +41,9 @@ fn main() {
     assert_eq!(query.evaluate(&db).unwrap(), report.exists);
 
     // A star query (tree depth 2) is evaluated by the para-L algorithm.
-    let star = workloads::star_join_query(5, 2).canonical_structure().unwrap();
+    let star = workloads::star_join_query(5, 2)
+        .canonical_structure()
+        .unwrap();
     let star_report = solve_instance(&star, &db, EngineConfig::default());
     println!(
         "star join query: chose {:?}, answer {}",

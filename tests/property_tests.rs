@@ -1,4 +1,9 @@
 //! Property-based tests on the core invariants, spanning crates.
+//!
+//! The container build has no access to crates.io, so instead of `proptest`
+//! these properties are exercised over a deterministic grid of seeded random
+//! structures (the workload generators are seeded, so failures reproduce
+//! exactly; the failing `(n, seed)` pair is in every assertion message).
 
 use cq_fine::decomp::width_profile;
 use cq_fine::graphs::gaifman_graph;
@@ -7,60 +12,92 @@ use cq_fine::solver::treedepth::count_hom_via_treedepth;
 use cq_fine::structures::{
     core_of, count_homomorphisms_bruteforce, homomorphism_exists, is_core, Structure,
 };
-use cq_fine::workloads::{random_graph_structure, random_digraph_structure};
-use proptest::prelude::*;
+use cq_fine::workloads::{random_digraph_structure, random_graph_structure};
 
-fn small_graph() -> impl Strategy<Value = Structure> {
-    (3usize..8, 0u64..500).prop_map(|(n, seed)| random_graph_structure(n, 0.4, seed))
-}
-
-fn small_digraph() -> impl Strategy<Value = Structure> {
-    (2usize..7, 0u64..500).prop_map(|(n, seed)| random_digraph_structure(n, 0.3, seed))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The core is a core, is homomorphically equivalent to the input, and
-    /// taking the core twice changes nothing.
-    #[test]
-    fn core_invariants(a in small_graph()) {
-        let c = core_of(&a);
-        prop_assert!(is_core(&c.core));
-        prop_assert!(homomorphism_exists(&a, &c.core));
-        prop_assert!(homomorphism_exists(&c.core, &a));
-        prop_assert_eq!(core_of(&c.core).core_size(), c.core_size());
-    }
-
-    /// tw <= pw <= td - 1 (for graphs with at least one edge).
-    #[test]
-    fn width_measure_ordering(a in small_graph()) {
-        let g = gaifman_graph(&a);
-        let p = width_profile(&g);
-        prop_assert!(p.treewidth <= p.pathwidth);
-        if g.edge_count() > 0 {
-            prop_assert!(p.pathwidth < p.treedepth);
+/// Deterministic sample of small random undirected graph structures.
+fn small_graphs() -> Vec<(usize, u64, Structure)> {
+    let mut out = Vec::new();
+    for n in 3..8 {
+        for seed in 0..5 {
+            out.push((n, seed, random_graph_structure(n, 0.4, seed)));
         }
     }
+    out
+}
 
-    /// The tree-decomposition DP and the reference solver agree on decision
-    /// and counting; the tree-depth counter agrees as well.
-    #[test]
-    fn solvers_agree(a in small_digraph(), b in small_digraph()) {
-        let expected = homomorphism_exists(&a, &b);
-        let (_, td) = cq_fine::decomp::treewidth::treewidth_of_structure(&a);
-        prop_assert_eq!(hom_via_tree_decomposition(&a, &b, &td), expected);
-        let expected_count = count_homomorphisms_bruteforce(&a, &b);
-        prop_assert_eq!(count_hom_via_tree_decomposition(&a, &b, &td), expected_count);
-        prop_assert_eq!(count_hom_via_treedepth(&a, &b), expected_count);
+/// Deterministic sample of small random digraph structures.
+fn small_digraphs() -> Vec<(usize, u64, Structure)> {
+    let mut out = Vec::new();
+    for n in 2..7 {
+        for seed in 0..3 {
+            out.push((n, seed, random_digraph_structure(n, 0.3, seed)));
+        }
     }
+    out
+}
 
-    /// Homomorphism counts multiply over direct products of targets.
-    #[test]
-    fn product_counting_law(a in small_digraph(), b in small_digraph(), c in small_digraph()) {
-        let prod = cq_fine::structures::direct_product(&b, &c).unwrap();
-        let left = count_homomorphisms_bruteforce(&a, &prod);
-        let right = count_homomorphisms_bruteforce(&a, &b) * count_homomorphisms_bruteforce(&a, &c);
-        prop_assert_eq!(left, right);
+/// The core is a core, is homomorphically equivalent to the input, and
+/// taking the core twice changes nothing.
+#[test]
+fn core_invariants() {
+    for (n, seed, a) in small_graphs() {
+        let c = core_of(&a);
+        assert!(is_core(&c.core), "core of (n={n}, seed={seed}) is a core");
+        assert!(homomorphism_exists(&a, &c.core), "(n={n}, seed={seed})");
+        assert!(homomorphism_exists(&c.core, &a), "(n={n}, seed={seed})");
+        assert_eq!(
+            core_of(&c.core).core_size(),
+            c.core_size(),
+            "idempotent core (n={n}, seed={seed})"
+        );
+    }
+}
+
+/// tw <= pw <= td - 1 (for graphs with at least one edge).
+#[test]
+fn width_measure_ordering() {
+    for (n, seed, a) in small_graphs() {
+        let g = gaifman_graph(&a);
+        let p = width_profile(&g);
+        assert!(p.treewidth <= p.pathwidth, "(n={n}, seed={seed})");
+        if g.edge_count() > 0 {
+            assert!(p.pathwidth < p.treedepth, "(n={n}, seed={seed})");
+        }
+    }
+}
+
+/// The tree-decomposition DP and the reference solver agree on decision and
+/// counting; the tree-depth counter agrees as well.
+#[test]
+fn solvers_agree() {
+    let digraphs = small_digraphs();
+    for (i, (an, aseed, a)) in digraphs.iter().enumerate() {
+        // Pair each query with a rotation of the sample as targets.
+        let (bn, bseed, b) = &digraphs[(i * 7 + 3) % digraphs.len()];
+        let label = format!("a=(n={an}, seed={aseed}) b=(n={bn}, seed={bseed})");
+        let expected = homomorphism_exists(a, b);
+        let (_, td) = cq_fine::decomp::treewidth::treewidth_of_structure(a);
+        assert_eq!(hom_via_tree_decomposition(a, b, &td), expected, "{label}");
+        let expected_count = count_homomorphisms_bruteforce(a, b);
+        assert_eq!(
+            count_hom_via_tree_decomposition(a, b, &td),
+            expected_count,
+            "{label}"
+        );
+        assert_eq!(count_hom_via_treedepth(a, b), expected_count, "{label}");
+    }
+}
+
+/// Homomorphism counts multiply over direct products of targets.
+#[test]
+fn product_counting_law() {
+    let digraphs = small_digraphs();
+    for (i, (_, _, a)) in digraphs.iter().enumerate() {
+        let (_, _, b) = &digraphs[(i * 5 + 1) % digraphs.len()];
+        let (_, _, c) = &digraphs[(i * 11 + 2) % digraphs.len()];
+        let prod = cq_fine::structures::direct_product(b, c).unwrap();
+        let left = count_homomorphisms_bruteforce(a, &prod);
+        let right = count_homomorphisms_bruteforce(a, b) * count_homomorphisms_bruteforce(a, c);
+        assert_eq!(left, right);
     }
 }

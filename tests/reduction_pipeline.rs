@@ -1,11 +1,13 @@
 //! Integration test: reductions compose across crates — machine compilation,
 //! the Theorem 4.7 chain, and the Lemma 3.4 reduction feeding the solvers.
 
+use cq_fine::graphs::families::cycle_graph;
 use cq_fine::machine::compile::compile_jump_to_hom_path;
 use cq_fine::machine::jump::accepts_jump_machine;
 use cq_fine::machine::problems::{StPathInput, StPathMachine};
-use cq_fine::graphs::families::cycle_graph;
-use cq_fine::reductions::chain::{dirpath_to_st_path, hom_path_star_to_dirpath, st_path_to_dircycle};
+use cq_fine::reductions::chain::{
+    dirpath_to_st_path, hom_path_star_to_dirpath, st_path_to_dircycle,
+};
 use cq_fine::reductions::treedec_reduction::to_tree_star_instance_auto;
 use cq_fine::solver::treedec::hom_via_tree_decomposition;
 use cq_fine::structures::ops::colored_target;
@@ -14,7 +16,12 @@ use cq_fine::structures::{families, homomorphism_exists, star_expansion};
 #[test]
 fn machine_compilation_feeds_the_path_solver() {
     for k in [3usize, 4, 6] {
-        let input = StPathInput { graph: cycle_graph(8), s: 0, t: 4, k };
+        let input = StPathInput {
+            graph: cycle_graph(8),
+            s: 0,
+            t: 4,
+            k,
+        };
         let expected = accepts_jump_machine(&StPathMachine, &input).accepted;
         let compiled = compile_jump_to_hom_path(&StPathMachine, &input);
         // Solve the compiled instance with the tree-decomposition DP (P* has
@@ -33,7 +40,13 @@ fn theorem_4_7_chain_composes() {
         (families::cycle(5), 3, false),
     ] {
         let n = base.universe_size();
-        let b = colored_target(k, &base, |e| if all_colors { (0..n).collect() } else { vec![e] });
+        let b = colored_target(k, &base, |e| {
+            if all_colors {
+                (0..n).collect()
+            } else {
+                vec![e]
+            }
+        });
         let query = star_expansion(&families::path(k));
         let expected = homomorphism_exists(&query, &b);
         let s1 = hom_path_star_to_dirpath(k, &b);
