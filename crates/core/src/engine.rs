@@ -42,6 +42,12 @@ pub struct EngineConfig {
     pub pathwidth_threshold: usize,
     /// Treewidth threshold below which the tree DP is used.
     pub treewidth_threshold: usize,
+    /// Worker threads for the batch APIs ([`crate::Engine::solve_batch`] /
+    /// [`crate::Engine::solve_batch_instances`]).  `0` (the default) means
+    /// "use the machine's available parallelism"; `1` forces the sequential
+    /// path.  Results are returned in input order and are identical for
+    /// every worker count.
+    pub workers: usize,
     /// Configuration of the backtracking fallback.
     pub backtrack: BacktrackConfig,
 }
@@ -53,13 +59,18 @@ impl Default for EngineConfig {
             treedepth_threshold: 3,
             pathwidth_threshold: 2,
             treewidth_threshold: 3,
+            workers: 0,
             backtrack: BacktrackConfig::default(),
         }
     }
 }
 
 /// What the engine did and found.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` so batch results can be compared wholesale — the
+/// parallel-determinism tests assert that `solve_batch` under any worker
+/// count returns a sequence identical to the sequential path.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineReport {
     /// Whether a homomorphism exists.
     pub exists: bool,

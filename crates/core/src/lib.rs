@@ -28,9 +28,10 @@
 //!     priority-ordered registry (tree-depth sentence evaluation /
 //!     path-decomposition sweep / tree-decomposition DP / backtracking),
 //!     where ablations (experiment E12) are registry edits;
-//!   - [`service`] / [`Engine`] — the LRU plan cache keyed by an
-//!     isomorphism-invariant query fingerprint, and the batch evaluation
-//!     API ([`Engine::solve_batch`]);
+//!   - [`service`] / [`Engine`] — the sharded LRU plan cache keyed by an
+//!     isomorphism-invariant query fingerprint (single-flight preparation
+//!     under concurrent misses), and the parallel batch evaluation API
+//!     ([`Engine::solve_batch`], worker count via [`EngineConfig`]);
 //!   - [`engine`] — configuration, reports, and the single-instance
 //!     compatibility wrapper [`solve_instance`].
 
@@ -52,7 +53,9 @@ pub use registry::{
     BacktrackSolver, HomSolver, PathDpSolver, SolveOutcome, SolverRegistry, TreeDecSolver,
     TreeDepthSolver,
 };
-pub use service::{CacheStats, Engine, QueryId, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use service::{
+    CacheStats, Engine, PrepStats, QueryId, DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 
 /// The degrees of the fine classification (Theorem 3.1, plus the
 /// intractable degree of Grohe's classification for context).

@@ -1,12 +1,14 @@
-//! The traffic-facing [`Engine`]: an LRU plan cache over prepared queries,
-//! registered query handles, and the batch evaluation API.
+//! The traffic-facing [`Engine`]: a sharded LRU plan cache over prepared
+//! queries, registered query handles, and the (parallel) batch evaluation
+//! API.
 //!
 //! This is the "preprocess the query once, answer against many databases"
 //! layer: [`Engine::prepare`] returns an [`Arc<PreparedQuery>`] — served
 //! from the cache when an equivalent query was prepared before —
 //! [`Engine::solve`] evaluates one instance through it, and
-//! [`Engine::solve_batch`] evaluates a whole workload, preparing each
-//! distinct query exactly once.
+//! [`Engine::solve_batch`] / [`Engine::solve_batch_instances`] evaluate a
+//! whole workload across a scoped thread pool
+//! ([`EngineConfig::workers`]), preparing each distinct query exactly once.
 //!
 //! Cache correctness: entries are keyed by the isomorphism-invariant
 //! [fingerprint](cq_logic::canonical::query_fingerprint) of the submitted
@@ -14,21 +16,48 @@
 //! ([`PreparedQuery::answers_for`]) before reuse — homomorphic equivalence
 //! is precisely the equivalence preserving `p-HOM` answers, so a fingerprint
 //! collision degrades to a cache miss, never to a wrong answer.
+//!
+//! Concurrency architecture:
+//!
+//! * the cache is **sharded** N ways by fingerprint hash
+//!   ([`Engine::with_cache_shards`], default [`DEFAULT_CACHE_SHARDS`]), each
+//!   shard an independently locked LRU, so concurrent lookups of different
+//!   queries do not contend on one mutex;
+//! * preparation is **single-flight** per fingerprint: concurrent misses on
+//!   the same query serialize on a per-fingerprint latch, the loser re-reads
+//!   the winner's cached plan, and each distinct fingerprint is prepared
+//!   exactly once (the concurrency stress tests assert this through
+//!   [`Engine::prep_stats`]);
+//! * the batch APIs fan instances out over `std::thread::scope` workers and
+//!   reassemble results **in input order** — reports are bit-identical to
+//!   the sequential path for every worker count;
+//! * the per-query exponential work performed by worker threads is
+//!   aggregated into per-engine counters ([`PrepStats`]) — the thread-local
+//!   counters of [`cq_decomp::stats`] / [`cq_structures`] only see the
+//!   calling thread and would silently undercount under parallelism.
 
 use crate::engine::{EngineConfig, EngineReport};
 use crate::prepared::PreparedQuery;
 use crate::registry::SolverRegistry;
 use cq_logic::canonical::query_fingerprint;
 use cq_structures::Structure;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Source of per-process unique engine identities (for [`QueryId`]
 /// affinity checks).
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
 
-/// Default number of cached plans ([`Engine::with_cache_capacity`] overrides).
+/// Default number of cached plans across all shards
+/// ([`Engine::with_cache_capacity`] overrides).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Default number of cache shards ([`Engine::with_cache_shards`] overrides).
+/// Sharding trades exact global LRU order for an N-fold cut in lock
+/// contention; per-shard LRU order is preserved.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
 
 /// Handle to a query registered with an [`Engine`] (see
 /// [`Engine::register`]); the batch API refers to queries through it.
@@ -42,17 +71,74 @@ pub struct QueryId {
     index: usize,
 }
 
-/// Counters describing the plan cache's behaviour so far.
+/// Counters describing the plan cache's behaviour so far, aggregated across
+/// all shards.  Invariant (asserted by the concurrency stress tests):
+/// `hits + misses == lookups`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Cache consultations ([`Engine::prepare`] calls).
+    pub lookups: u64,
+    /// Lookups answered from the cache (including lookups that waited for a
+    /// concurrent preparation of the same query to finish).
     pub hits: u64,
     /// Lookups that had to prepare a fresh plan.
     pub misses: u64,
-    /// Plans evicted by the LRU policy.
+    /// Plans evicted by the per-shard LRU policy.
     pub evictions: u64,
-    /// Plans currently cached.
+    /// Plans currently cached (summed over shards).
     pub entries: usize,
+}
+
+/// Aggregated counters of the per-query exponential work this engine has
+/// performed, summed across **all** threads that ever prepared through it.
+///
+/// The underlying instrumentation ([`cq_decomp::stats`],
+/// [`cq_structures::core_computation_count`]) is thread-local; the engine
+/// measures each preparation's delta on the thread that ran it and folds it
+/// in here, so the one-preparation-per-query invariants remain assertable
+/// when the batch APIs fan out to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrepStats {
+    /// Plans prepared (equals the number of cache misses that ran to
+    /// completion).
+    pub preparations: u64,
+    /// Exact treewidth DPs run on behalf of this engine.
+    pub treewidth_calls: u64,
+    /// Exact pathwidth DPs run on behalf of this engine.
+    pub pathwidth_calls: u64,
+    /// Exact tree-depth DPs run on behalf of this engine.
+    pub treedepth_calls: u64,
+    /// Core computations run on behalf of this engine.
+    pub core_computations: u64,
+}
+
+impl PrepStats {
+    /// Total exact width DPs run (treewidth + pathwidth + tree depth).
+    pub fn total_width_calls(&self) -> u64 {
+        self.treewidth_calls + self.pathwidth_calls + self.treedepth_calls
+    }
+}
+
+/// The engine-internal atomic accumulators behind [`PrepStats`].
+#[derive(Default)]
+struct PrepCounters {
+    preparations: AtomicU64,
+    treewidth_calls: AtomicU64,
+    pathwidth_calls: AtomicU64,
+    treedepth_calls: AtomicU64,
+    core_computations: AtomicU64,
+}
+
+impl PrepCounters {
+    fn snapshot(&self) -> PrepStats {
+        PrepStats {
+            preparations: self.preparations.load(Ordering::Relaxed),
+            treewidth_calls: self.treewidth_calls.load(Ordering::Relaxed),
+            pathwidth_calls: self.pathwidth_calls.load(Ordering::Relaxed),
+            treedepth_calls: self.treedepth_calls.load(Ordering::Relaxed),
+            core_computations: self.core_computations.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct CacheSlot {
@@ -85,35 +171,43 @@ impl CacheSlot {
     }
 }
 
+/// One independently locked shard: a small LRU over plans whose
+/// fingerprints hash here.  Hit/miss accounting lives in the sharded
+/// wrapper (atomics), so a shard is pure storage + recency.
 struct PlanCache {
     capacity: usize,
     tick: u64,
     slots: Vec<CacheSlot>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
 }
 
 impl PlanCache {
-    fn lookup(&mut self, fingerprint: u64, candidate: &Structure) -> Option<Arc<PreparedQuery>> {
+    fn empty(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            tick: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    fn find(&mut self, fingerprint: u64, candidate: &Structure) -> Option<Arc<PreparedQuery>> {
         self.tick += 1;
         let now = self.tick;
         for slot in &mut self.slots {
             if slot.fingerprint == fingerprint && slot.matches(candidate) {
                 slot.last_used = now;
-                self.hits += 1;
                 return Some(Arc::clone(&slot.plan));
             }
         }
-        self.misses += 1;
         None
     }
 
-    fn insert(&mut self, plan: Arc<PreparedQuery>) {
+    /// Insert a plan, returning how many slots the LRU evicted to make
+    /// room.
+    fn insert(&mut self, plan: Arc<PreparedQuery>) -> u64 {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
-        self.evict_down_to(self.capacity.saturating_sub(1));
+        let evicted = self.evict_down_to(self.capacity.saturating_sub(1));
         self.tick += 1;
         self.slots.push(CacheSlot {
             fingerprint: plan.fingerprint(),
@@ -121,10 +215,13 @@ impl PlanCache {
             last_used: self.tick,
             verified_aliases: Vec::new(),
         });
+        evicted
     }
 
-    /// Evict least-recently-used slots until at most `target` remain.
-    fn evict_down_to(&mut self, target: usize) {
+    /// Evict least-recently-used slots until at most `target` remain,
+    /// returning how many were evicted.
+    fn evict_down_to(&mut self, target: usize) -> u64 {
+        let mut evicted = 0;
         while self.slots.len() > target {
             let pos = self
                 .slots
@@ -134,20 +231,178 @@ impl PlanCache {
                 .map(|(i, _)| i)
                 .expect("non-empty");
             self.slots.swap_remove(pos);
-            self.evictions += 1;
+            evicted += 1;
         }
+        evicted
     }
 }
 
-/// The prepared-query evaluation engine: solver registry + plan cache +
-/// batch API.  Cheap to share across threads (`&Engine` is `Send + Sync`;
-/// all interior state is mutex-guarded).
+/// The N-way sharded plan cache: each shard an independent LRU behind its
+/// own mutex, plus process-shared counters and the per-fingerprint
+/// single-flight latches.
+struct ShardedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+    /// The shard count the caller asked for.  The effective count
+    /// (`shards.len()`) is clamped so no shard's share of the capacity is
+    /// zero; the request is remembered so a later capacity change can
+    /// restore the full spread.
+    requested_shards: usize,
+    /// Total capacity across shards (shard `i` holds its proportional
+    /// share).
+    total_capacity: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Per-fingerprint preparation latches: concurrent misses on the same
+    /// fingerprint serialize here so each distinct query is prepared exactly
+    /// once.  Entries live only while a preparation is in flight.
+    in_flight: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+}
+
+impl ShardedPlanCache {
+    fn new(shard_count: usize, total_capacity: usize) -> ShardedPlanCache {
+        let requested = shard_count.max(1);
+        let effective = effective_shards(requested, total_capacity);
+        let shards = (0..effective)
+            .map(|i| {
+                Mutex::new(PlanCache::empty(shard_capacity(
+                    total_capacity,
+                    effective,
+                    i,
+                )))
+            })
+            .collect();
+        ShardedPlanCache {
+            shards,
+            requested_shards: requested,
+            total_capacity,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            in_flight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<PlanCache> {
+        &self.shards[(fingerprint % self.shards.len() as u64) as usize]
+    }
+
+    fn find(&self, fingerprint: u64, candidate: &Structure) -> Option<Arc<PreparedQuery>> {
+        self.shard(fingerprint)
+            .lock()
+            .expect("cache shard lock")
+            .find(fingerprint, candidate)
+    }
+
+    fn insert(&self, plan: Arc<PreparedQuery>) {
+        let evicted = self
+            .shard(plan.fingerprint())
+            .lock()
+            .expect("cache shard lock")
+            .insert(plan);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard lock").slots.len())
+                .sum(),
+        }
+    }
+
+    /// Rebuild with a new shard count and/or total capacity, rehashing the
+    /// surviving slots.  Requires exclusive access (`&mut`), so this is a
+    /// construction-time operation on the engine builder — no locks are
+    /// taken.  Recency order is preserved globally on re-insertion; slots
+    /// that no longer fit their new shard's share are evicted.
+    fn reconfigure(&mut self, shard_count: usize, total_capacity: usize) {
+        let requested = shard_count.max(1);
+        let effective = effective_shards(requested, total_capacity);
+        let mut slots: Vec<CacheSlot> = Vec::new();
+        for shard in &mut self.shards {
+            slots.append(&mut shard.get_mut().expect("cache shard lock").slots);
+        }
+        slots.sort_by_key(|s| s.last_used);
+        self.requested_shards = requested;
+        self.total_capacity = total_capacity;
+        self.shards = (0..effective)
+            .map(|i| {
+                Mutex::new(PlanCache::empty(shard_capacity(
+                    total_capacity,
+                    effective,
+                    i,
+                )))
+            })
+            .collect();
+        let mut evicted = (slots.len() as u64).saturating_sub(total_capacity as u64);
+        // Oldest first, so later (more recent) inserts are also the more
+        // recent entries of their new shard; keep only the newest
+        // `total_capacity` overall before distribution.  (Recency across
+        // old shards is compared by per-shard ticks — approximate, like the
+        // sharded LRU itself.)
+        let keep_from = slots.len().saturating_sub(total_capacity);
+        for slot in slots.drain(..).skip(keep_from) {
+            let index = (slot.fingerprint % effective as u64) as usize;
+            evicted += self.shards[index]
+                .get_mut()
+                .expect("cache shard lock")
+                .insert(slot.plan);
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+}
+
+/// Drop guard removing a fingerprint's single-flight latch entry, so the
+/// entry is cleaned up on every exit path — normal returns and panic
+/// unwinds alike.
+struct LatchCleanup<'a> {
+    in_flight: &'a Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    fingerprint: u64,
+}
+
+impl Drop for LatchCleanup<'_> {
+    fn drop(&mut self) {
+        self.in_flight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .remove(&self.fingerprint);
+    }
+}
+
+/// The shard count actually instantiated for a requested count and total
+/// capacity: clamped so every shard's share is at least one slot —
+/// otherwise queries hashing into a zero-capacity shard would silently
+/// never be cached (a zero *total* capacity means caching is off and one
+/// pro-forma shard suffices).
+fn effective_shards(requested: usize, total_capacity: usize) -> usize {
+    requested.min(total_capacity.max(1))
+}
+
+/// Shard `index`'s share of the total capacity: `total / count`, with the
+/// remainder spread over the first `total % count` shards.
+fn shard_capacity(total: usize, count: usize, index: usize) -> usize {
+    total / count + usize::from(index < total % count)
+}
+
+/// The prepared-query evaluation engine: solver registry + sharded plan
+/// cache + parallel batch API.  Cheap to share across threads (`&Engine` is
+/// `Send + Sync`; all interior state is sharded-mutex-guarded or atomic).
 pub struct Engine {
     id: u64,
     config: EngineConfig,
     registry: SolverRegistry,
-    cache: Mutex<PlanCache>,
+    cache: ShardedPlanCache,
     registered: Mutex<Vec<Arc<PreparedQuery>>>,
+    prep: PrepCounters,
 }
 
 impl Engine {
@@ -163,27 +418,34 @@ impl Engine {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             config,
             registry,
-            cache: Mutex::new(PlanCache {
-                capacity: DEFAULT_PLAN_CACHE_CAPACITY,
-                tick: 0,
-                slots: Vec::new(),
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
+            cache: ShardedPlanCache::new(DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY),
             registered: Mutex::new(Vec::new()),
+            prep: PrepCounters::default(),
         }
     }
 
-    /// Override the plan cache capacity (0 disables caching).  Shrinking
-    /// below the current population evicts least-recently-used plans
-    /// immediately, so the new capacity holds from this call on.
-    pub fn with_cache_capacity(self, capacity: usize) -> Engine {
-        {
-            let mut cache = self.cache.lock().expect("cache lock");
-            cache.capacity = capacity;
-            cache.evict_down_to(capacity);
-        }
+    /// Override the plan cache's **total** capacity across shards (0
+    /// disables caching).  Shrinking below the current population evicts
+    /// least-recently-used plans immediately, so the new capacity holds from
+    /// this call on.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Engine {
+        let shards = self.cache.requested_shards;
+        self.cache.reconfigure(shards, capacity);
+        self
+    }
+
+    /// Override the number of cache shards (minimum 1).  More shards cut
+    /// lock contention under concurrent traffic at the price of partitioning
+    /// the LRU: eviction order is exact per shard, approximate globally.
+    /// Existing entries are rehashed into the new shards.
+    ///
+    /// The instantiated count is clamped to the total capacity so no shard
+    /// ends up with zero slots (see [`Engine::cache_shards`] for the
+    /// effective value); the request is remembered and takes full effect if
+    /// the capacity is later raised.
+    pub fn with_cache_shards(mut self, shards: usize) -> Engine {
+        let capacity = self.cache.total_capacity;
+        self.cache.reconfigure(shards, capacity);
         self
     }
 
@@ -197,33 +459,114 @@ impl Engine {
         &self.registry
     }
 
+    /// The number of cache shards currently configured.
+    pub fn cache_shards(&self) -> usize {
+        self.cache.shards.len()
+    }
+
+    /// The worker count the batch APIs will fan out to:
+    /// [`EngineConfig::workers`], with `0` resolved to the machine's
+    /// available parallelism.
+    pub fn effective_workers(&self) -> usize {
+        match self.config.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Prepare a query — or fetch the cached plan of an equivalent query
     /// prepared earlier.  This is the only place per-query exponential work
     /// (core, width DPs, decompositions) happens.
+    ///
+    /// Concurrent calls for the same (or an equivalent) query are
+    /// single-flighted: one caller prepares, the others wait on a
+    /// per-fingerprint latch and are then served the cached plan, so each
+    /// distinct fingerprint is prepared exactly once no matter how many
+    /// threads race on it.
     pub fn prepare(&self, query: &Structure) -> Arc<PreparedQuery> {
         let fingerprint = query_fingerprint(query);
-        if let Some(plan) = self
-            .cache
-            .lock()
-            .expect("cache lock")
-            .lookup(fingerprint, query)
-        {
+        self.cache.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = self.cache.find(fingerprint, query) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
             return plan;
         }
-        // Prepare outside the lock: preparation is the expensive part, and
-        // concurrent preparers of different queries should not serialize.
-        // (Two threads racing on the *same* query both prepare; the loser's
-        // plan is a duplicate cache entry that LRU eventually drops —
-        // correctness is unaffected.)
+        if self.cache.total_capacity == 0 {
+            // Caching disabled: no plan to share, so no latch either —
+            // every call pays preparation.
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            return self.prepare_counted(query, fingerprint);
+        }
+        // Single-flight: serialize concurrent preparers of this fingerprint.
+        let (latch, we_inserted) = {
+            let mut in_flight = self.cache.in_flight.lock().expect("in-flight lock");
+            match in_flight.entry(fingerprint) {
+                Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                Entry::Vacant(v) => {
+                    let latch = Arc::new(Mutex::new(()));
+                    v.insert(Arc::clone(&latch));
+                    (latch, true)
+                }
+            }
+        };
+        // If we inserted the latch entry we must also remove it on *every*
+        // exit — including a panic inside preparation (e.g. a query beyond
+        // the exact-DP size limit), otherwise the stale entry would wedge
+        // all future prepares of this fingerprint on a poisoned latch.
+        let _cleanup = we_inserted.then(|| LatchCleanup {
+            in_flight: &self.cache.in_flight,
+            fingerprint,
+        });
+        // A poisoned latch just means a previous preparer panicked; the
+        // exclusion it provides is still sound, so take it and move on.
+        let _held = latch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Re-check: if we waited on another thread's preparation, its plan
+        // is in the cache now and this lookup counts as a hit.
+        if let Some(plan) = self.cache.find(fingerprint, query) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            plan
+        } else {
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            // Prepare while holding only the latch: preparation is the
+            // expensive part, and preparers of *different* queries must not
+            // serialize (they hold different latches and touch shards only
+            // for the final insert).
+            let plan = self.prepare_counted(query, fingerprint);
+            self.cache.insert(Arc::clone(&plan));
+            plan
+        }
+    }
+
+    /// Run the actual preparation, folding the thread-local work counters'
+    /// delta into this engine's aggregated [`PrepStats`].  The delta is
+    /// measured on the executing thread around this call alone, so it is
+    /// exact regardless of which worker runs it.
+    fn prepare_counted(&self, query: &Structure, fingerprint: u64) -> Arc<PreparedQuery> {
+        let decomp_before = cq_decomp::stats::counts();
+        let cores_before = cq_structures::core_computation_count();
         let plan = Arc::new(PreparedQuery::prepare_with_fingerprint(
             query,
             &self.config,
             fingerprint,
         ));
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(Arc::clone(&plan));
+        let delta = cq_decomp::stats::counts().since(&decomp_before);
+        let cores = cq_structures::core_computation_count() - cores_before;
+        self.prep.preparations.fetch_add(1, Ordering::Relaxed);
+        self.prep
+            .treewidth_calls
+            .fetch_add(delta.treewidth_calls, Ordering::Relaxed);
+        self.prep
+            .pathwidth_calls
+            .fetch_add(delta.pathwidth_calls, Ordering::Relaxed);
+        self.prep
+            .treedepth_calls
+            .fetch_add(delta.treedepth_calls, Ordering::Relaxed);
+        self.prep
+            .core_computations
+            .fetch_add(cores, Ordering::Relaxed);
         plan
     }
 
@@ -276,36 +619,93 @@ impl Engine {
         }
     }
 
-    /// Evaluate a batch of (registered query, database) instances.  Each
-    /// distinct query was prepared exactly once (at
-    /// [`register`](Self::register) time); the batch loop performs only
-    /// per-database solver work.
+    /// Evaluate a batch of (registered query, database) instances across
+    /// the configured worker threads.  Each distinct query was prepared
+    /// exactly once (at [`register`](Self::register) time); the batch
+    /// performs only per-database solver work.  Results are in input order
+    /// and identical to the sequential path.
+    ///
+    /// Panics when a handle was issued by a different engine.
     pub fn solve_batch(&self, batch: &[(QueryId, &Structure)]) -> Vec<EngineReport> {
-        batch
-            .iter()
-            .map(|&(id, database)| self.solve_prepared(&self.prepared(id), database))
-            .collect()
+        // Snapshot the registered plans once: handles resolve lock-free
+        // inside the fan-out instead of contending on the registry mutex
+        // per instance.  (Registrations racing with the batch may or may
+        // not be visible — their handles could not be in `batch` anyway.)
+        let plans: Vec<Arc<PreparedQuery>> = self.registered.lock().expect("registry lock").clone();
+        self.run_batch(batch, move |engine, &(id, database)| {
+            assert_eq!(
+                id.engine, engine.id,
+                "QueryId was issued by a different Engine (handles are not transferable)"
+            );
+            engine.solve_prepared(&plans[id.index], database)
+        })
     }
 
-    /// Evaluate a batch of raw (query, database) instances: every distinct
-    /// query is prepared once through the plan cache, every instance is
-    /// evaluated against its cached plan.
+    /// Evaluate a batch of raw (query, database) instances across the
+    /// configured worker threads: every distinct query is prepared once
+    /// through the plan cache (single-flighted under races), every instance
+    /// is evaluated against its cached plan.  Results are in input order
+    /// and identical to the sequential path.
     pub fn solve_batch_instances(&self, batch: &[(&Structure, &Structure)]) -> Vec<EngineReport> {
-        batch
-            .iter()
-            .map(|&(query, database)| self.solve(query, database))
+        self.run_batch(batch, |engine, &(query, database)| {
+            engine.solve(query, database)
+        })
+    }
+
+    /// Fan `items` out over a scoped thread pool and return the per-item
+    /// reports in input order.  Workers pull the next unclaimed index from a
+    /// shared atomic cursor (work stealing), so skewed per-instance costs
+    /// balance; output order is fixed by index, not completion order.
+    fn run_batch<T, F>(&self, items: &[T], solve_one: F) -> Vec<EngineReport>
+    where
+        T: Sync,
+        F: Fn(&Engine, &T) -> EngineReport + Sync,
+    {
+        let workers = self.effective_workers().min(items.len());
+        if workers <= 1 {
+            return items.iter().map(|item| solve_one(self, item)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut out: Vec<Option<EngineReport>> = (0..items.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut produced = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            produced.push((i, solve_one(self, item)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let produced = handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                for (i, report) in produced {
+                    out[i] = Some(report);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every batch index solved exactly once"))
             .collect()
     }
 
-    /// Plan cache behaviour so far.
+    /// Plan cache behaviour so far, aggregated across shards and worker
+    /// threads.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.cache.lock().expect("cache lock");
-        CacheStats {
-            hits: cache.hits,
-            misses: cache.misses,
-            evictions: cache.evictions,
-            entries: cache.slots.len(),
-        }
+        self.cache.stats()
+    }
+
+    /// Per-query exponential work performed by this engine so far,
+    /// aggregated across all threads that prepared through it (see
+    /// [`PrepStats`]).
+    pub fn prep_stats(&self) -> PrepStats {
+        self.prep.snapshot()
     }
 }
 
@@ -314,7 +714,9 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("config", &self.config)
             .field("registry", &self.registry)
+            .field("cache_shards", &self.cache_shards())
             .field("cache", &self.cache_stats())
+            .field("prep", &self.prep_stats())
             .finish()
     }
 }
@@ -341,7 +743,11 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.misses, 3, "one preparation per distinct query");
         assert_eq!(stats.hits as usize, 2 * 3 * 2 - 3);
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
         assert_eq!(stats.entries, 3);
+        let prep = engine.prep_stats();
+        assert_eq!(prep.preparations, 3);
+        assert_eq!(prep.core_computations, 3);
     }
 
     #[test]
@@ -365,6 +771,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batch_returns_sequential_results_in_input_order() {
+        let sequential = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let parallel = Engine::new(EngineConfig {
+            workers: 8,
+            ..EngineConfig::default()
+        });
+        let queries = [families::star(4), families::cycle(7), families::clique(4)];
+        let targets: Vec<Structure> = (3..8).map(families::clique).collect();
+        let batch: Vec<(&Structure, &Structure)> = queries
+            .iter()
+            .flat_map(|q| targets.iter().map(move |t| (q, t)))
+            .collect();
+        let seq_reports = sequential.solve_batch_instances(&batch);
+        let par_reports = parallel.solve_batch_instances(&batch);
+        assert_eq!(seq_reports, par_reports);
+        // Both engines prepared each distinct query exactly once.
+        assert_eq!(sequential.prep_stats().preparations, 3);
+        assert_eq!(parallel.prep_stats().preparations, 3);
+    }
+
+    #[test]
     fn registering_an_equivalent_query_hits_the_cache() {
         let engine = Engine::new(EngineConfig::default());
         let c7 = families::cycle(7);
@@ -379,7 +809,10 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_least_recently_used_plan() {
-        let engine = Engine::new(EngineConfig::default()).with_cache_capacity(2);
+        // One shard so global LRU order is exact (the property under test).
+        let engine = Engine::new(EngineConfig::default())
+            .with_cache_shards(1)
+            .with_cache_capacity(2);
         let a = families::star(3);
         let b = families::star(4);
         let c = families::star(5);
@@ -394,6 +827,7 @@ mod tests {
         assert_eq!(stats.evictions, 2);
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 4);
+        assert_eq!(stats.lookups, 6);
         assert_eq!(stats.entries, 2);
     }
 
@@ -412,7 +846,7 @@ mod tests {
 
     #[test]
     fn shrinking_capacity_evicts_immediately_and_zero_disables() {
-        let engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default()).with_cache_shards(1);
         let t = families::clique(3);
         for legs in 3..8 {
             engine.solve(&families::star(legs), &t);
@@ -431,6 +865,49 @@ mod tests {
         let after = engine.cache_stats();
         assert_eq!(after.hits, before.hits, "no hits once disabled");
         assert_eq!(after.entries, 0);
+    }
+
+    #[test]
+    fn sharded_cache_caps_total_entries() {
+        let engine = Engine::new(EngineConfig::default())
+            .with_cache_shards(4)
+            .with_cache_capacity(8);
+        let t = families::clique(3);
+        for legs in 3..20 {
+            engine.solve(&families::star(legs), &t);
+        }
+        let stats = engine.cache_stats();
+        assert!(
+            stats.entries <= 8,
+            "entries {} exceed total capacity",
+            stats.entries
+        );
+        assert!(stats.evictions > 0, "17 distinct plans into 8 slots");
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+    }
+
+    #[test]
+    fn resharding_rehashes_cached_plans_without_losing_them() {
+        let engine = Engine::new(EngineConfig::default())
+            .with_cache_shards(4)
+            .with_cache_capacity(8);
+        let t = families::clique(3);
+        let queries: Vec<Structure> = (3..7).map(families::star).collect();
+        for q in &queries {
+            engine.solve(q, &t);
+        }
+        assert_eq!(engine.cache_stats().entries, 4);
+        // 4 entries fit any single shard's share of 8, so every plan
+        // survives the rehash and every query still hits.
+        let engine = engine.with_cache_shards(2);
+        assert_eq!(engine.cache_shards(), 2);
+        assert_eq!(engine.cache_stats().entries, 4);
+        let hits_before = engine.cache_stats().hits;
+        for q in &queries {
+            engine.solve(q, &t);
+        }
+        assert_eq!(engine.cache_stats().hits, hits_before + 4);
+        assert_eq!(engine.prep_stats().preparations, 4);
     }
 
     #[test]
@@ -480,5 +957,73 @@ mod tests {
             assert_eq!(r_ablated.choice, SolverChoice::PathDecomposition);
             assert_eq!(r_full.exists, r_ablated.exists);
         }
+    }
+
+    #[test]
+    fn small_total_capacity_never_zeroes_a_shard() {
+        // Capacity below the default shard count used to leave some shards
+        // with zero slots, silently disabling caching for every query
+        // hashing there.  The effective shard count is clamped instead.
+        let engine = Engine::new(EngineConfig::default()).with_cache_capacity(4);
+        assert_eq!(engine.cache_shards(), 4, "clamped from the default 8");
+        let t = families::clique(3);
+        let queries: Vec<Structure> = (3..7).map(families::star).collect();
+        for q in &queries {
+            engine.solve(q, &t);
+            engine.solve(q, &t);
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 4, "every query cached on first sight");
+        assert_eq!(stats.hits, 4, "every repeat served from the cache");
+        // Raising the capacity later restores the requested shard spread.
+        let engine = engine.with_cache_capacity(64);
+        assert_eq!(engine.cache_shards(), DEFAULT_CACHE_SHARDS);
+    }
+
+    #[test]
+    fn panicking_preparation_does_not_wedge_the_fingerprint() {
+        // cycle(24) exceeds the exact-DP vertex limit, so preparation
+        // panics (use_core = false keeps the 24-vertex graph).  The
+        // single-flight latch entry must be cleaned up on the unwind:
+        // a retry must panic with the *original* size-limit message, not a
+        // stale "preparation latch" error, and unrelated queries must keep
+        // working.
+        let engine = Engine::new(EngineConfig {
+            use_core: false,
+            ..EngineConfig::default()
+        });
+        let too_big = families::cycle(24);
+        for attempt in 0..2 {
+            let panic =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.prepare(&too_big)))
+                    .expect_err("preparation beyond the DP limit must panic");
+            let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                message.contains("is exponential"),
+                "attempt {attempt} panicked with {message:?} instead of the size-limit error"
+            );
+        }
+        // The engine is still fully usable afterwards.
+        let report = engine.solve(&families::star(3), &families::clique(3));
+        assert!(report.exists);
+    }
+
+    #[test]
+    fn concurrent_prepares_of_one_query_are_single_flighted() {
+        let engine = Engine::new(EngineConfig::default());
+        let query = families::cycle(7);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let plan = engine.prepare(&query);
+                    assert_eq!(plan.fingerprint(), engine.prepare(&query).fingerprint());
+                });
+            }
+        });
+        let stats = engine.cache_stats();
+        assert_eq!(stats.lookups, 16);
+        assert_eq!(stats.misses, 1, "one preparation despite 8 racing threads");
+        assert_eq!(stats.hits, 15);
+        assert_eq!(engine.prep_stats().preparations, 1);
     }
 }

@@ -1,0 +1,109 @@
+//! Concurrency stress: many threads hammering one shared [`Engine`] with
+//! overlapping query fleets.
+//!
+//! What must hold under fire:
+//!
+//! * no deadlock (the test terminating is the assertion — CI runs this
+//!   binary as a dedicated step so a hang is attributable);
+//! * answers are identical to an isolated sequential engine, thread by
+//!   thread and instance by instance;
+//! * the aggregated [`CacheStats`] are consistent
+//!   (`hits + misses == lookups`);
+//! * each distinct query fingerprint is prepared **exactly once**
+//!   (single-flight), observable through the aggregated
+//!   [`Engine::prep_stats`].
+//!
+//! The workloads overlap on purpose: every thread submits the same four
+//! query shapes (against its own database fleet), so all threads race to
+//! prepare the same plans.
+
+use cq_core::{Engine, EngineConfig, EngineReport};
+use cq_structures::Structure;
+use cq_workloads::concurrent_query_traffic;
+
+const THREADS: usize = 8;
+
+/// Reference answers computed on an isolated engine, sequentially.
+fn sequential_reference(instances: &[(&Structure, &Structure)]) -> Vec<EngineReport> {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    instances.iter().map(|&(q, d)| engine.solve(q, d)).collect()
+}
+
+#[test]
+fn eight_threads_hammering_one_engine_stay_consistent() {
+    // Workers > 1 so each thread's own batch *also* fans out internally:
+    // external threads x internal workers is the worst-case interleaving.
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    let workloads = concurrent_query_traffic(THREADS, 3, 11, 6, 2024);
+    let distinct_queries = workloads[0].queries.len();
+
+    let all_reports: Vec<Vec<EngineReport>> = std::thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| s.spawn(|| engine.solve_batch_instances(&w.instances())))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stress thread panicked"))
+            .collect()
+    });
+
+    // Answers: every thread got exactly what a sequential engine computes.
+    for (workload, reports) in workloads.iter().zip(&all_reports) {
+        assert_eq!(reports, &sequential_reference(&workload.instances()));
+    }
+
+    // Stats consistency across all the interleavings.
+    let stats = engine.cache_stats();
+    let total_instances: u64 = workloads.iter().map(|w| w.len() as u64).sum();
+    assert_eq!(stats.lookups, total_instances, "one lookup per instance");
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert_eq!(stats.entries, distinct_queries);
+    assert_eq!(stats.evictions, 0, "capacity far above the fleet");
+
+    // Single-flight: the overlapping fleets share plans — each distinct
+    // fingerprint was prepared exactly once, engine-wide, and each
+    // preparation ran exactly one core computation and one DP of each kind.
+    let prep = engine.prep_stats();
+    assert_eq!(prep.preparations, distinct_queries as u64);
+    assert_eq!(stats.misses, prep.preparations);
+    assert_eq!(prep.core_computations, distinct_queries as u64);
+    assert_eq!(prep.treewidth_calls, distinct_queries as u64);
+    assert_eq!(prep.pathwidth_calls, distinct_queries as u64);
+    assert_eq!(prep.treedepth_calls, distinct_queries as u64);
+}
+
+#[test]
+fn stress_survives_an_eviction_churning_cache() {
+    // A deliberately tiny sharded cache under the same overlapping traffic:
+    // plans are evicted and re-prepared concurrently, so the exactly-once
+    // invariant is off the table — consistency and termination are not.
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    })
+    .with_cache_shards(2)
+    .with_cache_capacity(2);
+    let workloads = concurrent_query_traffic(THREADS, 2, 10, 4, 7);
+
+    std::thread::scope(|s| {
+        for w in &workloads {
+            s.spawn(|| {
+                let reports = engine.solve_batch_instances(&w.instances());
+                assert_eq!(reports, sequential_reference(&w.instances()));
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert!(stats.entries <= 2, "capacity bound holds under churn");
+    // Every cache miss that ran to completion is a preparation.
+    assert_eq!(engine.prep_stats().preparations, stats.misses);
+}

@@ -1,0 +1,142 @@
+//! Differential solver oracle: on a seeded corpus of random (query,
+//! structure) pairs, every structural solver of the registry
+//! ([`TreeDepthSolver`], [`PathDpSolver`], [`TreeDecSolver`]) must return
+//! the same decision as the structure-agnostic [`BacktrackSolver`].
+//!
+//! The backtracking search is the reference because it uses none of the
+//! prepared certificates beyond the query itself — a disagreement means a
+//! solver (or the certificate it consumed) is wrong.  Failures print the
+//! offending pair with the seeds that regenerate it, so every
+//! counterexample reproduces exactly.
+//!
+//! This is the safety net that makes aggressive engine refactors (parallel
+//! fan-out, cache sharding) cheap to attempt: any plan-level corruption
+//! surfaces as a solver disagreement on some corpus pair.
+
+use cq_core::{
+    BacktrackSolver, EngineConfig, HomSolver, PathDpSolver, PreparedQuery, TreeDecSolver,
+    TreeDepthSolver,
+};
+use cq_structures::{homomorphism_exists, Structure};
+use cq_workloads::{random_digraph_structure, random_graph_structure};
+
+/// Thresholds generous enough that every structural solver admits most of
+/// the corpus (so the oracle actually compares them), but small enough that
+/// the path-sweep frontier (`|B|^{pw+1}`) stays testable.
+fn oracle_config() -> EngineConfig {
+    EngineConfig {
+        treedepth_threshold: 4,
+        pathwidth_threshold: 3,
+        treewidth_threshold: 3,
+        ..EngineConfig::default()
+    }
+}
+
+/// The seeded corpus: small random undirected and directed queries, each
+/// paired with a handful of larger random targets of the same vocabulary.
+/// Everything derives from the `(n, seed)` labels in the assertion
+/// messages.
+fn corpus() -> Vec<(String, Structure, Structure)> {
+    let mut pairs = Vec::new();
+    for n in 3..6 {
+        for seed in 0..4 {
+            let query = random_graph_structure(n, 0.45, seed);
+            for (tn, tseed) in [(6usize, 100u64), (8, 101), (9, 102)] {
+                let target = random_graph_structure(tn, 0.4, tseed + seed);
+                pairs.push((
+                    format!(
+                        "graph q=(n={n}, seed={seed}) t=(n={tn}, seed={})",
+                        tseed + seed
+                    ),
+                    query.clone(),
+                    target,
+                ));
+            }
+        }
+    }
+    for n in 3..6 {
+        for seed in 0..4 {
+            let query = random_digraph_structure(n, 0.35, seed);
+            for (tn, tseed) in [(6usize, 200u64), (8, 201)] {
+                let target = random_digraph_structure(tn, 0.35, tseed + seed);
+                pairs.push((
+                    format!(
+                        "digraph q=(n={n}, seed={seed}) t=(n={tn}, seed={})",
+                        tseed + seed
+                    ),
+                    query.clone(),
+                    target,
+                ));
+            }
+        }
+    }
+    pairs
+}
+
+#[test]
+fn every_registry_solver_agrees_with_backtracking_on_the_corpus() {
+    let config = oracle_config();
+    let reference = BacktrackSolver::default();
+    let structural: [(&str, &dyn HomSolver); 3] = [
+        ("TreeDepthSolver", &TreeDepthSolver),
+        ("PathDpSolver", &PathDpSolver),
+        ("TreeDecSolver", &TreeDecSolver),
+    ];
+
+    let mut comparisons = 0usize;
+    let mut disagreements = Vec::new();
+    for (label, query, target) in corpus() {
+        let prepared = PreparedQuery::prepare(&query, &config);
+        let expected = reference.solve(&prepared, &target).exists;
+        // The reference itself must match the brute-force ground truth.
+        assert_eq!(
+            expected,
+            homomorphism_exists(&query, &target),
+            "backtracking reference wrong on {label}: {query} -> {target}"
+        );
+        for (name, solver) in structural {
+            if !solver.admits(&prepared, &config) {
+                continue;
+            }
+            comparisons += 1;
+            let got = solver.solve(&prepared, &target).exists;
+            if got != expected {
+                disagreements.push(format!(
+                    "{name} says {got}, backtracking says {expected} on {label}:\n  query  {query}\n  target {target}"
+                ));
+            }
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "{} solver disagreement(s):\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+    // The oracle must not silently go vacuous (e.g. thresholds drifting so
+    // no structural solver ever admits a corpus query).
+    assert!(
+        comparisons >= 100,
+        "only {comparisons} solver comparisons ran — corpus or thresholds degenerated"
+    );
+}
+
+/// The oracle repeated through prepared-plan reuse: solving the same corpus
+/// through one engine (warm plan cache, every tier dispatched by the
+/// registry) matches brute force.  Guards the cache + dispatch composition
+/// rather than individual solvers.
+#[test]
+fn engine_dispatch_over_the_corpus_matches_brute_force() {
+    let engine = cq_core::Engine::new(oracle_config());
+    for (label, query, target) in corpus() {
+        let report = engine.solve(&query, &target);
+        assert_eq!(
+            report.exists,
+            homomorphism_exists(&query, &target),
+            "engine ({:?}) wrong on {label}: {query} -> {target}",
+            report.choice
+        );
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses);
+}

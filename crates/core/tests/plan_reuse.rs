@@ -3,10 +3,15 @@
 //! runs **at most once per prepared query**, no matter how many databases
 //! the query is evaluated against.
 //!
-//! The assertions read the thread-local call counters of
-//! [`cq_decomp::stats`] and [`cq_structures::core_computation_count`]; the
-//! test harness runs every `#[test]` on its own thread, so the counters
-//! observe exactly the calls made by that test.
+//! Single-threaded preparation is asserted through the thread-local call
+//! counters of [`cq_decomp::stats`] and
+//! [`cq_structures::core_computation_count`] (the test harness runs every
+//! `#[test]` on its own thread, so those observe exactly the calls made by
+//! that test).  The batch APIs fan out to worker threads, whose calls the
+//! caller's thread-locals *cannot* see — batch assertions therefore go
+//! through [`Engine::prep_stats`], the engine's cross-thread aggregate,
+//! and a dedicated regression test pins down the undercount the aggregate
+//! exists to fix.
 
 use cq_core::{Engine, EngineConfig, PreparedQuery, QueryId};
 use cq_decomp::stats;
@@ -94,24 +99,31 @@ fn batch_over_one_query_prepares_once() {
     for (t, report) in targets.iter().zip(&reports) {
         assert_eq!(report.exists, homomorphism_exists(&query, t));
     }
+    // `register` prepared on this thread; `solve_batch` must add nothing,
+    // no matter which worker threads it ran on.
     let delta = stats::counts().since(&decomp_before);
     assert_eq!(delta.treewidth_calls, 1);
     assert_eq!(delta.pathwidth_calls, 1);
     assert_eq!(delta.treedepth_calls, 1);
     assert_eq!(core_computation_count() - cores_before, 1);
+    let prep = engine.prep_stats();
+    assert_eq!(prep.preparations, 1);
+    assert_eq!(prep.treewidth_calls, 1);
+    assert_eq!(prep.pathwidth_calls, 1);
+    assert_eq!(prep.treedepth_calls, 1);
+    assert_eq!(prep.core_computations, 1);
 }
 
 /// The raw-instance batch API behaves identically: repeated occurrences of
-/// the same query hit the plan cache instead of re-preparing.
+/// the same query hit the plan cache instead of re-preparing.  Preparation
+/// may happen on any worker thread, so the accounting goes through the
+/// engine's aggregated [`PrepStats`], which is exact across workers.
 #[test]
 fn instance_batch_with_repeated_queries_prepares_each_distinct_query_once() {
     let engine = Engine::new(EngineConfig::default());
     let star = families::star(4);
     let cycle = families::cycle(5);
     let targets: Vec<_> = (3..7).map(families::clique).collect();
-
-    let decomp_before = stats::counts();
-    let cores_before = core_computation_count();
 
     let batch: Vec<(&_, &_)> = targets
         .iter()
@@ -122,9 +134,57 @@ fn instance_batch_with_repeated_queries_prepares_each_distinct_query_once() {
     for ((q, t), report) in batch.iter().zip(&reports) {
         assert_eq!(report.exists, homomorphism_exists(q, t), "{q} -> {t}");
     }
-    let delta = stats::counts().since(&decomp_before);
-    assert_eq!(delta.total(), 6, "two distinct queries, three DPs each");
-    assert_eq!(core_computation_count() - cores_before, 2);
+    let prep = engine.prep_stats();
+    assert_eq!(prep.preparations, 2, "two distinct queries");
+    assert_eq!(prep.total_width_calls(), 6, "three DPs per preparation");
+    assert_eq!(prep.core_computations, 2);
     assert_eq!(engine.cache_stats().misses, 2);
     assert_eq!(engine.cache_stats().hits as usize, batch.len() - 2);
+}
+
+/// Regression test for the parallel-stats fix: a batch forced onto multiple
+/// workers prepares off the calling thread, so the caller's thread-local
+/// counters see **nothing** — the historical undercount — while the
+/// engine's aggregated [`PrepStats`] still accounts for every preparation
+/// exactly once.
+#[test]
+fn aggregated_prep_stats_are_exact_where_thread_locals_undercount() {
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        ..EngineConfig::default()
+    });
+    let queries = [
+        families::star(4),
+        families::cycle(5),
+        families::cycle(7),
+        families::clique(4),
+    ];
+    let targets: Vec<_> = (3..6).map(families::clique).collect();
+    let batch: Vec<(&_, &_)> = queries
+        .iter()
+        .flat_map(|q| targets.iter().map(move |t| (q, t)))
+        .collect();
+
+    let decomp_before = stats::counts();
+    let cores_before = core_computation_count();
+    let global_before = stats::global_counts();
+
+    let reports = engine.solve_batch_instances(&batch);
+    assert_eq!(reports.len(), batch.len());
+
+    // The calling thread only dispatched: its thread-locals are silent...
+    assert_eq!(stats::counts().since(&decomp_before).total(), 0);
+    assert_eq!(core_computation_count(), cores_before);
+    // ...but the engine aggregate is exact: one preparation (one core
+    // computation, one DP of each kind) per distinct query.
+    let prep = engine.prep_stats();
+    assert_eq!(prep.preparations, 4);
+    assert_eq!(prep.treewidth_calls, 4);
+    assert_eq!(prep.pathwidth_calls, 4);
+    assert_eq!(prep.treedepth_calls, 4);
+    assert_eq!(prep.core_computations, 4);
+    // The process-wide counters saw the worker threads too (>=: concurrent
+    // tests in this binary may add their own calls).
+    let global_delta = stats::global_counts().since(&global_before);
+    assert!(global_delta.treewidth_calls >= 4);
 }

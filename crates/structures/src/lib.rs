@@ -39,7 +39,9 @@ pub mod ops;
 pub mod structure;
 pub mod vocabulary;
 
-pub use crate::core::{core_computation_count, core_of, is_core, CoreComputation};
+pub use crate::core::{
+    core_computation_count, core_of, global_core_computation_count, is_core, CoreComputation,
+};
 pub use builder::StructureBuilder;
 pub use cq::{Atom, ConjunctiveQuery};
 pub use error::StructureError;

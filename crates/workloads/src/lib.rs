@@ -211,6 +211,49 @@ pub fn repeated_query_traffic(
     }
 }
 
+/// Per-thread traffic for hammering one shared engine: `threads` seeded
+/// [`BatchWorkload`]s that all draw from the **same** four query shapes
+/// (the per-tier set of [`repeated_query_traffic`]) but carry independent
+/// database fleets and independently shuffled traces.  Overlapping query
+/// fleets are the interesting concurrent regime — every thread races the
+/// others to prepare the same plans, so plan-cache single-flighting and
+/// shard locking are exercised on every distinct fingerprint.
+pub fn concurrent_query_traffic(
+    threads: usize,
+    db_count: usize,
+    db_size: usize,
+    repeats_per_query: usize,
+    seed: u64,
+) -> Vec<BatchWorkload> {
+    (0..threads)
+        .map(|t| {
+            repeated_query_traffic(
+                db_count,
+                db_size,
+                repeats_per_query,
+                seed.wrapping_add(0x5851_F42D_4C95_7F2D_u64.wrapping_mul(t as u64 + 1)),
+            )
+        })
+        .collect()
+}
+
+/// A fleet of `count` query structures with pairwise **distinct**
+/// plan-cache fingerprints, spanning several shapes (stars, odd cycles,
+/// directed paths, caterpillars).  A batch over this fleet performs `count`
+/// preparations and `count` cache inserts — the shape that stresses
+/// cache-lock contention (many concurrent misses) rather than plan reuse.
+pub fn distinct_query_fleet(count: usize) -> Vec<Structure> {
+    use cq_structures::families;
+    (0..count)
+        .map(|i| match i % 4 {
+            0 => families::star(3 + i / 4),
+            1 => families::cycle(2 * (i / 4) + 5),
+            2 => families::directed_path(2 + i / 4),
+            _ => families::caterpillar(1 + i / 4, 2),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +312,34 @@ mod tests {
         }
         let instances = w1.instances();
         assert_eq!(instances.len(), w1.len());
+    }
+
+    #[test]
+    fn concurrent_traffic_shares_queries_but_not_traces() {
+        let workloads = concurrent_query_traffic(4, 3, 10, 5, 99);
+        assert_eq!(workloads.len(), 4);
+        for w in &workloads {
+            assert_eq!(w.queries, workloads[0].queries, "shared query fleet");
+            assert_eq!(w.len(), workloads[0].len());
+        }
+        // Independent seeds: the database fleets differ between threads.
+        assert_ne!(workloads[0].databases, workloads[1].databases);
+        // Deterministic in the seed.
+        let again = concurrent_query_traffic(4, 3, 10, 5, 99);
+        for (w, v) in workloads.iter().zip(&again) {
+            assert_eq!(w.trace, v.trace);
+        }
+    }
+
+    #[test]
+    fn distinct_query_fleet_has_distinct_fingerprints() {
+        use cq_logic::canonical::query_fingerprint;
+        let fleet = distinct_query_fleet(12);
+        assert_eq!(fleet.len(), 12);
+        let mut fingerprints: Vec<u64> = fleet.iter().map(query_fingerprint).collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), 12, "every member preparable uniquely");
     }
 
     #[test]

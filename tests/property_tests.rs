@@ -5,6 +5,7 @@
 //! structures (the workload generators are seeded, so failures reproduce
 //! exactly; the failing `(n, seed)` pair is in every assertion message).
 
+use cq_fine::classification::{Engine, EngineConfig};
 use cq_fine::decomp::width_profile;
 use cq_fine::graphs::gaifman_graph;
 use cq_fine::solver::treedec::{count_hom_via_tree_decomposition, hom_via_tree_decomposition};
@@ -86,6 +87,72 @@ fn solvers_agree() {
         );
         assert_eq!(count_hom_via_treedepth(a, b), expected_count, "{label}");
     }
+}
+
+/// Parallel determinism: `solve_batch_instances` with `workers = 1` and
+/// `workers = N` produce identical `EngineReport` sequences on random
+/// batches — the parallel fan-out changes wall-clock, never results or
+/// their order.  Exercised over several seeded workloads and worker counts.
+#[test]
+fn parallel_batch_reports_equal_sequential_reports() {
+    use cq_fine::workloads::repeated_query_traffic;
+    for seed in [1u64, 13, 77] {
+        let workload = repeated_query_traffic(4, 10, 5, seed);
+        let instances = workload.instances();
+        let sequential = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let expected = sequential.solve_batch_instances(&instances);
+        for workers in [2usize, 4, 8] {
+            let parallel = Engine::new(EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            });
+            let got = parallel.solve_batch_instances(&instances);
+            assert_eq!(
+                got, expected,
+                "workers={workers} diverged from sequential (seed={seed})"
+            );
+            // Same preparation work too: each distinct query exactly once.
+            assert_eq!(
+                parallel.prep_stats().preparations,
+                sequential.prep_stats().preparations,
+                "seed={seed} workers={workers}"
+            );
+        }
+    }
+}
+
+/// The registered-handle batch API is deterministic across worker counts as
+/// well, including the order of reports for interleaved query handles.
+#[test]
+fn parallel_registered_batch_is_deterministic() {
+    use cq_fine::workloads::database_fleet;
+    let queries = cq_fine::workloads::distinct_query_fleet(6);
+    let fleet = database_fleet(5, 9, 0.4, 21);
+    let make_engine = |workers: usize| {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        });
+        let ids: Vec<_> = queries.iter().map(|q| engine.register(q)).collect();
+        (engine, ids)
+    };
+    let (seq_engine, seq_ids) = make_engine(1);
+    let (par_engine, par_ids) = make_engine(8);
+    let seq_batch: Vec<_> = fleet
+        .iter()
+        .flat_map(|db| seq_ids.iter().map(move |&id| (id, db)))
+        .collect();
+    let par_batch: Vec<_> = fleet
+        .iter()
+        .flat_map(|db| par_ids.iter().map(move |&id| (id, db)))
+        .collect();
+    assert_eq!(
+        seq_engine.solve_batch(&seq_batch),
+        par_engine.solve_batch(&par_batch)
+    );
 }
 
 /// Homomorphism counts multiply over direct products of targets.
