@@ -28,16 +28,24 @@
 //!     priority-ordered registry (tree-depth sentence evaluation /
 //!     path-decomposition sweep / tree-decomposition DP / backtracking),
 //!     where ablations (experiment E12) are registry edits;
+//!   - [`counting`] / [`CountSolver`] — the Theorem 6.1 counting analogue:
+//!     a priority-ordered [`CountRegistry`] (elimination-forest sum–product
+//!     / tree-decomposition counting DP / brute force) dispatching on the
+//!     **original** query's widths, because counting — unlike decision —
+//!     is not invariant under taking cores;
 //!   - [`service`] / [`Engine`] — the sharded LRU plan cache keyed by an
 //!     isomorphism-invariant query fingerprint (single-flight preparation
-//!     under concurrent misses), and the parallel batch evaluation API
-//!     ([`Engine::solve_batch`], worker count via [`EngineConfig`]);
+//!     under concurrent misses), the parallel batch evaluation APIs
+//!     ([`Engine::solve_batch`], [`Engine::count_batch`], worker count via
+//!     [`EngineConfig`]), and the engine-backed Lemma 6.2 reduction
+//!     [`Engine::count_star`];
 //!   - [`engine`] — configuration, reports, and the single-instance
-//!     compatibility wrapper [`solve_instance`].
+//!     compatibility wrappers [`solve_instance`] / [`count_instance`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counting;
 pub mod engine;
 pub mod prepared;
 pub mod registry;
@@ -47,6 +55,10 @@ use cq_decomp::{width_profile, WidthProfile};
 use cq_graphs::gaifman_graph;
 use cq_structures::{core_of, Structure};
 
+pub use counting::{
+    count_instance, BruteForceCountSolver, CountMethod, CountOutcome, CountRegistry, CountReport,
+    CountSolver, ForestCountSolver, TreeDecCountSolver,
+};
 pub use engine::{solve_instance, EngineConfig, EngineReport, SolverChoice};
 pub use prepared::PreparedQuery;
 pub use registry::{

@@ -12,13 +12,22 @@
 //! call counters of [`cq_decomp::stats`] and
 //! [`cq_structures::core_computation_count`].
 //!
-//! Two derived per-query artifacts are materialized lazily on first use and
-//! then shared by every subsequent evaluation:
+//! Three derived per-query artifacts are materialized lazily on first use
+//! and then shared by every subsequent evaluation:
 //!
 //! * the Lemma 3.3 `{∧,∃}`-sentence (tree-depth solver), compiled from the
 //!   elimination-forest certificate;
 //! * the staircase normal form of the path decomposition (path-sweep
-//!   solver).
+//!   solver);
+//! * the **counting certificates**: the structural analysis of the
+//!   *original* query.  Counting is **not** invariant under taking cores
+//!   (a query and its core have the same decision answer but different
+//!   homomorphism counts), so the counting solvers of
+//!   [`crate::counting::CountRegistry`] must run on the query exactly as
+//!   submitted — with certificates of *its* Gaifman graph, not the core's.
+//!   When the evaluated structure already equals the original (core
+//!   preprocessing disabled, or the query is its own core) the decision
+//!   certificates are reused and no extra width DP ever runs.
 
 use crate::engine::EngineConfig;
 use crate::Degree;
@@ -26,8 +35,13 @@ use cq_decomp::{PathDecomposition, StructuralAnalysis, WidthProfile};
 use cq_graphs::{gaifman_graph, Graph};
 use cq_logic::canonical::query_fingerprint;
 use cq_logic::treedepth_sentence::{corresponding_sentence_with_forest, TreeDepthSentence};
-use cq_structures::{core_of, homomorphism_exists, Structure};
-use std::sync::OnceLock;
+use cq_structures::{core_of, embedding_exists, homomorphism_exists, Structure};
+use std::sync::{Mutex, OnceLock};
+
+/// Cap on memoized count-verified relabelled forms per plan (a client
+/// cycling more distinct orderings than this re-verifies the overflow
+/// ones).
+const MAX_COUNT_VERIFIED_ALIASES: usize = 16;
 
 /// A query prepared for repeated evaluation: the core, its Gaifman graph,
 /// the width profile, and the decomposition certificates — computed once,
@@ -47,6 +61,18 @@ pub struct PreparedQuery {
     degree_hint: Degree,
     sentence: OnceLock<TreeDepthSentence>,
     staircase: OnceLock<PathDecomposition>,
+    /// Structural analysis of the **original** structure, for the counting
+    /// path (counting is not core-invariant).  Populated lazily on the
+    /// first counting evaluation; `None` forever when `evaluated ==
+    /// original`, in which case [`Self::counting_analysis`] serves the
+    /// decision analysis instead of duplicating it.
+    counting: OnceLock<StructuralAnalysis>,
+    /// Non-identical submitted forms (relabellings) already verified
+    /// **isomorphic** to the original — so repeat counting lookups of the
+    /// same form cost a structural equality check instead of two
+    /// exponential embedding searches per count (the counting analogue of
+    /// the cache's decision-level alias memoization).
+    count_verified_aliases: Mutex<Vec<Structure>>,
 }
 
 impl PreparedQuery {
@@ -88,6 +114,8 @@ impl PreparedQuery {
             degree_hint,
             sentence: OnceLock::new(),
             staircase: OnceLock::new(),
+            counting: OnceLock::new(),
+            count_verified_aliases: Mutex::new(Vec::new()),
         }
     }
 
@@ -162,6 +190,55 @@ impl PreparedQuery {
             .get_or_init(|| self.analysis.path_decomposition.normalize_staircase())
     }
 
+    /// Whether the counting path can reuse the decision certificates: true
+    /// exactly when the evaluated structure is the original structure
+    /// (core preprocessing off, or the query is its own core).
+    fn counting_reuses_decision_analysis(&self) -> bool {
+        self.evaluated == self.original
+    }
+
+    /// The structural analysis of the **original** query — the certificates
+    /// the counting solvers consume.
+    ///
+    /// Counting is not invariant under taking cores: `#hom(A, B)` differs
+    /// from `#hom(core(A), B)` whenever the core is proper (e.g.
+    /// `#hom(P₄, K₃) = 24` but the core of `P₄` is an edge with
+    /// `#hom(K₂, K₃) = 6`).  The decision path may therefore evaluate the
+    /// core while the counting path must run on `original`; this accessor
+    /// serves the matching certificates, computing them lazily on first use
+    /// (and reusing the decision analysis outright when the two structures
+    /// coincide, so no width DP runs twice).
+    ///
+    /// Engine-managed plans should be counted through
+    /// [`crate::Engine::count_prepared`], which folds the width-DP work of
+    /// this lazy computation into [`crate::Engine::prep_stats`].
+    pub fn counting_analysis(&self) -> &StructuralAnalysis {
+        self.counting_analysis_tracked().0
+    }
+
+    /// As [`Self::counting_analysis`], additionally reporting whether *this*
+    /// call performed the one-time computation (`true` at most once per
+    /// plan, and never when the decision analysis is reused) — the engine
+    /// uses the flag to attribute the width-DP delta to its [`crate::PrepStats`].
+    pub(crate) fn counting_analysis_tracked(&self) -> (&StructuralAnalysis, bool) {
+        if self.counting_reuses_decision_analysis() {
+            return (&self.analysis, false);
+        }
+        let mut computed = false;
+        let analysis = self.counting.get_or_init(|| {
+            computed = true;
+            cq_decomp::analyze(&gaifman_graph(&self.original))
+        });
+        (analysis, computed)
+    }
+
+    /// The width profile of the **original** query (counting-solver
+    /// selection keys on these widths, not the core's — Theorem 6.1
+    /// classifies counting by the members themselves).
+    pub fn counting_widths(&self) -> WidthProfile {
+        self.counting_analysis().widths
+    }
+
     /// Whether this plan answers queries for `candidate`: true when
     /// `candidate` is homomorphically equivalent to the prepared original —
     /// exactly the equivalence under which `p-HOM` answers (and cores, hence
@@ -174,6 +251,57 @@ impl PreparedQuery {
         }
         homomorphism_exists(candidate, &self.original)
             && homomorphism_exists(&self.original, candidate)
+    }
+
+    /// Whether this plan **counts** for `candidate`: true when `candidate`
+    /// is *isomorphic* to the prepared original.
+    ///
+    /// Strictly stronger than [`Self::answers_for`], and necessarily so:
+    /// homomorphism counts are invariant under isomorphism but **not**
+    /// under homomorphic equivalence (the equivalence the decision cache
+    /// trades in) — `P₄` and `K₂` are hom-equivalent yet have different
+    /// counts into every non-trivial target.  The engine consults this
+    /// before serving a count from a plan whose original differs
+    /// syntactically from the submitted query; a hom-equivalent but
+    /// non-isomorphic alias falls back to an uncached exact count instead
+    /// of a silently wrong one.
+    ///
+    /// The check is two injective-homomorphism searches on parameter-sized
+    /// structures: for finite structures, bijective homomorphisms in both
+    /// directions compose to a bijective endo-homomorphism whose finite
+    /// order makes the inverse a homomorphism too, i.e. an isomorphism.
+    /// Verified forms are memoized on the plan, so repeated counting
+    /// traffic submitting the same relabelling pays the searches once and
+    /// a structural equality scan thereafter.
+    pub fn counts_for(&self, candidate: &Structure) -> bool {
+        if *candidate == self.original {
+            return true;
+        }
+        if candidate.universe_size() != self.original.universe_size() {
+            return false;
+        }
+        // A poisoned lock only means a panic elsewhere while the list was
+        // held; the memoized entries are still valid.
+        if self
+            .count_verified_aliases
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .contains(candidate)
+        {
+            return true;
+        }
+        let isomorphic = embedding_exists(candidate, &self.original)
+            && embedding_exists(&self.original, candidate);
+        if isomorphic {
+            let mut aliases = self
+                .count_verified_aliases
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if aliases.len() < MAX_COUNT_VERIFIED_ALIASES && !aliases.contains(candidate) {
+                aliases.push(candidate.clone());
+            }
+        }
+        isomorphic
     }
 }
 
@@ -240,5 +368,75 @@ mod tests {
         assert!(q.answers_for(&relabeled(&c7, &perm)));
         assert!(!q.answers_for(&families::cycle(5)));
         assert!(!q.answers_for(&families::path(7)));
+    }
+
+    #[test]
+    fn counting_analysis_describes_the_original_not_the_core() {
+        // P6 cores down to an edge; the decision certificates describe the
+        // edge (tree depth 2), the counting certificates the full path.
+        let p6 = families::path(6);
+        let q = PreparedQuery::prepare(&p6, &EngineConfig::default());
+        assert!(q.core_applied());
+        assert_eq!(q.evaluated_size(), 2);
+        assert_eq!(q.widths().treedepth, 2);
+        let counting = q.counting_analysis();
+        let original_gaifman = cq_graphs::gaifman_graph(q.original());
+        assert!(counting.elimination_forest.is_valid_for(&original_gaifman));
+        assert!(counting.tree_decomposition.is_valid_for(&original_gaifman));
+        assert_eq!(counting.widths.treewidth, 1);
+        assert!(counting.widths.treedepth > 2, "P6 is deeper than its core");
+        // The lazy computation happens exactly once.
+        let (_, first) = q.counting_analysis_tracked();
+        assert!(!first, "already materialized by the accessor above");
+    }
+
+    #[test]
+    fn counting_analysis_reuses_decision_certificates_for_cores() {
+        // An odd cycle is its own core: the counting path must not run a
+        // second analysis (observable as pointer identity of the shared
+        // certificates).
+        let c7 = families::cycle(7);
+        let q = PreparedQuery::prepare(&c7, &EngineConfig::default());
+        let (counting, computed) = q.counting_analysis_tracked();
+        assert!(!computed);
+        assert!(std::ptr::eq(counting, q.analysis()));
+        assert_eq!(q.counting_widths(), q.widths());
+    }
+
+    #[test]
+    fn counts_for_is_stricter_than_answers_for() {
+        // K2 and P4 are hom-equivalent (shared core K2) but not isomorphic:
+        // a K2 plan answers decisions for P4 yet must refuse to count for it
+        // (#hom(K2, K3) = 6 while #hom(P4, K3) = 24).
+        let k2 = families::path(2);
+        let p4 = families::path(4);
+        let q = PreparedQuery::prepare(&k2, &EngineConfig::default());
+        assert!(q.answers_for(&p4));
+        assert!(!q.counts_for(&p4));
+        // Relabellings are isomorphic, so counting for them is sound.
+        let c7 = families::cycle(7);
+        let qc = PreparedQuery::prepare(&c7, &EngineConfig::default());
+        let perm: Vec<usize> = (0..7).rev().collect();
+        assert!(qc.counts_for(&relabeled(&c7, &perm)));
+        assert!(!qc.counts_for(&families::cycle(5)));
+    }
+
+    #[test]
+    fn count_verified_aliases_are_memoized_once_per_form() {
+        let c7 = families::cycle(7);
+        let q = PreparedQuery::prepare(&c7, &EngineConfig::default());
+        let perm: Vec<usize> = (0..7).rev().collect();
+        let twisted = relabeled(&c7, &perm);
+        // Repeat lookups of the same relabelled form: the embedding
+        // verification runs on the first call only; afterwards the form
+        // sits in the memo exactly once.
+        for _ in 0..3 {
+            assert!(q.counts_for(&twisted));
+            assert_eq!(q.count_verified_aliases.lock().unwrap().len(), 1);
+        }
+        // The identical form and rejected strangers never enter the memo.
+        assert!(q.counts_for(&c7));
+        assert!(!q.counts_for(&families::path(7)));
+        assert_eq!(q.count_verified_aliases.lock().unwrap().len(), 1);
     }
 }

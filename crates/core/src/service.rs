@@ -36,9 +36,12 @@
 //!   counters of [`cq_decomp::stats`] / [`cq_structures`] only see the
 //!   calling thread and would silently undercount under parallelism.
 
+use crate::counting::{CountRegistry, CountReport};
 use crate::engine::{EngineConfig, EngineReport};
 use crate::prepared::PreparedQuery;
 use crate::registry::SolverRegistry;
+use crate::Degree;
+use cq_decomp::WidthProfile;
 use cq_logic::canonical::query_fingerprint;
 use cq_structures::Structure;
 use std::collections::hash_map::Entry;
@@ -110,6 +113,15 @@ pub struct PrepStats {
     pub treedepth_calls: u64,
     /// Core computations run on behalf of this engine.
     pub core_computations: u64,
+    /// Plans whose **counting certificates** (the structural analysis of
+    /// the original, non-cored query — see
+    /// [`PreparedQuery::counting_analysis`]) were materialized by this
+    /// engine.  At most one per plan, and zero for plans whose original is
+    /// its own core (the decision certificates are reused); the width DPs
+    /// such a materialization runs are folded into the `*_calls` counters
+    /// above, so `treewidth_calls == preparations + counting_preparations`
+    /// holds when nothing else runs DPs on the engine's behalf.
+    pub counting_preparations: u64,
 }
 
 impl PrepStats {
@@ -127,6 +139,7 @@ struct PrepCounters {
     pathwidth_calls: AtomicU64,
     treedepth_calls: AtomicU64,
     core_computations: AtomicU64,
+    counting_preparations: AtomicU64,
 }
 
 impl PrepCounters {
@@ -137,7 +150,20 @@ impl PrepCounters {
             pathwidth_calls: self.pathwidth_calls.load(Ordering::Relaxed),
             treedepth_calls: self.treedepth_calls.load(Ordering::Relaxed),
             core_computations: self.core_computations.load(Ordering::Relaxed),
+            counting_preparations: self.counting_preparations.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fold a measured thread-local width-DP delta into the aggregated
+    /// counters (the delta is exact: it was measured on the thread that ran
+    /// the work, around that work alone).
+    fn fold_decomp_delta(&self, delta: &cq_decomp::DecompCounts) {
+        self.treewidth_calls
+            .fetch_add(delta.treewidth_calls, Ordering::Relaxed);
+        self.pathwidth_calls
+            .fetch_add(delta.pathwidth_calls, Ordering::Relaxed);
+        self.treedepth_calls
+            .fetch_add(delta.treedepth_calls, Ordering::Relaxed);
     }
 }
 
@@ -400,28 +426,39 @@ pub struct Engine {
     id: u64,
     config: EngineConfig,
     registry: SolverRegistry,
+    count_registry: CountRegistry,
     cache: ShardedPlanCache,
     registered: Mutex<Vec<Arc<PreparedQuery>>>,
     prep: PrepCounters,
 }
 
 impl Engine {
-    /// An engine with the standard solver registry and default cache
-    /// capacity.
+    /// An engine with the standard solver registries (decision and
+    /// counting) and default cache capacity.
     pub fn new(config: EngineConfig) -> Engine {
         Engine::with_registry(config, SolverRegistry::standard(&config))
     }
 
-    /// An engine with an explicit solver registry (ablations, experiments).
+    /// An engine with an explicit decision registry (ablations,
+    /// experiments); the counting registry stays the standard one and can
+    /// be overridden with [`Engine::with_count_registry`].
     pub fn with_registry(config: EngineConfig, registry: SolverRegistry) -> Engine {
         Engine {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             config,
             registry,
+            count_registry: CountRegistry::standard(),
             cache: ShardedPlanCache::new(DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY),
             registered: Mutex::new(Vec::new()),
             prep: PrepCounters::default(),
         }
+    }
+
+    /// Override the counting registry (counting ablations — the E15
+    /// analogue of the E12 registry edits).
+    pub fn with_count_registry(mut self, count_registry: CountRegistry) -> Engine {
+        self.count_registry = count_registry;
+        self
     }
 
     /// Override the plan cache's **total** capacity across shards (0
@@ -454,9 +491,14 @@ impl Engine {
         &self.config
     }
 
-    /// The solver registry used for dispatch.
+    /// The solver registry used for decision dispatch.
     pub fn registry(&self) -> &SolverRegistry {
         &self.registry
+    }
+
+    /// The counting registry used for [`Engine::count_instance`] dispatch.
+    pub fn count_registry(&self) -> &CountRegistry {
+        &self.count_registry
     }
 
     /// The number of cache shards currently configured.
@@ -555,19 +597,30 @@ impl Engine {
         let delta = cq_decomp::stats::counts().since(&decomp_before);
         let cores = cq_structures::core_computation_count() - cores_before;
         self.prep.preparations.fetch_add(1, Ordering::Relaxed);
-        self.prep
-            .treewidth_calls
-            .fetch_add(delta.treewidth_calls, Ordering::Relaxed);
-        self.prep
-            .pathwidth_calls
-            .fetch_add(delta.pathwidth_calls, Ordering::Relaxed);
-        self.prep
-            .treedepth_calls
-            .fetch_add(delta.treedepth_calls, Ordering::Relaxed);
+        self.prep.fold_decomp_delta(&delta);
         self.prep
             .core_computations
             .fetch_add(cores, Ordering::Relaxed);
         plan
+    }
+
+    /// Materialize a plan's counting certificates (the structural analysis
+    /// of the original, non-cored query) if they are not there yet, folding
+    /// the width-DP delta of the one-time computation into this engine's
+    /// aggregated [`PrepStats`].  Idempotent and single-flighted by the
+    /// plan's interior `OnceLock`; repeat calls (and plans whose original
+    /// is its own core) cost a structure comparison and run no DP at all.
+    fn ensure_counting_certificates(&self, plan: &PreparedQuery) -> WidthProfile {
+        let decomp_before = cq_decomp::stats::counts();
+        let (analysis, computed) = plan.counting_analysis_tracked();
+        if computed {
+            let delta = cq_decomp::stats::counts().since(&decomp_before);
+            self.prep
+                .counting_preparations
+                .fetch_add(1, Ordering::Relaxed);
+            self.prep.fold_decomp_delta(&delta);
+        }
+        analysis.widths
     }
 
     /// Register a query for batch evaluation, returning its handle.  Goes
@@ -619,6 +672,89 @@ impl Engine {
         }
     }
 
+    /// Count the homomorphisms of one instance end to end: prepare the
+    /// query through the **shared** plan cache (decision and counting
+    /// traffic on the same fingerprint reuse one plan), then count through
+    /// the counting registry on the original-structure certificates.
+    ///
+    /// Counting is invariant under isomorphism but **not** under the
+    /// homomorphic equivalence the decision cache trades in, so when the
+    /// cache serves a plan whose original differs syntactically from
+    /// `query`, the plan is used only if [`PreparedQuery::counts_for`]
+    /// confirms the two are isomorphic (relabellings hit this path); a
+    /// hom-equivalent-but-not-isomorphic alias — possible only through a
+    /// fingerprint collision — falls back to an uncached exact count
+    /// instead of a silently wrong one.
+    pub fn count_instance(&self, query: &Structure, database: &Structure) -> CountReport {
+        let plan = self.prepare(query);
+        if plan.counts_for(query) {
+            self.count_prepared(&plan, database)
+        } else {
+            // Fingerprint collision between hom-equivalent non-isomorphic
+            // structures: prepare a throwaway plan for the submitted form
+            // (uncached — inserting it would fight the colliding slot) and
+            // count on that.
+            let plan = self.prepare_counted(query, query_fingerprint(query));
+            self.count_prepared(&plan, database)
+        }
+    }
+
+    /// Count a prepared query's homomorphisms into one database: ensure the
+    /// original-structure counting certificates exist (lazy, once per
+    /// plan), select the first admitting counting solver in registry
+    /// priority order, and run it.  On a plan whose counting certificates
+    /// are already materialized, no per-query exponential work happens
+    /// here.
+    pub fn count_prepared(&self, plan: &PreparedQuery, database: &Structure) -> CountReport {
+        let widths = self.ensure_counting_certificates(plan);
+        let solver = self
+            .count_registry
+            .select(plan, &self.config)
+            .expect("counting registry has no solver admitting this query (ablated registries must keep a fallback)");
+        let outcome = solver.count(plan, database);
+        CountReport {
+            count: outcome.count,
+            method: solver.method(),
+            degree_hint: Degree::from_boundedness(
+                widths.treewidth <= self.config.treewidth_threshold,
+                widths.pathwidth <= self.config.pathwidth_threshold,
+                widths.treedepth <= self.config.treedepth_threshold,
+            ),
+            widths,
+            counted_query_size: plan.original().universe_size(),
+        }
+    }
+
+    /// Count a batch of (query, database) instances across the configured
+    /// worker threads — the counting analogue of
+    /// [`Engine::solve_batch_instances`]: every distinct query is prepared
+    /// once through the shared plan cache (single-flighted under races) and
+    /// its counting certificates are materialized once; every instance is
+    /// counted against the cached plan.  Results are in input order and
+    /// bit-identical to the sequential path for every worker count.
+    pub fn count_batch(&self, batch: &[(&Structure, &Structure)]) -> Vec<CountReport> {
+        self.run_batch(batch, |engine, &(query, database)| {
+            engine.count_instance(query, database)
+        })
+    }
+
+    /// Count homomorphisms from the star expansion `A*` into `b` through
+    /// the Lemma 6.2 pl-Turing reduction, with **this engine** as the
+    /// oracle: every one of the `2^{|A|} − 1` inclusion–exclusion oracle
+    /// calls has left-hand side exactly `a`, so the plan (and its counting
+    /// certificates) is prepared once and every subsequent call is a cache
+    /// hit — the reduction runs over cached plans.
+    ///
+    /// `b` must be a coloured target interpreting `a`'s vocabulary plus the
+    /// colour relations `C_0 … C_{|A|−1}` (see
+    /// [`cq_structures::ops::colored_target`]); panics otherwise, like the
+    /// underlying [`cq_reductions::count_star_via_oracle`].
+    pub fn count_star(&self, a: &Structure, b: &Structure) -> u64 {
+        cq_reductions::count_star_via_oracle(a, b, &mut |query, database| {
+            self.count_instance(query, database).count
+        })
+    }
+
     /// Evaluate a batch of (registered query, database) instances across
     /// the configured worker threads.  Each distinct query was prepared
     /// exactly once (at [`register`](Self::register) time); the batch
@@ -653,20 +789,22 @@ impl Engine {
     }
 
     /// Fan `items` out over a scoped thread pool and return the per-item
-    /// reports in input order.  Workers pull the next unclaimed index from a
-    /// shared atomic cursor (work stealing), so skewed per-instance costs
-    /// balance; output order is fixed by index, not completion order.
-    fn run_batch<T, F>(&self, items: &[T], solve_one: F) -> Vec<EngineReport>
+    /// reports (decision or counting) in input order.  Workers pull the
+    /// next unclaimed index from a shared atomic cursor (work stealing), so
+    /// skewed per-instance costs balance; output order is fixed by index,
+    /// not completion order.
+    fn run_batch<T, R, F>(&self, items: &[T], solve_one: F) -> Vec<R>
     where
         T: Sync,
-        F: Fn(&Engine, &T) -> EngineReport + Sync,
+        R: Send,
+        F: Fn(&Engine, &T) -> R + Sync,
     {
         let workers = self.effective_workers().min(items.len());
         if workers <= 1 {
             return items.iter().map(|item| solve_one(self, item)).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let mut out: Vec<Option<EngineReport>> = (0..items.len()).map(|_| None).collect();
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -714,6 +852,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("config", &self.config)
             .field("registry", &self.registry)
+            .field("count_registry", &self.count_registry)
             .field("cache_shards", &self.cache_shards())
             .field("cache", &self.cache_stats())
             .field("prep", &self.prep_stats())
@@ -724,6 +863,7 @@ impl std::fmt::Debug for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counting::CountMethod;
     use crate::engine::SolverChoice;
     use cq_structures::{families, homomorphism_exists, relabeled};
 
@@ -927,6 +1067,113 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 6);
+    }
+
+    #[test]
+    fn decision_and_counting_share_one_cached_plan() {
+        let engine = Engine::new(EngineConfig::default());
+        let p4 = families::path(4);
+        let k3 = families::clique(3);
+        // Decision first: prepares the plan (core K2, widths of the core).
+        let decision = engine.solve(&p4, &k3);
+        assert!(decision.exists);
+        assert_eq!(decision.evaluated_query_size, 2, "decision ran on the core");
+        // Counting reuses the same plan (a cache hit) but counts the
+        // original: #hom(P4, K3) = 3·2·2·2 = 24, not #hom(K2, K3) = 6.
+        let count = engine.count_instance(&p4, &k3);
+        assert_eq!(count.count, 24);
+        assert_eq!(count.counted_query_size, 4);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "one plan serves both kinds of traffic");
+        assert_eq!(stats.hits, 1);
+        let prep = engine.prep_stats();
+        assert_eq!(prep.preparations, 1);
+        assert_eq!(
+            prep.counting_preparations, 1,
+            "P4's core is proper, so counting materialized its own certificates"
+        );
+        // Decision analysis + counting analysis: two of each width DP.
+        assert_eq!(prep.treewidth_calls, 2);
+    }
+
+    #[test]
+    fn cached_plan_counting_runs_zero_additional_decomposition_passes() {
+        let engine = Engine::new(EngineConfig::default());
+        let queries = [families::path(4), families::star(3), families::cycle(5)];
+        let targets = [families::clique(3), families::clique(4)];
+        // Warm: first counting pass materializes every counting certificate.
+        for q in &queries {
+            for t in &targets {
+                engine.count_instance(q, t);
+            }
+        }
+        let warm = engine.prep_stats();
+        // Cached run: same traffic again — no width DP, no core computation,
+        // no counting-certificate materialization may run.
+        for q in &queries {
+            for t in &targets {
+                engine.count_instance(q, t);
+            }
+        }
+        assert_eq!(
+            engine.prep_stats(),
+            warm,
+            "cached counting re-ran prep work"
+        );
+    }
+
+    #[test]
+    fn counting_serves_relabelled_forms_from_the_cached_plan() {
+        let engine = Engine::new(EngineConfig::default());
+        let c5 = families::cycle(5);
+        let perm: Vec<usize> = (0..5).rev().collect();
+        let twisted = relabeled(&c5, &perm);
+        let t = families::clique(4);
+        let direct = engine.count_instance(&c5, &t);
+        let via_alias = engine.count_instance(&twisted, &t);
+        // Counts are isomorphism-invariant, so the alias may (and does)
+        // reuse the plan.
+        assert_eq!(direct.count, via_alias.count);
+        assert_eq!(engine.prep_stats().preparations, 1);
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn count_star_prepares_the_oracle_query_once() {
+        // Lemma 6.2 over cached plans: 2^3 - 1 = 7 subset oracle calls, all
+        // with left-hand side C3 — one preparation, the rest cache hits.
+        let engine = Engine::new(EngineConfig::default());
+        let c3 = families::cycle(3);
+        let colored =
+            cq_structures::ops::colored_target(3, &families::clique(4), |_| (0..4).collect());
+        let got = engine.count_star(&c3, &colored);
+        let direct = cq_structures::count_homomorphisms_bruteforce(
+            &cq_structures::star_expansion(&c3),
+            &colored,
+        );
+        assert_eq!(got, direct);
+        let prep = engine.prep_stats();
+        assert_eq!(prep.preparations, 1, "one plan for all 7 oracle calls");
+        assert!(prep.counting_preparations <= 1);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, stats.lookups - 1);
+    }
+
+    #[test]
+    fn ablated_count_registry_changes_method_not_counts() {
+        let cfg = EngineConfig::default();
+        let full = Engine::new(cfg);
+        let ablated = Engine::new(cfg)
+            .with_count_registry(CountRegistry::standard().without(CountMethod::ForestSumProduct));
+        let star = families::star(4);
+        for t in [families::clique(3), families::cycle(6)] {
+            let r_full = full.count_instance(&star, &t);
+            let r_ablated = ablated.count_instance(&star, &t);
+            assert_eq!(r_full.method, CountMethod::ForestSumProduct);
+            assert_eq!(r_ablated.method, CountMethod::TreeDecompositionDp);
+            assert_eq!(r_full.count, r_ablated.count);
+        }
     }
 
     #[test]

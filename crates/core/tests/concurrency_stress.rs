@@ -17,8 +17,8 @@
 //! query shapes (against its own database fleet), so all threads race to
 //! prepare the same plans.
 
-use cq_core::{Engine, EngineConfig, EngineReport};
-use cq_structures::Structure;
+use cq_core::{CountReport, Engine, EngineConfig, EngineReport};
+use cq_structures::{core_of, Structure};
 use cq_workloads::concurrent_query_traffic;
 
 const THREADS: usize = 8;
@@ -30,6 +30,26 @@ fn sequential_reference(instances: &[(&Structure, &Structure)]) -> Vec<EngineRep
         ..EngineConfig::default()
     });
     instances.iter().map(|&(q, d)| engine.solve(q, d)).collect()
+}
+
+/// Reference counts computed on an isolated engine, sequentially.
+fn sequential_count_reference(instances: &[(&Structure, &Structure)]) -> Vec<CountReport> {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    instances
+        .iter()
+        .map(|&(q, d)| engine.count_instance(q, d))
+        .collect()
+}
+
+/// How many of the distinct query shapes have a proper core — exactly the
+/// plans for which the counting path must materialize its own
+/// original-structure certificates (the engine reuses the decision analysis
+/// whenever `core(q) == q`).
+fn proper_core_count(queries: &[Structure]) -> u64 {
+    queries.iter().filter(|q| core_of(q).core != **q).count() as u64
 }
 
 #[test]
@@ -77,6 +97,109 @@ fn eight_threads_hammering_one_engine_stay_consistent() {
     assert_eq!(prep.treewidth_calls, distinct_queries as u64);
     assert_eq!(prep.pathwidth_calls, distinct_queries as u64);
     assert_eq!(prep.treedepth_calls, distinct_queries as u64);
+}
+
+#[test]
+fn mixed_decide_and_count_traffic_on_shared_fingerprints_stays_consistent() {
+    // Half the threads decide, half count — over the SAME four query
+    // shapes, so decision and counting traffic race to prepare (and then
+    // share) the same plans.  Counting must additionally materialize the
+    // original-structure certificates exactly once per plan with a proper
+    // core, no matter how many counting threads race on it.
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    let workloads = concurrent_query_traffic(THREADS, 3, 11, 6, 4242);
+    let queries = workloads[0].queries.clone();
+    let distinct_queries = queries.len() as u64;
+
+    std::thread::scope(|s| {
+        for (i, w) in workloads.iter().enumerate() {
+            if i % 2 == 0 {
+                s.spawn(|| {
+                    let reports = engine.solve_batch_instances(&w.instances());
+                    assert_eq!(reports, sequential_reference(&w.instances()));
+                });
+            } else {
+                s.spawn(|| {
+                    let counts = engine.count_batch(&w.instances());
+                    assert_eq!(counts, sequential_count_reference(&w.instances()));
+                });
+            }
+        }
+    });
+
+    // Stats consistency across decide/count interleavings.
+    let stats = engine.cache_stats();
+    let total_instances: u64 = workloads.iter().map(|w| w.len() as u64).sum();
+    assert_eq!(stats.lookups, total_instances, "one lookup per instance");
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert_eq!(stats.entries as u64, distinct_queries);
+
+    // Exactly-once preparation — for the plans AND for the counting
+    // certificates: each distinct fingerprint was prepared once
+    // (single-flight), and the counting side materialized original-structure
+    // certificates only for the queries whose core is proper, each once
+    // (the plan's interior OnceLock single-flights racing counters).
+    let prep = engine.prep_stats();
+    assert_eq!(prep.preparations, distinct_queries);
+    assert_eq!(stats.misses, prep.preparations);
+    assert_eq!(prep.counting_preparations, proper_core_count(&queries));
+    assert!(
+        prep.counting_preparations > 0,
+        "fleet must contain a proper-core query or the counting invariant is vacuous"
+    );
+    // One decision analysis per preparation plus one counting analysis per
+    // proper-core plan: each runs every width DP exactly once.
+    assert_eq!(
+        prep.treewidth_calls,
+        prep.preparations + prep.counting_preparations
+    );
+    assert_eq!(
+        prep.treedepth_calls,
+        prep.preparations + prep.counting_preparations
+    );
+}
+
+#[test]
+fn counts_stay_stable_under_eviction_churn() {
+    // A deliberately tiny sharded cache under mixed decide/count traffic:
+    // plans (and their counting certificates) are evicted and re-prepared
+    // concurrently.  Exactly-once is off the table — bit-stable counts,
+    // consistency and termination are not.
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    })
+    .with_cache_shards(2)
+    .with_cache_capacity(2);
+    let workloads = concurrent_query_traffic(THREADS, 2, 10, 4, 99);
+
+    std::thread::scope(|s| {
+        for (i, w) in workloads.iter().enumerate() {
+            if i % 2 == 0 {
+                s.spawn(|| {
+                    let counts = engine.count_batch(&w.instances());
+                    assert_eq!(counts, sequential_count_reference(&w.instances()));
+                });
+            } else {
+                s.spawn(|| {
+                    let reports = engine.solve_batch_instances(&w.instances());
+                    assert_eq!(reports, sequential_reference(&w.instances()));
+                });
+            }
+        }
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert!(stats.entries <= 2, "capacity bound holds under churn");
+    let prep = engine.prep_stats();
+    // Every cache miss that ran to completion is a preparation, and churn
+    // re-materializes counting certificates at most once per preparation.
+    assert_eq!(prep.preparations, stats.misses);
+    assert!(prep.counting_preparations <= prep.preparations);
 }
 
 #[test]

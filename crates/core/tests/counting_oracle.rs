@@ -1,0 +1,245 @@
+//! Differential **counting** oracle: on a seeded corpus of random (query,
+//! structure) pairs, every counting solver of the [`CountRegistry`]
+//! ([`ForestCountSolver`], [`TreeDecCountSolver`],
+//! [`BruteForceCountSolver`]) must return the same number as the
+//! structure-agnostic reference [`count_homomorphisms_bruteforce`] — the
+//! counting analogue of `differential_oracle.rs`.
+//!
+//! Brute-force enumeration is the reference because it uses none of the
+//! prepared certificates: a disagreement means a counting solver (or the
+//! original-structure certificate it consumed) is wrong.  Failures print
+//! the offending pair with the seeds that regenerate it, so every
+//! counterexample reproduces exactly.
+//!
+//! Counting has a failure mode decision does not: a solver silently
+//! counting the **core** instead of the original query returns a plausible
+//! but wrong (smaller) number on every query with a proper core — the
+//! corpus is full of such queries, and the closed-form regression at the
+//! bottom pins the trap explicitly.
+
+use cq_core::{
+    BruteForceCountSolver, CountRegistry, CountSolver, Engine, EngineConfig, ForestCountSolver,
+    PreparedQuery, TreeDecCountSolver,
+};
+use cq_structures::{core_of, count_homomorphisms_bruteforce, families, Structure};
+use cq_workloads::{random_digraph_structure, random_graph_structure};
+
+/// Thresholds generous enough that the structural counters admit most of
+/// the corpus **on the original query's widths** (counting never keys on
+/// the core's), but small enough that the DP tables stay testable.
+fn oracle_config() -> EngineConfig {
+    EngineConfig {
+        treedepth_threshold: 4,
+        pathwidth_threshold: 3,
+        treewidth_threshold: 3,
+        ..EngineConfig::default()
+    }
+}
+
+/// The seeded corpus: small random undirected and directed queries, each
+/// paired with a handful of larger random targets of the same vocabulary.
+/// Everything derives from the `(n, seed)` labels in the assertion
+/// messages.
+fn corpus() -> Vec<(String, Structure, Structure)> {
+    let mut pairs = Vec::new();
+    for n in 3..6 {
+        for seed in 0..4 {
+            let query = random_graph_structure(n, 0.45, seed);
+            for (tn, tseed) in [(6usize, 100u64), (8, 101), (9, 102)] {
+                let target = random_graph_structure(tn, 0.4, tseed + seed);
+                pairs.push((
+                    format!(
+                        "graph q=(n={n}, seed={seed}) t=(n={tn}, seed={})",
+                        tseed + seed
+                    ),
+                    query.clone(),
+                    target,
+                ));
+            }
+        }
+    }
+    for n in 3..6 {
+        for seed in 0..4 {
+            let query = random_digraph_structure(n, 0.35, seed);
+            for (tn, tseed) in [(6usize, 200u64), (8, 201)] {
+                let target = random_digraph_structure(tn, 0.35, tseed + seed);
+                pairs.push((
+                    format!(
+                        "digraph q=(n={n}, seed={seed}) t=(n={tn}, seed={})",
+                        tseed + seed
+                    ),
+                    query.clone(),
+                    target,
+                ));
+            }
+        }
+    }
+    pairs
+}
+
+#[test]
+fn every_count_registry_solver_agrees_with_bruteforce_on_the_corpus() {
+    let config = oracle_config();
+    let solvers: [(&str, &dyn CountSolver); 3] = [
+        ("ForestCountSolver", &ForestCountSolver),
+        ("TreeDecCountSolver", &TreeDecCountSolver),
+        ("BruteForceCountSolver", &BruteForceCountSolver),
+    ];
+
+    let mut comparisons = 0usize;
+    let mut disagreements = Vec::new();
+    for (label, query, target) in corpus() {
+        let prepared = PreparedQuery::prepare(&query, &config);
+        let expected = count_homomorphisms_bruteforce(&query, &target);
+        for (name, solver) in solvers {
+            if !solver.admits(&prepared, &config) {
+                continue;
+            }
+            comparisons += 1;
+            let got = solver.count(&prepared, &target).count;
+            if got != expected {
+                disagreements.push(format!(
+                    "{name} says {got}, brute force says {expected} on {label}:\n  query  {query}\n  target {target}"
+                ));
+            }
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "{} counting disagreement(s):\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+    // The oracle must not silently go vacuous (e.g. thresholds drifting so
+    // no structural counter ever admits a corpus query).
+    assert!(
+        comparisons >= 150,
+        "only {comparisons} counting comparisons ran — corpus or thresholds degenerated"
+    );
+}
+
+/// The oracle repeated through prepared-plan reuse: counting the same
+/// corpus through one engine (warm plan cache, every tier dispatched by the
+/// counting registry) matches brute force, and the parallel `count_batch`
+/// returns bit-identical sequences for every worker count.  Guards the
+/// cache + counting-dispatch composition rather than individual solvers.
+#[test]
+fn engine_count_batch_over_the_corpus_matches_brute_force_for_every_worker_count() {
+    let pairs = corpus();
+    let batch: Vec<(&Structure, &Structure)> = pairs.iter().map(|(_, q, t)| (q, t)).collect();
+    let sequential = Engine::new(EngineConfig {
+        workers: 1,
+        ..oracle_config()
+    });
+    let expected = sequential.count_batch(&batch);
+    for ((label, query, target), report) in pairs.iter().zip(&expected) {
+        assert_eq!(
+            report.count,
+            count_homomorphisms_bruteforce(query, target),
+            "engine ({:?}) wrong on {label}: {query} -> {target}",
+            report.method
+        );
+    }
+    for workers in [2usize, 4, 8] {
+        let parallel = Engine::new(EngineConfig {
+            workers,
+            ..oracle_config()
+        });
+        let got = parallel.count_batch(&batch);
+        assert_eq!(got, expected, "workers={workers} diverged from sequential");
+        assert_eq!(
+            parallel.prep_stats().preparations,
+            sequential.prep_stats().preparations,
+            "workers={workers} prepared a different number of plans"
+        );
+    }
+}
+
+/// Regression pinning the core-invariance trap (the caveat of
+/// Theorem 6.1): on a query with a non-trivial core, the decision engine
+/// evaluates the core, but the count must be over the original structure —
+/// closed-form expected values on both sides of the trap.
+#[test]
+fn counting_uses_the_original_query_even_when_decision_uses_the_core() {
+    let engine = Engine::new(EngineConfig::default());
+    let k3 = families::clique(3);
+
+    // C8 cores down to an edge K2.  #hom(C_n, K_q) counts proper
+    // q-colourings of the cycle: (q-1)^n + (-1)^n (q-1), so
+    // #hom(C8, K3) = 2^8 + 2 = 258, while #hom(K2, K3) = 3·2 = 6.
+    let c8 = families::cycle(8);
+    let decision = engine.solve(&c8, &k3);
+    assert!(decision.exists);
+    assert_eq!(
+        decision.evaluated_query_size, 2,
+        "decision evaluates the core"
+    );
+    let core_count = count_homomorphisms_bruteforce(&core_of(&c8).core, &k3);
+    assert_eq!(core_count, 6);
+    let report = engine.count_instance(&c8, &k3);
+    assert_eq!(report.count, 258, "count over the original C8");
+    assert_ne!(report.count, core_count, "the trap is non-vacuous");
+    assert_eq!(report.counted_query_size, 8);
+
+    // P4 cores down to K2 as well: #hom(P_k, K_q) = q·(q-1)^(k-1), so
+    // #hom(P4, K3) = 3·2³ = 24 against the same core count 6.
+    let p4 = families::path(4);
+    assert_eq!(engine.solve(&p4, &k3).evaluated_query_size, 2);
+    assert_eq!(engine.count_instance(&p4, &k3).count, 24);
+
+    // Both counting runs reused the decision plans (2 preparations, both
+    // materializing original-structure certificates exactly once).
+    let prep = engine.prep_stats();
+    assert_eq!(prep.preparations, 2);
+    assert_eq!(prep.counting_preparations, 2);
+}
+
+/// The Lemma 6.2 inclusion–exclusion reduction through the engine-backed
+/// oracle: `Engine::count_star` agrees with directly counting from the star
+/// expansion, while all oracle calls run over one cached plan.
+#[test]
+fn engine_backed_star_counting_matches_direct_counting() {
+    let engine = Engine::new(EngineConfig::default());
+    for (a, base) in [
+        (families::path(3), families::cycle(5)),
+        (families::cycle(4), families::clique(3)),
+        (families::star(3), families::clique(3)),
+    ] {
+        let n = a.universe_size();
+        let b =
+            cq_structures::ops::colored_target(n, &base, |_| (0..base.universe_size()).collect());
+        let expected = count_homomorphisms_bruteforce(&cq_structures::star_expansion(&a), &b);
+        assert_eq!(engine.count_star(&a, &b), expected, "query {a}");
+    }
+    // Three distinct left-hand sides, each prepared exactly once despite
+    // 2^n - 1 oracle calls apiece.
+    assert_eq!(engine.prep_stats().preparations, 3);
+}
+
+/// An ablated counting registry must change the dispatched method, never
+/// the number — exercised against the corpus reference on a query every
+/// tier admits.
+#[test]
+fn counting_ablations_preserve_counts() {
+    let config = oracle_config();
+    let full = Engine::new(config);
+    let no_forest = Engine::new(config).with_count_registry(
+        CountRegistry::standard().without(cq_core::CountMethod::ForestSumProduct),
+    );
+    let no_structural = Engine::new(config).with_count_registry(
+        CountRegistry::standard()
+            .without(cq_core::CountMethod::ForestSumProduct)
+            .without(cq_core::CountMethod::TreeDecompositionDp),
+    );
+    let star = families::star(3);
+    for t in [
+        families::clique(3),
+        families::cycle(6),
+        families::grid(3, 3),
+    ] {
+        let expected = count_homomorphisms_bruteforce(&star, &t);
+        assert_eq!(full.count_instance(&star, &t).count, expected);
+        assert_eq!(no_forest.count_instance(&star, &t).count, expected);
+        assert_eq!(no_structural.count_instance(&star, &t).count, expected);
+    }
+}

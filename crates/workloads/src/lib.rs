@@ -237,6 +237,121 @@ pub fn concurrent_query_traffic(
         .collect()
 }
 
+/// A counting traffic trace whose every instance has a **closed-form
+/// expected count** — the counting analogue of [`BatchWorkload`], used by
+/// the counting differential tests and bench E15 to verify
+/// `Engine::count_batch` end to end, not merely exercise it.
+#[derive(Debug, Clone)]
+pub struct CountingWorkload {
+    /// The distinct query structures (each index recurs many times in the
+    /// trace).
+    pub queries: Vec<Structure>,
+    /// The database fleet: complete graphs `K_q` (cliques are the targets
+    /// with clean closed-form homomorphism counts).
+    pub databases: Vec<Structure>,
+    /// The instance sequence as (query index, database index) pairs.
+    pub trace: Vec<(usize, usize)>,
+    /// The closed-form expected count of each trace entry, aligned with
+    /// `trace`.
+    pub expected: Vec<u64>,
+}
+
+impl CountingWorkload {
+    /// The instances of the trace as structure pairs, borrowed from the
+    /// workload (the shape `Engine::count_batch` consumes).
+    pub fn instances(&self) -> Vec<(&Structure, &Structure)> {
+        self.trace
+            .iter()
+            .map(|&(q, d)| (&self.queries[q], &self.databases[d]))
+            .collect()
+    }
+
+    /// Number of instances in the trace.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+/// The falling factorial `q·(q-1)···(q-k+1)` — the number of homomorphisms
+/// (= injective placements) of `K_k` into `K_q`.
+fn falling_factorial(q: u64, k: u64) -> u64 {
+    (0..k).map(|i| q.saturating_sub(i)).product()
+}
+
+/// A deterministic repeated-query **counting** trace with known
+/// closed-form answers: paths, stars and a triangle against a fleet of
+/// cliques `K_q`.  The closed forms (for `q ≥ 2`):
+///
+/// * `#hom(P_k, K_q) = q·(q-1)^(k-1)` — walk the path, each step avoiding
+///   only its predecessor's colour;
+/// * `#hom(K_{1,l}, K_q) = q·(q-1)^l` — place the centre, every leaf
+///   independently avoids it;
+/// * `#hom(K_3, K_q) = q·(q-1)·(q-2)` — injective placements of a clique.
+///
+/// The path queries have proper cores (an edge), so this traffic
+/// deliberately crosses the core-invariance trap on every other instance;
+/// every query recurs `repeats_per_query` times per the seeded, shuffled
+/// interleaving, exercising the cached-plan counting path.
+pub fn counting_traffic(
+    clique_sizes: &[usize],
+    repeats_per_query: usize,
+    seed: u64,
+) -> CountingWorkload {
+    use cq_structures::families;
+    assert!(
+        !clique_sizes.is_empty(),
+        "a counting trace needs at least one clique target"
+    );
+    assert!(
+        clique_sizes.iter().all(|&q| q >= 3),
+        "closed forms above assume q >= 3 (K_3 needs three colours)"
+    );
+    let queries = vec![
+        families::path(4),   // proper core (edge): the counting trap
+        families::star(3),   // tree depth 2; bipartite, so also a proper core
+        families::clique(3), // treewidth 2, its own core
+        families::path(6),   // proper core AND tree depth 3: deeper recursion
+    ];
+    // #hom(queries[i], K_q), in the order above.
+    let closed_form = |query: usize, q: u64| -> u64 {
+        match query {
+            0 => q * (q - 1).pow(3),
+            1 => q * (q - 1).pow(3),
+            2 => falling_factorial(q, 3),
+            _ => q * (q - 1).pow(5),
+        }
+    };
+    let databases: Vec<Structure> = clique_sizes.iter().map(|&q| families::clique(q)).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let mut trace: Vec<(usize, usize)> = (0..queries.len())
+        .flat_map(|q| (0..repeats_per_query).map(move |_| q))
+        .map(|q| (q, 0usize))
+        .collect();
+    for slot in trace.iter_mut() {
+        slot.1 = rng.gen_range(0..databases.len());
+    }
+    // Fisher–Yates interleave of the query order.
+    for i in (1..trace.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        trace.swap(i, j);
+    }
+    let expected = trace
+        .iter()
+        .map(|&(query, db)| closed_form(query, clique_sizes[db] as u64))
+        .collect();
+    CountingWorkload {
+        queries,
+        databases,
+        trace,
+        expected,
+    }
+}
+
 /// A fleet of `count` query structures with pairwise **distinct**
 /// plan-cache fingerprints, spanning several shapes (stars, odd cycles,
 /// directed paths, caterpillars).  A batch over this fleet performs `count`
@@ -328,6 +443,30 @@ mod tests {
         let again = concurrent_query_traffic(4, 3, 10, 5, 99);
         for (w, v) in workloads.iter().zip(&again) {
             assert_eq!(w.trace, v.trace);
+        }
+    }
+
+    #[test]
+    fn counting_traffic_closed_forms_match_brute_force() {
+        let w = counting_traffic(&[3, 4, 5], 3, 7);
+        assert_eq!(w.len(), 4 * 3);
+        assert_eq!(w.expected.len(), w.len());
+        // Deterministic in the seed.
+        let again = counting_traffic(&[3, 4, 5], 3, 7);
+        assert_eq!(w.trace, again.trace);
+        assert_eq!(w.expected, again.expected);
+        // Every closed form is the brute-force truth.
+        for (&(q, d), &expected) in w.trace.iter().zip(&w.expected) {
+            assert_eq!(
+                cq_structures::count_homomorphisms_bruteforce(&w.queries[q], &w.databases[d]),
+                expected,
+                "closed form wrong for query {q} into K_{}",
+                w.databases[d].universe_size()
+            );
+        }
+        // Every query index recurs repeats_per_query times.
+        for q in 0..w.queries.len() {
+            assert_eq!(w.trace.iter().filter(|&&(qq, _)| qq == q).count(), 3);
         }
     }
 

@@ -155,6 +155,55 @@ fn parallel_registered_batch_is_deterministic() {
     );
 }
 
+/// Decision/counting consistency: `count > 0` ⟺ the decision engine
+/// reports a homomorphism, across the seeded grid — even though the two
+/// paths run different algorithms on different structures (the decision
+/// side may evaluate the core, the counting side never does).  Exercised
+/// through one shared engine per worker count, with counts additionally
+/// bit-identical between workers 1 and 4.
+#[test]
+fn counting_is_positive_exactly_when_decision_succeeds() {
+    let digraphs = small_digraphs();
+    let pairs: Vec<(&Structure, &Structure)> = digraphs
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, a))| {
+            let (_, _, b) = &digraphs[(i * 7 + 3) % digraphs.len()];
+            (a, b)
+        })
+        .collect();
+    let mut per_worker_counts = Vec::new();
+    for workers in [1usize, 4] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        });
+        let decisions = engine.solve_batch_instances(&pairs);
+        let counts = engine.count_batch(&pairs);
+        for (((a, b), decision), count) in pairs.iter().zip(&decisions).zip(&counts) {
+            let (an, aseed, _) = digraphs
+                .iter()
+                .find(|(_, _, q)| std::ptr::eq(q, *a))
+                .unwrap();
+            assert_eq!(
+                count.count > 0,
+                decision.exists,
+                "decide/count disagree on a=(n={an}, seed={aseed}) -> {b} (workers={workers})"
+            );
+            assert_eq!(
+                count.count,
+                count_homomorphisms_bruteforce(a, b),
+                "count wrong on a=(n={an}, seed={aseed}) -> {b} (workers={workers})"
+            );
+        }
+        per_worker_counts.push(counts);
+    }
+    assert_eq!(
+        per_worker_counts[0], per_worker_counts[1],
+        "counts must be bit-identical across worker counts"
+    );
+}
+
 /// Homomorphism counts multiply over direct products of targets.
 #[test]
 fn product_counting_law() {
