@@ -30,9 +30,8 @@ use crate::prepared::PreparedQuery;
 use crate::service::Engine;
 use crate::Degree;
 use cq_decomp::WidthProfile;
-use cq_solver::treedec::count_hom_via_tree_decomposition;
-use cq_solver::treedepth::count_with_forest;
-use cq_structures::{count_homomorphisms_bruteforce, Structure};
+use cq_solver::kernel::{count_hom_via_tree_decomposition_indexed, count_with_forest_indexed};
+use cq_structures::{count_homomorphisms_bruteforce, Structure, StructureIndex};
 
 /// Which counting algorithm the engine picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,8 +100,13 @@ pub trait CountSolver: Send + Sync {
     fn admits(&self, query: &PreparedQuery, config: &EngineConfig) -> bool;
 
     /// Count homomorphisms from the prepared query's original structure
-    /// into one database.
-    fn count(&self, query: &PreparedQuery, database: &Structure) -> CountOutcome;
+    /// into one database through its cached [`StructureIndex`].
+    fn count(
+        &self,
+        query: &PreparedQuery,
+        database: &Structure,
+        index: &StructureIndex,
+    ) -> CountOutcome;
 }
 
 /// Sum–product counting over the original query's elimination forest
@@ -125,13 +129,21 @@ impl CountSolver for ForestCountSolver {
         query.counting_widths().treedepth <= config.treedepth_threshold
     }
 
-    fn count(&self, query: &PreparedQuery, database: &Structure) -> CountOutcome {
-        let count = count_with_forest(
+    fn count(
+        &self,
+        query: &PreparedQuery,
+        _database: &Structure,
+        index: &StructureIndex,
+    ) -> CountOutcome {
+        let run = count_with_forest_indexed(
             query.original(),
-            database,
+            index,
             &query.counting_analysis().elimination_forest,
         );
-        CountOutcome { count, work: None }
+        CountOutcome {
+            count: run.count,
+            work: Some(run.assignments),
+        }
     }
 }
 
@@ -153,13 +165,21 @@ impl CountSolver for TreeDecCountSolver {
         query.counting_widths().treewidth <= config.treewidth_threshold
     }
 
-    fn count(&self, query: &PreparedQuery, database: &Structure) -> CountOutcome {
-        let count = count_hom_via_tree_decomposition(
+    fn count(
+        &self,
+        query: &PreparedQuery,
+        _database: &Structure,
+        index: &StructureIndex,
+    ) -> CountOutcome {
+        let run = count_hom_via_tree_decomposition_indexed(
             query.original(),
-            database,
+            index,
             &query.counting_analysis().tree_decomposition,
         );
-        CountOutcome { count, work: None }
+        CountOutcome {
+            count: run.count,
+            work: Some(run.peak_table as u64),
+        }
     }
 }
 
@@ -181,7 +201,14 @@ impl CountSolver for BruteForceCountSolver {
         true
     }
 
-    fn count(&self, query: &PreparedQuery, database: &Structure) -> CountOutcome {
+    fn count(
+        &self,
+        query: &PreparedQuery,
+        database: &Structure,
+        _index: &StructureIndex,
+    ) -> CountOutcome {
+        // Deliberately the un-indexed reference enumeration: this solver
+        // doubles as the oracle of the counting differential tests.
         let count = count_homomorphisms_bruteforce(query.original(), database);
         CountOutcome {
             count,
@@ -329,9 +356,10 @@ mod tests {
             let q = prepared(&a);
             for b in [families::clique(3), families::cycle(6), families::path(4)] {
                 let expected = count_homomorphisms_bruteforce(&a, &b);
+                let index = StructureIndex::new(&b);
                 for s in registry.solvers() {
                     assert_eq!(
-                        s.count(&q, &b).count,
+                        s.count(&q, &b, &index).count,
                         expected,
                         "{} on {a} -> {b}",
                         s.name()

@@ -49,6 +49,15 @@ pub struct EngineConfig {
     /// every worker count.
     pub workers: usize,
     /// Configuration of the backtracking fallback.
+    ///
+    /// The engine's fallback is the flat-kernel whole-query search, whose
+    /// unary/incidence prefilter is always on and subsumes the unary half
+    /// of arc consistency — so of these knobs only `fail_first_ordering`
+    /// changes engine behaviour.  The AC knobs
+    /// (`preprocess_arc_consistency`, `maintain_arc_consistency`) still
+    /// drive the retained reference search
+    /// ([`cq_solver::backtrack::BacktrackSolver`]), which the E12 ablation
+    /// bench exercises directly.
     pub backtrack: BacktrackConfig,
 }
 

@@ -66,7 +66,8 @@ pub use registry::{
     TreeDepthSolver,
 };
 pub use service::{
-    CacheStats, Engine, PrepStats, QueryId, DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY,
+    CacheStats, Engine, IndexStats, PrepStats, QueryId, DEFAULT_CACHE_SHARDS,
+    DEFAULT_INDEX_CACHE_CAPACITY, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 
 /// The degrees of the fine classification (Theorem 3.1, plus the

@@ -11,16 +11,23 @@
 //! code forks.
 //!
 //! Every solver consumes the *certificates* carried by the
-//! [`PreparedQuery`] (compiled sentence, staircase decomposition, tree
-//! decomposition) rather than recomputing anything from the query.
+//! [`PreparedQuery`] (elimination forest, staircase decomposition, tree
+//! decomposition) plus the **instance index** of the database
+//! ([`StructureIndex`], built once per database and cached by the engine)
+//! and runs the flat evaluation kernel of [`cq_solver::kernel`] — compiled
+//! bag programs, prefilter domains, separator hash-joins.  The reference
+//! implementations (`cq_solver::treedec`, `cq_solver::pathdp`, the raw
+//! backtracking searches) are retained as the oracle of the differential
+//! tests, not dispatched here.
 
 use crate::engine::{EngineConfig, SolverChoice};
 use crate::prepared::PreparedQuery;
-use cq_solver::backtrack::{BacktrackConfig, BacktrackSolver as RawBacktrack};
-use cq_solver::pathdp::hom_via_staircase;
-use cq_solver::treedec::hom_via_tree_decomposition;
-use cq_solver::treedepth::hom_via_compiled_sentence;
-use cq_structures::Structure;
+use cq_solver::backtrack::BacktrackConfig;
+use cq_solver::kernel::{
+    find_hom_indexed, hom_via_forest_indexed, hom_via_staircase_indexed,
+    hom_via_tree_decomposition_indexed,
+};
+use cq_structures::{Structure, StructureIndex};
 
 /// What one solver invocation produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,9 +35,9 @@ pub struct SolveOutcome {
     /// Whether a homomorphism exists.
     pub exists: bool,
     /// A solver-specific work/space figure for the experiment reports:
-    /// metered space cells for the tree-depth solver, peak frontier size for
-    /// the path sweep, visited assignments for backtracking.  `None` when
-    /// the solver reports nothing.
+    /// candidate assignments for the forest evaluation and the backtracking
+    /// search, peak frontier size for the path sweep, peak viable-row table
+    /// for the tree DP.  `None` when the solver reports nothing.
     pub work: Option<u64>,
 }
 
@@ -38,8 +45,10 @@ pub struct SolveOutcome {
 ///
 /// Implementations must be cheap to consult: `admits` reads the prepared
 /// query's cached width profile, and `solve` runs against the prepared
-/// certificates — all exponential-in-the-query work belongs to preparation,
-/// not here.
+/// certificates and the database's cached [`StructureIndex`] — all
+/// exponential-in-the-query work belongs to preparation, and all
+/// per-database index building to the engine's instance-index cache, not
+/// here.
 pub trait HomSolver: Send + Sync {
     /// Short human-readable name (used in reports and bench labels).
     fn name(&self) -> &'static str;
@@ -51,18 +60,28 @@ pub trait HomSolver: Send + Sync {
     /// under the given thresholds.
     fn admits(&self, query: &PreparedQuery, config: &EngineConfig) -> bool;
 
-    /// Evaluate the prepared query against one database.
-    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome;
+    /// Evaluate the prepared query against one database through its index.
+    fn solve(
+        &self,
+        query: &PreparedQuery,
+        database: &Structure,
+        index: &StructureIndex,
+    ) -> SolveOutcome;
 }
 
-/// Tree-depth sentence evaluation (para-L algorithm, Lemma 3.3): model-check
-/// the prepared query's compiled `{∧,∃}`-sentence.
+/// Tree-depth evaluation (para-L tier, Lemma 3.3): the kernel sum–product
+/// recursion over the prepared elimination-forest certificate with
+/// first-witness early exit — `O(td)` images in memory, index-driven
+/// candidate domains.  (The Lemma 3.3 sentence compilation and metered
+/// model check remain available as [`PreparedQuery::sentence`] +
+/// `cq_solver::treedepth::hom_via_compiled_sentence`, the reference the
+/// differential oracle compares against.)
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TreeDepthSolver;
 
 impl HomSolver for TreeDepthSolver {
     fn name(&self) -> &'static str {
-        "tree-depth sentence evaluation"
+        "tree-depth forest evaluation"
     }
 
     fn choice(&self) -> SolverChoice {
@@ -73,17 +92,27 @@ impl HomSolver for TreeDepthSolver {
         query.widths().treedepth <= config.treedepth_threshold
     }
 
-    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
-        let run = hom_via_compiled_sentence(query.sentence(), database);
+    fn solve(
+        &self,
+        query: &PreparedQuery,
+        _database: &Structure,
+        index: &StructureIndex,
+    ) -> SolveOutcome {
+        let run = hom_via_forest_indexed(
+            query.evaluated(),
+            index,
+            &query.analysis().elimination_forest,
+        );
         SolveOutcome {
             exists: run.exists,
-            work: Some(run.space.peak_bits as u64),
+            work: Some(run.assignments),
         }
     }
 }
 
 /// Path-decomposition sweep (PATH algorithm, Theorem 4.6) over the prepared
-/// query's staircase-normalized optimal path decomposition.
+/// query's staircase-normalized optimal path decomposition — the kernel
+/// sweep with flat frontier rows and hash-deduplicated forget steps.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PathDpSolver;
 
@@ -100,8 +129,13 @@ impl HomSolver for PathDpSolver {
         query.widths().pathwidth <= config.pathwidth_threshold
     }
 
-    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
-        let report = hom_via_staircase(query.evaluated(), database, query.staircase());
+    fn solve(
+        &self,
+        query: &PreparedQuery,
+        _database: &Structure,
+        index: &StructureIndex,
+    ) -> SolveOutcome {
+        let report = hom_via_staircase_indexed(query.evaluated(), index, query.staircase());
         SolveOutcome {
             exists: report.exists,
             work: Some(report.peak_frontier as u64),
@@ -109,8 +143,9 @@ impl HomSolver for PathDpSolver {
     }
 }
 
-/// Tree-decomposition dynamic programming (TREE algorithm) over the prepared
-/// query's optimal tree decomposition.
+/// Tree-decomposition dynamic programming (TREE algorithm) over the
+/// prepared query's optimal tree decomposition — the kernel DP with
+/// per-edge separator hash-joins.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TreeDecSolver;
 
@@ -127,18 +162,34 @@ impl HomSolver for TreeDecSolver {
         query.widths().treewidth <= config.treewidth_threshold
     }
 
-    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
-        let exists = hom_via_tree_decomposition(
+    fn solve(
+        &self,
+        query: &PreparedQuery,
+        _database: &Structure,
+        index: &StructureIndex,
+    ) -> SolveOutcome {
+        let run = hom_via_tree_decomposition_indexed(
             query.evaluated(),
-            database,
+            index,
             &query.analysis().tree_decomposition,
         );
-        SolveOutcome { exists, work: None }
+        SolveOutcome {
+            exists: run.exists,
+            work: Some(run.peak_table as u64),
+        }
     }
 }
 
-/// Backtracking with propagation — the structural-guarantee-free fallback;
-/// admits every query, so it terminates every registry walk.
+/// The structural-guarantee-free fallback: the whole query compiled as one
+/// kernel bag program (index-driven candidate domains, incremental
+/// constraint checks) searched for a first witness.  Admits every query,
+/// so it terminates every registry walk.
+///
+/// Of the E12 knobs only `fail_first_ordering` applies — the kernel's
+/// unary/incidence prefilter subsumes the unary half of arc consistency
+/// and is always on; the raw propagating search of
+/// [`cq_solver::backtrack::BacktrackSolver`] remains available for
+/// ablation baselines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BacktrackSolver {
     /// Configuration of the underlying search (the E12 ablation knobs).
@@ -158,9 +209,14 @@ impl HomSolver for BacktrackSolver {
         true
     }
 
-    fn solve(&self, query: &PreparedQuery, database: &Structure) -> SolveOutcome {
+    fn solve(
+        &self,
+        query: &PreparedQuery,
+        _database: &Structure,
+        index: &StructureIndex,
+    ) -> SolveOutcome {
         let (hom, stats) =
-            RawBacktrack::with_config(self.config).solve(query.evaluated(), database);
+            find_hom_indexed(query.evaluated(), index, self.config.fail_first_ordering);
         SolveOutcome {
             exists: hom.is_some(),
             work: Some(stats.assignments),
@@ -298,9 +354,10 @@ mod tests {
         let q = prepared(&a);
         for b in [families::clique(3), families::cycle(6), families::path(4)] {
             let expected = cq_structures::homomorphism_exists(&a, &b);
+            let index = StructureIndex::new(&b);
             for s in registry.solvers() {
                 assert_eq!(
-                    s.solve(&q, &b).exists,
+                    s.solve(&q, &b, &index).exists,
                     expected,
                     "{} on {a} -> {b}",
                     s.name()

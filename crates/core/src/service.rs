@@ -43,7 +43,7 @@ use crate::registry::SolverRegistry;
 use crate::Degree;
 use cq_decomp::WidthProfile;
 use cq_logic::canonical::query_fingerprint;
-use cq_structures::Structure;
+use cq_structures::{structure_hash, Structure, StructureIndex};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -61,6 +61,11 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 /// Sharding trades exact global LRU order for an N-fold cut in lock
 /// contention; per-shard LRU order is preserved.
 pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Default total capacity of the instance-index cache
+/// ([`Engine::with_index_cache_capacity`] overrides) — the number of
+/// database [`StructureIndex`]es kept hot across decide/count traffic.
+pub const DEFAULT_INDEX_CACHE_CAPACITY: usize = 64;
 
 /// Handle to a query registered with an [`Engine`] (see
 /// [`Engine::register`]); the batch API refers to queries through it.
@@ -387,6 +392,147 @@ impl ShardedPlanCache {
     }
 }
 
+/// Counters of the instance-index cache (one [`StructureIndex`] per
+/// distinct database seen by the solve/count paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Cache consultations (one per solve/count dispatch).
+    pub lookups: u64,
+    /// Lookups served an already-built index.
+    pub hits: u64,
+    /// Lookups that had to build a fresh index.
+    pub misses: u64,
+    /// Indexes currently cached (summed over shards).
+    pub entries: usize,
+}
+
+struct IndexSlot {
+    hash: u64,
+    /// The indexed database, kept for full-equality confirmation of hash
+    /// matches — a collision degrades to a rebuild, never a wrong index.
+    database: Structure,
+    index: Arc<StructureIndex>,
+    last_used: u64,
+}
+
+struct IndexShard {
+    capacity: usize,
+    tick: u64,
+    slots: Vec<IndexSlot>,
+}
+
+/// The sharded **instance-index cache**: one [`StructureIndex`] per
+/// distinct database, shared (`Arc`) by every solver dispatch — decision
+/// and counting, across the batch fan-out's worker threads.  Keyed by
+/// [`structure_hash`] and confirmed by structural equality.
+struct InstanceIndexCache {
+    shards: Vec<Mutex<IndexShard>>,
+    /// The shard count the caller asked for (the instantiated count is
+    /// clamped so no shard has zero slots); remembered so a later capacity
+    /// change keeps the requested spread.
+    requested_shards: usize,
+    total_capacity: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl InstanceIndexCache {
+    fn new(shard_count: usize, total_capacity: usize) -> InstanceIndexCache {
+        let requested = shard_count.max(1);
+        let effective = effective_shards(requested, total_capacity);
+        InstanceIndexCache {
+            shards: (0..effective)
+                .map(|i| {
+                    Mutex::new(IndexShard {
+                        capacity: shard_capacity(total_capacity, effective, i),
+                        tick: 0,
+                        slots: Vec::new(),
+                    })
+                })
+                .collect(),
+            requested_shards: requested,
+            total_capacity,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached index for `database`, building (and caching) it on first
+    /// sight.  Racing builders of the same database may both build — the
+    /// build is linear in `|B|` and idempotent, so no single-flight latch
+    /// is warranted; the second insert finds the first and reuses it.
+    fn get(&self, database: &Structure) -> Arc<StructureIndex> {
+        let hash = structure_hash(database);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if self.total_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(StructureIndex::new(database));
+        }
+        let shard = &self.shards[(hash % self.shards.len() as u64) as usize];
+        {
+            let mut shard = shard.lock().expect("index shard lock");
+            shard.tick += 1;
+            let now = shard.tick;
+            if let Some(slot) = shard
+                .slots
+                .iter_mut()
+                .find(|s| s.hash == hash && s.database == *database)
+            {
+                slot.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&slot.index);
+            }
+        }
+        // Build outside the lock so concurrent misses on *different*
+        // databases of the same shard do not serialize on the build.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let index = Arc::new(StructureIndex::new(database));
+        let mut shard = shard.lock().expect("index shard lock");
+        if let Some(slot) = shard
+            .slots
+            .iter()
+            .find(|s| s.hash == hash && s.database == *database)
+        {
+            // A racing builder beat us: share its index, drop ours.
+            return Arc::clone(&slot.index);
+        }
+        while shard.slots.len() >= shard.capacity.max(1) {
+            let pos = shard
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            shard.slots.swap_remove(pos);
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.slots.push(IndexSlot {
+            hash,
+            database: database.clone(),
+            index: Arc::clone(&index),
+            last_used: tick,
+        });
+        index
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("index shard lock").slots.len())
+                .sum(),
+        }
+    }
+}
+
 /// Drop guard removing a fingerprint's single-flight latch entry, so the
 /// entry is cleaned up on every exit path — normal returns and panic
 /// unwinds alike.
@@ -428,6 +574,7 @@ pub struct Engine {
     registry: SolverRegistry,
     count_registry: CountRegistry,
     cache: ShardedPlanCache,
+    indexes: InstanceIndexCache,
     registered: Mutex<Vec<Arc<PreparedQuery>>>,
     prep: PrepCounters,
 }
@@ -449,6 +596,7 @@ impl Engine {
             registry,
             count_registry: CountRegistry::standard(),
             cache: ShardedPlanCache::new(DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY),
+            indexes: InstanceIndexCache::new(DEFAULT_CACHE_SHARDS, DEFAULT_INDEX_CACHE_CAPACITY),
             registered: Mutex::new(Vec::new()),
             prep: PrepCounters::default(),
         }
@@ -471,10 +619,22 @@ impl Engine {
         self
     }
 
-    /// Override the number of cache shards (minimum 1).  More shards cut
-    /// lock contention under concurrent traffic at the price of partitioning
+    /// Override the instance-index cache's **total** capacity across its
+    /// shards (0 disables caching: every dispatch rebuilds the database
+    /// index from scratch — the cold baseline of bench E16).  Cached
+    /// indexes are discarded; the shard spread requested earlier is kept.
+    pub fn with_index_cache_capacity(mut self, capacity: usize) -> Engine {
+        self.indexes = InstanceIndexCache::new(self.indexes.requested_shards, capacity);
+        self
+    }
+
+    /// Override the number of cache shards (minimum 1) for **both** the
+    /// plan cache and the instance-index cache.  More shards cut lock
+    /// contention under concurrent traffic at the price of partitioning
     /// the LRU: eviction order is exact per shard, approximate globally.
-    /// Existing entries are rehashed into the new shards.
+    /// Existing plans are rehashed into the new shards; cached database
+    /// indexes are discarded (construction-time builder, rebuilt on first
+    /// sight).
     ///
     /// The instantiated count is clamped to the total capacity so no shard
     /// ends up with zero slots (see [`Engine::cache_shards`] for the
@@ -483,6 +643,7 @@ impl Engine {
     pub fn with_cache_shards(mut self, shards: usize) -> Engine {
         let capacity = self.cache.total_capacity;
         self.cache.reconfigure(shards, capacity);
+        self.indexes = InstanceIndexCache::new(shards, self.indexes.total_capacity);
         self
     }
 
@@ -654,15 +815,24 @@ impl Engine {
         self.solve_prepared(&plan, database)
     }
 
+    /// The cached [`StructureIndex`] of a database — built on first sight,
+    /// shared by every later decision/counting dispatch against the same
+    /// database (including across the batch fan-out's worker threads).
+    pub fn instance_index(&self, database: &Structure) -> Arc<StructureIndex> {
+        self.indexes.get(database)
+    }
+
     /// Evaluate a prepared query against one database: select the first
     /// admitting solver in registry priority order and run it on the plan's
-    /// certificates.  No per-query exponential work happens here.
+    /// certificates through the database's cached index.  No per-query
+    /// exponential work happens here.
     pub fn solve_prepared(&self, plan: &PreparedQuery, database: &Structure) -> EngineReport {
         let solver = self
             .registry
             .select(plan, &self.config)
             .expect("solver registry has no solver admitting this query (ablated registries must keep a fallback)");
-        let outcome = solver.solve(plan, database);
+        let index = self.indexes.get(database);
+        let outcome = solver.solve(plan, database, &index);
         EngineReport {
             exists: outcome.exists,
             choice: solver.choice(),
@@ -711,7 +881,8 @@ impl Engine {
             .count_registry
             .select(plan, &self.config)
             .expect("counting registry has no solver admitting this query (ablated registries must keep a fallback)");
-        let outcome = solver.count(plan, database);
+        let index = self.indexes.get(database);
+        let outcome = solver.count(plan, database, &index);
         CountReport {
             count: outcome.count,
             method: solver.method(),
@@ -844,6 +1015,12 @@ impl Engine {
     /// [`PrepStats`]).
     pub fn prep_stats(&self) -> PrepStats {
         self.prep.snapshot()
+    }
+
+    /// Instance-index cache behaviour so far (one index build per distinct
+    /// database, shared by decision and counting traffic).
+    pub fn index_stats(&self) -> IndexStats {
+        self.indexes.stats()
     }
 }
 
@@ -1253,6 +1430,67 @@ mod tests {
         // The engine is still fully usable afterwards.
         let report = engine.solve(&families::star(3), &families::clique(3));
         assert!(report.exists);
+    }
+
+    #[test]
+    fn instance_indexes_are_built_once_per_database_across_decide_and_count() {
+        let engine = Engine::new(EngineConfig::default());
+        let queries = [families::star(4), families::path(4)];
+        let targets = [families::clique(3), families::clique(4)];
+        for _round in 0..3 {
+            for q in &queries {
+                for t in &targets {
+                    let decision = engine.solve(q, t);
+                    let count = engine.count_instance(q, t);
+                    assert_eq!(decision.exists, count.count > 0, "{q} -> {t}");
+                }
+            }
+        }
+        let stats = engine.index_stats();
+        assert_eq!(stats.misses, 2, "one index build per distinct database");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+        // 3 rounds × 2 queries × 2 targets × (decide + count) = 24 lookups.
+        assert_eq!(stats.lookups, 24);
+    }
+
+    #[test]
+    fn zero_index_capacity_disables_index_caching() {
+        let engine = Engine::new(EngineConfig::default()).with_index_cache_capacity(0);
+        let q = families::star(3);
+        let t = families::clique(3);
+        engine.solve(&q, &t);
+        engine.solve(&q, &t);
+        let stats = engine.index_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn index_cache_shares_one_build_across_batch_workers() {
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        });
+        let queries = [families::star(4), families::cycle(5), families::path(4)];
+        let target = families::clique(4);
+        let target_ref = &target;
+        let batch: Vec<(&Structure, &Structure)> = queries
+            .iter()
+            .flat_map(|q| (0..8).map(move |_| (q, target_ref)))
+            .collect();
+        let reports = engine.solve_batch_instances(&batch);
+        assert_eq!(reports.len(), 24);
+        let stats = engine.index_stats();
+        assert_eq!(stats.entries, 1, "one shared database, one cached index");
+        // Racing workers may build the one index more than once (builds are
+        // idempotent and not single-flighted), but never once per instance.
+        assert!(
+            stats.misses < batch.len() as u64 / 2,
+            "index cache ineffective under fan-out: {stats:?}"
+        );
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use cq_core::{
     BruteForceCountSolver, CountRegistry, CountSolver, Engine, EngineConfig, ForestCountSolver,
     PreparedQuery, TreeDecCountSolver,
 };
-use cq_structures::{core_of, count_homomorphisms_bruteforce, families, Structure};
+use cq_structures::{core_of, count_homomorphisms_bruteforce, families, Structure, StructureIndex};
 use cq_workloads::{random_digraph_structure, random_graph_structure};
 
 /// Thresholds generous enough that the structural counters admit most of
@@ -90,13 +90,14 @@ fn every_count_registry_solver_agrees_with_bruteforce_on_the_corpus() {
     let mut disagreements = Vec::new();
     for (label, query, target) in corpus() {
         let prepared = PreparedQuery::prepare(&query, &config);
+        let index = StructureIndex::new(&target);
         let expected = count_homomorphisms_bruteforce(&query, &target);
         for (name, solver) in solvers {
             if !solver.admits(&prepared, &config) {
                 continue;
             }
             comparisons += 1;
-            let got = solver.count(&prepared, &target).count;
+            let got = solver.count(&prepared, &target, &index).count;
             if got != expected {
                 disagreements.push(format!(
                     "{name} says {got}, brute force says {expected} on {label}:\n  query  {query}\n  target {target}"
@@ -115,6 +116,69 @@ fn every_count_registry_solver_agrees_with_bruteforce_on_the_corpus() {
     assert!(
         comparisons >= 150,
         "only {comparisons} counting comparisons ran — corpus or thresholds degenerated"
+    );
+}
+
+/// Kernel-vs-reference **counting** oracle: the kernel group-sum tree DP
+/// and the kernel forest sum–product must return the exact counts of the
+/// retained reference implementations (`count_hom_via_tree_decomposition`,
+/// `count_with_forest`) on every corpus pair, certificate for certificate.
+#[test]
+fn kernel_counting_agrees_with_the_retained_references_on_the_corpus() {
+    use cq_solver::kernel;
+    let config = oracle_config();
+    let mut comparisons = 0usize;
+    let mut disagreements = Vec::new();
+    for (label, query, target) in corpus() {
+        let prepared = PreparedQuery::prepare(&query, &config);
+        let index = StructureIndex::new(&target);
+        let analysis = prepared.counting_analysis();
+
+        let kernel_tree = kernel::count_hom_via_tree_decomposition_indexed(
+            prepared.original(),
+            &index,
+            &analysis.tree_decomposition,
+        );
+        let reference_tree = cq_solver::treedec::count_hom_via_tree_decomposition(
+            prepared.original(),
+            &target,
+            &analysis.tree_decomposition,
+        );
+        if kernel_tree.count != reference_tree {
+            disagreements.push(format!(
+                "TreeDec kernel counts {}, reference counts {reference_tree} on {label}:\n  query  {query}\n  target {target}",
+                kernel_tree.count
+            ));
+        }
+        comparisons += 1;
+
+        let kernel_forest = kernel::count_with_forest_indexed(
+            prepared.original(),
+            &index,
+            &analysis.elimination_forest,
+        );
+        let reference_forest = cq_solver::treedepth::count_with_forest(
+            prepared.original(),
+            &target,
+            &analysis.elimination_forest,
+        );
+        if kernel_forest.count != reference_forest {
+            disagreements.push(format!(
+                "Forest kernel counts {}, reference counts {reference_forest} on {label}:\n  query  {query}\n  target {target}",
+                kernel_forest.count
+            ));
+        }
+        comparisons += 1;
+    }
+    assert!(
+        disagreements.is_empty(),
+        "{} kernel counting disagreement(s):\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+    assert!(
+        comparisons >= 100,
+        "only {comparisons} kernel counting comparisons ran — corpus degenerated"
     );
 }
 

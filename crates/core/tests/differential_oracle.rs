@@ -17,7 +17,7 @@ use cq_core::{
     BacktrackSolver, EngineConfig, HomSolver, PathDpSolver, PreparedQuery, TreeDecSolver,
     TreeDepthSolver,
 };
-use cq_structures::{homomorphism_exists, Structure};
+use cq_structures::{homomorphism_exists, Structure, StructureIndex};
 use cq_workloads::{random_digraph_structure, random_graph_structure};
 
 /// Thresholds generous enough that every structural solver admits most of
@@ -87,7 +87,8 @@ fn every_registry_solver_agrees_with_backtracking_on_the_corpus() {
     let mut disagreements = Vec::new();
     for (label, query, target) in corpus() {
         let prepared = PreparedQuery::prepare(&query, &config);
-        let expected = reference.solve(&prepared, &target).exists;
+        let index = StructureIndex::new(&target);
+        let expected = reference.solve(&prepared, &target, &index).exists;
         // The reference itself must match the brute-force ground truth.
         assert_eq!(
             expected,
@@ -99,7 +100,7 @@ fn every_registry_solver_agrees_with_backtracking_on_the_corpus() {
                 continue;
             }
             comparisons += 1;
-            let got = solver.solve(&prepared, &target).exists;
+            let got = solver.solve(&prepared, &target, &index).exists;
             if got != expected {
                 disagreements.push(format!(
                     "{name} says {got}, backtracking says {expected} on {label}:\n  query  {query}\n  target {target}"
@@ -118,6 +119,110 @@ fn every_registry_solver_agrees_with_backtracking_on_the_corpus() {
     assert!(
         comparisons >= 100,
         "only {comparisons} solver comparisons ran — corpus or thresholds degenerated"
+    );
+}
+
+/// Kernel-vs-reference oracle: every kernel evaluation path (indexed tree
+/// DP, staircase sweep, forest decision, whole-query search) must agree
+/// with the **retained reference implementation** of its tier on every
+/// corpus pair — the differential guarantee that lets the registry
+/// dispatch to the kernel while the reference survives as ground truth.
+#[test]
+fn kernel_solvers_agree_with_the_retained_references_on_the_corpus() {
+    use cq_solver::kernel;
+    let config = oracle_config();
+    let mut comparisons = 0usize;
+    let mut disagreements = Vec::new();
+    let mut record = |name: &str,
+                      label: &str,
+                      got: bool,
+                      expected: bool,
+                      q: &Structure,
+                      t: &Structure| {
+        if got != expected {
+            disagreements.push(format!(
+                "{name} kernel says {got}, reference says {expected} on {label}:\n  query  {q}\n  target {t}"
+            ));
+        }
+    };
+    for (label, query, target) in corpus() {
+        let prepared = PreparedQuery::prepare(&query, &config);
+        let index = StructureIndex::new(&target);
+        let evaluated = prepared.evaluated();
+
+        // Tree DP: kernel hash-join DP vs the reference BTreeMap DP, on
+        // the same prepared certificate.
+        let td = &prepared.analysis().tree_decomposition;
+        let kernel_tree = kernel::hom_via_tree_decomposition_indexed(evaluated, &index, td);
+        let reference_tree = cq_solver::treedec::hom_via_tree_decomposition(evaluated, &target, td);
+        record(
+            "TreeDec",
+            &label,
+            kernel_tree.exists,
+            reference_tree,
+            &query,
+            &target,
+        );
+        comparisons += 1;
+
+        // Path sweep: kernel flat-row sweep vs the reference PartialHom
+        // frontier, on the same staircase.
+        let stair = prepared.staircase();
+        let kernel_path = kernel::hom_via_staircase_indexed(evaluated, &index, stair);
+        let reference_path = cq_solver::pathdp::hom_via_staircase(evaluated, &target, stair);
+        record(
+            "PathDp",
+            &label,
+            kernel_path.exists,
+            reference_path.exists,
+            &query,
+            &target,
+        );
+        comparisons += 1;
+
+        // Tree depth: kernel forest recursion vs the reference Lemma 3.3
+        // sentence model check.
+        let kernel_forest = kernel::hom_via_forest_indexed(
+            evaluated,
+            &index,
+            &prepared.analysis().elimination_forest,
+        );
+        let reference_sentence =
+            cq_solver::treedepth::hom_via_compiled_sentence(prepared.sentence(), &target);
+        record(
+            "TreeDepth",
+            &label,
+            kernel_forest.exists,
+            reference_sentence.exists,
+            &query,
+            &target,
+        );
+        comparisons += 1;
+
+        // Fallback search: kernel whole-query program vs the reference
+        // propagating backtracker.
+        let (witness, _) = kernel::find_hom_indexed(evaluated, &index, true);
+        let reference_bt =
+            cq_solver::backtrack::BacktrackSolver::default().exists(evaluated, &target);
+        record(
+            "Backtrack",
+            &label,
+            witness.is_some(),
+            reference_bt,
+            &query,
+            &target,
+        );
+        comparisons += 1;
+    }
+    assert!(
+        disagreements.is_empty(),
+        "{} kernel disagreement(s):\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+    assert!(
+        comparisons >= 200,
+        "only {comparisons} kernel comparisons ran — corpus degenerated"
     );
 }
 

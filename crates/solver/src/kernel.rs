@@ -1,0 +1,1120 @@
+//! The flat evaluation kernel: indexed, allocation-light inner loops for
+//! every DP solver in the registry.
+//!
+//! The reference implementations (`crate::treedec`, `crate::pathdp`,
+//! `crate::treedepth::count_with_forest`, the backtracking searches) are
+//! correct but spend their time in `BTreeMap<Element, Element>`
+//! ([`cq_structures::PartialHom`]) allocations, full-universe
+//! `|B|^{|bag|}` enumeration with leaf-only validity checks, and `O(n²)`
+//! linear-scan frontier joins.  The kernel replaces all three:
+//!
+//! * **[`BagProgram`]** — each bag is compiled once per evaluation into a
+//!   fixed element order with flat `u32` assignment rows, per-variable
+//!   candidate domains from a unary/incidence **prefilter** (an element of
+//!   the query occurring at position `p` of a tuple of symbol `R` can only
+//!   map to elements of `B` occurring at position `p` of `R^B` — read off
+//!   the [`StructureIndex`] posting lists), and constraints checked
+//!   **incrementally** the moment their last variable in the order is
+//!   assigned, so dead branches prune at depth 1 instead of the leaf;
+//! * **separator hash-joins** — the tree DP and the staircase sweep key
+//!   child/frontier tables on the projection onto the per-edge separator
+//!   (hoisted once per edge): decision becomes an O(1) hash-set existence
+//!   lookup, counting a precomputed group-sum lookup;
+//! * **index-driven candidate iteration** — the fallback search
+//!   ([`find_hom_indexed`]) is the whole-query [`BagProgram`] in fail-first
+//!   order, with O(1) tuple membership instead of per-check binary search.
+//!
+//! No `PartialHom` or `BTreeMap` is constructed in any per-assignment
+//! inner loop; the only per-row allocations are the surviving rows and
+//! join keys themselves.  The reference implementations remain exported —
+//! they are the oracle the differential tests pit the kernel against.
+
+use cq_decomp::{EliminationForest, PathDecomposition, TreeDecomposition};
+use cq_structures::{Element, Structure, StructureIndex};
+use cq_structures::{SymbolId, Tuple};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::pathdp::PathDpReport;
+
+/// Query-side compilation shared by every kernel entry point: the
+/// query-symbol → index-symbol translation and the per-element candidate
+/// domains produced by the unary/incidence prefilter.
+///
+/// The prefilter is sound for decision *and* counting: it removes a
+/// candidate image only when some query tuple containing the element could
+/// never be satisfied with it, which no full homomorphism violates.
+#[derive(Debug, Clone)]
+pub struct QueryDomains {
+    /// For each query element, its sorted candidate images in the target.
+    domains: Vec<Vec<u32>>,
+    /// Query [`SymbolId`] → target [`SymbolId`] (by name).
+    sym_map: Vec<Option<SymbolId>>,
+    /// `false` when some non-empty query relation has no matching target
+    /// relation — no homomorphism can exist at all.
+    satisfiable: bool,
+}
+
+impl QueryDomains {
+    /// Compile the prefilter for `a` against an indexed target.
+    pub fn compile(a: &Structure, index: &StructureIndex) -> QueryDomains {
+        let sym_map: Vec<Option<SymbolId>> = a
+            .vocabulary()
+            .ids()
+            .map(|id| {
+                index
+                    .vocabulary()
+                    .id_of(a.vocabulary().name(id))
+                    .filter(|&t| index.vocabulary().arity(t) == a.vocabulary().arity(id))
+            })
+            .collect();
+        let mut satisfiable = true;
+        for id in a.vocabulary().ids() {
+            if sym_map[id.index()].is_none() && !a.relation(id).is_empty() {
+                satisfiable = false;
+            }
+        }
+        if !satisfiable {
+            return QueryDomains {
+                domains: vec![Vec::new(); a.universe_size()],
+                sym_map,
+                satisfiable,
+            };
+        }
+        // Start from the full universe and intersect, for every occurrence
+        // of an element at (symbol, position), the target's position domain.
+        let full: Vec<u32> = (0..index.universe_size() as u32).collect();
+        let mut domains: Vec<Option<Vec<u32>>> = vec![None; a.universe_size()];
+        for (sym, t) in a.all_tuples() {
+            let target = sym_map[sym.index()].expect("checked non-empty relations above");
+            for (pos, &elem) in t.iter().enumerate() {
+                let allowed = index.elements_at(target, pos);
+                let current = domains[elem].get_or_insert_with(|| full.clone());
+                intersect_sorted(current, allowed);
+            }
+        }
+        QueryDomains {
+            domains: domains
+                .into_iter()
+                .map(|d| d.unwrap_or_else(|| full.clone()))
+                .collect(),
+            sym_map,
+            satisfiable,
+        }
+    }
+
+    /// Whether every non-empty query relation has a target counterpart.
+    pub fn satisfiable(&self) -> bool {
+        self.satisfiable
+    }
+
+    /// The candidate images of one query element.
+    pub fn domain(&self, element: Element) -> &[u32] {
+        &self.domains[element]
+    }
+}
+
+/// In-place intersection of a sorted vector with a sorted slice.
+fn intersect_sorted(current: &mut Vec<u32>, allowed: &[u32]) {
+    let mut write = 0;
+    let mut j = 0;
+    for i in 0..current.len() {
+        let v = current[i];
+        while j < allowed.len() && allowed[j] < v {
+            j += 1;
+        }
+        if j < allowed.len() && allowed[j] == v {
+            current[write] = v;
+            write += 1;
+        }
+    }
+    current.truncate(write);
+}
+
+/// One compiled constraint: a query tuple translated to the target symbol,
+/// its argument positions rewritten to depths in the bag's element order.
+#[derive(Debug, Clone)]
+struct Constraint {
+    sym: SymbolId,
+    arg_depths: Vec<u32>,
+}
+
+/// A bag compiled against one indexed target: fixed element order, flat
+/// `u32` candidate domains per depth, and the constraints of the query
+/// lying entirely inside the bag, grouped by the depth at which their last
+/// variable is assigned (see the module docs).
+#[derive(Debug, Clone)]
+pub struct BagProgram {
+    /// The bag's query elements in assignment order.
+    elems: Vec<Element>,
+    /// Candidate images per depth (prefilter domains).
+    domains: Vec<Vec<u32>>,
+    /// `checks[d]`: constraints whose deepest variable sits at depth `d`.
+    checks: Vec<Vec<Constraint>>,
+    /// Largest constraint arity (scratch-buffer sizing).
+    max_arity: usize,
+}
+
+impl BagProgram {
+    /// Compile the tuples of `a` lying entirely inside `elems` (which must
+    /// be duplicate-free) into an evaluation program over the given order.
+    pub fn compile(a: &Structure, doms: &QueryDomains, elems: &[Element]) -> BagProgram {
+        let mut depth_of: HashMap<Element, u32> = HashMap::with_capacity(elems.len());
+        for (d, &e) in elems.iter().enumerate() {
+            depth_of.insert(e, d as u32);
+        }
+        let mut checks: Vec<Vec<Constraint>> = vec![Vec::new(); elems.len()];
+        let mut max_arity = 0;
+        if doms.satisfiable {
+            for (sym, t) in a.all_tuples() {
+                let Some(arg_depths) = t
+                    .iter()
+                    .map(|e| depth_of.get(e).copied())
+                    .collect::<Option<Vec<u32>>>()
+                else {
+                    continue; // tuple not entirely inside the bag
+                };
+                let target = doms.sym_map[sym.index()].expect("satisfiable query");
+                let last = arg_depths.iter().copied().max().unwrap_or(0) as usize;
+                max_arity = max_arity.max(arg_depths.len());
+                checks[last].push(Constraint {
+                    sym: target,
+                    arg_depths,
+                });
+            }
+        }
+        let domains = elems
+            .iter()
+            .map(|&e| {
+                if doms.satisfiable {
+                    doms.domains[e].clone()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        BagProgram {
+            elems: elems.to_vec(),
+            domains,
+            checks,
+            max_arity,
+        }
+    }
+
+    /// The bag's element order.
+    pub fn elems(&self) -> &[Element] {
+        &self.elems
+    }
+
+    /// Check every constraint anchored at `depth` against the partial row.
+    #[inline]
+    fn checks_pass(
+        &self,
+        index: &StructureIndex,
+        depth: usize,
+        row: &[u32],
+        args: &mut Vec<u32>,
+    ) -> bool {
+        for c in &self.checks[depth] {
+            args.clear();
+            args.extend(c.arg_depths.iter().map(|&d| row[d as usize]));
+            if !index.contains(c.sym, args) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-depth hash-join attached to a [`BagProgram`] enumeration: the key is
+/// the row projected onto `key_depths`; the row survives only if the key is
+/// present in the table.  `depth` is the deepest key variable, so the join
+/// fires as early as the separator is fully assigned.
+struct Join<T> {
+    depth: usize,
+    key_depths: Vec<u32>,
+    table: HashMap<Vec<u32>, T>,
+}
+
+/// Recursive enumerator over a [`BagProgram`] with optional joins.  `acc`
+/// accumulates the product of counting-join factors along the path; the
+/// emit callback returns `true` to stop the whole enumeration (early exit
+/// for decision).
+#[allow(clippy::too_many_arguments)]
+fn enumerate<T: JoinValue>(
+    program: &BagProgram,
+    index: &StructureIndex,
+    joins_at: &[Vec<usize>],
+    joins: &[Join<T>],
+    depth: usize,
+    row: &mut [u32],
+    args: &mut Vec<u32>,
+    key: &mut Vec<u32>,
+    acc: u64,
+    emit: &mut impl FnMut(&[u32], u64) -> bool,
+) -> bool {
+    if depth == program.elems.len() {
+        return emit(row, acc);
+    }
+    for &candidate in &program.domains[depth] {
+        row[depth] = candidate;
+        if !program.checks_pass(index, depth, row, args) {
+            continue;
+        }
+        let mut next_acc = acc;
+        let mut pruned = false;
+        for &j in &joins_at[depth] {
+            let join = &joins[j];
+            key.clear();
+            key.extend(join.key_depths.iter().map(|&d| row[d as usize]));
+            match join.table.get(key.as_slice()) {
+                Some(v) => next_acc = v.fold(next_acc),
+                None => {
+                    pruned = true;
+                    break;
+                }
+            }
+        }
+        if pruned {
+            continue;
+        }
+        if enumerate(
+            program,
+            index,
+            joins_at,
+            joins,
+            depth + 1,
+            row,
+            args,
+            key,
+            next_acc,
+            emit,
+        ) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The value type a join table carries: unit for decision (existence), a
+/// group-sum for counting.
+trait JoinValue {
+    fn fold(&self, acc: u64) -> u64;
+}
+
+impl JoinValue for () {
+    fn fold(&self, acc: u64) -> u64 {
+        acc
+    }
+}
+
+impl JoinValue for u64 {
+    fn fold(&self, acc: u64) -> u64 {
+        acc.saturating_mul(*self)
+    }
+}
+
+/// Run a program with joins, emitting every surviving row.
+fn run_program<T: JoinValue>(
+    program: &BagProgram,
+    index: &StructureIndex,
+    joins: Vec<Join<T>>,
+    emit: &mut impl FnMut(&[u32], u64) -> bool,
+    initial_acc: u64,
+) {
+    let mut joins_at: Vec<Vec<usize>> = vec![Vec::new(); program.elems.len().max(1)];
+    for (j, join) in joins.iter().enumerate() {
+        joins_at[join.depth].push(j);
+    }
+    let mut row = vec![0u32; program.elems.len()];
+    let mut args = Vec::with_capacity(program.max_arity);
+    let mut key = Vec::new();
+    if program.elems.is_empty() {
+        // An empty bag has exactly the empty row; empty-key joins were
+        // folded into `initial_acc` by the caller.
+        emit(&row, initial_acc);
+        return;
+    }
+    enumerate(
+        program,
+        index,
+        &joins_at,
+        &joins,
+        0,
+        &mut row,
+        &mut args,
+        &mut key,
+        initial_acc,
+        emit,
+    );
+}
+
+/// Root the decomposition tree at bag 0: parents (`usize::MAX` for the
+/// root) plus a children-before-parents order.
+fn root_tree(td: &TreeDecomposition) -> (Vec<usize>, Vec<usize>) {
+    let n = td.tree.vertex_count();
+    let mut parent = vec![usize::MAX; n];
+    let mut visited = vec![false; n];
+    let mut stack = vec![(0usize, usize::MAX)];
+    let mut pre = Vec::with_capacity(n);
+    while let Some((v, p)) = stack.pop() {
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        parent[v] = p;
+        pre.push(v);
+        for w in td.tree.neighbors(v) {
+            if !visited[w] {
+                stack.push((w, v));
+            }
+        }
+    }
+    pre.reverse();
+    (parent, pre)
+}
+
+/// The viable-row table of one processed bag: the bag's element order plus
+/// the surviving rows (flat, `stride = elems.len()`), each with its subtree
+/// extension count (decision stores 1).
+struct BagTable {
+    elems: Vec<Element>,
+    rows: Vec<u32>,
+    counts: Vec<u64>,
+}
+
+impl BagTable {
+    fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        let w = self.elems.len();
+        &self.rows[i * w..(i + 1) * w]
+    }
+
+    /// Positions (in this table's order) of the given separator elements.
+    fn positions_of(&self, separator: &[Element]) -> Vec<u32> {
+        separator
+            .iter()
+            .map(|e| {
+                self.elems
+                    .iter()
+                    .position(|x| x == e)
+                    .expect("separator ⊆ bag") as u32
+            })
+            .collect()
+    }
+
+    /// Group the rows by their projection onto `positions`, summing counts
+    /// — the precomputed group-sum side of the separator hash-join.
+    fn group_sums(&self, positions: &[u32]) -> HashMap<Vec<u32>, u64> {
+        let mut table: HashMap<Vec<u32>, u64> = HashMap::with_capacity(self.len());
+        for i in 0..self.len() {
+            let row = self.row(i);
+            let key: Vec<u32> = positions.iter().map(|&p| row[p as usize]).collect();
+            let slot = table.entry(key).or_insert(0);
+            *slot = slot.saturating_add(self.counts[i]);
+        }
+        table
+    }
+}
+
+/// Metering of one kernel tree-DP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeDpRun {
+    /// Whether a homomorphism exists.
+    pub exists: bool,
+    /// The number of homomorphisms (only meaningful for the counting entry
+    /// point; decision runs leave it 0 on failure / unspecified otherwise).
+    pub count: u64,
+    /// The largest viable-row table stored for any bag.
+    pub peak_table: usize,
+}
+
+/// Shared skeleton of the kernel tree DP: bottom-up over the rooted
+/// decomposition, each parent-child edge joined by a hash table keyed on
+/// the projection onto the (per-edge, hoisted) separator.  `COUNTING`
+/// selects group-sum joins (exact counts) vs existence joins with
+/// first-row early exit at the root.
+fn tree_dp(
+    a: &Structure,
+    index: &StructureIndex,
+    td: &TreeDecomposition,
+    counting: bool,
+) -> TreeDpRun {
+    debug_assert!(td.is_valid_for(&cq_graphs::gaifman_graph(a)));
+    let doms = QueryDomains::compile(a, index);
+    let mut run = TreeDpRun::default();
+    if !doms.satisfiable {
+        return run;
+    }
+    let (parent, post) = root_tree(td);
+    let mut tables: Vec<Option<BagTable>> = (0..td.bags.len()).map(|_| None).collect();
+    for &t in &post {
+        let elems: Vec<Element> = td.bags[t].iter().copied().collect();
+        let program = BagProgram::compile(a, &doms, &elems);
+        let children: Vec<usize> = td.tree.neighbors(t).filter(|&c| parent[c] == t).collect();
+        // Hoist the separator (and its positions on both sides) once per
+        // edge; build the child-side hash table over it.
+        let mut joins: Vec<Join<u64>> = Vec::with_capacity(children.len());
+        let mut initial_acc = 1u64;
+        let mut dead = false;
+        for &c in &children {
+            let child = tables[c].take().expect("children before parents");
+            let separator: Vec<Element> = td.bags[t].intersection(&td.bags[c]).copied().collect();
+            let child_positions = child.positions_of(&separator);
+            let table = child.group_sums(&child_positions);
+            if separator.is_empty() {
+                // Independent component: a constant factor for every row.
+                match table.get([].as_slice()) {
+                    Some(&sum) if sum > 0 => {
+                        initial_acc = initial_acc.saturating_mul(if counting { sum } else { 1 })
+                    }
+                    _ => dead = true,
+                }
+                continue;
+            }
+            let key_depths: Vec<u32> = separator
+                .iter()
+                .map(|e| elems.iter().position(|x| x == e).expect("separator ⊆ bag") as u32)
+                .collect();
+            let depth = key_depths.iter().copied().max().unwrap_or(0) as usize;
+            joins.push(Join {
+                depth,
+                key_depths,
+                table,
+            });
+        }
+        let mut table = BagTable {
+            elems,
+            rows: Vec::new(),
+            counts: Vec::new(),
+        };
+        if !dead {
+            let is_root = parent[t] == usize::MAX;
+            let early_exit = !counting && is_root;
+            run_program(
+                &program,
+                index,
+                joins,
+                &mut |row, acc| {
+                    if acc > 0 {
+                        table.rows.extend_from_slice(row);
+                        table.counts.push(if counting { acc } else { 1 });
+                    }
+                    early_exit && acc > 0
+                },
+                initial_acc,
+            );
+        }
+        run.peak_table = run.peak_table.max(table.len());
+        if table.len() == 0 {
+            return run; // some bag admits nothing: no homomorphism
+        }
+        tables[t] = Some(table);
+    }
+    let root = *post.last().expect("decompositions have at least one bag");
+    let root_table = tables[root].as_ref().expect("root computed");
+    run.exists = root_table.len() > 0;
+    if counting {
+        run.count = root_table
+            .counts
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c));
+        run.exists = run.count > 0;
+    }
+    run
+}
+
+/// Decide `HOM(A, B)` by the kernel tree DP over a valid tree
+/// decomposition of `A`'s Gaifman graph (see the module docs; the
+/// reference implementation is [`crate::treedec::hom_via_tree_decomposition`]).
+pub fn hom_via_tree_decomposition_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    td: &TreeDecomposition,
+) -> TreeDpRun {
+    tree_dp(a, index, td, false)
+}
+
+/// Count homomorphisms from `a` into the indexed target by the kernel tree
+/// DP (group-sum separator joins; reference:
+/// [`crate::treedec::count_hom_via_tree_decomposition`]).
+pub fn count_hom_via_tree_decomposition_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    td: &TreeDecomposition,
+) -> TreeDpRun {
+    tree_dp(a, index, td, true)
+}
+
+/// Decide `HOM(A, B)` by sweeping a staircase path decomposition with flat
+/// frontier rows (reference: [`crate::pathdp::hom_via_staircase`]).
+///
+/// Forget steps project the frontier onto the surviving positions and
+/// deduplicate through a hash set (the separator in staircase form is the
+/// smaller bag itself); introduce steps extend each row through a
+/// [`BagProgram`] whose first depths are pinned to the row.
+pub fn hom_via_staircase_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    stair: &PathDecomposition,
+) -> PathDpReport {
+    debug_assert!(stair.is_staircase());
+    let mut report = PathDpReport {
+        exists: false,
+        peak_frontier: 0,
+        bags: stair.bags.len(),
+        width: stair.width(),
+    };
+    let doms = QueryDomains::compile(a, index);
+    if !doms.satisfiable {
+        return report;
+    }
+    // The frontier: rows over `order` (flat, stride = order.len()).
+    let mut order: Vec<Element> = match stair.bags.first() {
+        Some(first) => first.iter().copied().collect(),
+        None => Vec::new(),
+    };
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut frontier_len = 0usize;
+    {
+        let program = BagProgram::compile(a, &doms, &order);
+        run_program(
+            &program,
+            index,
+            Vec::<Join<()>>::new(),
+            &mut |row, _| {
+                frontier.extend_from_slice(row);
+                frontier_len += 1;
+                false
+            },
+            1,
+        );
+    }
+    report.peak_frontier = report.peak_frontier.max(frontier_len);
+    if frontier_len == 0 {
+        return report;
+    }
+
+    for window in stair.bags.windows(2) {
+        let (prev, next) = (&window[0], &window[1]);
+        let stride = order.len();
+        if next.is_subset(prev) {
+            // Forget step: project every row onto the surviving positions
+            // and deduplicate through a hash set.
+            let keep: Vec<Element> = next.iter().copied().collect();
+            let positions: Vec<usize> = keep
+                .iter()
+                .map(|e| order.iter().position(|x| x == e).expect("next ⊆ prev"))
+                .collect();
+            let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(frontier_len);
+            let mut new_frontier: Vec<u32> = Vec::new();
+            let mut new_len = 0usize;
+            for i in 0..frontier_len {
+                let row = &frontier[i * stride..(i + 1) * stride];
+                let projected: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
+                if seen.insert(projected.clone()) {
+                    new_frontier.extend_from_slice(&projected);
+                    new_len += 1;
+                }
+            }
+            order = keep;
+            frontier = new_frontier;
+            frontier_len = new_len;
+        } else {
+            // Introduce step: keep the previous order as a pinned prefix
+            // and enumerate the new elements behind it.  Constraints fully
+            // inside the old bag were checked when it was built; only
+            // checks anchored at the new depths run.
+            let new_elems: Vec<Element> = next.difference(prev).copied().collect();
+            let mut next_order = order.clone();
+            next_order.extend(new_elems.iter().copied());
+            let program = BagProgram::compile(a, &doms, &next_order);
+            let prefix_len = order.len();
+            let new_stride = next_order.len();
+            let mut new_frontier: Vec<u32> = Vec::new();
+            let mut new_len = 0usize;
+            let mut row = vec![0u32; new_stride];
+            let mut args = Vec::with_capacity(program.max_arity);
+            let mut key = Vec::new();
+            let joins_at: Vec<Vec<usize>> = vec![Vec::new(); new_stride.max(1)];
+            for i in 0..frontier_len {
+                row[..prefix_len].copy_from_slice(&frontier[i * stride..(i + 1) * stride]);
+                enumerate::<()>(
+                    &program,
+                    index,
+                    &joins_at,
+                    &[],
+                    prefix_len,
+                    &mut row,
+                    &mut args,
+                    &mut key,
+                    1,
+                    &mut |full, _| {
+                        new_frontier.extend_from_slice(full);
+                        new_len += 1;
+                        false
+                    },
+                );
+            }
+            order = next_order;
+            frontier = new_frontier;
+            frontier_len = new_len;
+        }
+        report.peak_frontier = report.peak_frontier.max(frontier_len);
+        if frontier_len == 0 {
+            return report;
+        }
+    }
+    report.exists = frontier_len > 0;
+    report
+}
+
+/// A forest compiled for the sum–product recursion: per node, the
+/// constraints anchored at it (the tuples of the query whose deepest
+/// element in the forest it is — all other elements are ancestors, hence
+/// assigned when the node is visited).
+struct ForestProgram {
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    checks: Vec<Vec<(SymbolId, Tuple)>>,
+    max_arity: usize,
+}
+
+impl ForestProgram {
+    fn compile(a: &Structure, doms: &QueryDomains, forest: &EliminationForest) -> ForestProgram {
+        let depths = forest.depths();
+        let mut checks: Vec<Vec<(SymbolId, Tuple)>> = vec![Vec::new(); a.universe_size()];
+        let mut max_arity = 0;
+        if doms.satisfiable {
+            for (sym, t) in a.all_tuples() {
+                let target = doms.sym_map[sym.index()].expect("satisfiable query");
+                let anchor = t
+                    .iter()
+                    .copied()
+                    .max_by_key(|&e| depths[e])
+                    .expect("tuples are non-empty");
+                max_arity = max_arity.max(t.len());
+                checks[anchor].push((target, t.clone()));
+            }
+        }
+        ForestProgram {
+            children: forest.children(),
+            roots: forest.roots(),
+            checks,
+            max_arity,
+        }
+    }
+}
+
+/// Result of a kernel forest evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForestRun {
+    /// Whether a homomorphism exists.
+    pub exists: bool,
+    /// The number of homomorphisms (exact for the counting entry point;
+    /// the decision entry point stops early and leaves it unspecified).
+    pub count: u64,
+    /// Candidate images tried across the whole run (a work figure).
+    pub assignments: u64,
+}
+
+/// Shared recursion of the forest evaluations: count extensions of the
+/// current ancestor assignment to the subtree at `v`; with `decide` set,
+/// stop at the first witness (the count degenerates to 0/1).
+#[allow(clippy::too_many_arguments)]
+fn forest_subtree(
+    program: &ForestProgram,
+    doms: &QueryDomains,
+    index: &StructureIndex,
+    v: usize,
+    assignment: &mut [u32],
+    args: &mut Vec<u32>,
+    stats: &mut u64,
+    decide: bool,
+) -> u64 {
+    let mut total = 0u64;
+    'candidates: for &image in doms.domain(v) {
+        *stats += 1;
+        assignment[v] = image;
+        for (sym, t) in &program.checks[v] {
+            args.clear();
+            args.extend(t.iter().map(|&e| assignment[e]));
+            if !index.contains(*sym, args) {
+                continue 'candidates;
+            }
+        }
+        let mut product = 1u64;
+        for &c in &program.children[v] {
+            let c_count = forest_subtree(program, doms, index, c, assignment, args, stats, decide);
+            product = product.saturating_mul(c_count);
+            if product == 0 {
+                break;
+            }
+        }
+        total = total.saturating_add(product);
+        if decide && total > 0 {
+            return total;
+        }
+    }
+    total
+}
+
+/// Shared driver of the forest evaluations.
+fn forest_eval(
+    a: &Structure,
+    index: &StructureIndex,
+    forest: &EliminationForest,
+    decide: bool,
+) -> ForestRun {
+    debug_assert!(forest.is_valid_for(&cq_graphs::gaifman_graph(a)));
+    let doms = QueryDomains::compile(a, index);
+    let mut run = ForestRun::default();
+    if !doms.satisfiable {
+        return run;
+    }
+    let program = ForestProgram::compile(a, &doms, forest);
+    let mut assignment = vec![0u32; a.universe_size()];
+    let mut args = Vec::with_capacity(program.max_arity);
+    let mut result = 1u64;
+    for &root in &program.roots {
+        let c = forest_subtree(
+            &program,
+            &doms,
+            index,
+            root,
+            &mut assignment,
+            &mut args,
+            &mut run.assignments,
+            decide,
+        );
+        result = result.saturating_mul(c);
+        if result == 0 {
+            break;
+        }
+    }
+    run.count = result;
+    run.exists = result > 0;
+    run
+}
+
+/// Count homomorphisms by the kernel sum–product recursion over an
+/// elimination forest of `a` (reference:
+/// [`crate::treedepth::count_with_forest`]).
+pub fn count_with_forest_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    forest: &EliminationForest,
+) -> ForestRun {
+    forest_eval(a, index, forest, false)
+}
+
+/// Decide `HOM(A, B)` by the same recursion with first-witness early exit
+/// — the kernel decision procedure licensed by bounded tree depth.
+pub fn hom_via_forest_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    forest: &EliminationForest,
+) -> ForestRun {
+    forest_eval(a, index, forest, true)
+}
+
+/// Statistics of one kernel backtracking search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelSearchStats {
+    /// Candidate images tried.
+    pub assignments: u64,
+    /// Whether the prefilter alone refuted the instance (some domain
+    /// empty before any search).
+    pub decided_by_prefilter: bool,
+}
+
+/// The structure-agnostic kernel fallback: the whole query compiled as a
+/// single [`BagProgram`] (index-driven candidate domains, incremental
+/// constraint checks) searched for a first complete row.
+///
+/// With `fail_first` the element order is by increasing prefilter-domain
+/// size; otherwise element order.  Returns the witness as a total map plus
+/// search statistics.  (Reference: the backtracking searches of
+/// [`crate::backtrack::BacktrackSolver`] and
+/// [`cq_structures::find_homomorphism`].)
+pub fn find_hom_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    fail_first: bool,
+) -> (Option<Vec<Element>>, KernelSearchStats) {
+    let doms = QueryDomains::compile(a, index);
+    let mut stats = KernelSearchStats::default();
+    if !doms.satisfiable || doms.domains.iter().any(|d| d.is_empty()) {
+        stats.decided_by_prefilter = true;
+        return (None, stats);
+    }
+    let mut order: Vec<Element> = (0..a.universe_size()).collect();
+    if fail_first {
+        order.sort_by_key(|&e| doms.domains[e].len());
+    }
+    let program = BagProgram::compile(a, &doms, &order);
+    let mut witness: Option<Vec<Element>> = None;
+    // Count assignments through a depth-tracking emit wrapper: every
+    // candidate write is one assignment, counted in `checks_pass`'s caller
+    // — run_program has no hook, so search manually here.
+    let mut row = vec![0u32; order.len()];
+    let mut args = Vec::with_capacity(program.max_arity);
+    fn search(
+        program: &BagProgram,
+        index: &StructureIndex,
+        depth: usize,
+        row: &mut [u32],
+        args: &mut Vec<u32>,
+        assignments: &mut u64,
+    ) -> bool {
+        if depth == program.elems.len() {
+            return true;
+        }
+        for &candidate in &program.domains[depth] {
+            *assignments += 1;
+            row[depth] = candidate;
+            if program.checks_pass(index, depth, row, args)
+                && search(program, index, depth + 1, row, args, assignments)
+            {
+                return true;
+            }
+        }
+        false
+    }
+    if search(
+        &program,
+        index,
+        0,
+        &mut row,
+        &mut args,
+        &mut stats.assignments,
+    ) {
+        let mut total = vec![0 as Element; a.universe_size()];
+        for (d, &e) in order.iter().enumerate() {
+            total[e] = row[d] as Element;
+        }
+        witness = Some(total);
+    }
+    (witness, stats)
+}
+
+/// Enumerate the valid assignments of one bag as flat rows over the sorted
+/// bag order — the kernel replacement for the reference `bag_assignments`
+/// helper (exposed for tests and ad-hoc callers).
+pub fn bag_rows_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    bag: &BTreeSet<Element>,
+) -> (Vec<Element>, Vec<u32>) {
+    let doms = QueryDomains::compile(a, index);
+    let elems: Vec<Element> = bag.iter().copied().collect();
+    let program = BagProgram::compile(a, &doms, &elems);
+    let mut rows = Vec::new();
+    if doms.satisfiable {
+        run_program(
+            &program,
+            index,
+            Vec::<Join<()>>::new(),
+            &mut |row, _| {
+                rows.extend_from_slice(row);
+                false
+            },
+            1,
+        );
+    }
+    (elems, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_decomp::pathwidth::pathwidth_of_structure;
+    use cq_decomp::treedepth::treedepth_exact;
+    use cq_decomp::treewidth::treewidth_of_structure;
+    use cq_graphs::gaifman_graph;
+    use cq_structures::{
+        count_homomorphisms_bruteforce, families, homomorphism_exists, star_expansion,
+    };
+
+    fn pairs() -> Vec<(Structure, Structure)> {
+        let queries = [
+            families::path(3),
+            families::path(5),
+            families::cycle(3),
+            families::cycle(4),
+            families::cycle(5),
+            families::star(3),
+            families::directed_path(4),
+            families::grid(2, 2),
+            families::complete_bipartite(2, 2),
+        ];
+        let targets = [
+            families::path(4),
+            families::cycle(5),
+            families::cycle(6),
+            families::clique(3),
+            families::clique(4),
+            families::grid(2, 3),
+            families::directed_cycle(5),
+        ];
+        queries
+            .iter()
+            .flat_map(|a| targets.iter().map(move |b| (a.clone(), b.clone())))
+            .collect()
+    }
+
+    #[test]
+    fn tree_dp_decision_and_count_match_bruteforce() {
+        for (a, b) in pairs() {
+            let (_, td) = treewidth_of_structure(&a);
+            let index = StructureIndex::new(&b);
+            let decide = hom_via_tree_decomposition_indexed(&a, &index, &td);
+            assert_eq!(decide.exists, homomorphism_exists(&a, &b), "{a} -> {b}");
+            let count = count_hom_via_tree_decomposition_indexed(&a, &index, &td);
+            assert_eq!(
+                count.count,
+                count_homomorphisms_bruteforce(&a, &b),
+                "{a} -> {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn staircase_sweep_matches_reference() {
+        for (a, b) in pairs() {
+            let (_, pd) = pathwidth_of_structure(&a);
+            let stair = pd.normalize_staircase();
+            let index = StructureIndex::new(&b);
+            let kernel = hom_via_staircase_indexed(&a, &index, &stair);
+            let reference = crate::pathdp::hom_via_staircase(&a, &b, &stair);
+            assert_eq!(kernel.exists, reference.exists, "{a} -> {b}");
+            assert_eq!(kernel.bags, reference.bags);
+            assert_eq!(kernel.width, reference.width);
+            // The kernel prefilter can only shrink the frontier.
+            assert!(
+                kernel.peak_frontier <= reference.peak_frontier,
+                "kernel frontier grew on {a} -> {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_count_and_decide_match_bruteforce() {
+        for (a, b) in pairs() {
+            let g = gaifman_graph(&a);
+            let (_, forest) = treedepth_exact(&g);
+            let index = StructureIndex::new(&b);
+            let count = count_with_forest_indexed(&a, &index, &forest);
+            assert_eq!(
+                count.count,
+                count_homomorphisms_bruteforce(&a, &b),
+                "{a} -> {b}"
+            );
+            let decide = hom_via_forest_indexed(&a, &index, &forest);
+            assert_eq!(decide.exists, homomorphism_exists(&a, &b), "{a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn whole_query_search_matches_reference() {
+        for (a, b) in pairs() {
+            let index = StructureIndex::new(&b);
+            for fail_first in [true, false] {
+                let (witness, _) = find_hom_indexed(&a, &index, fail_first);
+                assert_eq!(witness.is_some(), homomorphism_exists(&a, &b), "{a} -> {b}");
+                if let Some(h) = witness {
+                    assert!(cq_structures::is_homomorphism(&a, &b, &h), "{a} -> {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colored_instances_prefilter_to_singletons() {
+        let q = star_expansion(&families::path(4));
+        let index = StructureIndex::new(&q);
+        let doms = QueryDomains::compile(&q, &index);
+        assert!(doms.satisfiable());
+        for e in 0..q.universe_size() {
+            assert_eq!(doms.domain(e), &[e as u32], "colour pins element {e}");
+        }
+        let (witness, stats) = find_hom_indexed(&q, &index, true);
+        assert!(witness.is_some());
+        assert_eq!(stats.assignments, q.universe_size() as u64);
+    }
+
+    #[test]
+    fn missing_target_symbol_is_unsatisfiable() {
+        let q = star_expansion(&families::path(3));
+        let plain = families::path(5);
+        let index = StructureIndex::new(&plain);
+        let doms = QueryDomains::compile(&q, &index);
+        assert!(!doms.satisfiable());
+        let (_, td) = treewidth_of_structure(&q);
+        assert!(!hom_via_tree_decomposition_indexed(&q, &index, &td).exists);
+        assert_eq!(
+            count_hom_via_tree_decomposition_indexed(&q, &index, &td).count,
+            0
+        );
+        let (_, pd) = pathwidth_of_structure(&q);
+        assert!(!hom_via_staircase_indexed(&q, &index, &pd.normalize_staircase()).exists);
+        let g = gaifman_graph(&q);
+        let (_, forest) = treedepth_exact(&g);
+        assert_eq!(count_with_forest_indexed(&q, &index, &forest).count, 0);
+        let (witness, stats) = find_hom_indexed(&q, &index, true);
+        assert!(witness.is_none());
+        assert!(stats.decided_by_prefilter);
+    }
+
+    #[test]
+    fn trivial_decomposition_reduces_to_prefiltered_bruteforce() {
+        let a = families::cycle(4);
+        let b = families::cycle(6);
+        let td = TreeDecomposition::trivial(&gaifman_graph(&a));
+        let index = StructureIndex::new(&b);
+        assert!(hom_via_tree_decomposition_indexed(&a, &index, &td).exists);
+        assert_eq!(
+            count_hom_via_tree_decomposition_indexed(&a, &index, &td).count,
+            count_homomorphisms_bruteforce(&a, &b)
+        );
+    }
+
+    #[test]
+    fn bag_rows_match_reference_bag_assignments() {
+        let a = families::cycle(5);
+        let b = families::clique(3);
+        let index = StructureIndex::new(&b);
+        let bag: BTreeSet<Element> = [0, 1, 2].into_iter().collect();
+        let (elems, rows) = bag_rows_indexed(&a, &index, &bag);
+        assert_eq!(elems, vec![0, 1, 2]);
+        let stride = elems.len();
+        let mut kernel_rows: Vec<Vec<u32>> = rows.chunks(stride).map(|r| r.to_vec()).collect();
+        kernel_rows.sort();
+        let reference = crate::treedec::reference_bag_assignments(&a, &b, &bag);
+        let mut reference_rows: Vec<Vec<u32>> = reference
+            .iter()
+            .map(|h| elems.iter().map(|&e| h.get(e).unwrap() as u32).collect())
+            .collect();
+        reference_rows.sort();
+        assert_eq!(kernel_rows, reference_rows);
+    }
+
+    #[test]
+    fn disconnected_queries_multiply_components() {
+        // Two disjoint edges into K3: 6 * 6 = 36 homomorphisms; the
+        // tree decomposition has two components joined arbitrarily, so the
+        // empty-separator group-sum path is exercised.
+        let (two_edges, _) =
+            cq_structures::disjoint_union(&[&families::path(2), &families::path(2)]).unwrap();
+        let k3 = families::clique(3);
+        let index = StructureIndex::new(&k3);
+        let (_, td) = treewidth_of_structure(&two_edges);
+        assert_eq!(
+            count_hom_via_tree_decomposition_indexed(&two_edges, &index, &td).count,
+            count_homomorphisms_bruteforce(&two_edges, &k3)
+        );
+        assert!(hom_via_tree_decomposition_indexed(&two_edges, &index, &td).exists);
+    }
+}

@@ -16,6 +16,12 @@
 //! Lemma 3.14/3.15): the concrete PATH-complete problems of Theorem 4.7 —
 //! `p-st-PATH`, `p-EMB(P)` (k-path), `p-EMB(C)` (k-cycle) and their directed
 //! versions — have dedicated solvers in [`problems`].
+//!
+//! The table above names the **reference** implementations; the [`kernel`]
+//! module provides the indexed, flat-row production counterparts of each
+//! (compiled bag programs, prefilter domains, separator hash-joins) that
+//! the engine's registries actually dispatch to — the reference versions
+//! are retained as the oracle the kernel is differentially tested against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +29,7 @@
 pub mod backtrack;
 pub mod colour_coding;
 pub mod domains;
+pub mod kernel;
 pub mod pathdp;
 pub mod problems;
 pub mod treedec;
@@ -31,6 +38,12 @@ pub mod treedepth;
 pub use backtrack::BacktrackSolver;
 pub use colour_coding::{hash_coloring, ColorCodingConfig};
 pub use domains::{arc_consistency, initial_domains, Domains};
+pub use kernel::{
+    bag_rows_indexed, count_hom_via_tree_decomposition_indexed, count_with_forest_indexed,
+    find_hom_indexed, hom_via_forest_indexed, hom_via_staircase_indexed,
+    hom_via_tree_decomposition_indexed, BagProgram, ForestRun, KernelSearchStats, QueryDomains,
+    TreeDpRun,
+};
 pub use pathdp::{hom_via_path_decomposition, hom_via_staircase, PathDpReport};
 pub use problems::{has_k_cycle, has_k_path, st_path_at_most};
 pub use treedec::{count_hom_via_tree_decomposition, hom_via_tree_decomposition};

@@ -30,34 +30,7 @@ pub struct PathDpReport {
     pub width: usize,
 }
 
-/// Enumerate the valid assignments of a single bag (all tuples of `a` inside
-/// the bag must be satisfied).
-fn bag_assignments(a: &Structure, b: &Structure, bag: &BTreeSet<Element>) -> Vec<PartialHom> {
-    let elems: Vec<Element> = bag.iter().copied().collect();
-    let mut out = Vec::new();
-    fn rec(
-        a: &Structure,
-        b: &Structure,
-        elems: &[Element],
-        current: &mut Vec<Element>,
-        out: &mut Vec<PartialHom>,
-    ) {
-        if current.len() == elems.len() {
-            let h = PartialHom::from_pairs(elems.iter().copied().zip(current.iter().copied()));
-            if cq_structures::is_partial_homomorphism(a, b, &h) {
-                out.push(h);
-            }
-            return;
-        }
-        for candidate in b.universe() {
-            current.push(candidate);
-            rec(a, b, elems, current, out);
-            current.pop();
-        }
-    }
-    rec(a, b, &elems, &mut Vec::new(), &mut out);
-    out
-}
+use crate::treedec::reference_bag_assignments;
 
 /// Decide `HOM(A, B)` by sweeping the given path decomposition of (the
 /// Gaifman graph of) `A` left to right, keeping only the frontier of viable
@@ -90,7 +63,7 @@ pub fn hom_via_staircase(a: &Structure, b: &Structure, stair: &PathDecomposition
     };
 
     let mut frontier: Vec<PartialHom> = match stair.bags.first() {
-        Some(first) => bag_assignments(a, b, first),
+        Some(first) => reference_bag_assignments(a, b, first),
         None => vec![PartialHom::empty()],
     };
     report.peak_frontier = report.peak_frontier.max(frontier.len());

@@ -26,7 +26,17 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Enumerate all partial homomorphisms from the elements `bag` of `a` into
 /// `b` (assignments of every bag element that satisfy all tuples of `a` lying
 /// entirely inside the bag).
-fn bag_assignments(a: &Structure, b: &Structure, bag: &BTreeSet<Element>) -> Vec<PartialHom> {
+///
+/// This is the shared **reference** helper behind both the tree DP and the
+/// path sweep (the kernel counterpart is
+/// [`crate::kernel::bag_rows_indexed`]); it is deliberately simple — full
+/// `|B|^{|bag|}` enumeration with a leaf validity check — because it is the
+/// oracle the kernel is differentially tested against.
+pub(crate) fn reference_bag_assignments(
+    a: &Structure,
+    b: &Structure,
+    bag: &BTreeSet<Element>,
+) -> Vec<PartialHom> {
     let elems: Vec<Element> = bag.iter().copied().collect();
     let mut out = Vec::new();
     let mut current: Vec<Element> = Vec::with_capacity(elems.len());
@@ -95,7 +105,7 @@ pub fn hom_via_tree_decomposition(a: &Structure, b: &Structure, td: &TreeDecompo
     // For each bag: the set of bag assignments that extend downwards.
     let mut viable: Vec<Option<BTreeSet<PartialHom>>> = vec![None; n_bags];
     for &t in &post {
-        let own = bag_assignments(a, b, &td.bags[t]);
+        let own = reference_bag_assignments(a, b, &td.bags[t]);
         let children: Vec<usize> = td.tree.neighbors(t).filter(|&c| parent[c] == t).collect();
         let mut ok = BTreeSet::new();
         'assignments: for h in own {
@@ -138,18 +148,23 @@ pub fn count_hom_via_tree_decomposition(
     // union of bags in the subtree of t.
     let mut counts: Vec<Option<BTreeMap<PartialHom, u64>>> = vec![None; n_bags];
     for &t in &post {
-        let own = bag_assignments(a, b, &td.bags[t]);
+        let own = reference_bag_assignments(a, b, &td.bags[t]);
         let children: Vec<usize> = td.tree.neighbors(t).filter(|&c| parent[c] == t).collect();
+        // The separator X_t ∩ X_c depends only on the edge, not on the
+        // assignment: hoist it out of the per-assignment loop.
+        let separators: Vec<Vec<Element>> = children
+            .iter()
+            .map(|&c| td.bags[t].intersection(&td.bags[c]).copied().collect())
+            .collect();
         let mut map = BTreeMap::new();
         for h in own {
             let mut total: u64 = 1;
-            for &c in &children {
+            for (&c, shared) in children.iter().zip(&separators) {
                 let child_counts = counts[c].as_ref().expect("post-order");
                 // Number of subtree-of-c extensions compatible with h, where
                 // we must not double count the shared vertices X_t ∩ X_c: we
                 // sum over child assignments h_c that agree with h on the
                 // intersection, and each contributes its own extension count.
-                let shared: Vec<Element> = td.bags[t].intersection(&td.bags[c]).copied().collect();
                 let sum: u64 = child_counts
                     .iter()
                     .filter(|(hc, _)| shared.iter().all(|&v| hc.get(v) == h.get(v)))

@@ -172,10 +172,15 @@ pub fn is_partial_homomorphism(a: &Structure, b: &Structure, h: &PartialHom) -> 
     {
         return false;
     }
+    // Hoist the name-based symbol translation once per call instead of
+    // recomputing it for every tuple.  The stricter `symbol_map` is not
+    // usable here: partial-homomorphism semantics only care about symbols
+    // whose tuples lie entirely inside the domain of `h`.
+    let translation = name_translation(a, b);
     for (sym, t) in a.all_tuples() {
         let mapped: Option<Tuple> = t.iter().map(|&e| h.get(e)).collect();
         if let Some(mapped) = mapped {
-            let Some(target_sym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
+            let Some(target_sym) = translation[sym.index()] else {
                 return false;
             };
             if !b.contains(target_sym, &mapped) {
@@ -186,26 +191,35 @@ pub fn is_partial_homomorphism(a: &Structure, b: &Structure, h: &PartialHom) -> 
     true
 }
 
+/// Name-based translation table from `a`'s vocabulary ids to `b`'s (`None`
+/// where `b` does not interpret the name) — computed once per call site
+/// instead of once per tuple.
+fn name_translation(a: &Structure, b: &Structure) -> Vec<Option<SymbolId>> {
+    a.vocabulary()
+        .ids()
+        .map(|id| b.vocabulary().id_of(a.vocabulary().name(id)))
+        .collect()
+}
+
 /// Symbol translation table from `a`'s vocabulary ids to `b`'s, used by the
-/// backtracking search so that name lookups happen once.
+/// backtracking search so that name lookups happen once.  Stricter than
+/// [`name_translation`]: a missing or arity-mismatched target symbol is an
+/// error unless `a` never uses it.
 fn symbol_map(a: &Structure, b: &Structure) -> Option<Vec<Option<SymbolId>>> {
-    let mut map = Vec::with_capacity(a.vocabulary().len());
-    for id in a.vocabulary().ids() {
-        let target = b.vocabulary().id_of(a.vocabulary().name(id));
+    let translation = name_translation(a, b);
+    for (id, target) in a.vocabulary().ids().zip(&translation) {
         match target {
-            Some(t) if b.vocabulary().arity(t) == a.vocabulary().arity(id) => map.push(Some(t)),
+            Some(t) if b.vocabulary().arity(*t) == a.vocabulary().arity(id) => {}
             Some(_) => return None,
             None => {
                 // Missing symbols are only acceptable when A does not use them.
-                if a.relation(id).is_empty() {
-                    map.push(None);
-                } else {
+                if !a.relation(id).is_empty() {
                     return None;
                 }
             }
         }
     }
-    Some(map)
+    Some(translation)
 }
 
 struct Search<'a> {

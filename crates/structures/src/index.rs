@@ -1,0 +1,258 @@
+//! Indexed access structures over a target structure — the read-optimized
+//! form the evaluation kernel (`cq_solver::kernel`) consumes.
+//!
+//! All homomorphism algorithms ask the target structure `B` the same two
+//! questions, millions of times: "is this tuple in `R^B`?" and "which
+//! elements of `B` can sit at position `p` of a tuple of `R^B`?".  The
+//! [`Structure`] representation answers the first by binary search over a
+//! sorted tuple list and cannot answer the second without a scan.  A
+//! [`StructureIndex`] is built **once** per target structure (linear time
+//! in `|B|`) and answers both in `O(1)`:
+//!
+//! * a per-symbol **tuple hash set** over flat `u32` rows — constant-time
+//!   membership without comparing `Vec<usize>` tuples;
+//! * per-(symbol, position, element) **posting lists** — for every element
+//!   `e` and argument position `p` of a symbol `R`, the list of tuples of
+//!   `R^B` with `e` at position `p`, exposed through candidate iterators
+//!   ([`StructureIndex::tuples_with`]) and the deduplicated position
+//!   domains ([`StructureIndex::elements_at`]) the kernel's prefilter
+//!   intersects.
+//!
+//! The engine (`cq_core::Engine`) caches one `Arc<StructureIndex>` per
+//! registered database instance so that batch fan-out — decision and
+//! counting alike — shares a single build.  [`structure_hash`] is the
+//! deterministic content hash that cache keys on.
+
+use crate::structure::{Structure, Tuple};
+use crate::vocabulary::{SymbolId, Vocabulary};
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// The per-symbol part of a [`StructureIndex`].
+#[derive(Debug, Clone, Default)]
+struct RelationIndex {
+    arity: usize,
+    /// Tuples of the relation, flattened row-major (`arity` entries per
+    /// tuple, original sorted order preserved).
+    flat: Vec<u32>,
+    /// Hash set over the rows of `flat` for O(1) membership.  Keys are
+    /// owned `Vec<u32>` so lookups can borrow a scratch `&[u32]` without
+    /// allocating.
+    members: HashSet<Vec<u32>>,
+    /// `postings[pos][element]`: indices (into the tuple list) of the
+    /// tuples holding `element` at argument position `pos`.
+    postings: Vec<HashMap<u32, Vec<u32>>>,
+    /// `elements_at[pos]`: the sorted, deduplicated elements occurring at
+    /// argument position `pos` — the position domain the kernel prefilter
+    /// intersects.
+    elements_at: Vec<Vec<u32>>,
+}
+
+impl RelationIndex {
+    fn build(arity: usize, tuples: &[Tuple]) -> RelationIndex {
+        let mut flat = Vec::with_capacity(tuples.len() * arity);
+        let mut members = HashSet::with_capacity(tuples.len());
+        let mut postings: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); arity];
+        for (idx, t) in tuples.iter().enumerate() {
+            let row: Vec<u32> = t.iter().map(|&e| e as u32).collect();
+            for (pos, &e) in row.iter().enumerate() {
+                postings[pos].entry(e).or_default().push(idx as u32);
+            }
+            flat.extend_from_slice(&row);
+            members.insert(row);
+        }
+        let elements_at = postings
+            .iter()
+            .map(|by_elem| {
+                let mut elems: Vec<u32> = by_elem.keys().copied().collect();
+                elems.sort_unstable();
+                elems
+            })
+            .collect();
+        RelationIndex {
+            arity,
+            flat,
+            members,
+            postings,
+            elements_at,
+        }
+    }
+
+    fn tuple(&self, idx: usize) -> &[u32] {
+        &self.flat[idx * self.arity..(idx + 1) * self.arity]
+    }
+}
+
+/// An immutable read index over one target structure: tuple hash sets plus
+/// positional posting lists (see the module docs).  Build once with
+/// [`StructureIndex::new`], share via `Arc` across evaluations and worker
+/// threads.
+#[derive(Debug, Clone)]
+pub struct StructureIndex {
+    universe_size: usize,
+    vocab: Vocabulary,
+    relations: Vec<RelationIndex>,
+}
+
+impl StructureIndex {
+    /// Build the index for a target structure (linear in `|B|`).
+    pub fn new(b: &Structure) -> StructureIndex {
+        assert!(
+            b.universe_size() < u32::MAX as usize,
+            "StructureIndex represents elements as u32"
+        );
+        let vocab = b.vocabulary().clone();
+        let relations = vocab
+            .ids()
+            .map(|sym| RelationIndex::build(vocab.arity(sym), b.relation(sym).tuples()))
+            .collect();
+        StructureIndex {
+            universe_size: b.universe_size(),
+            vocab,
+            relations,
+        }
+    }
+
+    /// Size of the indexed structure's universe.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// The vocabulary of the indexed structure (used to translate query
+    /// symbols into index symbols once, at kernel compile time).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of tuples interpreted for `sym`.
+    pub fn tuple_count(&self, sym: SymbolId) -> usize {
+        let r = &self.relations[sym.index()];
+        r.flat.len().checked_div(r.arity).unwrap_or(0)
+    }
+
+    /// O(1) membership test `t ∈ R^B` over a flat row.
+    #[inline]
+    pub fn contains(&self, sym: SymbolId, t: &[u32]) -> bool {
+        self.relations[sym.index()].members.contains(t)
+    }
+
+    /// Candidate iterator: the tuples of `sym` holding `element` at
+    /// argument position `pos`, as flat rows.
+    pub fn tuples_with(
+        &self,
+        sym: SymbolId,
+        pos: usize,
+        element: u32,
+    ) -> impl Iterator<Item = &[u32]> + '_ {
+        let r = &self.relations[sym.index()];
+        r.postings[pos]
+            .get(&element)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&idx| r.tuple(idx as usize))
+    }
+
+    /// The sorted, deduplicated elements occurring at argument position
+    /// `pos` of `sym` — the position domain intersected by the kernel's
+    /// unary/incidence prefilter.
+    pub fn elements_at(&self, sym: SymbolId, pos: usize) -> &[u32] {
+        &self.relations[sym.index()].elements_at[pos]
+    }
+
+    /// How many tuples of `sym` hold `element` at position `pos` (posting
+    /// list length; `0` when the element never occurs there).
+    pub fn occurrence_count(&self, sym: SymbolId, pos: usize, element: u32) -> usize {
+        self.relations[sym.index()].postings[pos]
+            .get(&element)
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+}
+
+/// A deterministic content hash of a structure (universe size, vocabulary,
+/// and every relation's tuple list).  Two equal structures hash equal across
+/// processes — the engine's instance-index cache keys on this and confirms
+/// candidates by full structural equality, so a collision degrades to a
+/// rebuild, never to a wrong index.
+pub fn structure_hash(s: &Structure) -> u64 {
+    // DefaultHasher with default keys is deterministic for a given Rust
+    // release; cross-release stability is not required (the cache is
+    // in-memory only).
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.universe_size().hash(&mut h);
+    s.vocabulary().len().hash(&mut h);
+    for sym in s.vocabulary().ids() {
+        s.vocabulary().name(sym).hash(&mut h);
+        s.vocabulary().arity(sym).hash(&mut h);
+        let rel = s.relation(sym);
+        rel.len().hash(&mut h);
+        for t in rel.tuples() {
+            t.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn membership_matches_the_structure() {
+        let b = families::cycle(5);
+        let idx = StructureIndex::new(&b);
+        let e = b.vocabulary().id_of("E").unwrap();
+        for (sym, t) in b.all_tuples() {
+            let row: Vec<u32> = t.iter().map(|&x| x as u32).collect();
+            assert!(idx.contains(sym, &row));
+        }
+        assert!(!idx.contains(e, &[0, 2]));
+        assert!(!idx.contains(e, &[0, 0]));
+        assert_eq!(idx.tuple_count(e), b.relation(e).len());
+        assert_eq!(idx.universe_size(), 5);
+    }
+
+    #[test]
+    fn posting_lists_enumerate_exactly_the_incident_tuples() {
+        let b = families::star(3); // centre 0, leaves 1..=3, both arc directions
+        let idx = StructureIndex::new(&b);
+        let e = b.vocabulary().id_of("E").unwrap();
+        let from_center: Vec<Vec<u32>> = idx.tuples_with(e, 0, 0).map(|t| t.to_vec()).collect();
+        assert_eq!(from_center.len(), 3);
+        assert!(from_center.iter().all(|t| t[0] == 0));
+        assert_eq!(idx.occurrence_count(e, 0, 0), 3);
+        assert_eq!(idx.occurrence_count(e, 0, 1), 1);
+        assert_eq!(idx.occurrence_count(e, 0, 99), 0);
+        assert!(idx.tuples_with(e, 1, 99).next().is_none());
+    }
+
+    #[test]
+    fn elements_at_are_sorted_position_domains() {
+        let b = families::directed_path(4); // arcs 0->1->2->3
+        let idx = StructureIndex::new(&b);
+        let e = b.vocabulary().id_of("E").unwrap();
+        assert_eq!(idx.elements_at(e, 0), &[0, 1, 2]);
+        assert_eq!(idx.elements_at(e, 1), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn structure_hash_distinguishes_content_not_representation() {
+        let a = families::cycle(6);
+        let b = families::cycle(6);
+        assert_eq!(structure_hash(&a), structure_hash(&b));
+        assert_ne!(structure_hash(&a), structure_hash(&families::cycle(7)));
+        assert_ne!(structure_hash(&a), structure_hash(&families::path(6)));
+    }
+
+    #[test]
+    fn unary_relations_index_cleanly() {
+        let b = crate::star_expansion(&families::path(3));
+        let idx = StructureIndex::new(&b);
+        let c0 = b.vocabulary().id_of("C_0").unwrap();
+        assert_eq!(idx.elements_at(c0, 0), &[0]);
+        assert!(idx.contains(c0, &[0]));
+        assert!(!idx.contains(c0, &[1]));
+    }
+}

@@ -35,6 +35,7 @@ pub mod cq;
 pub mod error;
 pub mod families;
 pub mod homomorphism;
+pub mod index;
 pub mod ops;
 pub mod structure;
 pub mod vocabulary;
@@ -49,6 +50,7 @@ pub use homomorphism::{
     count_homomorphisms_bruteforce, embedding_exists, find_embedding, find_homomorphism,
     homomorphism_exists, homomorphisms_iter, is_homomorphism, is_partial_homomorphism, PartialHom,
 };
+pub use index::{structure_hash, StructureIndex};
 pub use ops::{direct_product, disjoint_union, relabeled, star_expansion, symmetric_closure};
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{RelationSymbol, SymbolId, Vocabulary};

@@ -352,6 +352,54 @@ pub fn counting_traffic(
     }
 }
 
+/// The evaluation-kernel stress trace (bench E16 and the kernel
+/// differential tests): treewidth-2 query shapes — odd cycles, a grid, a
+/// complete bipartite graph — against a fleet of **larger** random graph
+/// targets, every query repeated `repeats_per_query` times over a seeded,
+/// shuffled interleaving.
+///
+/// This is deliberately the regime where the reference implementations
+/// hurt most: bags of 3 against targets of `db_size` vertices make the
+/// reference's full `|B|^{|bag|}` bag enumeration and `O(n²)` frontier
+/// joins expensive, while the kernel's prefilter domains and separator
+/// hash-joins stay near-linear — the before/after that bench E16 times.
+/// Several of the queries are bipartite (proper cores), so the counting
+/// side crosses the core-invariance trap as well.
+pub fn kernel_stress_traffic(
+    db_count: usize,
+    db_size: usize,
+    repeats_per_query: usize,
+    seed: u64,
+) -> BatchWorkload {
+    use cq_structures::families;
+    assert!(db_count > 0, "a traffic trace needs at least one database");
+    let queries = vec![
+        families::cycle(5),                 // pw 2, its own core
+        families::cycle(7),                 // pw 2, td 4: deeper DP tables
+        families::grid(2, 3),               // tw 2, bipartite (proper core)
+        families::complete_bipartite(2, 2), // tw 2, collapses to an edge
+    ];
+    let databases = database_fleet(db_count, db_size, 0.35, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE16_E16);
+    let mut trace: Vec<(usize, usize)> = (0..queries.len())
+        .flat_map(|q| (0..repeats_per_query).map(move |_| q))
+        .map(|q| (q, 0usize))
+        .collect();
+    for slot in trace.iter_mut() {
+        slot.1 = rng.gen_range(0..databases.len());
+    }
+    // Fisher–Yates interleave of the query order.
+    for i in (1..trace.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        trace.swap(i, j);
+    }
+    BatchWorkload {
+        queries,
+        databases,
+        trace,
+    }
+}
+
 /// A fleet of `count` query structures with pairwise **distinct**
 /// plan-cache fingerprints, spanning several shapes (stars, odd cycles,
 /// directed paths, caterpillars).  A batch over this fleet performs `count`
@@ -467,6 +515,22 @@ mod tests {
         // Every query index recurs repeats_per_query times.
         for q in 0..w.queries.len() {
             assert_eq!(w.trace.iter().filter(|&&(qq, _)| qq == q).count(), 3);
+        }
+    }
+
+    #[test]
+    fn kernel_stress_traffic_is_deterministic_and_heavy_enough() {
+        let w1 = kernel_stress_traffic(4, 12, 6, 5);
+        let w2 = kernel_stress_traffic(4, 12, 6, 5);
+        assert_eq!(w1.trace, w2.trace);
+        assert_eq!(w1.len(), 4 * 6);
+        assert_eq!(w1.databases.len(), 4);
+        for db in &w1.databases {
+            assert_eq!(db.universe_size(), 12, "larger targets are the point");
+        }
+        // Every query has treewidth 2 — the tree-DP/counting tier.
+        for q in &w1.queries {
+            assert_eq!(cq_decomp::width_profile_of_structure(q).treewidth, 2);
         }
     }
 

@@ -204,6 +204,47 @@ fn counting_is_positive_exactly_when_decision_succeeds() {
     );
 }
 
+/// Kernel determinism under fan-out: the evaluation kernel behind every
+/// registry solver produces **bit-identical** decision reports and counts
+/// with `workers = 1` and `workers = 4` on the kernel stress trace (the
+/// tree-DP/counting regime of bench E16) — the instance-index cache and
+/// the hash-join tables introduce no cross-thread nondeterminism.
+#[test]
+fn kernel_results_are_bit_identical_across_workers_1_and_4() {
+    use cq_fine::workloads::kernel_stress_traffic;
+    let workload = kernel_stress_traffic(3, 10, 4, 29);
+    let instances = workload.instances();
+    let make_engine = |workers: usize| {
+        Engine::new(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        })
+    };
+    let sequential = make_engine(1);
+    let parallel = make_engine(4);
+    let seq_decisions = sequential.solve_batch_instances(&instances);
+    let par_decisions = parallel.solve_batch_instances(&instances);
+    assert_eq!(seq_decisions, par_decisions);
+    let seq_counts = sequential.count_batch(&instances);
+    let par_counts = parallel.count_batch(&instances);
+    assert_eq!(seq_counts, par_counts);
+    // The kernel answers are the brute-force truth on every instance.
+    for ((q, t), (decision, count)) in instances.iter().zip(seq_decisions.iter().zip(&seq_counts)) {
+        assert_eq!(decision.exists, homomorphism_exists(q, t), "{q} -> {t}");
+        assert_eq!(
+            count.count,
+            count_homomorphisms_bruteforce(q, t),
+            "{q} -> {t}"
+        );
+    }
+    // On the sequential engine, exactly one index build per distinct
+    // database seen, shared by the decide and count passes.
+    let stats = sequential.index_stats();
+    assert_eq!(stats.misses, stats.entries as u64);
+    assert!(stats.entries <= workload.databases.len());
+    assert_eq!(stats.lookups, 2 * instances.len() as u64);
+}
+
 /// Homomorphism counts multiply over direct products of targets.
 #[test]
 fn product_counting_law() {
