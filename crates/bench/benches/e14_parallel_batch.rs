@@ -13,30 +13,17 @@
 //!    cost under contention.  One shard serializes every lookup on a single
 //!    mutex; sharding spreads them.
 
+use cq_bench::median_time;
 use cq_core::{Engine, EngineConfig};
 use cq_structures::Structure;
 use cq_workloads::{distinct_query_fleet, repeated_query_traffic};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::{Duration, Instant};
 
 fn engine_with_workers(workers: usize) -> Engine {
     Engine::new(EngineConfig {
         workers,
         ..EngineConfig::default()
     })
-}
-
-/// Median wall-clock of `runs` executions of `f`.
-fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
-    let mut times: Vec<Duration> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed()
-        })
-        .collect();
-    times.sort();
-    times[times.len() / 2]
 }
 
 fn bench(c: &mut Criterion) {

@@ -16,29 +16,17 @@
 //!    criterion of the counting pipeline), asserted via
 //!    [`cq_core::PrepStats`].
 
+use cq_bench::median_time;
 use cq_core::{CountReport, Engine, EngineConfig};
 use cq_workloads::counting_traffic;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn engine_with_workers(workers: usize) -> Engine {
     Engine::new(EngineConfig {
         workers,
         ..EngineConfig::default()
     })
-}
-
-/// Median wall-clock of `runs` executions of `f`.
-fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
-    let mut times: Vec<Duration> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed()
-        })
-        .collect();
-    times.sort();
-    times[times.len() / 2]
 }
 
 fn bench(c: &mut Criterion) {

@@ -24,27 +24,22 @@
 //! The machine-readable results are written to `BENCH_E16.json` at the
 //! repository root — the checked-in before/after that seeds the bench
 //! trajectory.
+//!
+//! **Quick mode** (`CQ_BENCH_QUICK=1`, the CI bench-smoke step): fewer
+//! timing runs, no JSON rewrite, no criterion endpoints — instead the
+//! measured per-solver warm speedups are diffed against the checked-in
+//! `BENCH_E16.json` and the run **fails** if any row drops below the
+//! generous 1.5x floor (the checked-in numbers are 3–22x, so only a real
+//! kernel regression trips it).
 
+use cq_bench::{json_field_f64, median_time, quick_mode, timing_runs};
 use cq_core::{EngineConfig, PreparedQuery};
 use cq_solver::backtrack::BacktrackSolver as ReferenceBacktrack;
 use cq_solver::kernel;
 use cq_structures::{Structure, StructureIndex};
 use cq_workloads::kernel_stress_traffic;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::{Duration, Instant};
-
-/// Median wall-clock of `runs` executions of `f`.
-fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
-    let mut times: Vec<Duration> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed()
-        })
-        .collect();
-    times.sort();
-    times[times.len() / 2]
-}
+use std::time::Duration;
 
 struct SolverRow {
     name: &'static str,
@@ -63,8 +58,6 @@ impl SolverRow {
         self.reference.as_secs_f64() / self.kernel_cold.as_secs_f64()
     }
 }
-
-const RUNS: usize = 5;
 
 /// Time one evaluation path: `reference` and `kernel` both run over every
 /// (prepared query, target, warm index) instance; `kernel` receives the
@@ -89,18 +82,18 @@ fn measure(
         );
         comparisons += 1;
     }
-    let reference_time = median_time(RUNS, || {
+    let reference_time = median_time(timing_runs(2, 5), || {
         for (prepared, target, _) in instances {
             std::hint::black_box(reference(prepared, target));
         }
     });
-    let kernel_cold = median_time(RUNS, || {
+    let kernel_cold = median_time(timing_runs(2, 5), || {
         for (prepared, target, _) in instances {
             let index = StructureIndex::new(target);
             std::hint::black_box(kernel(prepared, &index));
         }
     });
-    let kernel_warm = median_time(RUNS, || {
+    let kernel_warm = median_time(timing_runs(2, 5), || {
         for (prepared, _, index) in instances {
             std::hint::black_box(kernel(prepared, index));
         }
@@ -239,6 +232,11 @@ fn bench(c: &mut Criterion) {
         rows.iter().map(|r| r.comparisons).sum::<usize>()
     );
 
+    if quick_mode() {
+        gate_against_baseline(&rows);
+        return;
+    }
+
     write_json(&rows, traffic.len(), db_count, db_size, repeats, seed);
 
     // Two end points through the criterion harness for the uniform
@@ -278,6 +276,61 @@ fn bench(c: &mut Criterion) {
         },
     );
     g.finish();
+}
+
+/// The CI regression gate of quick mode: diff the measured warm speedups
+/// against the checked-in `BENCH_E16.json` and fail below the 1.5x floor.
+fn gate_against_baseline(rows: &[SolverRow]) {
+    const FLOOR: f64 = 1.5;
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_E16.json");
+    let baseline_json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("checked-in {path} must be readable: {e}"));
+    let baseline = parse_baseline_speedups(&baseline_json);
+    println!("  quick-mode gate vs checked-in BENCH_E16.json (floor {FLOOR}x):");
+    let mut failures = Vec::new();
+    for row in rows {
+        let measured = row.speedup_warm();
+        let recorded = baseline
+            .iter()
+            .find(|(name, _)| name == row.name)
+            .map(|&(_, s)| s);
+        match recorded {
+            Some(recorded) => println!(
+                "    {:<16} measured {measured:>6.2}x | baseline {recorded:>6.2}x | delta {:>+6.1}%",
+                row.name,
+                (measured / recorded - 1.0) * 100.0
+            ),
+            None => failures.push(format!(
+                "solver {} missing from the checked-in baseline",
+                row.name
+            )),
+        }
+        if measured < FLOOR {
+            failures.push(format!(
+                "{}: warm speedup {measured:.2}x fell below the {FLOOR}x floor (baseline {:.2}x)",
+                row.name,
+                recorded.unwrap_or(f64::NAN)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "E16 kernel speedup regression:\n  {}",
+        failures.join("\n  ")
+    );
+    println!("  quick-mode gate passed: every solver holds the {FLOOR}x floor");
+}
+
+/// Per-solver warm speedups scanned out of the checked-in JSON: one
+/// record per line, `"solver": "<name>"` and `"speedup_warm": <x>` fields.
+fn parse_baseline_speedups(json: &str) -> Vec<(String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let solver = cq_bench::json_field(line, "\"solver\": ")?.to_string();
+            let speedup = json_field_f64(line, "\"speedup_warm\": ")?;
+            Some((solver, speedup))
+        })
+        .collect()
 }
 
 /// Emit `BENCH_E16.json` at the repository root: per-solver cold/warm

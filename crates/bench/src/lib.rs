@@ -1,1 +1,92 @@
-//! bench support (intentionally empty: all logic lives in the bench targets)
+//! Shared helpers of the `cq-bench` experiment harness — the timing and
+//! CI-gate utilities every `e*` bench target used to copy-paste.
+//!
+//! The bench targets stay standalone binaries (`harness = false`); this
+//! tiny library only centralizes the pieces whose silent divergence would
+//! hurt: the median timer the speedup tables are built from, the
+//! `CQ_BENCH_QUICK` mode switch the CI bench-smoke job drives, and the
+//! minimal JSON field scan used to read the checked-in `BENCH_*.json`
+//! baselines (the container is offline — no serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Median wall-clock of `runs` executions of `f`.
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Whether the bench runs in CI's quick regression-gate mode
+/// (`CQ_BENCH_QUICK` set to anything but empty or `0`): fewer timing runs,
+/// no baseline rewrite, measured speedups gated against the checked-in
+/// `BENCH_*.json` floors instead.
+pub fn quick_mode() -> bool {
+    std::env::var("CQ_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `quick` timing runs in quick mode, `full` otherwise.
+pub fn timing_runs(quick: usize, full: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Minimal scan for a `"key": value` field in a checked-in `BENCH_*.json`
+/// line or document (no serde in the offline container).  `key` must
+/// include the quotes-colon framing, e.g. `"\"speedup\": "`; the value is
+/// read up to the next `,`, `}` or newline, with string quotes trimmed.
+pub fn json_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let start = text.find(key)? + key.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// [`json_field`] parsed as `f64`.
+pub fn json_field_f64(text: &str, key: &str) -> Option<f64> {
+    json_field(text, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_runs_is_the_middle() {
+        let mut n = 0u64;
+        let d = median_time(5, || n += 1);
+        assert_eq!(n, 5);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn json_field_scans_lines_and_documents() {
+        let line = r#"    {"solver": "treedec_decide", "speedup_warm": 22.12, "x": 1},"#;
+        assert_eq!(json_field(line, "\"solver\": "), Some("treedec_decide"));
+        assert_eq!(json_field_f64(line, "\"speedup_warm\": "), Some(22.12));
+        assert_eq!(json_field(line, "\"missing\": "), None);
+        let doc = "{\n  \"speedup\": 10.49,\n  \"z\": 0\n}\n";
+        assert_eq!(json_field_f64(doc, "\"speedup\": "), Some(10.49));
+    }
+
+    #[test]
+    fn timing_runs_respects_quick_mode_env() {
+        // The env var is process-global; only assert the non-quick default
+        // here (CI sets CQ_BENCH_QUICK for the bench job, not the test job).
+        if !quick_mode() {
+            assert_eq!(timing_runs(2, 7), 7);
+        }
+    }
+}

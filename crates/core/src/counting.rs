@@ -208,7 +208,11 @@ impl CountSolver for BruteForceCountSolver {
         _index: &StructureIndex,
     ) -> CountOutcome {
         // Deliberately the un-indexed reference enumeration: this solver
-        // doubles as the oracle of the counting differential tests.
+        // doubles as the oracle of the counting differential tests.  The
+        // underlying search hoists its symbol translation once per call and
+        // visits complete assignments by reference, so the enumeration runs
+        // with no per-assignment map allocation while staying
+        // reference-pure.
         let count = count_homomorphisms_bruteforce(query.original(), database);
         CountOutcome {
             count,

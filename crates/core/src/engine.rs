@@ -74,6 +74,24 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Whether plans prepared under `self` are reusable under `other`: true
+    /// when every **plan-shaping** knob matches — core preprocessing (it
+    /// decides what structure the certificates describe) and the three
+    /// width thresholds (they decide the stored degree hint).  Runtime-only
+    /// knobs (`workers`, the backtracking ablation flags) do not enter: a
+    /// plan is the same plan no matter how many threads later evaluate it.
+    ///
+    /// [`crate::Engine::load_plans`] consults this before adopting a
+    /// store's records; a mismatch rejects them as stale.
+    pub fn plan_compatible(&self, other: &EngineConfig) -> bool {
+        self.use_core == other.use_core
+            && self.treedepth_threshold == other.treedepth_threshold
+            && self.pathwidth_threshold == other.pathwidth_threshold
+            && self.treewidth_threshold == other.treewidth_threshold
+    }
+}
+
 /// What the engine did and found.
 ///
 /// `PartialEq`/`Eq` so batch results can be compared wholesale — the

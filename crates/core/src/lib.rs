@@ -40,13 +40,18 @@
 //!     [`EngineConfig`]), and the engine-backed Lemma 6.2 reduction
 //!     [`Engine::count_star`];
 //!   - [`engine`] — configuration, reports, and the single-instance
-//!     compatibility wrappers [`solve_instance`] / [`count_instance`].
+//!     compatibility wrappers [`solve_instance`] / [`count_instance`];
+//!   - [`persist`] / [`PlanStore`] — the versioned, checksummed on-disk
+//!     plan store: [`Engine::save_plans`] snapshots the cache,
+//!     [`Engine::load_plans`] / [`Engine::with_plan_store`] warm-start a
+//!     fresh engine with every loaded plan verified before reuse.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counting;
 pub mod engine;
+pub mod persist;
 pub mod prepared;
 pub mod registry;
 pub mod service;
@@ -60,6 +65,9 @@ pub use counting::{
     CountSolver, ForestCountSolver, TreeDecCountSolver,
 };
 pub use engine::{solve_instance, EngineConfig, EngineReport, SolverChoice};
+pub use persist::{
+    PersistError, PlanStore, StoredPlan, WarmStartSummary, PLAN_STORE_MAGIC, PLAN_STORE_VERSION,
+};
 pub use prepared::PreparedQuery;
 pub use registry::{
     BacktrackSolver, HomSolver, PathDpSolver, SolveOutcome, SolverRegistry, TreeDecSolver,

@@ -1,0 +1,502 @@
+//! The persistent plan store: a versioned, checksummed on-disk container
+//! for [`PreparedQuery`] plans, so the per-query exponential work the
+//! Classification Theorem licenses (cores, width DPs, decomposition
+//! certificates, the compiled `{∧,∃}`-sentence) survives process restarts.
+//!
+//! The paper's whole economy is that preparation is a per-*query* cost while
+//! per-*instance* evaluation stays logspace-cheap; before this module the
+//! amortization died with the process.  [`crate::Engine::save_plans`]
+//! snapshots the sharded plan cache into a [`PlanStore`] file and
+//! [`crate::Engine::load_plans`] /
+//! [`crate::Engine::with_plan_store`] warm-start a fresh engine from one —
+//! after which the whole workload runs with **zero** decompositions and
+//! zero core computations (asserted by the round-trip tests through
+//! [`crate::PrepStats`]).
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! ┌──────────────────────┬──────────────────────────────────────────────┐
+//! │ magic                │ 8 bytes, "CQPLANS\0"                         │
+//! │ format version       │ u32 LE (currently 1)                         │
+//! │ config length        │ u64 LE                                       │
+//! │ config               │ encoded EngineConfig of the saving engine    │
+//! │ record count         │ u64 LE                                       │
+//! │ record × count       │ fingerprint u64 LE                           │
+//! │                      │ payload length u64 LE                        │
+//! │                      │ payload (encoded PreparedQuery)              │
+//! │                      │ payload checksum u64 LE (FNV-1a)             │
+//! │ file checksum        │ u64 LE, FNV-1a over all preceding bytes      │
+//! └──────────────────────┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! # Versioning policy
+//!
+//! The format version is bumped on **any** change to the byte layout — the
+//! container framing above or the [`Encode`] output of any persisted type.
+//! A store written by a different version is rejected wholesale
+//! ([`DecodeError::UnsupportedVersion`]); there is no silent migration.
+//! The checked-in golden fixture `tests/fixtures/plans_v1.bin` pins the
+//! version-1 layout in CI: codec drift without a version bump fails the
+//! decode of the fixture, and a version bump without a fixture update fails
+//! the version assertion — either way the drift is caught at build time.
+//!
+//! # Trust model
+//!
+//! A store file is **data, not authority**.  Decoding validates structural
+//! invariants (see [`cq_structures::codec`]), and the engine re-verifies
+//! every decoded plan against its own configuration before caching it
+//! ([`PreparedQuery::verify`]): fingerprint, hom-equivalence of the
+//! evaluated core, certificate validity, threshold-derived degree, and
+//! deterministic recompilation of the cached sentence/staircase.  A record
+//! that fails any step is counted in
+//! [`crate::PrepStats::plans_rejected`] and simply skipped — the query it
+//! would have served degrades to a cold prepare, never to a wrong answer.
+
+use crate::engine::EngineConfig;
+use crate::prepared::PreparedQuery;
+use crate::Degree;
+use cq_structures::codec::{
+    decode_from_slice, encode_to_vec, fnv1a64, Decode, DecodeError, Encode, Reader,
+};
+use std::fmt;
+use std::path::Path;
+
+/// The 8 magic bytes opening every plan-store file.
+pub const PLAN_STORE_MAGIC: [u8; 8] = *b"CQPLANS\0";
+
+/// The one format version this build reads and writes.
+pub const PLAN_STORE_VERSION: u32 = 1;
+
+/// Errors of the file-level plan-store API: an I/O failure or a corrupt /
+/// foreign / stale-version byte stream.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The bytes do not decode as a plan store of the supported version.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "plan store I/O error: {e}"),
+            PersistError::Decode(e) => write!(f, "plan store decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        PersistError::Decode(e)
+    }
+}
+
+impl Encode for Degree {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Degree::ParaL => 0,
+            Degree::PathComplete => 1,
+            Degree::TreeComplete => 2,
+            Degree::W1Hard => 3,
+        });
+    }
+}
+
+impl Decode for Degree {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(Degree::ParaL),
+            1 => Ok(Degree::PathComplete),
+            2 => Ok(Degree::TreeComplete),
+            3 => Ok(Degree::W1Hard),
+            tag => Err(DecodeError::BadTag {
+                what: "Degree",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for EngineConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.use_core.encode(out);
+        self.treedepth_threshold.encode(out);
+        self.pathwidth_threshold.encode(out);
+        self.treewidth_threshold.encode(out);
+        self.workers.encode(out);
+        self.backtrack.encode(out);
+    }
+}
+
+impl Decode for EngineConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EngineConfig {
+            use_core: bool::decode(r)?,
+            treedepth_threshold: usize::decode(r)?,
+            pathwidth_threshold: usize::decode(r)?,
+            treewidth_threshold: usize::decode(r)?,
+            workers: usize::decode(r)?,
+            backtrack: cq_solver::backtrack::BacktrackConfig::decode(r)?,
+        })
+    }
+}
+
+/// One framed record of a [`PlanStore`]: a fingerprint key plus the encoded
+/// plan payload (decoded lazily, so one corrupt record cannot poison its
+/// neighbours).
+#[derive(Debug, Clone)]
+pub struct StoredPlan {
+    fingerprint: u64,
+    payload: Vec<u8>,
+}
+
+impl StoredPlan {
+    /// The fingerprint key the record was cached under when saved.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The raw encoded plan payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Decode the payload into a plan.  The result is **unverified**: run
+    /// [`PreparedQuery::verify`] before serving traffic from it.
+    pub fn decode_plan(&self) -> Result<PreparedQuery, DecodeError> {
+        decode_from_slice(&self.payload)
+    }
+}
+
+/// An in-memory plan-store image: the saving engine's configuration plus
+/// fingerprint-keyed encoded plans, (de)serializable to the version-1 file
+/// format described in the module docs.
+#[derive(Debug)]
+pub struct PlanStore {
+    config: EngineConfig,
+    records: Vec<StoredPlan>,
+    corrupt_records: u64,
+}
+
+impl PlanStore {
+    /// An empty store that will record plans prepared under `config`.
+    pub fn new(config: EngineConfig) -> PlanStore {
+        PlanStore {
+            config,
+            records: Vec::new(),
+            corrupt_records: 0,
+        }
+    }
+
+    /// The configuration of the engine that saved the store.  A loading
+    /// engine whose plan-relevant settings differ
+    /// ([`EngineConfig::plan_compatible`]) rejects every record as stale.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of intact records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no intact records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records whose per-record checksum failed at parse time (dropped from
+    /// [`PlanStore::records`]; the loader folds this into its rejected
+    /// count).
+    pub fn corrupt_records(&self) -> u64 {
+        self.corrupt_records
+    }
+
+    /// The intact records, in file order.
+    pub fn records(&self) -> impl Iterator<Item = &StoredPlan> {
+        self.records.iter()
+    }
+
+    /// Append a plan, encoded under its cache fingerprint.
+    pub fn push_plan(&mut self, plan: &PreparedQuery) {
+        self.records.push(StoredPlan {
+            fingerprint: plan.fingerprint(),
+            payload: encode_to_vec(plan),
+        });
+    }
+
+    /// Append a raw pre-encoded record.  Exists for tooling and the
+    /// corruption tests (which need to frame hostile payloads behind valid
+    /// checksums); regular callers should use [`PlanStore::push_plan`].
+    pub fn push_raw_record(&mut self, fingerprint: u64, payload: Vec<u8>) {
+        self.records.push(StoredPlan {
+            fingerprint,
+            payload,
+        });
+    }
+
+    /// Serialize to the version-1 file format (with fresh checksums).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&PLAN_STORE_MAGIC);
+        PLAN_STORE_VERSION.encode(&mut out);
+        let config_bytes = encode_to_vec(&self.config);
+        (config_bytes.len() as u64).encode(&mut out);
+        out.extend_from_slice(&config_bytes);
+        (self.records.len() as u64).encode(&mut out);
+        for record in &self.records {
+            record.fingerprint.encode(&mut out);
+            (record.payload.len() as u64).encode(&mut out);
+            out.extend_from_slice(&record.payload);
+            fnv1a64(&record.payload).encode(&mut out);
+        }
+        fnv1a64(&out).encode(&mut out);
+        out
+    }
+
+    /// Parse a version-1 plan store.
+    ///
+    /// File-level problems — wrong magic, unsupported version, truncation,
+    /// a whole-file checksum mismatch, trailing bytes — are hard errors (the
+    /// caller has no usable store).  A record whose **own** checksum fails
+    /// while the file checksum holds is merely dropped and counted in
+    /// [`PlanStore::corrupt_records`]; its payload is never decoded.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PlanStore, DecodeError> {
+        let mut header = Reader::new(bytes);
+        if header.take(PLAN_STORE_MAGIC.len())? != PLAN_STORE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = header.read_u32()?;
+        if version != PLAN_STORE_VERSION {
+            return Err(DecodeError::UnsupportedVersion {
+                found: version,
+                supported: PLAN_STORE_VERSION,
+            });
+        }
+        let header_len = header.position();
+        if bytes.len() < header_len + 8 {
+            return Err(DecodeError::UnexpectedEof {
+                needed: header_len + 8,
+                available: bytes.len(),
+            });
+        }
+        let body_end = bytes.len() - 8;
+        let declared = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+        if fnv1a64(&bytes[..body_end]) != declared {
+            return Err(DecodeError::BadChecksum { what: "file" });
+        }
+        let mut r = Reader::new(&bytes[header_len..body_end]);
+        let config_len = r.read_count("config block length")?;
+        let config: EngineConfig = decode_from_slice(r.take(config_len)?)?;
+        let record_count = r.read_count("record count")?;
+        let mut records = Vec::new();
+        let mut corrupt_records = 0u64;
+        for _ in 0..record_count {
+            let fingerprint = r.read_u64()?;
+            let payload_len = r.read_count("record payload length")?;
+            let payload = r.take(payload_len)?;
+            let checksum = r.read_u64()?;
+            if fnv1a64(payload) != checksum {
+                corrupt_records += 1;
+                continue;
+            }
+            records.push(StoredPlan {
+                fingerprint,
+                payload: payload.to_vec(),
+            });
+        }
+        if !r.is_empty() {
+            return Err(DecodeError::TrailingBytes {
+                count: r.remaining(),
+            });
+        }
+        Ok(PlanStore {
+            config,
+            records,
+            corrupt_records,
+        })
+    }
+
+    /// Write the store to a file (created or truncated).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read a store from a file.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<PlanStore, PersistError> {
+        let bytes = std::fs::read(path)?;
+        Ok(PlanStore::from_bytes(&bytes)?)
+    }
+}
+
+/// What [`crate::Engine::load_plans`] did with a store's records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStartSummary {
+    /// Records that decoded, verified, and entered the plan cache.
+    pub loaded: u64,
+    /// Records skipped: corrupt, failing verification, prepared under an
+    /// incompatible configuration, or duplicating an already-cached plan.
+    pub rejected: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_structures::families;
+
+    fn store_with(queries: &[cq_structures::Structure]) -> PlanStore {
+        let config = EngineConfig::default();
+        let mut store = PlanStore::new(config);
+        for q in queries {
+            store.push_plan(&PreparedQuery::prepare(q, &config));
+        }
+        store
+    }
+
+    #[test]
+    fn store_roundtrips_bit_identically() {
+        let store = store_with(&[families::star(3), families::cycle(5)]);
+        let bytes = store.to_bytes();
+        let back = PlanStore::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.corrupt_records(), 0);
+        assert_eq!(back.config(), store.config());
+        assert_eq!(back.to_bytes(), bytes, "re-serialization is bit-identical");
+        for (a, b) in back.records().zip(store.records()) {
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert_eq!(a.payload(), b.payload());
+            let plan = a.decode_plan().expect("payload decodes");
+            assert!(plan.verify(store.config()).is_ok());
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let mut bytes = store_with(&[families::star(3)]).to_bytes();
+        let mut foreign = bytes.clone();
+        foreign[0] = b'X';
+        assert!(matches!(
+            PlanStore::from_bytes(&foreign),
+            Err(DecodeError::BadMagic)
+        ));
+        // Patch the version and re-seal the file checksum: the version gate
+        // must fire on a checksum-valid file.
+        bytes[8] = 99;
+        let body_end = bytes.len() - 8;
+        let seal = fnv1a64(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&seal);
+        assert!(matches!(
+            PlanStore::from_bytes(&bytes),
+            Err(DecodeError::UnsupportedVersion {
+                found: 99,
+                supported: PLAN_STORE_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn any_bit_flip_breaks_the_file_checksum() {
+        let bytes = store_with(&[families::star(3)]).to_bytes();
+        for pos in [12, bytes.len() / 2, bytes.len() - 9, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x40;
+            assert!(
+                PlanStore::from_bytes(&flipped).is_err(),
+                "bit flip at {pos} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn per_record_checksum_salvages_the_rest_of_the_file() {
+        // Frame one valid and one hostile record; the hostile one carries a
+        // deliberately wrong checksum while the file checksum is fresh.
+        let config = EngineConfig::default();
+        let plan = PreparedQuery::prepare(&families::star(3), &config);
+        let mut store = PlanStore::new(config);
+        store.push_plan(&plan);
+        let mut bytes = store.to_bytes();
+        // Corrupt one payload byte and re-seal only the file checksum: the
+        // record checksum now lies.
+        let payload_start = bytes.len() - 8 - 8 - plan_payload_len(&store);
+        bytes[payload_start] ^= 0xff;
+        let body_end = bytes.len() - 8;
+        let seal = fnv1a64(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&seal);
+        let back = PlanStore::from_bytes(&bytes).expect("file-level frame intact");
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.corrupt_records(), 1);
+    }
+
+    fn plan_payload_len(store: &PlanStore) -> usize {
+        store.records().next().expect("one record").payload().len()
+    }
+
+    #[test]
+    fn truncations_never_parse() {
+        let bytes = store_with(&[families::star(3)]).to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                PlanStore::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_config_and_degree_roundtrip() {
+        let configs = [
+            EngineConfig::default(),
+            EngineConfig {
+                use_core: false,
+                treedepth_threshold: 9,
+                pathwidth_threshold: 0,
+                treewidth_threshold: 1,
+                workers: 4,
+                backtrack: cq_solver::backtrack::BacktrackConfig {
+                    preprocess_arc_consistency: false,
+                    maintain_arc_consistency: true,
+                    fail_first_ordering: false,
+                },
+            },
+        ];
+        for cfg in configs {
+            let back: EngineConfig = decode_from_slice(&encode_to_vec(&cfg)).unwrap();
+            assert_eq!(back, cfg);
+        }
+        for d in [
+            Degree::ParaL,
+            Degree::PathComplete,
+            Degree::TreeComplete,
+            Degree::W1Hard,
+        ] {
+            let back: Degree = decode_from_slice(&encode_to_vec(&d)).unwrap();
+            assert_eq!(back, d);
+        }
+        assert!(matches!(
+            decode_from_slice::<Degree>(&[9]),
+            Err(DecodeError::BadTag {
+                what: "Degree",
+                tag: 9
+            })
+        ));
+    }
+}

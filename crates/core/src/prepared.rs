@@ -35,6 +35,7 @@ use cq_decomp::{PathDecomposition, StructuralAnalysis, WidthProfile};
 use cq_graphs::{gaifman_graph, Graph};
 use cq_logic::canonical::query_fingerprint;
 use cq_logic::treedepth_sentence::{corresponding_sentence_with_forest, TreeDepthSentence};
+use cq_structures::codec::{encode_option_ref, Decode, DecodeError, Encode, Reader};
 use cq_structures::{core_of, embedding_exists, homomorphism_exists, Structure};
 use std::sync::{Mutex, OnceLock};
 
@@ -302,6 +303,163 @@ impl PreparedQuery {
             }
         }
         isomorphic
+    }
+}
+
+/// Binary encoding of a prepared plan: the eager artifacts in declaration
+/// order, then the three lazily materialized ones (`{∧,∃}`-sentence,
+/// staircase form, counting certificates) as present/absent options — a
+/// plan saved before any counting traffic simply stores `None` and the
+/// warm-started engine materializes on first use, exactly like a plan
+/// prepared in process.  The runtime alias memo is deliberately not
+/// persisted (it is a cache of verification work, not part of the plan).
+impl Encode for PreparedQuery {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.fingerprint.encode(out);
+        self.original.encode(out);
+        self.evaluated.encode(out);
+        self.core_applied.encode(out);
+        self.gaifman.encode(out);
+        self.analysis.encode(out);
+        self.degree_hint.encode(out);
+        encode_option_ref(self.sentence.get(), out);
+        encode_option_ref(self.staircase.get(), out);
+        encode_option_ref(self.counting.get(), out);
+    }
+}
+
+impl Decode for PreparedQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        fn lock_from<T>(value: Option<T>) -> OnceLock<T> {
+            match value {
+                Some(v) => OnceLock::from(v),
+                None => OnceLock::new(),
+            }
+        }
+        Ok(PreparedQuery {
+            fingerprint: u64::decode(r)?,
+            original: Structure::decode(r)?,
+            evaluated: Structure::decode(r)?,
+            core_applied: bool::decode(r)?,
+            gaifman: Graph::decode(r)?,
+            analysis: StructuralAnalysis::decode(r)?,
+            degree_hint: Degree::decode(r)?,
+            sentence: lock_from(Option::<TreeDepthSentence>::decode(r)?),
+            staircase: lock_from(Option::<PathDecomposition>::decode(r)?),
+            counting: lock_from(Option::<StructuralAnalysis>::decode(r)?),
+            count_verified_aliases: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl PreparedQuery {
+    /// Verify a decoded plan before trusting it with traffic: every
+    /// derivable fact the plan asserts about itself is re-checked against
+    /// the configuration it is about to serve under, so a corrupted or
+    /// stale record (old thresholds, edited certificates, a swapped
+    /// original) is rejected and degrades to a cold prepare — never a wrong
+    /// answer.
+    ///
+    /// The checks reuse the engine's own confirmation paths: the
+    /// isomorphism-invariant fingerprint, the homomorphic-equivalence check
+    /// behind [`PreparedQuery::answers_for`], the decomposition validity
+    /// checkers, and a deterministic recompilation of the lazily cached
+    /// sentence/staircase artifacts.  No width DP and no core computation
+    /// runs — that is what makes warm starts cheap (asserted by the
+    /// round-trip tests through [`crate::PrepStats`]).  The hom-equivalence
+    /// confirmation is the same backtracking search the cache's lookup
+    /// confirmation uses: worst-case exponential in the *query*, which is
+    /// parameter-sized by the problem's definition — but a store record is
+    /// untrusted input, so callers loading stores from unvetted sources
+    /// should expect verification time proportional to preparing the same
+    /// queries' hom-equivalence checks, not a fixed bound.
+    pub fn verify(&self, config: &EngineConfig) -> Result<(), &'static str> {
+        if self.core_applied != config.use_core {
+            return Err("plan prepared under a different core-preprocessing setting");
+        }
+        if query_fingerprint(&self.original) != self.fingerprint {
+            return Err("fingerprint does not match the stored original");
+        }
+        if self.core_applied {
+            if !(homomorphism_exists(&self.evaluated, &self.original)
+                && homomorphism_exists(&self.original, &self.evaluated))
+            {
+                return Err("evaluated structure is not hom-equivalent to the original");
+            }
+        } else if self.evaluated != self.original {
+            return Err("evaluated structure differs although core preprocessing is off");
+        }
+        if self.gaifman != gaifman_graph(&self.evaluated) {
+            return Err("stale Gaifman graph");
+        }
+        Self::verify_analysis(&self.analysis, &self.gaifman)?;
+        let widths = self.analysis.widths;
+        let expected_degree = Degree::from_boundedness(
+            widths.treewidth <= config.treewidth_threshold,
+            widths.pathwidth <= config.pathwidth_threshold,
+            widths.treedepth <= config.treedepth_threshold,
+        );
+        if self.degree_hint != expected_degree {
+            return Err("degree hint inconsistent with the widths and thresholds");
+        }
+        if let Some(sentence) = self.sentence.get() {
+            let expected = corresponding_sentence_with_forest(
+                &self.evaluated,
+                &self.analysis.elimination_forest,
+                widths.treedepth,
+            );
+            if sentence.sentence != expected.sentence
+                || sentence.core != expected.core
+                || sentence.treedepth != expected.treedepth
+                || sentence.forest != expected.forest
+            {
+                return Err("cached sentence differs from a fresh compilation");
+            }
+        }
+        if let Some(staircase) = self.staircase.get() {
+            if *staircase != self.analysis.path_decomposition.normalize_staircase() {
+                return Err("cached staircase differs from a fresh normalization");
+            }
+        }
+        match self.counting.get() {
+            Some(_) if self.evaluated == self.original => {
+                // When the evaluated structure *is* the original the plan
+                // reuses the decision certificates and never populates this
+                // slot; a populated slot is a non-canonical (tampered)
+                // record.
+                return Err("redundant counting certificates");
+            }
+            Some(counting) => {
+                Self::verify_analysis(counting, &gaifman_graph(&self.original))?;
+            }
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// Certificate-side consistency: every certificate must be valid for
+    /// the graph and witness exactly the claimed width.  (A valid
+    /// certificate of the claimed width cannot understate the true width,
+    /// so the registry can never be tricked into running a solver outside
+    /// its licence with an unusable certificate.)
+    fn verify_analysis(analysis: &StructuralAnalysis, gaifman: &Graph) -> Result<(), &'static str> {
+        let widths = analysis.widths;
+        if !analysis.tree_decomposition.is_valid_for(gaifman)
+            || analysis.tree_decomposition.width() != widths.treewidth
+        {
+            return Err("invalid or inconsistent tree decomposition");
+        }
+        if !analysis.path_decomposition.is_valid_for(gaifman)
+            || analysis.path_decomposition.width() != widths.pathwidth
+        {
+            return Err("invalid or inconsistent path decomposition");
+        }
+        if !analysis.elimination_forest.is_valid_for(gaifman)
+            || analysis.elimination_forest.height() != widths.treedepth
+        {
+            return Err("invalid or inconsistent elimination forest");
+        }
+        Ok(())
     }
 }
 

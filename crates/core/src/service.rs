@@ -38,6 +38,7 @@
 
 use crate::counting::{CountRegistry, CountReport};
 use crate::engine::{EngineConfig, EngineReport};
+use crate::persist::{PersistError, PlanStore, WarmStartSummary};
 use crate::prepared::PreparedQuery;
 use crate::registry::SolverRegistry;
 use crate::Degree;
@@ -127,6 +128,20 @@ pub struct PrepStats {
     /// above, so `treewidth_calls == preparations + counting_preparations`
     /// holds when nothing else runs DPs on the engine's behalf.
     pub counting_preparations: u64,
+    /// Plans adopted into the cache from a plan store
+    /// ([`Engine::load_plans`]) after decoding **and** verification.  A
+    /// warm-started workload shows `plans_loaded > 0` with `preparations`,
+    /// width DPs and core computations all unchanged — the invariant the
+    /// CI round-trip gate asserts.
+    pub plans_loaded: u64,
+    /// Plan-store records this engine refused: corrupt frames, payloads
+    /// failing [`PreparedQuery::verify`], records prepared under an
+    /// incompatible configuration, or duplicates of already-cached plans.
+    /// Each rejected record degrades to a cold prepare on first traffic,
+    /// never to a wrong answer.
+    pub plans_rejected: u64,
+    /// Plans written out by [`Engine::save_plans`].
+    pub plans_saved: u64,
 }
 
 impl PrepStats {
@@ -145,6 +160,9 @@ struct PrepCounters {
     treedepth_calls: AtomicU64,
     core_computations: AtomicU64,
     counting_preparations: AtomicU64,
+    plans_loaded: AtomicU64,
+    plans_rejected: AtomicU64,
+    plans_saved: AtomicU64,
 }
 
 impl PrepCounters {
@@ -156,6 +174,9 @@ impl PrepCounters {
             treedepth_calls: self.treedepth_calls.load(Ordering::Relaxed),
             core_computations: self.core_computations.load(Ordering::Relaxed),
             counting_preparations: self.counting_preparations.load(Ordering::Relaxed),
+            plans_loaded: self.plans_loaded.load(Ordering::Relaxed),
+            plans_rejected: self.plans_rejected.load(Ordering::Relaxed),
+            plans_saved: self.plans_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -1021,6 +1042,123 @@ impl Engine {
     /// database, shared by decision and counting traffic).
     pub fn index_stats(&self) -> IndexStats {
         self.indexes.stats()
+    }
+
+    /// Every plan this engine currently holds — the cached plans of all
+    /// shards plus registered plans that outlived eviction — deduplicated
+    /// by fingerprint and sorted by it, so the snapshot (and therefore a
+    /// saved store's bytes) is deterministic.
+    fn snapshot_plans(&self) -> Vec<Arc<PreparedQuery>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for shard in &self.cache.shards {
+            for slot in &shard.lock().expect("cache shard lock").slots {
+                if seen.insert(slot.plan.fingerprint()) {
+                    out.push(Arc::clone(&slot.plan));
+                }
+            }
+        }
+        for plan in self.registered.lock().expect("registry lock").iter() {
+            if seen.insert(plan.fingerprint()) {
+                out.push(Arc::clone(plan));
+            }
+        }
+        out.sort_by_key(|p| p.fingerprint());
+        out
+    }
+
+    /// Persist every currently held plan (cached and registered) to a
+    /// [`crate::persist::PlanStore`] file at `path`, returning how many
+    /// plans were written.  Lazily materialized artifacts (sentence,
+    /// staircase, counting certificates) are saved exactly as far as
+    /// traffic has forced them — a loader materializes the rest on first
+    /// use, like any in-process plan.
+    pub fn save_plans(&self, path: impl AsRef<std::path::Path>) -> Result<u64, PersistError> {
+        let plans = self.snapshot_plans();
+        let mut store = PlanStore::new(self.config);
+        for plan in &plans {
+            store.push_plan(plan);
+        }
+        store.write_to(path)?;
+        self.prep
+            .plans_saved
+            .fetch_add(plans.len() as u64, Ordering::Relaxed);
+        Ok(plans.len() as u64)
+    }
+
+    /// Warm-start the sharded plan cache from a plan-store file: decode
+    /// each record, verify it against this engine's configuration
+    /// ([`PreparedQuery::verify`] — fingerprint, hom-equivalence of the
+    /// evaluated core, certificate validity, threshold consistency), and
+    /// cache the survivors.  Rejected records are counted
+    /// ([`PrepStats::plans_rejected`]) and skipped: the queries they would
+    /// have served fall back to a cold prepare on first sight, so a
+    /// corrupted or stale store can cost time but never a wrong answer.
+    ///
+    /// File-level failures (missing file, foreign bytes, version mismatch,
+    /// whole-file checksum) are returned as [`PersistError`]; the engine is
+    /// unchanged in that case.
+    pub fn load_plans(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<WarmStartSummary, PersistError> {
+        let store = PlanStore::read_from(path)?;
+        Ok(self.adopt_store(&store))
+    }
+
+    /// [`Engine::load_plans`], from an in-memory store image (the unit the
+    /// corruption tests drive directly).
+    pub fn adopt_store(&self, store: &PlanStore) -> WarmStartSummary {
+        let mut summary = WarmStartSummary {
+            loaded: 0,
+            rejected: store.corrupt_records(),
+        };
+        let compatible =
+            store.config().plan_compatible(&self.config) && self.cache.total_capacity > 0;
+        for record in store.records() {
+            if !compatible {
+                summary.rejected += 1;
+                continue;
+            }
+            let plan = match record.decode_plan() {
+                Ok(plan) => plan,
+                Err(_) => {
+                    summary.rejected += 1;
+                    continue;
+                }
+            };
+            if plan.fingerprint() != record.fingerprint()
+                || plan.verify(&self.config).is_err()
+                || self
+                    .cache
+                    .find(plan.fingerprint(), plan.original())
+                    .is_some()
+            {
+                summary.rejected += 1;
+                continue;
+            }
+            self.cache.insert(Arc::new(plan));
+            summary.loaded += 1;
+        }
+        self.prep
+            .plans_loaded
+            .fetch_add(summary.loaded, Ordering::Relaxed);
+        self.prep
+            .plans_rejected
+            .fetch_add(summary.rejected, Ordering::Relaxed);
+        summary
+    }
+
+    /// Builder form of [`Engine::load_plans`]: construct the engine, then
+    /// warm-start it from `path` — `Engine::new(config).with_plan_store(p)`
+    /// is the restart counterpart of a long-running engine's
+    /// [`Engine::save_plans`].
+    pub fn with_plan_store(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Engine, PersistError> {
+        self.load_plans(path)?;
+        Ok(self)
     }
 }
 

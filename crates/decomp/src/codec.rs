@@ -1,0 +1,192 @@
+//! Binary codec ([`Encode`] / [`Decode`]) for the decomposition
+//! certificates a prepared query persists: tree decompositions, path
+//! decompositions, elimination forests, width profiles, and the full
+//! [`StructuralAnalysis`] bundle.
+//!
+//! Decoding re-establishes the *shape* invariants the in-memory types rely
+//! on (bag indices parallel to tree vertices, in-range and **acyclic**
+//! parent maps — a cyclic parent map would send
+//! [`EliminationForest::depths`] into unbounded recursion), so a corrupted
+//! record fails cleanly instead of panicking or hanging.  Semantic validity
+//! against a particular graph ([`TreeDecomposition::is_valid_for`] and
+//! friends) is the plan-store loader's job: it has the graph, the decoder
+//! does not.
+
+use crate::decomposition::{EliminationForest, PathDecomposition, TreeDecomposition};
+use crate::{StructuralAnalysis, WidthProfile};
+use cq_graphs::Graph;
+use cq_structures::codec::{Decode, DecodeError, Encode, Reader};
+use std::collections::BTreeSet;
+
+impl Encode for WidthProfile {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.treewidth.encode(out);
+        self.pathwidth.encode(out);
+        self.treedepth.encode(out);
+    }
+}
+
+impl Decode for WidthProfile {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(WidthProfile {
+            treewidth: usize::decode(r)?,
+            pathwidth: usize::decode(r)?,
+            treedepth: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TreeDecomposition {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tree.encode(out);
+        self.bags.encode(out);
+    }
+}
+
+impl Decode for TreeDecomposition {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let tree = Graph::decode(r)?;
+        let bags = Vec::<BTreeSet<usize>>::decode(r)?;
+        if bags.len() != tree.vertex_count() {
+            return Err(DecodeError::Invalid {
+                what: "bag count differs from decomposition-tree vertex count",
+            });
+        }
+        Ok(TreeDecomposition { tree, bags })
+    }
+}
+
+impl Encode for PathDecomposition {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bags.encode(out);
+    }
+}
+
+impl Decode for PathDecomposition {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PathDecomposition {
+            bags: Vec::<BTreeSet<usize>>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for EliminationForest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.parent.encode(out);
+    }
+}
+
+impl Decode for EliminationForest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let parent = Vec::<Option<usize>>::decode(r)?;
+        let n = parent.len();
+        if parent.iter().flatten().any(|&p| p >= n) {
+            return Err(DecodeError::Invalid {
+                what: "elimination-forest parent outside the vertex range",
+            });
+        }
+        // Reject parent cycles at decode time: the recursive depth/height
+        // computations assume a forest and would otherwise recurse without
+        // bound on hostile input.  A walk of more than `n` steps from any
+        // vertex proves a cycle.
+        for v in 0..n {
+            let mut cur = parent[v];
+            let mut steps = 0usize;
+            while let Some(p) = cur {
+                steps += 1;
+                if steps > n {
+                    return Err(DecodeError::Invalid {
+                        what: "elimination-forest parent map contains a cycle",
+                    });
+                }
+                cur = parent[p];
+            }
+        }
+        Ok(EliminationForest { parent })
+    }
+}
+
+impl Encode for StructuralAnalysis {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.widths.encode(out);
+        self.tree_decomposition.encode(out);
+        self.path_decomposition.encode(out);
+        self.elimination_forest.encode(out);
+    }
+}
+
+impl Decode for StructuralAnalysis {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(StructuralAnalysis {
+            widths: WidthProfile::decode(r)?,
+            tree_decomposition: TreeDecomposition::decode(r)?,
+            path_decomposition: PathDecomposition::decode(r)?,
+            elimination_forest: EliminationForest::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_graphs::families::{cycle_graph, grid_graph, path_graph, star_graph};
+    use cq_structures::codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn certificates_roundtrip_with_validity_preserved() {
+        for g in [
+            path_graph(6),
+            cycle_graph(5),
+            star_graph(4),
+            grid_graph(2, 3),
+        ] {
+            let a = crate::analyze(&g);
+            let bytes = encode_to_vec(&a);
+            let back: StructuralAnalysis = decode_from_slice(&bytes).expect("roundtrip");
+            assert_eq!(back.widths, a.widths);
+            assert_eq!(back.tree_decomposition, a.tree_decomposition);
+            assert_eq!(back.path_decomposition, a.path_decomposition);
+            assert_eq!(back.elimination_forest, a.elimination_forest);
+            assert!(back.tree_decomposition.is_valid_for(&g));
+            assert!(back.path_decomposition.is_valid_for(&g));
+            assert!(back.elimination_forest.is_valid_for(&g));
+        }
+    }
+
+    #[test]
+    fn staircase_form_roundtrips() {
+        let g = path_graph(5);
+        let stair = crate::analyze(&g).path_decomposition.normalize_staircase();
+        let back: PathDecomposition = decode_from_slice(&encode_to_vec(&stair)).unwrap();
+        assert_eq!(back, stair);
+        assert!(back.is_staircase());
+    }
+
+    #[test]
+    fn forest_parent_cycles_rejected() {
+        let cyclic = EliminationForest {
+            parent: vec![Some(1), Some(0), None],
+        };
+        let bytes = encode_to_vec(&cyclic);
+        assert!(matches!(
+            decode_from_slice::<EliminationForest>(&bytes),
+            Err(DecodeError::Invalid { .. })
+        ));
+        // Out-of-range parent.
+        let oob = EliminationForest {
+            parent: vec![Some(9)],
+        };
+        assert!(decode_from_slice::<EliminationForest>(&encode_to_vec(&oob)).is_err());
+    }
+
+    #[test]
+    fn bag_count_mismatch_rejected() {
+        let g = path_graph(3);
+        let mut td = crate::analyze(&g).tree_decomposition;
+        let mut bytes = Vec::new();
+        td.tree.encode(&mut bytes);
+        td.bags.pop();
+        td.bags.encode(&mut bytes);
+        assert!(decode_from_slice::<TreeDecomposition>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Binary codec ([`Encode`] / [`Decode`]) for [`Graph`] — the Gaifman
+//! graphs persisted inside prepared-query plans (`cq_core::persist`).
+
+use crate::graph::Graph;
+use cq_structures::codec::{Decode, DecodeError, Encode, Reader};
+
+impl Encode for Graph {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.vertex_count().encode(out);
+        // Edges as ordered pairs `(a, b)` with `a < b`, in sorted order —
+        // exactly what [`Graph::edges`] yields, so the encoding is
+        // canonical and deterministic.
+        self.edges().encode(out);
+    }
+}
+
+impl Decode for Graph {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = usize::decode(r)?;
+        if n as u64 > u64::from(u32::MAX) {
+            return Err(DecodeError::LengthOutOfRange {
+                what: "graph vertex count",
+                len: n as u64,
+            });
+        }
+        let edges = Vec::<(usize, usize)>::decode(r)?;
+        // Validate before construction: `Graph::add_edge` asserts (panics)
+        // on out-of-range endpoints, and a corrupt record must never panic.
+        for &(a, b) in &edges {
+            if a >= n || b >= n {
+                return Err(DecodeError::Invalid {
+                    what: "graph edge endpoint outside the vertex range",
+                });
+            }
+            if a >= b {
+                return Err(DecodeError::Invalid {
+                    what: "graph edge not in canonical (a < b) order",
+                });
+            }
+        }
+        Ok(Graph::from_edges(n, &edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use cq_structures::codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn graph_roundtrips() {
+        for g in [
+            Graph::new(1),
+            families::path_graph(6),
+            families::cycle_graph(5),
+            families::grid_graph(3, 3),
+            families::star_graph(4),
+            Graph::new(4), // edgeless, multiple vertices
+        ] {
+            let bytes = encode_to_vec(&g);
+            let back: Graph = decode_from_slice(&bytes).expect("roundtrip");
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn out_of_range_edges_rejected_without_panic() {
+        let mut bytes = Vec::new();
+        3usize.encode(&mut bytes);
+        vec![(0usize, 9usize)].encode(&mut bytes);
+        assert!(decode_from_slice::<Graph>(&bytes).is_err());
+        // Loop edge (a == b) is non-canonical.
+        let mut bytes = Vec::new();
+        3usize.encode(&mut bytes);
+        vec![(1usize, 1usize)].encode(&mut bytes);
+        assert!(decode_from_slice::<Graph>(&bytes).is_err());
+    }
+}

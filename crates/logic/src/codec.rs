@@ -1,0 +1,226 @@
+//! Binary codec ([`Encode`] / [`Decode`]) for formulas and the compiled
+//! tree-depth sentence a prepared query persists.
+//!
+//! [`Formula`] is the one recursive type in the plan store, so its decoder
+//! carries an explicit nesting cap ([`MAX_FORMULA_DEPTH`]): a hostile byte
+//! stream can spell out arbitrarily deep `Not`/`∃` chains one tag byte at a
+//! time, and without the cap each level would become a real stack frame.
+//! Compiled `{∧,∃}`-sentences nest at most `td + 1` quantifiers over
+//! parameter-sized queries, orders of magnitude below the cap.
+
+use crate::formula::{Formula, QuantifierKind};
+use crate::treedepth_sentence::TreeDepthSentence;
+use cq_structures::codec::{Decode, DecodeError, Encode, Reader};
+use cq_structures::Structure;
+
+/// Maximum AST nesting depth the [`Formula`] decoder accepts.
+pub const MAX_FORMULA_DEPTH: usize = 512;
+
+impl Encode for QuantifierKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            QuantifierKind::Exists => 0,
+            QuantifierKind::Forall => 1,
+        });
+    }
+}
+
+impl Decode for QuantifierKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(QuantifierKind::Exists),
+            1 => Ok(QuantifierKind::Forall),
+            tag => Err(DecodeError::BadTag {
+                what: "QuantifierKind",
+                tag,
+            }),
+        }
+    }
+}
+
+const TAG_ATOM: u8 = 0;
+const TAG_EQUAL: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_NOT: u8 = 3;
+const TAG_AND: u8 = 4;
+const TAG_OR: u8 = 5;
+const TAG_QUANTIFIED: u8 = 6;
+
+impl Encode for Formula {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Formula::Atom { relation, vars } => {
+                out.push(TAG_ATOM);
+                relation.encode(out);
+                vars.encode(out);
+            }
+            Formula::Equal(a, b) => {
+                out.push(TAG_EQUAL);
+                a.encode(out);
+                b.encode(out);
+            }
+            Formula::True => out.push(TAG_TRUE),
+            Formula::Not(f) => {
+                out.push(TAG_NOT);
+                f.encode(out);
+            }
+            Formula::And(fs) => {
+                out.push(TAG_AND);
+                fs.encode(out);
+            }
+            Formula::Or(fs) => {
+                out.push(TAG_OR);
+                fs.encode(out);
+            }
+            Formula::Quantified { kind, var, body } => {
+                out.push(TAG_QUANTIFIED);
+                kind.encode(out);
+                var.encode(out);
+                body.encode(out);
+            }
+        }
+    }
+}
+
+fn decode_formula(r: &mut Reader<'_>, depth: usize) -> Result<Formula, DecodeError> {
+    if depth > MAX_FORMULA_DEPTH {
+        return Err(DecodeError::LengthOutOfRange {
+            what: "formula nesting depth",
+            len: depth as u64,
+        });
+    }
+    match r.read_u8()? {
+        TAG_ATOM => Ok(Formula::Atom {
+            relation: String::decode(r)?,
+            vars: Vec::<String>::decode(r)?,
+        }),
+        TAG_EQUAL => Ok(Formula::Equal(String::decode(r)?, String::decode(r)?)),
+        TAG_TRUE => Ok(Formula::True),
+        TAG_NOT => Ok(Formula::Not(Box::new(decode_formula(r, depth + 1)?))),
+        TAG_AND => Ok(Formula::And(decode_formula_list(r, depth)?)),
+        TAG_OR => Ok(Formula::Or(decode_formula_list(r, depth)?)),
+        TAG_QUANTIFIED => Ok(Formula::Quantified {
+            kind: QuantifierKind::decode(r)?,
+            var: String::decode(r)?,
+            body: Box::new(decode_formula(r, depth + 1)?),
+        }),
+        tag => Err(DecodeError::BadTag {
+            what: "Formula",
+            tag,
+        }),
+    }
+}
+
+fn decode_formula_list(r: &mut Reader<'_>, depth: usize) -> Result<Vec<Formula>, DecodeError> {
+    let count = r.read_count("formula list length")?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(decode_formula(r, depth + 1)?);
+    }
+    Ok(out)
+}
+
+impl Decode for Formula {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        decode_formula(r, 0)
+    }
+}
+
+impl Encode for TreeDepthSentence {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sentence.encode(out);
+        self.core.encode(out);
+        self.treedepth.encode(out);
+        self.forest.encode(out);
+    }
+}
+
+impl Decode for TreeDepthSentence {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TreeDepthSentence {
+            sentence: Formula::decode(r)?,
+            core: Structure::decode(r)?,
+            treedepth: usize::decode(r)?,
+            forest: cq_decomp::EliminationForest::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treedepth_sentence::corresponding_sentence;
+    use cq_structures::codec::{decode_from_slice, encode_to_vec};
+    use cq_structures::families;
+
+    #[test]
+    fn formula_roundtrips() {
+        let formulas = [
+            Formula::True,
+            Formula::atom("E", &["x0", "x1"]),
+            Formula::Equal("x".into(), "y".into()),
+            Formula::Not(Box::new(Formula::atom("P", &["x"]))),
+            Formula::Or(vec![Formula::True, Formula::atom("P", &["x"])]),
+            Formula::forall(
+                "x",
+                Formula::exists(
+                    "y",
+                    Formula::And(vec![
+                        Formula::atom("E", &["x", "y"]),
+                        Formula::Equal("x".into(), "y".into()),
+                    ]),
+                ),
+            ),
+        ];
+        for f in formulas {
+            let back: Formula = decode_from_slice(&encode_to_vec(&f)).expect("roundtrip");
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn compiled_sentences_roundtrip() {
+        for q in [families::star(4), families::path(7), families::cycle(5)] {
+            let t = corresponding_sentence(&q);
+            let back: TreeDepthSentence = decode_from_slice(&encode_to_vec(&t)).expect("roundtrip");
+            assert_eq!(back.sentence, t.sentence);
+            assert_eq!(back.core, t.core);
+            assert_eq!(back.treedepth, t.treedepth);
+            assert_eq!(back.forest, t.forest);
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_depth_is_a_clean_error() {
+        // A chain of `Not` tags one byte deep each — a crafted stream that
+        // would otherwise grow the decode stack without bound.
+        let mut bytes = vec![TAG_NOT; MAX_FORMULA_DEPTH + 8];
+        bytes.push(TAG_TRUE);
+        assert!(matches!(
+            decode_from_slice::<Formula>(&bytes),
+            Err(DecodeError::LengthOutOfRange { .. })
+        ));
+        // A chain below the cap decodes fine.
+        let mut ok = vec![TAG_NOT; 16];
+        ok.push(TAG_TRUE);
+        assert!(decode_from_slice::<Formula>(&ok).is_ok());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(matches!(
+            decode_from_slice::<Formula>(&[99]),
+            Err(DecodeError::BadTag {
+                what: "Formula",
+                tag: 99
+            })
+        ));
+        assert!(matches!(
+            decode_from_slice::<QuantifierKind>(&[5]),
+            Err(DecodeError::BadTag {
+                what: "QuantifierKind",
+                tag: 5
+            })
+        ));
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod canonical;
+pub mod codec;
 pub mod formula;
 pub mod modelcheck;
 pub mod treedepth_sentence;

@@ -32,6 +32,26 @@ impl Default for BacktrackConfig {
     }
 }
 
+impl cq_structures::codec::Encode for BacktrackConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.preprocess_arc_consistency.encode(out);
+        self.maintain_arc_consistency.encode(out);
+        self.fail_first_ordering.encode(out);
+    }
+}
+
+impl cq_structures::codec::Decode for BacktrackConfig {
+    fn decode(
+        r: &mut cq_structures::codec::Reader<'_>,
+    ) -> Result<Self, cq_structures::codec::DecodeError> {
+        Ok(BacktrackConfig {
+            preprocess_arc_consistency: bool::decode(r)?,
+            maintain_arc_consistency: bool::decode(r)?,
+            fail_first_ordering: bool::decode(r)?,
+        })
+    }
+}
+
 /// Statistics of one solver run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BacktrackStats {

@@ -1,0 +1,752 @@
+//! The hand-rolled, versioned, length-prefixed binary codec behind the
+//! persistent plan store (`cq_core::persist`).
+//!
+//! The container builds offline — no serde, no crates.io — so persistence is
+//! built on two tiny traits, [`Encode`] and [`Decode`], implemented across
+//! the workspace for every artifact a [`crate::Structure`]-level plan
+//! carries.  Design rules, chosen so that a corrupted byte stream can cost a
+//! failed decode but never a panic, a hang, or a silently wrong value:
+//!
+//! * every integer is a fixed-width **little-endian** word (`u64` for
+//!   lengths and counts), every byte sequence is length-prefixed;
+//! * decoders **validate while reading**: length prefixes are checked
+//!   against the bytes actually remaining before any allocation, enum tags
+//!   outside their range are a [`DecodeError::BadTag`], and structural
+//!   invariants (tuple arities, element ranges, parent-map acyclicity,
+//!   UTF-8) are re-established through the same checked constructors the
+//!   rest of the workspace uses;
+//! * decoding is **total**: [`Decode::decode`] returns `Result`, and no
+//!   implementation in the workspace panics or recurses unboundedly on
+//!   untrusted input (recursive formats carry an explicit depth cap).
+//!
+//! The file-level container (magic, format version, per-record and
+//! whole-file [`fnv1a64`] checksums) lives in `cq_core::persist`; this
+//! module provides the value codec and the error type both layers share.
+
+use crate::error::StructureError;
+use crate::structure::{Structure, Tuple};
+use crate::vocabulary::Vocabulary;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors produced by [`Decode`] implementations and the plan-store
+/// container format.
+///
+/// Every variant is a *clean* failure: the decoder detected the problem
+/// before constructing a value, so callers can treat any error as "this
+/// record does not exist" and fall back to recomputing (a cold prepare).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the announced value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder needed to make progress.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The leading magic bytes are not the plan-store magic.
+    BadMagic,
+    /// The file declares a format version this build does not read.
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u32,
+        /// The (single) version this build supports.
+        supported: u32,
+    },
+    /// A checksum did not match the bytes it covers.
+    BadChecksum {
+        /// Which checksum failed (`"file"` or `"record"`).
+        what: &'static str,
+    },
+    /// An enum tag byte outside the valid range for its type.
+    BadTag {
+        /// The type whose tag was invalid.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A length or count prefix that cannot be satisfied by the remaining
+    /// input (or exceeds an implementation limit).
+    LengthOutOfRange {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending length.
+        len: u64,
+    },
+    /// A structural invariant of the decoded type failed (arity mismatch,
+    /// element out of range, non-canonical ordering, cyclic parent map, …).
+    Invalid {
+        /// A short description of the violated invariant.
+        what: &'static str,
+    },
+    /// The input was longer than the encoded value.
+    TrailingBytes {
+        /// Unconsumed bytes after a complete decode.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, available } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {available} available"
+                )
+            }
+            DecodeError::BadMagic => write!(f, "bad magic bytes (not a plan store)"),
+            DecodeError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads version {supported})"
+                )
+            }
+            DecodeError::BadChecksum { what } => write!(f, "{what} checksum mismatch"),
+            DecodeError::BadTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
+            DecodeError::LengthOutOfRange { what, len } => {
+                write!(f, "length {len} out of range for {what}")
+            }
+            DecodeError::Invalid { what } => write!(f, "invalid encoding: {what}"),
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A bounds-checked cursor over a byte slice, the input of every
+/// [`Decode`] implementation.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The current read position (bytes consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consume one byte.
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Consume a `u64` that must fit a `usize` and — as a cheap sanity bound
+    /// for count prefixes — must not exceed the remaining input length
+    /// (every encoded element occupies at least one byte, so a count beyond
+    /// `remaining()` is corrupt by construction and is rejected **before**
+    /// any allocation).
+    pub fn read_count(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        let raw = self.read_u64()?;
+        let count: usize = raw
+            .try_into()
+            .map_err(|_| DecodeError::LengthOutOfRange { what, len: raw })?;
+        if count > self.remaining() {
+            return Err(DecodeError::LengthOutOfRange { what, len: raw });
+        }
+        Ok(count)
+    }
+}
+
+/// Serialize a value into a byte stream (appending to `out`).
+///
+/// Encodings are **deterministic**: the same value always produces the same
+/// bytes (all workspace collections are encoded in their canonical sorted /
+/// insertion order), so checked-in golden fixtures are stable across runs
+/// and platforms.
+pub trait Encode {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// Deserialize a value from a [`Reader`], validating every invariant the
+/// in-memory type maintains by construction.
+pub trait Decode: Sized {
+    /// Read one value, consuming exactly its encoding.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encode a value into a fresh byte vector.
+pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decode a value that must span the whole slice (trailing bytes are an
+/// error — a length-prefixed container that leaves residue is corrupt).
+pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(DecodeError::TrailingBytes {
+            count: r.remaining(),
+        });
+    }
+    Ok(value)
+}
+
+/// Encode an `Option<&T>` with the same wire format as `Option<T>` — for
+/// lazily materialized fields read out of a `OnceLock` without cloning.
+pub fn encode_option_ref<T: Encode>(value: Option<&T>, out: &mut Vec<u8>) {
+    match value {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            v.encode(out);
+        }
+    }
+}
+
+/// FNV-1a over a byte slice — the checksum of the plan-store container.
+/// Deterministic across runs and platforms (unlike `DefaultHasher`, whose
+/// algorithm is unspecified).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn invalid(what: &'static str) -> DecodeError {
+    DecodeError::Invalid { what }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+impl Encode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.read_u8()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.read_u32()
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.read_u64()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let raw = r.read_u64()?;
+        raw.try_into().map_err(|_| DecodeError::LengthOutOfRange {
+            what: "usize",
+            len: raw,
+        })
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.read_count("string length")?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("string is not UTF-8"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let count = r.read_count("vector length")?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Sets of universe elements / graph vertices (decomposition bags).  The
+/// decoder re-checks the strictly-increasing canonical order, so a
+/// hand-mangled record cannot smuggle in duplicates.
+impl Encode for BTreeSet<usize> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for &e in self {
+            e.encode(out);
+        }
+    }
+}
+
+impl Decode for BTreeSet<usize> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let count = r.read_count("set length")?;
+        let mut out = BTreeSet::new();
+        let mut prev: Option<usize> = None;
+        for _ in 0..count {
+            let e = usize::decode(r)?;
+            if prev.is_some_and(|p| p >= e) {
+                return Err(invalid("set elements not strictly increasing"));
+            }
+            prev = Some(e);
+            out.insert(e);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary and Structure
+// ---------------------------------------------------------------------------
+
+impl Encode for Vocabulary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for (_, sym) in self.iter() {
+            sym.name.encode(out);
+            sym.arity.encode(out);
+        }
+    }
+}
+
+impl Decode for Vocabulary {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let count = r.read_count("vocabulary size")?;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = String::decode(r)?;
+            let arity = usize::decode(r)?;
+            pairs.push((name, arity));
+        }
+        // `from_pairs` collapses duplicates, which would silently change the
+        // symbol count; a canonical encoding never contains them.
+        let vocab =
+            Vocabulary::from_pairs(pairs).map_err(|_| invalid("conflicting vocabulary symbols"))?;
+        if vocab.len() != count {
+            return Err(invalid("duplicate vocabulary symbols"));
+        }
+        Ok(vocab)
+    }
+}
+
+impl Encode for Structure {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.vocabulary().encode(out);
+        self.universe_size().encode(out);
+        for id in self.vocabulary().ids() {
+            let rel = self.relation(id);
+            (rel.len() as u64).encode(out);
+            for t in rel.tuples() {
+                // Arity is fixed by the symbol: no per-tuple length prefix.
+                for &e in t {
+                    e.encode(out);
+                }
+            }
+        }
+        self.encode_labels(out);
+    }
+}
+
+impl Structure {
+    fn encode_labels(&self, out: &mut Vec<u8>) {
+        let labels: Option<Vec<String>> = self.labels_vec();
+        labels.encode(out);
+    }
+
+    fn labels_vec(&self) -> Option<Vec<String>> {
+        self.label(0)?;
+        Some(
+            (0..self.universe_size())
+                .map(|e| self.label(e).unwrap_or_default().to_string())
+                .collect(),
+        )
+    }
+}
+
+impl Decode for Structure {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let vocab = Vocabulary::decode(r)?;
+        let universe = usize::decode(r)?;
+        if universe == 0 || universe as u64 > u64::from(u32::MAX) {
+            return Err(DecodeError::LengthOutOfRange {
+                what: "universe size",
+                len: universe as u64,
+            });
+        }
+        let mut s =
+            Structure::new(vocab.clone(), universe).map_err(|_| invalid("empty universe"))?;
+        for id in vocab.ids() {
+            let arity = vocab.arity(id);
+            let tuple_count = r.read_count("relation tuple count")?;
+            // The arity comes from the decoded vocabulary and is untrusted:
+            // a single tuple of this arity occupies `arity * 8` bytes, so an
+            // arity no remaining input could satisfy is corrupt — reject it
+            // *before* sizing any buffer by it.
+            if tuple_count > 0
+                && arity
+                    .checked_mul(8)
+                    .is_none_or(|bytes| bytes > r.remaining())
+            {
+                return Err(DecodeError::LengthOutOfRange {
+                    what: "tuple arity",
+                    len: arity as u64,
+                });
+            }
+            for _ in 0..tuple_count {
+                let mut t: Tuple = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    t.push(usize::decode(r)?);
+                }
+                // `add_tuple` re-validates arity and element range, so a
+                // corrupt tuple is a clean error, never an inconsistent
+                // structure.
+                s.add_tuple(id, t).map_err(|e| match e {
+                    StructureError::ElementOutOfRange { .. } => {
+                        invalid("tuple element outside the universe")
+                    }
+                    _ => invalid("malformed tuple"),
+                })?;
+            }
+        }
+        let labels = Option::<Vec<String>>::decode(r)?;
+        if let Some(labels) = labels {
+            if labels.len() != universe {
+                return Err(invalid("label count differs from universe size"));
+            }
+            s = s.with_labels(labels);
+        }
+        Ok(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conjunctive queries
+// ---------------------------------------------------------------------------
+
+impl Encode for crate::cq::ConjunctiveQuery {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.variables().to_vec().encode(out);
+        (self.atoms().len() as u64).encode(out);
+        for atom in self.atoms() {
+            atom.relation.encode(out);
+            atom.variables.encode(out);
+        }
+    }
+}
+
+impl Decode for crate::cq::ConjunctiveQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let variables = Vec::<String>::decode(r)?;
+        let atom_count = r.read_count("atom count")?;
+        let mut q = crate::cq::ConjunctiveQuery::new();
+        for v in &variables {
+            q.declare_variable(v.clone());
+        }
+        for _ in 0..atom_count {
+            let relation = String::decode(r)?;
+            let vars = Vec::<String>::decode(r)?;
+            q.atom(&relation, &vars);
+        }
+        if q.variables() != variables {
+            return Err(invalid("atom variables not declared up front"));
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = encode_to_vec(value);
+        let back: T = decode_from_slice(&bytes).expect("roundtrip decode");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(&0u8);
+        roundtrip(&u8::MAX);
+        roundtrip(&0xdead_beefu32);
+        roundtrip(&u64::MAX);
+        roundtrip(&usize::MAX);
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&String::from("héllo ∃∧"));
+        roundtrip(&String::new());
+        roundtrip(&Some(7u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&vec![1usize, 2, 3]);
+        roundtrip(&Vec::<u64>::new());
+        roundtrip(&(3usize, String::from("x")));
+        roundtrip(&[1usize, 5, 9].into_iter().collect::<BTreeSet<usize>>());
+    }
+
+    #[test]
+    fn structure_roundtrips() {
+        for s in [
+            families::star(4),
+            families::cycle(5),
+            families::directed_path(3),
+            families::grid(2, 3),
+            crate::star_expansion(&families::path(4)),
+            families::clique(4).with_labels((0..4).map(|i| format!("v{i}")).collect()),
+        ] {
+            roundtrip(&s);
+        }
+    }
+
+    #[test]
+    fn vocabulary_roundtrips() {
+        roundtrip(&Vocabulary::graph());
+        roundtrip(&Vocabulary::from_pairs([("E", 2), ("C0", 1), ("R", 3)]).unwrap());
+        roundtrip(&Vocabulary::new());
+    }
+
+    #[test]
+    fn conjunctive_query_roundtrips() {
+        let mut q = crate::cq::ConjunctiveQuery::new();
+        q.declare_variable("x");
+        q.atom("E", &["x", "y"]);
+        q.atom("E", &["y", "z"]);
+        roundtrip(&q);
+        roundtrip(&crate::cq::ConjunctiveQuery::new());
+    }
+
+    #[test]
+    fn truncation_is_a_clean_eof() {
+        let bytes = encode_to_vec(&families::cycle(5));
+        for len in 0..bytes.len() {
+            let err = decode_from_slice::<Structure>(&bytes[..len])
+                .expect_err("truncated input must not decode");
+            // Any clean DecodeError is acceptable; the point is no panic and
+            // no success.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_to_vec(&families::star(3));
+        bytes.push(0);
+        assert!(matches!(
+            decode_from_slice::<Structure>(&bytes),
+            Err(DecodeError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn hostile_lengths_rejected_before_allocation() {
+        // A vector claiming u64::MAX elements with 0 bytes of payload.
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes);
+        assert!(matches!(
+            decode_from_slice::<Vec<u64>>(&bytes),
+            Err(DecodeError::LengthOutOfRange { .. })
+        ));
+        // A string claiming more bytes than remain.
+        let mut bytes = Vec::new();
+        1000u64.encode(&mut bytes);
+        bytes.extend_from_slice(b"short");
+        assert!(decode_from_slice::<String>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        // Tuple element outside the universe.
+        let mut bytes = Vec::new();
+        Vocabulary::graph().encode(&mut bytes);
+        2usize.encode(&mut bytes); // universe
+        1u64.encode(&mut bytes); // one tuple in E
+        0usize.encode(&mut bytes);
+        9usize.encode(&mut bytes); // out of range
+        Option::<Vec<String>>::None.encode(&mut bytes);
+        assert_eq!(
+            decode_from_slice::<Structure>(&bytes),
+            Err(DecodeError::Invalid {
+                what: "tuple element outside the universe"
+            })
+        );
+        // Zero universe.
+        let mut bytes = Vec::new();
+        Vocabulary::graph().encode(&mut bytes);
+        0usize.encode(&mut bytes);
+        assert!(decode_from_slice::<Structure>(&bytes).is_err());
+        // Non-canonical set order.
+        let mut bytes = Vec::new();
+        2u64.encode(&mut bytes);
+        5usize.encode(&mut bytes);
+        5usize.encode(&mut bytes);
+        assert!(decode_from_slice::<BTreeSet<usize>>(&bytes).is_err());
+        // Bad bool / Option tags.
+        assert!(matches!(
+            decode_from_slice::<bool>(&[7]),
+            Err(DecodeError::BadTag {
+                what: "bool",
+                tag: 7
+            })
+        ));
+        assert!(matches!(
+            decode_from_slice::<Option<u8>>(&[9]),
+            Err(DecodeError::BadTag {
+                what: "Option",
+                tag: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn fnv_checksum_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"plan"), fnv1a64(b"plna"));
+    }
+
+    #[test]
+    fn structure_encoding_is_deterministic() {
+        let s = crate::star_expansion(&families::tree_t(2));
+        assert_eq!(encode_to_vec(&s), encode_to_vec(&s.clone()));
+    }
+}

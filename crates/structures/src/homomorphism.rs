@@ -272,17 +272,22 @@ impl<'a> Search<'a> {
         true
     }
 
-    fn run<F: FnMut(&[Element]) -> bool>(&self, order: &[Element], visit: &mut F) -> bool {
+    fn run<F: FnMut(&[Option<Element>]) -> bool>(&self, order: &[Element], visit: &mut F) -> bool {
         let mut assignment: Vec<Option<Element>> = vec![None; self.a.universe_size()];
         let mut used = vec![false; self.b.universe_size()];
         self.recurse(order, 0, &mut assignment, &mut used, visit)
     }
 
     /// Depth-first assignment in the given variable order.  `visit` is called
-    /// with each complete homomorphism; returning `true` from `visit` stops
-    /// the search (used for existence queries), returning `false` continues
-    /// enumeration.
-    fn recurse<F: FnMut(&[Element]) -> bool>(
+    /// with each complete homomorphism (every slot `Some`); returning `true`
+    /// from `visit` stops the search (used for existence queries), returning
+    /// `false` continues enumeration.
+    ///
+    /// The assignment is passed by reference, so visitors that only count
+    /// (the brute-force counting oracle of the registry) run the entire
+    /// enumeration without a single per-assignment allocation; visitors that
+    /// keep the map collect it themselves.
+    fn recurse<F: FnMut(&[Option<Element>]) -> bool>(
         &self,
         order: &[Element],
         depth: usize,
@@ -291,8 +296,7 @@ impl<'a> Search<'a> {
         visit: &mut F,
     ) -> bool {
         if depth == order.len() {
-            let total: Vec<Element> = assignment.iter().map(|x| x.unwrap()).collect();
-            return visit(&total);
+            return visit(assignment);
         }
         let var = order[depth];
         for candidate in 0..self.b.universe_size() {
@@ -330,13 +334,20 @@ fn default_order(a: &Structure) -> Vec<Element> {
     order
 }
 
+fn complete(assignment: &[Option<Element>]) -> Vec<Element> {
+    assignment
+        .iter()
+        .map(|x| x.expect("visit sees only complete assignments"))
+        .collect()
+}
+
 /// Find some homomorphism from `a` to `b`, as a total map, if one exists.
 pub fn find_homomorphism(a: &Structure, b: &Structure) -> Option<Vec<Element>> {
     let search = Search::new(a, b, false)?;
     let order = default_order(a);
     let mut found = None;
     search.run(&order, &mut |h| {
-        found = Some(h.to_vec());
+        found = Some(complete(h));
         true
     });
     found
@@ -356,7 +367,7 @@ pub fn find_embedding(a: &Structure, b: &Structure) -> Option<Vec<Element>> {
     let order = default_order(a);
     let mut found = None;
     search.run(&order, &mut |h| {
-        found = Some(h.to_vec());
+        found = Some(complete(h));
         true
     });
     found
@@ -378,7 +389,7 @@ pub fn homomorphisms_iter(a: &Structure, b: &Structure) -> Vec<Vec<Element>> {
     let order = default_order(a);
     let mut all = Vec::new();
     search.run(&order, &mut |h| {
-        all.push(h.to_vec());
+        all.push(complete(h));
         false
     });
     all

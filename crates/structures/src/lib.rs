@@ -14,7 +14,7 @@
 //!   counting and embedding search by plain backtracking (the *reference*
 //!   implementations against which the clever solvers in `cq-solver` are
 //!   validated);
-//! * [`core_of`](core::core_of) — computation of the core of a structure
+//! * `core_of` (in [`core`]) — computation of the core of a structure
 //!   (Section 2.1 of the paper);
 //! * structure operations ([`ops`]) — induced substructures, restrictions,
 //!   expansions, direct products, disjoint unions, and the `A*` expansion
@@ -24,12 +24,15 @@
 //!   tree structures `->B_k` / `B_k`, the trees `T_k`, grids, cliques and
 //!   stars;
 //! * boolean conjunctive queries ([`cq`]) and the Chandra–Merlin
-//!   correspondence between queries and structures.
+//!   correspondence between queries and structures;
+//! * the hand-rolled binary [`codec`] (`Encode` / `Decode`) behind the
+//!   persistent plan store of `cq_core::persist`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod codec;
 pub mod core;
 pub mod cq;
 pub mod error;

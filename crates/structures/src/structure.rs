@@ -145,8 +145,8 @@ impl Structure {
     /// Insert a tuple into the interpretation of `sym`.
     ///
     /// Prefer [`crate::builder::StructureBuilder`] for bulk construction; this
-    /// method re-normalizes the relation on every call sequence boundary via
-    /// [`Structure::finalize`]; it is kept for incremental edits in tests.
+    /// method re-normalizes the relation after every insertion; it is kept
+    /// for incremental edits in tests.
     pub fn add_tuple(&mut self, sym: SymbolId, tuple: Tuple) -> Result<(), StructureError> {
         let arity = self.vocab.arity(sym);
         if tuple.len() != arity {

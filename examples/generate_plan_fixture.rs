@@ -1,0 +1,45 @@
+//! Regenerate the checked-in golden plan-store fixture
+//! `tests/fixtures/plans_v1.bin` — the byte-level pin of plan-store format
+//! version 1 that CI decodes on every build.
+//!
+//! Run after an **intentional, version-bumped** format change:
+//!
+//! ```text
+//! cargo run --example generate_plan_fixture
+//! ```
+//!
+//! then rename / re-pin the fixture to the new version alongside a
+//! `PLAN_STORE_VERSION` bump.  If this regenerates different bytes *without*
+//! a version bump, the codec drifted and the compatibility test is failing
+//! for exactly the reason it exists.
+//!
+//! The fixture content is fully deterministic: the first six
+//! `distinct_query_fleet` queries prepared under the default configuration,
+//! with every lazy artifact (sentence, staircase, counting certificates)
+//! materialized so all optional fields are exercised in their present form,
+//! saved sorted by fingerprint.
+
+use cq_fine::classification::{Engine, EngineConfig};
+use cq_fine::structures::families;
+use cq_fine::workloads::distinct_query_fleet;
+
+fn main() {
+    let config = EngineConfig::default();
+    let engine = Engine::new(config);
+    let target = families::clique(3);
+    for query in distinct_query_fleet(6) {
+        let plan = engine.prepare(&query);
+        plan.sentence();
+        plan.staircase();
+        engine.count_prepared(&plan, &target);
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/plans_v1.bin");
+    let saved = engine.save_plans(path).expect("write fixture");
+    println!("wrote {saved} plans to {path}");
+    let bytes = std::fs::read(path).expect("read back");
+    println!(
+        "fixture: {} bytes, fnv1a64 {:#018x}",
+        bytes.len(),
+        cq_fine::structures::codec::fnv1a64(&bytes)
+    );
+}
