@@ -30,7 +30,6 @@ use crate::prepared::PreparedQuery;
 use crate::service::Engine;
 use crate::Degree;
 use cq_decomp::WidthProfile;
-use cq_solver::kernel::{count_hom_via_tree_decomposition_indexed, count_with_forest_indexed};
 use cq_structures::{count_homomorphisms_bruteforce, Structure, StructureIndex};
 
 /// Which counting algorithm the engine picked.
@@ -135,11 +134,7 @@ impl CountSolver for ForestCountSolver {
         _database: &Structure,
         index: &StructureIndex,
     ) -> CountOutcome {
-        let run = count_with_forest_indexed(
-            query.original(),
-            index,
-            &query.counting_analysis().elimination_forest,
-        );
+        let run = query.count_via_forest(index);
         CountOutcome {
             count: run.count,
             work: Some(run.assignments),
@@ -171,11 +166,7 @@ impl CountSolver for TreeDecCountSolver {
         _database: &Structure,
         index: &StructureIndex,
     ) -> CountOutcome {
-        let run = count_hom_via_tree_decomposition_indexed(
-            query.original(),
-            index,
-            &query.counting_analysis().tree_decomposition,
-        );
+        let run = query.count_via_tree(index);
         CountOutcome {
             count: run.count,
             work: Some(run.peak_table as u64),

@@ -334,9 +334,37 @@ impl PlanStore {
         })
     }
 
-    /// Write the store to a file (created or truncated).
+    /// Write the store to a file (created or replaced) **atomically**: the
+    /// bytes land in a sibling temporary file first and are renamed over
+    /// the destination, so a reader (or a crash) mid-save observes either
+    /// the complete previous store or the complete new one — never a
+    /// truncated prefix.  Concurrent writers race only on which complete
+    /// store wins the rename (last-writer-wins), which the whole-file
+    /// checksum of [`PlanStore::from_bytes`] would otherwise flag as
+    /// corruption.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_bytes())?;
+        let path = path.as_ref();
+        // Unique sibling name: same directory (rename must not cross a
+        // filesystem), disambiguated by pid + a process-wide counter so
+        // concurrent saves to the same destination never share a scratch
+        // file.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let file_name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "plans".to_string());
+        let tmp = path.with_file_name(format!(".{file_name}.tmp.{}.{seq}", std::process::id()));
+        let result = (|| {
+            std::fs::write(&tmp, self.to_bytes())?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            // Best-effort scratch cleanup; the original error is what the
+            // caller needs to see.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result?;
         Ok(())
     }
 
@@ -459,6 +487,67 @@ mod tests {
                 "truncation to {len} bytes must not parse"
             );
         }
+    }
+
+    #[test]
+    fn concurrent_writers_never_leave_a_torn_or_partial_file() {
+        // Several threads hammer the same path with *different* valid stores.
+        // The temp-file + rename protocol guarantees every observable file
+        // state is one complete store (last writer wins); a torn write would
+        // fail the whole-file checksum in `from_bytes`.
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "cq_plan_store_concurrent_{}.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let queries = [families::star(3), families::cycle(5), families::path(4)];
+        let stores: Vec<PlanStore> = queries
+            .iter()
+            .map(|q| store_with(std::slice::from_ref(q)))
+            .collect();
+        let valid_images: Vec<Vec<u8>> = stores.iter().map(PlanStore::to_bytes).collect();
+
+        std::thread::scope(|scope| {
+            for store in &stores {
+                let path = path.clone();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        store.write_to(&path).expect("atomic save");
+                    }
+                });
+            }
+            // A concurrent reader may race the writers: every successful read
+            // must be a complete store, never a prefix or interleaving.
+            let reader_path = path.clone();
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    if let Ok(back) = PlanStore::read_from(&reader_path) {
+                        assert_eq!(back.corrupt_records(), 0);
+                        assert_eq!(back.len(), 1);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+
+        let final_bytes = std::fs::read(&path).expect("file exists after the storm");
+        assert!(
+            valid_images.contains(&final_bytes),
+            "final file must be byte-identical to one complete written store"
+        );
+        let dir = path.parent().expect("temp dir");
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .expect("read temp dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".cq_plan_store_concurrent") && n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -35,14 +35,62 @@ use cq_decomp::{PathDecomposition, StructuralAnalysis, WidthProfile};
 use cq_graphs::{gaifman_graph, Graph};
 use cq_logic::canonical::query_fingerprint;
 use cq_logic::treedepth_sentence::{corresponding_sentence_with_forest, TreeDepthSentence};
+use cq_solver::kernel::{
+    ForestProgram, ForestRun, KernelSearchStats, SearchProgram, StairProgram, TreeDpProgram,
+    TreeDpRun,
+};
+use cq_solver::PathDpReport;
 use cq_structures::codec::{encode_option_ref, Decode, DecodeError, Encode, Reader};
-use cq_structures::{core_of, embedding_exists, homomorphism_exists, Structure};
-use std::sync::{Mutex, OnceLock};
+use cq_structures::{
+    core_of, embedding_exists, homomorphism_exists, Element, Structure, StructureIndex,
+};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cap on memoized count-verified relabelled forms per plan (a client
 /// cycling more distinct orderings than this re-verifies the overflow
 /// ones).
 const MAX_COUNT_VERIFIED_ALIASES: usize = 16;
+
+/// Cap on compiled kernel-program bundles retained per plan — one bundle
+/// per distinct cached database index, least-recently-used beyond this (a
+/// client cycling more hot databases than this recompiles the overflow
+/// ones; compilation is query-sized work, so an eviction costs
+/// milliseconds, never correctness).
+const MAX_KERNEL_BUNDLES: usize = 8;
+
+/// The compiled kernel programs of one `(plan, database index)` pair, each
+/// slot materialized on first use by the corresponding solver entry point
+/// and reused by every later evaluation against the same index (bundles
+/// are keyed by [`StructureIndex::id`]).
+///
+/// Decision programs compile the **evaluated** structure with the decision
+/// certificates; counting programs compile the **original** with the
+/// counting certificates — counting is not core-invariant, so the two
+/// families never share a program even when both are warm.
+#[derive(Default)]
+struct IndexKernels {
+    tree_decide: OnceLock<TreeDpProgram>,
+    stair: OnceLock<StairProgram>,
+    forest_decide: OnceLock<ForestProgram>,
+    search_fail_first: OnceLock<SearchProgram>,
+    search_plain: OnceLock<SearchProgram>,
+    tree_count: OnceLock<TreeDpProgram>,
+    forest_count: OnceLock<ForestProgram>,
+}
+
+impl std::fmt::Debug for IndexKernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexKernels")
+            .field("tree_decide", &self.tree_decide.get().is_some())
+            .field("stair", &self.stair.get().is_some())
+            .field("forest_decide", &self.forest_decide.get().is_some())
+            .field("search_fail_first", &self.search_fail_first.get().is_some())
+            .field("search_plain", &self.search_plain.get().is_some())
+            .field("tree_count", &self.tree_count.get().is_some())
+            .field("forest_count", &self.forest_count.get().is_some())
+            .finish()
+    }
+}
 
 /// A query prepared for repeated evaluation: the core, its Gaifman graph,
 /// the width profile, and the decomposition certificates — computed once,
@@ -74,6 +122,11 @@ pub struct PreparedQuery {
     /// exponential embedding searches per count (the counting analogue of
     /// the cache's decision-level alias memoization).
     count_verified_aliases: Mutex<Vec<Structure>>,
+    /// Compiled kernel programs per cached database index, keyed by
+    /// [`StructureIndex::id`] with most-recently-used entries at the back.
+    /// A runtime cache of compilation work, never persisted (a warm-started
+    /// plan recompiles on first evaluation, exactly like a cold one).
+    kernels: Mutex<Vec<(u64, Arc<IndexKernels>)>>,
 }
 
 impl PreparedQuery {
@@ -117,6 +170,7 @@ impl PreparedQuery {
             staircase: OnceLock::new(),
             counting: OnceLock::new(),
             count_verified_aliases: Mutex::new(Vec::new()),
+            kernels: Mutex::new(Vec::new()),
         }
     }
 
@@ -240,6 +294,111 @@ impl PreparedQuery {
         self.counting_analysis().widths
     }
 
+    /// The kernel-program bundle for one database index, created on first
+    /// sight and LRU-retained up to [`MAX_KERNEL_BUNDLES`] distinct
+    /// indexes.  A poisoned lock only means a panic elsewhere while the
+    /// list was held; the cached programs are still valid.
+    fn kernels_for(&self, index: &StructureIndex) -> Arc<IndexKernels> {
+        let mut cache = self
+            .kernels
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(pos) = cache.iter().position(|(id, _)| *id == index.id()) {
+            let entry = cache.remove(pos);
+            let bundle = Arc::clone(&entry.1);
+            cache.push(entry); // most-recently-used at the back
+            return bundle;
+        }
+        let bundle = Arc::new(IndexKernels::default());
+        if cache.len() >= MAX_KERNEL_BUNDLES {
+            cache.remove(0); // least-recently-used at the front
+        }
+        cache.push((index.id(), Arc::clone(&bundle)));
+        bundle
+    }
+
+    /// Decide through the kernel forest evaluation (tree-depth tier),
+    /// compiling the [`ForestProgram`] of the evaluated structure on first
+    /// use against this index and reusing it afterwards.
+    pub fn decide_via_forest(&self, index: &StructureIndex) -> ForestRun {
+        self.kernels_for(index)
+            .forest_decide
+            .get_or_init(|| {
+                ForestProgram::compile(&self.evaluated, index, &self.analysis.elimination_forest)
+            })
+            .decide(index)
+    }
+
+    /// Decide through the kernel staircase sweep (pathwidth tier),
+    /// compiling the [`StairProgram`] on first use against this index.
+    pub fn decide_via_staircase(&self, index: &StructureIndex) -> PathDpReport {
+        self.kernels_for(index)
+            .stair
+            .get_or_init(|| StairProgram::compile(&self.evaluated, index, self.staircase()))
+            .run(index)
+    }
+
+    /// Decide through the kernel tree DP (treewidth tier), compiling the
+    /// [`TreeDpProgram`] on first use against this index.
+    pub fn decide_via_tree(&self, index: &StructureIndex) -> TreeDpRun {
+        self.kernels_for(index)
+            .tree_decide
+            .get_or_init(|| {
+                TreeDpProgram::compile(&self.evaluated, index, &self.analysis.tree_decomposition)
+            })
+            .decide(index)
+    }
+
+    /// Search for a witness through the kernel whole-query program (the
+    /// structure-agnostic fallback), compiling one [`SearchProgram`] per
+    /// ordering strategy on first use against this index.
+    pub fn search(
+        &self,
+        index: &StructureIndex,
+        fail_first: bool,
+    ) -> (Option<Vec<Element>>, KernelSearchStats) {
+        let kernels = self.kernels_for(index);
+        let slot = if fail_first {
+            &kernels.search_fail_first
+        } else {
+            &kernels.search_plain
+        };
+        slot.get_or_init(|| SearchProgram::compile(&self.evaluated, index, fail_first))
+            .run(index)
+    }
+
+    /// Count through the kernel forest sum–product (Theorem 6.1 (3)),
+    /// compiling the [`ForestProgram`] of the **original** structure with
+    /// the counting certificates on first use against this index.
+    pub fn count_via_forest(&self, index: &StructureIndex) -> ForestRun {
+        self.kernels_for(index)
+            .forest_count
+            .get_or_init(|| {
+                ForestProgram::compile(
+                    &self.original,
+                    index,
+                    &self.counting_analysis().elimination_forest,
+                )
+            })
+            .count(index)
+    }
+
+    /// Count through the kernel tree DP, compiling the [`TreeDpProgram`]
+    /// of the **original** structure with the counting certificates on
+    /// first use against this index.
+    pub fn count_via_tree(&self, index: &StructureIndex) -> TreeDpRun {
+        self.kernels_for(index)
+            .tree_count
+            .get_or_init(|| {
+                TreeDpProgram::compile(
+                    &self.original,
+                    index,
+                    &self.counting_analysis().tree_decomposition,
+                )
+            })
+            .count(index)
+    }
+
     /// Whether this plan answers queries for `candidate`: true when
     /// `candidate` is homomorphically equivalent to the prepared original —
     /// exactly the equivalence under which `p-HOM` answers (and cores, hence
@@ -311,8 +470,10 @@ impl PreparedQuery {
 /// staircase form, counting certificates) as present/absent options — a
 /// plan saved before any counting traffic simply stores `None` and the
 /// warm-started engine materializes on first use, exactly like a plan
-/// prepared in process.  The runtime alias memo is deliberately not
-/// persisted (it is a cache of verification work, not part of the plan).
+/// prepared in process.  The runtime alias memo and the per-index kernel
+/// bundles are deliberately not persisted (they cache verification and
+/// compilation work against process-local state — index ids are not
+/// stable across processes — and are not part of the plan).
 impl Encode for PreparedQuery {
     fn encode(&self, out: &mut Vec<u8>) {
         self.fingerprint.encode(out);
@@ -348,6 +509,7 @@ impl Decode for PreparedQuery {
             staircase: lock_from(Option::<PathDecomposition>::decode(r)?),
             counting: lock_from(Option::<StructuralAnalysis>::decode(r)?),
             count_verified_aliases: Mutex::new(Vec::new()),
+            kernels: Mutex::new(Vec::new()),
         })
     }
 }
@@ -577,6 +739,79 @@ mod tests {
         let perm: Vec<usize> = (0..7).rev().collect();
         assert!(qc.counts_for(&relabeled(&c7, &perm)));
         assert!(!qc.counts_for(&families::cycle(5)));
+    }
+
+    #[test]
+    fn kernel_programs_compile_once_per_index_and_lru_evict() {
+        use cq_structures::StructureIndex;
+        let a = families::star(3);
+        let q = PreparedQuery::prepare(&a, &EngineConfig::default());
+        let warm = |i: &StructureIndex| {
+            q.decide_via_tree(i);
+            q.decide_via_forest(i);
+            q.decide_via_staircase(i);
+            q.search(i, true);
+            q.search(i, false);
+            q.count_via_tree(i);
+            q.count_via_forest(i);
+        };
+        let bundle_of = |i: &StructureIndex| -> Arc<IndexKernels> {
+            let cache = q.kernels.lock().unwrap();
+            let (_, bundle) = cache
+                .iter()
+                .find(|(id, _)| *id == i.id())
+                .expect("bundle cached");
+            Arc::clone(bundle)
+        };
+        let k3 = families::clique(3);
+        let index = StructureIndex::new(&k3);
+        warm(&index);
+        // Correctness of the cached programs.
+        assert!(q.decide_via_tree(&index).exists);
+        assert_eq!(
+            q.count_via_forest(&index).count,
+            cq_structures::count_homomorphisms_bruteforce(&a, &k3)
+        );
+        // One fully populated bundle for this index; `OnceLock` slots can
+        // only initialize once, so bundle identity across repeat traffic
+        // proves no program was recompiled.
+        let bundle = bundle_of(&index);
+        assert!(bundle.tree_decide.get().is_some());
+        assert!(bundle.stair.get().is_some());
+        assert!(bundle.forest_decide.get().is_some());
+        assert!(bundle.search_fail_first.get().is_some());
+        assert!(bundle.search_plain.get().is_some());
+        assert!(bundle.tree_count.get().is_some());
+        assert!(bundle.forest_count.get().is_some());
+        warm(&index);
+        assert!(Arc::ptr_eq(&bundle, &bundle_of(&index)));
+        // A different database index gets its own bundle; both stay warm
+        // side by side.
+        let other = StructureIndex::new(&families::cycle(5));
+        warm(&other);
+        let other_bundle = bundle_of(&other);
+        assert!(!Arc::ptr_eq(&bundle, &other_bundle));
+        warm(&index);
+        warm(&other);
+        assert!(Arc::ptr_eq(&bundle, &bundle_of(&index)));
+        assert!(Arc::ptr_eq(&other_bundle, &bundle_of(&other)));
+        // Cycling more indexes than the cap evicts the least-recently-used
+        // bundle; returning to it transparently recompiles (bounded
+        // memory, unchanged answers).
+        let extra: Vec<StructureIndex> = (0..super::MAX_KERNEL_BUNDLES)
+            .map(|i| StructureIndex::new(&families::path(i + 2)))
+            .collect();
+        for e in &extra {
+            q.decide_via_tree(e);
+        }
+        assert!(q
+            .kernels
+            .lock()
+            .unwrap()
+            .iter()
+            .all(|(id, _)| *id != index.id()));
+        assert!(q.decide_via_tree(&index).exists);
+        assert!(!Arc::ptr_eq(&bundle, &bundle_of(&index)));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! decomposition) plus the **instance index** of the database
 //! ([`StructureIndex`], built once per database and cached by the engine)
 //! and runs the flat evaluation kernel of [`cq_solver::kernel`] — compiled
-//! bag programs, prefilter domains, separator hash-joins.  The reference
+//! bag programs, prefilter domains, separator hash-joins — through the
+//! plan's per-index program cache ([`PreparedQuery::decide_via_tree`] and
+//! friends), so a warm `(plan, database)` pair recompiles nothing.  The reference
 //! implementations (`cq_solver::treedec`, `cq_solver::pathdp`, the raw
 //! backtracking searches) are retained as the oracle of the differential
 //! tests, not dispatched here.
@@ -23,10 +25,6 @@
 use crate::engine::{EngineConfig, SolverChoice};
 use crate::prepared::PreparedQuery;
 use cq_solver::backtrack::BacktrackConfig;
-use cq_solver::kernel::{
-    find_hom_indexed, hom_via_forest_indexed, hom_via_staircase_indexed,
-    hom_via_tree_decomposition_indexed,
-};
 use cq_structures::{Structure, StructureIndex};
 
 /// What one solver invocation produced.
@@ -98,11 +96,7 @@ impl HomSolver for TreeDepthSolver {
         _database: &Structure,
         index: &StructureIndex,
     ) -> SolveOutcome {
-        let run = hom_via_forest_indexed(
-            query.evaluated(),
-            index,
-            &query.analysis().elimination_forest,
-        );
+        let run = query.decide_via_forest(index);
         SolveOutcome {
             exists: run.exists,
             work: Some(run.assignments),
@@ -135,7 +129,7 @@ impl HomSolver for PathDpSolver {
         _database: &Structure,
         index: &StructureIndex,
     ) -> SolveOutcome {
-        let report = hom_via_staircase_indexed(query.evaluated(), index, query.staircase());
+        let report = query.decide_via_staircase(index);
         SolveOutcome {
             exists: report.exists,
             work: Some(report.peak_frontier as u64),
@@ -168,11 +162,7 @@ impl HomSolver for TreeDecSolver {
         _database: &Structure,
         index: &StructureIndex,
     ) -> SolveOutcome {
-        let run = hom_via_tree_decomposition_indexed(
-            query.evaluated(),
-            index,
-            &query.analysis().tree_decomposition,
-        );
+        let run = query.decide_via_tree(index);
         SolveOutcome {
             exists: run.exists,
             work: Some(run.peak_table as u64),
@@ -215,8 +205,7 @@ impl HomSolver for BacktrackSolver {
         _database: &Structure,
         index: &StructureIndex,
     ) -> SolveOutcome {
-        let (hom, stats) =
-            find_hom_indexed(query.evaluated(), index, self.config.fail_first_ordering);
+        let (hom, stats) = query.search(index, self.config.fail_first_ordering);
         SolveOutcome {
             exists: hom.is_some(),
             work: Some(stats.assignments),

@@ -429,9 +429,11 @@ pub struct IndexStats {
 
 struct IndexSlot {
     hash: u64,
-    /// The indexed database, kept for full-equality confirmation of hash
-    /// matches — a collision degrades to a rebuild, never a wrong index.
-    database: Structure,
+    /// The index shares its database (`Arc<Structure>` inside
+    /// [`StructureIndex`]); hash matches are confirmed by full structural
+    /// equality against [`StructureIndex::structure`], so a collision
+    /// degrades to a rebuild, never a wrong index — and the slot holds no
+    /// second copy of the database.
     index: Arc<StructureIndex>,
     last_used: u64,
 }
@@ -499,7 +501,7 @@ impl InstanceIndexCache {
             if let Some(slot) = shard
                 .slots
                 .iter_mut()
-                .find(|s| s.hash == hash && s.database == *database)
+                .find(|s| s.hash == hash && s.index.structure() == database)
             {
                 slot.last_used = now;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -514,7 +516,7 @@ impl InstanceIndexCache {
         if let Some(slot) = shard
             .slots
             .iter()
-            .find(|s| s.hash == hash && s.database == *database)
+            .find(|s| s.hash == hash && s.index.structure() == database)
         {
             // A racing builder beat us: share its index, drop ours.
             return Arc::clone(&slot.index);
@@ -533,7 +535,6 @@ impl InstanceIndexCache {
         let tick = shard.tick;
         shard.slots.push(IndexSlot {
             hash,
-            database: database.clone(),
             index: Arc::clone(&index),
             last_used: tick,
         });

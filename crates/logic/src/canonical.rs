@@ -23,7 +23,7 @@ pub fn element_variable(a: usize) -> String {
 pub fn canonical_conjunction(a: &Structure) -> Formula {
     let mut conjuncts = Vec::new();
     for (sym, t) in a.all_tuples() {
-        let vars: Vec<String> = t.iter().map(|&e| element_variable(e)).collect();
+        let vars: Vec<String> = t.iter().map(|&e| element_variable(e as usize)).collect();
         conjuncts.push(Formula::atom(a.vocabulary().name(sym), &vars));
     }
     Formula::and(conjuncts)
@@ -37,8 +37,8 @@ pub fn canonical_conjunction_of_subset(a: &Structure, subset: &[usize]) -> Formu
     let inside = |e: usize| subset.contains(&e);
     let mut conjuncts = Vec::new();
     for (sym, t) in a.all_tuples() {
-        if t.iter().all(|&e| inside(e)) {
-            let vars: Vec<String> = t.iter().map(|&e| element_variable(e)).collect();
+        if t.iter().all(|&e| inside(e as usize)) {
+            let vars: Vec<String> = t.iter().map(|&e| element_variable(e as usize)).collect();
             conjuncts.push(Formula::atom(a.vocabulary().name(sym), &vars));
         }
     }
@@ -155,7 +155,7 @@ pub fn query_fingerprint(a: &Structure) -> u64 {
     for (sym, t) in a.all_tuples() {
         let name = hash_str(a.vocabulary().name(sym));
         for (pos, &e) in t.iter().enumerate() {
-            incidences[e].push(fnv1a([name, t.len() as u64, pos as u64]));
+            incidences[e as usize].push(fnv1a([name, t.len() as u64, pos as u64]));
         }
     }
     let mut colors: Vec<u64> = incidences
@@ -185,7 +185,7 @@ pub fn query_fingerprint(a: &Structure) -> u64 {
         .all_tuples()
         .map(|(sym, t)| {
             let name = hash_str(a.vocabulary().name(sym));
-            fnv1a(std::iter::once(name).chain(t.iter().map(|&e| colors[e])))
+            fnv1a(std::iter::once(name).chain(t.iter().map(|&e| colors[e as usize])))
         })
         .collect();
     tuple_colors.sort_unstable();

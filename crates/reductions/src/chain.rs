@@ -29,13 +29,12 @@ pub fn hom_path_star_to_dirpath(k: usize, b: &Structure) -> ReducedInstance {
         let (Some(ci), Some(cn)) = (color(i), color(i + 1)) else {
             continue;
         };
-        for t1 in b.relation(ci).tuples() {
-            for t2 in b.relation(cn).tuples() {
-                let adjacent = eb
-                    .map(|sym| b.contains(sym, &[t1[0], t2[0]]))
-                    .unwrap_or(false);
+        for t1 in b.relation(ci).rows() {
+            for t2 in b.relation(cn).rows() {
+                let (u, v) = (t1[0] as usize, t2[0] as usize);
+                let adjacent = eb.map(|sym| b.contains(sym, &[u, v])).unwrap_or(false);
                 if adjacent {
-                    builder.raw_fact(e, vec![i * nb + t1[0], (i + 1) * nb + t2[0]]);
+                    builder.raw_fact(e, vec![i * nb + u, (i + 1) * nb + v]);
                 }
             }
         }
@@ -81,9 +80,12 @@ pub fn dirpath_to_st_path(k: usize, g: &Structure) -> StPathInstance {
     // Vertex layout: s = 0, t = 1, (i, u) = 2 + i·n + u for i ∈ 0..k.
     let mut graph = Graph::new(2 + k * n);
     let vertex = |layer: usize, u: usize| 2 + layer * n + u;
-    for t in g.relation(e).tuples() {
+    for t in g.relation(e).rows() {
         for layer in 0..k.saturating_sub(1) {
-            graph.add_edge(vertex(layer, t[0]), vertex(layer + 1, t[1]));
+            graph.add_edge(
+                vertex(layer, t[0] as usize),
+                vertex(layer + 1, t[1] as usize),
+            );
         }
     }
     for u in 0..n {

@@ -38,7 +38,7 @@ pub fn count_star_via_oracle(
     // Allowed pairs (a, b) with b ∈ C_a^B.
     let allowed_for = |elem: usize| -> Vec<usize> {
         match b.vocabulary().id_of(&format!("C_{elem}")) {
-            Some(sym) => b.relation(sym).tuples().iter().map(|t| t[0]).collect(),
+            Some(sym) => b.relation(sym).rows().map(|t| t[0] as usize).collect(),
             None => Vec::new(),
         }
     };

@@ -50,7 +50,9 @@ pub fn gaifman_to_structure_instance(a: &Structure, b: &Structure) -> ReducedIns
                 })
             });
             if ok {
-                let tuple: Tuple = (0..arity).map(|i| t[i] * nb + assignment[i]).collect();
+                let tuple: Tuple = (0..arity)
+                    .map(|i| t[i] as usize * nb + assignment[i])
+                    .collect();
                 database.add_tuple(target_sym, tuple).expect("in range");
             }
             // Advance the odometer.
@@ -77,9 +79,9 @@ pub fn gaifman_to_structure_instance(a: &Structure, b: &Structure) -> ReducedIns
         let name = format!("C_{e}");
         let target_sym = database.vocabulary().id_of(&name).expect("colour exists");
         if let Some(source_sym) = b.vocabulary().id_of(&name) {
-            for t in b.relation(source_sym).tuples() {
+            for t in b.relation(source_sym).rows() {
                 database
-                    .add_tuple(target_sym, vec![e * nb + t[0]])
+                    .add_tuple(target_sym, vec![e * nb + t[0] as usize])
                     .expect("in range");
             }
         }

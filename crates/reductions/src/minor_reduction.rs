@@ -72,9 +72,8 @@ pub fn minor_to_host_instance(
                 return match color {
                     Some(sym) => b
                         .relation(sym)
-                        .tuples()
-                        .iter()
-                        .map(|t| m * nb + t[0])
+                        .rows()
+                        .map(|t| m * nb + t[0] as usize)
                         .collect(),
                     None => Vec::new(),
                 };

@@ -32,8 +32,8 @@ pub fn remove_star_colors(d: &Structure, b: &Structure) -> ReducedInstance {
     let mut keep: BTreeSet<usize> = BTreeSet::new();
     for elem in d.universe() {
         if let Some(sym) = b.vocabulary().id_of(&format!("C_{elem}")) {
-            for t in b.relation(sym).tuples() {
-                keep.insert(product_pair(elem, t[0], nb));
+            for t in b.relation(sym).rows() {
+                keep.insert(product_pair(elem, t[0] as usize, nb));
             }
         }
     }

@@ -160,10 +160,10 @@ impl BacktrackSolver {
         var: usize,
     ) -> bool {
         for (sym, t) in a.all_tuples() {
-            if !t.contains(&var) {
+            if !t.contains(&(var as u32)) {
                 continue;
             }
-            let mapped: Option<Vec<Element>> = t.iter().map(|&e| assignment[e]).collect();
+            let mapped: Option<Vec<Element>> = t.iter().map(|&e| assignment[e as usize]).collect();
             if let Some(mapped) = mapped {
                 let Some(bsym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
                     return false;

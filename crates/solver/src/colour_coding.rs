@@ -295,22 +295,28 @@ fn host_ok(
     assignment: &[Option<Element>],
 ) -> bool {
     for (sym, t) in a.all_tuples() {
-        if !t.contains(&v) {
+        if !t.contains(&(v as u32)) {
             continue;
         }
-        let inside = t
-            .iter()
-            .all(|&e| e == v || Some(e) == parent || assignment[e].is_some());
+        let inside = t.iter().all(|&e| {
+            e as usize == v || Some(e as usize) == parent || assignment[e as usize].is_some()
+        });
         if !inside {
             continue;
         }
         // Only check tuples not involving the (not yet chosen) parent image.
-        if t.iter().any(|&e| Some(e) == parent) {
+        if t.iter().any(|&e| Some(e as usize) == parent) {
             continue;
         }
         let mapped: Option<Vec<Element>> = t
             .iter()
-            .map(|&e| if e == v { Some(host) } else { assignment[e] })
+            .map(|&e| {
+                if e as usize == v {
+                    Some(host)
+                } else {
+                    assignment[e as usize]
+                }
+            })
             .collect();
         if let Some(mapped) = mapped {
             let Some(bsym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
@@ -328,12 +334,12 @@ fn host_ok(
 /// (host, chost).
 fn edge_ok(a: &Structure, b: &Structure, v: usize, host: usize, c: usize, chost: usize) -> bool {
     for (sym, t) in a.all_tuples() {
-        if !t.iter().all(|&e| e == v || e == c) || !t.contains(&c) {
+        if !t.iter().all(|&e| e as usize == v || e as usize == c) || !t.contains(&(c as u32)) {
             continue;
         }
         let mapped: Vec<Element> = t
             .iter()
-            .map(|&e| if e == v { host } else { chost })
+            .map(|&e| if e as usize == v { host } else { chost })
             .collect();
         let Some(bsym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
             return false;

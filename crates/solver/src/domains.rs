@@ -30,10 +30,13 @@ pub fn initial_domains(a: &Structure, b: &Structure) -> Domains {
         }
         let name = a.vocabulary().name(sym);
         let allowed: BTreeSet<Element> = match b.vocabulary().id_of(name) {
-            Some(bsym) => b.relation(bsym).tuples().iter().map(|u| u[0]).collect(),
+            Some(bsym) => b.relation(bsym).rows().map(|u| u[0] as Element).collect(),
             None => BTreeSet::new(),
         };
-        domains[t[0]] = domains[t[0]].intersection(&allowed).copied().collect();
+        domains[t[0] as usize] = domains[t[0] as usize]
+            .intersection(&allowed)
+            .copied()
+            .collect();
     }
     domains
 }
@@ -56,22 +59,24 @@ pub fn arc_consistency(a: &Structure, b: &Structure, domains: &mut Domains) -> b
                 }
                 return false;
             };
-            let btuples = b.relation(bsym).tuples();
+            let brel = b.relation(bsym);
             // For every position, compute the supported values.
             for (pos, &elem) in t.iter().enumerate() {
-                let supported: BTreeSet<Element> = btuples
-                    .iter()
+                let supported: BTreeSet<Element> = brel
+                    .rows()
                     .filter(|bt| {
                         bt.iter()
                             .zip(t.iter())
-                            .all(|(&bv, &ae)| domains[ae].contains(&bv))
+                            .all(|(&bv, &ae)| domains[ae as usize].contains(&(bv as Element)))
                     })
-                    .map(|bt| bt[pos])
+                    .map(|bt| bt[pos] as Element)
                     .collect();
-                let new: BTreeSet<Element> =
-                    domains[elem].intersection(&supported).copied().collect();
-                if new.len() != domains[elem].len() {
-                    domains[elem] = new;
+                let new: BTreeSet<Element> = domains[elem as usize]
+                    .intersection(&supported)
+                    .copied()
+                    .collect();
+                if new.len() != domains[elem as usize].len() {
+                    domains[elem as usize] = new;
                     changed = true;
                 }
             }

@@ -8,21 +8,34 @@
 //! `|B|^{|bag|}` enumeration with leaf-only validity checks, and `O(n²)`
 //! linear-scan frontier joins.  The kernel replaces all three:
 //!
-//! * **[`BagProgram`]** — each bag is compiled once per evaluation into a
-//!   fixed element order with flat `u32` assignment rows, per-variable
-//!   candidate domains from a unary/incidence **prefilter** (an element of
-//!   the query occurring at position `p` of a tuple of symbol `R` can only
-//!   map to elements of `B` occurring at position `p` of `R^B` — read off
-//!   the [`StructureIndex`] posting lists), and constraints checked
+//! * **[`BagProgram`]** — each bag is compiled once into a fixed element
+//!   order with flat `u32` assignment rows, per-variable candidate domains
+//!   from a unary/incidence **prefilter** (an element of the query
+//!   occurring at position `p` of a tuple of symbol `R` can only map to
+//!   elements of `B` occurring at position `p` of `R^B` — read off the
+//!   [`StructureIndex`] posting lists), and constraints checked
 //!   **incrementally** the moment their last variable in the order is
 //!   assigned, so dead branches prune at depth 1 instead of the leaf;
 //! * **separator hash-joins** — the tree DP and the staircase sweep key
 //!   child/frontier tables on the projection onto the per-edge separator
 //!   (hoisted once per edge): decision becomes an O(1) hash-set existence
 //!   lookup, counting a precomputed group-sum lookup;
-//! * **index-driven candidate iteration** — the fallback search
-//!   ([`find_hom_indexed`]) is the whole-query [`BagProgram`] in fail-first
-//!   order, with O(1) tuple membership instead of per-check binary search.
+//! * **index-driven candidate iteration** — when a depth's constraint has
+//!   exactly one unbound variable, the enumerator walks the posting list
+//!   of the cheapest bound position instead of scanning the whole
+//!   prefilter domain (a classic index nested-loop join), and the fallback
+//!   search ([`find_hom_indexed`]) is the whole-query [`BagProgram`] in
+//!   fail-first order with O(1) tuple membership.
+//!
+//! **Compile/run split.** Every kernel entry point factors into a
+//! *program* — [`TreeDpProgram`], [`StairProgram`], [`ForestProgram`],
+//! [`SearchProgram`] — compiled once per (query, index) pair, and a cheap
+//! `run` that executes it against the same index.  The free `*_indexed`
+//! functions remain as compile-then-run one-liners; callers that evaluate
+//! the same prepared query repeatedly against a cached database (the
+//! engine's warm path) hold on to the compiled program instead and skip
+//! recompilation entirely.  [`program_compilation_count`] meters
+//! compilations so tests and benches can assert the warm path stays warm.
 //!
 //! No `PartialHom` or `BTreeMap` is constructed in any per-assignment
 //! inner loop; the only per-row allocations are the surviving rows and
@@ -30,11 +43,25 @@
 //! they are the oracle the differential tests pit the kernel against.
 
 use cq_decomp::{EliminationForest, PathDecomposition, TreeDecomposition};
+use cq_structures::SymbolId;
 use cq_structures::{Element, Structure, StructureIndex};
-use cq_structures::{SymbolId, Tuple};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::pathdp::PathDpReport;
+
+/// Process-wide count of query-side kernel compilations (one per
+/// [`QueryDomains::compile`], which every compiled program performs
+/// exactly once).  Lets tests and benches assert that cached-program
+/// paths do not silently recompile per call.
+static PROGRAM_COMPILATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of kernel program compilations performed by this process so
+/// far.  Monotone; differences across a code region count the
+/// compilations inside it.
+pub fn program_compilation_count() -> u64 {
+    PROGRAM_COMPILATIONS.load(Ordering::Relaxed)
+}
 
 /// Query-side compilation shared by every kernel entry point: the
 /// query-symbol → index-symbol translation and the per-element candidate
@@ -57,6 +84,7 @@ pub struct QueryDomains {
 impl QueryDomains {
     /// Compile the prefilter for `a` against an indexed target.
     pub fn compile(a: &Structure, index: &StructureIndex) -> QueryDomains {
+        PROGRAM_COMPILATIONS.fetch_add(1, Ordering::Relaxed);
         let sym_map: Vec<Option<SymbolId>> = a
             .vocabulary()
             .ids()
@@ -88,7 +116,7 @@ impl QueryDomains {
             let target = sym_map[sym.index()].expect("checked non-empty relations above");
             for (pos, &elem) in t.iter().enumerate() {
                 let allowed = index.elements_at(target, pos);
-                let current = domains[elem].get_or_insert_with(|| full.clone());
+                let current = domains[elem as usize].get_or_insert_with(|| full.clone());
                 intersect_sorted(current, allowed);
             }
         }
@@ -138,6 +166,21 @@ struct Constraint {
     arg_depths: Vec<u32>,
 }
 
+/// An index nested-loop join driving the candidate iteration at one depth:
+/// a constraint anchored there with exactly one unbound position.  Instead
+/// of scanning the whole prefilter domain and testing membership, the
+/// enumerator walks the posting list of the cheapest bound position and
+/// reads candidate images off the matching tuples.
+#[derive(Debug, Clone)]
+struct Driver {
+    sym: SymbolId,
+    arg_depths: Vec<u32>,
+    /// The one tuple position whose variable sits at this depth.
+    unbound: usize,
+    /// Tuple positions whose variables are already assigned (depth < d).
+    bound: Vec<usize>,
+}
+
 /// A bag compiled against one indexed target: fixed element order, flat
 /// `u32` candidate domains per depth, and the constraints of the query
 /// lying entirely inside the bag, grouped by the depth at which their last
@@ -150,6 +193,10 @@ pub struct BagProgram {
     domains: Vec<Vec<u32>>,
     /// `checks[d]`: constraints whose deepest variable sits at depth `d`.
     checks: Vec<Vec<Constraint>>,
+    /// `drivers[d]`: an optional posting-list join narrowing the candidate
+    /// iteration at depth `d` (the driven constraint stays in `checks[d]`,
+    /// so the domain-scan fallback remains complete).
+    drivers: Vec<Option<Driver>>,
     /// Largest constraint arity (scratch-buffer sizing).
     max_arity: usize,
 }
@@ -168,7 +215,7 @@ impl BagProgram {
             for (sym, t) in a.all_tuples() {
                 let Some(arg_depths) = t
                     .iter()
-                    .map(|e| depth_of.get(e).copied())
+                    .map(|&e| depth_of.get(&(e as usize)).copied())
                     .collect::<Option<Vec<u32>>>()
                 else {
                     continue; // tuple not entirely inside the bag
@@ -182,6 +229,29 @@ impl BagProgram {
                 });
             }
         }
+        // Pick one driver per depth: a constraint anchored there whose
+        // other positions are all bound earlier in the order.
+        let drivers: Vec<Option<Driver>> = checks
+            .iter()
+            .enumerate()
+            .map(|(d, at_depth)| {
+                at_depth.iter().find_map(|c| {
+                    let d = d as u32;
+                    let anchored = c.arg_depths.iter().filter(|&&x| x == d).count();
+                    if anchored != 1 || c.arg_depths.len() < 2 {
+                        return None;
+                    }
+                    let unbound = c.arg_depths.iter().position(|&x| x == d).expect("counted");
+                    let bound = (0..c.arg_depths.len()).filter(|&p| p != unbound).collect();
+                    Some(Driver {
+                        sym: c.sym,
+                        arg_depths: c.arg_depths.clone(),
+                        unbound,
+                        bound,
+                    })
+                })
+            })
+            .collect();
         let domains = elems
             .iter()
             .map(|&e| {
@@ -196,6 +266,7 @@ impl BagProgram {
             elems: elems.to_vec(),
             domains,
             checks,
+            drivers,
             max_arity,
         }
     }
@@ -235,10 +306,58 @@ struct Join<T> {
     table: HashMap<Vec<u32>, T>,
 }
 
+/// Try one candidate at `depth`: write it into the row, run the anchored
+/// checks and joins, and recurse.  Returns `true` to stop the whole
+/// enumeration (early exit requested by the emit callback downstream).
+#[allow(clippy::too_many_arguments)]
+fn try_candidate<T: JoinValue>(
+    program: &BagProgram,
+    index: &StructureIndex,
+    joins_at: &[Vec<usize>],
+    joins: &[Join<T>],
+    depth: usize,
+    candidate: u32,
+    row: &mut [u32],
+    args: &mut Vec<u32>,
+    key: &mut Vec<u32>,
+    acc: u64,
+    scratch: &mut [Vec<u32>],
+    emit: &mut impl FnMut(&[u32], u64) -> bool,
+) -> bool {
+    row[depth] = candidate;
+    if !program.checks_pass(index, depth, row, args) {
+        return false;
+    }
+    let mut next_acc = acc;
+    for &j in &joins_at[depth] {
+        let join = &joins[j];
+        key.clear();
+        key.extend(join.key_depths.iter().map(|&d| row[d as usize]));
+        match join.table.get(key.as_slice()) {
+            Some(v) => next_acc = v.fold(next_acc),
+            None => return false,
+        }
+    }
+    enumerate(
+        program,
+        index,
+        joins_at,
+        joins,
+        depth + 1,
+        row,
+        args,
+        key,
+        next_acc,
+        scratch,
+        emit,
+    )
+}
+
 /// Recursive enumerator over a [`BagProgram`] with optional joins.  `acc`
 /// accumulates the product of counting-join factors along the path; the
 /// emit callback returns `true` to stop the whole enumeration (early exit
-/// for decision).
+/// for decision).  `scratch` holds one reusable candidate buffer per depth
+/// for the driver (posting-list) iteration.
 #[allow(clippy::too_many_arguments)]
 fn enumerate<T: JoinValue>(
     program: &BagProgram,
@@ -250,44 +369,62 @@ fn enumerate<T: JoinValue>(
     args: &mut Vec<u32>,
     key: &mut Vec<u32>,
     acc: u64,
+    scratch: &mut [Vec<u32>],
     emit: &mut impl FnMut(&[u32], u64) -> bool,
 ) -> bool {
     if depth == program.elems.len() {
         return emit(row, acc);
     }
-    for &candidate in &program.domains[depth] {
-        row[depth] = candidate;
-        if !program.checks_pass(index, depth, row, args) {
-            continue;
-        }
-        let mut next_acc = acc;
-        let mut pruned = false;
-        for &j in &joins_at[depth] {
-            let join = &joins[j];
-            key.clear();
-            key.extend(join.key_depths.iter().map(|&d| row[d as usize]));
-            match join.table.get(key.as_slice()) {
-                Some(v) => next_acc = v.fold(next_acc),
-                None => {
-                    pruned = true;
-                    break;
-                }
+    // Constraint-driven candidate iteration: when a constraint anchored
+    // here has exactly one unbound position, the matching tuples of its
+    // cheapest bound position list every viable candidate — walk them
+    // instead of the whole domain whenever the posting list is shorter.
+    if let Some(drv) = &program.drivers[depth] {
+        let mut best_pos = drv.bound[0];
+        let mut best = usize::MAX;
+        for &q in &drv.bound {
+            let v = row[drv.arg_depths[q] as usize];
+            let c = index.occurrence_count(drv.sym, q, v);
+            if c < best {
+                best = c;
+                best_pos = q;
             }
         }
-        if pruned {
-            continue;
+        if best < program.domains[depth].len() {
+            let mut cands = std::mem::take(&mut scratch[depth]);
+            cands.clear();
+            let pivot = row[drv.arg_depths[best_pos] as usize];
+            'tuples: for t in index.tuples_with(drv.sym, best_pos, pivot) {
+                for &q in &drv.bound {
+                    if t[q] != row[drv.arg_depths[q] as usize] {
+                        continue 'tuples;
+                    }
+                }
+                cands.push(t[drv.unbound]);
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            let dom = &program.domains[depth];
+            for i in 0..cands.len() {
+                let candidate = cands[i];
+                if dom.binary_search(&candidate).is_err() {
+                    continue; // prefilter pruned this image
+                }
+                if try_candidate(
+                    program, index, joins_at, joins, depth, candidate, row, args, key, acc,
+                    scratch, emit,
+                ) {
+                    scratch[depth] = cands;
+                    return true;
+                }
+            }
+            scratch[depth] = cands;
+            return false;
         }
-        if enumerate(
-            program,
-            index,
-            joins_at,
-            joins,
-            depth + 1,
-            row,
-            args,
-            key,
-            next_acc,
-            emit,
+    }
+    for &candidate in &program.domains[depth] {
+        if try_candidate(
+            program, index, joins_at, joins, depth, candidate, row, args, key, acc, scratch, emit,
         ) {
             return true;
         }
@@ -328,6 +465,7 @@ fn run_program<T: JoinValue>(
     let mut row = vec![0u32; program.elems.len()];
     let mut args = Vec::with_capacity(program.max_arity);
     let mut key = Vec::new();
+    let mut scratch = vec![Vec::new(); program.elems.len()];
     if program.elems.is_empty() {
         // An empty bag has exactly the empty row; empty-key joins were
         // folded into `initial_acc` by the caller.
@@ -344,6 +482,7 @@ fn run_program<T: JoinValue>(
         &mut args,
         &mut key,
         initial_acc,
+        &mut scratch,
         emit,
     );
 }
@@ -373,11 +512,11 @@ fn root_tree(td: &TreeDecomposition) -> (Vec<usize>, Vec<usize>) {
     (parent, pre)
 }
 
-/// The viable-row table of one processed bag: the bag's element order plus
-/// the surviving rows (flat, `stride = elems.len()`), each with its subtree
-/// extension count (decision stores 1).
+/// The viable-row table of one processed bag: the surviving rows (flat,
+/// `stride` elements each), each with its subtree extension count
+/// (decision stores 1).
 struct BagTable {
-    elems: Vec<Element>,
+    stride: usize,
     rows: Vec<u32>,
     counts: Vec<u64>,
 }
@@ -388,21 +527,7 @@ impl BagTable {
     }
 
     fn row(&self, i: usize) -> &[u32] {
-        let w = self.elems.len();
-        &self.rows[i * w..(i + 1) * w]
-    }
-
-    /// Positions (in this table's order) of the given separator elements.
-    fn positions_of(&self, separator: &[Element]) -> Vec<u32> {
-        separator
-            .iter()
-            .map(|e| {
-                self.elems
-                    .iter()
-                    .position(|x| x == e)
-                    .expect("separator ⊆ bag") as u32
-            })
-            .collect()
+        &self.rows[i * self.stride..(i + 1) * self.stride]
     }
 
     /// Group the rows by their projection onto `positions`, summing counts
@@ -431,99 +556,180 @@ pub struct TreeDpRun {
     pub peak_table: usize,
 }
 
-/// Shared skeleton of the kernel tree DP: bottom-up over the rooted
-/// decomposition, each parent-child edge joined by a hash table keyed on
-/// the projection onto the (per-edge, hoisted) separator.  `COUNTING`
-/// selects group-sum joins (exact counts) vs existence joins with
-/// first-row early exit at the root.
-fn tree_dp(
-    a: &Structure,
-    index: &StructureIndex,
-    td: &TreeDecomposition,
-    counting: bool,
-) -> TreeDpRun {
-    debug_assert!(td.is_valid_for(&cq_graphs::gaifman_graph(a)));
-    let doms = QueryDomains::compile(a, index);
-    let mut run = TreeDpRun::default();
-    if !doms.satisfiable {
-        return run;
-    }
-    let (parent, post) = root_tree(td);
-    let mut tables: Vec<Option<BagTable>> = (0..td.bags.len()).map(|_| None).collect();
-    for &t in &post {
-        let elems: Vec<Element> = td.bags[t].iter().copied().collect();
-        let program = BagProgram::compile(a, &doms, &elems);
-        let children: Vec<usize> = td.tree.neighbors(t).filter(|&c| parent[c] == t).collect();
-        // Hoist the separator (and its positions on both sides) once per
-        // edge; build the child-side hash table over it.
-        let mut joins: Vec<Join<u64>> = Vec::with_capacity(children.len());
-        let mut initial_acc = 1u64;
-        let mut dead = false;
-        for &c in &children {
-            let child = tables[c].take().expect("children before parents");
-            let separator: Vec<Element> = td.bags[t].intersection(&td.bags[c]).copied().collect();
-            let child_positions = child.positions_of(&separator);
-            let table = child.group_sums(&child_positions);
-            if separator.is_empty() {
-                // Independent component: a constant factor for every row.
-                match table.get([].as_slice()) {
-                    Some(&sum) if sum > 0 => {
-                        initial_acc = initial_acc.saturating_mul(if counting { sum } else { 1 })
-                    }
-                    _ => dead = true,
-                }
-                continue;
+/// One bag of a compiled tree DP, with the separator joins toward its
+/// children hoisted at compile time.
+struct TreeBag {
+    /// The bag's slot in the decomposition (table index).
+    id: usize,
+    is_root: bool,
+    program: BagProgram,
+    edges: Vec<TreeEdge>,
+}
+
+/// A compiled parent→child edge of the tree DP: the separator's positions
+/// on both sides, resolved once at compile time.
+struct TreeEdge {
+    /// Child bag slot.
+    child: usize,
+    /// Separator positions in the child's row order (group-sum key).
+    child_positions: Vec<u32>,
+    /// Separator depths in the parent's order; empty ⇒ independent
+    /// component (constant join factor).
+    key_depths: Vec<u32>,
+    /// Deepest key variable (join firing depth).
+    depth: usize,
+}
+
+/// The kernel tree DP compiled against one `(query, index)` pair: rooted
+/// bag order, per-bag [`BagProgram`]s, and per-edge separator positions.
+/// Compile once, [`TreeDpProgram::decide`]/[`TreeDpProgram::count`] many
+/// times against the same index.
+pub struct TreeDpProgram {
+    index_id: u64,
+    satisfiable: bool,
+    n_bags: usize,
+    root: usize,
+    /// Children-before-parents.
+    bags: Vec<TreeBag>,
+}
+
+impl TreeDpProgram {
+    /// Compile the tree DP for `a` over a valid tree decomposition of its
+    /// Gaifman graph against the indexed target.
+    pub fn compile(a: &Structure, index: &StructureIndex, td: &TreeDecomposition) -> TreeDpProgram {
+        debug_assert!(td.is_valid_for(&cq_graphs::gaifman_graph(a)));
+        let doms = QueryDomains::compile(a, index);
+        let (parent, post) = root_tree(td);
+        let elems_of: Vec<Vec<Element>> = td
+            .bags
+            .iter()
+            .map(|b| b.iter().copied().collect())
+            .collect();
+        let mut bags = Vec::with_capacity(post.len());
+        for &t in &post {
+            let program = BagProgram::compile(a, &doms, &elems_of[t]);
+            let mut edges = Vec::new();
+            for c in td.tree.neighbors(t).filter(|&c| parent[c] == t) {
+                let separator: Vec<Element> =
+                    td.bags[t].intersection(&td.bags[c]).copied().collect();
+                let child_positions: Vec<u32> = separator
+                    .iter()
+                    .map(|e| elems_of[c].iter().position(|x| x == e).expect("sep ⊆ bag") as u32)
+                    .collect();
+                let key_depths: Vec<u32> = separator
+                    .iter()
+                    .map(|e| elems_of[t].iter().position(|x| x == e).expect("sep ⊆ bag") as u32)
+                    .collect();
+                let depth = key_depths.iter().copied().max().unwrap_or(0) as usize;
+                edges.push(TreeEdge {
+                    child: c,
+                    child_positions,
+                    key_depths,
+                    depth,
+                });
             }
-            let key_depths: Vec<u32> = separator
-                .iter()
-                .map(|e| elems.iter().position(|x| x == e).expect("separator ⊆ bag") as u32)
-                .collect();
-            let depth = key_depths.iter().copied().max().unwrap_or(0) as usize;
-            joins.push(Join {
-                depth,
-                key_depths,
-                table,
+            bags.push(TreeBag {
+                id: t,
+                is_root: parent[t] == usize::MAX,
+                program,
+                edges,
             });
         }
-        let mut table = BagTable {
-            elems,
-            rows: Vec::new(),
-            counts: Vec::new(),
-        };
-        if !dead {
-            let is_root = parent[t] == usize::MAX;
-            let early_exit = !counting && is_root;
-            run_program(
-                &program,
-                index,
-                joins,
-                &mut |row, acc| {
-                    if acc > 0 {
-                        table.rows.extend_from_slice(row);
-                        table.counts.push(if counting { acc } else { 1 });
+        TreeDpProgram {
+            index_id: index.id(),
+            satisfiable: doms.satisfiable,
+            n_bags: td.bags.len(),
+            root: *post.last().expect("decompositions have at least one bag"),
+            bags,
+        }
+    }
+
+    /// The identity of the index this program was compiled against.
+    pub fn index_id(&self) -> u64 {
+        self.index_id
+    }
+
+    /// Decide `HOM(A, B)` (existence joins, first-row early exit at the
+    /// root).
+    pub fn decide(&self, index: &StructureIndex) -> TreeDpRun {
+        self.run(index, false)
+    }
+
+    /// Count homomorphisms (group-sum separator joins).
+    pub fn count(&self, index: &StructureIndex) -> TreeDpRun {
+        self.run(index, true)
+    }
+
+    /// Shared bottom-up pass: each parent-child edge joined by a hash
+    /// table keyed on the projection onto the hoisted separator.
+    fn run(&self, index: &StructureIndex, counting: bool) -> TreeDpRun {
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut run = TreeDpRun::default();
+        if !self.satisfiable {
+            return run;
+        }
+        let mut tables: Vec<Option<BagTable>> = (0..self.n_bags).map(|_| None).collect();
+        for bag in &self.bags {
+            let mut joins: Vec<Join<u64>> = Vec::with_capacity(bag.edges.len());
+            let mut initial_acc = 1u64;
+            let mut dead = false;
+            for edge in &bag.edges {
+                let child = tables[edge.child].take().expect("children before parents");
+                let table = child.group_sums(&edge.child_positions);
+                if edge.key_depths.is_empty() {
+                    // Independent component: a constant factor for every row.
+                    match table.get([].as_slice()) {
+                        Some(&sum) if sum > 0 => {
+                            initial_acc = initial_acc.saturating_mul(if counting { sum } else { 1 })
+                        }
+                        _ => dead = true,
                     }
-                    early_exit && acc > 0
-                },
-                initial_acc,
-            );
+                    continue;
+                }
+                joins.push(Join {
+                    depth: edge.depth,
+                    key_depths: edge.key_depths.clone(),
+                    table,
+                });
+            }
+            let mut table = BagTable {
+                stride: bag.program.elems.len(),
+                rows: Vec::new(),
+                counts: Vec::new(),
+            };
+            if !dead {
+                let early_exit = !counting && bag.is_root;
+                run_program(
+                    &bag.program,
+                    index,
+                    joins,
+                    &mut |row, acc| {
+                        if acc > 0 {
+                            table.rows.extend_from_slice(row);
+                            table.counts.push(if counting { acc } else { 1 });
+                        }
+                        early_exit && acc > 0
+                    },
+                    initial_acc,
+                );
+            }
+            run.peak_table = run.peak_table.max(table.len());
+            if table.len() == 0 {
+                return run; // some bag admits nothing: no homomorphism
+            }
+            tables[bag.id] = Some(table);
         }
-        run.peak_table = run.peak_table.max(table.len());
-        if table.len() == 0 {
-            return run; // some bag admits nothing: no homomorphism
+        let root_table = tables[self.root].as_ref().expect("root computed");
+        run.exists = root_table.len() > 0;
+        if counting {
+            run.count = root_table
+                .counts
+                .iter()
+                .fold(0u64, |acc, &c| acc.saturating_add(c));
+            run.exists = run.count > 0;
         }
-        tables[t] = Some(table);
+        run
     }
-    let root = *post.last().expect("decompositions have at least one bag");
-    let root_table = tables[root].as_ref().expect("root computed");
-    run.exists = root_table.len() > 0;
-    if counting {
-        run.count = root_table
-            .counts
-            .iter()
-            .fold(0u64, |acc, &c| acc.saturating_add(c));
-        run.exists = run.count > 0;
-    }
-    run
 }
 
 /// Decide `HOM(A, B)` by the kernel tree DP over a valid tree
@@ -534,7 +740,7 @@ pub fn hom_via_tree_decomposition_indexed(
     index: &StructureIndex,
     td: &TreeDecomposition,
 ) -> TreeDpRun {
-    tree_dp(a, index, td, false)
+    TreeDpProgram::compile(a, index, td).decide(index)
 }
 
 /// Count homomorphisms from `a` into the indexed target by the kernel tree
@@ -545,7 +751,187 @@ pub fn count_hom_via_tree_decomposition_indexed(
     index: &StructureIndex,
     td: &TreeDecomposition,
 ) -> TreeDpRun {
-    tree_dp(a, index, td, true)
+    TreeDpProgram::compile(a, index, td).count(index)
+}
+
+/// One step of a compiled staircase sweep.
+enum StairStep {
+    /// Project the frontier onto the surviving positions and deduplicate.
+    Forget {
+        /// Positions (in the pre-step order) of the surviving elements.
+        positions: Vec<usize>,
+    },
+    /// Extend every frontier row through a program whose first
+    /// `prefix_len` depths are pinned to the row.
+    Introduce {
+        program: BagProgram,
+        prefix_len: usize,
+    },
+}
+
+/// The kernel staircase sweep compiled against one `(query, index)` pair:
+/// the first-bag program plus the forget/introduce step sequence with all
+/// element-order bookkeeping resolved at compile time.
+pub struct StairProgram {
+    index_id: u64,
+    satisfiable: bool,
+    bags: usize,
+    width: usize,
+    init: BagProgram,
+    steps: Vec<StairStep>,
+}
+
+impl StairProgram {
+    /// Compile the sweep for `a` over a staircase path decomposition
+    /// against the indexed target.
+    pub fn compile(a: &Structure, index: &StructureIndex, stair: &PathDecomposition) -> Self {
+        debug_assert!(stair.is_staircase());
+        let doms = QueryDomains::compile(a, index);
+        let mut order: Vec<Element> = match stair.bags.first() {
+            Some(first) => first.iter().copied().collect(),
+            None => Vec::new(),
+        };
+        let init = BagProgram::compile(a, &doms, &order);
+        let mut steps = Vec::new();
+        if doms.satisfiable {
+            for window in stair.bags.windows(2) {
+                let (prev, next) = (&window[0], &window[1]);
+                if next.is_subset(prev) {
+                    let keep: Vec<Element> = next.iter().copied().collect();
+                    let positions: Vec<usize> = keep
+                        .iter()
+                        .map(|e| order.iter().position(|x| x == e).expect("next ⊆ prev"))
+                        .collect();
+                    order = keep;
+                    steps.push(StairStep::Forget { positions });
+                } else {
+                    let new_elems: Vec<Element> = next.difference(prev).copied().collect();
+                    let mut next_order = order.clone();
+                    next_order.extend(new_elems.iter().copied());
+                    let program = BagProgram::compile(a, &doms, &next_order);
+                    steps.push(StairStep::Introduce {
+                        program,
+                        prefix_len: order.len(),
+                    });
+                    order = next_order;
+                }
+            }
+        }
+        StairProgram {
+            index_id: index.id(),
+            satisfiable: doms.satisfiable,
+            bags: stair.bags.len(),
+            width: stair.width(),
+            init,
+            steps,
+        }
+    }
+
+    /// The identity of the index this program was compiled against.
+    pub fn index_id(&self) -> u64 {
+        self.index_id
+    }
+
+    /// Sweep the staircase: flat frontier rows, forget steps deduplicated
+    /// through a hash set, introduce steps pinned-prefix enumerations.
+    pub fn run(&self, index: &StructureIndex) -> PathDpReport {
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut report = PathDpReport {
+            exists: false,
+            peak_frontier: 0,
+            bags: self.bags,
+            width: self.width,
+        };
+        if !self.satisfiable {
+            return report;
+        }
+        // The frontier: rows of `stride` elements each.
+        let mut stride = self.init.elems.len();
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut frontier_len = 0usize;
+        run_program(
+            &self.init,
+            index,
+            Vec::<Join<()>>::new(),
+            &mut |row, _| {
+                frontier.extend_from_slice(row);
+                frontier_len += 1;
+                false
+            },
+            1,
+        );
+        report.peak_frontier = report.peak_frontier.max(frontier_len);
+        if frontier_len == 0 {
+            return report;
+        }
+
+        for step in &self.steps {
+            match step {
+                StairStep::Forget { positions } => {
+                    let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(frontier_len);
+                    let mut new_frontier: Vec<u32> = Vec::new();
+                    let mut new_len = 0usize;
+                    for i in 0..frontier_len {
+                        let row = &frontier[i * stride..(i + 1) * stride];
+                        let projected: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
+                        if seen.insert(projected.clone()) {
+                            new_frontier.extend_from_slice(&projected);
+                            new_len += 1;
+                        }
+                    }
+                    stride = positions.len();
+                    frontier = new_frontier;
+                    frontier_len = new_len;
+                }
+                StairStep::Introduce {
+                    program,
+                    prefix_len,
+                } => {
+                    // Constraints fully inside the old bag were checked
+                    // when it was built; only checks anchored at the new
+                    // depths run.
+                    let prefix_len = *prefix_len;
+                    let new_stride = program.elems.len();
+                    let mut new_frontier: Vec<u32> = Vec::new();
+                    let mut new_len = 0usize;
+                    let mut row = vec![0u32; new_stride];
+                    let mut args = Vec::with_capacity(program.max_arity);
+                    let mut key = Vec::new();
+                    let mut scratch = vec![Vec::new(); new_stride];
+                    let joins_at: Vec<Vec<usize>> = vec![Vec::new(); new_stride.max(1)];
+                    for i in 0..frontier_len {
+                        row[..prefix_len].copy_from_slice(&frontier[i * stride..(i + 1) * stride]);
+                        enumerate::<()>(
+                            program,
+                            index,
+                            &joins_at,
+                            &[],
+                            prefix_len,
+                            &mut row,
+                            &mut args,
+                            &mut key,
+                            1,
+                            &mut scratch,
+                            &mut |full, _| {
+                                new_frontier.extend_from_slice(full);
+                                new_len += 1;
+                                false
+                            },
+                        );
+                    }
+                    stride = new_stride;
+                    frontier = new_frontier;
+                    frontier_len = new_len;
+                }
+            }
+            report.peak_frontier = report.peak_frontier.max(frontier_len);
+            if frontier_len == 0 {
+                return report;
+            }
+        }
+        report.exists = frontier_len > 0;
+        report
+    }
 }
 
 /// Decide `HOM(A, B)` by sweeping a staircase path decomposition with flat
@@ -560,132 +946,24 @@ pub fn hom_via_staircase_indexed(
     index: &StructureIndex,
     stair: &PathDecomposition,
 ) -> PathDpReport {
-    debug_assert!(stair.is_staircase());
-    let mut report = PathDpReport {
-        exists: false,
-        peak_frontier: 0,
-        bags: stair.bags.len(),
-        width: stair.width(),
-    };
-    let doms = QueryDomains::compile(a, index);
-    if !doms.satisfiable {
-        return report;
-    }
-    // The frontier: rows over `order` (flat, stride = order.len()).
-    let mut order: Vec<Element> = match stair.bags.first() {
-        Some(first) => first.iter().copied().collect(),
-        None => Vec::new(),
-    };
-    let mut frontier: Vec<u32> = Vec::new();
-    let mut frontier_len = 0usize;
-    {
-        let program = BagProgram::compile(a, &doms, &order);
-        run_program(
-            &program,
-            index,
-            Vec::<Join<()>>::new(),
-            &mut |row, _| {
-                frontier.extend_from_slice(row);
-                frontier_len += 1;
-                false
-            },
-            1,
-        );
-    }
-    report.peak_frontier = report.peak_frontier.max(frontier_len);
-    if frontier_len == 0 {
-        return report;
-    }
-
-    for window in stair.bags.windows(2) {
-        let (prev, next) = (&window[0], &window[1]);
-        let stride = order.len();
-        if next.is_subset(prev) {
-            // Forget step: project every row onto the surviving positions
-            // and deduplicate through a hash set.
-            let keep: Vec<Element> = next.iter().copied().collect();
-            let positions: Vec<usize> = keep
-                .iter()
-                .map(|e| order.iter().position(|x| x == e).expect("next ⊆ prev"))
-                .collect();
-            let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(frontier_len);
-            let mut new_frontier: Vec<u32> = Vec::new();
-            let mut new_len = 0usize;
-            for i in 0..frontier_len {
-                let row = &frontier[i * stride..(i + 1) * stride];
-                let projected: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
-                if seen.insert(projected.clone()) {
-                    new_frontier.extend_from_slice(&projected);
-                    new_len += 1;
-                }
-            }
-            order = keep;
-            frontier = new_frontier;
-            frontier_len = new_len;
-        } else {
-            // Introduce step: keep the previous order as a pinned prefix
-            // and enumerate the new elements behind it.  Constraints fully
-            // inside the old bag were checked when it was built; only
-            // checks anchored at the new depths run.
-            let new_elems: Vec<Element> = next.difference(prev).copied().collect();
-            let mut next_order = order.clone();
-            next_order.extend(new_elems.iter().copied());
-            let program = BagProgram::compile(a, &doms, &next_order);
-            let prefix_len = order.len();
-            let new_stride = next_order.len();
-            let mut new_frontier: Vec<u32> = Vec::new();
-            let mut new_len = 0usize;
-            let mut row = vec![0u32; new_stride];
-            let mut args = Vec::with_capacity(program.max_arity);
-            let mut key = Vec::new();
-            let joins_at: Vec<Vec<usize>> = vec![Vec::new(); new_stride.max(1)];
-            for i in 0..frontier_len {
-                row[..prefix_len].copy_from_slice(&frontier[i * stride..(i + 1) * stride]);
-                enumerate::<()>(
-                    &program,
-                    index,
-                    &joins_at,
-                    &[],
-                    prefix_len,
-                    &mut row,
-                    &mut args,
-                    &mut key,
-                    1,
-                    &mut |full, _| {
-                        new_frontier.extend_from_slice(full);
-                        new_len += 1;
-                        false
-                    },
-                );
-            }
-            order = next_order;
-            frontier = new_frontier;
-            frontier_len = new_len;
-        }
-        report.peak_frontier = report.peak_frontier.max(frontier_len);
-        if frontier_len == 0 {
-            return report;
-        }
-    }
-    report.exists = frontier_len > 0;
-    report
+    StairProgram::compile(a, index, stair).run(index)
 }
 
-/// A forest compiled for the sum–product recursion: per node, the
-/// constraints anchored at it (the tuples of the query whose deepest
-/// element in the forest it is — all other elements are ancestors, hence
-/// assigned when the node is visited).
-struct ForestProgram {
+/// The forest topology and per-node constraints of a compiled forest
+/// evaluation: for each node, the tuples of the query whose deepest
+/// element in the forest it is (all other elements are ancestors, hence
+/// assigned when the node is visited).  Tuple entries are query elements.
+struct ForestChecks {
     children: Vec<Vec<usize>>,
     roots: Vec<usize>,
-    checks: Vec<Vec<(SymbolId, Tuple)>>,
+    checks: Vec<Vec<(SymbolId, Vec<u32>)>>,
     max_arity: usize,
 }
 
-impl ForestProgram {
-    fn compile(a: &Structure, doms: &QueryDomains, forest: &EliminationForest) -> ForestProgram {
+impl ForestChecks {
+    fn compile(a: &Structure, doms: &QueryDomains, forest: &EliminationForest) -> ForestChecks {
         let depths = forest.depths();
-        let mut checks: Vec<Vec<(SymbolId, Tuple)>> = vec![Vec::new(); a.universe_size()];
+        let mut checks: Vec<Vec<(SymbolId, Vec<u32>)>> = vec![Vec::new(); a.universe_size()];
         let mut max_arity = 0;
         if doms.satisfiable {
             for (sym, t) in a.all_tuples() {
@@ -693,13 +971,13 @@ impl ForestProgram {
                 let anchor = t
                     .iter()
                     .copied()
-                    .max_by_key(|&e| depths[e])
+                    .max_by_key(|&e| depths[e as usize])
                     .expect("tuples are non-empty");
                 max_arity = max_arity.max(t.len());
-                checks[anchor].push((target, t.clone()));
+                checks[anchor as usize].push((target, t.to_vec()));
             }
         }
-        ForestProgram {
+        ForestChecks {
             children: forest.children(),
             roots: forest.roots(),
             checks,
@@ -725,7 +1003,7 @@ pub struct ForestRun {
 /// stop at the first witness (the count degenerates to 0/1).
 #[allow(clippy::too_many_arguments)]
 fn forest_subtree(
-    program: &ForestProgram,
+    program: &ForestChecks,
     doms: &QueryDomains,
     index: &StructureIndex,
     v: usize,
@@ -740,7 +1018,7 @@ fn forest_subtree(
         assignment[v] = image;
         for (sym, t) in &program.checks[v] {
             args.clear();
-            args.extend(t.iter().map(|&e| assignment[e]));
+            args.extend(t.iter().map(|&e| assignment[e as usize]));
             if !index.contains(*sym, args) {
                 continue 'candidates;
             }
@@ -761,42 +1039,82 @@ fn forest_subtree(
     total
 }
 
-/// Shared driver of the forest evaluations.
-fn forest_eval(
-    a: &Structure,
-    index: &StructureIndex,
-    forest: &EliminationForest,
-    decide: bool,
-) -> ForestRun {
-    debug_assert!(forest.is_valid_for(&cq_graphs::gaifman_graph(a)));
-    let doms = QueryDomains::compile(a, index);
-    let mut run = ForestRun::default();
-    if !doms.satisfiable {
-        return run;
-    }
-    let program = ForestProgram::compile(a, &doms, forest);
-    let mut assignment = vec![0u32; a.universe_size()];
-    let mut args = Vec::with_capacity(program.max_arity);
-    let mut result = 1u64;
-    for &root in &program.roots {
-        let c = forest_subtree(
-            &program,
-            &doms,
-            index,
-            root,
-            &mut assignment,
-            &mut args,
-            &mut run.assignments,
-            decide,
-        );
-        result = result.saturating_mul(c);
-        if result == 0 {
-            break;
+/// The kernel sum–product forest evaluation compiled against one
+/// `(query, index)` pair: prefilter domains plus per-node anchored
+/// constraints.  Compile once, [`ForestProgram::decide`] /
+/// [`ForestProgram::count`] many times against the same index.
+pub struct ForestProgram {
+    index_id: u64,
+    satisfiable: bool,
+    doms: QueryDomains,
+    checks: ForestChecks,
+    universe: usize,
+}
+
+impl ForestProgram {
+    /// Compile the forest evaluation for `a` over a valid elimination
+    /// forest of its Gaifman graph against the indexed target.
+    pub fn compile(
+        a: &Structure,
+        index: &StructureIndex,
+        forest: &EliminationForest,
+    ) -> ForestProgram {
+        debug_assert!(forest.is_valid_for(&cq_graphs::gaifman_graph(a)));
+        let doms = QueryDomains::compile(a, index);
+        let checks = ForestChecks::compile(a, &doms, forest);
+        ForestProgram {
+            index_id: index.id(),
+            satisfiable: doms.satisfiable,
+            doms,
+            checks,
+            universe: a.universe_size(),
         }
     }
-    run.count = result;
-    run.exists = result > 0;
-    run
+
+    /// The identity of the index this program was compiled against.
+    pub fn index_id(&self) -> u64 {
+        self.index_id
+    }
+
+    /// Count homomorphisms by the sum–product recursion.
+    pub fn count(&self, index: &StructureIndex) -> ForestRun {
+        self.run(index, false)
+    }
+
+    /// Decide `HOM(A, B)` with first-witness early exit.
+    pub fn decide(&self, index: &StructureIndex) -> ForestRun {
+        self.run(index, true)
+    }
+
+    fn run(&self, index: &StructureIndex, decide: bool) -> ForestRun {
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut run = ForestRun::default();
+        if !self.satisfiable {
+            return run;
+        }
+        let mut assignment = vec![0u32; self.universe];
+        let mut args = Vec::with_capacity(self.checks.max_arity);
+        let mut result = 1u64;
+        for &root in &self.checks.roots {
+            let c = forest_subtree(
+                &self.checks,
+                &self.doms,
+                index,
+                root,
+                &mut assignment,
+                &mut args,
+                &mut run.assignments,
+                decide,
+            );
+            result = result.saturating_mul(c);
+            if result == 0 {
+                break;
+            }
+        }
+        run.count = result;
+        run.exists = result > 0;
+        run
+    }
 }
 
 /// Count homomorphisms by the kernel sum–product recursion over an
@@ -807,7 +1125,7 @@ pub fn count_with_forest_indexed(
     index: &StructureIndex,
     forest: &EliminationForest,
 ) -> ForestRun {
-    forest_eval(a, index, forest, false)
+    ForestProgram::compile(a, index, forest).count(index)
 }
 
 /// Decide `HOM(A, B)` by the same recursion with first-witness early exit
@@ -817,7 +1135,7 @@ pub fn hom_via_forest_indexed(
     index: &StructureIndex,
     forest: &EliminationForest,
 ) -> ForestRun {
-    forest_eval(a, index, forest, true)
+    ForestProgram::compile(a, index, forest).decide(index)
 }
 
 /// Statistics of one kernel backtracking search.
@@ -830,74 +1148,110 @@ pub struct KernelSearchStats {
     pub decided_by_prefilter: bool,
 }
 
+/// The structure-agnostic kernel fallback compiled against one
+/// `(query, index)` pair: the whole query as a single [`BagProgram`]
+/// (index-driven candidate domains, incremental constraint checks) in the
+/// chosen element order.
+pub struct SearchProgram {
+    index_id: u64,
+    /// The prefilter refuted the instance at compile time (unsatisfiable
+    /// vocabulary or some empty domain).
+    refuted: bool,
+    order: Vec<Element>,
+    program: BagProgram,
+    universe: usize,
+}
+
+impl SearchProgram {
+    /// Compile the whole-query search.  With `fail_first` the element
+    /// order is by increasing prefilter-domain size; otherwise element
+    /// order.
+    pub fn compile(a: &Structure, index: &StructureIndex, fail_first: bool) -> SearchProgram {
+        let doms = QueryDomains::compile(a, index);
+        let refuted = !doms.satisfiable || doms.domains.iter().any(|d| d.is_empty());
+        let mut order: Vec<Element> = (0..a.universe_size()).collect();
+        if fail_first {
+            order.sort_by_key(|&e| doms.domains[e].len());
+        }
+        let program = BagProgram::compile(a, &doms, &order);
+        SearchProgram {
+            index_id: index.id(),
+            refuted,
+            order,
+            program,
+            universe: a.universe_size(),
+        }
+    }
+
+    /// The identity of the index this program was compiled against.
+    pub fn index_id(&self) -> u64 {
+        self.index_id
+    }
+
+    /// Search for a first complete row; returns the witness as a total
+    /// map plus search statistics.
+    pub fn run(&self, index: &StructureIndex) -> (Option<Vec<Element>>, KernelSearchStats) {
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut stats = KernelSearchStats::default();
+        if self.refuted {
+            stats.decided_by_prefilter = true;
+            return (None, stats);
+        }
+        // A plain domain-scan search so `stats.assignments` counts every
+        // candidate image tried (the driver path would skip some).
+        fn search(
+            program: &BagProgram,
+            index: &StructureIndex,
+            depth: usize,
+            row: &mut [u32],
+            args: &mut Vec<u32>,
+            assignments: &mut u64,
+        ) -> bool {
+            if depth == program.elems.len() {
+                return true;
+            }
+            for &candidate in &program.domains[depth] {
+                *assignments += 1;
+                row[depth] = candidate;
+                if program.checks_pass(index, depth, row, args)
+                    && search(program, index, depth + 1, row, args, assignments)
+                {
+                    return true;
+                }
+            }
+            false
+        }
+        let mut row = vec![0u32; self.order.len()];
+        let mut args = Vec::with_capacity(self.program.max_arity);
+        let mut witness: Option<Vec<Element>> = None;
+        if search(
+            &self.program,
+            index,
+            0,
+            &mut row,
+            &mut args,
+            &mut stats.assignments,
+        ) {
+            let mut total = vec![0 as Element; self.universe];
+            for (d, &e) in self.order.iter().enumerate() {
+                total[e] = row[d] as Element;
+            }
+            witness = Some(total);
+        }
+        (witness, stats)
+    }
+}
+
 /// The structure-agnostic kernel fallback: the whole query compiled as a
-/// single [`BagProgram`] (index-driven candidate domains, incremental
-/// constraint checks) searched for a first complete row.
-///
-/// With `fail_first` the element order is by increasing prefilter-domain
-/// size; otherwise element order.  Returns the witness as a total map plus
-/// search statistics.  (Reference: the backtracking searches of
-/// [`crate::backtrack::BacktrackSolver`] and
+/// single [`BagProgram`] searched for a first complete row.  (Reference:
+/// the backtracking searches of [`crate::backtrack::BacktrackSolver`] and
 /// [`cq_structures::find_homomorphism`].)
 pub fn find_hom_indexed(
     a: &Structure,
     index: &StructureIndex,
     fail_first: bool,
 ) -> (Option<Vec<Element>>, KernelSearchStats) {
-    let doms = QueryDomains::compile(a, index);
-    let mut stats = KernelSearchStats::default();
-    if !doms.satisfiable || doms.domains.iter().any(|d| d.is_empty()) {
-        stats.decided_by_prefilter = true;
-        return (None, stats);
-    }
-    let mut order: Vec<Element> = (0..a.universe_size()).collect();
-    if fail_first {
-        order.sort_by_key(|&e| doms.domains[e].len());
-    }
-    let program = BagProgram::compile(a, &doms, &order);
-    let mut witness: Option<Vec<Element>> = None;
-    // Count assignments through a depth-tracking emit wrapper: every
-    // candidate write is one assignment, counted in `checks_pass`'s caller
-    // — run_program has no hook, so search manually here.
-    let mut row = vec![0u32; order.len()];
-    let mut args = Vec::with_capacity(program.max_arity);
-    fn search(
-        program: &BagProgram,
-        index: &StructureIndex,
-        depth: usize,
-        row: &mut [u32],
-        args: &mut Vec<u32>,
-        assignments: &mut u64,
-    ) -> bool {
-        if depth == program.elems.len() {
-            return true;
-        }
-        for &candidate in &program.domains[depth] {
-            *assignments += 1;
-            row[depth] = candidate;
-            if program.checks_pass(index, depth, row, args)
-                && search(program, index, depth + 1, row, args, assignments)
-            {
-                return true;
-            }
-        }
-        false
-    }
-    if search(
-        &program,
-        index,
-        0,
-        &mut row,
-        &mut args,
-        &mut stats.assignments,
-    ) {
-        let mut total = vec![0 as Element; a.universe_size()];
-        for (d, &e) in order.iter().enumerate() {
-            total[e] = row[d] as Element;
-        }
-        witness = Some(total);
-    }
-    (witness, stats)
+    SearchProgram::compile(a, index, fail_first).run(index)
 }
 
 /// Enumerate the valid assignments of one bag as flat rows over the sorted
@@ -1116,5 +1470,74 @@ mod tests {
             count_homomorphisms_bruteforce(&two_edges, &k3)
         );
         assert!(hom_via_tree_decomposition_indexed(&two_edges, &index, &td).exists);
+    }
+
+    #[test]
+    fn compiled_programs_are_reusable_and_meter_compilations() {
+        let a = families::cycle(4);
+        let b = families::cycle(6);
+        let index = StructureIndex::new(&b);
+        let (_, td) = treewidth_of_structure(&a);
+        let (_, pd) = pathwidth_of_structure(&a);
+        let stair = pd.normalize_staircase();
+        let g = gaifman_graph(&a);
+        let (_, forest) = treedepth_exact(&g);
+
+        let tree = TreeDpProgram::compile(&a, &index, &td);
+        let stairp = StairProgram::compile(&a, &index, &stair);
+        let forestp = ForestProgram::compile(&a, &index, &forest);
+        let search = SearchProgram::compile(&a, &index, true);
+        assert_eq!(tree.index_id(), index.id());
+        assert_eq!(stairp.index_id(), index.id());
+        assert_eq!(forestp.index_id(), index.id());
+        assert_eq!(search.index_id(), index.id());
+
+        // Running a compiled program does not recompile: repeat runs are
+        // pure reads of the program and return identical results.  (The
+        // counter is process-global and other tests compile concurrently,
+        // so only monotone lower bounds are race-safe to assert here; the
+        // exact no-recompile equality is asserted by the single-threaded
+        // E18 bench.)
+        let before = program_compilation_count();
+        let expected = count_homomorphisms_bruteforce(&a, &b);
+        for _ in 0..3 {
+            assert!(tree.decide(&index).exists);
+            assert_eq!(tree.count(&index).count, expected);
+            assert!(stairp.run(&index).exists);
+            assert_eq!(forestp.count(&index).count, expected);
+            assert!(forestp.decide(&index).exists);
+            assert!(search.run(&index).0.is_some());
+        }
+
+        // Compiling does meter.
+        let _again = TreeDpProgram::compile(&a, &index, &td);
+        assert!(program_compilation_count() > before);
+    }
+
+    #[test]
+    fn driver_iteration_matches_bruteforce_on_selective_targets() {
+        // Directed path into a large directed cycle: every element's
+        // posting list has length 1 against full-size prefilter domains,
+        // so the posting-list driver carries the whole enumeration.
+        let a = families::directed_path(4);
+        let b = families::directed_cycle(20);
+        let index = StructureIndex::new(&b);
+        let (_, td) = treewidth_of_structure(&a);
+        assert_eq!(
+            count_hom_via_tree_decomposition_indexed(&a, &index, &td).count,
+            count_homomorphisms_bruteforce(&a, &b)
+        );
+        let (_, pd) = pathwidth_of_structure(&a);
+        assert!(hom_via_staircase_indexed(&a, &index, &pd.normalize_staircase()).exists);
+        // A star query: the centre is bound first, the leaves all drive
+        // off the centre's posting list.
+        let star = families::star(4);
+        let k4 = families::clique(4);
+        let k4_index = StructureIndex::new(&k4);
+        let (_, td_star) = treewidth_of_structure(&star);
+        assert_eq!(
+            count_hom_via_tree_decomposition_indexed(&star, &k4_index, &td_star).count,
+            count_homomorphisms_bruteforce(&star, &k4)
+        );
     }
 }

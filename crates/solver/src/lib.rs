@@ -41,7 +41,8 @@ pub use domains::{arc_consistency, initial_domains, Domains};
 pub use kernel::{
     bag_rows_indexed, count_hom_via_tree_decomposition_indexed, count_with_forest_indexed,
     find_hom_indexed, hom_via_forest_indexed, hom_via_staircase_indexed,
-    hom_via_tree_decomposition_indexed, BagProgram, ForestRun, KernelSearchStats, QueryDomains,
+    hom_via_tree_decomposition_indexed, program_compilation_count, BagProgram, ForestProgram,
+    ForestRun, KernelSearchStats, QueryDomains, SearchProgram, StairProgram, TreeDpProgram,
     TreeDpRun,
 };
 pub use pathdp::{hom_via_path_decomposition, hom_via_staircase, PathDpReport};

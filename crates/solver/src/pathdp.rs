@@ -130,10 +130,10 @@ fn consistent_on_bag(
     bag: &BTreeSet<Element>,
 ) -> bool {
     for (sym, t) in a.all_tuples() {
-        if !t.iter().all(|e| bag.contains(e)) {
+        if !t.iter().all(|&e| bag.contains(&(e as Element))) {
             continue;
         }
-        let mapped: Option<Vec<Element>> = t.iter().map(|&e| h.get(e)).collect();
+        let mapped: Option<Vec<Element>> = t.iter().map(|&e| h.get(e as usize)).collect();
         if let Some(mapped) = mapped {
             let Some(bsym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
                 return false;

@@ -103,10 +103,11 @@ pub fn count_with_forest(a: &Structure, b: &Structure, forest: &EliminationFores
             // all assigned once v ↦ image.
             assignment[v] = Some(image);
             for (sym, t) in a.all_tuples() {
-                if !t.contains(&v) {
+                if !t.contains(&(v as u32)) {
                     continue;
                 }
-                let mapped: Option<Vec<Element>> = t.iter().map(|&e| assignment[e]).collect();
+                let mapped: Option<Vec<Element>> =
+                    t.iter().map(|&e| assignment[e as usize]).collect();
                 if let Some(mapped) = mapped {
                     let Some(bsym) = b.vocabulary().id_of(a.vocabulary().name(sym)) else {
                         assignment[v] = None;

@@ -476,10 +476,12 @@ impl Encode for Structure {
         for id in self.vocabulary().ids() {
             let rel = self.relation(id);
             (rel.len() as u64).encode(out);
-            for t in rel.tuples() {
+            for t in rel.rows() {
                 // Arity is fixed by the symbol: no per-tuple length prefix.
+                // Elements widen back to usize so the wire format is
+                // byte-identical to the pre-interning encoding.
                 for &e in t {
-                    e.encode(out);
+                    (e as usize).encode(out);
                 }
             }
         }

@@ -155,7 +155,7 @@ impl ConjunctiveQuery {
             q.declare_variable(var_name(e));
         }
         for (sym, t) in a.all_tuples() {
-            let vars: Vec<String> = t.iter().map(|&e| var_name(e)).collect();
+            let vars: Vec<String> = t.iter().map(|&e| var_name(e as usize)).collect();
             q.atom(a.vocabulary().name(sym), &vars);
         }
         q

@@ -29,6 +29,13 @@ pub enum StructureError {
     /// The universe of a structure must be non-empty (the paper only
     /// considers structures with non-empty universes).
     EmptyUniverse,
+    /// The universe exceeds the `u32`-interned element representation
+    /// (relations store elements as `u32`, so universes are capped at
+    /// `u32::MAX` elements).
+    UniverseTooLarge {
+        /// The requested universe size.
+        universe: usize,
+    },
     /// Two structures were combined (product, union, …) but their
     /// vocabularies are incompatible.
     VocabularyMismatch {
@@ -57,6 +64,10 @@ impl fmt::Display for StructureError {
                 write!(f, "relation symbol {s} declared more than once")
             }
             StructureError::EmptyUniverse => write!(f, "structures must have non-empty universe"),
+            StructureError::UniverseTooLarge { universe } => write!(
+                f,
+                "universe of size {universe} exceeds the u32 element representation"
+            ),
             StructureError::VocabularyMismatch { detail } => {
                 write!(f, "vocabulary mismatch: {detail}")
             }
@@ -102,6 +113,11 @@ mod tests {
         assert!(StructureError::EmptyUniverse
             .to_string()
             .contains("non-empty"));
+        assert!(StructureError::UniverseTooLarge {
+            universe: usize::MAX
+        }
+        .to_string()
+        .contains("u32"));
         assert!(StructureError::VocabularyMismatch {
             detail: "foo".into()
         }

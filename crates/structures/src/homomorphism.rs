@@ -154,7 +154,7 @@ pub fn is_homomorphism(a: &Structure, b: &Structure, h: &[Element]) -> bool {
             // relation can then never be preserved.
             return false;
         };
-        let mapped: Tuple = t.iter().map(|&e| h[e]).collect();
+        let mapped: Tuple = t.iter().map(|&e| h[e as usize]).collect();
         if !b.contains(target_sym, &mapped) {
             return false;
         }
@@ -178,7 +178,7 @@ pub fn is_partial_homomorphism(a: &Structure, b: &Structure, h: &PartialHom) -> 
     // whose tuples lie entirely inside the domain of `h`.
     let translation = name_translation(a, b);
     for (sym, t) in a.all_tuples() {
-        let mapped: Option<Tuple> = t.iter().map(|&e| h.get(e)).collect();
+        let mapped: Option<Tuple> = t.iter().map(|&e| h.get(e as usize)).collect();
         if let Some(mapped) = mapped {
             let Some(target_sym) = translation[sym.index()] else {
                 return false;
@@ -237,10 +237,10 @@ impl<'a> Search<'a> {
         let sym_map = symbol_map(a, b)?;
         let mut incident = vec![Vec::new(); a.universe_size()];
         for sym in a.vocabulary().ids() {
-            for (idx, t) in a.relation(sym).tuples().iter().enumerate() {
+            for (idx, t) in a.relation(sym).rows().enumerate() {
                 for &e in t {
-                    if !incident[e].contains(&(sym, idx)) {
-                        incident[e].push((sym, idx));
+                    if !incident[e as usize].contains(&(sym, idx)) {
+                        incident[e as usize].push((sym, idx));
                     }
                 }
             }
@@ -258,8 +258,8 @@ impl<'a> Search<'a> {
     /// `assignment`.
     fn consistent(&self, assignment: &[Option<Element>], element: Element) -> bool {
         for &(sym, idx) in &self.incident[element] {
-            let t = &self.a.relation(sym).tuples()[idx];
-            let mapped: Option<Tuple> = t.iter().map(|&e| assignment[e]).collect();
+            let t = self.a.relation(sym).row(idx);
+            let mapped: Option<Tuple> = t.iter().map(|&e| assignment[e as usize]).collect();
             if let Some(mapped) = mapped {
                 let Some(target) = self.sym_map[sym.index()] else {
                     return false;

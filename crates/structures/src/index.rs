@@ -9,131 +9,255 @@
 //! [`StructureIndex`] is built **once** per target structure (linear time
 //! in `|B|`) and answers both in `O(1)`:
 //!
-//! * a per-symbol **tuple hash set** over flat `u32` rows — constant-time
-//!   membership without comparing `Vec<usize>` tuples;
-//! * per-(symbol, position, element) **posting lists** — for every element
-//!   `e` and argument position `p` of a symbol `R`, the list of tuples of
-//!   `R^B` with `e` at position `p`, exposed through candidate iterators
+//! * a per-symbol **row hash table** keyed by a deterministic FNV-1a hash of
+//!   the row — buckets store tuple ids, and candidates are confirmed against
+//!   the structure's own flat row storage, so membership costs no owned-key
+//!   allocations and the rows are never materialised twice;
+//! * per-(symbol, position) **CSR posting lists** — for every element `e`
+//!   and argument position `p` of a symbol `R`, the list of tuples of `R^B`
+//!   with `e` at position `p`, exposed through candidate iterators
 //!   ([`StructureIndex::tuples_with`]) and the deduplicated position
 //!   domains ([`StructureIndex::elements_at`]) the kernel's prefilter
 //!   intersects.
 //!
-//! The engine (`cq_core::Engine`) caches one `Arc<StructureIndex>` per
-//! registered database instance so that batch fan-out — decision and
-//! counting alike — shares a single build.  [`structure_hash`] is the
-//! deterministic content hash that cache keys on.
+//! The index *shares* the structure it indexes through an [`Arc`] rather
+//! than copying its tuples: [`StructureIndex::from_arc`] takes ownership of
+//! a shared structure, and the engine (`cq_core::Engine`) caches one
+//! `Arc<StructureIndex>` per registered database instance so that batch
+//! fan-out — decision and counting alike — shares a single build and a
+//! single copy of the tuple data.  Every index carries a process-unique
+//! [`StructureIndex::id`], which compiled kernel programs use as a cache
+//! key.  [`structure_hash`] is the deterministic content hash the engine's
+//! instance cache keys on.
 
-use crate::structure::{Structure, Tuple};
+use crate::structure::Structure;
 use crate::vocabulary::{SymbolId, Vocabulary};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// The per-symbol part of a [`StructureIndex`].
+/// Process-unique index identities, used to key compiled-program caches.
+static NEXT_INDEX_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A membership bucket: the tuple ids whose rows share an FNV hash.  Almost
+/// every bucket holds exactly one id, so the one-element case is inlined.
+#[derive(Debug, Clone)]
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+/// The per-symbol part of a [`StructureIndex`].  Tuple *data* lives in the
+/// shared [`Structure`]; this holds only derived access paths keyed by
+/// tuple id.
 #[derive(Debug, Clone, Default)]
 struct RelationIndex {
     arity: usize,
-    /// Tuples of the relation, flattened row-major (`arity` entries per
-    /// tuple, original sorted order preserved).
-    flat: Vec<u32>,
-    /// Hash set over the rows of `flat` for O(1) membership.  Keys are
-    /// owned `Vec<u32>` so lookups can borrow a scratch `&[u32]` without
-    /// allocating.
-    members: HashSet<Vec<u32>>,
-    /// `postings[pos][element]`: indices (into the tuple list) of the
-    /// tuples holding `element` at argument position `pos`.
-    postings: Vec<HashMap<u32, Vec<u32>>>,
+    /// Hash table over the relation's rows: FNV-1a row hash → tuple ids.
+    /// Lookups confirm candidates against the structure's row storage.
+    buckets: HashMap<u64, Bucket>,
+    /// CSR posting lists, one per argument position: `offsets[pos]` has
+    /// `universe_size + 1` entries and `tuple_ids[pos][offsets[pos][e] ..
+    /// offsets[pos][e + 1]]` are the tuples holding `e` at position `pos`.
+    offsets: Vec<Vec<u32>>,
+    tuple_ids: Vec<Vec<u32>>,
     /// `elements_at[pos]`: the sorted, deduplicated elements occurring at
     /// argument position `pos` — the position domain the kernel prefilter
     /// intersects.
     elements_at: Vec<Vec<u32>>,
 }
 
-impl RelationIndex {
-    fn build(arity: usize, tuples: &[Tuple]) -> RelationIndex {
-        let mut flat = Vec::with_capacity(tuples.len() * arity);
-        let mut members = HashSet::with_capacity(tuples.len());
-        let mut postings: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); arity];
-        for (idx, t) in tuples.iter().enumerate() {
-            let row: Vec<u32> = t.iter().map(|&e| e as u32).collect();
-            for (pos, &e) in row.iter().enumerate() {
-                postings[pos].entry(e).or_default().push(idx as u32);
-            }
-            flat.extend_from_slice(&row);
-            members.insert(row);
+/// Deterministic FNV-1a hash of a flat row (stable across processes).
+#[inline]
+fn fnv_row(row: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &e in row {
+        for b in e.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let elements_at = postings
-            .iter()
-            .map(|by_elem| {
-                let mut elems: Vec<u32> = by_elem.keys().copied().collect();
-                elems.sort_unstable();
-                elems
-            })
-            .collect();
+    }
+    h
+}
+
+impl RelationIndex {
+    fn build(structure: &Structure, sym: SymbolId) -> RelationIndex {
+        let rel = structure.relation(sym);
+        let arity = rel.arity();
+        let len = rel.len();
+        debug_assert!(len <= u32::MAX as usize, "tuple ids are u32");
+        let n = structure.universe_size();
+
+        let mut buckets: HashMap<u64, Bucket> = HashMap::with_capacity(len);
+        for (idx, row) in rel.rows().enumerate() {
+            use std::collections::hash_map::Entry;
+            match buckets.entry(fnv_row(row)) {
+                Entry::Vacant(v) => {
+                    v.insert(Bucket::One(idx as u32));
+                }
+                Entry::Occupied(mut o) => match o.get_mut() {
+                    Bucket::One(first) => {
+                        let first = *first;
+                        o.insert(Bucket::Many(vec![first, idx as u32]));
+                    }
+                    Bucket::Many(ids) => ids.push(idx as u32),
+                },
+            }
+        }
+
+        let mut offsets = Vec::with_capacity(arity);
+        let mut tuple_ids = Vec::with_capacity(arity);
+        let mut elements_at = Vec::with_capacity(arity);
+        for pos in 0..arity {
+            let mut offs = vec![0u32; n + 1];
+            for row in rel.rows() {
+                offs[row[pos] as usize + 1] += 1;
+            }
+            for e in 0..n {
+                offs[e + 1] += offs[e];
+            }
+            let mut cursor: Vec<u32> = offs[..n].to_vec();
+            let mut ids = vec![0u32; len];
+            for (idx, row) in rel.rows().enumerate() {
+                let e = row[pos] as usize;
+                ids[cursor[e] as usize] = idx as u32;
+                cursor[e] += 1;
+            }
+            let elems: Vec<u32> = (0..n)
+                .filter(|&e| offs[e + 1] > offs[e])
+                .map(|e| e as u32)
+                .collect();
+            offsets.push(offs);
+            tuple_ids.push(ids);
+            elements_at.push(elems);
+        }
+
         RelationIndex {
             arity,
-            flat,
-            members,
-            postings,
+            buckets,
+            offsets,
+            tuple_ids,
             elements_at,
         }
     }
 
-    fn tuple(&self, idx: usize) -> &[u32] {
-        &self.flat[idx * self.arity..(idx + 1) * self.arity]
+    /// The posting-list slice for `element` at `pos` (tuple ids).
+    #[inline]
+    fn posting(&self, pos: usize, element: u32) -> &[u32] {
+        let offs = &self.offsets[pos];
+        let e = element as usize;
+        if e + 1 >= offs.len() {
+            return &[];
+        }
+        &self.tuple_ids[pos][offs[e] as usize..offs[e + 1] as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let word = std::mem::size_of::<u32>();
+        let csr: usize = self
+            .offsets
+            .iter()
+            .chain(self.tuple_ids.iter())
+            .chain(self.elements_at.iter())
+            .map(|v| v.capacity() * word)
+            .sum();
+        let bucket_entries =
+            self.buckets.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Bucket>());
+        let bucket_spill: usize = self
+            .buckets
+            .values()
+            .map(|b| match b {
+                Bucket::One(_) => 0,
+                Bucket::Many(v) => v.capacity() * word,
+            })
+            .sum();
+        csr + bucket_entries + bucket_spill
     }
 }
 
-/// An immutable read index over one target structure: tuple hash sets plus
-/// positional posting lists (see the module docs).  Build once with
-/// [`StructureIndex::new`], share via `Arc` across evaluations and worker
-/// threads.
+/// An immutable read index over one target structure: row hash tables plus
+/// CSR posting lists (see the module docs).  Build once with
+/// [`StructureIndex::new`] or [`StructureIndex::from_arc`], share via `Arc`
+/// across evaluations and worker threads.
 #[derive(Debug, Clone)]
 pub struct StructureIndex {
-    universe_size: usize,
-    vocab: Vocabulary,
+    id: u64,
+    structure: Arc<Structure>,
     relations: Vec<RelationIndex>,
 }
 
 impl StructureIndex {
-    /// Build the index for a target structure (linear in `|B|`).
+    /// Build the index for a target structure (linear in `|B|`).  The
+    /// structure is copied once into a shared allocation; callers that
+    /// already hold an `Arc<Structure>` should use
+    /// [`StructureIndex::from_arc`] to avoid the copy.
     pub fn new(b: &Structure) -> StructureIndex {
-        assert!(
-            b.universe_size() < u32::MAX as usize,
-            "StructureIndex represents elements as u32"
-        );
-        let vocab = b.vocabulary().clone();
-        let relations = vocab
+        StructureIndex::from_arc(Arc::new(b.clone()))
+    }
+
+    /// Build the index over an already-shared structure without copying its
+    /// tuple data: the index holds the `Arc` and serves rows out of it.
+    pub fn from_arc(b: Arc<Structure>) -> StructureIndex {
+        let relations = b
+            .vocabulary()
             .ids()
-            .map(|sym| RelationIndex::build(vocab.arity(sym), b.relation(sym).tuples()))
+            .map(|sym| RelationIndex::build(&b, sym))
             .collect();
         StructureIndex {
-            universe_size: b.universe_size(),
-            vocab,
+            id: NEXT_INDEX_ID.fetch_add(1, Ordering::Relaxed),
+            structure: b,
             relations,
         }
     }
 
+    /// A process-unique identity for this index build.  Compiled kernel
+    /// programs are cached keyed by this id; two clones of one index share
+    /// the id (and the underlying data), while a rebuild of the same
+    /// structure gets a fresh one.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The indexed structure.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The shared allocation of the indexed structure.
+    pub fn structure_arc(&self) -> &Arc<Structure> {
+        &self.structure
+    }
+
     /// Size of the indexed structure's universe.
     pub fn universe_size(&self) -> usize {
-        self.universe_size
+        self.structure.universe_size()
     }
 
     /// The vocabulary of the indexed structure (used to translate query
     /// symbols into index symbols once, at kernel compile time).
     pub fn vocabulary(&self) -> &Vocabulary {
-        &self.vocab
+        self.structure.vocabulary()
     }
 
     /// Number of tuples interpreted for `sym`.
     pub fn tuple_count(&self, sym: SymbolId) -> usize {
-        let r = &self.relations[sym.index()];
-        r.flat.len().checked_div(r.arity).unwrap_or(0)
+        self.structure.relation(sym).len()
     }
 
     /// O(1) membership test `t ∈ R^B` over a flat row.
     #[inline]
     pub fn contains(&self, sym: SymbolId, t: &[u32]) -> bool {
-        self.relations[sym.index()].members.contains(t)
+        let r = &self.relations[sym.index()];
+        if t.len() != r.arity {
+            return false;
+        }
+        let rel = self.structure.relation(sym);
+        match r.buckets.get(&fnv_row(t)) {
+            None => false,
+            Some(Bucket::One(idx)) => rel.row(*idx as usize) == t,
+            Some(Bucket::Many(ids)) => ids.iter().any(|&idx| rel.row(idx as usize) == t),
+        }
     }
 
     /// Candidate iterator: the tuples of `sym` holding `element` at
@@ -144,13 +268,11 @@ impl StructureIndex {
         pos: usize,
         element: u32,
     ) -> impl Iterator<Item = &[u32]> + '_ {
-        let r = &self.relations[sym.index()];
-        r.postings[pos]
-            .get(&element)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        let rel = self.structure.relation(sym);
+        self.relations[sym.index()]
+            .posting(pos, element)
             .iter()
-            .map(move |&idx| r.tuple(idx as usize))
+            .map(move |&idx| rel.row(idx as usize))
     }
 
     /// The sorted, deduplicated elements occurring at argument position
@@ -162,11 +284,16 @@ impl StructureIndex {
 
     /// How many tuples of `sym` hold `element` at position `pos` (posting
     /// list length; `0` when the element never occurs there).
+    #[inline]
     pub fn occurrence_count(&self, sym: SymbolId, pos: usize, element: u32) -> usize {
-        self.relations[sym.index()].postings[pos]
-            .get(&element)
-            .map(|v| v.len())
-            .unwrap_or(0)
+        self.relations[sym.index()].posting(pos, element).len()
+    }
+
+    /// Approximate heap usage of the index *including* its shared structure,
+    /// in bytes.  Because the structure is shared rather than copied, this
+    /// is what one cached database actually pins in memory.
+    pub fn heap_bytes(&self) -> usize {
+        self.structure.heap_bytes() + self.relations.iter().map(|r| r.heap_bytes()).sum::<usize>()
     }
 }
 
@@ -187,7 +314,7 @@ pub fn structure_hash(s: &Structure) -> u64 {
         s.vocabulary().arity(sym).hash(&mut h);
         let rel = s.relation(sym);
         rel.len().hash(&mut h);
-        for t in rel.tuples() {
+        for t in rel.rows() {
             t.hash(&mut h);
         }
     }
@@ -204,14 +331,15 @@ mod tests {
         let b = families::cycle(5);
         let idx = StructureIndex::new(&b);
         let e = b.vocabulary().id_of("E").unwrap();
-        for (sym, t) in b.all_tuples() {
-            let row: Vec<u32> = t.iter().map(|&x| x as u32).collect();
-            assert!(idx.contains(sym, &row));
+        for (sym, row) in b.all_tuples() {
+            assert!(idx.contains(sym, row));
         }
         assert!(!idx.contains(e, &[0, 2]));
         assert!(!idx.contains(e, &[0, 0]));
+        assert!(!idx.contains(e, &[0]));
         assert_eq!(idx.tuple_count(e), b.relation(e).len());
         assert_eq!(idx.universe_size(), 5);
+        assert_eq!(idx.structure(), &b);
     }
 
     #[test]
@@ -254,5 +382,18 @@ mod tests {
         assert_eq!(idx.elements_at(c0, 0), &[0]);
         assert!(idx.contains(c0, &[0]));
         assert!(!idx.contains(c0, &[1]));
+    }
+
+    #[test]
+    fn indexes_share_the_structure_and_carry_unique_ids() {
+        let b = Arc::new(families::cycle(4));
+        let idx = StructureIndex::from_arc(Arc::clone(&b));
+        // No copy: the index serves rows out of the caller's allocation.
+        assert!(Arc::ptr_eq(idx.structure_arc(), &b));
+        let again = StructureIndex::from_arc(b);
+        assert_ne!(idx.id(), again.id());
+        // A clone of an index keeps the id (it shares the same build).
+        assert_eq!(idx.clone().id(), idx.id());
+        assert!(idx.heap_bytes() > 0);
     }
 }

@@ -5,6 +5,14 @@
 //! relation symbol `R ∈ τ`.  We identify the universe with `0..n`; callers
 //! that need named elements keep their own labelling (see
 //! [`crate::builder::StructureBuilder`]).
+//!
+//! Relations store their tuples *interned*: one flat `Vec<u32>` of row-major
+//! element ids instead of a `Vec<Vec<usize>>`.  Universes are therefore capped
+//! at `u32::MAX` elements (enforced in [`Structure::new`]), rows never incur a
+//! per-tuple heap allocation, and downstream consumers such as
+//! [`crate::StructureIndex`] read rows without converting `usize → u32` per
+//! element.  The public API hands out rows as `&[u32]` slices via
+//! [`Relation::rows`] and [`Relation::row`].
 
 use crate::error::StructureError;
 use crate::vocabulary::{SymbolId, Vocabulary};
@@ -18,11 +26,16 @@ pub type Element = usize;
 pub type Tuple = Vec<Element>;
 
 /// The interpretation of one relation symbol: a set of tuples of the symbol's
-/// arity, stored sorted and deduplicated for deterministic iteration.
+/// arity, stored row-major in one flat `u32` buffer, sorted and deduplicated
+/// for deterministic iteration.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Tuple>,
+    /// Row-major tuple storage: row `i` occupies `flat[i*arity..(i+1)*arity]`.
+    flat: Vec<u32>,
+    /// Number of rows.  Kept explicitly because `flat.len() / arity` is
+    /// undefined for arity-0 relations (which hold at most the empty tuple).
+    len: usize,
     sorted: bool,
 }
 
@@ -31,7 +44,8 @@ impl Relation {
     pub fn empty(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: Vec::new(),
+            flat: Vec::new(),
+            len: 0,
             sorted: true,
         }
     }
@@ -43,47 +57,117 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// `true` when the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
     fn normalize(&mut self) {
-        if !self.sorted {
-            self.tuples.sort();
-            self.tuples.dedup();
-            self.sorted = true;
+        if self.sorted {
+            return;
         }
+        if self.arity == 0 {
+            // A 0-ary relation holds at most the empty tuple.
+            self.len = self.len.min(1);
+        } else {
+            let mut order: Vec<usize> = (0..self.len).collect();
+            order.sort_unstable_by(|&i, &j| self.raw_row(i).cmp(self.raw_row(j)));
+            order.dedup_by(|&mut i, &mut j| self.raw_row(i) == self.raw_row(j));
+            let mut packed = Vec::with_capacity(order.len() * self.arity);
+            for i in order {
+                packed.extend_from_slice(self.raw_row(i));
+            }
+            self.len = packed.len() / self.arity;
+            self.flat = packed;
+        }
+        self.sorted = true;
     }
 
-    fn insert(&mut self, t: Tuple) {
+    fn raw_row(&self, i: usize) -> &[u32] {
+        &self.flat[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Insert a tuple; caller guarantees arity and element range.
+    fn insert(&mut self, t: &[Element]) {
         debug_assert_eq!(t.len(), self.arity);
-        self.tuples.push(t);
+        self.flat.extend(t.iter().map(|&e| e as u32));
+        self.len += 1;
         self.sorted = false;
     }
 
-    /// Tuples, in sorted order.
-    pub fn tuples(&self) -> &[Tuple] {
-        debug_assert!(self.sorted, "relation read before normalization");
-        &self.tuples
+    /// Insert an already-interned row; caller guarantees arity and range.
+    fn insert_row(&mut self, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.flat.extend_from_slice(row);
+        self.len += 1;
+        self.sorted = false;
     }
 
-    /// Membership test.
+    /// Iterate over the rows (tuples) of the relation, in sorted order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[u32]> + Clone {
+        debug_assert!(self.sorted, "relation read before normalization");
+        (0..self.len).map(move |i| self.raw_row(i))
+    }
+
+    /// The `i`-th row, in sorted order.
+    pub fn row(&self, i: usize) -> &[u32] {
+        debug_assert!(self.sorted, "relation read before normalization");
+        assert!(i < self.len, "row index out of range");
+        self.raw_row(i)
+    }
+
+    /// Membership test for a tuple of universe elements.
     pub fn contains(&self, t: &[Element]) -> bool {
         debug_assert!(self.sorted);
-        self.tuples
-            .binary_search_by(|probe| probe.as_slice().cmp(t))
-            .is_ok()
+        if t.len() != self.arity {
+            return false;
+        }
+        self.binary_search_by(|row| row.iter().map(|&e| e as usize).cmp(t.iter().copied()))
+    }
+
+    /// Membership test for an already-interned row.
+    pub fn contains_row(&self, row: &[u32]) -> bool {
+        debug_assert!(self.sorted);
+        if row.len() != self.arity {
+            return false;
+        }
+        self.binary_search_by(|probe| probe.cmp(row))
+    }
+
+    fn binary_search_by<'a, F>(&'a self, mut cmp: F) -> bool
+    where
+        F: FnMut(&'a [u32]) -> std::cmp::Ordering,
+    {
+        if self.arity == 0 {
+            return self.len > 0;
+        }
+        let mut lo = 0usize;
+        let mut hi = self.len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp(self.raw_row(mid)) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Approximate heap usage of the relation's tuple storage, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.flat.capacity() * std::mem::size_of::<u32>()
     }
 }
 
 /// A finite relational structure over a [`Vocabulary`].
 ///
 /// Invariants maintained by construction:
-/// * the universe is non-empty (`universe_size >= 1`);
+/// * the universe is non-empty (`universe_size >= 1`) and fits the `u32`
+///   element interning (`universe_size <= u32::MAX`);
 /// * every stored tuple has the arity of its symbol and all components are
 ///   `< universe_size`;
 /// * relation tuple lists are sorted and deduplicated.
@@ -102,6 +186,11 @@ impl Structure {
     pub fn new(vocab: Vocabulary, universe_size: usize) -> Result<Self, StructureError> {
         if universe_size == 0 {
             return Err(StructureError::EmptyUniverse);
+        }
+        if universe_size > u32::MAX as usize {
+            return Err(StructureError::UniverseTooLarge {
+                universe: universe_size,
+            });
         }
         let relations = vocab
             .ids()
@@ -162,13 +251,17 @@ impl Structure {
                 universe: self.universe_size,
             });
         }
-        self.relations[sym.index()].insert(tuple);
+        self.relations[sym.index()].insert(&tuple);
         self.relations[sym.index()].normalize();
         Ok(())
     }
 
     pub(crate) fn add_tuple_unchecked(&mut self, sym: SymbolId, tuple: Tuple) {
-        self.relations[sym.index()].insert(tuple);
+        self.relations[sym.index()].insert(&tuple);
+    }
+
+    pub(crate) fn add_row_unchecked(&mut self, sym: SymbolId, row: &[u32]) {
+        self.relations[sym.index()].insert_row(row);
     }
 
     pub(crate) fn finalize(&mut self) {
@@ -214,14 +307,17 @@ impl Structure {
                 .sum::<usize>()
     }
 
-    /// Iterate over `(symbol, tuple)` pairs of all relations.
-    pub fn all_tuples(&self) -> impl Iterator<Item = (SymbolId, &Tuple)> {
-        self.vocab.ids().flat_map(move |id| {
-            self.relations[id.index()]
-                .tuples()
-                .iter()
-                .map(move |t| (id, t))
-        })
+    /// Approximate heap usage of the structure's tuple storage, in bytes
+    /// (flat relation buffers only; vocabulary and labels are excluded).
+    pub fn heap_bytes(&self) -> usize {
+        self.relations.iter().map(|r| r.heap_bytes()).sum()
+    }
+
+    /// Iterate over `(symbol, row)` pairs of all relations.
+    pub fn all_tuples(&self) -> impl Iterator<Item = (SymbolId, &[u32])> {
+        self.vocab
+            .ids()
+            .flat_map(move |id| self.relations[id.index()].rows().map(move |t| (id, t)))
     }
 
     /// The edge set of the Gaifman graph of the structure: all unordered
@@ -232,7 +328,7 @@ impl Structure {
         for (_, t) in self.all_tuples() {
             for i in 0..t.len() {
                 for j in (i + 1)..t.len() {
-                    let (a, b) = (t[i], t[j]);
+                    let (a, b) = (t[i] as Element, t[j] as Element);
                     if a != b {
                         edges.insert((a.min(b), a.max(b)));
                     }
@@ -278,7 +374,7 @@ impl Structure {
         for (sym, t) in self.all_tuples() {
             if let Some(mapped) = t
                 .iter()
-                .map(|&e| old_to_new[e])
+                .map(|&e| old_to_new[e as usize])
                 .collect::<Option<Vec<Element>>>()
             {
                 out.add_tuple_unchecked(sym, mapped);
@@ -303,8 +399,8 @@ impl Structure {
         let mut out = Structure::new(keep.clone(), self.universe_size)?;
         for id in keep.ids() {
             let own = self.vocab.id_of(keep.name(id)).expect("subset checked");
-            for t in self.relation(own).tuples() {
-                out.add_tuple_unchecked(id, t.clone());
+            for t in self.relation(own).rows() {
+                out.add_row_unchecked(id, t);
             }
         }
         out.finalize();
@@ -319,7 +415,7 @@ impl Structure {
         let mut out = Structure::new(vocab, self.universe_size)?;
         for (sym, t) in self.all_tuples() {
             let new_sym = out.vocab.id_of(self.vocab.name(sym)).expect("union");
-            out.add_tuple_unchecked(new_sym, t.clone());
+            out.add_row_unchecked(new_sym, t);
         }
         out.finalize();
         out.labels = self.labels.clone();
@@ -345,9 +441,9 @@ impl Structure {
         }
         let e = self.vocab.id_of("E").unwrap();
         let rel = self.relation(e);
-        rel.tuples().iter().all(|t| {
+        rel.rows().all(|t| {
             let (a, b) = (t[0], t[1]);
-            a != b && rel.contains(&[b, a])
+            a != b && rel.contains_row(&[b, a])
         })
     }
 
@@ -368,8 +464,8 @@ impl Structure {
             if rel.len() != other_rel.len() {
                 return false;
             }
-            for t in rel.tuples() {
-                let mapped: Tuple = t.iter().map(|&e| perm[e]).collect();
+            for t in rel.rows() {
+                let mapped: Tuple = t.iter().map(|&e| perm[e as usize]).collect();
                 if !other_rel.contains(&mapped) {
                     return false;
                 }
@@ -388,16 +484,16 @@ impl fmt::Display for Structure {
         )?;
         for id in self.vocab.ids() {
             write!(f, "  {} = {{", self.vocab.name(id))?;
-            for (i, t) in self.relation(id).tuples().iter().enumerate() {
+            for (i, t) in self.relation(id).rows().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
                 }
                 write!(f, "(")?;
-                for (j, e) in t.iter().enumerate() {
+                for (j, &e) in t.iter().enumerate() {
                     if j > 0 {
                         write!(f, ",")?;
                     }
-                    match self.label(*e) {
+                    match self.label(e as Element) {
                         Some(l) => write!(f, "{l}")?,
                         None => write!(f, "{e}")?,
                     }
@@ -433,6 +529,18 @@ mod tests {
         );
     }
 
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn oversized_universe_rejected() {
+        let too_big = u32::MAX as usize + 1;
+        assert_eq!(
+            Structure::new(Vocabulary::graph(), too_big).unwrap_err(),
+            StructureError::UniverseTooLarge { universe: too_big }
+        );
+        // The boundary itself is fine: elements 0..u32::MAX all fit in u32.
+        assert!(Structure::new(Vocabulary::graph(), u32::MAX as usize).is_ok());
+    }
+
     #[test]
     fn arity_and_range_checks() {
         let vocab = Vocabulary::graph();
@@ -460,6 +568,25 @@ mod tests {
         s.add_tuple(e, vec![0, 1]).unwrap();
         assert_eq!(s.relation(e).len(), 1);
         assert_eq!(s.tuple_count(), 1);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_flat() {
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut s = Structure::new(vocab, 4).unwrap();
+        s.add_tuple(e, vec![3, 0]).unwrap();
+        s.add_tuple(e, vec![0, 2]).unwrap();
+        s.add_tuple(e, vec![0, 1]).unwrap();
+        let rel = s.relation(e);
+        let rows: Vec<&[u32]> = rel.rows().collect();
+        assert_eq!(rows, vec![&[0u32, 1][..], &[0, 2], &[3, 0]]);
+        assert_eq!(rel.row(2), &[3, 0]);
+        assert!(rel.contains_row(&[0, 2]));
+        assert!(!rel.contains_row(&[2, 0]));
+        // Mismatched lengths never match.
+        assert!(!rel.contains(&[0]));
+        assert!(rel.heap_bytes() >= 6 * std::mem::size_of::<u32>());
     }
 
     #[test]

@@ -400,6 +400,109 @@ pub fn kernel_stress_traffic(
     }
 }
 
+/// The E18 scale corpus: `fact_relations` dense binary relations
+/// `R0 … R{fact_relations-1}` of roughly `fact_tuples_per_relation` tuples
+/// each, plus one **sparse** binary relation `S` of roughly
+/// `selective_tuples` tuples — the fact/dimension skew of a warehouse
+/// workload.  The bulk of the 10^5–10^6 tuples lives in the fact
+/// relations; selective joins touch `S`, where per-call program
+/// recompilation (domain prefilters over the whole universe) costs more
+/// than the join itself — exactly the regime the compiled-program cache
+/// exists for.
+pub fn scale_corpus(
+    n: usize,
+    fact_relations: usize,
+    fact_tuples_per_relation: usize,
+    selective_tuples: usize,
+    seed: u64,
+) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<(String, usize)> = (0..fact_relations)
+        .map(|i| (format!("R{i}"), 2))
+        .chain(std::iter::once(("S".to_string(), 2)))
+        .collect();
+    let vocab = Vocabulary::from_pairs(names).expect("fresh names");
+    let mut b = StructureBuilder::new(vocab.clone()).with_universe(n);
+    for r in 0..fact_relations {
+        let sym = vocab.id_of(&format!("R{r}")).unwrap();
+        for _ in 0..fact_tuples_per_relation {
+            let x = rng.gen_range(0..n);
+            let y = rng.gen_range(0..n);
+            b.raw_fact(sym, vec![x, y]);
+        }
+    }
+    let s = vocab.id_of("S").unwrap();
+    for _ in 0..selective_tuples {
+        let x = rng.gen_range(0..n);
+        let y = rng.gen_range(0..n);
+        b.raw_fact(s, vec![x, y]);
+    }
+    b.build().expect("non-empty")
+}
+
+/// Selective join shapes over the sparse relation `S` of [`scale_corpus`]:
+/// a chain, a star and a cycle whose every atom reads `S`.  Against a
+/// fact-heavy corpus these are the high-selectivity queries whose kernel
+/// *runs* are cheap (the driver iteration walks short posting lists) while
+/// per-call program *compilation* still scans the whole universe — the
+/// warm-vs-recompile gap bench E18 times.
+pub fn selective_join_queries() -> Vec<Structure> {
+    let mut chain = ConjunctiveQuery::new();
+    for i in 0..3 {
+        chain.atom("S", &[format!("x{i}"), format!("x{}", i + 1)]);
+    }
+    let mut star = ConjunctiveQuery::new();
+    for i in 0..3 {
+        star.atom("S", &["c".to_string(), format!("x{i}")]);
+    }
+    let mut cycle = ConjunctiveQuery::new();
+    for i in 0..4 {
+        cycle.atom("S", &[format!("x{i}"), format!("x{}", (i + 1) % 4)]);
+    }
+    [chain, star, cycle]
+        .iter()
+        .map(|q| q.canonical_structure().expect("non-empty join query"))
+        .collect()
+}
+
+/// A seeded induced subsample of a large database: `elements` universe
+/// elements chosen uniformly without replacement, with all induced tuples,
+/// renumbered to `0..elements`.  This is how the scale-oracle tests shrink
+/// the 10^5-tuple E18 corpus to something a brute-force reference can
+/// enumerate while still drawing from the distribution the bench times.
+pub fn subsample_database(db: &Structure, elements: usize, seed: u64) -> Structure {
+    use std::collections::BTreeSet;
+    let n = db.universe_size();
+    let take = elements.clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1_E000);
+    let mut subset = BTreeSet::new();
+    while subset.len() < take {
+        subset.insert(rng.gen_range(0..n));
+    }
+    let (sub, _map) = db
+        .induced_substructure(&subset)
+        .expect("non-empty in-range subset");
+    sub
+}
+
+/// The E18 scale-bench query shapes over the [`random_database`] schema —
+/// chain, star and cycle joins as canonical structures.  Each shape touches
+/// **every** relation symbol `R0 … R{relations-1}` (symbol translation in
+/// the kernel is name-based, so the query vocabulary must be interpretable
+/// in the corpus), and together they span the engine's structural tiers:
+/// the chain is pathwidth 1, the star is tree depth 2, the cycle is
+/// pathwidth 2.
+pub fn scale_join_queries(relations: usize) -> Vec<Structure> {
+    [
+        chain_join_query(relations.max(2), relations),
+        star_join_query(relations.max(2), relations),
+        cycle_join_query(relations.max(3), relations),
+    ]
+    .iter()
+    .map(|q| q.canonical_structure().expect("non-empty join query"))
+    .collect()
+}
+
 /// A fleet of `count` query structures with pairwise **distinct**
 /// plan-cache fingerprints, spanning several shapes (stars, odd cycles,
 /// directed paths, caterpillars).  A batch over this fleet performs `count`
@@ -543,6 +646,80 @@ mod tests {
         fingerprints.sort_unstable();
         fingerprints.dedup();
         assert_eq!(fingerprints.len(), 12, "every member preparable uniquely");
+    }
+
+    #[test]
+    fn scale_corpus_is_deterministic_and_fact_heavy() {
+        let db = scale_corpus(300, 3, 4_000, 300, 7);
+        assert_eq!(db, scale_corpus(300, 3, 4_000, 300, 7));
+        assert_eq!(db.vocabulary().len(), 4);
+        assert_eq!(db.universe_size(), 300);
+        let s = db.vocabulary().id_of("S").unwrap();
+        let s_tuples = db.relation(s).len();
+        assert!(s_tuples > 0 && s_tuples <= 300, "S stays sparse");
+        assert!(
+            db.tuple_count() - s_tuples > 10 * s_tuples,
+            "facts dominate the corpus"
+        );
+    }
+
+    #[test]
+    fn selective_queries_read_only_the_sparse_relation() {
+        let queries = selective_join_queries();
+        assert_eq!(queries.len(), 3);
+        for q in &queries {
+            assert_eq!(q.vocabulary().len(), 1);
+            assert_eq!(
+                q.vocabulary().name(q.vocabulary().ids().next().unwrap()),
+                "S"
+            );
+            assert!(q.tuple_count() >= 3);
+        }
+        let profiles: Vec<_> = queries
+            .iter()
+            .map(cq_decomp::width_profile_of_structure)
+            .collect();
+        assert_eq!(profiles[0].pathwidth, 1, "chain");
+        assert_eq!(profiles[1].treedepth, 2, "star");
+        assert_eq!(profiles[2].pathwidth, 2, "cycle");
+    }
+
+    #[test]
+    fn subsample_is_deterministic_induced_and_small() {
+        let db = random_database(200, 3, 2_000, 9);
+        let s1 = subsample_database(&db, 15, 4);
+        let s2 = subsample_database(&db, 15, 4);
+        let s3 = subsample_database(&db, 15, 5);
+        assert_eq!(s1, s2, "deterministic in the seed");
+        assert_ne!(s1, s3, "different seeds pick different subsets");
+        assert_eq!(s1.universe_size(), 15);
+        assert_eq!(s1.vocabulary(), db.vocabulary());
+        assert!(s1.tuple_count() > 0, "dense corpus: induced tuples survive");
+        // Oversized requests saturate at the full universe.
+        assert_eq!(subsample_database(&db, 10_000, 0).universe_size(), 200);
+    }
+
+    #[test]
+    fn scale_queries_interpret_the_corpus_schema_and_span_tiers() {
+        let db = random_database(50, 4, 100, 1);
+        let queries = scale_join_queries(4);
+        assert_eq!(queries.len(), 3);
+        for q in &queries {
+            for sym in q.vocabulary().ids() {
+                let name = q.vocabulary().name(sym);
+                assert!(
+                    db.vocabulary().id_of(name).is_some(),
+                    "query symbol {name} must exist in the corpus schema"
+                );
+            }
+        }
+        let profiles: Vec<_> = queries
+            .iter()
+            .map(cq_decomp::width_profile_of_structure)
+            .collect();
+        assert_eq!(profiles[0].pathwidth, 1, "chain");
+        assert_eq!(profiles[1].treedepth, 2, "star");
+        assert_eq!(profiles[2].pathwidth, 2, "cycle");
     }
 
     #[test]
