@@ -393,7 +393,27 @@ fn gate_against_baseline(speedup: f64, peak_rss: Option<u64>) {
             );
             println!("  quick-mode RSS gate: {measured_mb:.1} MiB <= baseline {base_mb:.1} MiB");
         }
-        _ => println!("  quick-mode RSS gate skipped (no VmHWM or no baseline)"),
+        // The platform measured VmHWM but the baseline is missing or
+        // unusable: on CI that means the gate silently never ran — a real
+        // RSS regression would sail through.  Fail loudly instead of
+        // printing a skip line that looks like a pass.
+        (Some(_), base) => panic!(
+            "E18 quick-mode RSS gate could not run: /proc/self/status reports VmHWM \
+             but the checked-in BENCH_E18.json baseline is {} — refusing to skip \
+             the gate on a platform that can enforce it",
+            if base.is_none() {
+                "missing or unreadable"
+            } else {
+                "non-positive"
+            }
+        ),
+        // No VmHWM at all: only acceptable off-Linux, where /proc/self/status
+        // does not exist.  On Linux a missing VmHWM means the probe broke.
+        (None, _) if cfg!(target_os = "linux") => panic!(
+            "E18 quick-mode RSS gate could not run: this is Linux but no VmHWM was \
+             read from /proc/self/status — the peak-RSS probe is broken"
+        ),
+        (None, _) => println!("  quick-mode RSS gate skipped (platform exposes no VmHWM)"),
     }
     println!("  quick-mode gate passed: warm scale path holds the {FLOOR}x floor");
 }

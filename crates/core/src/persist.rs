@@ -158,6 +158,174 @@ impl Decode for EngineConfig {
     }
 }
 
+impl Encode for crate::SolverChoice {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            crate::SolverChoice::TreeDepth => 0,
+            crate::SolverChoice::PathDecomposition => 1,
+            crate::SolverChoice::TreeDecomposition => 2,
+            crate::SolverChoice::Backtracking => 3,
+        });
+    }
+}
+
+impl Decode for crate::SolverChoice {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(crate::SolverChoice::TreeDepth),
+            1 => Ok(crate::SolverChoice::PathDecomposition),
+            2 => Ok(crate::SolverChoice::TreeDecomposition),
+            3 => Ok(crate::SolverChoice::Backtracking),
+            tag => Err(DecodeError::BadTag {
+                what: "SolverChoice",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for crate::EngineReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.exists.encode(out);
+        self.choice.encode(out);
+        self.degree_hint.encode(out);
+        self.widths.encode(out);
+        self.evaluated_query_size.encode(out);
+    }
+}
+
+impl Decode for crate::EngineReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(crate::EngineReport {
+            exists: bool::decode(r)?,
+            choice: crate::SolverChoice::decode(r)?,
+            degree_hint: Degree::decode(r)?,
+            widths: cq_decomp::WidthProfile::decode(r)?,
+            evaluated_query_size: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for crate::CountMethod {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            crate::CountMethod::ForestSumProduct => 0,
+            crate::CountMethod::TreeDecompositionDp => 1,
+            crate::CountMethod::BruteForce => 2,
+        });
+    }
+}
+
+impl Decode for crate::CountMethod {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(crate::CountMethod::ForestSumProduct),
+            1 => Ok(crate::CountMethod::TreeDecompositionDp),
+            2 => Ok(crate::CountMethod::BruteForce),
+            tag => Err(DecodeError::BadTag {
+                what: "CountMethod",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for crate::CountReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.count.encode(out);
+        self.method.encode(out);
+        self.degree_hint.encode(out);
+        self.widths.encode(out);
+        self.counted_query_size.encode(out);
+    }
+}
+
+impl Decode for crate::CountReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(crate::CountReport {
+            count: u64::decode(r)?,
+            method: crate::CountMethod::decode(r)?,
+            degree_hint: Degree::decode(r)?,
+            widths: cq_decomp::WidthProfile::decode(r)?,
+            counted_query_size: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for crate::PrepStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.preparations.encode(out);
+        self.treewidth_calls.encode(out);
+        self.pathwidth_calls.encode(out);
+        self.treedepth_calls.encode(out);
+        self.core_computations.encode(out);
+        self.counting_preparations.encode(out);
+        self.plans_loaded.encode(out);
+        self.plans_rejected.encode(out);
+        self.plans_saved.encode(out);
+        self.plans_evicted_persisted.encode(out);
+    }
+}
+
+impl Decode for crate::PrepStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(crate::PrepStats {
+            preparations: u64::decode(r)?,
+            treewidth_calls: u64::decode(r)?,
+            pathwidth_calls: u64::decode(r)?,
+            treedepth_calls: u64::decode(r)?,
+            core_computations: u64::decode(r)?,
+            counting_preparations: u64::decode(r)?,
+            plans_loaded: u64::decode(r)?,
+            plans_rejected: u64::decode(r)?,
+            plans_saved: u64::decode(r)?,
+            plans_evicted_persisted: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for crate::CacheStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lookups.encode(out);
+        self.hits.encode(out);
+        self.misses.encode(out);
+        self.evictions.encode(out);
+        self.entries.encode(out);
+    }
+}
+
+impl Decode for crate::CacheStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(crate::CacheStats {
+            lookups: u64::decode(r)?,
+            hits: u64::decode(r)?,
+            misses: u64::decode(r)?,
+            evictions: u64::decode(r)?,
+            entries: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for crate::IndexStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lookups.encode(out);
+        self.hits.encode(out);
+        self.misses.encode(out);
+        self.entries.encode(out);
+    }
+}
+
+impl Decode for crate::IndexStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(crate::IndexStats {
+            lookups: u64::decode(r)?,
+            hits: u64::decode(r)?,
+            misses: u64::decode(r)?,
+            entries: usize::decode(r)?,
+        })
+    }
+}
+
 /// One framed record of a [`PlanStore`]: a fingerprint key plus the encoded
 /// plan payload (decoded lazily, so one corrupt record cannot poison its
 /// neighbours).
@@ -252,6 +420,33 @@ impl PlanStore {
         });
     }
 
+    /// Insert a plan keyed by its fingerprint, replacing any existing record
+    /// with the same fingerprint.  This is the save-on-eviction entry point:
+    /// a long-running engine upserts each evicted plan here, so repeated
+    /// churn on the same query costs one record, not an unbounded append.
+    pub fn upsert_plan(&mut self, plan: &PreparedQuery) {
+        let fingerprint = plan.fingerprint();
+        let payload = encode_to_vec(plan);
+        if let Some(existing) = self
+            .records
+            .iter_mut()
+            .find(|r| r.fingerprint == fingerprint)
+        {
+            existing.payload = payload;
+        } else {
+            self.records.push(StoredPlan {
+                fingerprint,
+                payload,
+            });
+        }
+    }
+
+    /// Sort records by fingerprint (ties keep insertion order).  Keeps the
+    /// byte image deterministic when records arrive in eviction order.
+    pub fn sort_by_fingerprint(&mut self) {
+        self.records.sort_by_key(|r| r.fingerprint);
+    }
+
     /// Serialize to the version-1 file format (with fresh checksums).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -343,28 +538,7 @@ impl PlanStore {
     /// checksum of [`PlanStore::from_bytes`] would otherwise flag as
     /// corruption.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let path = path.as_ref();
-        // Unique sibling name: same directory (rename must not cross a
-        // filesystem), disambiguated by pid + a process-wide counter so
-        // concurrent saves to the same destination never share a scratch
-        // file.
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let file_name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "plans".to_string());
-        let tmp = path.with_file_name(format!(".{file_name}.tmp.{}.{seq}", std::process::id()));
-        let result = (|| {
-            std::fs::write(&tmp, self.to_bytes())?;
-            std::fs::rename(&tmp, path)
-        })();
-        if result.is_err() {
-            // Best-effort scratch cleanup; the original error is what the
-            // caller needs to see.
-            let _ = std::fs::remove_file(&tmp);
-        }
-        result?;
+        write_image_atomic(path.as_ref(), &self.to_bytes())?;
         Ok(())
     }
 
@@ -373,6 +547,35 @@ impl PlanStore {
         let bytes = std::fs::read(path)?;
         Ok(PlanStore::from_bytes(&bytes)?)
     }
+}
+
+/// Atomically replace `path` with `bytes`: the bytes land in a sibling
+/// temporary file first and are renamed over the destination, so a reader
+/// (or a crash) mid-save observes either the complete previous store or the
+/// complete new one — never a truncated prefix.  Concurrent writers race
+/// only on which complete image wins the rename (last-writer-wins); the
+/// scratch names are disambiguated by pid + a process-wide counter so
+/// racing saves never share one.  Separated from [`PlanStore::write_to`] so
+/// the engine's background eviction writer can serialize under the store
+/// lock but perform the I/O outside it.
+pub(crate) fn write_image_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "plans".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}.{seq}", std::process::id()));
+    let result = (|| {
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort scratch cleanup; the original error is what the
+        // caller needs to see.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// What [`crate::Engine::load_plans`] did with a store's records.

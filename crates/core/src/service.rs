@@ -142,6 +142,10 @@ pub struct PrepStats {
     pub plans_rejected: u64,
     /// Plans written out by [`Engine::save_plans`].
     pub plans_saved: u64,
+    /// Plans evicted by the LRU and persisted into the configured eviction
+    /// store ([`Engine::with_eviction_store`]) instead of being lost.
+    /// Zero when no eviction store is configured.
+    pub plans_evicted_persisted: u64,
 }
 
 impl PrepStats {
@@ -163,6 +167,7 @@ struct PrepCounters {
     plans_loaded: AtomicU64,
     plans_rejected: AtomicU64,
     plans_saved: AtomicU64,
+    plans_evicted_persisted: AtomicU64,
 }
 
 impl PrepCounters {
@@ -177,6 +182,7 @@ impl PrepCounters {
             plans_loaded: self.plans_loaded.load(Ordering::Relaxed),
             plans_rejected: self.plans_rejected.load(Ordering::Relaxed),
             plans_saved: self.plans_saved.load(Ordering::Relaxed),
+            plans_evicted_persisted: self.plans_evicted_persisted.load(Ordering::Relaxed),
         }
     }
 
@@ -253,11 +259,12 @@ impl PlanCache {
         None
     }
 
-    /// Insert a plan, returning how many slots the LRU evicted to make
-    /// room.
-    fn insert(&mut self, plan: Arc<PreparedQuery>) -> u64 {
+    /// Insert a plan, returning the plans the LRU evicted to make room —
+    /// surrendered to the caller (rather than dropped here) so an engine
+    /// with an eviction store can persist them before the last `Arc` goes.
+    fn insert(&mut self, plan: Arc<PreparedQuery>) -> Vec<Arc<PreparedQuery>> {
         if self.capacity == 0 {
-            return 0;
+            return Vec::new();
         }
         let evicted = self.evict_down_to(self.capacity.saturating_sub(1));
         self.tick += 1;
@@ -271,9 +278,9 @@ impl PlanCache {
     }
 
     /// Evict least-recently-used slots until at most `target` remain,
-    /// returning how many were evicted.
-    fn evict_down_to(&mut self, target: usize) -> u64 {
-        let mut evicted = 0;
+    /// returning the evicted plans.
+    fn evict_down_to(&mut self, target: usize) -> Vec<Arc<PreparedQuery>> {
+        let mut evicted = Vec::new();
         while self.slots.len() > target {
             let pos = self
                 .slots
@@ -282,8 +289,7 @@ impl PlanCache {
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(i, _)| i)
                 .expect("non-empty");
-            self.slots.swap_remove(pos);
-            evicted += 1;
+            evicted.push(self.slots.swap_remove(pos).plan);
         }
         evicted
     }
@@ -348,13 +354,17 @@ impl ShardedPlanCache {
             .find(fingerprint, candidate)
     }
 
-    fn insert(&self, plan: Arc<PreparedQuery>) {
+    /// Insert a plan, returning any plans the shard's LRU evicted (already
+    /// counted in the `evictions` stat) so the engine can persist them.
+    fn insert(&self, plan: Arc<PreparedQuery>) -> Vec<Arc<PreparedQuery>> {
         let evicted = self
             .shard(plan.fingerprint())
             .lock()
             .expect("cache shard lock")
             .insert(plan);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        evicted
     }
 
     fn stats(&self) -> CacheStats {
@@ -407,7 +417,8 @@ impl ShardedPlanCache {
             evicted += self.shards[index]
                 .get_mut()
                 .expect("cache shard lock")
-                .insert(slot.plan);
+                .insert(slot.plan)
+                .len() as u64;
         }
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
@@ -599,6 +610,21 @@ pub struct Engine {
     indexes: InstanceIndexCache,
     registered: Mutex<Vec<Arc<PreparedQuery>>>,
     prep: PrepCounters,
+    eviction: Option<EvictionSink>,
+}
+
+/// Background save-on-eviction (see [`Engine::with_eviction_store`]): the
+/// engine forwards every plan the LRU evicts here; the sink upserts it into
+/// an in-memory [`PlanStore`] image (seeded from the file already at the
+/// configured path, when plan-compatible) and wakes a background writer
+/// thread that persists the image atomically.  Eviction callers pay one
+/// mutex + an encode; the file I/O happens off the serving path.
+struct EvictionSink {
+    store: Arc<Mutex<PlanStore>>,
+    /// Wake signals for the writer thread; dropping the sender (engine
+    /// drop) flushes all pending work and stops the thread.
+    wake: Mutex<Option<std::sync::mpsc::Sender<()>>>,
+    writer: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Engine {
@@ -621,6 +647,7 @@ impl Engine {
             indexes: InstanceIndexCache::new(DEFAULT_CACHE_SHARDS, DEFAULT_INDEX_CACHE_CAPACITY),
             registered: Mutex::new(Vec::new()),
             prep: PrepCounters::default(),
+            eviction: None,
         }
     }
 
@@ -760,7 +787,8 @@ impl Engine {
             // serialize (they hold different latches and touch shards only
             // for the final insert).
             let plan = self.prepare_counted(query, fingerprint);
-            self.cache.insert(Arc::clone(&plan));
+            let evicted = self.cache.insert(Arc::clone(&plan));
+            self.persist_evicted(evicted);
             plan
         }
     }
@@ -1080,11 +1108,29 @@ impl Engine {
         for plan in &plans {
             store.push_plan(plan);
         }
+        // Fold in evicted-but-persisted records no longer live in any
+        // shard, so a restart warm-starts every fingerprint this engine
+        // ever prepared — churned out or not.
+        let mut merged = 0u64;
+        if let Some(sink) = &self.eviction {
+            let live: std::collections::HashSet<u64> =
+                plans.iter().map(|p| p.fingerprint()).collect();
+            let evicted = sink
+                .store
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for record in evicted.records() {
+                if !live.contains(&record.fingerprint()) {
+                    store.push_raw_record(record.fingerprint(), record.payload().to_vec());
+                    merged += 1;
+                }
+            }
+            store.sort_by_fingerprint();
+        }
         store.write_to(path)?;
-        self.prep
-            .plans_saved
-            .fetch_add(plans.len() as u64, Ordering::Relaxed);
-        Ok(plans.len() as u64)
+        let total = plans.len() as u64 + merged;
+        self.prep.plans_saved.fetch_add(total, Ordering::Relaxed);
+        Ok(total)
     }
 
     /// Warm-start the sharded plan cache from a plan-store file: decode
@@ -1138,7 +1184,8 @@ impl Engine {
                 summary.rejected += 1;
                 continue;
             }
-            self.cache.insert(Arc::new(plan));
+            let evicted = self.cache.insert(Arc::new(plan));
+            self.persist_evicted(evicted);
             summary.loaded += 1;
         }
         self.prep
@@ -1160,6 +1207,103 @@ impl Engine {
     ) -> Result<Engine, PersistError> {
         self.load_plans(path)?;
         Ok(self)
+    }
+
+    /// Enable **save-on-eviction**: every plan the LRU evicts from now on
+    /// is upserted into an in-memory [`PlanStore`] image and persisted to
+    /// `path` by a background writer thread, so a long-running engine
+    /// accumulates plans incrementally instead of losing everything that
+    /// churned out of the cache before the final [`Engine::save_plans`].
+    ///
+    /// If `path` already holds a plan-compatible store its records seed the
+    /// image (nothing previously persisted is clobbered); an unreadable or
+    /// incompatible file is ignored and the image starts empty.  Writes are
+    /// atomic (temp sibling + rename) and best-effort: an I/O failure skips
+    /// that flush, and the next eviction retries with the fuller image.
+    /// [`Engine::save_plans`] folds the image's records into its own
+    /// snapshot, so a graceful shutdown saves every fingerprint ever
+    /// prepared — evicted or live.  Dropping the engine joins the writer
+    /// after a final flush.
+    pub fn with_eviction_store(mut self, path: impl AsRef<std::path::Path>) -> Engine {
+        let path = path.as_ref().to_path_buf();
+        let seed = match PlanStore::read_from(&path) {
+            Ok(existing) if existing.config().plan_compatible(&self.config) => existing,
+            _ => PlanStore::new(self.config),
+        };
+        let store = Arc::new(Mutex::new(seed));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                // Each wake covers every upsert that preceded it; draining
+                // the queue coalesces a burst of evictions into one write.
+                while rx.recv().is_ok() {
+                    while rx.try_recv().is_ok() {}
+                    let image = store
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .to_bytes();
+                    let _ = crate::persist::write_image_atomic(&path, &image);
+                }
+            })
+        };
+        self.eviction = Some(EvictionSink {
+            store,
+            wake: Mutex::new(Some(tx)),
+            writer: Some(writer),
+        });
+        self
+    }
+
+    /// Hand plans the LRU just evicted to the eviction sink (no-op without
+    /// one): upsert into the store image under its lock, then wake the
+    /// background writer — the serving thread never touches the file.
+    fn persist_evicted(&self, evicted: Vec<Arc<PreparedQuery>>) {
+        let Some(sink) = &self.eviction else { return };
+        if evicted.is_empty() {
+            return;
+        }
+        {
+            let mut store = sink
+                .store
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for plan in &evicted {
+                store.upsert_plan(plan);
+            }
+            // Keep the image fingerprint-sorted so its bytes (and a later
+            // `save_plans` merge) stay deterministic under eviction order.
+            store.sort_by_fingerprint();
+        }
+        self.prep
+            .plans_evicted_persisted
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        if let Some(tx) = sink
+            .wake
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .as_ref()
+        {
+            let _ = tx.send(());
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(sink) = self.eviction.take() {
+            // Dropping the sender lets the writer drain any queued wakes
+            // (flushing every upsert) and exit; join so the final image is
+            // on disk before the engine is gone.
+            drop(
+                sink.wake
+                    .into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            );
+            if let Some(writer) = sink.writer {
+                let _ = writer.join();
+            }
+        }
     }
 }
 

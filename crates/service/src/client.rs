@@ -1,0 +1,234 @@
+//! A blocking client for the query service.
+//!
+//! One [`Client`] wraps one TCP connection.  The simple methods
+//! ([`Client::decide`], [`Client::count`], …) are strict request/response;
+//! for pipelining, send several requests with [`Client::send`] and collect
+//! the answers — in request order — with [`Client::receive`].
+
+use crate::protocol::{
+    read_response, write_request, ErrorCode, FrameError, QuerySpec, Request, Response,
+    ServiceStats, DEFAULT_MAX_FRAME_LEN,
+};
+use cq_core::{CountReport, EngineReport};
+use cq_structures::codec::DecodeErrorAt;
+use cq_structures::Structure;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing layer failed (disconnect, timeout,
+    /// corrupt frame).
+    Frame(FrameError),
+    /// A clean frame arrived but its payload did not decode as a
+    /// response (protocol mismatch).
+    Decode(DecodeErrorAt),
+    /// The server answered with an error response.
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+        /// For malformed-request errors: the byte offset the server's
+        /// decoder reported.
+        offset: Option<u64>,
+    },
+    /// The server answered, but with a response of the wrong kind for the
+    /// request that was sent.
+    UnexpectedResponse(Box<Response>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport error: {e}"),
+            ClientError::Decode(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Server {
+                code,
+                message,
+                offset,
+            } => {
+                write!(f, "server error ({code:?}): {message}")?;
+                if let Some(offset) = offset {
+                    write!(f, " (at request byte offset {offset})")?;
+                }
+                Ok(())
+            }
+            ClientError::UnexpectedResponse(r) => {
+                write!(f, "response kind does not match the request: {r:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// A connection to a running query service.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connect with no read deadline (calls block until the server
+    /// answers).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with_timeout(addr, None)
+    }
+
+    /// Connect with a read deadline per response (recommended in tests so
+    /// a wedged server fails the test instead of hanging it).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        read_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(read_timeout)?;
+        Ok(Client {
+            stream,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Cap on response frames this client will accept.
+    pub fn set_max_frame_len(&mut self, max_frame_len: usize) {
+        self.max_frame_len = max_frame_len;
+    }
+
+    /// Pipelining: ship a request without waiting for its answer.  The
+    /// server replies in request order, so `n` sends followed by `n`
+    /// [`Client::receive`] calls match up positionally.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_request(&mut self.stream, request)?;
+        Ok(())
+    }
+
+    /// Pipelining: read the next in-order response.
+    pub fn receive(&mut self) -> Result<Response, ClientError> {
+        match read_response(&mut self.stream, self.max_frame_len)? {
+            Ok(response) => Ok(response),
+            Err(decode_err) => Err(ClientError::Decode(decode_err)),
+        }
+    }
+
+    /// Strict request/response round trip; server-side errors become
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        match self.receive()? {
+            Response::Error {
+                code,
+                message,
+                offset,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                offset,
+            }),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Register a query; returns `(id, fingerprint)`.  Use the id in
+    /// [`QuerySpec::Registered`] to skip re-shipping (and re-preparing)
+    /// the query on every request.
+    pub fn register(&mut self, query: &Structure) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Register {
+            query: query.clone(),
+        })? {
+            Response::Registered { id, fingerprint } => Ok((id, fingerprint)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Decide `p-HOM(query → database)`.
+    pub fn decide(
+        &mut self,
+        query: QuerySpec,
+        database: &Structure,
+    ) -> Result<EngineReport, ClientError> {
+        match self.call(&Request::Decide {
+            query,
+            database: database.clone(),
+        })? {
+            Response::Decision(report) => Ok(report),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Count homomorphisms `query → database`.
+    pub fn count(
+        &mut self,
+        query: QuerySpec,
+        database: &Structure,
+    ) -> Result<CountReport, ClientError> {
+        match self.call(&Request::Count {
+            query,
+            database: database.clone(),
+        })? {
+            Response::Count(report) => Ok(report),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Decide a batch in one round trip.
+    pub fn decide_batch(
+        &mut self,
+        items: Vec<(QuerySpec, Structure)>,
+    ) -> Result<Vec<EngineReport>, ClientError> {
+        match self.call(&Request::DecideBatch { items })? {
+            Response::DecideBatch(reports) => Ok(reports),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Count a batch in one round trip.
+    pub fn count_batch(
+        &mut self,
+        items: Vec<(QuerySpec, Structure)>,
+    ) -> Result<Vec<CountReport>, ClientError> {
+        match self.call(&Request::CountBatch { items })? {
+            Response::CountBatch(reports) => Ok(reports),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Snapshot the server's engine + service counters.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully; returns once the server
+    /// acknowledges (the drain + plan save happen after the ack).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+}

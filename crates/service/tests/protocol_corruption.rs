@@ -1,0 +1,284 @@
+//! Hostile-wire fuzzing against a live server, in the style of the plan
+//! store's `persist_corruption` suite: truncated frames, bit-flipped
+//! payloads resealed behind valid checksums, hostile length prefixes, and
+//! mid-frame disconnects.  The invariants under attack:
+//!
+//! * the server never panics and the listener never wedges — it still
+//!   answers a well-formed client after every barrage;
+//! * no connection slot leaks — `active_connections` returns to zero;
+//! * corruption is *detected*, not absorbed: resealed garbage yields a
+//!   `Malformed` error (with the decoder's byte offset), never a bogus
+//!   answer.
+
+use cq_core::{Engine, EngineConfig};
+use cq_service::protocol::write_frame;
+use cq_service::{Client, ErrorCode, Request, Response, Server, ServiceConfig, PROTOCOL_VERSION};
+use cq_structures::codec::{encode_to_vec, fnv1a64};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Short server-side patience so mid-frame stalls drop within the test
+/// budget, and short client deadlines so a wedged server fails fast.
+const IO_TIMEOUT: Duration = Duration::from_millis(400);
+const TEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn start_server() -> Server {
+    let config = ServiceConfig {
+        io_timeout: IO_TIMEOUT,
+        ..ServiceConfig::default()
+    };
+    Server::start(Engine::new(EngineConfig::default()), "127.0.0.1:0", config)
+        .expect("server boots")
+}
+
+/// Prove the listener is alive: a fresh well-formed client gets a pong.
+fn assert_still_serving(server: &Server) {
+    let mut client =
+        Client::connect_with_timeout(server.local_addr(), Some(TEST_TIMEOUT)).expect("connect");
+    client.ping().expect("server still answers after hostility");
+}
+
+/// Wait for every connection slot to be released.
+fn assert_slots_drain(server: &Server) {
+    let deadline = Instant::now() + TEST_TIMEOUT;
+    while server.active_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "a hostile connection leaked its slot ({} still active)",
+            server.active_connections()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn raw_connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("raw connect");
+    stream
+        .set_read_timeout(Some(TEST_TIMEOUT))
+        .expect("read timeout");
+    stream
+}
+
+/// A well-formed ping frame as raw bytes (the template the attacks mutate).
+fn ping_frame() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &encode_to_vec(&Request::Ping)).expect("encode to vec");
+    bytes
+}
+
+/// Rebuild a frame around `body` (version byte included) with a *valid*
+/// checksum — the reseal step that lets payload corruption past the
+/// envelope integrity check.
+fn seal(body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + body.len() + 8);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&fnv1a64(body).to_le_bytes());
+    frame
+}
+
+/// Read one response frame's worth of bytes and decode it leniently —
+/// enough to check the error code without re-implementing the client.
+fn read_error_response(stream: &mut TcpStream) -> Response {
+    let mut client_view =
+        cq_service::protocol::read_response(stream, cq_service::DEFAULT_MAX_FRAME_LEN);
+    match &mut client_view {
+        Ok(Ok(response)) => response.clone(),
+        other => panic!("expected a decodable response frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_frames_at_every_boundary_never_wedge_the_server() {
+    let server = start_server();
+    let template = ping_frame();
+    // Cut the frame at every possible byte boundary: inside the length
+    // prefix, inside the body, inside the checksum.
+    for cut in 0..template.len() {
+        let mut stream = raw_connect(&server);
+        stream.write_all(&template[..cut]).expect("partial write");
+        // Mid-frame disconnect.
+        drop(stream);
+    }
+    assert_slots_drain(&server);
+    assert_still_serving(&server);
+    let stats = server.stats();
+    assert_eq!(
+        stats.server.requests, 1,
+        "no truncated frame was mistaken for a request"
+    );
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn bitflips_resealed_behind_valid_checksums_are_rejected_with_offsets() {
+    let server = start_server();
+    let good_payload = encode_to_vec(&Request::Ping);
+    // A one-byte payload (the Ping tag). Flip it to every wrong tag value:
+    // the checksum is resealed, so the envelope passes and the request
+    // decoder must be the layer that rejects it.
+    let mut rejected = 0;
+    for tag in [8u8, 9, 42, 127, 250, 255] {
+        let mut body = Vec::with_capacity(1 + good_payload.len());
+        body.push(PROTOCOL_VERSION);
+        body.push(tag);
+        let mut stream = raw_connect(&server);
+        stream.write_all(&seal(&body)).expect("send resealed frame");
+        match read_error_response(&mut stream) {
+            Response::Error {
+                code,
+                offset: Some(offset),
+                ..
+            } => {
+                assert_eq!(code, ErrorCode::Malformed);
+                // The bad tag is the first payload byte; the reader
+                // consumed it before rejecting.
+                assert_eq!(offset, 1, "the decoder reports where it gave up");
+                rejected += 1;
+            }
+            other => panic!("resealed garbage must yield Malformed+offset, got {other:?}"),
+        }
+        // A payload-level rejection keeps the connection: framing is
+        // still in sync, so a good request on the same socket works.
+        stream.write_all(&ping_frame()).expect("follow-up ping");
+        assert!(matches!(read_error_response(&mut stream), Response::Pong));
+    }
+    assert_eq!(rejected, 6);
+    assert_slots_drain(&server);
+    assert_still_serving(&server);
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn corrupt_checksums_close_the_connection_but_not_the_listener() {
+    let server = start_server();
+    let template = ping_frame();
+    // Flip one bit in every byte position (length prefix excluded — those
+    // are the hostile-length tests) without resealing.
+    for pos in 4..template.len() {
+        let mut frame = template.clone();
+        frame[pos] ^= 0x10;
+        let mut stream = raw_connect(&server);
+        stream.write_all(&frame).expect("send corrupt frame");
+        // The server answers Malformed (checksum/version) and closes, or
+        // just closes if the flip landed in the checksum tail after a
+        // valid... — either way the next read reaches EOF without a Pong.
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        if !rest.is_empty() {
+            // Whatever came back decodes as an error response, never Pong.
+            match cq_service::protocol::read_response(
+                &mut std::io::Cursor::new(rest),
+                cq_service::DEFAULT_MAX_FRAME_LEN,
+            ) {
+                Ok(Ok(Response::Error { code, .. })) => {
+                    assert_eq!(code, ErrorCode::Malformed)
+                }
+                Ok(Ok(other)) => panic!("corrupt frame answered with {other:?}"),
+                _ => {}
+            }
+        }
+    }
+    assert_slots_drain(&server);
+    assert_still_serving(&server);
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn hostile_length_prefixes_are_refused_before_allocation() {
+    let server = start_server();
+    // Declared sizes chosen to bankrupt a naive `Vec::with_capacity`:
+    // if the server allocated what the prefix claims, this test would OOM
+    // or crash it; instead each gets a Malformed error or a clean close.
+    for declared in [u32::MAX, u32::MAX - 1, 1 << 30, (1 << 24) + 1, 0] {
+        let mut stream = raw_connect(&server);
+        stream
+            .write_all(&declared.to_le_bytes())
+            .expect("hostile prefix");
+        // Feed a few bytes of "body" so undersized declarations also get
+        // exercised past the header.
+        let _ = stream.write_all(&[0u8; 16]);
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        if !rest.is_empty() {
+            match cq_service::protocol::read_response(
+                &mut std::io::Cursor::new(rest),
+                cq_service::DEFAULT_MAX_FRAME_LEN,
+            ) {
+                Ok(Ok(Response::Error { code, .. })) => {
+                    assert_eq!(code, ErrorCode::Malformed)
+                }
+                Ok(Ok(other)) => panic!("hostile length answered with {other:?}"),
+                _ => {}
+            }
+        }
+    }
+    assert_slots_drain(&server);
+    assert_still_serving(&server);
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn a_mid_frame_stall_is_dropped_after_the_io_timeout() {
+    let server = start_server();
+    let template = ping_frame();
+    let mut stream = raw_connect(&server);
+    // Start a frame, then go silent: a slow-loris hold on the slot.
+    stream.write_all(&template[..2]).expect("stall mid-header");
+    let start = Instant::now();
+    // The server must cut us off: the next read reaches EOF (or reset)
+    // rather than blocking forever.
+    let mut rest = Vec::new();
+    let _ = stream.read_to_end(&mut rest);
+    let waited = start.elapsed();
+    assert!(
+        waited < TEST_TIMEOUT,
+        "the stalled connection was not dropped"
+    );
+    assert_slots_drain(&server);
+    // An idle client that has NOT started a frame is fine for longer than
+    // the io_timeout — the deadline arms per frame, not per connection.
+    let mut idle = Client::connect_with_timeout(server.local_addr(), Some(TEST_TIMEOUT))
+        .expect("idle connect");
+    idle.ping().expect("first ping");
+    std::thread::sleep(IO_TIMEOUT * 3);
+    idle.ping()
+        .expect("an idle connection survives between frames");
+    drop(idle);
+    assert_still_serving(&server);
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn random_garbage_barrage_leaves_the_server_standing() {
+    let server = start_server();
+    // A deterministic xorshift byte stream — no external RNG needed.
+    let mut state = 0x243F_6A88_85A3_08D3_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..64 {
+        let len = (next() % 200) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(next() as u8);
+        }
+        let mut stream = raw_connect(&server);
+        let _ = stream.write_all(&bytes);
+        if round % 2 == 0 {
+            // Half the time, disconnect immediately; the other half, wait
+            // for the server's verdict so both teardown orders happen.
+            drop(stream);
+        } else {
+            let mut rest = Vec::new();
+            let _ = stream.read_to_end(&mut rest);
+        }
+    }
+    assert_slots_drain(&server);
+    assert_still_serving(&server);
+    server.shutdown().expect("graceful shutdown");
+}

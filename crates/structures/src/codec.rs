@@ -117,6 +117,41 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// A [`DecodeError`] together with the byte offset the [`Reader`] had
+/// reached when the decode failed.
+///
+/// The reader always tracked [`Reader::position`], but plain
+/// [`decode_from_slice`] dropped it — so a rejected network frame or plan
+/// record was undiagnosable ("bad tag 250", but *where*?).  The offset is
+/// the position after the last successful read: for a bad tag or length it
+/// points just past the offending bytes; for an EOF it is the end of the
+/// input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeErrorAt {
+    /// What went wrong.
+    pub error: DecodeError,
+    /// Reader position (bytes consumed) when the error was produced.
+    pub offset: usize,
+}
+
+impl fmt::Display for DecodeErrorAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte offset {}", self.error, self.offset)
+    }
+}
+
+impl std::error::Error for DecodeErrorAt {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<DecodeErrorAt> for DecodeError {
+    fn from(e: DecodeErrorAt) -> DecodeError {
+        e.error
+    }
+}
+
 /// A bounds-checked cursor over a byte slice, the input of every
 /// [`Decode`] implementation.
 #[derive(Debug)]
@@ -223,11 +258,29 @@ pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
 /// Decode a value that must span the whole slice (trailing bytes are an
 /// error — a length-prefixed container that leaves residue is corrupt).
 pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    decode_from_slice_at(bytes).map_err(DecodeError::from)
+}
+
+/// Like [`decode_from_slice`], but a failure carries the byte offset the
+/// reader had reached — the diagnostic a server needs to log (and echo back
+/// to the client) when it rejects a frame.
+pub fn decode_from_slice_at<T: Decode>(bytes: &[u8]) -> Result<T, DecodeErrorAt> {
     let mut r = Reader::new(bytes);
-    let value = T::decode(&mut r)?;
+    let value = match T::decode(&mut r) {
+        Ok(v) => v,
+        Err(error) => {
+            return Err(DecodeErrorAt {
+                error,
+                offset: r.position(),
+            })
+        }
+    };
     if !r.is_empty() {
-        return Err(DecodeError::TrailingBytes {
-            count: r.remaining(),
+        return Err(DecodeErrorAt {
+            error: DecodeError::TrailingBytes {
+                count: r.remaining(),
+            },
+            offset: r.position(),
         });
     }
     Ok(value)
@@ -750,5 +803,44 @@ mod tests {
     fn structure_encoding_is_deterministic() {
         let s = crate::star_expansion(&families::tree_t(2));
         assert_eq!(encode_to_vec(&s), encode_to_vec(&s.clone()));
+    }
+
+    #[test]
+    fn decode_errors_carry_the_byte_offset() {
+        // A bad bool tag after two good u64s: the offset points past the
+        // offending byte (17 = 8 + 8 + 1).
+        let mut bytes = Vec::new();
+        1u64.encode(&mut bytes);
+        2u64.encode(&mut bytes);
+        bytes.push(7); // invalid bool tag
+        let err = decode_from_slice_at::<(u64, (u64, bool))>(&bytes).unwrap_err();
+        assert_eq!(
+            err.error,
+            DecodeError::BadTag {
+                what: "bool",
+                tag: 7
+            }
+        );
+        assert_eq!(err.offset, 17);
+        assert!(err.to_string().contains("at byte offset 17"));
+
+        // Truncated input: the offset is wherever the reader stalled, never
+        // past the end of the slice.
+        let full = encode_to_vec(&families::cycle(4));
+        for len in 0..full.len() {
+            let err = decode_from_slice_at::<Structure>(&full[..len]).unwrap_err();
+            assert!(
+                err.offset <= len,
+                "offset {} beyond input {len}",
+                err.offset
+            );
+        }
+
+        // Trailing bytes: offset is the end of the decoded value.
+        let mut bytes = encode_to_vec(&5u64);
+        bytes.extend_from_slice(&[0, 0]);
+        let err = decode_from_slice_at::<u64>(&bytes).unwrap_err();
+        assert_eq!(err.error, DecodeError::TrailingBytes { count: 2 });
+        assert_eq!(err.offset, 8);
     }
 }

@@ -26,6 +26,7 @@ pub use cq_graphs as graphs;
 pub use cq_logic as logic;
 pub use cq_machine as machine;
 pub use cq_reductions as reductions;
+pub use cq_service as service;
 pub use cq_solver as solver;
 pub use cq_structures as structures;
 pub use cq_workloads as workloads;
