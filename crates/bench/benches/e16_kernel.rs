@@ -170,6 +170,7 @@ fn bench(c: &mut Criterion) {
                     &p.counting_analysis().tree_decomposition,
                 )
                 .count
+                .expect_finite()
             },
         ),
         measure(
@@ -199,6 +200,7 @@ fn bench(c: &mut Criterion) {
                     &p.counting_analysis().elimination_forest,
                 )
                 .count
+                .expect_finite()
             },
         ),
         measure(
@@ -270,6 +272,7 @@ fn bench(c: &mut Criterion) {
                             &p.counting_analysis().tree_decomposition,
                         )
                         .count
+                        .expect_finite()
                     })
                     .sum::<u64>()
             })

@@ -30,6 +30,7 @@ use crate::prepared::PreparedQuery;
 use crate::service::Engine;
 use crate::Degree;
 use cq_decomp::WidthProfile;
+use cq_solver::Nat;
 use cq_structures::{count_homomorphisms_bruteforce, Structure, StructureIndex};
 
 /// Which counting algorithm the engine picked.
@@ -44,11 +45,86 @@ pub enum CountMethod {
     BruteForce,
 }
 
+/// A homomorphism count that cannot silently lie: either the exact number,
+/// or a typed admission that it exceeded `u64::MAX`.
+///
+/// This replaces the old saturating `u64` — saturated counts fed into the
+/// Lemma 6.2 inclusion–exclusion produced confidently wrong answers, while
+/// `Overflow` poisons every arithmetic context it reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CountOutcome {
+    /// The exact number of homomorphisms.
+    Exact(u64),
+    /// The count exceeds `u64::MAX`; no numeric value is reported.
+    Overflow,
+}
+
+impl CountOutcome {
+    /// The exact count, or `None` on overflow.
+    pub fn exact(self) -> Option<u64> {
+        match self {
+            CountOutcome::Exact(n) => Some(n),
+            CountOutcome::Overflow => None,
+        }
+    }
+
+    /// The exact count; panics with `msg` on overflow.  For callers that
+    /// have already established the instance cannot overflow (tests,
+    /// closed-form comparisons).
+    pub fn expect_exact(self, msg: &str) -> u64 {
+        match self {
+            CountOutcome::Exact(n) => n,
+            CountOutcome::Overflow => panic!("{msg}: count overflowed u64"),
+        }
+    }
+
+    /// Whether at least one homomorphism exists.  Sound on overflow: a
+    /// count past `u64::MAX` is certainly positive.
+    pub fn positive(self) -> bool {
+        match self {
+            CountOutcome::Exact(n) => n > 0,
+            CountOutcome::Overflow => true,
+        }
+    }
+}
+
+impl From<Nat> for CountOutcome {
+    fn from(n: Nat) -> CountOutcome {
+        match n {
+            Nat::Finite(v) => CountOutcome::Exact(v),
+            Nat::Overflow => CountOutcome::Overflow,
+        }
+    }
+}
+
+impl From<u64> for CountOutcome {
+    fn from(n: u64) -> CountOutcome {
+        CountOutcome::Exact(n)
+    }
+}
+
+/// Counts compare naturally against literals (`report.count == 24`); an
+/// overflowed count equals no `u64`.
+impl PartialEq<u64> for CountOutcome {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, CountOutcome::Exact(n) if n == other)
+    }
+}
+
+impl std::fmt::Display for CountOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CountOutcome::Exact(n) => write!(f, "{n}"),
+            CountOutcome::Overflow => write!(f, "overflow"),
+        }
+    }
+}
+
 /// What one counting-solver invocation produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CountOutcome {
-    /// The number of homomorphisms (saturating at `u64::MAX`).
-    pub count: u64,
+pub struct CountEvaluation {
+    /// The number of homomorphisms, or a typed overflow.
+    pub outcome: CountOutcome,
     /// A solver-specific work figure for the experiment reports; `None`
     /// when the solver meters nothing.
     pub work: Option<u64>,
@@ -62,8 +138,8 @@ pub struct CountOutcome {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountReport {
     /// The number of homomorphisms from the query **as submitted** into the
-    /// database (saturating at `u64::MAX`).
-    pub count: u64,
+    /// database, or a typed overflow past `u64::MAX`.
+    pub count: CountOutcome,
     /// The counting algorithm chosen.
     pub method: CountMethod,
     /// The degree the single query would contribute to a Theorem 6.1
@@ -105,7 +181,7 @@ pub trait CountSolver: Send + Sync {
         query: &PreparedQuery,
         database: &Structure,
         index: &StructureIndex,
-    ) -> CountOutcome;
+    ) -> CountEvaluation;
 }
 
 /// Sum–product counting over the original query's elimination forest
@@ -133,10 +209,10 @@ impl CountSolver for ForestCountSolver {
         query: &PreparedQuery,
         _database: &Structure,
         index: &StructureIndex,
-    ) -> CountOutcome {
+    ) -> CountEvaluation {
         let run = query.count_via_forest(index);
-        CountOutcome {
-            count: run.count,
+        CountEvaluation {
+            outcome: run.count.into(),
             work: Some(run.assignments),
         }
     }
@@ -165,10 +241,10 @@ impl CountSolver for TreeDecCountSolver {
         query: &PreparedQuery,
         _database: &Structure,
         index: &StructureIndex,
-    ) -> CountOutcome {
+    ) -> CountEvaluation {
         let run = query.count_via_tree(index);
-        CountOutcome {
-            count: run.count,
+        CountEvaluation {
+            outcome: run.count.into(),
             work: Some(run.peak_table as u64),
         }
     }
@@ -197,7 +273,7 @@ impl CountSolver for BruteForceCountSolver {
         query: &PreparedQuery,
         database: &Structure,
         _index: &StructureIndex,
-    ) -> CountOutcome {
+    ) -> CountEvaluation {
         // Deliberately the un-indexed reference enumeration: this solver
         // doubles as the oracle of the counting differential tests.  The
         // underlying search hoists its symbol translation once per call and
@@ -205,8 +281,8 @@ impl CountSolver for BruteForceCountSolver {
         // with no per-assignment map allocation while staying
         // reference-pure.
         let count = count_homomorphisms_bruteforce(query.original(), database);
-        CountOutcome {
-            count,
+        CountEvaluation {
+            outcome: CountOutcome::Exact(count),
             // Enumeration visits each homomorphism once: the count is the
             // work.
             work: Some(count),
@@ -354,7 +430,7 @@ mod tests {
                 let index = StructureIndex::new(&b);
                 for s in registry.solvers() {
                     assert_eq!(
-                        s.count(&q, &b, &index).count,
+                        s.count(&q, &b, &index).outcome,
                         expected,
                         "{} on {a} -> {b}",
                         s.name()

@@ -33,6 +33,11 @@
 //!     / tree-decomposition counting DP / brute force) dispatching on the
 //!     **original** query's widths, because counting — unlike decision —
 //!     is not invariant under taking cores;
+//!   - [`aggregates`] / [`AggregateSolver`] — the weighted generalization:
+//!     min-cost / max-weight homomorphisms through the same kernel DPs
+//!     instantiated at the tropical semirings ([`Engine::evaluate_min_cost`],
+//!     [`Engine::evaluate_max_weight`]), sharing counting's structural
+//!     licences and compiled programs;
 //!   - [`service`] / [`Engine`] — the sharded LRU plan cache keyed by an
 //!     isomorphism-invariant query fingerprint (single-flight preparation
 //!     under concurrent misses), the parallel batch evaluation APIs
@@ -49,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregates;
 pub mod counting;
 pub mod engine;
 pub mod persist;
@@ -60,9 +66,13 @@ use cq_decomp::{width_profile, WidthProfile};
 use cq_graphs::gaifman_graph;
 use cq_structures::{core_of, Structure};
 
+pub use aggregates::{
+    AggregateObjective, AggregateRegistry, AggregateReport, AggregateSolver, ForestAggregateSolver,
+    SearchAggregateSolver, TreeDecAggregateSolver,
+};
 pub use counting::{
-    count_instance, BruteForceCountSolver, CountMethod, CountOutcome, CountRegistry, CountReport,
-    CountSolver, ForestCountSolver, TreeDecCountSolver,
+    count_instance, BruteForceCountSolver, CountEvaluation, CountMethod, CountOutcome,
+    CountRegistry, CountReport, CountSolver, ForestCountSolver, TreeDecCountSolver,
 };
 pub use engine::{solve_instance, EngineConfig, EngineReport, SolverChoice};
 pub use persist::{

@@ -230,6 +230,31 @@ impl Decode for crate::CountMethod {
     }
 }
 
+impl Encode for crate::CountOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            crate::CountOutcome::Exact(n) => {
+                out.push(0);
+                n.encode(out);
+            }
+            crate::CountOutcome::Overflow => out.push(1),
+        }
+    }
+}
+
+impl Decode for crate::CountOutcome {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(crate::CountOutcome::Exact(u64::decode(r)?)),
+            1 => Ok(crate::CountOutcome::Overflow),
+            tag => Err(DecodeError::BadTag {
+                what: "CountOutcome",
+                tag,
+            }),
+        }
+    }
+}
+
 impl Encode for crate::CountReport {
     fn encode(&self, out: &mut Vec<u8>) {
         self.count.encode(out);
@@ -243,7 +268,7 @@ impl Encode for crate::CountReport {
 impl Decode for crate::CountReport {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(crate::CountReport {
-            count: u64::decode(r)?,
+            count: crate::CountOutcome::decode(r)?,
             method: crate::CountMethod::decode(r)?,
             degree_hint: Degree::decode(r)?,
             widths: cq_decomp::WidthProfile::decode(r)?,

@@ -39,10 +39,11 @@ use cq_solver::kernel::{
     ForestProgram, ForestRun, KernelSearchStats, SearchProgram, StairProgram, TreeDpProgram,
     TreeDpRun,
 };
-use cq_solver::PathDpReport;
+use cq_solver::{PathDpReport, Semiring};
 use cq_structures::codec::{encode_option_ref, Decode, DecodeError, Encode, Reader};
 use cq_structures::{
     core_of, embedding_exists, homomorphism_exists, Element, Structure, StructureIndex,
+    TupleWeights,
 };
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -76,6 +77,7 @@ struct IndexKernels {
     search_plain: OnceLock<SearchProgram>,
     tree_count: OnceLock<TreeDpProgram>,
     forest_count: OnceLock<ForestProgram>,
+    search_original: OnceLock<SearchProgram>,
 }
 
 impl std::fmt::Debug for IndexKernels {
@@ -88,6 +90,7 @@ impl std::fmt::Debug for IndexKernels {
             .field("search_plain", &self.search_plain.get().is_some())
             .field("tree_count", &self.tree_count.get().is_some())
             .field("forest_count", &self.forest_count.get().is_some())
+            .field("search_original", &self.search_original.get().is_some())
             .finish()
     }
 }
@@ -397,6 +400,67 @@ impl PreparedQuery {
                 )
             })
             .count(index)
+    }
+
+    /// Weighted ⊕-aggregate (min-cost, max-weight, …) through the kernel
+    /// forest sum–product.  Aggregates, like counts, are **not**
+    /// core-invariant, so this reuses the semiring-agnostic
+    /// `forest_count` program — compiled from the **original** structure
+    /// with the counting certificates — and only the weights change per
+    /// call.
+    pub fn aggregate_via_forest<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: &TupleWeights,
+    ) -> S::Value {
+        let mut assignments = 0u64;
+        self.kernels_for(index)
+            .forest_count
+            .get_or_init(|| {
+                ForestProgram::compile(
+                    &self.original,
+                    index,
+                    &self.counting_analysis().elimination_forest,
+                )
+            })
+            .eval::<S>(index, Some(weights), &mut assignments)
+    }
+
+    /// Weighted ⊕-aggregate through the kernel tree DP, reusing the
+    /// `tree_count` program (original structure, counting certificates) —
+    /// see [`Self::aggregate_via_forest`] for why aggregates share the
+    /// counting programs, never the decision ones.
+    pub fn aggregate_via_tree<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: &TupleWeights,
+    ) -> S::Value {
+        self.kernels_for(index)
+            .tree_count
+            .get_or_init(|| {
+                TreeDpProgram::compile(
+                    &self.original,
+                    index,
+                    &self.counting_analysis().tree_decomposition,
+                )
+            })
+            .eval::<S>(index, Some(weights))
+            .0
+    }
+
+    /// Weighted ⊕-aggregate through an exhaustive kernel search over the
+    /// **original** structure — the structure-agnostic fallback tier.  The
+    /// decision `search` slots compile the evaluated (core) structure and
+    /// cannot be reused here, so this keeps its own compiled program slot.
+    pub fn aggregate_via_search<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: &TupleWeights,
+    ) -> (S::Value, KernelSearchStats) {
+        self.kernels_for(index)
+            .search_original
+            .get_or_init(|| SearchProgram::compile(&self.original, index, true))
+            .aggregate::<S>(index, Some(weights))
     }
 
     /// Whether this plan answers queries for `candidate`: true when
@@ -772,6 +836,24 @@ mod tests {
             q.count_via_forest(&index).count,
             cq_structures::count_homomorphisms_bruteforce(&a, &k3)
         );
+        // Weighted aggregates reuse the counting programs (same bundle,
+        // weights supplied at run time): uniform weight 1 makes the minimum
+        // cost the number of query tuples, on every tier.
+        let weights = TupleWeights::uniform(&k3, 1);
+        let expected_cost = Some(a.tuple_count() as u64);
+        assert_eq!(
+            q.aggregate_via_forest::<cq_solver::MinCostSemiring>(&index, &weights),
+            expected_cost
+        );
+        assert_eq!(
+            q.aggregate_via_tree::<cq_solver::MinCostSemiring>(&index, &weights),
+            expected_cost
+        );
+        assert_eq!(
+            q.aggregate_via_search::<cq_solver::MinCostSemiring>(&index, &weights)
+                .0,
+            expected_cost
+        );
         // One fully populated bundle for this index; `OnceLock` slots can
         // only initialize once, so bundle identity across repeat traffic
         // proves no program was recompiled.
@@ -783,6 +865,7 @@ mod tests {
         assert!(bundle.search_plain.get().is_some());
         assert!(bundle.tree_count.get().is_some());
         assert!(bundle.forest_count.get().is_some());
+        assert!(bundle.search_original.get().is_some());
         warm(&index);
         assert!(Arc::ptr_eq(&bundle, &bundle_of(&index)));
         // A different database index gets its own bundle; both stay warm

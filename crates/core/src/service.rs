@@ -36,7 +36,8 @@
 //!   counters of [`cq_decomp::stats`] / [`cq_structures`] only see the
 //!   calling thread and would silently undercount under parallelism.
 
-use crate::counting::{CountRegistry, CountReport};
+use crate::aggregates::{AggregateObjective, AggregateRegistry, AggregateReport};
+use crate::counting::{CountOutcome, CountRegistry, CountReport};
 use crate::engine::{EngineConfig, EngineReport};
 use crate::persist::{PersistError, PlanStore, WarmStartSummary};
 use crate::prepared::PreparedQuery;
@@ -44,7 +45,7 @@ use crate::registry::SolverRegistry;
 use crate::Degree;
 use cq_decomp::WidthProfile;
 use cq_logic::canonical::query_fingerprint;
-use cq_structures::{structure_hash, Structure, StructureIndex};
+use cq_structures::{structure_hash, Structure, StructureIndex, TupleWeights};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -606,6 +607,7 @@ pub struct Engine {
     config: EngineConfig,
     registry: SolverRegistry,
     count_registry: CountRegistry,
+    aggregate_registry: AggregateRegistry,
     cache: ShardedPlanCache,
     indexes: InstanceIndexCache,
     registered: Mutex<Vec<Arc<PreparedQuery>>>,
@@ -643,6 +645,7 @@ impl Engine {
             config,
             registry,
             count_registry: CountRegistry::standard(),
+            aggregate_registry: AggregateRegistry::standard(),
             cache: ShardedPlanCache::new(DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY),
             indexes: InstanceIndexCache::new(DEFAULT_CACHE_SHARDS, DEFAULT_INDEX_CACHE_CAPACITY),
             registered: Mutex::new(Vec::new()),
@@ -655,6 +658,13 @@ impl Engine {
     /// analogue of the E12 registry edits).
     pub fn with_count_registry(mut self, count_registry: CountRegistry) -> Engine {
         self.count_registry = count_registry;
+        self
+    }
+
+    /// Override the weighted-aggregate registry (tier ablations for the
+    /// min-cost / max-weight entry points).
+    pub fn with_aggregate_registry(mut self, aggregate_registry: AggregateRegistry) -> Engine {
+        self.aggregate_registry = aggregate_registry;
         self
     }
 
@@ -709,6 +719,12 @@ impl Engine {
     /// The counting registry used for [`Engine::count_instance`] dispatch.
     pub fn count_registry(&self) -> &CountRegistry {
         &self.count_registry
+    }
+
+    /// The aggregate registry used for [`Engine::evaluate_min_cost`] /
+    /// [`Engine::evaluate_max_weight`] dispatch.
+    pub fn aggregate_registry(&self) -> &AggregateRegistry {
+        &self.aggregate_registry
     }
 
     /// The number of cache shards currently configured.
@@ -932,9 +948,9 @@ impl Engine {
             .select(plan, &self.config)
             .expect("counting registry has no solver admitting this query (ablated registries must keep a fallback)");
         let index = self.indexes.get(database);
-        let outcome = solver.count(plan, database, &index);
+        let evaluation = solver.count(plan, database, &index);
         CountReport {
-            count: outcome.count,
+            count: evaluation.outcome,
             method: solver.method(),
             degree_hint: Degree::from_boundedness(
                 widths.treewidth <= self.config.treewidth_threshold,
@@ -970,10 +986,129 @@ impl Engine {
     /// colour relations `C_0 … C_{|A|−1}` (see
     /// [`cq_structures::ops::colored_target`]); panics otherwise, like the
     /// underlying [`cq_reductions::count_star_via_oracle`].
-    pub fn count_star(&self, a: &Structure, b: &Structure) -> u64 {
-        cq_reductions::count_star_via_oracle(a, b, &mut |query, database| {
-            self.count_instance(query, database).count
+    ///
+    /// Inclusion–exclusion **subtracts** oracle answers, so one overflowed
+    /// term makes the whole reduction unsalvageable: any oracle call
+    /// reporting [`CountOutcome::Overflow`] yields
+    /// [`CountOutcome::Overflow`] here — never the silently wrong
+    /// difference the old saturating arithmetic produced.
+    pub fn count_star(&self, a: &Structure, b: &Structure) -> CountOutcome {
+        match cq_reductions::count_star_via_oracle(a, b, &mut |query, database| {
+            self.count_instance(query, database).count.exact()
+        }) {
+            Some(n) => CountOutcome::Exact(n),
+            None => CountOutcome::Overflow,
+        }
+    }
+
+    /// Minimum total tuple weight over all homomorphisms from `query` into
+    /// `database` — the tropical `(min, +)` instantiation of the same
+    /// kernel DPs that decide and count.  `None` when no homomorphism
+    /// exists.  Plans are shared with decision/counting traffic through
+    /// the same cache (aggregates reuse the compiled counting programs;
+    /// only the weights differ per call).
+    ///
+    /// # Panics
+    /// When `weights` is not aligned with `database`'s relations
+    /// (`weights.matches(database)` must hold — a weight table is only
+    /// meaningful next to the structure it was built for).
+    pub fn evaluate_min_cost(
+        &self,
+        query: &Structure,
+        database: &Structure,
+        weights: &TupleWeights,
+    ) -> AggregateReport {
+        self.aggregate_instance(query, database, weights, AggregateObjective::MinCost)
+    }
+
+    /// Maximum total tuple weight over all homomorphisms — the `(max, +)`
+    /// twin of [`Engine::evaluate_min_cost`], with the same plan sharing
+    /// and the same panics.
+    pub fn evaluate_max_weight(
+        &self,
+        query: &Structure,
+        database: &Structure,
+        weights: &TupleWeights,
+    ) -> AggregateReport {
+        self.aggregate_instance(query, database, weights, AggregateObjective::MaxWeight)
+    }
+
+    /// Evaluate a batch of (query, database, weights) min-cost instances
+    /// across the configured worker threads, in input order and
+    /// bit-identical to the sequential path for every worker count.
+    pub fn min_cost_batch(
+        &self,
+        batch: &[(&Structure, &Structure, &TupleWeights)],
+    ) -> Vec<AggregateReport> {
+        self.run_batch(batch, |engine, &(query, database, weights)| {
+            engine.evaluate_min_cost(query, database, weights)
         })
+    }
+
+    /// The max-weight twin of [`Engine::min_cost_batch`].
+    pub fn max_weight_batch(
+        &self,
+        batch: &[(&Structure, &Structure, &TupleWeights)],
+    ) -> Vec<AggregateReport> {
+        self.run_batch(batch, |engine, &(query, database, weights)| {
+            engine.evaluate_max_weight(query, database, weights)
+        })
+    }
+
+    /// Shared implementation of the aggregate entry points: prepare through
+    /// the cache with the same isomorphism guard as
+    /// [`Engine::count_instance`] (aggregates are not core-invariant), then
+    /// dispatch through the aggregate registry.
+    fn aggregate_instance(
+        &self,
+        query: &Structure,
+        database: &Structure,
+        weights: &TupleWeights,
+        objective: AggregateObjective,
+    ) -> AggregateReport {
+        assert!(
+            weights.matches(database),
+            "weight table does not align with the database's relations"
+        );
+        let plan = self.prepare(query);
+        if plan.counts_for(query) {
+            self.aggregate_prepared(&plan, database, weights, objective)
+        } else {
+            // Fingerprint collision between hom-equivalent non-isomorphic
+            // structures — same uncached fallback as counting.
+            let plan = self.prepare_counted(query, query_fingerprint(query));
+            self.aggregate_prepared(&plan, database, weights, objective)
+        }
+    }
+
+    /// Aggregate a prepared query against one database: ensure the counting
+    /// certificates (aggregates run on the original structure), select the
+    /// first admitting aggregate solver, and run it.
+    pub fn aggregate_prepared(
+        &self,
+        plan: &PreparedQuery,
+        database: &Structure,
+        weights: &TupleWeights,
+        objective: AggregateObjective,
+    ) -> AggregateReport {
+        let widths = self.ensure_counting_certificates(plan);
+        let solver = self
+            .aggregate_registry
+            .select(plan, &self.config)
+            .expect("aggregate registry has no solver admitting this query (ablated registries must keep a fallback)");
+        let index = self.indexes.get(database);
+        let value = solver.evaluate(plan, database, &index, weights, objective);
+        AggregateReport {
+            value,
+            objective,
+            method: solver.method(),
+            degree_hint: Degree::from_boundedness(
+                widths.treewidth <= self.config.treewidth_threshold,
+                widths.pathwidth <= self.config.pathwidth_threshold,
+                widths.treedepth <= self.config.treedepth_threshold,
+            ),
+            widths,
+        }
     }
 
     /// Evaluate a batch of (registered query, database) instances across
@@ -1313,6 +1448,7 @@ impl std::fmt::Debug for Engine {
             .field("config", &self.config)
             .field("registry", &self.registry)
             .field("count_registry", &self.count_registry)
+            .field("aggregate_registry", &self.aggregate_registry)
             .field("cache_shards", &self.cache_shards())
             .field("cache", &self.cache_stats())
             .field("prep", &self.prep_stats())
@@ -1725,7 +1861,7 @@ mod tests {
                 for t in &targets {
                     let decision = engine.solve(q, t);
                     let count = engine.count_instance(q, t);
-                    assert_eq!(decision.exists, count.count > 0, "{q} -> {t}");
+                    assert_eq!(decision.exists, count.count.positive(), "{q} -> {t}");
                 }
             }
         }

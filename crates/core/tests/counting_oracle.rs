@@ -97,7 +97,7 @@ fn every_count_registry_solver_agrees_with_bruteforce_on_the_corpus() {
                 continue;
             }
             comparisons += 1;
-            let got = solver.count(&prepared, &target, &index).count;
+            let got = solver.count(&prepared, &target, &index).outcome;
             if got != expected {
                 disagreements.push(format!(
                     "{name} says {got}, brute force says {expected} on {label}:\n  query  {query}\n  target {target}"

@@ -21,13 +21,19 @@ use std::collections::BTreeSet;
 /// parameter is bounded by the input parameter, as required of a pl-Turing
 /// reduction.
 ///
+/// The oracle answers `Some(count)` or `None` when its count exceeds
+/// `u64::MAX`.  Inclusion–exclusion **subtracts** oracle answers, so a
+/// single overflowed term poisons the whole signed sum: this function then
+/// returns `None` rather than a confidently wrong difference (the bug the
+/// old saturating arithmetic had).
+///
 /// Exponential in `|A|` (the number of subsets `S`), which is permitted —
 /// the paper's reduction likewise spends `2^{|A|}` oracle calls.
 pub fn count_star_via_oracle(
     a: &Structure,
     b: &Structure,
-    oracle: &mut dyn FnMut(&Structure, &Structure) -> u64,
-) -> u64 {
+    oracle: &mut dyn FnMut(&Structure, &Structure) -> Option<u64>,
+) -> Option<u64> {
     let n = a.universe_size();
     let b0 = b
         .restrict_to(a.vocabulary())
@@ -43,7 +49,10 @@ pub fn count_star_via_oracle(
         }
     };
 
-    // Σ_S (-1)^{|A| - |S|} · #hom(A, B_S), over non-empty S ⊆ A.
+    // Σ_S (-1)^{|A| - |S|} · #hom(A, B_S), over non-empty S ⊆ A.  The
+    // signed accumulation in i128 is exact for finite terms (each is
+    // < 2^64 and there are < 2^64 of them); only an oracle overflow
+    // invalidates it.
     let mut signed_total: i128 = 0;
     for mask in 1u64..(1u64 << n) {
         let s: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
@@ -57,7 +66,7 @@ pub fn count_star_via_oracle(
             0
         } else {
             let (b_s, _) = product.induced_substructure(&keep).expect("non-empty");
-            oracle(a, &b_s)
+            oracle(a, &b_s)?
         };
         let sign = if (n - s.len()).is_multiple_of(2) {
             1
@@ -67,7 +76,7 @@ pub fn count_star_via_oracle(
         signed_total += sign as i128 * count as i128;
     }
     if signed_total <= 0 {
-        return 0;
+        return Some(0);
     }
 
     // Number of bijective homomorphisms from A to A (the divisor `S`).
@@ -84,7 +93,7 @@ pub fn count_star_via_oracle(
         0,
         "inclusion–exclusion must divide evenly"
     );
-    (signed_total / bijective) as u64
+    Some((signed_total / bijective) as u64)
 }
 
 #[cfg(test)]
@@ -98,11 +107,11 @@ mod tests {
         let b = colored_target(a.universe_size(), base, allowed);
         let expected = count_homomorphisms_bruteforce(&astar, &b);
         let mut oracle_calls = 0u64;
-        let mut oracle = |q: &Structure, db: &Structure| -> u64 {
+        let mut oracle = |q: &Structure, db: &Structure| -> Option<u64> {
             oracle_calls += 1;
-            count_homomorphisms_bruteforce(q, db)
+            Some(count_homomorphisms_bruteforce(q, db))
         };
-        let got = count_star_via_oracle(a, &b, &mut oracle);
+        let got = count_star_via_oracle(a, &b, &mut oracle).expect("finite oracle");
         assert_eq!(got, expected, "query {a}");
         assert!(oracle_calls <= (1 << a.universe_size()));
     }
@@ -133,6 +142,22 @@ mod tests {
         let star2 = families::star(2);
         check(&star2, &families::clique(3), |_| (0..3).collect());
         check(&star2, &families::path(4), |e| vec![e, 3 - e]);
+    }
+
+    #[test]
+    fn an_overflowing_oracle_answer_poisons_the_whole_reduction() {
+        // Inclusion–exclusion subtracts oracle answers, so no finite value
+        // can be salvaged once one term overflows: the reduction must
+        // answer "overflow", and may stop at the first poisoned term.
+        let p3 = families::path(3);
+        let b = colored_target(3, &families::clique(3), |_| (0..3).collect());
+        let mut calls = 0u64;
+        let mut oracle = |_: &Structure, _: &Structure| -> Option<u64> {
+            calls += 1;
+            None
+        };
+        assert_eq!(count_star_via_oracle(&p3, &b, &mut oracle), None);
+        assert_eq!(calls, 1, "short-circuits on the first overflowed term");
     }
 
     #[test]

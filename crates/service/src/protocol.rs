@@ -7,7 +7,7 @@
 //! ```text
 //! ┌──────────────┬───────────────────────────────────────────────────────┐
 //! │ body length  │ u32 LE — length of the body (version byte + payload)  │
-//! │ body         │ u8 protocol version (currently 1)                     │
+//! │ body         │ u8 protocol version (currently 2)                     │
 //! │              │ payload: one encoded Request or Response              │
 //! │ checksum     │ u64 LE — FNV-1a over the body                         │
 //! └──────────────┴───────────────────────────────────────────────────────┘
@@ -34,8 +34,10 @@ use cq_structures::Structure;
 use std::fmt;
 use std::io::{Read, Write};
 
-/// The one protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The one protocol version this build speaks.  Version 2 changed the
+/// encoding of [`CountReport`]'s count to the tagged
+/// [`cq_core::CountOutcome`] (exact-or-overflow) layout.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Default ceiling on a frame body (version byte + payload).  Generous for
 /// the structures this workspace trafficks in, tiny next to what a hostile

@@ -1,5 +1,6 @@
 //! The flat evaluation kernel: indexed, allocation-light inner loops for
-//! every DP solver in the registry.
+//! every DP solver in the registry — one **semiring-generic**
+//! sum-of-products.
 //!
 //! The reference implementations (`crate::treedec`, `crate::pathdp`,
 //! `crate::treedepth::count_with_forest`, the backtracking searches) are
@@ -18,8 +19,8 @@
 //!   assigned, so dead branches prune at depth 1 instead of the leaf;
 //! * **separator hash-joins** — the tree DP and the staircase sweep key
 //!   child/frontier tables on the projection onto the per-edge separator
-//!   (hoisted once per edge): decision becomes an O(1) hash-set existence
-//!   lookup, counting a precomputed group-sum lookup;
+//!   (hoisted once per edge) through a flat packed-key [`GroupTable`]:
+//!   no per-row key allocation, one `u32` arena for every group key;
 //! * **index-driven candidate iteration** — when a depth's constraint has
 //!   exactly one unbound variable, the enumerator walks the posting list
 //!   of the cheapest bound position instead of scanning the whole
@@ -27,28 +28,48 @@
 //!   search ([`find_hom_indexed`]) is the whole-query [`BagProgram`] in
 //!   fail-first order with O(1) tuple membership.
 //!
+//! **One DP, many semirings.**  There is exactly one tree DP, one
+//! staircase sweep, and one forest recursion in this module; each is
+//! generic over a [`Semiring`] and aggregates the sum over homomorphisms
+//! of the product of per-tuple factors.  Decision instantiates
+//! [`BoolSemiring`] (the absorbing element `⊤` reproduces the first-witness
+//! early exit), counting instantiates [`CheckedNatSemiring`] (overflow is a
+//! typed [`Nat::Overflow`], never a clamped number), and the weighted
+//! aggregates instantiate the tropical [`crate::semiring::MinCostSemiring`]
+//! / [`crate::semiring::MaxWeightSemiring`] over a
+//! [`TupleWeights`] side table.  Every tuple of the query contributes its
+//! weight factor exactly once per homomorphism: within a bag each
+//! constraint is anchored at one depth, and across bags exactly one bag
+//! **owns** each tuple's weight (the other bags still *check* it, for
+//! pruning) — the staircase and forest anchorings are unique by
+//! construction, and the tree DP claims each tuple for the first bag (in
+//! evaluation order) containing it.
+//!
 //! **Compile/run split.** Every kernel entry point factors into a
 //! *program* — [`TreeDpProgram`], [`StairProgram`], [`ForestProgram`],
 //! [`SearchProgram`] — compiled once per (query, index) pair, and a cheap
-//! `run` that executes it against the same index.  The free `*_indexed`
-//! functions remain as compile-then-run one-liners; callers that evaluate
-//! the same prepared query repeatedly against a cached database (the
-//! engine's warm path) hold on to the compiled program instead and skip
-//! recompilation entirely.  [`program_compilation_count`] meters
-//! compilations so tests and benches can assert the warm path stays warm.
+//! `run` that executes it against the same index.  Compiled programs are
+//! semiring-agnostic: one program serves decide, count, and every
+//! weighting.  The free `*_indexed` functions remain as compile-then-run
+//! one-liners; callers that evaluate the same prepared query repeatedly
+//! against a cached database (the engine's warm path) hold on to the
+//! compiled program instead and skip recompilation entirely.
+//! [`program_compilation_count`] meters compilations so tests and benches
+//! can assert the warm path stays warm.
 //!
 //! No `PartialHom` or `BTreeMap` is constructed in any per-assignment
-//! inner loop; the only per-row allocations are the surviving rows and
-//! join keys themselves.  The reference implementations remain exported —
-//! they are the oracle the differential tests pit the kernel against.
+//! inner loop; the only per-row allocations are the surviving rows
+//! themselves.  The reference implementations remain exported — they are
+//! the oracle the differential tests pit the kernel against.
 
 use cq_decomp::{EliminationForest, PathDecomposition, TreeDecomposition};
 use cq_structures::SymbolId;
-use cq_structures::{Element, Structure, StructureIndex};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use cq_structures::{Element, Structure, StructureIndex, TupleWeights};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::pathdp::PathDpReport;
+use crate::semiring::{BoolSemiring, CheckedNatSemiring, Nat, Semiring};
 
 /// Process-wide count of query-side kernel compilations (one per
 /// [`QueryDomains::compile`], which every compiled program performs
@@ -158,12 +179,147 @@ fn intersect_sorted(current: &mut Vec<u32>, allowed: &[u32]) {
     current.truncate(write);
 }
 
+/// Deterministic FNV-1a hash of a flat key (the [`GroupTable`] hash).
+#[inline]
+fn fnv_key(key: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &e in key {
+        for b in e.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A flat packed-key accumulation map: group keys of a fixed `stride` live
+/// back-to-back in one `u32` arena, values in a parallel vector, and an
+/// open-addressed bucket array resolves slice keys to group ids without
+/// ever allocating a per-row key.
+///
+/// This is the separator-table representation of the kernel: `group_sums`
+/// builds one per tree edge / forget step (accumulating with the
+/// semiring's ⊕), and the per-depth hash-joins look keys up by slice.
+pub struct GroupTable<V> {
+    stride: usize,
+    keys: Vec<u32>,
+    values: Vec<V>,
+    /// Open addressing: `0` = empty, else group id + 1.  Length is always
+    /// a power of two.
+    buckets: Vec<u32>,
+}
+
+impl<V> GroupTable<V> {
+    /// An empty table over keys of `stride` elements, sized for about
+    /// `groups` distinct keys.
+    pub fn with_capacity(stride: usize, groups: usize) -> GroupTable<V> {
+        let cap = (groups.max(1) * 2).next_power_of_two();
+        GroupTable {
+            stride,
+            keys: Vec::with_capacity(groups * stride),
+            values: Vec::with_capacity(groups),
+            buckets: vec![0; cap],
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    #[inline]
+    fn key(&self, g: usize) -> &[u32] {
+        &self.keys[g * self.stride..(g + 1) * self.stride]
+    }
+
+    /// Probe for `key`: the slot it hashes to (after linear probing) and
+    /// the group id if present.
+    #[inline]
+    fn find(&self, key: &[u32]) -> (usize, Option<usize>) {
+        let mask = self.buckets.len() - 1;
+        let mut slot = (fnv_key(key) as usize) & mask;
+        loop {
+            match self.buckets[slot] {
+                0 => return (slot, None),
+                g => {
+                    let g = (g - 1) as usize;
+                    if self.key(g) == key {
+                        return (slot, Some(g));
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The value stored under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: &[u32]) -> Option<&V> {
+        debug_assert_eq!(key.len(), self.stride);
+        self.find(key).1.map(|g| &self.values[g])
+    }
+
+    /// Fold `value` into the group at `key`: combine with the existing
+    /// value, or insert (copying the key into the arena) when absent.
+    pub fn merge(&mut self, key: &[u32], value: V, combine: impl FnOnce(&mut V, V)) {
+        debug_assert_eq!(key.len(), self.stride);
+        if (self.values.len() + 1) * 4 >= self.buckets.len() * 3 {
+            self.grow();
+        }
+        let (slot, found) = self.find(key);
+        match found {
+            Some(g) => combine(&mut self.values[g], value),
+            None => {
+                let g = self.values.len();
+                debug_assert!(g < u32::MAX as usize - 1, "group ids are u32");
+                self.keys.extend_from_slice(key);
+                self.values.push(value);
+                self.buckets[slot] = (g + 1) as u32;
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.buckets.len() * 2).max(4);
+        self.buckets.clear();
+        self.buckets.resize(cap, 0);
+        let mask = cap - 1;
+        for g in 0..self.values.len() {
+            let mut slot = (fnv_key(self.key(g)) as usize) & mask;
+            while self.buckets[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.buckets[slot] = (g + 1) as u32;
+        }
+    }
+
+    /// The groups in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], &V)> {
+        (0..self.len()).map(move |g| (self.key(g), &self.values[g]))
+    }
+
+    /// Dismantle into the flat key arena and the parallel values (the
+    /// frontier representation of the staircase sweep).
+    fn into_flat(self) -> (Vec<u32>, Vec<V>) {
+        (self.keys, self.values)
+    }
+}
+
 /// One compiled constraint: a query tuple translated to the target symbol,
 /// its argument positions rewritten to depths in the bag's element order.
+/// `owns_weight` marks the one check across the whole evaluation that
+/// emits this tuple's weight factor (weighted semirings only; every check
+/// still prunes).
 #[derive(Debug, Clone)]
 struct Constraint {
     sym: SymbolId,
     arg_depths: Vec<u32>,
+    owns_weight: bool,
 }
 
 /// An index nested-loop join driving the candidate iteration at one depth:
@@ -204,18 +360,41 @@ pub struct BagProgram {
 impl BagProgram {
     /// Compile the tuples of `a` lying entirely inside `elems` (which must
     /// be duplicate-free) into an evaluation program over the given order.
+    /// Every compiled check owns its tuple's weight — correct whenever this
+    /// program is the only one checking those tuples (whole-query search,
+    /// staircase steps, single bags).
     pub fn compile(a: &Structure, doms: &QueryDomains, elems: &[Element]) -> BagProgram {
-        let mut depth_of: HashMap<Element, u32> = HashMap::with_capacity(elems.len());
+        BagProgram::compile_claiming(a, doms, elems, |_| true)
+    }
+
+    /// [`BagProgram::compile`] with explicit weight ownership: `claim` is
+    /// called once per in-bag tuple with the tuple's ordinal in
+    /// `a.all_tuples()` order and returns whether **this** program owns the
+    /// tuple's weight factor.  The tree DP shares tuples between bags and
+    /// claims each for the first bag compiled that contains it.
+    fn compile_claiming(
+        a: &Structure,
+        doms: &QueryDomains,
+        elems: &[Element],
+        mut claim: impl FnMut(usize) -> bool,
+    ) -> BagProgram {
+        // Dense depth lookup over the query universe (`u32::MAX` = element
+        // outside the bag) — bags are compiled per index, so this runs on
+        // the per-call hot path.
+        let mut depth_of: Vec<u32> = vec![u32::MAX; a.universe_size()];
         for (d, &e) in elems.iter().enumerate() {
-            depth_of.insert(e, d as u32);
+            depth_of[e] = d as u32;
         }
         let mut checks: Vec<Vec<Constraint>> = vec![Vec::new(); elems.len()];
         let mut max_arity = 0;
         if doms.satisfiable {
-            for (sym, t) in a.all_tuples() {
+            for (ordinal, (sym, t)) in a.all_tuples().enumerate() {
                 let Some(arg_depths) = t
                     .iter()
-                    .map(|&e| depth_of.get(&(e as usize)).copied())
+                    .map(|&e| {
+                        let d = depth_of[e as usize];
+                        (d != u32::MAX).then_some(d)
+                    })
                     .collect::<Option<Vec<u32>>>()
                 else {
                     continue; // tuple not entirely inside the bag
@@ -226,6 +405,7 @@ impl BagProgram {
                 checks[last].push(Constraint {
                     sym: target,
                     arg_depths,
+                    owns_weight: claim(ordinal),
                 });
             }
         }
@@ -276,7 +456,8 @@ impl BagProgram {
         &self.elems
     }
 
-    /// Check every constraint anchored at `depth` against the partial row.
+    /// Check every constraint anchored at `depth` against the partial row
+    /// (the Boolean fast path of the witness search).
     #[inline]
     fn checks_pass(
         &self,
@@ -294,86 +475,126 @@ impl BagProgram {
         }
         true
     }
+
+    /// Check every constraint anchored at `depth` and return the ⊗-factor
+    /// it contributes (the product of owned tuple weights under a weighted
+    /// semiring; `1` otherwise), or `None` when some check fails.
+    #[inline]
+    fn check_factor<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: Option<&TupleWeights>,
+        depth: usize,
+        row: &[u32],
+        args: &mut Vec<u32>,
+    ) -> Option<S::Value> {
+        if !S::WEIGHTED {
+            return self.checks_pass(index, depth, row, args).then(|| S::one());
+        }
+        let table = weights.expect("weighted semirings evaluate with a TupleWeights table");
+        let mut factor = S::one();
+        for c in &self.checks[depth] {
+            args.clear();
+            args.extend(c.arg_depths.iter().map(|&d| row[d as usize]));
+            match index.row_of(c.sym, args) {
+                None => return None,
+                Some(r) => {
+                    if c.owns_weight {
+                        factor = S::mul(&factor, &S::weight(table.get(c.sym, r)));
+                    }
+                }
+            }
+        }
+        Some(factor)
+    }
 }
 
 /// Per-depth hash-join attached to a [`BagProgram`] enumeration: the key is
 /// the row projected onto `key_depths`; the row survives only if the key is
-/// present in the table.  `depth` is the deepest key variable, so the join
-/// fires as early as the separator is fully assigned.
-struct Join<T> {
+/// present in the table, and its value multiplies into the accumulator.
+/// `depth` is the deepest key variable, so the join fires as early as the
+/// separator is fully assigned.
+struct Join<V> {
     depth: usize,
     key_depths: Vec<u32>,
-    table: HashMap<Vec<u32>, T>,
+    table: GroupTable<V>,
 }
 
 /// Try one candidate at `depth`: write it into the row, run the anchored
 /// checks and joins, and recurse.  Returns `true` to stop the whole
 /// enumeration (early exit requested by the emit callback downstream).
 #[allow(clippy::too_many_arguments)]
-fn try_candidate<T: JoinValue>(
+fn try_candidate<S: Semiring>(
     program: &BagProgram,
     index: &StructureIndex,
+    weights: Option<&TupleWeights>,
     joins_at: &[Vec<usize>],
-    joins: &[Join<T>],
+    joins: &[Join<S::Value>],
     depth: usize,
     candidate: u32,
     row: &mut [u32],
     args: &mut Vec<u32>,
     key: &mut Vec<u32>,
-    acc: u64,
+    acc: &S::Value,
     scratch: &mut [Vec<u32>],
-    emit: &mut impl FnMut(&[u32], u64) -> bool,
+    emit: &mut impl FnMut(&[u32], S::Value) -> bool,
 ) -> bool {
     row[depth] = candidate;
-    if !program.checks_pass(index, depth, row, args) {
+    let Some(factor) = program.check_factor::<S>(index, weights, depth, row, args) else {
         return false;
-    }
-    let mut next_acc = acc;
+    };
+    let mut next_acc = if S::WEIGHTED {
+        S::mul(acc, &factor)
+    } else {
+        acc.clone()
+    };
     for &j in &joins_at[depth] {
         let join = &joins[j];
         key.clear();
         key.extend(join.key_depths.iter().map(|&d| row[d as usize]));
         match join.table.get(key.as_slice()) {
-            Some(v) => next_acc = v.fold(next_acc),
+            Some(v) => next_acc = S::mul(&next_acc, v),
             None => return false,
         }
     }
-    enumerate(
+    enumerate::<S>(
         program,
         index,
+        weights,
         joins_at,
         joins,
         depth + 1,
         row,
         args,
         key,
-        next_acc,
+        &next_acc,
         scratch,
         emit,
     )
 }
 
 /// Recursive enumerator over a [`BagProgram`] with optional joins.  `acc`
-/// accumulates the product of counting-join factors along the path; the
-/// emit callback returns `true` to stop the whole enumeration (early exit
-/// for decision).  `scratch` holds one reusable candidate buffer per depth
-/// for the driver (posting-list) iteration.
+/// accumulates the ⊗-product of check and join factors along the path; the
+/// emit callback returns `true` to stop the whole enumeration (the
+/// absorbing-element early exit).  `scratch` holds one reusable candidate
+/// buffer per depth for the driver (posting-list) iteration.
 #[allow(clippy::too_many_arguments)]
-fn enumerate<T: JoinValue>(
+fn enumerate<S: Semiring>(
     program: &BagProgram,
     index: &StructureIndex,
+    weights: Option<&TupleWeights>,
     joins_at: &[Vec<usize>],
-    joins: &[Join<T>],
+    joins: &[Join<S::Value>],
     depth: usize,
     row: &mut [u32],
     args: &mut Vec<u32>,
     key: &mut Vec<u32>,
-    acc: u64,
+    acc: &S::Value,
     scratch: &mut [Vec<u32>],
-    emit: &mut impl FnMut(&[u32], u64) -> bool,
+    emit: &mut impl FnMut(&[u32], S::Value) -> bool,
 ) -> bool {
     if depth == program.elems.len() {
-        return emit(row, acc);
+        return emit(row, acc.clone());
     }
     // Constraint-driven candidate iteration: when a constraint anchored
     // here has exactly one unbound position, the matching tuples of its
@@ -410,9 +631,9 @@ fn enumerate<T: JoinValue>(
                 if dom.binary_search(&candidate).is_err() {
                     continue; // prefilter pruned this image
                 }
-                if try_candidate(
-                    program, index, joins_at, joins, depth, candidate, row, args, key, acc,
-                    scratch, emit,
+                if try_candidate::<S>(
+                    program, index, weights, joins_at, joins, depth, candidate, row, args, key,
+                    acc, scratch, emit,
                 ) {
                     scratch[depth] = cands;
                     return true;
@@ -423,8 +644,9 @@ fn enumerate<T: JoinValue>(
         }
     }
     for &candidate in &program.domains[depth] {
-        if try_candidate(
-            program, index, joins_at, joins, depth, candidate, row, args, key, acc, scratch, emit,
+        if try_candidate::<S>(
+            program, index, weights, joins_at, joins, depth, candidate, row, args, key, acc,
+            scratch, emit,
         ) {
             return true;
         }
@@ -432,31 +654,15 @@ fn enumerate<T: JoinValue>(
     false
 }
 
-/// The value type a join table carries: unit for decision (existence), a
-/// group-sum for counting.
-trait JoinValue {
-    fn fold(&self, acc: u64) -> u64;
-}
-
-impl JoinValue for () {
-    fn fold(&self, acc: u64) -> u64 {
-        acc
-    }
-}
-
-impl JoinValue for u64 {
-    fn fold(&self, acc: u64) -> u64 {
-        acc.saturating_mul(*self)
-    }
-}
-
-/// Run a program with joins, emitting every surviving row.
-fn run_program<T: JoinValue>(
+/// Run a program with joins, emitting every surviving row with its
+/// accumulated ⊗-value.
+fn run_program<S: Semiring>(
     program: &BagProgram,
     index: &StructureIndex,
-    joins: Vec<Join<T>>,
-    emit: &mut impl FnMut(&[u32], u64) -> bool,
-    initial_acc: u64,
+    weights: Option<&TupleWeights>,
+    joins: Vec<Join<S::Value>>,
+    emit: &mut impl FnMut(&[u32], S::Value) -> bool,
+    initial_acc: S::Value,
 ) {
     let mut joins_at: Vec<Vec<usize>> = vec![Vec::new(); program.elems.len().max(1)];
     for (j, join) in joins.iter().enumerate() {
@@ -472,16 +678,17 @@ fn run_program<T: JoinValue>(
         emit(&row, initial_acc);
         return;
     }
-    enumerate(
+    enumerate::<S>(
         program,
         index,
+        weights,
         &joins_at,
         &joins,
         0,
         &mut row,
         &mut args,
         &mut key,
-        initial_acc,
+        &initial_acc,
         &mut scratch,
         emit,
     );
@@ -513,32 +720,37 @@ fn root_tree(td: &TreeDecomposition) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// The viable-row table of one processed bag: the surviving rows (flat,
-/// `stride` elements each), each with its subtree extension count
-/// (decision stores 1).
-struct BagTable {
+/// `stride` elements each), each with its subtree ⊗-value.
+struct BagTable<V> {
     stride: usize,
     rows: Vec<u32>,
-    counts: Vec<u64>,
+    values: Vec<V>,
 }
 
-impl BagTable {
+impl<V: Clone> BagTable<V> {
     fn len(&self) -> usize {
-        self.counts.len()
+        self.values.len()
     }
 
     fn row(&self, i: usize) -> &[u32] {
         &self.rows[i * self.stride..(i + 1) * self.stride]
     }
 
-    /// Group the rows by their projection onto `positions`, summing counts
-    /// — the precomputed group-sum side of the separator hash-join.
-    fn group_sums(&self, positions: &[u32]) -> HashMap<Vec<u32>, u64> {
-        let mut table: HashMap<Vec<u32>, u64> = HashMap::with_capacity(self.len());
+    /// Group the rows by their projection onto `positions`, ⊕-summing
+    /// values into a flat packed-key [`GroupTable`] — the precomputed
+    /// group-sum side of the separator hash-join.  No per-row key
+    /// allocation: one reused scratch projection, keys interned in the
+    /// table's arena.
+    fn group_sums<S: Semiring<Value = V>>(&self, positions: &[u32]) -> GroupTable<V> {
+        let mut table = GroupTable::with_capacity(positions.len(), self.len());
+        let mut key: Vec<u32> = Vec::with_capacity(positions.len());
         for i in 0..self.len() {
             let row = self.row(i);
-            let key: Vec<u32> = positions.iter().map(|&p| row[p as usize]).collect();
-            let slot = table.entry(key).or_insert(0);
-            *slot = slot.saturating_add(self.counts[i]);
+            key.clear();
+            key.extend(positions.iter().map(|&p| row[p as usize]));
+            table.merge(&key, self.values[i].clone(), |acc, v| {
+                *acc = S::add(acc, &v)
+            });
         }
         table
     }
@@ -549,9 +761,9 @@ impl BagTable {
 pub struct TreeDpRun {
     /// Whether a homomorphism exists.
     pub exists: bool,
-    /// The number of homomorphisms (only meaningful for the counting entry
-    /// point; decision runs leave it 0 on failure / unspecified otherwise).
-    pub count: u64,
+    /// The number of homomorphisms ([`Nat::Overflow`] past `u64::MAX`;
+    /// decision runs report 0/1 for the witness found).
+    pub count: Nat,
     /// The largest viable-row table stored for any bag.
     pub peak_table: usize,
 }
@@ -582,13 +794,13 @@ struct TreeEdge {
 
 /// The kernel tree DP compiled against one `(query, index)` pair: rooted
 /// bag order, per-bag [`BagProgram`]s, and per-edge separator positions.
-/// Compile once, [`TreeDpProgram::decide`]/[`TreeDpProgram::count`] many
-/// times against the same index.
+/// Compile once, then [`TreeDpProgram::decide`] / [`TreeDpProgram::count`]
+/// / [`TreeDpProgram::eval`] any number of times against the same index —
+/// the program is semiring-agnostic.
 pub struct TreeDpProgram {
     index_id: u64,
     satisfiable: bool,
     n_bags: usize,
-    root: usize,
     /// Children-before-parents.
     bags: Vec<TreeBag>,
 }
@@ -606,8 +818,14 @@ impl TreeDpProgram {
             .map(|b| b.iter().copied().collect())
             .collect();
         let mut bags = Vec::with_capacity(post.len());
+        // A query tuple may lie inside several bags; exactly one bag (the
+        // first compiled, i.e. deepest in evaluation order) owns its weight
+        // factor, the rest only check it.
+        let mut claimed: Vec<bool> = vec![false; a.tuple_count()];
         for &t in &post {
-            let program = BagProgram::compile(a, &doms, &elems_of[t]);
+            let program = BagProgram::compile_claiming(a, &doms, &elems_of[t], &mut |ordinal| {
+                !std::mem::replace(&mut claimed[ordinal], true)
+            });
             let mut edges = Vec::new();
             for c in td.tree.neighbors(t).filter(|&c| parent[c] == t) {
                 let separator: Vec<Element> =
@@ -639,7 +857,6 @@ impl TreeDpProgram {
             index_id: index.id(),
             satisfiable: doms.satisfiable,
             n_bags: td.bags.len(),
-            root: *post.last().expect("decompositions have at least one bag"),
             bags,
         }
     }
@@ -649,39 +866,55 @@ impl TreeDpProgram {
         self.index_id
     }
 
-    /// Decide `HOM(A, B)` (existence joins, first-row early exit at the
-    /// root).
+    /// Decide `HOM(A, B)` — the [`BoolSemiring`] instantiation; the
+    /// absorbing `⊤` gives the first-row early exit at the root.
     pub fn decide(&self, index: &StructureIndex) -> TreeDpRun {
-        self.run(index, false)
-    }
-
-    /// Count homomorphisms (group-sum separator joins).
-    pub fn count(&self, index: &StructureIndex) -> TreeDpRun {
-        self.run(index, true)
-    }
-
-    /// Shared bottom-up pass: each parent-child edge joined by a hash
-    /// table keyed on the projection onto the hoisted separator.
-    fn run(&self, index: &StructureIndex, counting: bool) -> TreeDpRun {
-        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
-        let mut run = TreeDpRun::default();
-        if !self.satisfiable {
-            return run;
+        let (value, peak_table) = self.eval::<BoolSemiring>(index, None);
+        TreeDpRun {
+            exists: value,
+            count: Nat::Finite(u64::from(value)),
+            peak_table,
         }
-        let mut tables: Vec<Option<BagTable>> = (0..self.n_bags).map(|_| None).collect();
+    }
+
+    /// Count homomorphisms — the [`CheckedNatSemiring`] instantiation
+    /// (overflow is typed, never clamped).
+    pub fn count(&self, index: &StructureIndex) -> TreeDpRun {
+        let (value, peak_table) = self.eval::<CheckedNatSemiring>(index, None);
+        TreeDpRun {
+            exists: value.positive(),
+            count: value,
+            peak_table,
+        }
+    }
+
+    /// The generic sum-of-products: ⊕ over homomorphisms of the ⊗ of
+    /// per-tuple factors, computed bottom-up with per-edge separator
+    /// group-sum joins.  `weights` is required exactly when
+    /// `S::WEIGHTED`.  Returns the aggregate and the peak bag-table size.
+    pub fn eval<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: Option<&TupleWeights>,
+    ) -> (S::Value, usize) {
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut peak = 0usize;
+        if !self.satisfiable {
+            return (S::zero(), peak);
+        }
+        let mut tables: Vec<Option<BagTable<S::Value>>> = (0..self.n_bags).map(|_| None).collect();
         for bag in &self.bags {
-            let mut joins: Vec<Join<u64>> = Vec::with_capacity(bag.edges.len());
-            let mut initial_acc = 1u64;
+            let mut joins: Vec<Join<S::Value>> = Vec::with_capacity(bag.edges.len());
+            let mut initial_acc = S::one();
             let mut dead = false;
             for edge in &bag.edges {
                 let child = tables[edge.child].take().expect("children before parents");
-                let table = child.group_sums(&edge.child_positions);
+                let table = child.group_sums::<S>(&edge.child_positions);
                 if edge.key_depths.is_empty() {
-                    // Independent component: a constant factor for every row.
-                    match table.get([].as_slice()) {
-                        Some(&sum) if sum > 0 => {
-                            initial_acc = initial_acc.saturating_mul(if counting { sum } else { 1 })
-                        }
+                    // Independent component: a constant ⊗-factor for every
+                    // row of this bag.
+                    match table.get(&[]) {
+                        Some(sum) if !S::is_zero(sum) => initial_acc = S::mul(&initial_acc, sum),
                         _ => dead = true,
                     }
                     continue;
@@ -692,43 +925,59 @@ impl TreeDpProgram {
                     table,
                 });
             }
+            if bag.is_root {
+                // The root's rows are only ever ⊕-folded — accumulate
+                // directly, early-exiting once the total absorbs.
+                let mut total = S::zero();
+                let mut rows = 0usize;
+                if !dead {
+                    run_program::<S>(
+                        &bag.program,
+                        index,
+                        weights,
+                        joins,
+                        &mut |_, acc| {
+                            if S::is_zero(&acc) {
+                                return false;
+                            }
+                            rows += 1;
+                            total = S::add(&total, &acc);
+                            S::is_add_absorbing(&total)
+                        },
+                        initial_acc,
+                    );
+                }
+                peak = peak.max(rows);
+                return (total, peak);
+            }
             let mut table = BagTable {
                 stride: bag.program.elems.len(),
                 rows: Vec::new(),
-                counts: Vec::new(),
+                values: Vec::new(),
             };
             if !dead {
-                let early_exit = !counting && bag.is_root;
-                run_program(
+                run_program::<S>(
                     &bag.program,
                     index,
+                    weights,
                     joins,
                     &mut |row, acc| {
-                        if acc > 0 {
+                        if !S::is_zero(&acc) {
                             table.rows.extend_from_slice(row);
-                            table.counts.push(if counting { acc } else { 1 });
+                            table.values.push(acc);
                         }
-                        early_exit && acc > 0
+                        false
                     },
                     initial_acc,
                 );
             }
-            run.peak_table = run.peak_table.max(table.len());
+            peak = peak.max(table.len());
             if table.len() == 0 {
-                return run; // some bag admits nothing: no homomorphism
+                return (S::zero(), peak); // some bag admits nothing
             }
             tables[bag.id] = Some(table);
         }
-        let root_table = tables[self.root].as_ref().expect("root computed");
-        run.exists = root_table.len() > 0;
-        if counting {
-            run.count = root_table
-                .counts
-                .iter()
-                .fold(0u64, |acc, &c| acc.saturating_add(c));
-            run.exists = run.count > 0;
-        }
-        run
+        unreachable!("the root bag is last in children-before-parents order")
     }
 }
 
@@ -754,12 +1003,28 @@ pub fn count_hom_via_tree_decomposition_indexed(
     TreeDpProgram::compile(a, index, td).count(index)
 }
 
+/// Aggregate over a tree decomposition in an arbitrary semiring with
+/// per-tuple weights — `min_cost` / `max_weight` are
+/// `aggregate_via_tree_decomposition_indexed::<MinCostSemiring>` /
+/// `::<MaxWeightSemiring>`.
+pub fn aggregate_via_tree_decomposition_indexed<S: Semiring>(
+    a: &Structure,
+    index: &StructureIndex,
+    td: &TreeDecomposition,
+    weights: &TupleWeights,
+) -> S::Value {
+    TreeDpProgram::compile(a, index, td)
+        .eval::<S>(index, Some(weights))
+        .0
+}
+
 /// One step of a compiled staircase sweep.
 enum StairStep {
-    /// Project the frontier onto the surviving positions and deduplicate.
+    /// Project the frontier onto the surviving positions, ⊕-merging rows
+    /// that collide.
     Forget {
         /// Positions (in the pre-step order) of the surviving elements.
-        positions: Vec<usize>,
+        positions: Vec<u32>,
     },
     /// Extend every frontier row through a program whose first
     /// `prefix_len` depths are pinned to the row.
@@ -772,6 +1037,12 @@ enum StairStep {
 /// The kernel staircase sweep compiled against one `(query, index)` pair:
 /// the first-bag program plus the forget/introduce step sequence with all
 /// element-order bookkeeping resolved at compile time.
+///
+/// Each query tuple is checked exactly once across the sweep — in the
+/// introduce step assigning its last element (path-decomposition
+/// contiguity: elements never return once forgotten) — so every check
+/// owns its weight factor and the sweep is a sound ⊕/⊗ evaluation for any
+/// semiring, not just decision.
 pub struct StairProgram {
     index_id: u64,
     satisfiable: bool,
@@ -798,9 +1069,9 @@ impl StairProgram {
                 let (prev, next) = (&window[0], &window[1]);
                 if next.is_subset(prev) {
                     let keep: Vec<Element> = next.iter().copied().collect();
-                    let positions: Vec<usize> = keep
+                    let positions: Vec<u32> = keep
                         .iter()
-                        .map(|e| order.iter().position(|x| x == e).expect("next ⊆ prev"))
+                        .map(|e| order.iter().position(|x| x == e).expect("next ⊆ prev") as u32)
                         .collect();
                     order = keep;
                     steps.push(StairStep::Forget { positions });
@@ -832,56 +1103,76 @@ impl StairProgram {
         self.index_id
     }
 
-    /// Sweep the staircase: flat frontier rows, forget steps deduplicated
-    /// through a hash set, introduce steps pinned-prefix enumerations.
+    /// Decide `HOM(A, B)` — the [`BoolSemiring`] instantiation of
+    /// [`StairProgram::eval`], packaged as the sweep report.
     pub fn run(&self, index: &StructureIndex) -> PathDpReport {
-        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
-        let mut report = PathDpReport {
-            exists: false,
-            peak_frontier: 0,
+        let (exists, peak_frontier) = self.eval::<BoolSemiring>(index, None);
+        PathDpReport {
+            exists,
+            peak_frontier,
             bags: self.bags,
             width: self.width,
-        };
-        if !self.satisfiable {
-            return report;
         }
-        // The frontier: rows of `stride` elements each.
-        let mut stride = self.init.elems.len();
-        let mut frontier: Vec<u32> = Vec::new();
-        let mut frontier_len = 0usize;
-        run_program(
-            &self.init,
-            index,
-            Vec::<Join<()>>::new(),
-            &mut |row, _| {
-                frontier.extend_from_slice(row);
-                frontier_len += 1;
-                false
-            },
-            1,
-        );
-        report.peak_frontier = report.peak_frontier.max(frontier_len);
-        if frontier_len == 0 {
-            return report;
+    }
+
+    /// Count homomorphisms by the sweep — the [`CheckedNatSemiring`]
+    /// instantiation (the frontier values are partial-hom counts).
+    pub fn count(&self, index: &StructureIndex) -> Nat {
+        self.eval::<CheckedNatSemiring>(index, None).0
+    }
+
+    /// The generic staircase sweep: the frontier is a flat row table with
+    /// one semiring value per row (the ⊕-aggregate over all partial
+    /// homomorphisms projecting to the row); forget steps group-sum,
+    /// introduce steps extend with pinned prefixes.  Returns the final
+    /// ⊕-total and the peak frontier size.
+    pub fn eval<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: Option<&TupleWeights>,
+    ) -> (S::Value, usize) {
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut peak = 0usize;
+        if !self.satisfiable {
+            return (S::zero(), peak);
+        }
+        // The frontier: rows of `stride` elements, one value per row.
+        let mut frontier: BagTable<S::Value> = BagTable {
+            stride: self.init.elems.len(),
+            rows: Vec::new(),
+            values: Vec::new(),
+        };
+        {
+            let f = &mut frontier;
+            run_program::<S>(
+                &self.init,
+                index,
+                weights,
+                Vec::new(),
+                &mut |row, acc| {
+                    if !S::is_zero(&acc) {
+                        f.rows.extend_from_slice(row);
+                        f.values.push(acc);
+                    }
+                    false
+                },
+                S::one(),
+            );
+        }
+        peak = peak.max(frontier.len());
+        if frontier.len() == 0 {
+            return (S::zero(), peak);
         }
 
         for step in &self.steps {
             match step {
                 StairStep::Forget { positions } => {
-                    let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(frontier_len);
-                    let mut new_frontier: Vec<u32> = Vec::new();
-                    let mut new_len = 0usize;
-                    for i in 0..frontier_len {
-                        let row = &frontier[i * stride..(i + 1) * stride];
-                        let projected: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
-                        if seen.insert(projected.clone()) {
-                            new_frontier.extend_from_slice(&projected);
-                            new_len += 1;
-                        }
-                    }
-                    stride = positions.len();
-                    frontier = new_frontier;
-                    frontier_len = new_len;
+                    let (rows, values) = frontier.group_sums::<S>(positions).into_flat();
+                    frontier = BagTable {
+                        stride: positions.len(),
+                        rows,
+                        values,
+                    };
                 }
                 StairStep::Introduce {
                     program,
@@ -889,48 +1180,60 @@ impl StairProgram {
                 } => {
                     // Constraints fully inside the old bag were checked
                     // when it was built; only checks anchored at the new
-                    // depths run.
+                    // depths run.  Distinct old rows extend to distinct
+                    // full rows, so no merging is needed.
                     let prefix_len = *prefix_len;
                     let new_stride = program.elems.len();
-                    let mut new_frontier: Vec<u32> = Vec::new();
-                    let mut new_len = 0usize;
+                    let mut new_frontier: BagTable<S::Value> = BagTable {
+                        stride: new_stride,
+                        rows: Vec::new(),
+                        values: Vec::new(),
+                    };
                     let mut row = vec![0u32; new_stride];
                     let mut args = Vec::with_capacity(program.max_arity);
                     let mut key = Vec::new();
                     let mut scratch = vec![Vec::new(); new_stride];
                     let joins_at: Vec<Vec<usize>> = vec![Vec::new(); new_stride.max(1)];
-                    for i in 0..frontier_len {
-                        row[..prefix_len].copy_from_slice(&frontier[i * stride..(i + 1) * stride]);
-                        enumerate::<()>(
+                    for i in 0..frontier.len() {
+                        row[..prefix_len].copy_from_slice(frontier.row(i));
+                        let nf = &mut new_frontier;
+                        enumerate::<S>(
                             program,
                             index,
+                            weights,
                             &joins_at,
                             &[],
                             prefix_len,
                             &mut row,
                             &mut args,
                             &mut key,
-                            1,
+                            &frontier.values[i],
                             &mut scratch,
-                            &mut |full, _| {
-                                new_frontier.extend_from_slice(full);
-                                new_len += 1;
+                            &mut |full, acc| {
+                                if !S::is_zero(&acc) {
+                                    nf.rows.extend_from_slice(full);
+                                    nf.values.push(acc);
+                                }
                                 false
                             },
                         );
                     }
-                    stride = new_stride;
                     frontier = new_frontier;
-                    frontier_len = new_len;
                 }
             }
-            report.peak_frontier = report.peak_frontier.max(frontier_len);
-            if frontier_len == 0 {
-                return report;
+            peak = peak.max(frontier.len());
+            if frontier.len() == 0 {
+                return (S::zero(), peak);
             }
         }
-        report.exists = frontier_len > 0;
-        report
+        let mut total = S::zero();
+        for v in &frontier.values {
+            total = S::add(&total, v);
+            if S::is_add_absorbing(&total) {
+                break;
+            }
+        }
+        (total, peak)
     }
 }
 
@@ -938,9 +1241,10 @@ impl StairProgram {
 /// frontier rows (reference: [`crate::pathdp::hom_via_staircase`]).
 ///
 /// Forget steps project the frontier onto the surviving positions and
-/// deduplicate through a hash set (the separator in staircase form is the
-/// smaller bag itself); introduce steps extend each row through a
-/// [`BagProgram`] whose first depths are pinned to the row.
+/// ⊕-merge collisions through the packed-key [`GroupTable`] (the separator
+/// in staircase form is the smaller bag itself); introduce steps extend
+/// each row through a [`BagProgram`] whose first depths are pinned to the
+/// row.
 pub fn hom_via_staircase_indexed(
     a: &Structure,
     index: &StructureIndex,
@@ -949,10 +1253,35 @@ pub fn hom_via_staircase_indexed(
     StairProgram::compile(a, index, stair).run(index)
 }
 
+/// Count homomorphisms by the kernel staircase sweep — the pathwidth
+/// tier's counting entry point (checked arithmetic, typed overflow).
+pub fn count_via_staircase_indexed(
+    a: &Structure,
+    index: &StructureIndex,
+    stair: &PathDecomposition,
+) -> Nat {
+    StairProgram::compile(a, index, stair).count(index)
+}
+
+/// Aggregate over a staircase sweep in an arbitrary semiring with
+/// per-tuple weights.
+pub fn aggregate_via_staircase_indexed<S: Semiring>(
+    a: &Structure,
+    index: &StructureIndex,
+    stair: &PathDecomposition,
+    weights: &TupleWeights,
+) -> S::Value {
+    StairProgram::compile(a, index, stair)
+        .eval::<S>(index, Some(weights))
+        .0
+}
+
 /// The forest topology and per-node constraints of a compiled forest
 /// evaluation: for each node, the tuples of the query whose deepest
 /// element in the forest it is (all other elements are ancestors, hence
 /// assigned when the node is visited).  Tuple entries are query elements.
+/// The anchoring is a partition of the query's tuples, so every check
+/// owns its weight factor.
 struct ForestChecks {
     children: Vec<Vec<usize>>,
     roots: Vec<usize>,
@@ -991,48 +1320,57 @@ impl ForestChecks {
 pub struct ForestRun {
     /// Whether a homomorphism exists.
     pub exists: bool,
-    /// The number of homomorphisms (exact for the counting entry point;
-    /// the decision entry point stops early and leaves it unspecified).
-    pub count: u64,
+    /// The number of homomorphisms ([`Nat::Overflow`] past `u64::MAX`;
+    /// the decision entry point stops early and reports 0/1).
+    pub count: Nat,
     /// Candidate images tried across the whole run (a work figure).
     pub assignments: u64,
 }
 
-/// Shared recursion of the forest evaluations: count extensions of the
-/// current ancestor assignment to the subtree at `v`; with `decide` set,
-/// stop at the first witness (the count degenerates to 0/1).
+/// The generic sum–product recursion of the forest evaluations: the
+/// ⊕-aggregate over extensions of the current ancestor assignment to the
+/// subtree at `v` of the ⊗-product of tuple factors.  The absorbing-element
+/// early exit reproduces decision's first-witness stop under
+/// [`BoolSemiring`].
 #[allow(clippy::too_many_arguments)]
-fn forest_subtree(
+fn forest_subtree<S: Semiring>(
     program: &ForestChecks,
     doms: &QueryDomains,
     index: &StructureIndex,
+    weights: Option<&TupleWeights>,
     v: usize,
     assignment: &mut [u32],
     args: &mut Vec<u32>,
     stats: &mut u64,
-    decide: bool,
-) -> u64 {
-    let mut total = 0u64;
+) -> S::Value {
+    let mut total = S::zero();
     'candidates: for &image in doms.domain(v) {
         *stats += 1;
         assignment[v] = image;
+        let mut product = S::one();
         for (sym, t) in &program.checks[v] {
             args.clear();
             args.extend(t.iter().map(|&e| assignment[e as usize]));
-            if !index.contains(*sym, args) {
+            if S::WEIGHTED {
+                let table = weights.expect("weighted semirings evaluate with a TupleWeights table");
+                match index.row_of(*sym, args) {
+                    None => continue 'candidates,
+                    Some(r) => product = S::mul(&product, &S::weight(table.get(*sym, r))),
+                }
+            } else if !index.contains(*sym, args) {
                 continue 'candidates;
             }
         }
-        let mut product = 1u64;
         for &c in &program.children[v] {
-            let c_count = forest_subtree(program, doms, index, c, assignment, args, stats, decide);
-            product = product.saturating_mul(c_count);
-            if product == 0 {
+            let sub =
+                forest_subtree::<S>(program, doms, index, weights, c, assignment, args, stats);
+            product = S::mul(&product, &sub);
+            if S::is_zero(&product) {
                 break;
             }
         }
-        total = total.saturating_add(product);
-        if decide && total > 0 {
+        total = S::add(&total, &product);
+        if S::is_add_absorbing(&total) {
             return total;
         }
     }
@@ -1041,8 +1379,9 @@ fn forest_subtree(
 
 /// The kernel sum–product forest evaluation compiled against one
 /// `(query, index)` pair: prefilter domains plus per-node anchored
-/// constraints.  Compile once, [`ForestProgram::decide`] /
-/// [`ForestProgram::count`] many times against the same index.
+/// constraints.  Compile once, then [`ForestProgram::decide`] /
+/// [`ForestProgram::count`] / [`ForestProgram::eval`] many times against
+/// the same index — the program is semiring-agnostic.
 pub struct ForestProgram {
     index_id: u64,
     satisfiable: bool,
@@ -1076,44 +1415,62 @@ impl ForestProgram {
         self.index_id
     }
 
-    /// Count homomorphisms by the sum–product recursion.
+    /// Count homomorphisms by the sum–product recursion
+    /// ([`CheckedNatSemiring`]; overflow typed, never clamped).
     pub fn count(&self, index: &StructureIndex) -> ForestRun {
-        self.run(index, false)
+        let mut assignments = 0u64;
+        let value = self.eval::<CheckedNatSemiring>(index, None, &mut assignments);
+        ForestRun {
+            exists: value.positive(),
+            count: value,
+            assignments,
+        }
     }
 
-    /// Decide `HOM(A, B)` with first-witness early exit.
+    /// Decide `HOM(A, B)` — [`BoolSemiring`], with the absorbing `⊤`
+    /// giving the first-witness early exit.
     pub fn decide(&self, index: &StructureIndex) -> ForestRun {
-        self.run(index, true)
+        let mut assignments = 0u64;
+        let value = self.eval::<BoolSemiring>(index, None, &mut assignments);
+        ForestRun {
+            exists: value,
+            count: Nat::Finite(u64::from(value)),
+            assignments,
+        }
     }
 
-    fn run(&self, index: &StructureIndex, decide: bool) -> ForestRun {
+    /// The generic sum–product: roots are independent, so their aggregates
+    /// ⊗-multiply.  `assignments` meters candidate images tried.
+    pub fn eval<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: Option<&TupleWeights>,
+        assignments: &mut u64,
+    ) -> S::Value {
         debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
-        let mut run = ForestRun::default();
         if !self.satisfiable {
-            return run;
+            return S::zero();
         }
         let mut assignment = vec![0u32; self.universe];
         let mut args = Vec::with_capacity(self.checks.max_arity);
-        let mut result = 1u64;
+        let mut result = S::one();
         for &root in &self.checks.roots {
-            let c = forest_subtree(
+            let sub = forest_subtree::<S>(
                 &self.checks,
                 &self.doms,
                 index,
+                weights,
                 root,
                 &mut assignment,
                 &mut args,
-                &mut run.assignments,
-                decide,
+                assignments,
             );
-            result = result.saturating_mul(c);
-            if result == 0 {
+            result = S::mul(&result, &sub);
+            if S::is_zero(&result) {
                 break;
             }
         }
-        run.count = result;
-        run.exists = result > 0;
-        run
+        result
     }
 }
 
@@ -1138,10 +1495,23 @@ pub fn hom_via_forest_indexed(
     ForestProgram::compile(a, index, forest).decide(index)
 }
 
+/// Aggregate over an elimination forest in an arbitrary semiring with
+/// per-tuple weights.
+pub fn aggregate_with_forest_indexed<S: Semiring>(
+    a: &Structure,
+    index: &StructureIndex,
+    forest: &EliminationForest,
+    weights: &TupleWeights,
+) -> S::Value {
+    let mut assignments = 0u64;
+    ForestProgram::compile(a, index, forest).eval::<S>(index, Some(weights), &mut assignments)
+}
+
 /// Statistics of one kernel backtracking search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelSearchStats {
-    /// Candidate images tried.
+    /// Candidate images tried (witness search) or complete rows visited
+    /// (semiring aggregation).
     pub assignments: u64,
     /// Whether the prefilter alone refuted the instance (some domain
     /// empty before any search).
@@ -1189,7 +1559,9 @@ impl SearchProgram {
     }
 
     /// Search for a first complete row; returns the witness as a total
-    /// map plus search statistics.
+    /// map plus search statistics.  (Witness *extraction* is the one
+    /// entry point that is not a semiring fold — it returns an assignment,
+    /// not an aggregate.)
     pub fn run(&self, index: &StructureIndex) -> (Option<Vec<Element>>, KernelSearchStats) {
         debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
         let mut stats = KernelSearchStats::default();
@@ -1240,6 +1612,41 @@ impl SearchProgram {
         }
         (witness, stats)
     }
+
+    /// ⊕-aggregate over **all** homomorphisms through the whole-query
+    /// program — the structure-free tier of counting and the weighted
+    /// aggregates (each tuple is anchored exactly once, so every check
+    /// owns its weight).  `stats.assignments` counts complete rows
+    /// visited.
+    pub fn aggregate<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        weights: Option<&TupleWeights>,
+    ) -> (S::Value, KernelSearchStats) {
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut stats = KernelSearchStats::default();
+        if self.refuted {
+            stats.decided_by_prefilter = true;
+            return (S::zero(), stats);
+        }
+        let mut total = S::zero();
+        run_program::<S>(
+            &self.program,
+            index,
+            weights,
+            Vec::new(),
+            &mut |_, acc| {
+                stats.assignments += 1;
+                if S::is_zero(&acc) {
+                    return false;
+                }
+                total = S::add(&total, &acc);
+                S::is_add_absorbing(&total)
+            },
+            S::one(),
+        );
+        (total, stats)
+    }
 }
 
 /// The structure-agnostic kernel fallback: the whole query compiled as a
@@ -1252,6 +1659,18 @@ pub fn find_hom_indexed(
     fail_first: bool,
 ) -> (Option<Vec<Element>>, KernelSearchStats) {
     SearchProgram::compile(a, index, fail_first).run(index)
+}
+
+/// Aggregate over all homomorphisms by exhaustive (fail-first ordered)
+/// search in an arbitrary semiring — the no-structural-guarantee tier.
+pub fn aggregate_via_search_indexed<S: Semiring>(
+    a: &Structure,
+    index: &StructureIndex,
+    weights: &TupleWeights,
+) -> S::Value {
+    SearchProgram::compile(a, index, true)
+        .aggregate::<S>(index, Some(weights))
+        .0
 }
 
 /// Enumerate the valid assignments of one bag as flat rows over the sorted
@@ -1267,15 +1686,16 @@ pub fn bag_rows_indexed(
     let program = BagProgram::compile(a, &doms, &elems);
     let mut rows = Vec::new();
     if doms.satisfiable {
-        run_program(
+        run_program::<BoolSemiring>(
             &program,
             index,
-            Vec::<Join<()>>::new(),
+            None,
+            Vec::new(),
             &mut |row, _| {
                 rows.extend_from_slice(row);
                 false
             },
-            1,
+            true,
         );
     }
     (elems, rows)
@@ -1284,12 +1704,14 @@ pub fn bag_rows_indexed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::semiring::{Cost, MaxWeightSemiring, MinCostSemiring};
     use cq_decomp::pathwidth::pathwidth_of_structure;
     use cq_decomp::treedepth::treedepth_exact;
     use cq_decomp::treewidth::treewidth_of_structure;
     use cq_graphs::gaifman_graph;
     use cq_structures::{
-        count_homomorphisms_bruteforce, families, homomorphism_exists, star_expansion,
+        count_homomorphisms_bruteforce, families, homomorphism_exists, homomorphisms_iter,
+        star_expansion,
     };
 
     fn pairs() -> Vec<(Structure, Structure)> {
@@ -1316,6 +1738,35 @@ mod tests {
         queries
             .iter()
             .flat_map(|a| targets.iter().map(move |b| (a.clone(), b.clone())))
+            .collect()
+    }
+
+    /// Deterministic non-uniform weights for the differential tests.
+    fn test_weights(b: &Structure) -> TupleWeights {
+        TupleWeights::from_fn(b, |sym, i, _| {
+            ((sym.index() as u64 + 1) * 7 + i as u64 * 3) % 11
+        })
+    }
+
+    /// Brute-force weighted reference: the cost of every homomorphism via
+    /// [`homomorphisms_iter`], independent of all kernel machinery.
+    fn hom_costs(a: &Structure, b: &Structure, weights: &TupleWeights) -> Vec<u64> {
+        let index = StructureIndex::new(b);
+        homomorphisms_iter(a, b)
+            .iter()
+            .map(|h| {
+                let mut cost = 0u64;
+                for (sym, t) in a.all_tuples() {
+                    let target = index
+                        .vocabulary()
+                        .id_of(a.vocabulary().name(sym))
+                        .expect("hom exists");
+                    let image: Vec<u32> = t.iter().map(|&e| h[e as usize] as u32).collect();
+                    let row = index.row_of(target, &image).expect("hom maps tuples in");
+                    cost += weights.get(target, row);
+                }
+                cost
+            })
             .collect()
     }
 
@@ -1355,6 +1806,23 @@ mod tests {
     }
 
     #[test]
+    fn staircase_counting_matches_bruteforce() {
+        // The generic sweep counts: every atom is checked exactly once
+        // across the staircase, so the frontier values are partial-hom
+        // counts.
+        for (a, b) in pairs() {
+            let (_, pd) = pathwidth_of_structure(&a);
+            let stair = pd.normalize_staircase();
+            let index = StructureIndex::new(&b);
+            assert_eq!(
+                count_via_staircase_indexed(&a, &index, &stair),
+                count_homomorphisms_bruteforce(&a, &b),
+                "{a} -> {b}"
+            );
+        }
+    }
+
+    #[test]
     fn forest_count_and_decide_match_bruteforce() {
         for (a, b) in pairs() {
             let g = gaifman_graph(&a);
@@ -1372,6 +1840,130 @@ mod tests {
     }
 
     #[test]
+    fn weighted_aggregates_match_bruteforce_on_every_tier() {
+        // Min-cost and max-weight through all four program shapes against
+        // the structure-agnostic reference enumeration, with non-uniform
+        // deterministic weights.  Exercises weight ownership: the tree DP
+        // shares tuples between bags and must emit each weight exactly
+        // once.
+        let mut compared = 0usize;
+        for (a, b) in pairs() {
+            let weights = test_weights(&b);
+            let costs = hom_costs(&a, &b, &weights);
+            let expected_min: Cost = costs.iter().copied().min();
+            let expected_max: Cost = costs.iter().copied().max();
+            let index = StructureIndex::new(&b);
+            let (_, td) = treewidth_of_structure(&a);
+            let (_, pd) = pathwidth_of_structure(&a);
+            let stair = pd.normalize_staircase();
+            let g = gaifman_graph(&a);
+            let (_, forest) = treedepth_exact(&g);
+
+            assert_eq!(
+                aggregate_via_tree_decomposition_indexed::<MinCostSemiring>(
+                    &a, &index, &td, &weights
+                ),
+                expected_min,
+                "tree min-cost on {a} -> {b}"
+            );
+            assert_eq!(
+                aggregate_via_tree_decomposition_indexed::<MaxWeightSemiring>(
+                    &a, &index, &td, &weights
+                ),
+                expected_max,
+                "tree max-weight on {a} -> {b}"
+            );
+            assert_eq!(
+                aggregate_via_staircase_indexed::<MinCostSemiring>(&a, &index, &stair, &weights),
+                expected_min,
+                "stair min-cost on {a} -> {b}"
+            );
+            assert_eq!(
+                aggregate_with_forest_indexed::<MinCostSemiring>(&a, &index, &forest, &weights),
+                expected_min,
+                "forest min-cost on {a} -> {b}"
+            );
+            assert_eq!(
+                aggregate_with_forest_indexed::<MaxWeightSemiring>(&a, &index, &forest, &weights),
+                expected_max,
+                "forest max-weight on {a} -> {b}"
+            );
+            assert_eq!(
+                aggregate_via_search_indexed::<MaxWeightSemiring>(&a, &index, &weights),
+                expected_max,
+                "search max-weight on {a} -> {b}"
+            );
+            compared += 6;
+        }
+        assert!(compared >= 300, "weighted corpus degenerated: {compared}");
+    }
+
+    #[test]
+    fn astronomical_counts_surface_as_typed_overflow() {
+        // #hom(P_12, K_64) = 64 · 63^11 ≈ 6.2e21 > u64::MAX — the tree DP
+        // and the staircase sweep must report Overflow, not a clamped or
+        // wrapped number.
+        let p12 = families::path(12);
+        let k64 = families::clique(64);
+        let index = StructureIndex::new(&k64);
+        let (_, td) = treewidth_of_structure(&p12);
+        let run = count_hom_via_tree_decomposition_indexed(&p12, &index, &td);
+        assert_eq!(run.count, Nat::Overflow);
+        assert!(run.exists, "overflowed counts still certify existence");
+        let (_, pd) = pathwidth_of_structure(&p12);
+        assert_eq!(
+            count_via_staircase_indexed(&p12, &index, &pd.normalize_staircase()),
+            Nat::Overflow
+        );
+
+        // #hom(K_{1,11}, K_100) = 100 · 99^11 ≈ 9e23 through the forest
+        // sum–product (11 independent leaves — the per-root product is
+        // where the old kernel silently saturated).
+        let star = families::star(11);
+        let k100 = families::clique(100);
+        let star_index = StructureIndex::new(&k100);
+        let g = gaifman_graph(&star);
+        let (_, forest) = treedepth_exact(&g);
+        let run = count_with_forest_indexed(&star, &star_index, &forest);
+        assert_eq!(run.count, Nat::Overflow);
+        assert!(run.exists);
+
+        // Counts just inside u64 range stay exact: #hom(P_2, K_n) = n(n-1).
+        let p2 = families::path(2);
+        let (_, td2) = treewidth_of_structure(&p2);
+        assert_eq!(
+            count_hom_via_tree_decomposition_indexed(&p2, &index, &td2).count,
+            64 * 63
+        );
+    }
+
+    #[test]
+    fn group_table_merges_without_per_row_allocation_semantics() {
+        let mut t: GroupTable<u64> = GroupTable::with_capacity(2, 2);
+        // Force several growths and collisions.
+        for i in 0..100u32 {
+            t.merge(&[i % 10, i % 3], u64::from(i), |a, v| *a += v);
+        }
+        let mut total = 0u64;
+        let mut groups = 0usize;
+        for (key, v) in t.iter() {
+            assert_eq!(key.len(), 2);
+            total += *v;
+            groups += 1;
+        }
+        assert_eq!(groups, t.len());
+        assert_eq!(total, (0..100u64).sum::<u64>());
+        assert!(t.get(&[0, 0]).is_some());
+        assert!(t.get(&[9, 9]).is_none());
+        // Stride-0 tables hold exactly one group (the empty key).
+        let mut empty: GroupTable<u64> = GroupTable::with_capacity(0, 4);
+        empty.merge(&[], 3, |a, v| *a += v);
+        empty.merge(&[], 4, |a, v| *a += v);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty.get(&[]), Some(&7));
+    }
+
+    #[test]
     fn whole_query_search_matches_reference() {
         for (a, b) in pairs() {
             let index = StructureIndex::new(&b);
@@ -1382,6 +1974,16 @@ mod tests {
                     assert!(cq_structures::is_homomorphism(&a, &b, &h), "{a} -> {b}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn search_aggregate_counts_like_bruteforce() {
+        for (a, b) in pairs().into_iter().take(20) {
+            let index = StructureIndex::new(&b);
+            let program = SearchProgram::compile(&a, &index, true);
+            let (count, _) = program.aggregate::<CheckedNatSemiring>(&index, None);
+            assert_eq!(count, count_homomorphisms_bruteforce(&a, &b), "{a} -> {b}");
         }
     }
 
@@ -1470,6 +2072,15 @@ mod tests {
             count_homomorphisms_bruteforce(&two_edges, &k3)
         );
         assert!(hom_via_tree_decomposition_indexed(&two_edges, &index, &td).exists);
+        // Weighted across components: min cost adds over the two edges.
+        let weights = test_weights(&k3);
+        let costs = hom_costs(&two_edges, &k3, &weights);
+        assert_eq!(
+            aggregate_via_tree_decomposition_indexed::<MinCostSemiring>(
+                &two_edges, &index, &td, &weights
+            ),
+            costs.iter().copied().min()
+        );
     }
 
     #[test]
@@ -1497,13 +2108,21 @@ mod tests {
         // counter is process-global and other tests compile concurrently,
         // so only monotone lower bounds are race-safe to assert here; the
         // exact no-recompile equality is asserted by the single-threaded
-        // E18 bench.)
+        // E18 bench.)  One compiled program serves every semiring.
         let before = program_compilation_count();
         let expected = count_homomorphisms_bruteforce(&a, &b);
+        let weights = TupleWeights::uniform(&b, 2);
         for _ in 0..3 {
             assert!(tree.decide(&index).exists);
             assert_eq!(tree.count(&index).count, expected);
+            // Every hom maps each query tuple (symmetric edges count
+            // twice) onto a weight-2 tuple.
+            assert_eq!(
+                tree.eval::<MinCostSemiring>(&index, Some(&weights)).0,
+                Some(2 * a.tuple_count() as u64)
+            );
             assert!(stairp.run(&index).exists);
+            assert_eq!(stairp.count(&index), expected);
             assert_eq!(forestp.count(&index).count, expected);
             assert!(forestp.decide(&index).exists);
             assert!(search.run(&index).0.is_some());

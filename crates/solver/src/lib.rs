@@ -32,6 +32,7 @@ pub mod domains;
 pub mod kernel;
 pub mod pathdp;
 pub mod problems;
+pub mod semiring;
 pub mod treedec;
 pub mod treedepth;
 
@@ -39,13 +40,18 @@ pub use backtrack::BacktrackSolver;
 pub use colour_coding::{hash_coloring, ColorCodingConfig};
 pub use domains::{arc_consistency, initial_domains, Domains};
 pub use kernel::{
-    bag_rows_indexed, count_hom_via_tree_decomposition_indexed, count_with_forest_indexed,
-    find_hom_indexed, hom_via_forest_indexed, hom_via_staircase_indexed,
+    aggregate_via_search_indexed, aggregate_via_staircase_indexed,
+    aggregate_via_tree_decomposition_indexed, aggregate_with_forest_indexed, bag_rows_indexed,
+    count_hom_via_tree_decomposition_indexed, count_via_staircase_indexed,
+    count_with_forest_indexed, find_hom_indexed, hom_via_forest_indexed, hom_via_staircase_indexed,
     hom_via_tree_decomposition_indexed, program_compilation_count, BagProgram, ForestProgram,
-    ForestRun, KernelSearchStats, QueryDomains, SearchProgram, StairProgram, TreeDpProgram,
-    TreeDpRun,
+    ForestRun, GroupTable, KernelSearchStats, QueryDomains, SearchProgram, StairProgram,
+    TreeDpProgram, TreeDpRun,
 };
 pub use pathdp::{hom_via_path_decomposition, hom_via_staircase, PathDpReport};
 pub use problems::{has_k_cycle, has_k_path, st_path_at_most};
+pub use semiring::{
+    BoolSemiring, CheckedNatSemiring, Cost, MaxWeightSemiring, MinCostSemiring, Nat, Semiring,
+};
 pub use treedec::{count_hom_via_tree_decomposition, hom_via_tree_decomposition};
 pub use treedepth::{count_hom_via_treedepth, hom_via_compiled_sentence, hom_via_treedepth};

@@ -1,0 +1,412 @@
+//! Commutative semirings — the algebra the evaluation kernel is generic
+//! over.
+//!
+//! The FAQ/AJAR framing (and, for counting CQs specifically, Dell–Roth and
+//! Chen–Mengel) observes that deciding and counting homomorphisms are the
+//! *same* dynamic program, summing products over different semirings:
+//!
+//! | instance | carrier | ⊕ | ⊗ | answers |
+//! |---|---|---|---|---|
+//! | [`BoolSemiring`] | `bool` | ∨ | ∧ | does a homomorphism exist? |
+//! | [`CheckedNatSemiring`] | [`Nat`] | `+` (checked) | `×` (checked) | how many are there? |
+//! | [`MinCostSemiring`] | [`Cost`] | min | `+` | cheapest homomorphism under per-tuple weights |
+//! | [`MaxWeightSemiring`] | [`Cost`] | max | `+` | heaviest homomorphism under per-tuple weights |
+//!
+//! [`crate::kernel`] implements the sum-of-products once, generic over
+//! [`Semiring`]; each public solver entry point is a thin instantiation.
+//! Two hooks keep the generic kernel as fast as the specialised code it
+//! replaces:
+//!
+//! * [`Semiring::is_add_absorbing`] — once a running ⊕-accumulation hits an
+//!   absorbing element (Boolean `true`; [`Nat::Overflow`]; cost `0` under
+//!   min with non-negative weights) no later addend can change it, so the
+//!   Boolean instantiation keeps decide's short-circuit *in the algebra*
+//!   instead of as a special-cased code path;
+//! * [`Semiring::WEIGHTED`] — unweighted semirings compile the per-tuple
+//!   weight lookup out of the constraint-check inner loop entirely.
+//!
+//! Counting in ℕ is **checked**: arithmetic past `u64::MAX` yields the
+//! typed [`Nat::Overflow`] value, which is itself absorbing under ⊕ and
+//! propagates through ⊗ (except against a genuine zero — an empty branch
+//! annihilates whatever the other side was).  Nothing in the kernel
+//! saturates, so an astronomically large count can never silently clamp to
+//! a plausible wrong number.
+
+/// A commutative semiring `(V, ⊕, ⊗, 0, 1)` the kernel can aggregate in.
+///
+/// Laws the kernel relies on: ⊕ and ⊗ commutative and associative, ⊗
+/// distributes over ⊕, `0` is the ⊕-identity and ⊗-annihilator, `1` the
+/// ⊗-identity.  `is_add_absorbing(v)` must only return `true` when
+/// `v ⊕ x = v` for **every** `x` — it licenses early exits from ⊕-folds.
+pub trait Semiring {
+    /// The carrier.
+    type Value: Clone + Send + Sync + PartialEq + std::fmt::Debug;
+
+    /// Whether ⊗-factors depend on per-tuple weights.  When `false`, the
+    /// kernel skips weight-table lookups (and row-id resolution) entirely.
+    const WEIGHTED: bool;
+
+    /// The ⊕-identity (and ⊗-annihilator): the value of an empty sum.
+    fn zero() -> Self::Value;
+
+    /// The ⊗-identity: the value of an empty product.
+    fn one() -> Self::Value;
+
+    /// `a ⊕ b`.
+    fn add(a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// `a ⊗ b`.
+    fn mul(a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Whether `v = 0` (dead table rows are dropped on this test).
+    fn is_zero(v: &Self::Value) -> bool;
+
+    /// Whether `v ⊕ x = v` for all `x` — the early-exit licence.  Default:
+    /// never.
+    fn is_add_absorbing(_v: &Self::Value) -> bool {
+        false
+    }
+
+    /// Inject a tuple weight `w` as a ⊗-factor.  Unweighted semirings map
+    /// every weight to `1`.
+    fn weight(w: u64) -> Self::Value;
+}
+
+/// The Boolean semiring `({⊥,⊤}, ∨, ∧)` — homomorphism **decision**.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolSemiring;
+
+impl Semiring for BoolSemiring {
+    type Value = bool;
+    const WEIGHTED: bool = false;
+
+    #[inline]
+    fn zero() -> bool {
+        false
+    }
+    #[inline]
+    fn one() -> bool {
+        true
+    }
+    #[inline]
+    fn add(a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    #[inline]
+    fn mul(a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+    #[inline]
+    fn is_zero(v: &bool) -> bool {
+        !*v
+    }
+    #[inline]
+    fn is_add_absorbing(v: &bool) -> bool {
+        // ⊤ ∨ x = ⊤: the instant a witness exists the fold is decided.
+        *v
+    }
+    #[inline]
+    fn weight(_w: u64) -> bool {
+        true
+    }
+}
+
+/// A checked natural number: a count that is either exact or known to have
+/// left `u64` range.
+///
+/// `Overflow` is a genuine element of the semiring — absorbing under `+`,
+/// propagating through `×` against anything except zero (an empty branch
+/// annihilates an overflowed one: `0 × ∞-ish = 0` because the product
+/// counts *pairs* of extensions and one side has none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Nat {
+    /// An exact count.
+    Finite(u64),
+    /// The true count exceeds `u64::MAX`.
+    Overflow,
+}
+
+impl Nat {
+    /// The exact value, or `None` for [`Nat::Overflow`].
+    #[inline]
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Nat::Finite(v) => Some(v),
+            Nat::Overflow => None,
+        }
+    }
+
+    /// The exact value; panics on [`Nat::Overflow`] (test/bench helper for
+    /// instances known to fit).
+    #[inline]
+    pub fn expect_finite(self) -> u64 {
+        match self {
+            Nat::Finite(v) => v,
+            Nat::Overflow => panic!("count overflowed u64"),
+        }
+    }
+
+    /// Whether the count is non-zero (`Overflow` certainly is).
+    #[inline]
+    pub fn positive(self) -> bool {
+        self != Nat::Finite(0)
+    }
+
+    /// Checked sum.
+    #[inline]
+    pub fn checked_add(self, rhs: Nat) -> Nat {
+        match (self, rhs) {
+            (Nat::Finite(a), Nat::Finite(b)) => a.checked_add(b).map_or(Nat::Overflow, Nat::Finite),
+            _ => Nat::Overflow,
+        }
+    }
+
+    /// Checked product (`0 × Overflow = 0`).
+    #[inline]
+    pub fn checked_mul(self, rhs: Nat) -> Nat {
+        match (self, rhs) {
+            (Nat::Finite(0), _) | (_, Nat::Finite(0)) => Nat::Finite(0),
+            (Nat::Finite(a), Nat::Finite(b)) => a.checked_mul(b).map_or(Nat::Overflow, Nat::Finite),
+            _ => Nat::Overflow,
+        }
+    }
+}
+
+impl Default for Nat {
+    /// Zero — the ⊕-identity (so `#[derive(Default)]` run reports start
+    /// from an empty count).
+    fn default() -> Nat {
+        Nat::Finite(0)
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Nat {
+        Nat::Finite(v)
+    }
+}
+
+impl PartialEq<u64> for Nat {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Nat::Finite(v) if v == other)
+    }
+}
+
+impl std::fmt::Display for Nat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Nat::Finite(v) => write!(f, "{v}"),
+            Nat::Overflow => write!(f, "overflow"),
+        }
+    }
+}
+
+/// The checked counting semiring `(ℕ ∪ {Overflow}, +, ×)` — exact
+/// homomorphism **counting** that surfaces overflow instead of clamping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckedNatSemiring;
+
+impl Semiring for CheckedNatSemiring {
+    type Value = Nat;
+    const WEIGHTED: bool = false;
+
+    #[inline]
+    fn zero() -> Nat {
+        Nat::Finite(0)
+    }
+    #[inline]
+    fn one() -> Nat {
+        Nat::Finite(1)
+    }
+    #[inline]
+    fn add(a: &Nat, b: &Nat) -> Nat {
+        a.checked_add(*b)
+    }
+    #[inline]
+    fn mul(a: &Nat, b: &Nat) -> Nat {
+        a.checked_mul(*b)
+    }
+    #[inline]
+    fn is_zero(v: &Nat) -> bool {
+        *v == Nat::Finite(0)
+    }
+    #[inline]
+    fn is_add_absorbing(v: &Nat) -> bool {
+        // Overflow + x = Overflow for every natural x.
+        *v == Nat::Overflow
+    }
+    #[inline]
+    fn weight(_w: u64) -> Nat {
+        Nat::Finite(1)
+    }
+}
+
+/// A tropical value: `None` is the ⊕-identity (`+∞` under min, `-∞` under
+/// max), `Some(c)` a finite accumulated weight.  Weight accumulation along
+/// a homomorphism saturates at `u64::MAX` (documented: weights are
+/// per-tuple `u64`s; a sum past `u64::MAX` reports `u64::MAX`, which keeps
+/// min/max comparisons sound for any realistic weighting).
+pub type Cost = Option<u64>;
+
+/// The min-plus (tropical) semiring `(ℕ ∪ {∞}, min, +)` — the **cheapest**
+/// homomorphism under per-tuple weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinCostSemiring;
+
+impl Semiring for MinCostSemiring {
+    type Value = Cost;
+    const WEIGHTED: bool = true;
+
+    #[inline]
+    fn zero() -> Cost {
+        None
+    }
+    #[inline]
+    fn one() -> Cost {
+        Some(0)
+    }
+    #[inline]
+    fn add(a: &Cost, b: &Cost) -> Cost {
+        match (*a, *b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (v, None) | (None, v) => v,
+        }
+    }
+    #[inline]
+    fn mul(a: &Cost, b: &Cost) -> Cost {
+        match (*a, *b) {
+            (Some(x), Some(y)) => Some(x.saturating_add(y)),
+            _ => None,
+        }
+    }
+    #[inline]
+    fn is_zero(v: &Cost) -> bool {
+        v.is_none()
+    }
+    #[inline]
+    fn is_add_absorbing(v: &Cost) -> bool {
+        // Weights are u64s, so no homomorphism can cost less than 0:
+        // min(0, x) = 0 for every reachable x.
+        *v == Some(0)
+    }
+    #[inline]
+    fn weight(w: u64) -> Cost {
+        Some(w)
+    }
+}
+
+/// The max-plus semiring `(ℕ ∪ {-∞}, max, +)` — the **heaviest**
+/// homomorphism under per-tuple weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxWeightSemiring;
+
+impl Semiring for MaxWeightSemiring {
+    type Value = Cost;
+    const WEIGHTED: bool = true;
+
+    #[inline]
+    fn zero() -> Cost {
+        None
+    }
+    #[inline]
+    fn one() -> Cost {
+        Some(0)
+    }
+    #[inline]
+    fn add(a: &Cost, b: &Cost) -> Cost {
+        match (*a, *b) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (v, None) | (None, v) => v,
+        }
+    }
+    #[inline]
+    fn mul(a: &Cost, b: &Cost) -> Cost {
+        match (*a, *b) {
+            (Some(x), Some(y)) => Some(x.saturating_add(y)),
+            _ => None,
+        }
+    }
+    #[inline]
+    fn is_zero(v: &Cost) -> bool {
+        v.is_none()
+    }
+    // No add-absorbing element: saturation makes u64::MAX unsound as one.
+    #[inline]
+    fn weight(w: u64) -> Cost {
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws<S: Semiring>(samples: &[S::Value]) {
+        for a in samples {
+            assert_eq!(S::add(a, &S::zero()), *a, "0 is ⊕-identity");
+            assert_eq!(S::mul(a, &S::one()), *a, "1 is ⊗-identity");
+            assert!(
+                S::is_zero(&S::mul(a, &S::zero())),
+                "0 annihilates: {a:?} ⊗ 0"
+            );
+            for b in samples {
+                assert_eq!(S::add(a, b), S::add(b, a), "⊕ commutes");
+                assert_eq!(S::mul(a, b), S::mul(b, a), "⊗ commutes");
+                for c in samples {
+                    assert_eq!(
+                        S::mul(a, &S::add(b, c)),
+                        S::add(&S::mul(a, b), &S::mul(a, c)),
+                        "⊗ distributes over ⊕: {a:?} ({b:?} ⊕ {c:?})"
+                    );
+                }
+            }
+            if S::is_add_absorbing(a) {
+                for b in samples {
+                    assert_eq!(S::add(a, b), *a, "absorbing element must absorb {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bool_semiring_laws() {
+        laws::<BoolSemiring>(&[false, true]);
+    }
+
+    #[test]
+    fn checked_nat_semiring_laws() {
+        laws::<CheckedNatSemiring>(&[
+            Nat::Finite(0),
+            Nat::Finite(1),
+            Nat::Finite(3),
+            Nat::Finite(u64::MAX),
+            Nat::Overflow,
+        ]);
+    }
+
+    #[test]
+    fn min_cost_semiring_laws() {
+        laws::<MinCostSemiring>(&[None, Some(0), Some(2), Some(9)]);
+    }
+
+    #[test]
+    fn max_weight_semiring_laws() {
+        laws::<MaxWeightSemiring>(&[None, Some(0), Some(2), Some(9)]);
+    }
+
+    #[test]
+    fn nat_overflow_is_typed_never_clamped() {
+        let big = Nat::Finite(u64::MAX);
+        assert_eq!(big.checked_add(Nat::Finite(1)), Nat::Overflow);
+        assert_eq!(big.checked_mul(Nat::Finite(2)), Nat::Overflow);
+        assert_eq!(Nat::Overflow.checked_add(Nat::Finite(0)), Nat::Overflow);
+        // A genuinely empty branch annihilates an overflowed one.
+        assert_eq!(Nat::Overflow.checked_mul(Nat::Finite(0)), Nat::Finite(0));
+        assert_eq!(Nat::Finite(7), 7u64);
+        assert_ne!(Nat::Overflow, u64::MAX);
+        assert_eq!(Nat::Overflow.to_string(), "overflow");
+        assert!(Nat::Overflow.positive());
+        assert_eq!(Nat::Finite(5).finite(), Some(5));
+        assert_eq!(Nat::Overflow.finite(), None);
+    }
+}

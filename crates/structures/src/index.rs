@@ -260,6 +260,23 @@ impl StructureIndex {
         }
     }
 
+    /// The row id of `t` in `R^B` (`None` when absent).  Row ids are the
+    /// positions of [`crate::Relation::rows`], so they key aligned side
+    /// tables — per-tuple weights in particular.
+    #[inline]
+    pub fn row_of(&self, sym: SymbolId, t: &[u32]) -> Option<u32> {
+        let r = &self.relations[sym.index()];
+        if t.len() != r.arity {
+            return None;
+        }
+        let rel = self.structure.relation(sym);
+        match r.buckets.get(&fnv_row(t)) {
+            None => None,
+            Some(Bucket::One(idx)) => (rel.row(*idx as usize) == t).then_some(*idx),
+            Some(Bucket::Many(ids)) => ids.iter().copied().find(|&idx| rel.row(idx as usize) == t),
+        }
+    }
+
     /// Candidate iterator: the tuples of `sym` holding `element` at
     /// argument position `pos`, as flat rows.
     pub fn tuples_with(

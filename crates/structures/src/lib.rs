@@ -42,6 +42,7 @@ pub mod index;
 pub mod ops;
 pub mod structure;
 pub mod vocabulary;
+pub mod weights;
 
 pub use crate::core::{
     core_computation_count, core_of, global_core_computation_count, is_core, CoreComputation,
@@ -57,6 +58,7 @@ pub use index::{structure_hash, StructureIndex};
 pub use ops::{direct_product, disjoint_union, relabeled, star_expansion, symmetric_closure};
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{RelationSymbol, SymbolId, Vocabulary};
+pub use weights::TupleWeights;
 
 /// The size measure `|A|` used by the paper for parameterization:
 /// `|τ| + |A| + Σ_R |R^A| · ar(R)`.

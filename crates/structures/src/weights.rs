@@ -1,0 +1,119 @@
+//! Per-tuple weight side tables for weighted semiring evaluation.
+//!
+//! A [`TupleWeights`] assigns a `u64` weight to every tuple of a target
+//! structure, aligned with the structure's row storage: the weight of the
+//! tuple at row `i` of `R^B` lives at index `i` of the symbol's weight
+//! vector, and [`crate::StructureIndex::row_of`] recovers that row id from
+//! a flat tuple in O(1).  The kernel's weighted semirings (min-cost,
+//! max-weight) read weights through this table at evaluation time, so one
+//! compiled program serves every weighting of the same database.
+
+use crate::structure::Structure;
+use crate::vocabulary::SymbolId;
+
+/// A per-tuple `u64` weight table aligned with a structure's relations.
+///
+/// Immutable once built; share by reference (or clone — it is a flat pair
+/// of nested `Vec`s) alongside the structure it annotates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleWeights {
+    /// `per_symbol[sym.index()][row]` is the weight of the tuple at `row`.
+    per_symbol: Vec<Vec<u64>>,
+}
+
+impl TupleWeights {
+    /// Every tuple of `s` gets the same weight `w`.
+    pub fn uniform(s: &Structure, w: u64) -> TupleWeights {
+        TupleWeights {
+            per_symbol: s
+                .vocabulary()
+                .ids()
+                .map(|sym| vec![w; s.relation(sym).len()])
+                .collect(),
+        }
+    }
+
+    /// Weights computed per tuple: `f(sym, row_id, tuple)` for every row of
+    /// every relation, in row order.
+    pub fn from_fn(
+        s: &Structure,
+        mut f: impl FnMut(SymbolId, usize, &[u32]) -> u64,
+    ) -> TupleWeights {
+        TupleWeights {
+            per_symbol: s
+                .vocabulary()
+                .ids()
+                .map(|sym| {
+                    s.relation(sym)
+                        .rows()
+                        .enumerate()
+                        .map(|(i, row)| f(sym, i, row))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// The weight of the tuple at `row` of `sym`'s relation.
+    ///
+    /// # Panics
+    /// When `sym`/`row` do not name a tuple of the structure this table was
+    /// built for — weight tables are only meaningful next to their
+    /// structure.
+    #[inline]
+    pub fn get(&self, sym: SymbolId, row: u32) -> u64 {
+        self.per_symbol[sym.index()][row as usize]
+    }
+
+    /// Whether this table is aligned with `s` (same relation count, same
+    /// row counts) — the cheap shape check callers run before pairing a
+    /// deserialized or externally built table with a database.
+    pub fn matches(&self, s: &Structure) -> bool {
+        self.per_symbol.len() == s.vocabulary().len()
+            && s.vocabulary()
+                .ids()
+                .all(|sym| self.per_symbol[sym.index()].len() == s.relation(sym).len())
+    }
+
+    /// Total weight of all tuples (saturating) — a cheap invariant for
+    /// tests and reports.
+    pub fn total(&self) -> u64 {
+        self.per_symbol
+            .iter()
+            .flatten()
+            .fold(0u64, |a, &w| a.saturating_add(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::index::StructureIndex;
+
+    #[test]
+    fn uniform_and_from_fn_align_with_rows() {
+        let s = families::cycle(5);
+        let u = TupleWeights::uniform(&s, 7);
+        assert!(u.matches(&s));
+        let f = TupleWeights::from_fn(&s, |_, i, _| i as u64);
+        let index = StructureIndex::new(&s);
+        for sym in s.vocabulary().ids() {
+            for (i, row) in s.relation(sym).rows().enumerate() {
+                assert_eq!(u.get(sym, i as u32), 7);
+                assert_eq!(f.get(sym, i as u32), i as u64);
+                assert_eq!(index.row_of(sym, row), Some(i as u32));
+            }
+        }
+        assert!(!u.matches(&families::cycle(6)));
+    }
+
+    #[test]
+    fn row_of_rejects_absent_tuples_and_wrong_arity() {
+        let s = families::path(4);
+        let index = StructureIndex::new(&s);
+        let sym = s.vocabulary().ids().next().unwrap();
+        assert_eq!(index.row_of(sym, &[0, 3]), None, "no such edge");
+        assert_eq!(index.row_of(sym, &[0]), None, "wrong arity");
+    }
+}

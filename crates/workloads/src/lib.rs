@@ -352,6 +352,119 @@ pub fn counting_traffic(
     }
 }
 
+/// A weighted-aggregate traffic trace whose every instance has
+/// **closed-form expected min-cost and max-weight** — the weighted
+/// analogue of [`CountingWorkload`], used by the weighted differential
+/// tests and bench E20 to verify the engine's min-cost / max-weight entry
+/// points end to end.
+///
+/// Each database carries its own per-tuple weight table.  The tables are
+/// **uniform per database** (weight `w_d` on every tuple of database `d`),
+/// which is what makes the oracle closed-form: every homomorphism from a
+/// query with `m` tuples costs exactly `m · w_d`, so the minimum and the
+/// maximum coincide at `m · w_d` whenever a homomorphism exists — and the
+/// targets are cliques `K_q` with `q ≥ 3`, so one always does.
+/// Non-uniform weightings are exercised by the brute-force differential
+/// oracle instead, where no closed form exists.
+#[derive(Debug, Clone)]
+pub struct WeightedWorkload {
+    /// The distinct query structures.
+    pub queries: Vec<Structure>,
+    /// The database fleet: cliques `K_q`.
+    pub databases: Vec<Structure>,
+    /// Per-database tuple-weight tables, aligned with `databases`.
+    pub weights: Vec<cq_structures::TupleWeights>,
+    /// The instance sequence as (query index, database index) pairs.
+    pub trace: Vec<(usize, usize)>,
+    /// Closed-form expected minimum cost of each trace entry.
+    pub expected_min: Vec<Option<u64>>,
+    /// Closed-form expected maximum weight of each trace entry.
+    pub expected_max: Vec<Option<u64>>,
+}
+
+impl WeightedWorkload {
+    /// The instances of the trace as (query, database, weights) triples,
+    /// borrowed from the workload (the shape `Engine::min_cost_batch`
+    /// consumes).
+    pub fn instances(&self) -> Vec<(&Structure, &Structure, &cq_structures::TupleWeights)> {
+        self.trace
+            .iter()
+            .map(|&(q, d)| (&self.queries[q], &self.databases[d], &self.weights[d]))
+            .collect()
+    }
+
+    /// Number of instances in the trace.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+/// A deterministic repeated-query **weighted** trace with closed-form
+/// min-cost / max-weight answers: the [`counting_traffic`] query fleet
+/// (paths, star, triangle — crossing the core-invariance trap, which
+/// weighted aggregates share with counting) against uniformly weighted
+/// cliques.  Database `d` of size `q_d` gets uniform weight `d + 2`, so
+/// distinct databases produce distinct expected values.
+pub fn weighted_traffic(
+    clique_sizes: &[usize],
+    repeats_per_query: usize,
+    seed: u64,
+) -> WeightedWorkload {
+    use cq_structures::families;
+    assert!(
+        clique_sizes.iter().all(|&q| q >= 3),
+        "every query here maps into K_q only for q >= 3"
+    );
+    let queries = vec![
+        families::path(4),   // proper core (edge): the core-invariance trap
+        families::star(3),   // tree depth 2 -> forest tier
+        families::clique(3), // treewidth 2 -> tree-DP tier
+        families::path(6),   // proper core, deeper recursion
+    ];
+    let databases: Vec<Structure> = clique_sizes.iter().map(|&q| families::clique(q)).collect();
+    let weights: Vec<cq_structures::TupleWeights> = databases
+        .iter()
+        .enumerate()
+        .map(|(d, db)| cq_structures::TupleWeights::uniform(db, d as u64 + 2))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0E20_0E20);
+    let mut trace: Vec<(usize, usize)> = (0..queries.len())
+        .flat_map(|q| (0..repeats_per_query).map(move |_| q))
+        .map(|q| (q, 0usize))
+        .collect();
+    for slot in trace.iter_mut() {
+        slot.1 = rng.gen_range(0..databases.len());
+    }
+    // Fisher–Yates interleave of the query order.
+    for i in (1..trace.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        trace.swap(i, j);
+    }
+    // Uniform weight w_d over K_q (q >= 3): every homomorphism costs
+    // `w_d · #query-tuples` exactly, so min = max = that product.
+    let closed_form = |query: usize, d: usize| -> Option<u64> {
+        Some((d as u64 + 2) * queries[query].tuple_count() as u64)
+    };
+    let expected_min: Vec<Option<u64>> = trace
+        .iter()
+        .map(|&(query, d)| closed_form(query, d))
+        .collect();
+    let expected_max = expected_min.clone();
+    WeightedWorkload {
+        queries,
+        databases,
+        weights,
+        trace,
+        expected_min,
+        expected_max,
+    }
+}
+
 /// The evaluation-kernel stress trace (bench E16 and the kernel
 /// differential tests): treewidth-2 query shapes — odd cycles, a grid, a
 /// complete bipartite graph — against a fleet of **larger** random graph
@@ -618,6 +731,47 @@ mod tests {
         // Every query index recurs repeats_per_query times.
         for q in 0..w.queries.len() {
             assert_eq!(w.trace.iter().filter(|&&(qq, _)| qq == q).count(), 3);
+        }
+    }
+
+    #[test]
+    fn weighted_traffic_closed_forms_match_brute_force() {
+        use cq_structures::{homomorphisms_iter, StructureIndex};
+        let w = weighted_traffic(&[3, 4, 5], 3, 7);
+        assert_eq!(w.len(), 4 * 3);
+        assert_eq!(w.expected_min.len(), w.len());
+        assert_eq!(w.expected_max.len(), w.len());
+        // Deterministic in the seed.
+        let again = weighted_traffic(&[3, 4, 5], 3, 7);
+        assert_eq!(w.trace, again.trace);
+        assert_eq!(w.expected_min, again.expected_min);
+        // Every closed form is the brute-force truth: enumerate all
+        // homomorphisms, cost each by summing image-tuple weights.
+        for (&(q, d), (&emin, &emax)) in w
+            .trace
+            .iter()
+            .zip(w.expected_min.iter().zip(&w.expected_max))
+        {
+            let query = &w.queries[q];
+            let db = &w.databases[d];
+            let index = StructureIndex::new(db);
+            let mut min: Option<u64> = None;
+            let mut max: Option<u64> = None;
+            for h in homomorphisms_iter(query, db) {
+                let mut cost = 0u64;
+                for sym in query.vocabulary().ids() {
+                    let db_sym = db.vocabulary().id_of(query.vocabulary().name(sym)).unwrap();
+                    for t in query.relation(sym).rows() {
+                        let image: Vec<u32> = t.iter().map(|&v| h[v as usize] as u32).collect();
+                        let row = index.row_of(db_sym, &image).expect("hom image is a tuple");
+                        cost += w.weights[d].get(db_sym, row);
+                    }
+                }
+                min = Some(min.map_or(cost, |m| m.min(cost)));
+                max = Some(max.map_or(cost, |m| m.max(cost)));
+            }
+            assert_eq!(min, emin, "min closed form wrong for query {q} into db {d}");
+            assert_eq!(max, emax, "max closed form wrong for query {q} into db {d}");
         }
     }
 

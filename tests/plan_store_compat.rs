@@ -79,7 +79,11 @@ fn golden_fixture_warm_starts_todays_engine_with_zero_preparation() {
     }
     let counts = engine.count_batch(&batch);
     for ((q, t), count) in batch.iter().zip(&counts) {
-        assert_eq!(count.count > 0, homomorphism_exists(q, t), "{q} -> {t}");
+        assert_eq!(
+            count.count.positive(),
+            homomorphism_exists(q, t),
+            "{q} -> {t}"
+        );
     }
     let after = engine.prep_stats();
     assert_eq!(after.preparations, 0, "fixture plans must serve everything");

@@ -186,7 +186,7 @@ fn counting_is_positive_exactly_when_decision_succeeds() {
                 .find(|(_, _, q)| std::ptr::eq(q, *a))
                 .unwrap();
             assert_eq!(
-                count.count > 0,
+                count.count.positive(),
                 decision.exists,
                 "decide/count disagree on a=(n={an}, seed={aseed}) -> {b} (workers={workers})"
             );
