@@ -26,6 +26,24 @@ pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
     times[times.len() / 2]
 }
 
+/// Minimum wall-clock of `runs` executions of `f` — the noise-floor
+/// estimator for deterministic CPU-bound sweeps.  External interference
+/// (scheduler preemption, a busy CI neighbour) only ever *inflates* a
+/// sample, so the minimum is the observation closest to the true cost;
+/// note the median of an even run count lands on the *worse* middle
+/// sample, which on microsecond-scale rows turns container jitter into
+/// gate flakes.
+pub fn min_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
 /// Whether the bench runs in CI's quick regression-gate mode
 /// (`CQ_BENCH_QUICK` set to anything but empty or `0`): fewer timing runs,
 /// no baseline rewrite, measured speedups gated against the checked-in
@@ -68,6 +86,16 @@ mod tests {
         let mut n = 0u64;
         let d = median_time(5, || n += 1);
         assert_eq!(n, 5);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn min_time_runs_at_least_once_and_counts_runs() {
+        let mut n = 0u64;
+        let _ = min_time(0, || n += 1);
+        assert_eq!(n, 1, "a zero-run request still measures once");
+        let d = min_time(3, || n += 1);
+        assert_eq!(n, 4);
         assert!(d < Duration::from_secs(1));
     }
 

@@ -84,7 +84,7 @@ pub use registry::{
     TreeDepthSolver,
 };
 pub use service::{
-    CacheStats, Engine, IndexStats, PrepStats, QueryId, DEFAULT_CACHE_SHARDS,
+    CacheStats, DeltaReport, Engine, IndexStats, PrepStats, QueryId, DEFAULT_CACHE_SHARDS,
     DEFAULT_INDEX_CACHE_CAPACITY, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 

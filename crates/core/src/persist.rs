@@ -336,6 +336,7 @@ impl Encode for crate::IndexStats {
         self.lookups.encode(out);
         self.hits.encode(out);
         self.misses.encode(out);
+        self.hash_computes.encode(out);
         self.entries.encode(out);
     }
 }
@@ -346,6 +347,7 @@ impl Decode for crate::IndexStats {
             lookups: u64::decode(r)?,
             hits: u64::decode(r)?,
             misses: u64::decode(r)?,
+            hash_computes: u64::decode(r)?,
             entries: usize::decode(r)?,
         })
     }

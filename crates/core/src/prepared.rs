@@ -37,9 +37,9 @@ use cq_logic::canonical::query_fingerprint;
 use cq_logic::treedepth_sentence::{corresponding_sentence_with_forest, TreeDepthSentence};
 use cq_solver::kernel::{
     ForestProgram, ForestRun, KernelSearchStats, SearchProgram, StairProgram, TreeDpProgram,
-    TreeDpRun,
+    TreeDpRun, TreeIncrementalState,
 };
-use cq_solver::{PathDpReport, Semiring};
+use cq_solver::{BoolSemiring, CheckedNatSemiring, Nat, PathDpReport, Semiring};
 use cq_structures::codec::{encode_option_ref, Decode, DecodeError, Encode, Reader};
 use cq_structures::{
     core_of, embedding_exists, homomorphism_exists, Element, Structure, StructureIndex,
@@ -62,12 +62,22 @@ const MAX_KERNEL_BUNDLES: usize = 8;
 /// The compiled kernel programs of one `(plan, database index)` pair, each
 /// slot materialized on first use by the corresponding solver entry point
 /// and reused by every later evaluation against the same index (bundles
-/// are keyed by [`StructureIndex::id`]).
+/// are keyed by `(`[`StructureIndex::id`]`, `[`StructureIndex::domain_epoch`]`)`
+/// — compiled programs bake per-position prefilter domains, which stay
+/// sound supersets across in-place deltas *within* an epoch but must be
+/// recompiled when a delta grows a domain and bumps the epoch).
 ///
 /// Decision programs compile the **evaluated** structure with the decision
 /// certificates; counting programs compile the **original** with the
 /// counting certificates — counting is not core-invariant, so the two
 /// families never share a program even when both are warm.
+///
+/// The two `*_retained` slots carry the incremental DP join tables of
+/// [`TreeDpProgram::eval_retained`]: after [`crate::Engine::apply_delta`]
+/// mutates the index in place, the next tree-DP decide/count patches or
+/// selectively recomputes only the bags a touched relation reaches instead
+/// of re-running the whole DP.  `try_lock` keeps concurrent evaluations
+/// wait-free: a contended caller falls back to a plain stateless pass.
 #[derive(Default)]
 struct IndexKernels {
     tree_decide: OnceLock<TreeDpProgram>,
@@ -78,6 +88,14 @@ struct IndexKernels {
     tree_count: OnceLock<TreeDpProgram>,
     forest_count: OnceLock<ForestProgram>,
     search_original: OnceLock<SearchProgram>,
+    /// Decision stays on [`bool`] deliberately: `CheckedNat` would make
+    /// deltas patchable (⊖ exists), but it prices every *recomputed* bag
+    /// at full counting arithmetic — measurably slower than Bool's
+    /// absorbing ⊕ whenever churn dirties most bags (E21's bulk family).
+    /// Bool recomputes dirty bags cheaply and reuses clean ones, which is
+    /// the better trade on both ends of the churn spectrum.
+    tree_decide_retained: Mutex<Option<TreeIncrementalState<bool>>>,
+    tree_count_retained: Mutex<Option<TreeIncrementalState<Nat>>>,
 }
 
 impl std::fmt::Debug for IndexKernels {
@@ -91,6 +109,20 @@ impl std::fmt::Debug for IndexKernels {
             .field("tree_count", &self.tree_count.get().is_some())
             .field("forest_count", &self.forest_count.get().is_some())
             .field("search_original", &self.search_original.get().is_some())
+            .field(
+                "tree_decide_retained",
+                &self
+                    .tree_decide_retained
+                    .try_lock()
+                    .is_ok_and(|s| s.is_some()),
+            )
+            .field(
+                "tree_count_retained",
+                &self
+                    .tree_count_retained
+                    .try_lock()
+                    .is_ok_and(|s| s.is_some()),
+            )
             .finish()
     }
 }
@@ -126,11 +158,20 @@ pub struct PreparedQuery {
     /// the cache's decision-level alias memoization).
     count_verified_aliases: Mutex<Vec<Structure>>,
     /// Compiled kernel programs per cached database index, keyed by
-    /// [`StructureIndex::id`] with most-recently-used entries at the back.
-    /// A runtime cache of compilation work, never persisted (a warm-started
-    /// plan recompiles on first evaluation, exactly like a cold one).
-    kernels: Mutex<Vec<(u64, Arc<IndexKernels>)>>,
+    /// `(`[`StructureIndex::id`]`, `[`StructureIndex::domain_epoch`]`)` with
+    /// most-recently-used entries at the back — an in-place delta that grows
+    /// a position domain bumps the epoch and transparently recompiles, while
+    /// same-epoch deltas keep every warm program (their baked domains remain
+    /// sound supersets).  A runtime cache of compilation work, never
+    /// persisted (a warm-started plan recompiles on first evaluation,
+    /// exactly like a cold one).
+    kernels: Mutex<Vec<(KernelCacheKey, Arc<IndexKernels>)>>,
 }
+
+/// Cache key for [`PreparedQuery`]'s per-index program bundles: the index's
+/// [`StructureIndex::id`] plus its domain epoch (an epoch bump invalidates
+/// programs whose baked position domains may have grown).
+type KernelCacheKey = (u64, u64);
 
 impl PreparedQuery {
     /// Prepare a query under the given configuration.  This is the one-time
@@ -297,16 +338,20 @@ impl PreparedQuery {
         self.counting_analysis().widths
     }
 
-    /// The kernel-program bundle for one database index, created on first
-    /// sight and LRU-retained up to [`MAX_KERNEL_BUNDLES`] distinct
-    /// indexes.  A poisoned lock only means a panic elsewhere while the
-    /// list was held; the cached programs are still valid.
+    /// The kernel-program bundle for one database index **at its current
+    /// domain epoch**, created on first sight and LRU-retained up to
+    /// [`MAX_KERNEL_BUNDLES`] distinct `(index, epoch)` pairs.  A bundle
+    /// compiled before a domain-growing delta keys under the old epoch and
+    /// ages out of the LRU naturally.  A poisoned lock only means a panic
+    /// elsewhere while the list was held; the cached programs are still
+    /// valid.
     fn kernels_for(&self, index: &StructureIndex) -> Arc<IndexKernels> {
+        let key = (index.id(), index.domain_epoch());
         let mut cache = self
             .kernels
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        if let Some(pos) = cache.iter().position(|(id, _)| *id == index.id()) {
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
             let entry = cache.remove(pos);
             let bundle = Arc::clone(&entry.1);
             cache.push(entry); // most-recently-used at the back
@@ -316,7 +361,7 @@ impl PreparedQuery {
         if cache.len() >= MAX_KERNEL_BUNDLES {
             cache.remove(0); // least-recently-used at the front
         }
-        cache.push((index.id(), Arc::clone(&bundle)));
+        cache.push((key, Arc::clone(&bundle)));
         bundle
     }
 
@@ -343,13 +388,29 @@ impl PreparedQuery {
 
     /// Decide through the kernel tree DP (treewidth tier), compiling the
     /// [`TreeDpProgram`] on first use against this index.
+    ///
+    /// Evaluation is **retained**: the per-edge DP join tables of the last
+    /// run stay on the bundle, so after an in-place
+    /// [`crate::Engine::apply_delta`] only the bags whose constraints
+    /// mention a touched relation re-run (Bool is not invertible, so dirty
+    /// bags recompute rather than patch — see the bundle field docs for
+    /// why that beats a `CheckedNat` decide state).  A concurrent
+    /// evaluation holding the retained state falls back to a plain
+    /// stateless pass.
     pub fn decide_via_tree(&self, index: &StructureIndex) -> TreeDpRun {
-        self.kernels_for(index)
-            .tree_decide
-            .get_or_init(|| {
-                TreeDpProgram::compile(&self.evaluated, index, &self.analysis.tree_decomposition)
-            })
-            .decide(index)
+        let kernels = self.kernels_for(index);
+        let program = kernels.tree_decide.get_or_init(|| {
+            TreeDpProgram::compile(&self.evaluated, index, &self.analysis.tree_decomposition)
+        });
+        if let Ok(mut state) = kernels.tree_decide_retained.try_lock() {
+            let (exists, stats) = program.eval_retained::<BoolSemiring>(index, &mut state);
+            return TreeDpRun {
+                exists,
+                count: Nat::Finite(u64::from(exists)),
+                peak_table: stats.peak_table,
+            };
+        }
+        program.decide(index)
     }
 
     /// Search for a witness through the kernel whole-query program (the
@@ -389,17 +450,28 @@ impl PreparedQuery {
     /// Count through the kernel tree DP, compiling the [`TreeDpProgram`]
     /// of the **original** structure with the counting certificates on
     /// first use against this index.
+    ///
+    /// Retained like [`Self::decide_via_tree`]; counts additionally get the
+    /// subtractive fast path (`CheckedNat` is invertible, so a small delta
+    /// patches group sums by ⊖/⊕ instead of re-enumerating the bag).
     pub fn count_via_tree(&self, index: &StructureIndex) -> TreeDpRun {
-        self.kernels_for(index)
-            .tree_count
-            .get_or_init(|| {
-                TreeDpProgram::compile(
-                    &self.original,
-                    index,
-                    &self.counting_analysis().tree_decomposition,
-                )
-            })
-            .count(index)
+        let kernels = self.kernels_for(index);
+        let program = kernels.tree_count.get_or_init(|| {
+            TreeDpProgram::compile(
+                &self.original,
+                index,
+                &self.counting_analysis().tree_decomposition,
+            )
+        });
+        if let Ok(mut state) = kernels.tree_count_retained.try_lock() {
+            let (count, stats) = program.eval_retained::<CheckedNatSemiring>(index, &mut state);
+            return TreeDpRun {
+                exists: count.positive(),
+                count,
+                peak_table: stats.peak_table,
+            };
+        }
+        program.count(index)
     }
 
     /// Weighted ⊕-aggregate (min-cost, max-weight, …) through the kernel
@@ -823,7 +895,7 @@ mod tests {
             let cache = q.kernels.lock().unwrap();
             let (_, bundle) = cache
                 .iter()
-                .find(|(id, _)| *id == i.id())
+                .find(|(key, _)| key.0 == i.id())
                 .expect("bundle cached");
             Arc::clone(bundle)
         };
@@ -892,9 +964,78 @@ mod tests {
             .lock()
             .unwrap()
             .iter()
-            .all(|(id, _)| *id != index.id()));
+            .all(|(key, _)| key.0 != index.id()));
         assert!(q.decide_via_tree(&index).exists);
         assert!(!Arc::ptr_eq(&bundle, &bundle_of(&index)));
+    }
+
+    #[test]
+    fn in_place_deltas_reuse_warm_tree_programs_until_the_epoch_bumps() {
+        use cq_structures::{
+            count_homomorphisms_bruteforce, DeltaBatch, StructureIndex, Vocabulary,
+        };
+
+        let a = families::star(3);
+        let q = PreparedQuery::prepare(&a, &EngineConfig::default());
+
+        // A K4 on {0..3} plus the isolated element 4: every posting list of
+        // element 4 is empty, so its first tuple later must bump the epoch.
+        let voc = Vocabulary::graph();
+        let e = voc.id_of("E").unwrap();
+        let mut db = Structure::new(voc, 5).unwrap();
+        for u in 0..4 {
+            for v in 0..4 {
+                if u != v {
+                    db.add_tuple(e, vec![u, v]).unwrap();
+                }
+            }
+        }
+        let mut index = StructureIndex::new(&db);
+        let bundle_of = |i: &StructureIndex| -> Arc<IndexKernels> {
+            let cache = q.kernels.lock().unwrap();
+            let (_, bundle) = cache
+                .iter()
+                .find(|(key, _)| *key == (i.id(), i.domain_epoch()))
+                .expect("bundle cached under the current (id, epoch) key");
+            Arc::clone(bundle)
+        };
+        let check = |i: &StructureIndex| {
+            let run = q.count_via_tree(i);
+            assert_eq!(run.exists, q.decide_via_tree(i).exists);
+            assert_eq!(run.count, count_homomorphisms_bruteforce(&a, i.structure()));
+        };
+        check(&index);
+        let warm_bundle = bundle_of(&index);
+        assert!(warm_bundle
+            .tree_count_retained
+            .try_lock()
+            .unwrap()
+            .is_some());
+        let epoch = index.domain_epoch();
+
+        // Same-epoch churn (delete one K4 edge): every touched element keeps
+        // nonempty postings, so the warm bundle — `OnceLock` slots compile
+        // at most once — keeps serving, with retained tables resynced to the
+        // new index version.
+        let mut churn = DeltaBatch::new();
+        churn.delete(e, vec![0, 1]);
+        index.apply_delta(&churn).unwrap();
+        assert_eq!(index.domain_epoch(), epoch);
+        check(&index);
+        assert!(Arc::ptr_eq(&warm_bundle, &bundle_of(&index)));
+        let retained = warm_bundle.tree_count_retained.try_lock().unwrap();
+        assert_eq!(retained.as_ref().unwrap().version(), index.version());
+        drop(retained);
+
+        // Epoch bump (element 4 gains its first tuples): the baked prefilter
+        // domains are stale, so the next evaluation keys a fresh bundle and
+        // recompiles — answers stay right throughout.
+        let mut grow = DeltaBatch::new();
+        grow.insert(e, vec![4, 0]).insert(e, vec![0, 4]);
+        index.apply_delta(&grow).unwrap();
+        assert!(index.domain_epoch() > epoch);
+        check(&index);
+        assert!(!Arc::ptr_eq(&warm_bundle, &bundle_of(&index)));
     }
 
     #[test]

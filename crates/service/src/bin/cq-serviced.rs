@@ -5,6 +5,7 @@
 //! ```text
 //! cq-serviced [--addr HOST:PORT] [--plan-store PATH]
 //!             [--max-connections N] [--queue-depth N] [--coalesce-limit N]
+//!             [--max-in-flight N] [--max-requests-per-second N]
 //! ```
 //!
 //! Prints `cq-serviced listening on <addr>` on stdout once the listener is
@@ -38,7 +39,8 @@ extern "C" fn on_signal(_signum: i32) {
 fn usage() -> ! {
     eprintln!(
         "usage: cq-serviced [--addr HOST:PORT] [--plan-store PATH] \
-         [--max-connections N] [--queue-depth N] [--coalesce-limit N]"
+         [--max-connections N] [--queue-depth N] [--coalesce-limit N] \
+         [--max-in-flight N] [--max-requests-per-second N]"
     );
     std::process::exit(2);
 }
@@ -58,6 +60,12 @@ fn main() {
             "--queue-depth" => config.queue_depth = value().parse().unwrap_or_else(|_| usage()),
             "--coalesce-limit" => {
                 config.coalesce_limit = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--max-in-flight" => {
+                config.max_in_flight_per_connection = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--max-requests-per-second" => {
+                config.max_requests_per_second = value().parse().unwrap_or_else(|_| usage())
             }
             _ => usage(),
         }

@@ -7,7 +7,7 @@
 //! ```text
 //! ┌──────────────┬───────────────────────────────────────────────────────┐
 //! │ body length  │ u32 LE — length of the body (version byte + payload)  │
-//! │ body         │ u8 protocol version (currently 2)                     │
+//! │ body         │ u8 protocol version (currently 3)                     │
 //! │              │ payload: one encoded Request or Response              │
 //! │ checksum     │ u64 LE — FNV-1a over the body                         │
 //! └──────────────┴───────────────────────────────────────────────────────┘
@@ -36,8 +36,10 @@ use std::io::{Read, Write};
 
 /// The one protocol version this build speaks.  Version 2 changed the
 /// encoding of [`CountReport`]'s count to the tagged
-/// [`cq_core::CountOutcome`] (exact-or-overflow) layout.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// [`cq_core::CountOutcome`] (exact-or-overflow) layout.  Version 3 grew
+/// the stats payload: [`ServerCounters::quota_rejections`] and the index
+/// cache's hash-compute meter ([`IndexStats`]).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Default ceiling on a frame body (version byte + payload).  Generous for
 /// the structures this workspace trafficks in, tiny next to what a hostile
@@ -387,6 +389,9 @@ pub struct ServerCounters {
     pub requests: u64,
     /// Requests refused with [`ErrorCode::Busy`] (queue full).
     pub busy_rejections: u64,
+    /// Requests refused by a per-connection quota (in-flight cap or rate
+    /// limit), also answered [`ErrorCode::Busy`].
+    pub quota_rejections: u64,
     /// Frames rejected at the envelope (checksum, size, version, decode).
     pub frame_errors: u64,
     /// Engine fan-outs the dispatcher ran (each covers ≥ 1 request).
@@ -402,6 +407,7 @@ impl Encode for ServerCounters {
         self.connections_rejected.encode(out);
         self.requests.encode(out);
         self.busy_rejections.encode(out);
+        self.quota_rejections.encode(out);
         self.frame_errors.encode(out);
         self.dispatch_rounds.encode(out);
         self.coalesced_requests.encode(out);
@@ -415,6 +421,7 @@ impl Decode for ServerCounters {
             connections_rejected: u64::decode(r)?,
             requests: u64::decode(r)?,
             busy_rejections: u64::decode(r)?,
+            quota_rejections: u64::decode(r)?,
             frame_errors: u64::decode(r)?,
             dispatch_rounds: u64::decode(r)?,
             coalesced_requests: u64::decode(r)?,

@@ -19,6 +19,11 @@
 //!   with an error frame at the door; requests hitting a full job queue are
 //!   answered [`ErrorCode::Busy`] instead of queueing unboundedly; frames
 //!   over `max_frame_len` are rejected before allocation.
+//! * **Per-connection quotas**: each connection is bounded by
+//!   `max_in_flight_per_connection` (engine-bound requests awaiting an
+//!   answer) and `max_requests_per_second` (token bucket) — so one greedy
+//!   pipeliner cannot starve its peers.  Over-quota requests get a typed
+//!   [`ErrorCode::Busy`] answer, never a disconnect.
 //! * **Coalescing**: the dispatcher greedily drains whatever singleton
 //!   decide/count jobs are queued — across *all* connections — and answers
 //!   them through one `solve_batch_instances` / `count_batch` fan-out over
@@ -59,6 +64,16 @@ pub struct ServiceConfig {
     /// Bound on queued (admitted, not yet dispatched) requests across all
     /// connections; overflow is answered [`ErrorCode::Busy`].
     pub queue_depth: usize,
+    /// Per-connection cap on engine-bound requests (decide/count, single
+    /// or batch) admitted but not yet answered.  One greedy pipeliner hits
+    /// this wall before it can monopolize the shared queue; over-quota
+    /// requests are answered [`ErrorCode::Busy`], the connection stays up.
+    pub max_in_flight_per_connection: usize,
+    /// Per-connection request rate limit: a token bucket refilled at this
+    /// many tokens per second (burst capacity of the same size), one token
+    /// per decoded request of any kind.  Over-quota requests are answered
+    /// [`ErrorCode::Busy`], the connection stays up.  `0` disables.
+    pub max_requests_per_second: u32,
     /// Most singleton requests one dispatcher fan-out coalesces.
     pub coalesce_limit: usize,
     /// Patience with a peer that has started a frame but stopped feeding
@@ -75,6 +90,8 @@ impl Default for ServiceConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             max_connections: 64,
             queue_depth: 256,
+            max_in_flight_per_connection: 64,
+            max_requests_per_second: 0,
             coalesce_limit: 64,
             io_timeout: Duration::from_secs(5),
             plan_store: None,
@@ -118,8 +135,68 @@ enum Job {
 /// One slot of a connection's ordered response stream: either ready now
 /// (answered inline by the reader) or owed by the dispatcher.
 enum Pending {
-    Ready(Response),
+    Ready(Box<Response>),
     Waiting(mpsc::Receiver<Response>),
+}
+
+/// Per-connection token bucket: `rate` tokens per second refill, burst
+/// capacity of one second's worth.  Lives on the reader thread.
+struct RateLimiter {
+    rate: f64,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl RateLimiter {
+    fn new(rate_per_second: u32) -> Option<RateLimiter> {
+        (rate_per_second > 0).then(|| RateLimiter {
+            rate: f64::from(rate_per_second),
+            tokens: f64::from(rate_per_second),
+            refilled: Instant::now(),
+        })
+    }
+
+    /// Draw one token if the bucket (after refill) holds one.
+    fn admit(&mut self) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.refilled).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.rate);
+        self.refilled = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One connection's in-flight accounting: reservations are taken on the
+/// reader thread (before a job is enqueued) and released on the writer
+/// thread (once the dispatcher's answer has been collected), so the count
+/// is exactly the engine-bound requests this connection is still owed.
+struct ConnQuota {
+    in_flight: Arc<AtomicUsize>,
+    max_in_flight: usize,
+}
+
+impl ConnQuota {
+    /// Reserve an in-flight slot.  Only the reader thread increments, so
+    /// load-then-add is race-free: concurrent writer decrements can only
+    /// make room, never oversubscribe.
+    fn try_reserve(&self) -> bool {
+        if self.in_flight.load(Ordering::Acquire) >= self.max_in_flight {
+            return false;
+        }
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Give a reservation back without dispatching (the job was refused
+    /// downstream or failed to resolve).
+    fn release(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 #[derive(Default)]
@@ -128,6 +205,7 @@ struct Counters {
     connections_rejected: AtomicU64,
     requests: AtomicU64,
     busy_rejections: AtomicU64,
+    quota_rejections: AtomicU64,
     frame_errors: AtomicU64,
     dispatch_rounds: AtomicU64,
     coalesced_requests: AtomicU64,
@@ -140,6 +218,7 @@ impl Counters {
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
             frame_errors: self.frame_errors.load(Ordering::Relaxed),
             dispatch_rounds: self.dispatch_rounds.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
@@ -426,9 +505,15 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         Err(_) => return,
     };
     let (pending_tx, pending_rx) = mpsc::channel::<Pending>();
+    let quota = ConnQuota {
+        in_flight: Arc::new(AtomicUsize::new(0)),
+        max_in_flight: shared.config.max_in_flight_per_connection,
+    };
+    let mut limiter = RateLimiter::new(shared.config.max_requests_per_second);
     let writer = {
         let shared = Arc::clone(shared);
-        std::thread::spawn(move || write_loop(&shared, write_half, pending_rx))
+        let in_flight = Arc::clone(&quota.in_flight);
+        std::thread::spawn(move || write_loop(&shared, write_half, pending_rx, &in_flight))
     };
 
     let mut reader = FrameSource {
@@ -445,8 +530,28 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         match outcome {
             Ok(Ok(request)) => {
                 shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                if let Some(limiter) = limiter.as_mut() {
+                    if !limiter.admit() {
+                        shared
+                            .counters
+                            .quota_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        let busy = Response::Error {
+                            code: ErrorCode::Busy,
+                            message: format!(
+                                "request rate quota ({}/s) exceeded; retry later",
+                                shared.config.max_requests_per_second
+                            ),
+                            offset: None,
+                        };
+                        if pending_tx.send(Pending::Ready(Box::new(busy))).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                }
                 let is_shutdown = matches!(request, Request::Shutdown);
-                match handle_request(shared, request) {
+                match handle_request(shared, &quota, request) {
                     Some(pending) => {
                         if pending_tx.send(pending).is_err() {
                             break; // writer gone (peer stopped reading)
@@ -468,7 +573,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     message: decode_err.error.to_string(),
                     offset: Some(decode_err.offset as u64),
                 };
-                if pending_tx.send(Pending::Ready(error)).is_err() {
+                if pending_tx.send(Pending::Ready(Box::new(error))).is_err() {
                     break;
                 }
             }
@@ -482,11 +587,11 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             ) => {
                 shared.counters.frame_errors.fetch_add(1, Ordering::Relaxed);
                 log_line(&format!("closing connection: {e}"));
-                let _ = pending_tx.send(Pending::Ready(Response::Error {
+                let _ = pending_tx.send(Pending::Ready(Box::new(Response::Error {
                     code: ErrorCode::Malformed,
                     message: e.to_string(),
                     offset: None,
-                }));
+                })));
                 break;
             }
             // Disconnects, mid-frame stalls past the deadline, transport
@@ -559,26 +664,59 @@ impl std::io::Read for FrameSource<'_> {
     }
 }
 
+/// Submit one engine-bound job under the connection's in-flight quota:
+/// reserve a slot, build the job (resolving query specs), enqueue it.
+/// Any refusal — quota, resolution, queue admission — hands the slot back
+/// and answers inline; the connection always survives.
+fn submit_job(
+    shared: &Arc<Shared>,
+    quota: &ConnQuota,
+    build: impl FnOnce(mpsc::Sender<Response>) -> Result<Job, Box<Response>>,
+) -> Pending {
+    if !quota.try_reserve() {
+        shared
+            .counters
+            .quota_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return Pending::Ready(Box::new(Response::Error {
+            code: ErrorCode::Busy,
+            message: format!(
+                "in-flight quota ({} requests per connection) reached; retry later",
+                quota.max_in_flight
+            ),
+            offset: None,
+        }));
+    }
+    let (reply, rx) = mpsc::channel();
+    match build(reply).and_then(|job| shared.enqueue(job)) {
+        Ok(()) => Pending::Waiting(rx),
+        Err(error) => {
+            quota.release();
+            Pending::Ready(error)
+        }
+    }
+}
+
 /// Handle one decoded request on the reader thread.  Cheap requests are
 /// answered inline ([`Pending::Ready`]); engine work is enqueued for the
 /// dispatcher and owed through a reply channel.  `None` means the
 /// connection should close (writer already owed nothing more).
-fn handle_request(shared: &Arc<Shared>, request: Request) -> Option<Pending> {
+fn handle_request(shared: &Arc<Shared>, quota: &ConnQuota, request: Request) -> Option<Pending> {
     match request {
-        Request::Ping => Some(Pending::Ready(Response::Pong)),
-        Request::Stats => Some(Pending::Ready(Response::Stats(shared.stats()))),
+        Request::Ping => Some(Pending::Ready(Box::new(Response::Pong))),
+        Request::Stats => Some(Pending::Ready(Box::new(Response::Stats(shared.stats())))),
         Request::Shutdown => {
             // Acknowledge first so the requester gets a clean answer, then
             // flip the flag: accept stops, queued work drains, the caller's
             // `Server::shutdown` (or the daemon main loop) saves plans.
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue_signal.notify_all();
-            Some(Pending::Ready(Response::ShuttingDown))
+            Some(Pending::Ready(Box::new(Response::ShuttingDown)))
         }
         Request::Register { query } => {
             let plan = match shared.resolve(QuerySpec::Inline(query)) {
                 Ok(plan) => plan,
-                Err(error) => return Some(Pending::Ready(*error)),
+                Err(error) => return Some(Pending::Ready(error)),
             };
             let id = shared.next_query_id.fetch_add(1, Ordering::Relaxed);
             let fingerprint = plan.fingerprint();
@@ -587,58 +725,37 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Option<Pending> {
                 .lock()
                 .expect("registered map lock")
                 .insert(id, plan);
-            Some(Pending::Ready(Response::Registered { id, fingerprint }))
+            Some(Pending::Ready(Box::new(Response::Registered {
+                id,
+                fingerprint,
+            })))
         }
-        Request::Decide { query, database } => {
-            let plan = match shared.resolve(query) {
-                Ok(plan) => plan,
-                Err(error) => return Some(Pending::Ready(*error)),
-            };
-            let (reply, rx) = mpsc::channel();
-            match shared.enqueue(Job::Decide {
-                query: plan,
+        Request::Decide { query, database } => Some(submit_job(shared, quota, |reply| {
+            Ok(Job::Decide {
+                query: shared.resolve(query)?,
                 database,
                 reply,
-            }) {
-                Ok(()) => Some(Pending::Waiting(rx)),
-                Err(error) => Some(Pending::Ready(*error)),
-            }
-        }
-        Request::Count { query, database } => {
-            let plan = match shared.resolve(query) {
-                Ok(plan) => plan,
-                Err(error) => return Some(Pending::Ready(*error)),
-            };
-            let (reply, rx) = mpsc::channel();
-            match shared.enqueue(Job::Count {
-                query: plan,
+            })
+        })),
+        Request::Count { query, database } => Some(submit_job(shared, quota, |reply| {
+            Ok(Job::Count {
+                query: shared.resolve(query)?,
                 database,
                 reply,
-            }) {
-                Ok(()) => Some(Pending::Waiting(rx)),
-                Err(error) => Some(Pending::Ready(*error)),
-            }
-        }
-        Request::DecideBatch { items } => match resolve_items(shared, items) {
-            Ok(items) => {
-                let (reply, rx) = mpsc::channel();
-                match shared.enqueue(Job::DecideBatch { items, reply }) {
-                    Ok(()) => Some(Pending::Waiting(rx)),
-                    Err(error) => Some(Pending::Ready(*error)),
-                }
-            }
-            Err(error) => Some(Pending::Ready(*error)),
-        },
-        Request::CountBatch { items } => match resolve_items(shared, items) {
-            Ok(items) => {
-                let (reply, rx) = mpsc::channel();
-                match shared.enqueue(Job::CountBatch { items, reply }) {
-                    Ok(()) => Some(Pending::Waiting(rx)),
-                    Err(error) => Some(Pending::Ready(*error)),
-                }
-            }
-            Err(error) => Some(Pending::Ready(*error)),
-        },
+            })
+        })),
+        Request::DecideBatch { items } => Some(submit_job(shared, quota, |reply| {
+            Ok(Job::DecideBatch {
+                items: resolve_items(shared, items)?,
+                reply,
+            })
+        })),
+        Request::CountBatch { items } => Some(submit_job(shared, quota, |reply| {
+            Ok(Job::CountBatch {
+                items: resolve_items(shared, items)?,
+                reply,
+            })
+        })),
     }
 }
 
@@ -653,19 +770,29 @@ fn resolve_items(
 }
 
 /// Writer thread: emit responses in request order, resolving dispatcher
-/// promises as they land.  A write failure (or a reply channel whose
-/// dispatcher side vanished) shuts the socket down, which unblocks the
-/// reader.
-fn write_loop(shared: &Arc<Shared>, mut stream: TcpStream, pending: mpsc::Receiver<Pending>) {
+/// promises as they land.  Each resolved promise releases one of the
+/// connection's in-flight quota slots.  A write failure (or a reply
+/// channel whose dispatcher side vanished) shuts the socket down, which
+/// unblocks the reader.
+fn write_loop(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    pending: mpsc::Receiver<Pending>,
+    in_flight: &AtomicUsize,
+) {
     let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
     while let Ok(next) = pending.recv() {
         let response = match next {
-            Pending::Ready(r) => r,
-            Pending::Waiting(rx) => rx.recv().unwrap_or(Response::Error {
-                code: ErrorCode::Internal,
-                message: "request dropped during dispatch".to_string(),
-                offset: None,
-            }),
+            Pending::Ready(r) => *r,
+            Pending::Waiting(rx) => {
+                let answer = rx.recv().unwrap_or(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "request dropped during dispatch".to_string(),
+                    offset: None,
+                });
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+                answer
+            }
         };
         if write_response(&mut stream, &response).is_err() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -675,6 +802,7 @@ fn write_loop(shared: &Arc<Shared>, mut stream: TcpStream, pending: mpsc::Receiv
             for rest in pending.iter() {
                 if let Pending::Waiting(rx) = rest {
                     let _ = rx.recv();
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
                 }
             }
             return;

@@ -184,6 +184,101 @@ fn connections_over_the_limit_are_refused_at_the_door() {
 }
 
 #[test]
+fn in_flight_quota_answers_busy_and_keeps_the_connection() {
+    let server = start_server(ServiceConfig {
+        max_in_flight_per_connection: 1,
+        ..test_config()
+    });
+    let mut client = connect(&server);
+    let query = families::cycle(5);
+    let database = cq_workloads::random_graph_structure(120, 0.15, 7);
+
+    // An 8-deep pipeline against a 1-slot quota: the first request is
+    // always admitted (nothing in flight yet); anything decoded while an
+    // earlier answer is still owed bounces with a typed Busy.
+    const WINDOW: usize = 8;
+    for _ in 0..WINDOW {
+        client
+            .send(&Request::Count {
+                query: QuerySpec::Inline(query.clone()),
+                database: database.clone(),
+            })
+            .expect("send");
+    }
+    let mut answered = 0u32;
+    let mut busy = 0u32;
+    for i in 0..WINDOW {
+        match client.receive().expect("in-order response") {
+            Response::Count(_) => answered += 1,
+            Response::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::Busy, "quota refusals are typed Busy");
+                busy += 1;
+            }
+            other => panic!("response {i}: expected Count or Busy, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        answered + busy,
+        WINDOW as u32,
+        "every request gets an answer"
+    );
+    assert!(answered >= 1, "the first request is always admitted");
+    assert!(
+        busy >= 1,
+        "an 8-deep pipeline against a 1-slot quota must overflow"
+    );
+    // The refusals were request-level: the connection still works, and the
+    // freed quota slot admits engine work again.
+    client.ping().expect("connection survives the quota");
+    client
+        .count(QuerySpec::Inline(query), &database)
+        .expect("quota slot freed after the pipeline drained");
+    assert!(
+        server.stats().server.quota_rejections >= u64::from(busy),
+        "quota refusals are counted separately from queue-full Busy"
+    );
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn rate_quota_answers_busy_and_refills() {
+    let server = start_server(ServiceConfig {
+        max_requests_per_second: 2,
+        ..test_config()
+    });
+    let mut client = connect(&server);
+
+    // Burst capacity equals the rate: of six back-to-back pings, the
+    // first two are always admitted and at least one later ping must hit
+    // an empty bucket (refilling 1 token takes 0.5 s at 2/s).
+    for _ in 0..6 {
+        client.send(&Request::Ping).expect("send");
+    }
+    let mut pongs = 0u32;
+    let mut busy = 0u32;
+    for i in 0..6 {
+        match client.receive().expect("in-order response") {
+            Response::Pong => pongs += 1,
+            Response::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::Busy, "rate refusals are typed Busy");
+                busy += 1;
+            }
+            other => panic!("response {i}: expected Pong or Busy, got {other:?}"),
+        }
+    }
+    assert!(pongs >= 2, "the burst capacity admits the first two");
+    assert!(busy >= 1, "a six-ping burst against 2/s must be throttled");
+    // The bucket refills: after a full second this connection holds at
+    // least one token again (sleep lower-bounds the elapsed refill time).
+    std::thread::sleep(Duration::from_millis(1100));
+    client
+        .ping()
+        .expect("the bucket refilled; same connection serves");
+    assert!(server.stats().server.quota_rejections >= u64::from(busy));
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
 fn concurrent_clients_all_get_correct_answers() {
     let server = start_server(test_config());
     let addr = server.local_addr();

@@ -64,7 +64,7 @@
 
 use cq_decomp::{EliminationForest, PathDecomposition, TreeDecomposition};
 use cq_structures::SymbolId;
-use cq_structures::{Element, Structure, StructureIndex, TupleWeights};
+use cq_structures::{AppliedDelta, Element, Structure, StructureIndex, TupleWeights};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -262,6 +262,14 @@ impl<V> GroupTable<V> {
     pub fn get(&self, key: &[u32]) -> Option<&V> {
         debug_assert_eq!(key.len(), self.stride);
         self.find(key).1.map(|g| &self.values[g])
+    }
+
+    /// Mutable access to the value stored under `key`, if any — the
+    /// in-place patch path of the incremental evaluator.
+    #[inline]
+    pub fn get_mut(&mut self, key: &[u32]) -> Option<&mut V> {
+        debug_assert_eq!(key.len(), self.stride);
+        self.find(key).1.map(|g| &mut self.values[g])
     }
 
     /// Fold `value` into the group at `key`: combine with the existing
@@ -513,11 +521,13 @@ impl BagProgram {
 /// the row projected onto `key_depths`; the row survives only if the key is
 /// present in the table, and its value multiplies into the accumulator.
 /// `depth` is the deepest key variable, so the join fires as early as the
-/// separator is fully assigned.
-struct Join<V> {
+/// separator is fully assigned.  The table is borrowed, not owned, so the
+/// incremental evaluator can join against group tables it retains across
+/// calls.
+struct Join<'a, V> {
     depth: usize,
     key_depths: Vec<u32>,
-    table: GroupTable<V>,
+    table: &'a GroupTable<V>,
 }
 
 /// Try one candidate at `depth`: write it into the row, run the anchored
@@ -529,7 +539,7 @@ fn try_candidate<S: Semiring>(
     index: &StructureIndex,
     weights: Option<&TupleWeights>,
     joins_at: &[Vec<usize>],
-    joins: &[Join<S::Value>],
+    joins: &[Join<'_, S::Value>],
     depth: usize,
     candidate: u32,
     row: &mut [u32],
@@ -584,7 +594,7 @@ fn enumerate<S: Semiring>(
     index: &StructureIndex,
     weights: Option<&TupleWeights>,
     joins_at: &[Vec<usize>],
-    joins: &[Join<S::Value>],
+    joins: &[Join<'_, S::Value>],
     depth: usize,
     row: &mut [u32],
     args: &mut Vec<u32>,
@@ -660,7 +670,7 @@ fn run_program<S: Semiring>(
     program: &BagProgram,
     index: &StructureIndex,
     weights: Option<&TupleWeights>,
-    joins: Vec<Join<S::Value>>,
+    joins: &[Join<'_, S::Value>],
     emit: &mut impl FnMut(&[u32], S::Value) -> bool,
     initial_acc: S::Value,
 ) {
@@ -683,7 +693,7 @@ fn run_program<S: Semiring>(
         index,
         weights,
         &joins_at,
-        &joins,
+        joins,
         0,
         &mut row,
         &mut args,
@@ -904,7 +914,8 @@ impl TreeDpProgram {
         }
         let mut tables: Vec<Option<BagTable<S::Value>>> = (0..self.n_bags).map(|_| None).collect();
         for bag in &self.bags {
-            let mut joins: Vec<Join<S::Value>> = Vec::with_capacity(bag.edges.len());
+            let mut group_tables: Vec<GroupTable<S::Value>> = Vec::with_capacity(bag.edges.len());
+            let mut join_specs: Vec<(usize, &[u32])> = Vec::with_capacity(bag.edges.len());
             let mut initial_acc = S::one();
             let mut dead = false;
             for edge in &bag.edges {
@@ -919,12 +930,18 @@ impl TreeDpProgram {
                     }
                     continue;
                 }
-                joins.push(Join {
-                    depth: edge.depth,
-                    key_depths: edge.key_depths.clone(),
-                    table,
-                });
+                join_specs.push((edge.depth, &edge.key_depths));
+                group_tables.push(table);
             }
+            let joins: Vec<Join<'_, S::Value>> = join_specs
+                .into_iter()
+                .zip(group_tables.iter())
+                .map(|((depth, key_depths), table)| Join {
+                    depth,
+                    key_depths: key_depths.to_vec(),
+                    table,
+                })
+                .collect();
             if bag.is_root {
                 // The root's rows are only ever ⊕-folded — accumulate
                 // directly, early-exiting once the total absorbs.
@@ -935,7 +952,7 @@ impl TreeDpProgram {
                         &bag.program,
                         index,
                         weights,
-                        joins,
+                        &joins,
                         &mut |_, acc| {
                             if S::is_zero(&acc) {
                                 return false;
@@ -960,7 +977,7 @@ impl TreeDpProgram {
                     &bag.program,
                     index,
                     weights,
-                    joins,
+                    &joins,
                     &mut |row, acc| {
                         if !S::is_zero(&acc) {
                             table.rows.extend_from_slice(row);
@@ -978,6 +995,646 @@ impl TreeDpProgram {
             tables[bag.id] = Some(table);
         }
         unreachable!("the root bag is last in children-before-parents order")
+    }
+}
+
+/// Retained evaluation state of one `(TreeDpProgram, semiring)` pair: the
+/// per-edge separator group tables of every non-root bag plus the root
+/// total, stamped with the index version (and domain epoch) they reflect.
+///
+/// [`TreeDpProgram::eval_retained`] builds this on first call and then
+/// catches it up through the index's mutation log: only bags whose
+/// constraints mention a touched relation (or whose child tables changed)
+/// are re-evaluated, everything else is reused as-is.  Unweighted
+/// semirings only — weights are per-call, so a retained table would pin
+/// one weighting.
+pub struct TreeIncrementalState<V> {
+    /// The [`StructureIndex::version`] these tables were computed at.
+    version: u64,
+    /// The [`StructureIndex::domain_epoch`] the program's baked domains
+    /// assume; an epoch bump invalidates the whole state.
+    epoch: u64,
+    /// Per bag id: the ⊕-group table toward the parent edge (`None` for
+    /// the root).
+    edge_tables: Vec<Option<GroupTable<V>>>,
+    /// The ⊕-total at the root.
+    root_value: V,
+}
+
+impl<V> TreeIncrementalState<V> {
+    /// The index version this state is synchronized with.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The retained root aggregate.
+    pub fn root_value(&self) -> &V {
+        &self.root_value
+    }
+}
+
+/// Metering of one [`TreeDpProgram::eval_retained`] call: how much of the
+/// retained state survived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetainedEvalStats {
+    /// The state was (re)built from scratch — first call, an epoch bump,
+    /// or a mutation-log gap.
+    pub full_rebuild: bool,
+    /// Bags whose retained tables were reused untouched.
+    pub bags_reused: usize,
+    /// Bags patched in place by ⊖/⊕ of delta contributions.
+    pub bags_patched: usize,
+    /// Bags re-enumerated from scratch.
+    pub bags_recomputed: usize,
+    /// Largest bag table materialized by this call.
+    pub peak_table: usize,
+}
+
+/// The join environment of one bag against the retained child tables:
+/// borrow-joins plus the folded constant factor of independent components.
+struct RetainedJoins<'t, V> {
+    joins: Vec<Join<'t, V>>,
+    initial_acc: V,
+    /// Some independent child has ⊕-total zero — every row of this bag is
+    /// dead.
+    dead: bool,
+}
+
+fn retained_join_setup<'t, S: Semiring>(
+    bag: &TreeBag,
+    edge_tables: &'t [Option<GroupTable<S::Value>>],
+) -> RetainedJoins<'t, S::Value> {
+    let mut joins = Vec::with_capacity(bag.edges.len());
+    let mut initial_acc = S::one();
+    let mut dead = false;
+    for edge in &bag.edges {
+        let table = edge_tables[edge.child]
+            .as_ref()
+            .expect("children before parents");
+        if edge.key_depths.is_empty() {
+            match table.get(&[]) {
+                Some(sum) if !S::is_zero(sum) => initial_acc = S::mul(&initial_acc, sum),
+                _ => dead = true,
+            }
+            continue;
+        }
+        joins.push(Join {
+            depth: edge.depth,
+            key_depths: edge.key_depths.clone(),
+            table,
+        });
+    }
+    RetainedJoins {
+        joins,
+        initial_acc,
+        dead,
+    }
+}
+
+/// What one full bag evaluation produced.
+enum BagOutcome<V> {
+    /// The root's ⊕-total.
+    Root(V),
+    /// A non-root bag's group table toward its parent edge.
+    Table(GroupTable<V>),
+}
+
+/// Fully evaluate one bag against the retained child tables: the root
+/// folds to its total, every other bag materializes its rows and
+/// group-sums them onto the parent separator.  Unlike the one-shot
+/// [`TreeDpProgram::eval`], an empty table does **not** abort the caller —
+/// later refreshes need every bag's table to exist.
+fn compute_bag_retained<S: Semiring>(
+    bag: &TreeBag,
+    index: &StructureIndex,
+    edge_tables: &[Option<GroupTable<S::Value>>],
+    parent_positions: Option<&[u32]>,
+) -> (BagOutcome<S::Value>, usize) {
+    let setup = retained_join_setup::<S>(bag, edge_tables);
+    if bag.is_root {
+        let mut total = S::zero();
+        let mut rows = 0usize;
+        if !setup.dead {
+            run_program::<S>(
+                &bag.program,
+                index,
+                None,
+                &setup.joins,
+                &mut |_, acc| {
+                    if S::is_zero(&acc) {
+                        return false;
+                    }
+                    rows += 1;
+                    total = S::add(&total, &acc);
+                    S::is_add_absorbing(&total)
+                },
+                setup.initial_acc,
+            );
+        }
+        return (BagOutcome::Root(total), rows);
+    }
+    let mut table = BagTable {
+        stride: bag.program.elems.len(),
+        rows: Vec::new(),
+        values: Vec::new(),
+    };
+    if !setup.dead {
+        run_program::<S>(
+            &bag.program,
+            index,
+            None,
+            &setup.joins,
+            &mut |row, acc| {
+                if !S::is_zero(&acc) {
+                    table.rows.extend_from_slice(row);
+                    table.values.push(acc);
+                }
+                false
+            },
+            setup.initial_acc,
+        );
+    }
+    let rows = table.len();
+    let positions = parent_positions.expect("non-root bags have a parent edge");
+    (BagOutcome::Table(table.group_sums::<S>(positions)), rows)
+}
+
+/// Whether two group tables agree on every key with a nonzero value
+/// (zero-valued entries — left behind by in-place ⊖-patches — are
+/// semantically absent).
+fn tables_agree_modulo_zeros<S: Semiring>(
+    a: &GroupTable<S::Value>,
+    b: &GroupTable<S::Value>,
+) -> bool {
+    let nonzero = |t: &GroupTable<S::Value>| t.iter().filter(|(_, v)| !S::is_zero(v)).count();
+    nonzero(a) == nonzero(b)
+        && a.iter()
+            .filter(|(_, v)| !S::is_zero(v))
+            .all(|(k, v)| b.get(k) == Some(v))
+}
+
+/// Map the pinned constraint's argument depths to the concrete elements of
+/// one delta tuple.  `None` when the constraint repeats a variable the
+/// tuple maps to two different elements — no row of the bag can ever bind
+/// the constraint to that tuple.
+fn pin_tuple(c: &Constraint, tuple: &[u32], depths: usize) -> Option<Vec<Option<u32>>> {
+    let mut pins = vec![None; depths];
+    for (q, &d) in c.arg_depths.iter().enumerate() {
+        match pins[d as usize] {
+            None => pins[d as usize] = Some(tuple[q]),
+            Some(prev) if prev == tuple[q] => {}
+            Some(_) => return None,
+        }
+    }
+    Some(pins)
+}
+
+/// The candidate handler of [`enumerate_pinned`]: place `candidate`, run
+/// the anchored checks (skipping the pinned constraint when its tuple was
+/// deleted), multiply the joins, recurse.  Returns `true` to stop the
+/// whole enumeration.
+#[allow(clippy::too_many_arguments)]
+fn pinned_candidate<S: Semiring>(
+    program: &BagProgram,
+    index: &StructureIndex,
+    joins_at: &[Vec<usize>],
+    joins: &[Join<'_, S::Value>],
+    pins: &[Option<u32>],
+    skip: Option<(usize, usize)>,
+    depth: usize,
+    candidate: u32,
+    row: &mut [u32],
+    args: &mut Vec<u32>,
+    key: &mut Vec<u32>,
+    acc: &S::Value,
+    emit: &mut impl FnMut(&[u32], S::Value) -> bool,
+) -> bool {
+    row[depth] = candidate;
+    for (i, c) in program.checks[depth].iter().enumerate() {
+        if skip == Some((depth, i)) {
+            continue;
+        }
+        args.clear();
+        args.extend(c.arg_depths.iter().map(|&d| row[d as usize]));
+        if !index.contains(c.sym, args) {
+            return false;
+        }
+    }
+    let mut next_acc = acc.clone();
+    for &j in &joins_at[depth] {
+        let join = &joins[j];
+        key.clear();
+        key.extend(join.key_depths.iter().map(|&d| row[d as usize]));
+        match join.table.get(key.as_slice()) {
+            Some(v) => next_acc = S::mul(&next_acc, v),
+            None => return false,
+        }
+    }
+    enumerate_pinned::<S>(
+        program,
+        index,
+        joins_at,
+        joins,
+        pins,
+        skip,
+        depth + 1,
+        row,
+        args,
+        key,
+        &next_acc,
+        emit,
+    )
+}
+
+/// [`enumerate`] with some depths pinned to fixed images: pinned depths
+/// take exactly their candidate, free depths scan their prefilter domain.
+/// Drivers are not used — delta enumerations are tiny and the pinned
+/// constraint's tuple may no longer be in the index.  Unweighted semirings
+/// only.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_pinned<S: Semiring>(
+    program: &BagProgram,
+    index: &StructureIndex,
+    joins_at: &[Vec<usize>],
+    joins: &[Join<'_, S::Value>],
+    pins: &[Option<u32>],
+    skip: Option<(usize, usize)>,
+    depth: usize,
+    row: &mut [u32],
+    args: &mut Vec<u32>,
+    key: &mut Vec<u32>,
+    acc: &S::Value,
+    emit: &mut impl FnMut(&[u32], S::Value) -> bool,
+) -> bool {
+    if depth == program.elems.len() {
+        return emit(row, acc.clone());
+    }
+    if let Some(v) = pins[depth] {
+        // A pinned image outside the baked domain admits no rows (baked
+        // domains stay supersets of the live ones within an epoch).
+        if program.domains[depth].binary_search(&v).is_err() {
+            return false;
+        }
+        return pinned_candidate::<S>(
+            program, index, joins_at, joins, pins, skip, depth, v, row, args, key, acc, emit,
+        );
+    }
+    for &candidate in &program.domains[depth] {
+        if pinned_candidate::<S>(
+            program, index, joins_at, joins, pins, skip, depth, candidate, row, args, key, acc,
+            emit,
+        ) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Where a delta patch lands: a non-root bag's parent-edge group table, or
+/// the root total itself.
+enum PatchTarget<'a, V> {
+    Edge {
+        table: &'a mut GroupTable<V>,
+        positions: &'a [u32],
+    },
+    Root(&'a mut V),
+}
+
+/// Patch one bag's retained aggregate in place from a single mutation
+/// round: for every deleted tuple of the pinned constraint's relation,
+/// enumerate the rows that bound the constraint to it (they were valid
+/// before the round, the other checks are untouched) and ⊖ their
+/// contributions; for every inserted tuple, enumerate and ⊕.  Records the
+/// pre-patch value of every touched key and sets `changed` only when some
+/// key's value genuinely moved (modulo zeros), so a round that cancels
+/// out stops propagating to the parent.  Returns `false` when a
+/// subtraction cannot be answered exactly — the caller must fully
+/// recompute the bag (the half-patched target is discarded).
+fn patch_bag<S: Semiring>(
+    bag: &TreeBag,
+    index: &StructureIndex,
+    round: &AppliedDelta,
+    pinned_at: (usize, usize),
+    edge_tables: &[Option<GroupTable<S::Value>>],
+    mut target: PatchTarget<'_, S::Value>,
+    changed: &mut bool,
+) -> bool {
+    let setup = retained_join_setup::<S>(bag, edge_tables);
+    if setup.dead {
+        // Every row of this bag is annihilated by an empty independent
+        // component, before and after the round alike.
+        *changed = false;
+        return true;
+    }
+    let mut joins_at: Vec<Vec<usize>> = vec![Vec::new(); bag.program.elems.len().max(1)];
+    for (j, join) in setup.joins.iter().enumerate() {
+        joins_at[join.depth].push(j);
+    }
+    let c = &bag.program.checks[pinned_at.0][pinned_at.1];
+    let n = bag.program.elems.len();
+    let mut row = vec![0u32; n];
+    let mut args = Vec::with_capacity(bag.program.max_arity);
+    let mut key = Vec::new();
+    let mut pkey: Vec<u32> = Vec::new();
+    // Pre-patch values of the keys this round touches (`None` = the key
+    // was absent), recorded on first touch — O(delta), not O(table).
+    let mut pre: Vec<(Vec<u32>, Option<S::Value>)> = Vec::new();
+    let pre_root = match &target {
+        PatchTarget::Root(total) => Some((*total).clone()),
+        PatchTarget::Edge { .. } => None,
+    };
+    let mut ok = true;
+    for (sym, _, tuple) in round.deletions() {
+        if *sym != c.sym {
+            continue;
+        }
+        let Some(pins) = pin_tuple(c, tuple, n) else {
+            continue;
+        };
+        enumerate_pinned::<S>(
+            &bag.program,
+            index,
+            &joins_at,
+            &setup.joins,
+            &pins,
+            Some(pinned_at),
+            0,
+            &mut row,
+            &mut args,
+            &mut key,
+            &setup.initial_acc,
+            &mut |r, acc| {
+                if S::is_zero(&acc) {
+                    return false;
+                }
+                let applied = match &mut target {
+                    PatchTarget::Edge { table, positions } => {
+                        pkey.clear();
+                        pkey.extend(positions.iter().map(|&p| r[p as usize]));
+                        if !pre.iter().any(|(k, _)| k == &pkey) {
+                            pre.push((pkey.clone(), table.get(&pkey).cloned()));
+                        }
+                        match table.get_mut(&pkey) {
+                            Some(slot) => match S::sub(slot, &acc) {
+                                Some(left) => {
+                                    *slot = left;
+                                    true
+                                }
+                                None => false,
+                            },
+                            None => false,
+                        }
+                    }
+                    PatchTarget::Root(total) => match S::sub(total, &acc) {
+                        Some(left) => {
+                            **total = left;
+                            true
+                        }
+                        None => false,
+                    },
+                };
+                if !applied {
+                    ok = false;
+                }
+                !applied
+            },
+        );
+        if !ok {
+            return false;
+        }
+    }
+    for (sym, tuple) in round.insertions() {
+        if *sym != c.sym {
+            continue;
+        }
+        let Some(pins) = pin_tuple(c, tuple, n) else {
+            continue;
+        };
+        enumerate_pinned::<S>(
+            &bag.program,
+            index,
+            &joins_at,
+            &setup.joins,
+            &pins,
+            None,
+            0,
+            &mut row,
+            &mut args,
+            &mut key,
+            &setup.initial_acc,
+            &mut |r, acc| {
+                if S::is_zero(&acc) {
+                    return false;
+                }
+                match &mut target {
+                    PatchTarget::Edge { table, positions } => {
+                        pkey.clear();
+                        pkey.extend(positions.iter().map(|&p| r[p as usize]));
+                        if !pre.iter().any(|(k, _)| k == &pkey) {
+                            pre.push((pkey.clone(), table.get(&pkey).cloned()));
+                        }
+                        table.merge(&pkey, acc, |a, v| *a = S::add(a, &v));
+                    }
+                    PatchTarget::Root(total) => **total = S::add(total, &acc),
+                }
+                false
+            },
+        );
+    }
+    *changed = match (&target, pre_root) {
+        (PatchTarget::Root(total), Some(before)) => **total != before,
+        _ => {
+            let PatchTarget::Edge { table, .. } = &target else {
+                unreachable!("pre_root is Some exactly for the root target")
+            };
+            pre.iter().any(|(k, before)| {
+                let now = table.get(k).filter(|v| !S::is_zero(v));
+                let before = before.as_ref().filter(|v| !S::is_zero(v));
+                now != before
+            })
+        }
+    };
+    true
+}
+
+impl TreeDpProgram {
+    /// Per bag id, the separator positions (in the bag's own row order)
+    /// toward its parent edge; `None` for the root.
+    fn parent_positions(&self) -> Vec<Option<&[u32]>> {
+        let mut out: Vec<Option<&[u32]>> = vec![None; self.n_bags];
+        for bag in &self.bags {
+            for e in &bag.edges {
+                out[e.child] = Some(&e.child_positions);
+            }
+        }
+        out
+    }
+
+    /// Build the retained state from scratch (every bag evaluated once).
+    fn build_retained<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        stats: &mut RetainedEvalStats,
+    ) -> TreeIncrementalState<S::Value> {
+        let mut st = TreeIncrementalState {
+            version: index.version(),
+            epoch: index.domain_epoch(),
+            edge_tables: (0..self.n_bags).map(|_| None).collect(),
+            root_value: S::zero(),
+        };
+        stats.full_rebuild = true;
+        let parent_pos = self.parent_positions();
+        for bag in &self.bags {
+            let (out, rows) =
+                compute_bag_retained::<S>(bag, index, &st.edge_tables, parent_pos[bag.id]);
+            stats.peak_table = stats.peak_table.max(rows);
+            stats.bags_recomputed += 1;
+            match out {
+                BagOutcome::Root(v) => st.root_value = v,
+                BagOutcome::Table(t) => st.edge_tables[bag.id] = Some(t),
+            }
+        }
+        st
+    }
+
+    /// The incremental sum-of-products: like [`TreeDpProgram::eval`], but
+    /// the per-edge group tables live in `state` across calls and only the
+    /// bags affected by the index's mutation log since `state`'s version
+    /// are re-evaluated.
+    ///
+    /// A bag is *dirty* when one of its constraints mentions a relation
+    /// touched by a pending round, or when a child's table changed.  Dirty
+    /// bags are re-enumerated from scratch — except that under an
+    /// invertible semiring ([`Semiring::INVERTIBLE`]) a single pending
+    /// round touching exactly one constraint of the bag is patched in
+    /// place: the rows binding that constraint to each deleted/inserted
+    /// tuple are enumerated with the constraint's depths pinned, and their
+    /// contributions ⊖-retracted / ⊕-added.  Change is detected modulo
+    /// zero-valued entries, so a round that cancels out stops propagating.
+    ///
+    /// Unweighted semirings only (`!S::WEIGHTED` — weights are per-call).
+    /// Passing a `state` from another program or semiring is a logic
+    /// error.
+    pub fn eval_retained<S: Semiring>(
+        &self,
+        index: &StructureIndex,
+        state: &mut Option<TreeIncrementalState<S::Value>>,
+    ) -> (S::Value, RetainedEvalStats) {
+        debug_assert!(!S::WEIGHTED, "retained evaluation is unweighted-only");
+        debug_assert_eq!(index.id(), self.index_id, "program run on a foreign index");
+        let mut stats = RetainedEvalStats::default();
+        if !self.satisfiable {
+            return (S::zero(), stats);
+        }
+        let muts = match state.as_ref() {
+            Some(st) if st.epoch == index.domain_epoch() => index.mutations_since(st.version),
+            _ => None,
+        };
+        let Some(muts) = muts else {
+            let st = self.build_retained::<S>(index, &mut stats);
+            let value = st.root_value.clone();
+            *state = Some(st);
+            return (value, stats);
+        };
+        let st = state.as_mut().expect("mutations_since implies state");
+        let mut touched: Vec<SymbolId> = Vec::new();
+        for round in &muts {
+            for sym in round.touched_symbols() {
+                if !touched.contains(&sym) {
+                    touched.push(sym);
+                }
+            }
+        }
+        if touched.is_empty() {
+            st.version = index.version();
+            stats.bags_reused = self.bags.len();
+            return (st.root_value.clone(), stats);
+        }
+        let single_round = muts.len() == 1;
+        let parent_pos = self.parent_positions();
+        let mut changed = vec![false; self.n_bags];
+        for bag in &self.bags {
+            let child_changed = bag.edges.iter().any(|e| changed[e.child]);
+            let affected: Vec<(usize, usize)> = bag
+                .program
+                .checks
+                .iter()
+                .enumerate()
+                .flat_map(|(d, cs)| {
+                    cs.iter()
+                        .enumerate()
+                        .filter(|(_, c)| touched.contains(&c.sym))
+                        .map(move |(i, _)| (d, i))
+                })
+                .collect();
+            if !child_changed && affected.is_empty() {
+                stats.bags_reused += 1;
+                continue;
+            }
+            let mut old_untrusted = false;
+            if S::INVERTIBLE
+                && !S::WEIGHTED
+                && single_round
+                && !child_changed
+                && affected.len() == 1
+            {
+                // Pull the bag's own state out so the child tables can be
+                // borrowed immutably next to it.
+                let mut own = if bag.is_root {
+                    None
+                } else {
+                    Some(st.edge_tables[bag.id].take().expect("built state"))
+                };
+                let mut root = st.root_value.clone();
+                let mut any = false;
+                let target = match (&mut own, parent_pos[bag.id]) {
+                    (Some(table), Some(positions)) => PatchTarget::Edge { table, positions },
+                    _ => PatchTarget::Root(&mut root),
+                };
+                let ok = patch_bag::<S>(
+                    bag,
+                    index,
+                    &muts[0],
+                    affected[0],
+                    &st.edge_tables,
+                    target,
+                    &mut any,
+                );
+                if ok {
+                    if bag.is_root {
+                        st.root_value = root;
+                    } else {
+                        st.edge_tables[bag.id] = own;
+                    }
+                    changed[bag.id] = any;
+                    stats.bags_patched += 1;
+                    continue;
+                }
+                // The patch failed partway (a ⊖ could not answer); the old
+                // table can no longer anchor change detection.
+                old_untrusted = true;
+            }
+            let (out, rows) =
+                compute_bag_retained::<S>(bag, index, &st.edge_tables, parent_pos[bag.id]);
+            stats.peak_table = stats.peak_table.max(rows);
+            stats.bags_recomputed += 1;
+            match out {
+                BagOutcome::Root(v) => {
+                    st.root_value = v;
+                    changed[bag.id] = true;
+                }
+                BagOutcome::Table(t) => {
+                    changed[bag.id] = old_untrusted
+                        || match &st.edge_tables[bag.id] {
+                            Some(old) => !tables_agree_modulo_zeros::<S>(old, &t),
+                            None => true,
+                        };
+                    st.edge_tables[bag.id] = Some(t);
+                }
+            }
+        }
+        st.version = index.version();
+        (st.root_value.clone(), stats)
     }
 }
 
@@ -1148,7 +1805,7 @@ impl StairProgram {
                 &self.init,
                 index,
                 weights,
-                Vec::new(),
+                &[],
                 &mut |row, acc| {
                     if !S::is_zero(&acc) {
                         f.rows.extend_from_slice(row);
@@ -1634,7 +2291,7 @@ impl SearchProgram {
             &self.program,
             index,
             weights,
-            Vec::new(),
+            &[],
             &mut |_, acc| {
                 stats.assignments += 1;
                 if S::is_zero(&acc) {
@@ -1690,7 +2347,7 @@ pub fn bag_rows_indexed(
             &program,
             index,
             None,
-            Vec::new(),
+            &[],
             &mut |row, _| {
                 rows.extend_from_slice(row);
                 false
@@ -2158,5 +2815,200 @@ mod tests {
             count_hom_via_tree_decomposition_indexed(&star, &k4_index, &td_star).count,
             count_homomorphisms_bruteforce(&star, &k4)
         );
+    }
+
+    /// Drive one query/target pair through scripted mutation rounds,
+    /// checking the retained count and decision against brute force after
+    /// every round.  Mirrors the engine's epoch discipline: a domain-epoch
+    /// bump recompiles the program and drops the retained states.
+    fn check_retained_rounds(a: &Structure, b: &Structure) {
+        let (_, td) = treewidth_of_structure(a);
+        let mut index = StructureIndex::new(b);
+        let Some(sym) = index
+            .vocabulary()
+            .ids()
+            .find(|&s| !index.structure().relation(s).is_empty())
+        else {
+            return;
+        };
+        let mut program = TreeDpProgram::compile(a, &index, &td);
+        let mut epoch = index.domain_epoch();
+        let mut count_state = None;
+        let mut bool_state = None;
+
+        let first_row = index.structure().relation(sym).row(0).to_vec();
+        let arity = index.vocabulary().arity(sym);
+        let n = index.universe_size() as u32;
+        // A tuple not currently present (cyclic shift of the first row's
+        // successors); skip the insert round if the relation is complete.
+        let fresh = (0..n)
+            .flat_map(|u| (0..n).map(move |v| vec![u, v]))
+            .find(|t| {
+                let wide: Vec<usize> = t.iter().map(|&x| x as usize).collect();
+                t.len() == arity && !index.structure().relation(sym).contains(&wide)
+            });
+        let mut rounds: Vec<RoundScript> = vec![
+            RoundScript::Delete(first_row.clone()),
+            RoundScript::Insert(first_row.clone()),
+            RoundScript::DeleteInsertSame(first_row.clone()),
+        ];
+        if let Some(t) = fresh {
+            rounds.push(RoundScript::Insert(t));
+        }
+        for (i, round) in rounds.iter().enumerate() {
+            let mut batch = cq_structures::DeltaBatch::new();
+            match round {
+                RoundScript::Delete(t) => {
+                    batch.delete(sym, t.clone());
+                }
+                RoundScript::Insert(t) => {
+                    batch.insert(sym, t.clone());
+                }
+                RoundScript::DeleteInsertSame(t) => {
+                    batch.delete(sym, t.clone()).insert(sym, t.clone());
+                }
+            }
+            index.apply_delta(&batch).expect("valid scripted batch");
+            if index.domain_epoch() != epoch {
+                program = TreeDpProgram::compile(a, &index, &td);
+                epoch = index.domain_epoch();
+                count_state = None;
+                bool_state = None;
+            }
+            let (count, _) = program.eval_retained::<CheckedNatSemiring>(&index, &mut count_state);
+            let (exists, _) = program.eval_retained::<BoolSemiring>(&index, &mut bool_state);
+            let expected = count_homomorphisms_bruteforce(a, index.structure());
+            assert_eq!(count, expected, "{a} -> {b}, round {i}");
+            assert_eq!(
+                exists,
+                homomorphism_exists(a, index.structure()),
+                "{a} -> {b}, round {i}"
+            );
+        }
+    }
+
+    enum RoundScript {
+        Delete(Vec<u32>),
+        Insert(Vec<u32>),
+        DeleteInsertSame(Vec<u32>),
+    }
+
+    #[test]
+    fn retained_eval_agrees_with_bruteforce_across_mutation_rounds() {
+        for (a, b) in pairs() {
+            check_retained_rounds(&a, &b);
+        }
+    }
+
+    /// A two-symbol query `x -R-> y -S-> z` so a round touching only one
+    /// relation leaves the other bag's retained table untouched: the clean
+    /// bag is reused, the dirty single-constraint bag is patched in place
+    /// under the invertible counting semiring (and recomputed, never
+    /// patched, under Bool).
+    #[test]
+    fn retained_eval_reuses_clean_bags_and_patches_dirty_ones() {
+        let mut voc = cq_structures::Vocabulary::new();
+        let r = voc.add("R", 2).unwrap();
+        let s = voc.add("S", 2).unwrap();
+        let mut a = Structure::new(voc.clone(), 3).unwrap();
+        a.add_tuple(r, vec![0, 1]).unwrap();
+        a.add_tuple(s, vec![1, 2]).unwrap();
+
+        // Dense enough that the scripted churn never empties (or grows) a
+        // position domain — the domain epoch must stay put.
+        let mut b = Structure::new(voc, 6).unwrap();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (0, 3), (1, 4), (2, 1)] {
+            b.add_tuple(r, vec![u, v]).unwrap();
+        }
+        for (u, v) in [(1, 3), (2, 4), (0, 5), (4, 5), (4, 3)] {
+            b.add_tuple(s, vec![u, v]).unwrap();
+        }
+        let (_, td) = treewidth_of_structure(&a);
+        let mut index = StructureIndex::new(&b);
+        let br = index.vocabulary().id_of("R").unwrap();
+        let program = TreeDpProgram::compile(&a, &index, &td);
+        let mut count_state = None;
+        let mut bool_state = None;
+        let (_, build) = program.eval_retained::<CheckedNatSemiring>(&index, &mut count_state);
+        assert!(build.full_rebuild);
+        program.eval_retained::<BoolSemiring>(&index, &mut bool_state);
+
+        // Refreshing with no pending mutations reuses everything.
+        let (_, idle) = program.eval_retained::<CheckedNatSemiring>(&index, &mut count_state);
+        assert!(!idle.full_rebuild);
+        assert_eq!(idle.bags_recomputed + idle.bags_patched, 0);
+
+        // Delete-and-reinsert the same R tuple: the dirty R bag is patched,
+        // the patch detects that nothing moved, and the other bag is
+        // reused no matter which one is the root.
+        let mut batch = cq_structures::DeltaBatch::new();
+        batch.delete(br, vec![0, 1]).insert(br, vec![0, 1]);
+        index.apply_delta(&batch).unwrap();
+        assert_eq!(index.domain_epoch(), 0, "churn stays within baked domains");
+        let n_bags = program.bags.len();
+        let (count, stats) = program.eval_retained::<CheckedNatSemiring>(&index, &mut count_state);
+        assert_eq!(count, count_homomorphisms_bruteforce(&a, index.structure()));
+        assert!(!stats.full_rebuild);
+        assert_eq!(
+            stats.bags_patched, 1,
+            "the single-R-constraint bag must be patched in place: {stats:?}"
+        );
+        assert_eq!(
+            stats.bags_recomputed, 0,
+            "a cancelled round must not propagate"
+        );
+        assert_eq!(stats.bags_reused, n_bags - 1);
+
+        let (exists, bstats) = program.eval_retained::<BoolSemiring>(&index, &mut bool_state);
+        assert_eq!(exists, homomorphism_exists(&a, index.structure()));
+        assert_eq!(
+            bstats.bags_patched, 0,
+            "Bool is not invertible — dirty bags recompute per key"
+        );
+
+        // Genuine R churn: still patched (or recomputed if it cascades),
+        // still exact.
+        let mut batch = cq_structures::DeltaBatch::new();
+        batch.delete(br, vec![0, 1]).insert(br, vec![0, 2]);
+        index.apply_delta(&batch).unwrap();
+        assert_eq!(index.domain_epoch(), 0);
+        let (count, stats) = program.eval_retained::<CheckedNatSemiring>(&index, &mut count_state);
+        assert_eq!(count, count_homomorphisms_bruteforce(&a, index.structure()));
+        assert!(!stats.full_rebuild);
+        assert!(stats.bags_patched >= 1, "{stats:?}");
+
+        // An S round dirties the S bag and leaves the R bag clean unless
+        // the S table changed.
+        let bs = index.vocabulary().id_of("S").unwrap();
+        let mut batch = cq_structures::DeltaBatch::new();
+        batch.delete(bs, vec![4, 5]).insert(bs, vec![4, 3]);
+        index.apply_delta(&batch).unwrap();
+        let (count, _) = program.eval_retained::<CheckedNatSemiring>(&index, &mut count_state);
+        assert_eq!(count, count_homomorphisms_bruteforce(&a, index.structure()));
+        let (exists, _) = program.eval_retained::<BoolSemiring>(&index, &mut bool_state);
+        assert_eq!(exists, homomorphism_exists(&a, index.structure()));
+    }
+
+    /// Outrunning the index's bounded mutation log forces a full rebuild,
+    /// which must still agree with brute force.
+    #[test]
+    fn retained_eval_rebuilds_after_log_gap() {
+        let a = families::directed_path(3);
+        let b = families::directed_cycle(8);
+        let (_, td) = treewidth_of_structure(&a);
+        let mut index = StructureIndex::new(&b);
+        let e = index.vocabulary().id_of("E").unwrap();
+        let program = TreeDpProgram::compile(&a, &index, &td);
+        let mut state = None;
+        program.eval_retained::<CheckedNatSemiring>(&index, &mut state);
+        // More rounds than the log retains, without refreshing in between.
+        for _ in 0..40 {
+            let mut batch = cq_structures::DeltaBatch::new();
+            batch.delete(e, vec![0, 1]).insert(e, vec![0, 1]);
+            index.apply_delta(&batch).unwrap();
+        }
+        let (count, stats) = program.eval_retained::<CheckedNatSemiring>(&index, &mut state);
+        assert!(stats.full_rebuild, "log gap must trigger a rebuild");
+        assert_eq!(count, count_homomorphisms_bruteforce(&a, index.structure()));
     }
 }

@@ -67,6 +67,25 @@ pub trait Semiring {
         false
     }
 
+    /// Whether ⊕ has (partial) inverses exposed through [`Semiring::sub`].
+    /// Incremental maintenance subtracts retracted contributions from
+    /// per-key aggregates when this holds and recomputes the key from
+    /// scratch when it does not (Bool and the tropical semirings: idempotent
+    /// ⊕ forgets multiplicity, so nothing can be un-added).
+    const INVERTIBLE: bool = false;
+
+    /// `a ⊖ b`: a value `c` with `c ⊕ b = a`, when one is known.
+    ///
+    /// Returning `None` is always sound — it sends the caller down the
+    /// recompute path.  Implementations must only return `Some(c)` when the
+    /// subtraction is exact; [`CheckedNatSemiring`] in particular returns
+    /// `None` when `a` is [`Nat::Overflow`], since the true count behind an
+    /// overflow is unknown and might re-enter `u64` range after the
+    /// retraction.
+    fn sub(_a: &Self::Value, _b: &Self::Value) -> Option<Self::Value> {
+        None
+    }
+
     /// Inject a tuple weight `w` as a ⊗-factor.  Unweighted semirings map
     /// every weight to `1`.
     fn weight(w: u64) -> Self::Value;
@@ -235,6 +254,16 @@ impl Semiring for CheckedNatSemiring {
         // Overflow + x = Overflow for every natural x.
         *v == Nat::Overflow
     }
+    const INVERTIBLE: bool = true;
+    #[inline]
+    fn sub(a: &Nat, b: &Nat) -> Option<Nat> {
+        match (*a, *b) {
+            (Nat::Finite(x), Nat::Finite(y)) => x.checked_sub(y).map(Nat::Finite),
+            // The exact count behind Overflow is unknown: after a
+            // retraction it could be anything, including back in range.
+            _ => None,
+        }
+    }
     #[inline]
     fn weight(_w: u64) -> Nat {
         Nat::Finite(1)
@@ -365,6 +394,13 @@ mod tests {
                     assert_eq!(S::add(a, b), *a, "absorbing element must absorb {b:?}");
                 }
             }
+            for b in samples {
+                // ⊖ must exactly invert ⊕ whenever it answers at all.
+                let sum = S::add(a, b);
+                if let Some(c) = S::sub(&sum, b) {
+                    assert_eq!(S::add(&c, b), sum, "({a:?} ⊕ {b:?}) ⊖ {b:?} then ⊕ {b:?}");
+                }
+            }
         }
     }
 
@@ -408,5 +444,34 @@ mod tests {
         assert!(Nat::Overflow.positive());
         assert_eq!(Nat::Finite(5).finite(), Some(5));
         assert_eq!(Nat::Overflow.finite(), None);
+    }
+
+    #[test]
+    fn subtraction_is_exact_or_refused() {
+        const {
+            assert!(CheckedNatSemiring::INVERTIBLE);
+        }
+        assert_eq!(
+            CheckedNatSemiring::sub(&Nat::Finite(5), &Nat::Finite(2)),
+            Some(Nat::Finite(3))
+        );
+        assert_eq!(
+            CheckedNatSemiring::sub(&Nat::Finite(2), &Nat::Finite(5)),
+            None,
+            "underflow refused"
+        );
+        assert_eq!(
+            CheckedNatSemiring::sub(&Nat::Overflow, &Nat::Finite(1)),
+            None,
+            "the count behind an overflow is unknown"
+        );
+        // Idempotent ⊕ has no inverses: these semirings always recompute.
+        const {
+            assert!(!BoolSemiring::INVERTIBLE);
+            assert!(!MinCostSemiring::INVERTIBLE);
+            assert!(!MaxWeightSemiring::INVERTIBLE);
+        }
+        assert_eq!(BoolSemiring::sub(&true, &true), None);
+        assert_eq!(MinCostSemiring::sub(&Some(3), &Some(3)), None);
     }
 }

@@ -1,0 +1,427 @@
+//! Tuple-level update batches and their deterministic replay records.
+//!
+//! Production databases change; rebuilding a [`StructureIndex`] and
+//! re-running every DP from scratch for a handful of tuple edits wastes all
+//! the state the engine already holds.  A [`DeltaBatch`] names a set of
+//! tuple deletions and insertions; applying it to a [`Structure`] (or, with
+//! full access-path maintenance, to a [`StructureIndex`] via
+//! [`StructureIndex::apply_delta`]) mutates rows **in place** — deletions
+//! swap-remove, insertions append — so row ids stay dense and aligned side
+//! tables ([`crate::TupleWeights`]) follow the same moves.
+//!
+//! Batch semantics, fixed once here and relied on everywhere downstream:
+//!
+//! * all deletions apply first, in batch order, then all insertions in
+//!   batch order;
+//! * deleting an absent tuple and inserting a present one are **no-ops**
+//!   (deltas are set updates, not multiset updates);
+//! * the *effective* operations — with their deletion-time row ids — are
+//!   returned as an [`AppliedDelta`], which replays byte-identically onto
+//!   any structure in the same content state ([`Structure::apply_applied`]).
+//!   That replay determinism is what lets the engine mutate its cached copy
+//!   and the caller mutate theirs while both keep the same
+//!   [`Structure::content_token`].
+//!
+//! [`StructureIndex`]: crate::StructureIndex
+//! [`StructureIndex::apply_delta`]: crate::StructureIndex::apply_delta
+
+use crate::error::StructureError;
+use crate::index::fnv_row;
+use crate::structure::{fresh_content_token, Structure};
+use crate::vocabulary::SymbolId;
+use std::collections::HashMap;
+
+/// A batch of tuple insertions and deletions against one structure.
+///
+/// Build with [`DeltaBatch::delete`] / [`DeltaBatch::insert`]; rows are
+/// interned `u32` tuples, like [`crate::Relation::rows`] hands out.  See the
+/// module docs for the application semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    deletes: Vec<(SymbolId, Vec<u32>)>,
+    inserts: Vec<(SymbolId, Vec<u32>)>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> DeltaBatch {
+        DeltaBatch::default()
+    }
+
+    /// Queue the deletion of `row` from `sym`'s relation.
+    pub fn delete(&mut self, sym: SymbolId, row: Vec<u32>) -> &mut Self {
+        self.deletes.push((sym, row));
+        self
+    }
+
+    /// Queue the insertion of `row` into `sym`'s relation.
+    pub fn insert(&mut self, sym: SymbolId, row: Vec<u32>) -> &mut Self {
+        self.inserts.push((sym, row));
+        self
+    }
+
+    /// The queued deletions, in application order.
+    pub fn deletions(&self) -> &[(SymbolId, Vec<u32>)] {
+        &self.deletes
+    }
+
+    /// The queued insertions, in application order.
+    pub fn insertions(&self) -> &[(SymbolId, Vec<u32>)] {
+        &self.inserts
+    }
+
+    /// Number of queued operations (deletions + insertions).
+    pub fn len(&self) -> usize {
+        self.deletes.len() + self.inserts.len()
+    }
+
+    /// `true` when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.deletes.is_empty() && self.inserts.is_empty()
+    }
+
+    /// Check every queued operation against `s`'s vocabulary and universe:
+    /// symbols must belong to the vocabulary, rows must have the symbol's
+    /// arity, and all elements must be `< universe_size`.  Application
+    /// methods run this first, so a batch either applies whole or not at
+    /// all.
+    pub fn validate(&self, s: &Structure) -> Result<(), StructureError> {
+        for (sym, row) in self.deletes.iter().chain(&self.inserts) {
+            if sym.index() >= s.vocabulary().len() {
+                return Err(StructureError::UnknownSymbol(format!(
+                    "symbol #{} outside vocabulary",
+                    sym.index()
+                )));
+            }
+            let arity = s.vocabulary().arity(*sym);
+            if row.len() != arity {
+                return Err(StructureError::ArityMismatch {
+                    symbol: s.vocabulary().name(*sym).to_string(),
+                    expected: arity,
+                    got: row.len(),
+                });
+            }
+            if let Some(&e) = row.iter().find(|&&e| (e as usize) >= s.universe_size()) {
+                return Err(StructureError::ElementOutOfRange {
+                    element: e as usize,
+                    universe: s.universe_size(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The *effective* operations of one applied [`DeltaBatch`]: what actually
+/// changed, with deletion-time row ids, plus the content token and index
+/// version after application.  Replays deterministically onto any structure
+/// or side table in the pre-delta content state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedDelta {
+    /// The [`Structure::content_token`] after application.
+    pub(crate) token: u64,
+    /// The [`crate::StructureIndex::version`] after application (0 when the
+    /// delta was applied to a bare structure, outside any index).
+    pub(crate) version: u64,
+    /// Effective deletions in application order: `(symbol, row id at
+    /// deletion time, row)`.  Each deletion swap-removes, so the relation's
+    /// then-last row takes over the recorded id.
+    pub(crate) deleted: Vec<(SymbolId, u32, Vec<u32>)>,
+    /// Effective insertions in application order; each appends at the
+    /// then-current row count.
+    pub(crate) inserted: Vec<(SymbolId, Vec<u32>)>,
+}
+
+impl AppliedDelta {
+    /// The content token shared by every structure this delta was applied
+    /// or replayed onto.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// The index version after application (0 for structure-only applies).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// `true` when nothing effectively changed (every deletion was absent,
+    /// every insertion already present).
+    pub fn is_noop(&self) -> bool {
+        self.deleted.is_empty() && self.inserted.is_empty()
+    }
+
+    /// Effective deletions: `(symbol, row id at deletion time, row)`.
+    pub fn deletions(&self) -> &[(SymbolId, u32, Vec<u32>)] {
+        &self.deleted
+    }
+
+    /// Effective insertions: `(symbol, row)`.
+    pub fn insertions(&self) -> &[(SymbolId, Vec<u32>)] {
+        &self.inserted
+    }
+
+    /// The symbols with at least one effective operation, deduplicated,
+    /// ascending.
+    pub fn touched_symbols(&self) -> Vec<SymbolId> {
+        let mut syms: Vec<SymbolId> = self
+            .deleted
+            .iter()
+            .map(|(s, _, _)| *s)
+            .chain(self.inserted.iter().map(|(s, _)| *s))
+            .collect();
+        syms.sort_unstable_by_key(|s| s.index());
+        syms.dedup();
+        syms
+    }
+}
+
+/// Transient membership map for one relation during a structure-side apply:
+/// FNV row hash → row ids, confirmed against row storage (collision-safe).
+struct RowSet {
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl RowSet {
+    fn build(s: &Structure, sym: SymbolId) -> RowSet {
+        let rel = s.relation(sym);
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rel.len());
+        for (i, row) in rel.rows().enumerate() {
+            map.entry(fnv_row(row)).or_default().push(i as u32);
+        }
+        RowSet { map }
+    }
+
+    fn find(&self, s: &Structure, sym: SymbolId, row: &[u32]) -> Option<u32> {
+        self.map
+            .get(&fnv_row(row))?
+            .iter()
+            .copied()
+            .find(|&i| s.relation(sym).row(i as usize) == row)
+    }
+
+    fn remove(&mut self, hash: u64, id: u32) {
+        if let Some(ids) = self.map.get_mut(&hash) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.map.remove(&hash);
+            }
+        }
+    }
+
+    fn reid(&mut self, hash: u64, old: u32, new: u32) {
+        if let Some(ids) = self.map.get_mut(&hash) {
+            if let Some(slot) = ids.iter_mut().find(|i| **i == old) {
+                *slot = new;
+            }
+        }
+    }
+
+    fn add(&mut self, hash: u64, id: u32) {
+        self.map.entry(hash).or_default().push(id);
+    }
+}
+
+impl Structure {
+    /// Apply a [`DeltaBatch`] to a bare structure (no index): deletions
+    /// first, then insertions, per the batch semantics in the
+    /// [module docs](crate::delta).  Mutates rows in place (swap-remove /
+    /// append), draws a fresh [`Structure::content_token`], and returns the
+    /// effective [`AppliedDelta`].
+    ///
+    /// This is the reference implementation the oracle tests compare the
+    /// index-maintaining [`crate::StructureIndex::apply_delta`] against;
+    /// engine-managed databases go through the index path instead and
+    /// replay onto caller copies with [`Structure::apply_applied`].
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<AppliedDelta, StructureError> {
+        batch.validate(self)?;
+        let mut sets: HashMap<usize, RowSet> = HashMap::new();
+        let mut deleted: Vec<(SymbolId, u32, Vec<u32>)> = Vec::new();
+        let mut inserted: Vec<(SymbolId, Vec<u32>)> = Vec::new();
+        for (sym, row) in batch.deletions() {
+            let (sym, row) = (*sym, &row[..]);
+            let set = sets
+                .entry(sym.index())
+                .or_insert_with(|| RowSet::build(self, sym));
+            let Some(id) = set.find(self, sym, row) else {
+                continue;
+            };
+            let last = self.relation(sym).len() as u32 - 1;
+            set.remove(fnv_row(row), id);
+            if id != last {
+                let moved_hash = fnv_row(self.relation(sym).row(last as usize));
+                set.reid(moved_hash, last, id);
+            }
+            self.relation_mut(sym).swap_remove_row(id as usize);
+            deleted.push((sym, id, row.to_vec()));
+        }
+        for (sym, row) in batch.insertions() {
+            let (sym, row) = (*sym, &row[..]);
+            let set = sets
+                .entry(sym.index())
+                .or_insert_with(|| RowSet::build(self, sym));
+            let hash = fnv_row(row);
+            if set.find(self, sym, row).is_some() {
+                continue;
+            }
+            let id = self.relation_mut(sym).push_row(row);
+            set.add(hash, id);
+            inserted.push((sym, row.to_vec()));
+        }
+        let token = fresh_content_token();
+        self.set_content_token(token);
+        Ok(AppliedDelta {
+            token,
+            version: 0,
+            deleted,
+            inserted,
+        })
+    }
+
+    /// Replay an [`AppliedDelta`] onto a structure in the pre-delta content
+    /// state: the exact swap-removes and appends the original application
+    /// performed, ending in byte-identical row storage and the **same**
+    /// content token.  This is how a caller-side copy of an engine-managed
+    /// database catches up after [`StructureIndex::apply_delta`] ran on the
+    /// engine's copy.
+    ///
+    /// [`StructureIndex::apply_delta`]: crate::StructureIndex::apply_delta
+    pub fn apply_applied(&mut self, applied: &AppliedDelta) {
+        for (sym, id, row) in &applied.deleted {
+            debug_assert_eq!(
+                self.relation(*sym).row(*id as usize),
+                &row[..],
+                "replay target diverged from the recorded pre-delta state"
+            );
+            self.relation_mut(*sym).swap_remove_row(*id as usize);
+        }
+        for (sym, row) in &applied.inserted {
+            self.relation_mut(*sym).push_row(row);
+        }
+        self.set_content_token(applied.token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::index::StructureIndex;
+
+    fn edge_sym(s: &Structure) -> SymbolId {
+        s.vocabulary().id_of("E").unwrap()
+    }
+
+    #[test]
+    fn batch_validation_rejects_bad_ops() {
+        let s = families::cycle(4);
+        let e = edge_sym(&s);
+        let mut wrong_arity = DeltaBatch::new();
+        wrong_arity.insert(e, vec![0]);
+        assert!(matches!(
+            wrong_arity.validate(&s),
+            Err(StructureError::ArityMismatch { .. })
+        ));
+        let mut out_of_range = DeltaBatch::new();
+        out_of_range.delete(e, vec![0, 9]);
+        assert!(matches!(
+            out_of_range.validate(&s),
+            Err(StructureError::ElementOutOfRange { .. })
+        ));
+        let mut ok = DeltaBatch::new();
+        ok.insert(e, vec![0, 2]).delete(e, vec![0, 1]);
+        assert_eq!(ok.len(), 2);
+        assert!(!ok.is_empty());
+        assert!(ok.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn structure_apply_delta_inserts_and_deletes() {
+        let mut s = families::cycle(4);
+        let e = edge_sym(&s);
+        let before_token = s.content_token();
+        let mut batch = DeltaBatch::new();
+        batch.delete(e, vec![0, 1]).insert(e, vec![0, 2]);
+        let applied = s.apply_delta(&batch).unwrap();
+        assert!(!s.contains(e, &[0, 1]));
+        assert!(s.contains(e, &[0, 2]));
+        assert_ne!(s.content_token(), before_token);
+        assert_eq!(s.content_token(), applied.token());
+        assert_eq!(applied.deletions().len(), 1);
+        assert_eq!(applied.insertions().len(), 1);
+        assert_eq!(applied.touched_symbols(), vec![e]);
+    }
+
+    #[test]
+    fn absent_delete_and_present_insert_are_noops() {
+        let mut s = families::cycle(4);
+        let e = edge_sym(&s);
+        let copy = s.clone();
+        let mut batch = DeltaBatch::new();
+        batch.delete(e, vec![0, 2]).insert(e, vec![0, 1]);
+        let applied = s.apply_delta(&batch).unwrap();
+        assert!(applied.is_noop());
+        assert_eq!(s, copy);
+    }
+
+    #[test]
+    fn replay_matches_the_original_application_exactly() {
+        let mut engine_side = families::cycle(6);
+        let mut caller_side = engine_side.clone();
+        let e = edge_sym(&engine_side);
+        let mut batch = DeltaBatch::new();
+        batch
+            .delete(e, vec![0, 1])
+            .delete(e, vec![3, 2])
+            .insert(e, vec![0, 3])
+            .insert(e, vec![5, 2]);
+        let applied = engine_side.apply_delta(&batch).unwrap();
+        caller_side.apply_applied(&applied);
+        assert_eq!(engine_side, caller_side);
+        assert_eq!(engine_side.content_token(), caller_side.content_token());
+        // Row storage is byte-identical, not just set-equal.
+        let le = caller_side.vocabulary().id_of("E").unwrap();
+        let a: Vec<&[u32]> = engine_side.relation(e).rows().collect();
+        let b: Vec<&[u32]> = caller_side.relation(le).rows().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structure_and_index_applies_agree() {
+        let s = families::cycle(8);
+        let e = edge_sym(&s);
+        let mut bare = s.clone();
+        let mut idx = StructureIndex::new(&s);
+        let mut batch = DeltaBatch::new();
+        batch
+            .delete(e, vec![0, 1])
+            .delete(e, vec![4, 5])
+            .insert(e, vec![0, 4])
+            .insert(e, vec![2, 6])
+            .insert(e, vec![0, 1]); // reinsert a tuple deleted in this batch
+        let a = bare.apply_delta(&batch).unwrap();
+        let b = idx.apply_delta(&batch).unwrap();
+        assert_eq!(a.deletions(), b.deletions());
+        assert_eq!(a.insertions(), b.insertions());
+        assert_eq!(&bare, idx.structure());
+        let rows_a: Vec<&[u32]> = bare.relation(e).rows().collect();
+        let rows_b: Vec<&[u32]> = idx.structure().relation(e).rows().collect();
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips_content() {
+        let mut s = families::path(5);
+        let e = edge_sym(&s);
+        let original = s.clone();
+        let mut ins = DeltaBatch::new();
+        ins.insert(e, vec![0, 4]);
+        s.apply_delta(&ins).unwrap();
+        assert!(s.contains(e, &[0, 4]));
+        assert_ne!(s, original);
+        let mut del = DeltaBatch::new();
+        del.delete(e, vec![0, 4]);
+        s.apply_delta(&del).unwrap();
+        // Same tuple set (set equality — storage order may differ).
+        assert_eq!(s, original);
+    }
+}

@@ -30,15 +30,33 @@
 //! key.  [`structure_hash`] is the deterministic content hash the engine's
 //! instance cache keys on.
 
-use crate::structure::Structure;
+use crate::delta::{AppliedDelta, DeltaBatch};
+use crate::error::StructureError;
+use crate::structure::{fresh_content_token, Structure};
 use crate::vocabulary::{SymbolId, Vocabulary};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Process-unique index identities, used to key compiled-program caches.
 static NEXT_INDEX_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide count of full index builds (one per
+/// [`StructureIndex::from_arc`] sweep).  The incremental path mutates
+/// indexes in place, so benches and tests assert this counter does *not*
+/// grow while deltas are applied.
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// How many full index builds have happened in this process.
+pub fn index_build_count() -> u64 {
+    INDEX_BUILDS.load(Ordering::Relaxed)
+}
+
+/// How many [`AppliedDelta`] records an index retains for consumers that
+/// catch up retained DP state by replaying mutations
+/// ([`StructureIndex::mutations_since`]).
+const MUTATION_LOG_CAP: usize = 32;
 
 /// A membership bucket: the tuple ids whose rows share an FNV hash.  Almost
 /// every bucket holds exactly one id, so the one-element case is inlined.
@@ -66,11 +84,16 @@ struct RelationIndex {
     /// argument position `pos` — the position domain the kernel prefilter
     /// intersects.
     elements_at: Vec<Vec<u32>>,
+    /// Copy-on-write posting overlay for delta-mutated relations: one map
+    /// per position holding the posting lists that diverged from the
+    /// immutable CSR base.  Empty (no allocation) until the first mutation
+    /// touches this relation.
+    overlay: Vec<HashMap<u32, Vec<u32>>>,
 }
 
 /// Deterministic FNV-1a hash of a flat row (stable across processes).
 #[inline]
-fn fnv_row(row: &[u32]) -> u64 {
+pub(crate) fn fnv_row(row: &[u32]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &e in row {
         for b in e.to_le_bytes() {
@@ -139,18 +162,106 @@ impl RelationIndex {
             offsets,
             tuple_ids,
             elements_at,
+            overlay: Vec::new(),
         }
     }
 
     /// The posting-list slice for `element` at `pos` (tuple ids).
     #[inline]
     fn posting(&self, pos: usize, element: u32) -> &[u32] {
+        if let Some(ov) = self.overlay.get(pos) {
+            if let Some(list) = ov.get(&element) {
+                return list;
+            }
+        }
+        self.base_posting(pos, element)
+    }
+
+    /// The posting-list slice of the immutable CSR base, ignoring any
+    /// overlay entry.
+    #[inline]
+    fn base_posting(&self, pos: usize, element: u32) -> &[u32] {
         let offs = &self.offsets[pos];
         let e = element as usize;
         if e + 1 >= offs.len() {
             return &[];
         }
         &self.tuple_ids[pos][offs[e] as usize..offs[e + 1] as usize]
+    }
+
+    /// The mutable overlay posting list for `(pos, element)`, populated from
+    /// the CSR base on first touch.
+    fn overlay_posting_mut(&mut self, pos: usize, element: u32) -> &mut Vec<u32> {
+        if self.overlay.is_empty() {
+            self.overlay = vec![HashMap::new(); self.arity];
+        }
+        if !self.overlay[pos].contains_key(&element) {
+            let base = self.base_posting(pos, element).to_vec();
+            self.overlay[pos].insert(element, base);
+        }
+        self.overlay[pos].get_mut(&element).expect("just inserted")
+    }
+
+    fn bucket_insert(&mut self, hash: u64, id: u32) {
+        use std::collections::hash_map::Entry;
+        match self.buckets.entry(hash) {
+            Entry::Vacant(v) => {
+                v.insert(Bucket::One(id));
+            }
+            Entry::Occupied(mut o) => match o.get_mut() {
+                Bucket::One(first) => {
+                    let first = *first;
+                    o.insert(Bucket::Many(vec![first, id]));
+                }
+                Bucket::Many(ids) => ids.push(id),
+            },
+        }
+    }
+
+    fn bucket_remove(&mut self, hash: u64, id: u32) {
+        use std::collections::hash_map::Entry;
+        let Entry::Occupied(mut o) = self.buckets.entry(hash) else {
+            debug_assert!(false, "bucket for a present row must exist");
+            return;
+        };
+        match o.get_mut() {
+            Bucket::One(only) => {
+                debug_assert_eq!(*only, id);
+                o.remove();
+            }
+            Bucket::Many(ids) => {
+                ids.retain(|&i| i != id);
+                if let [only] = ids[..] {
+                    o.insert(Bucket::One(only));
+                }
+            }
+        }
+    }
+
+    fn bucket_reid(&mut self, hash: u64, old: u32, new: u32) {
+        match self.buckets.get_mut(&hash) {
+            Some(Bucket::One(only)) if *only == old => *only = new,
+            Some(Bucket::Many(ids)) => {
+                if let Some(slot) = ids.iter_mut().find(|i| **i == old) {
+                    *slot = new;
+                }
+            }
+            _ => debug_assert!(false, "bucket for a moved row must exist"),
+        }
+    }
+
+    /// Remove element `e` from the sorted position domain at `pos`.
+    fn domain_remove(&mut self, pos: usize, e: u32) {
+        if let Ok(i) = self.elements_at[pos].binary_search(&e) {
+            self.elements_at[pos].remove(i);
+        }
+    }
+
+    /// Insert element `e` into the sorted position domain at `pos`.
+    fn domain_insert(&mut self, pos: usize, e: u32) {
+        if let Err(i) = self.elements_at[pos].binary_search(&e) {
+            self.elements_at[pos].insert(i, e);
+        }
     }
 
     fn heap_bytes(&self) -> usize {
@@ -172,7 +283,15 @@ impl RelationIndex {
                 Bucket::Many(v) => v.capacity() * word,
             })
             .sum();
-        csr + bucket_entries + bucket_spill
+        let overlay: usize = self
+            .overlay
+            .iter()
+            .map(|m| {
+                m.capacity() * (word + std::mem::size_of::<Vec<u32>>())
+                    + m.values().map(|v| v.capacity() * word).sum::<usize>()
+            })
+            .sum();
+        csr + bucket_entries + bucket_spill + overlay
     }
 }
 
@@ -185,6 +304,17 @@ pub struct StructureIndex {
     id: u64,
     structure: Arc<Structure>,
     relations: Vec<RelationIndex>,
+    /// Monotone state generation: bumped by every [`StructureIndex::apply_delta`].
+    version: u64,
+    /// Bumped only when a delta *grows* some position domain (an element's
+    /// posting list goes 0 → non-zero).  Compiled programs bake position
+    /// domains at compile time; deletions leave baked domains as sound
+    /// supersets, so programs stay valid within one epoch and are
+    /// recompiled only when the epoch moves.
+    domain_epoch: u64,
+    /// Recent mutations, newest last, for consumers catching up retained DP
+    /// state (bounded by [`MUTATION_LOG_CAP`]).
+    log: VecDeque<Arc<AppliedDelta>>,
 }
 
 impl StructureIndex {
@@ -199,6 +329,7 @@ impl StructureIndex {
     /// Build the index over an already-shared structure without copying its
     /// tuple data: the index holds the `Arc` and serves rows out of it.
     pub fn from_arc(b: Arc<Structure>) -> StructureIndex {
+        INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
         let relations = b
             .vocabulary()
             .ids()
@@ -208,6 +339,9 @@ impl StructureIndex {
             id: NEXT_INDEX_ID.fetch_add(1, Ordering::Relaxed),
             structure: b,
             relations,
+            version: 0,
+            domain_epoch: 0,
+            log: VecDeque::new(),
         }
     }
 
@@ -312,6 +446,144 @@ impl StructureIndex {
     pub fn heap_bytes(&self) -> usize {
         self.structure.heap_bytes() + self.relations.iter().map(|r| r.heap_bytes()).sum::<usize>()
     }
+
+    /// The index's state generation: 0 for a fresh build, +1 per applied
+    /// delta batch.  `(id, version)` names one exact content state.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The index's domain epoch: bumped only when a delta grows some
+    /// position domain.  Compiled-program caches key on
+    /// `(id, domain_epoch)` so programs survive data churn within existing
+    /// domains and are recompiled exactly when a baked domain could be
+    /// stale.
+    pub fn domain_epoch(&self) -> u64 {
+        self.domain_epoch
+    }
+
+    /// The mutations leading from state `version` to the current state,
+    /// oldest first.  `Some(vec![])` when already current; `None` when the
+    /// bounded log no longer covers the gap (the consumer must rebuild its
+    /// derived state from scratch).
+    pub fn mutations_since(&self, version: u64) -> Option<Vec<Arc<AppliedDelta>>> {
+        if version > self.version {
+            return None;
+        }
+        let gap = (self.version - version) as usize;
+        if gap > self.log.len() {
+            return None;
+        }
+        Some(
+            self.log
+                .iter()
+                .skip(self.log.len() - gap)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Apply a batch of tuple mutations **in place**: all deletions first
+    /// (in batch order), then all insertions, each maintaining the row hash
+    /// table, the posting lists (through a copy-on-write overlay over the
+    /// CSR base), and the sorted position domains per row — no rebuild, and
+    /// [`index_build_count`] does not move.  Deleting an absent tuple and
+    /// inserting a present one are no-ops.  Deletions swap-remove rows, so
+    /// the last row of the touched relation takes the deleted row's id; the
+    /// returned [`AppliedDelta`] records the effective operations with
+    /// their deletion-time row ids and replays deterministically onto any
+    /// content-identical structure ([`Structure::apply_applied`]) or
+    /// aligned side table ([`crate::TupleWeights::apply_delta`]).
+    ///
+    /// The indexed structure is mutated through [`Arc::make_mut`]:
+    /// concurrent holders of the old `Arc` keep a consistent pre-delta
+    /// snapshot.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<Arc<AppliedDelta>, StructureError> {
+        batch.validate(&self.structure)?;
+        let mut deleted: Vec<(SymbolId, u32, Vec<u32>)> = Vec::new();
+        let mut inserted: Vec<(SymbolId, Vec<u32>)> = Vec::new();
+        let mut domain_grew = false;
+        let structure = Arc::make_mut(&mut self.structure);
+        for (sym, row) in batch.deletions() {
+            let (sym, row) = (*sym, &row[..]);
+            let ri = &mut self.relations[sym.index()];
+            let Some(id) = find_row(ri, structure.relation(sym), row) else {
+                continue;
+            };
+            let last = structure.relation(sym).len() as u32 - 1;
+            ri.bucket_remove(fnv_row(row), id);
+            for (pos, &element) in row.iter().enumerate() {
+                let list = ri.overlay_posting_mut(pos, element);
+                if let Some(i) = list.iter().position(|&t| t == id) {
+                    list.swap_remove(i);
+                }
+                if list.is_empty() {
+                    ri.domain_remove(pos, element);
+                }
+            }
+            if id != last {
+                let moved: Vec<u32> = structure.relation(sym).row(last as usize).to_vec();
+                ri.bucket_reid(fnv_row(&moved), last, id);
+                for (pos, &element) in moved.iter().enumerate() {
+                    let list = ri.overlay_posting_mut(pos, element);
+                    if let Some(slot) = list.iter_mut().find(|t| **t == last) {
+                        *slot = id;
+                    }
+                }
+            }
+            structure.relation_mut(sym).swap_remove_row(id as usize);
+            deleted.push((sym, id, row.to_vec()));
+        }
+        for (sym, row) in batch.insertions() {
+            let (sym, row) = (*sym, &row[..]);
+            let ri = &mut self.relations[sym.index()];
+            if find_row(ri, structure.relation(sym), row).is_some() {
+                continue;
+            }
+            let id = structure.relation_mut(sym).push_row(row);
+            let ri = &mut self.relations[sym.index()];
+            ri.bucket_insert(fnv_row(row), id);
+            for (pos, &element) in row.iter().enumerate() {
+                let was_absent = ri.posting(pos, element).is_empty();
+                ri.overlay_posting_mut(pos, element).push(id);
+                if was_absent {
+                    ri.domain_insert(pos, element);
+                    domain_grew = true;
+                }
+            }
+            inserted.push((sym, row.to_vec()));
+        }
+        let token = fresh_content_token();
+        structure.set_content_token(token);
+        self.version += 1;
+        if domain_grew {
+            self.domain_epoch += 1;
+        }
+        let applied = Arc::new(AppliedDelta {
+            token,
+            version: self.version,
+            deleted,
+            inserted,
+        });
+        self.log.push_back(Arc::clone(&applied));
+        if self.log.len() > MUTATION_LOG_CAP {
+            self.log.pop_front();
+        }
+        Ok(applied)
+    }
+}
+
+/// Row lookup against a relation index's buckets, confirming candidates
+/// against the structure's row storage (the free-function form of
+/// [`StructureIndex::row_of`], usable while the structure is mutably
+/// borrowed alongside).
+#[inline]
+fn find_row(ri: &RelationIndex, rel: &crate::structure::Relation, t: &[u32]) -> Option<u32> {
+    match ri.buckets.get(&fnv_row(t)) {
+        None => None,
+        Some(Bucket::One(idx)) => (rel.row(*idx as usize) == t).then_some(*idx),
+        Some(Bucket::Many(ids)) => ids.iter().copied().find(|&idx| rel.row(idx as usize) == t),
+    }
 }
 
 /// A deterministic content hash of a structure (universe size, vocabulary,
@@ -399,6 +671,109 @@ mod tests {
         assert_eq!(idx.elements_at(c0, 0), &[0]);
         assert!(idx.contains(c0, &[0]));
         assert!(!idx.contains(c0, &[1]));
+    }
+
+    #[test]
+    fn delta_maintains_postings_domains_and_membership() {
+        let b = families::directed_path(5); // arcs 0->1->2->3->4
+        let e = b.vocabulary().id_of("E").unwrap();
+        let mut idx = StructureIndex::new(&b);
+        let builds_before = index_build_count();
+        let id_before = idx.id();
+        assert_eq!(idx.version(), 0);
+
+        let mut batch = crate::DeltaBatch::new();
+        batch.delete(e, vec![0, 1]).insert(e, vec![2, 4]);
+        let applied = idx.apply_delta(&batch).unwrap();
+        assert!(!applied.is_noop());
+        assert_eq!(idx.version(), 1);
+        assert_eq!(idx.id(), id_before, "id survives mutation");
+        assert_eq!(index_build_count(), builds_before, "no rebuild");
+
+        assert!(!idx.contains(e, &[0, 1]));
+        assert!(idx.contains(e, &[2, 4]));
+        assert_eq!(idx.row_of(e, &[0, 1]), None);
+        let new_row = idx.row_of(e, &[2, 4]).unwrap();
+        assert_eq!(idx.structure().relation(e).row(new_row as usize), &[2, 4]);
+        // Postings reflect the new state: element 2 now starts two arcs.
+        assert_eq!(idx.occurrence_count(e, 0, 2), 2);
+        assert_eq!(idx.occurrence_count(e, 0, 0), 0);
+        let from_two: Vec<Vec<u32>> = idx.tuples_with(e, 0, 2).map(|t| t.to_vec()).collect();
+        assert_eq!(from_two.len(), 2);
+        assert!(from_two.iter().all(|t| t[0] == 2));
+        // Elements 0 (position 0) and 1 (position 1) left their domains —
+        // the deleted arc was their only occurrence; domains stay sorted.
+        assert_eq!(idx.elements_at(e, 0), &[1, 2, 3]);
+        assert_eq!(idx.elements_at(e, 1), &[2, 3, 4]);
+
+        // Every surviving tuple is still found through the index.
+        for (sym, row) in idx.structure().clone().all_tuples() {
+            assert!(idx.contains(sym, row));
+            let id = idx.row_of(sym, row).unwrap();
+            assert_eq!(idx.structure().relation(sym).row(id as usize), row);
+        }
+    }
+
+    #[test]
+    fn domain_epoch_moves_only_when_a_domain_grows() {
+        // A 4-cycle (both arc directions) plus an isolated element 4: every
+        // cycle element occurs twice at each position, so single-arc churn
+        // stays within the compiled domains.
+        let vocab = Vocabulary::graph();
+        let e = vocab.id_of("E").unwrap();
+        let mut b = Structure::new(vocab, 5).unwrap();
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_tuple(e, vec![x, y]).unwrap();
+            b.add_tuple(e, vec![y, x]).unwrap();
+        }
+        let mut idx = StructureIndex::new(&b);
+        assert_eq!(idx.domain_epoch(), 0);
+
+        // Churn within existing domains: delete 0->1, insert 0->2.  Both 0
+        // and 2 still occur at their positions, so the epoch holds.
+        let mut churn = crate::DeltaBatch::new();
+        churn.delete(e, vec![0, 1]).insert(e, vec![0, 2]);
+        idx.apply_delta(&churn).unwrap();
+        assert_eq!(idx.domain_epoch(), 0);
+        assert_eq!(idx.version(), 1);
+
+        // 4 never occurred anywhere: inserting 4->0 grows the position-0
+        // domain.
+        let mut grow = crate::DeltaBatch::new();
+        grow.insert(e, vec![4, 0]);
+        idx.apply_delta(&grow).unwrap();
+        assert_eq!(idx.domain_epoch(), 1);
+        assert_eq!(idx.elements_at(e, 0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mutation_log_replays_and_bounds() {
+        let b = families::cycle(6);
+        let e = b.vocabulary().id_of("E").unwrap();
+        let mut idx = StructureIndex::new(&b);
+        assert_eq!(idx.mutations_since(0).unwrap().len(), 0);
+        let mut batch = crate::DeltaBatch::new();
+        batch.delete(e, vec![0, 1]);
+        let first = idx.apply_delta(&batch).unwrap();
+        let mut batch2 = crate::DeltaBatch::new();
+        batch2.insert(e, vec![0, 1]);
+        let second = idx.apply_delta(&batch2).unwrap();
+        let both = idx.mutations_since(0).unwrap();
+        assert_eq!(both.len(), 2);
+        assert_eq!(both[0], first);
+        assert_eq!(both[1], second);
+        assert_eq!(idx.mutations_since(1).unwrap(), vec![second]);
+        assert_eq!(idx.mutations_since(2).unwrap().len(), 0);
+        assert!(idx.mutations_since(99).is_none(), "future version");
+        for _ in 0..(MUTATION_LOG_CAP + 4) {
+            let mut b = crate::DeltaBatch::new();
+            b.delete(e, vec![1, 2]).insert(e, vec![1, 2]);
+            idx.apply_delta(&b).unwrap();
+        }
+        assert!(idx.mutations_since(0).is_none(), "log is bounded");
+        assert!(idx
+            .mutations_since(idx.version() - MUTATION_LOG_CAP as u64)
+            .is_some());
     }
 
     #[test]

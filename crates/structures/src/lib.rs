@@ -35,6 +35,7 @@ pub mod builder;
 pub mod codec;
 pub mod core;
 pub mod cq;
+pub mod delta;
 pub mod error;
 pub mod families;
 pub mod homomorphism;
@@ -49,12 +50,13 @@ pub use crate::core::{
 };
 pub use builder::StructureBuilder;
 pub use cq::{Atom, ConjunctiveQuery};
+pub use delta::{AppliedDelta, DeltaBatch};
 pub use error::StructureError;
 pub use homomorphism::{
     count_homomorphisms_bruteforce, embedding_exists, find_embedding, find_homomorphism,
     homomorphism_exists, homomorphisms_iter, is_homomorphism, is_partial_homomorphism, PartialHom,
 };
-pub use index::{structure_hash, StructureIndex};
+pub use index::{index_build_count, structure_hash, StructureIndex};
 pub use ops::{direct_product, disjoint_union, relabeled, star_expansion, symmetric_closure};
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{RelationSymbol, SymbolId, Vocabulary};

@@ -18,6 +18,16 @@ use crate::error::StructureError;
 use crate::vocabulary::{SymbolId, Vocabulary};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide allocator for structure content tokens.  Starts at 1 so 0
+/// can serve as an "unknown" sentinel in caller-side maps.
+static NEXT_CONTENT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Draw a fresh, process-unique content token.
+pub(crate) fn fresh_content_token() -> u64 {
+    NEXT_CONTENT_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An element of a structure's universe.
 pub type Element = usize;
@@ -26,9 +36,14 @@ pub type Element = usize;
 pub type Tuple = Vec<Element>;
 
 /// The interpretation of one relation symbol: a set of tuples of the symbol's
-/// arity, stored row-major in one flat `u32` buffer, sorted and deduplicated
-/// for deterministic iteration.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// arity, stored row-major in one flat `u32` buffer.  Bulk-built relations
+/// are sorted and deduplicated for deterministic iteration; a relation that
+/// has been mutated through a [`crate::delta::DeltaBatch`] keeps its rows in
+/// *storage* order (append for inserts, swap-remove for deletes) so that row
+/// ids stay stable for aligned side tables — the `sorted` flag records which
+/// regime the relation is in, and equality compares tuple **sets** either
+/// way.
+#[derive(Debug, Clone, Eq, Default)]
 pub struct Relation {
     arity: usize,
     /// Row-major tuple storage: row `i` occupies `flat[i*arity..(i+1)*arity]`.
@@ -37,6 +52,34 @@ pub struct Relation {
     /// undefined for arity-0 relations (which hold at most the empty tuple).
     len: usize,
     sorted: bool,
+}
+
+impl PartialEq for Relation {
+    /// Set equality over the stored tuples.  The fast path compares the flat
+    /// buffers directly (identical storage order — always the case for two
+    /// canonically built relations, and for a relation and its delta-replayed
+    /// twin); only order-divergent representations pay a sort.
+    fn eq(&self, other: &Relation) -> bool {
+        if self.arity != other.arity || self.len != other.len {
+            return false;
+        }
+        if self.flat[..self.len * self.arity] == other.flat[..other.len * other.arity] {
+            return true;
+        }
+        if self.sorted && other.sorted {
+            return false; // both canonical: flat inequality is set inequality
+        }
+        let canonical = |r: &Relation| -> Vec<u32> {
+            let mut order: Vec<usize> = (0..r.len).collect();
+            order.sort_unstable_by(|&i, &j| r.raw_row(i).cmp(r.raw_row(j)));
+            let mut packed = Vec::with_capacity(r.len * r.arity);
+            for i in order {
+                packed.extend_from_slice(r.raw_row(i));
+            }
+            packed
+        };
+        canonical(self) == canonical(other)
+    }
 }
 
 impl Relation {
@@ -106,33 +149,77 @@ impl Relation {
         self.sorted = false;
     }
 
-    /// Iterate over the rows (tuples) of the relation, in sorted order.
+    /// Append an interned row at row id `len` *without* re-sorting — the
+    /// delta insert path.  The caller guarantees arity, element range, and
+    /// non-membership; the relation leaves the canonical (sorted) regime.
+    pub(crate) fn push_row(&mut self, row: &[u32]) -> u32 {
+        debug_assert_eq!(row.len(), self.arity);
+        let id = self.len as u32;
+        self.flat.extend_from_slice(row);
+        self.len += 1;
+        self.sorted = false;
+        id
+    }
+
+    /// Remove row `i` by swapping the last row into its place (O(arity)).
+    /// Returns `true` when a row actually moved, i.e. `i` was not last.
+    /// The relation leaves the canonical (sorted) regime.
+    pub(crate) fn swap_remove_row(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "row index out of range");
+        let last = self.len - 1;
+        let moved = i != last;
+        if moved && self.arity > 0 {
+            let (head, tail) = self.flat.split_at_mut(last * self.arity);
+            head[i * self.arity..(i + 1) * self.arity].copy_from_slice(&tail[..self.arity]);
+        }
+        self.flat.truncate(last * self.arity);
+        self.len = last;
+        self.sorted = false;
+        moved
+    }
+
+    /// Whether the relation is in the canonical (sorted, deduplicated)
+    /// regime.  Delta-mutated relations report `false`; reads then fall back
+    /// to linear scans for membership.
+    pub fn is_canonical(&self) -> bool {
+        self.sorted
+    }
+
+    /// Iterate over the rows (tuples) of the relation, in storage order
+    /// (sorted order for canonical relations).
     pub fn rows(&self) -> impl ExactSizeIterator<Item = &[u32]> + Clone {
-        debug_assert!(self.sorted, "relation read before normalization");
         (0..self.len).map(move |i| self.raw_row(i))
     }
 
-    /// The `i`-th row, in sorted order.
+    /// The `i`-th row, in storage order.
     pub fn row(&self, i: usize) -> &[u32] {
-        debug_assert!(self.sorted, "relation read before normalization");
         assert!(i < self.len, "row index out of range");
         self.raw_row(i)
     }
 
     /// Membership test for a tuple of universe elements.
     pub fn contains(&self, t: &[Element]) -> bool {
-        debug_assert!(self.sorted);
         if t.len() != self.arity {
             return false;
+        }
+        if !self.sorted {
+            return (0..self.len).any(|i| {
+                self.raw_row(i)
+                    .iter()
+                    .map(|&e| e as usize)
+                    .eq(t.iter().copied())
+            });
         }
         self.binary_search_by(|row| row.iter().map(|&e| e as usize).cmp(t.iter().copied()))
     }
 
     /// Membership test for an already-interned row.
     pub fn contains_row(&self, row: &[u32]) -> bool {
-        debug_assert!(self.sorted);
         if row.len() != self.arity {
             return false;
+        }
+        if !self.sorted {
+            return (0..self.len).any(|i| self.raw_row(i) == row);
         }
         self.binary_search_by(|probe| probe.cmp(row))
     }
@@ -170,14 +257,33 @@ impl Relation {
 ///   element interning (`universe_size <= u32::MAX`);
 /// * every stored tuple has the arity of its symbol and all components are
 ///   `< universe_size`;
-/// * relation tuple lists are sorted and deduplicated.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// * relation tuple lists are sorted and deduplicated when bulk-built;
+///   delta-mutated relations keep storage order (see [`Relation`]);
+/// * the `token` is process-unique per *content state*: every mutation draws
+///   a fresh token, and two structures share a token only when one is a
+///   clone or deterministic delta-replay of the other (identical content).
+#[derive(Debug, Clone, Eq)]
 pub struct Structure {
     vocab: Vocabulary,
     universe_size: usize,
     relations: Vec<Relation>,
     /// Optional element labels, used only for display/debugging.
     labels: Option<Vec<String>>,
+    /// Content identity token — see [`Structure::content_token`].
+    token: u64,
+}
+
+impl PartialEq for Structure {
+    /// Content equality: vocabulary, universe, relations (as tuple sets) and
+    /// labels.  The identity `token` is deliberately excluded — it tracks
+    /// *state generations*, not content, and two independently built equal
+    /// structures carry different tokens.
+    fn eq(&self, other: &Structure) -> bool {
+        self.vocab == other.vocab
+            && self.universe_size == other.universe_size
+            && self.relations == other.relations
+            && self.labels == other.labels
+    }
 }
 
 impl Structure {
@@ -201,6 +307,7 @@ impl Structure {
             universe_size,
             relations,
             labels: None,
+            token: fresh_content_token(),
         })
     }
 
@@ -208,7 +315,28 @@ impl Structure {
     pub fn with_labels(mut self, labels: Vec<String>) -> Self {
         assert_eq!(labels.len(), self.universe_size);
         self.labels = Some(labels);
+        self.token = fresh_content_token();
         self
+    }
+
+    /// The structure's content identity token.
+    ///
+    /// Process-unique per content state: every mutation (including
+    /// [`Structure::apply_delta`]) replaces it with a fresh value, and the
+    /// only way two live structures share a token is cloning or replaying
+    /// the same [`crate::delta::AppliedDelta`] — both of which guarantee
+    /// identical content.  Caches use it for O(1) repeat lookups: a token
+    /// hit implies content equality, a miss proves nothing.
+    pub fn content_token(&self) -> u64 {
+        self.token
+    }
+
+    pub(crate) fn set_content_token(&mut self, token: u64) {
+        self.token = token;
+    }
+
+    pub(crate) fn relation_mut(&mut self, sym: SymbolId) -> &mut Relation {
+        &mut self.relations[sym.index()]
     }
 
     /// The label of an element, if labels were attached.
@@ -253,6 +381,7 @@ impl Structure {
         }
         self.relations[sym.index()].insert(&tuple);
         self.relations[sym.index()].normalize();
+        self.token = fresh_content_token();
         Ok(())
     }
 
@@ -268,6 +397,7 @@ impl Structure {
         for r in &mut self.relations {
             r.normalize();
         }
+        self.token = fresh_content_token();
     }
 
     /// The interpretation of a symbol.

@@ -83,6 +83,26 @@ impl TupleWeights {
             .flatten()
             .fold(0u64, |a, &w| a.saturating_add(w))
     }
+
+    /// Keep the table aligned with a structure that an
+    /// [`crate::delta::AppliedDelta`] was applied to: deletions swap-remove
+    /// the weight at the recorded row id (the then-last row's weight takes
+    /// over that slot, mirroring the structure's row move), insertions
+    /// append `weight_of(sym, row)`.  Run this next to every
+    /// [`crate::Structure::apply_applied`] so aggregates never read a stale
+    /// or misaligned weight.
+    pub fn apply_delta(
+        &mut self,
+        applied: &crate::delta::AppliedDelta,
+        mut weight_of: impl FnMut(SymbolId, &[u32]) -> u64,
+    ) {
+        for (sym, id, _) in applied.deletions() {
+            self.per_symbol[sym.index()].swap_remove(*id as usize);
+        }
+        for (sym, row) in applied.insertions() {
+            self.per_symbol[sym.index()].push(weight_of(*sym, row));
+        }
+    }
 }
 
 #[cfg(test)]

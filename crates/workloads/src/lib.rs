@@ -8,7 +8,7 @@
 #![warn(missing_docs)]
 
 use cq_graphs::Graph;
-use cq_structures::{ConjunctiveQuery, Structure, StructureBuilder, Vocabulary};
+use cq_structures::{ConjunctiveQuery, DeltaBatch, Structure, StructureBuilder, Vocabulary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -616,6 +616,115 @@ pub fn scale_join_queries(relations: usize) -> Vec<Structure> {
     .collect()
 }
 
+/// The E21 mutation traffic: `rounds` delta batches, each churning roughly
+/// the `churn` fraction of every relation's rows (half deletions of
+/// existing rows, half insertions of fresh rows) — update traffic against
+/// a standing corpus, touching the dense fact relations and the sparse
+/// `S` alike so every query family sees genuinely dirty DP bags each
+/// round.
+///
+/// Batches are **sequential**: batch `i` is generated against the corpus
+/// as left by batches `0..i` (deletions always name rows present at that
+/// point).  They are also **epoch-safe** by construction: an inserted
+/// element is drawn only from elements still occurring in that position of
+/// that relation after the round's deletions, and a deletion never removes
+/// an element's last occurrence in a position — so applying the traffic
+/// never grows a position domain and the index's
+/// [`domain_epoch`](cq_structures::StructureIndex::domain_epoch) stays
+/// put, keeping compiled programs and retained DP tables warm (exactly
+/// the regime bench E21 measures; domain-growing updates are covered
+/// separately by the epoch tests).
+///
+/// Deterministic in `(db, rounds, churn, seed)`.
+pub fn mutation_traffic(db: &Structure, rounds: usize, churn: f64, seed: u64) -> Vec<DeltaBatch> {
+    use std::collections::HashMap;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DE1_7A00);
+    let mut current = db.clone();
+    let mut batches = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        // Per-(symbol, position, element) occurrence counts, kept live as
+        // the round's deletions are queued so no element's support drops
+        // to zero.
+        let mut support: HashMap<(u32, usize, u32), usize> = HashMap::new();
+        for (sym, row) in current.all_tuples() {
+            for (pos, &elem) in row.iter().enumerate() {
+                *support.entry((sym.0, pos, elem)).or_default() += 1;
+            }
+        }
+        let mut batch = DeltaBatch::new();
+        for sym in current.vocabulary().ids() {
+            let relation = current.relation(sym);
+            if relation.is_empty() {
+                continue;
+            }
+            let ops = ((relation.len() as f64 * churn).round() as usize).max(2);
+            let deletions = ops / 2;
+            let mut queued = 0usize;
+            let mut attempts = 0usize;
+            while queued < deletions && attempts < deletions * 8 {
+                attempts += 1;
+                let row = relation.row(rng.gen_range(0..relation.len())).to_vec();
+                let duplicate = batch
+                    .deletions()
+                    .iter()
+                    .any(|(s, r)| *s == sym && *r == row);
+                let safe = !duplicate
+                    && row
+                        .iter()
+                        .enumerate()
+                        .all(|(pos, &elem)| support[&(sym.0, pos, elem)] >= 2);
+                if !safe {
+                    continue;
+                }
+                for (pos, &elem) in row.iter().enumerate() {
+                    *support.get_mut(&(sym.0, pos, elem)).expect("counted") -= 1;
+                }
+                batch.delete(sym, row);
+                queued += 1;
+            }
+            // Insertion pools: elements whose support in the position
+            // survives this round's deletions.
+            let arity = relation.arity();
+            let pools: Vec<Vec<u32>> = (0..arity)
+                .map(|pos| {
+                    let mut pool: Vec<u32> = support
+                        .iter()
+                        .filter(|((s, p, _), &count)| *s == sym.0 && *p == pos && count > 0)
+                        .map(|((_, _, elem), _)| *elem)
+                        .collect();
+                    pool.sort_unstable();
+                    pool
+                })
+                .collect();
+            let insertions = ops - deletions;
+            let mut queued = 0usize;
+            let mut attempts = 0usize;
+            while queued < insertions && attempts < insertions * 8 {
+                attempts += 1;
+                let row: Vec<u32> = pools
+                    .iter()
+                    .map(|pool| pool[rng.gen_range(0..pool.len())])
+                    .collect();
+                if relation.contains_row(&row)
+                    || batch
+                        .insertions()
+                        .iter()
+                        .any(|(s, r)| *s == sym && *r == row)
+                {
+                    continue;
+                }
+                batch.insert(sym, row);
+                queued += 1;
+            }
+        }
+        current
+            .apply_delta(&batch)
+            .expect("generated against the current corpus");
+        batches.push(batch);
+    }
+    batches
+}
+
 /// A fleet of `count` query structures with pairwise **distinct**
 /// plan-cache fingerprints, spanning several shapes (stars, odd cycles,
 /// directed paths, caterpillars).  A batch over this fleet performs `count`
@@ -788,6 +897,44 @@ mod tests {
         // Every query has treewidth 2 — the tree-DP/counting tier.
         for q in &w1.queries {
             assert_eq!(cq_decomp::width_profile_of_structure(q).treewidth, 2);
+        }
+    }
+
+    #[test]
+    fn mutation_traffic_is_sequential_epoch_safe_and_deterministic() {
+        use cq_structures::StructureIndex;
+        let db = scale_corpus(60, 2, 400, 40, 9);
+        let batches = mutation_traffic(&db, 4, 0.01, 7);
+        assert_eq!(batches.len(), 4);
+        // Deterministic in (db, rounds, churn, seed).
+        let again = mutation_traffic(&db, 4, 0.01, 7);
+        for (a, b) in batches.iter().zip(&again) {
+            assert_eq!(a.deletions(), b.deletions());
+            assert_eq!(a.insertions(), b.insertions());
+        }
+        assert_ne!(
+            mutation_traffic(&db, 4, 0.01, 8)[0].deletions(),
+            batches[0].deletions(),
+            "seed changes the traffic"
+        );
+        // Every round applies cleanly in sequence, effectively changes the
+        // corpus, touches the sparse S, and never bumps the domain epoch.
+        let mut index = StructureIndex::new(&db);
+        let epoch = index.domain_epoch();
+        let s = db.vocabulary().id_of("S").expect("scale corpus schema");
+        for batch in &batches {
+            assert!(!batch.is_empty());
+            assert!(
+                batch
+                    .deletions()
+                    .iter()
+                    .chain(batch.insertions())
+                    .any(|(sym, _)| *sym == s),
+                "churn must reach the selective relation"
+            );
+            let applied = index.apply_delta(batch).expect("sequentially valid");
+            assert!(!applied.is_noop());
+            assert_eq!(index.domain_epoch(), epoch, "epoch-safe by construction");
         }
     }
 

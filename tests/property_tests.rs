@@ -332,3 +332,130 @@ fn prepared_plans_roundtrip_and_verify_on_the_seeded_grid() {
         }
     }
 }
+
+/// An absent edge between existing elements, or `None` when the relation
+/// is complete (dense seeds on tiny universes).
+fn absent_edge(s: &Structure) -> Option<(cq_fine::structures::SymbolId, Vec<u32>)> {
+    let index = cq_fine::structures::StructureIndex::new(s);
+    let sym = s.vocabulary().ids().next()?;
+    if s.relation(sym).arity() != 2 {
+        return None;
+    }
+    let n = s.universe_size() as u32;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && index.row_of(sym, &[a, b]).is_none() {
+                return Some((sym, vec![a, b]));
+            }
+        }
+    }
+    None
+}
+
+/// insert ∘ delete = identity, in both orders: inserting a fresh tuple and
+/// deleting it restores the original structure, and deleting an existing
+/// tuple and re-inserting it does too (row ids may permute — swap-remove
+/// plus append — but structure equality is set equality per relation).
+#[test]
+fn insert_delete_roundtrips_are_the_identity() {
+    use cq_fine::structures::DeltaBatch;
+    for (n, seed, s) in small_graphs().into_iter().chain(small_digraphs()) {
+        let label = format!("(n={n}, seed={seed})");
+        if let Some((sym, row)) = absent_edge(&s) {
+            let mut forward = s.clone();
+            let mut ins = DeltaBatch::new();
+            ins.insert(sym, row.clone());
+            forward
+                .apply_delta(&ins)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_ne!(forward, s, "{label}: the insert must be visible");
+            let mut del = DeltaBatch::new();
+            del.delete(sym, row);
+            forward
+                .apply_delta(&del)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(forward, s, "{label}: delete must undo the insert");
+        }
+        if let Some((sym, row)) = s.all_tuples().next().map(|(sym, r)| (sym, r.to_vec())) {
+            let mut back = s.clone();
+            let mut del = DeltaBatch::new();
+            del.delete(sym, row.clone());
+            back.apply_delta(&del)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_ne!(back, s, "{label}: the delete must be visible");
+            let mut ins = DeltaBatch::new();
+            ins.insert(sym, row);
+            back.apply_delta(&ins)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(back, s, "{label}: insert must undo the delete");
+        }
+    }
+}
+
+/// Deleting an absent tuple (and inserting a present one) is a validated
+/// no-op across the grid: the batch is accepted, the structure is
+/// unchanged, and the applied record says so.
+#[test]
+fn absent_deletes_and_present_inserts_are_noops_on_the_grid() {
+    use cq_fine::structures::DeltaBatch;
+    for (n, seed, s) in small_graphs() {
+        let label = format!("(n={n}, seed={seed})");
+        let mut batch = DeltaBatch::new();
+        let mut expected_noop = false;
+        if let Some((sym, row)) = absent_edge(&s) {
+            batch.delete(sym, row);
+            expected_noop = true;
+        }
+        if let Some((sym, row)) = s.all_tuples().next().map(|(sym, r)| (sym, r.to_vec())) {
+            batch.insert(sym, row);
+            expected_noop = true;
+        }
+        if !expected_noop {
+            continue;
+        }
+        let mut mutated = s.clone();
+        let applied = mutated
+            .apply_delta(&batch)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(applied.is_noop(), "{label}: nothing effectively changed");
+        assert_eq!(mutated, s, "{label}: a no-op batch leaves the structure");
+    }
+}
+
+/// [`TupleWeights::apply_delta`] mirrors the structure's swap-remove row
+/// moves exactly: after every churn round the maintained table is
+/// slot-for-slot equal to a table rebuilt from scratch with the same
+/// content-keyed formula — so a weighted aggregate can never read the
+/// weight of a departed tuple, and min-cost through the engine agrees
+/// with a cold evaluation.
+#[test]
+fn tuple_weights_stay_aligned_under_delta_churn() {
+    use cq_fine::structures::{SymbolId, TupleWeights};
+    use cq_fine::workloads::mutation_traffic;
+    fn wf(sym: SymbolId, t: &[u32]) -> u64 {
+        (sym.index() as u64 + 1) * 13 + t.iter().map(|&e| u64::from(e) * 3 + 1).sum::<u64>() % 41
+    }
+    let engine = Engine::new(EngineConfig::default());
+    let query = cq_fine::structures::families::path(3);
+    for seed in 0..4 {
+        let s = random_graph_structure(12, 0.3, seed);
+        let mut current = s.clone();
+        let mut weights = TupleWeights::from_fn(&s, |sym, _, t| wf(sym, t));
+        for (round, batch) in mutation_traffic(&s, 3, 0.2, seed ^ 0xBEEF)
+            .iter()
+            .enumerate()
+        {
+            let applied = current.apply_delta(batch).expect("valid traffic batch");
+            weights.apply_delta(&applied, wf);
+            let label = format!("(seed={seed}, round={round})");
+            assert!(weights.matches(&current), "{label}: table misaligned");
+            let fresh = TupleWeights::from_fn(&current, |sym, _, t| wf(sym, t));
+            assert_eq!(weights, fresh, "{label}: a slot holds a stale weight");
+            assert_eq!(
+                engine.evaluate_min_cost(&query, &current, &weights).value,
+                engine.evaluate_min_cost(&query, &current, &fresh).value,
+                "{label}: maintained and rebuilt weights must aggregate alike"
+            );
+        }
+    }
+}
