@@ -33,6 +33,11 @@
 //!     / tree-decomposition counting DP / brute force) dispatching on the
 //!     **original** query's widths, because counting — unlike decision —
 //!     is not invariant under taking cores;
+//!   - [`answers`] — free-variable answers: [`Engine::count_answers`]
+//!     counts the distinct projections of the homomorphisms onto a query's
+//!     free variables, and [`Engine::answers`] enumerates them in pages
+//!     with bounded delay through the free-adjoined decomposition DP of
+//!     [`cq_solver::kernel::AnswerProgram`];
 //!   - [`aggregates`] / [`AggregateSolver`] — the weighted generalization:
 //!     min-cost / max-weight homomorphisms through the same kernel DPs
 //!     instantiated at the tropical semirings ([`Engine::evaluate_min_cost`],
@@ -55,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregates;
+pub mod answers;
 pub mod counting;
 pub mod engine;
 pub mod persist;
@@ -70,6 +76,7 @@ pub use aggregates::{
     AggregateObjective, AggregateRegistry, AggregateReport, AggregateSolver, ForestAggregateSolver,
     SearchAggregateSolver, TreeDecAggregateSolver,
 };
+pub use answers::{AnswerCountReport, AnswerMethod, AnswerPage};
 pub use counting::{
     count_instance, BruteForceCountSolver, CountEvaluation, CountMethod, CountOutcome,
     CountRegistry, CountReport, CountSolver, ForestCountSolver, TreeDecCountSolver,

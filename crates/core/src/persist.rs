@@ -277,6 +277,72 @@ impl Decode for crate::CountReport {
     }
 }
 
+impl Encode for crate::AnswerMethod {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            crate::AnswerMethod::TreeDecompositionDp => 0,
+            crate::AnswerMethod::BruteForce => 1,
+        });
+    }
+}
+
+impl Decode for crate::AnswerMethod {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(crate::AnswerMethod::TreeDecompositionDp),
+            1 => Ok(crate::AnswerMethod::BruteForce),
+            tag => Err(DecodeError::BadTag {
+                what: "AnswerMethod",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for crate::AnswerCountReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.answers.encode(out);
+        self.method.encode(out);
+        self.degree_hint.encode(out);
+        self.widths.encode(out);
+        self.answer_width.encode(out);
+        self.free_count.encode(out);
+    }
+}
+
+impl Decode for crate::AnswerCountReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(crate::AnswerCountReport {
+            answers: u64::decode(r)?,
+            method: crate::AnswerMethod::decode(r)?,
+            degree_hint: Degree::decode(r)?,
+            widths: cq_decomp::WidthProfile::decode(r)?,
+            answer_width: usize::decode(r)?,
+            free_count: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for crate::AnswerPage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.offset.encode(out);
+        self.has_more.encode(out);
+        self.method.encode(out);
+    }
+}
+
+impl Decode for crate::AnswerPage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(crate::AnswerPage {
+            rows: Vec::decode(r)?,
+            offset: u64::decode(r)?,
+            has_more: bool::decode(r)?,
+            method: crate::AnswerMethod::decode(r)?,
+        })
+    }
+}
+
 impl Encode for crate::PrepStats {
     fn encode(&self, out: &mut Vec<u8>) {
         self.preparations.encode(out);

@@ -36,8 +36,8 @@ use cq_graphs::{gaifman_graph, Graph};
 use cq_logic::canonical::query_fingerprint;
 use cq_logic::treedepth_sentence::{corresponding_sentence_with_forest, TreeDepthSentence};
 use cq_solver::kernel::{
-    ForestProgram, ForestRun, KernelSearchStats, SearchProgram, StairProgram, TreeDpProgram,
-    TreeDpRun, TreeIncrementalState,
+    AnswerProgram, ForestProgram, ForestRun, KernelSearchStats, SearchProgram, StairProgram,
+    TreeDpProgram, TreeDpRun, TreeIncrementalState,
 };
 use cq_solver::{BoolSemiring, CheckedNatSemiring, Nat, PathDpReport, Semiring};
 use cq_structures::codec::{encode_option_ref, Decode, DecodeError, Encode, Reader};
@@ -58,6 +58,12 @@ const MAX_COUNT_VERIFIED_ALIASES: usize = 16;
 /// ones; compilation is query-sized work, so an eviction costs
 /// milliseconds, never correctness).
 const MAX_KERNEL_BUNDLES: usize = 8;
+
+/// Cap on compiled answer programs retained per kernel bundle, keyed by
+/// free-element list — clients normally ask one query for answers under one
+/// free list, so this stays tiny; cycling more lists recompiles the
+/// overflow ones.
+const MAX_ANSWER_PROGRAMS: usize = 4;
 
 /// The compiled kernel programs of one `(plan, database index)` pair, each
 /// slot materialized on first use by the corresponding solver entry point
@@ -96,6 +102,12 @@ struct IndexKernels {
     /// the better trade on both ends of the churn spectrum.
     tree_decide_retained: Mutex<Option<TreeIncrementalState<bool>>>,
     tree_count_retained: Mutex<Option<TreeIncrementalState<Nat>>>,
+    /// Compiled [`AnswerProgram`]s keyed by free-element list (declared
+    /// order matters — it is the answer-column order).  A plan may serve
+    /// answers under several free lists; each compiles its own
+    /// adjoined-decomposition DP, MRU-retained up to
+    /// [`MAX_ANSWER_PROGRAMS`].
+    answers: Mutex<Vec<(Vec<Element>, Arc<AnswerProgram>)>>,
 }
 
 impl std::fmt::Debug for IndexKernels {
@@ -122,6 +134,10 @@ impl std::fmt::Debug for IndexKernels {
                     .tree_count_retained
                     .try_lock()
                     .is_ok_and(|s| s.is_some()),
+            )
+            .field(
+                "answers",
+                &self.answers.try_lock().map(|a| a.len()).unwrap_or(0),
             )
             .finish()
     }
@@ -472,6 +488,41 @@ impl PreparedQuery {
             };
         }
         program.count(index)
+    }
+
+    /// The compiled [`AnswerProgram`] for one free-element list against one
+    /// index: the **original** structure's counting tree decomposition with
+    /// the free elements adjoined to every bag (answers, like counts, are
+    /// not core-invariant — projecting homomorphisms of the core onto free
+    /// positions of the core would answer a different query).  Compiled on
+    /// first use and MRU-cached per free list on the index's kernel bundle.
+    ///
+    /// `free` must be the canonical-structure elements of the free
+    /// variables in declared order, distinct; the engine validates this at
+    /// the [`cq_structures::ConjunctiveQuery`] boundary.
+    pub fn answer_program(&self, index: &StructureIndex, free: &[Element]) -> Arc<AnswerProgram> {
+        let kernels = self.kernels_for(index);
+        let mut cache = kernels
+            .answers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(pos) = cache.iter().position(|(f, _)| f == free) {
+            let entry = cache.remove(pos);
+            let program = Arc::clone(&entry.1);
+            cache.push(entry); // most-recently-used at the back
+            return program;
+        }
+        let program = Arc::new(AnswerProgram::compile(
+            &self.original,
+            index,
+            &self.counting_analysis().tree_decomposition,
+            free,
+        ));
+        if cache.len() >= MAX_ANSWER_PROGRAMS {
+            cache.remove(0);
+        }
+        cache.push((free.to_vec(), Arc::clone(&program)));
+        program
     }
 
     /// Weighted ⊕-aggregate (min-cost, max-weight, …) through the kernel

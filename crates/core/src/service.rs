@@ -37,6 +37,7 @@
 //!   calling thread and would silently undercount under parallelism.
 
 use crate::aggregates::{AggregateObjective, AggregateRegistry, AggregateReport};
+use crate::answers::{AnswerCountReport, AnswerMethod, AnswerPage};
 use crate::counting::{CountOutcome, CountRegistry, CountReport};
 use crate::engine::{EngineConfig, EngineReport};
 use crate::persist::{PersistError, PlanStore, WarmStartSummary};
@@ -46,8 +47,8 @@ use crate::Degree;
 use cq_decomp::WidthProfile;
 use cq_logic::canonical::query_fingerprint;
 use cq_structures::{
-    structure_hash, AppliedDelta, DeltaBatch, Structure, StructureError, StructureIndex,
-    TupleWeights,
+    answers_bruteforce, structure_hash, AppliedDelta, ConjunctiveQuery, DeltaBatch, Structure,
+    StructureError, StructureIndex, TupleWeights,
 };
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -1367,6 +1368,199 @@ impl Engine {
     pub fn count_batch(&self, batch: &[(&Structure, &Structure)]) -> Vec<CountReport> {
         self.run_batch(batch, |engine, &(query, database)| {
             engine.count_instance(query, database)
+        })
+    }
+
+    /// A cached plan whose original is **structurally identical** to the
+    /// submitted canonical structure — the reuse guard for answers.
+    ///
+    /// Answers need an even stricter guard than counting's
+    /// [`PreparedQuery::counts_for`]: free-variable positions are element
+    /// indices *of the submitted canonical structure*, and they do not
+    /// transport along an isomorphism to a differently-labelled cached
+    /// original (the projection would land on the wrong columns).  A cache
+    /// hit whose original differs in any way therefore falls back to an
+    /// uncached throwaway plan for the exact submitted form.
+    fn answer_plan(&self, canonical: &Structure) -> Arc<PreparedQuery> {
+        let plan = self.prepare(canonical);
+        if *plan.original() == *canonical {
+            plan
+        } else {
+            self.prepare_counted(canonical, query_fingerprint(canonical))
+        }
+    }
+
+    /// Count the **distinct answers** of a free-variable query against one
+    /// database: the number of assignments to
+    /// [`ConjunctiveQuery::free_variables`] extendable to a full
+    /// homomorphism of the query's canonical structure.
+    ///
+    /// With zero free variables this degenerates to the boolean question
+    /// (`1` if satisfiable, else `0`); with every variable free it is the
+    /// number of distinct homomorphisms.  Like homomorphism *counting*
+    /// (Theorem 6.1), answers are **not** invariant under taking cores, so
+    /// the evaluation runs on the original structure with the counting
+    /// certificates; unlike counting, the licensed DP pays a width price of
+    /// at most the number of free variables (see
+    /// [`cq_solver::kernel::AnswerProgram`]).  The engine dispatches on the
+    /// original query's treewidth against
+    /// [`EngineConfig::treewidth_threshold`]: within the threshold, the
+    /// grouped root-bag DP; beyond it, brute-force enumeration with
+    /// projection.
+    ///
+    /// # Panics
+    /// When the query is malformed (atoms inconsistent with its declared
+    /// variables) — validate at the boundary, as `cq-service` does.
+    pub fn count_answers(
+        &self,
+        query: &ConjunctiveQuery,
+        database: &Structure,
+    ) -> AnswerCountReport {
+        let canonical = query
+            .canonical_structure()
+            .expect("query atoms must be consistent with its declared variables");
+        let free = query.free_element_indices();
+        let plan = self.answer_plan(&canonical);
+        let widths = self.ensure_counting_certificates(&plan);
+        let (answers, method, answer_width) = if widths.treewidth <= self.config.treewidth_threshold
+        {
+            let index = self.indexes.get(database);
+            let program = plan.answer_program(&index, &free);
+            (
+                program.count_answers(&index),
+                AnswerMethod::TreeDecompositionDp,
+                program.answer_width(),
+            )
+        } else {
+            let rows = answers_bruteforce(&canonical, database, &free);
+            (
+                rows.len() as u64,
+                AnswerMethod::BruteForce,
+                widths.treewidth + free.len(),
+            )
+        };
+        AnswerCountReport {
+            answers,
+            method,
+            degree_hint: Degree::from_boundedness(
+                widths.treewidth <= self.config.treewidth_threshold,
+                widths.pathwidth <= self.config.pathwidth_threshold,
+                widths.treedepth <= self.config.treedepth_threshold,
+            ),
+            widths,
+            answer_width,
+            free_count: free.len(),
+        }
+    }
+
+    /// One page of the query's answers: skip `offset` rows of the full
+    /// enumeration, return up to `limit` rows, and report whether anything
+    /// follows.  Rows are tuples of database elements aligned with
+    /// [`ConjunctiveQuery::free_variables`] order, in ascending
+    /// lexicographic row order — a total order independent of worker count
+    /// and engine state, so consecutive pages tile the full answer set
+    /// exactly.
+    ///
+    /// On the licensed path the page is produced by the bounded-delay
+    /// cursor of [`cq_solver::kernel::AnswerProgram`]: no answer beyond
+    /// `offset + limit + 1` is ever materialized, and the cost of a page is
+    /// proportional to its position and size — not to the total number of
+    /// answers.  (`has_more` costs one extra cursor step, which is why the
+    /// `+ 1`.)  Beyond the treewidth threshold the engine falls back to
+    /// materializing the brute-force projection and slicing it.
+    ///
+    /// # Panics
+    /// When the query is malformed, as for [`Engine::count_answers`].
+    pub fn answers(
+        &self,
+        query: &ConjunctiveQuery,
+        database: &Structure,
+        offset: u64,
+        limit: usize,
+    ) -> AnswerPage {
+        let canonical = query
+            .canonical_structure()
+            .expect("query atoms must be consistent with its declared variables");
+        let free = query.free_element_indices();
+        let plan = self.answer_plan(&canonical);
+        let widths = self.ensure_counting_certificates(&plan);
+        if widths.treewidth <= self.config.treewidth_threshold {
+            let index = self.indexes.get(database);
+            let program = plan.answer_program(&index, &free);
+            let mut cursor = program.cursor(&index);
+            let method = AnswerMethod::TreeDecompositionDp;
+            for _ in 0..offset {
+                if cursor.next().is_none() {
+                    // Page starts past the end: empty, nothing follows.
+                    return AnswerPage {
+                        rows: Vec::new(),
+                        offset,
+                        has_more: false,
+                        method,
+                    };
+                }
+            }
+            let mut rows = Vec::new();
+            while rows.len() < limit {
+                match cursor.next() {
+                    Some(row) => rows.push(row),
+                    None => {
+                        return AnswerPage {
+                            rows,
+                            offset,
+                            has_more: false,
+                            method,
+                        }
+                    }
+                }
+            }
+            let has_more = cursor.next().is_some();
+            AnswerPage {
+                rows,
+                offset,
+                has_more,
+                method,
+            }
+        } else {
+            let all = answers_bruteforce(&canonical, database, &free);
+            let start = offset.min(all.len() as u64) as usize;
+            let end = start.saturating_add(limit).min(all.len());
+            AnswerPage {
+                rows: all[start..end]
+                    .iter()
+                    .map(|row| row.iter().map(|&e| e as u32).collect())
+                    .collect(),
+                offset,
+                has_more: end < all.len(),
+                method: AnswerMethod::BruteForce,
+            }
+        }
+    }
+
+    /// Count answers for a batch of (query, database) instances across the
+    /// configured worker threads — the answers analogue of
+    /// [`Engine::count_batch`]: plans and compiled answer programs are
+    /// shared through the caches, results are in input order and
+    /// bit-identical to the sequential path for every worker count.
+    pub fn count_answers_batch(
+        &self,
+        batch: &[(&ConjunctiveQuery, &Structure)],
+    ) -> Vec<AnswerCountReport> {
+        self.run_batch(batch, |engine, &(query, database)| {
+            engine.count_answers(query, database)
+        })
+    }
+
+    /// Evaluate a batch of paged answer requests
+    /// `(query, database, offset, limit)` across the configured worker
+    /// threads, in input order and bit-identical to the sequential path for
+    /// every worker count.
+    pub fn answers_batch(
+        &self,
+        batch: &[(&ConjunctiveQuery, &Structure, u64, usize)],
+    ) -> Vec<AnswerPage> {
+        self.run_batch(batch, |engine, &(query, database, offset, limit)| {
+            engine.answers(query, database, offset, limit)
         })
     }
 

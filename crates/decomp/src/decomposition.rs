@@ -99,6 +99,30 @@ impl TreeDecomposition {
         true
     }
 
+    /// The *answer decomposition* for a set of free vertices: the same tree
+    /// with every free vertex adjoined to **every** bag (the free-connex
+    /// closure of this decomposition).
+    ///
+    /// Adjoining a fixed set to all bags preserves all three validity
+    /// conditions: coverage only gains vertices, edge coverage is unchanged,
+    /// and each adjoined vertex now occurs in every bag (the whole tree is
+    /// connected).  The price is width: it grows by at most `free.len()`,
+    /// which is exactly the honest cost of answer counting and enumeration
+    /// relative to boolean evaluation — the DP below this decomposition keeps
+    /// every free vertex in scope at every node, so the root table can be
+    /// grouped by free-variable assignment and any prefix of free values can
+    /// be pinned everywhere.
+    pub fn answer_decomposition(&self, free: &[Vertex]) -> TreeDecomposition {
+        let mut bags = self.bags.clone();
+        for bag in &mut bags {
+            bag.extend(free.iter().copied());
+        }
+        TreeDecomposition {
+            tree: self.tree.clone(),
+            bags,
+        }
+    }
+
     /// Convert a decomposition whose tree happens to be a path into a
     /// [`PathDecomposition`] (bags listed in path order).  Returns `None`
     /// when the tree is not a path.
@@ -384,6 +408,22 @@ mod tests {
         assert!(td.is_valid_for(&g));
         assert_eq!(td.width(), 8);
         assert_eq!(td.bag_count(), 1);
+    }
+
+    #[test]
+    fn answer_decomposition_stays_valid_and_bounds_width() {
+        let g = path_graph(5);
+        let td = path_decomp_of_path(5).to_tree_decomposition();
+        assert_eq!(td.width(), 1);
+        // Adjoin two free vertices, one of which already occurs in some bags.
+        let atd = td.answer_decomposition(&[0, 4]);
+        assert!(atd.is_valid_for(&g));
+        assert!(atd.width() <= td.width() + 2);
+        for bag in &atd.bags {
+            assert!(bag.contains(&0) && bag.contains(&4));
+        }
+        // No free vertices: unchanged.
+        assert_eq!(td.answer_decomposition(&[]), td);
     }
 
     #[test]

@@ -9,9 +9,9 @@ use crate::protocol::{
     read_response, write_request, ErrorCode, FrameError, QuerySpec, Request, Response,
     ServiceStats, DEFAULT_MAX_FRAME_LEN,
 };
-use cq_core::{CountReport, EngineReport};
+use cq_core::{AnswerCountReport, AnswerPage, CountReport, EngineReport};
 use cq_structures::codec::DecodeErrorAt;
-use cq_structures::Structure;
+use cq_structures::{ConjunctiveQuery, Structure};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -211,6 +211,44 @@ impl Client {
     ) -> Result<Vec<CountReport>, ClientError> {
         match self.call(&Request::CountBatch { items })? {
             Response::CountBatch(reports) => Ok(reports),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Count the distinct answers of a free-variable query (protocol
+    /// version 4).
+    pub fn count_answers(
+        &mut self,
+        query: &ConjunctiveQuery,
+        database: &Structure,
+    ) -> Result<AnswerCountReport, ClientError> {
+        match self.call(&Request::CountAnswers {
+            query: query.clone(),
+            database: database.clone(),
+        })? {
+            Response::AnswerCount(report) => Ok(report),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Fetch one page of a free-variable query's answers (protocol
+    /// version 4): skip `offset` rows, return at most `limit` (the server
+    /// refuses limits over
+    /// [`MAX_ANSWER_PAGE_LIMIT`](crate::protocol::MAX_ANSWER_PAGE_LIMIT)).
+    pub fn answers(
+        &mut self,
+        query: &ConjunctiveQuery,
+        database: &Structure,
+        offset: u64,
+        limit: u64,
+    ) -> Result<AnswerPage, ClientError> {
+        match self.call(&Request::Answers {
+            query: query.clone(),
+            database: database.clone(),
+            offset,
+            limit,
+        })? {
+            Response::Answers(page) => Ok(page),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }

@@ -1,8 +1,10 @@
 //! # cq-service — the query-service front-end
 //!
 //! A long-lived TCP server over the [`cq_core::Engine`], exposing
-//! register / decide / count / batch over a length-prefixed, checksummed
-//! binary protocol built from the same fuzz-hardened codec
+//! register / decide / count / batch — and, since protocol version 4, the
+//! free-variable answer requests (count answers, paged answer enumeration
+//! with a server-enforced page-size ceiling) — over a length-prefixed,
+//! checksummed binary protocol built from the same fuzz-hardened codec
 //! ([`cq_structures::codec`]) the plan store uses.
 //!
 //! Three layers:
@@ -35,6 +37,6 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use protocol::{
     ErrorCode, FrameError, QuerySpec, Request, Response, ServerCounters, ServiceStats,
-    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    DEFAULT_MAX_FRAME_LEN, MAX_ANSWER_PAGE_LIMIT, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServiceConfig, ShutdownReport};

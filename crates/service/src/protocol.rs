@@ -7,7 +7,7 @@
 //! ```text
 //! ┌──────────────┬───────────────────────────────────────────────────────┐
 //! │ body length  │ u32 LE — length of the body (version byte + payload)  │
-//! │ body         │ u8 protocol version (currently 3)                     │
+//! │ body         │ u8 protocol version (currently 4)                     │
 //! │              │ payload: one encoded Request or Response              │
 //! │ checksum     │ u64 LE — FNV-1a over the body                         │
 //! └──────────────┴───────────────────────────────────────────────────────┘
@@ -25,12 +25,14 @@
 //! diagnosable.  No decoder in this chain panics or allocates
 //! proportionally to attacker-claimed sizes.
 
-use cq_core::{CacheStats, CountReport, EngineReport, IndexStats, PrepStats};
+use cq_core::{
+    AnswerCountReport, AnswerPage, CacheStats, CountReport, EngineReport, IndexStats, PrepStats,
+};
 use cq_structures::codec::{
     decode_from_slice_at, encode_to_vec, fnv1a64, Decode, DecodeError, DecodeErrorAt, Encode,
     Reader,
 };
-use cq_structures::Structure;
+use cq_structures::{ConjunctiveQuery, Structure};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -38,8 +40,16 @@ use std::io::{Read, Write};
 /// encoding of [`CountReport`]'s count to the tagged
 /// [`cq_core::CountOutcome`] (exact-or-overflow) layout.  Version 3 grew
 /// the stats payload: [`ServerCounters::quota_rejections`] and the index
-/// cache's hash-compute meter ([`IndexStats`]).
-pub const PROTOCOL_VERSION: u8 = 3;
+/// cache's hash-compute meter ([`IndexStats`]).  Version 4 added the
+/// free-variable answer requests ([`Request::CountAnswers`],
+/// [`Request::Answers`]) and their responses.
+pub const PROTOCOL_VERSION: u8 = 4;
+
+/// The largest `limit` the server accepts in a [`Request::Answers`] page.
+/// A larger limit is refused with [`ErrorCode::Malformed`] — pagination
+/// exists precisely so one request can never demand an unbounded
+/// materialization; ask for the next page instead.
+pub const MAX_ANSWER_PAGE_LIMIT: u64 = 1024;
 
 /// Default ceiling on a frame body (version byte + payload).  Generous for
 /// the structures this workspace trafficks in, tiny next to what a hostile
@@ -268,6 +278,29 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down gracefully (drain, save plans, exit).
     Shutdown,
+    /// Count the distinct answers of a free-variable query (added in
+    /// protocol version 4).  The query ships inline — free-variable lists
+    /// live on the [`ConjunctiveQuery`], which registered handles (plain
+    /// structures) do not carry.
+    CountAnswers {
+        /// The conjunctive query, with its free variables marked.
+        query: ConjunctiveQuery,
+        /// The database instance.
+        database: Structure,
+    },
+    /// One page of a free-variable query's answers (added in protocol
+    /// version 4): skip `offset` rows, return at most `limit`.
+    Answers {
+        /// The conjunctive query, with its free variables marked.
+        query: ConjunctiveQuery,
+        /// The database instance.
+        database: Structure,
+        /// Rows of the enumeration to skip.
+        offset: u64,
+        /// Maximum rows returned; must be ≤ [`MAX_ANSWER_PAGE_LIMIT`] or
+        /// the server refuses with [`ErrorCode::Malformed`].
+        limit: u64,
+    },
 }
 
 impl Encode for Request {
@@ -298,6 +331,23 @@ impl Encode for Request {
             }
             Request::Stats => out.push(6),
             Request::Shutdown => out.push(7),
+            Request::CountAnswers { query, database } => {
+                out.push(8);
+                query.encode(out);
+                database.encode(out);
+            }
+            Request::Answers {
+                query,
+                database,
+                offset,
+                limit,
+            } => {
+                out.push(9);
+                query.encode(out);
+                database.encode(out);
+                offset.encode(out);
+                limit.encode(out);
+            }
         }
     }
 }
@@ -325,6 +375,16 @@ impl Decode for Request {
             }),
             6 => Ok(Request::Stats),
             7 => Ok(Request::Shutdown),
+            8 => Ok(Request::CountAnswers {
+                query: ConjunctiveQuery::decode(r)?,
+                database: Structure::decode(r)?,
+            }),
+            9 => Ok(Request::Answers {
+                query: ConjunctiveQuery::decode(r)?,
+                database: Structure::decode(r)?,
+                offset: u64::decode(r)?,
+                limit: u64::decode(r)?,
+            }),
             tag => Err(DecodeError::BadTag {
                 what: "Request",
                 tag,
@@ -498,6 +558,10 @@ pub enum Response {
         /// decoder failed (from [`DecodeErrorAt`]).
         offset: Option<u64>,
     },
+    /// Answer to [`Request::CountAnswers`] (protocol version 4).
+    AnswerCount(AnswerCountReport),
+    /// Answer to [`Request::Answers`] (protocol version 4).
+    Answers(AnswerPage),
 }
 
 impl Encode for Response {
@@ -540,6 +604,14 @@ impl Encode for Response {
                 message.encode(out);
                 offset.encode(out);
             }
+            Response::AnswerCount(report) => {
+                out.push(9);
+                report.encode(out);
+            }
+            Response::Answers(page) => {
+                out.push(10);
+                page.encode(out);
+            }
         }
     }
 }
@@ -563,6 +635,8 @@ impl Decode for Response {
                 message: String::decode(r)?,
                 offset: Option::decode(r)?,
             }),
+            9 => Ok(Response::AnswerCount(AnswerCountReport::decode(r)?)),
+            10 => Ok(Response::Answers(AnswerPage::decode(r)?)),
             tag => Err(DecodeError::BadTag {
                 what: "Response",
                 tag,
@@ -607,6 +681,16 @@ mod tests {
     use super::*;
     use cq_structures::families;
 
+    /// The tripwire: changing the wire format (new request/response kinds,
+    /// different payload layouts) requires bumping [`PROTOCOL_VERSION`],
+    /// and this assertion must move with it — so the bump is a conscious,
+    /// reviewed act, never a silent drift.  Version 4 added the
+    /// free-variable answer requests.
+    #[test]
+    fn protocol_version_tripwire() {
+        assert_eq!(PROTOCOL_VERSION, 4);
+    }
+
     fn roundtrip_request(req: &Request) {
         let mut wire = Vec::new();
         write_request(&mut wire, req).unwrap();
@@ -648,6 +732,19 @@ mod tests {
         roundtrip_request(&Request::CountBatch { items: Vec::new() });
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Shutdown);
+        let mut query = ConjunctiveQuery::from_structure(&families::path(3));
+        let first = query.variables()[0].clone();
+        query.mark_free(first).unwrap();
+        roundtrip_request(&Request::CountAnswers {
+            query: query.clone(),
+            database: families::clique(3),
+        });
+        roundtrip_request(&Request::Answers {
+            query,
+            database: families::clique(3),
+            offset: 2,
+            limit: 16,
+        });
     }
 
     #[test]
@@ -682,6 +779,14 @@ mod tests {
         let count = engine.count_instance(&families::path(3), &families::clique(3));
         roundtrip_response(&Response::Count(count.clone()));
         roundtrip_response(&Response::CountBatch(vec![count]));
+        let mut query = ConjunctiveQuery::from_structure(&families::path(3));
+        let first = query.variables()[0].clone();
+        query.mark_free(first).unwrap();
+        let report = engine.count_answers(&query, &families::clique(3));
+        roundtrip_response(&Response::AnswerCount(report));
+        let page = engine.answers(&query, &families::clique(3), 0, 2);
+        assert!(!page.rows.is_empty());
+        roundtrip_response(&Response::Answers(page));
     }
 
     #[test]

@@ -39,11 +39,11 @@
 
 use crate::protocol::{
     read_request, write_response, ErrorCode, FrameError, QuerySpec, Request, Response,
-    ServerCounters, ServiceStats, DEFAULT_MAX_FRAME_LEN,
+    ServerCounters, ServiceStats, DEFAULT_MAX_FRAME_LEN, MAX_ANSWER_PAGE_LIMIT,
 };
 use cq_core::persist::WarmStartSummary;
 use cq_core::{Engine, PersistError, PreparedQuery};
-use cq_structures::Structure;
+use cq_structures::{ConjunctiveQuery, Structure};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -128,6 +128,18 @@ enum Job {
     },
     CountBatch {
         items: Vec<(Arc<PreparedQuery>, Structure)>,
+        reply: mpsc::Sender<Response>,
+    },
+    CountAnswers {
+        query: ConjunctiveQuery,
+        database: Structure,
+        reply: mpsc::Sender<Response>,
+    },
+    Answers {
+        query: ConjunctiveQuery,
+        database: Structure,
+        offset: u64,
+        limit: usize,
         reply: mpsc::Sender<Response>,
     },
 }
@@ -756,7 +768,54 @@ fn handle_request(shared: &Arc<Shared>, quota: &ConnQuota, request: Request) -> 
                 reply,
             })
         })),
+        Request::CountAnswers { query, database } => Some(submit_job(shared, quota, |reply| {
+            validate_answer_query(&query)?;
+            Ok(Job::CountAnswers {
+                query,
+                database,
+                reply,
+            })
+        })),
+        Request::Answers {
+            query,
+            database,
+            offset,
+            limit,
+        } => Some(submit_job(shared, quota, |reply| {
+            validate_answer_query(&query)?;
+            if limit > MAX_ANSWER_PAGE_LIMIT {
+                return Err(Box::new(Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!(
+                        "answer page limit {limit} exceeds the {MAX_ANSWER_PAGE_LIMIT}-row \
+                         maximum; request further pages instead"
+                    ),
+                    offset: None,
+                }));
+            }
+            Ok(Job::Answers {
+                query,
+                database,
+                offset,
+                limit: limit as usize,
+                reply,
+            })
+        })),
     }
+}
+
+/// The engine's answer entry points panic on malformed queries by design
+/// (boundary validation is the caller's job) — this is that boundary: a
+/// query whose atoms don't square with its declared variables is refused
+/// with a typed [`ErrorCode::Malformed`] and the connection survives.
+fn validate_answer_query(query: &ConjunctiveQuery) -> Result<(), Box<Response>> {
+    query.canonical_structure().map(|_| ()).map_err(|e| {
+        Box::new(Response::Error {
+            code: ErrorCode::Malformed,
+            message: format!("invalid query: {e}"),
+            offset: None,
+        })
+    })
 }
 
 fn resolve_items(
@@ -840,7 +899,8 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
 
 /// Execute one drained round: coalesce singleton decides into one
 /// `solve_batch_instances` call, singleton counts into one `count_batch`
-/// call, and run explicit batches as their own fan-outs.
+/// call, and run explicit batches — and the answer jobs of protocol
+/// version 4 — as their own fan-outs.
 fn run_round(shared: &Arc<Shared>, jobs: Vec<Job>) {
     let mut decides: Vec<(Arc<PreparedQuery>, Structure, mpsc::Sender<Response>)> = Vec::new();
     let mut counts: Vec<(Arc<PreparedQuery>, Structure, mpsc::Sender<Response>)> = Vec::new();
@@ -934,6 +994,36 @@ fn run_round(shared: &Arc<Shared>, jobs: Vec<Job>) {
                     }
                 }
                 let _ = reply.send(Response::CountBatch(out));
+            }
+            Job::CountAnswers {
+                query,
+                database,
+                reply,
+            } => {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    Response::AnswerCount(shared.engine.count_answers(&query, &database))
+                }));
+                let _ = reply.send(result.unwrap_or_else(|_| Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "answer counting failed".to_string(),
+                    offset: None,
+                }));
+            }
+            Job::Answers {
+                query,
+                database,
+                offset,
+                limit,
+                reply,
+            } => {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    Response::Answers(shared.engine.answers(&query, &database, offset, limit))
+                }));
+                let _ = reply.send(result.unwrap_or_else(|_| Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "answer enumeration failed".to_string(),
+                    offset: None,
+                }));
             }
             Job::Decide { .. } | Job::Count { .. } => unreachable!("partitioned above"),
         }

@@ -98,6 +98,61 @@ fn registered_handles_answer_like_inline_queries() {
 }
 
 #[test]
+fn answers_over_the_wire_agree_with_the_in_process_engine() {
+    let server = start_server(test_config());
+    let mut client = connect(&server);
+    let oracle = Engine::new(EngineConfig::default());
+
+    let mut query = cq_structures::ConjunctiveQuery::from_structure(&families::path(4));
+    for v in [query.variables()[0].clone(), query.variables()[3].clone()] {
+        query.mark_free(v).expect("path variables exist");
+    }
+    let database = cq_workloads::random_graph_structure(9, 0.35, 5);
+
+    let report = client.count_answers(&query, &database).expect("count");
+    assert_eq!(report, oracle.count_answers(&query, &database));
+    assert!(report.answers > 0, "a path maps into a random graph");
+
+    // Page through the whole enumeration and reassemble it.
+    let mut rows = Vec::new();
+    let mut offset = 0u64;
+    loop {
+        let page = client
+            .answers(&query, &database, offset, 3)
+            .expect("answers page");
+        assert_eq!(page, oracle.answers(&query, &database, offset, 3));
+        offset += page.rows.len() as u64;
+        rows.extend(page.rows);
+        if !page.has_more {
+            break;
+        }
+    }
+    assert_eq!(rows.len() as u64, report.answers, "pages tile the answers");
+
+    // The server enforces the page-size ceiling; the connection survives.
+    match client.answers(&query, &database, 0, cq_service::MAX_ANSWER_PAGE_LIMIT + 1) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a Malformed error, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection survives an oversized limit");
+
+    // A malformed query (one relation, two arities) is refused with a typed
+    // error at the boundary — the engine's panic never reaches the wire.
+    let mut bad = cq_structures::ConjunctiveQuery::new();
+    bad.atom("R", &["x"]).atom("R", &["x", "y"]);
+    match client.count_answers(&bad, &database) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a Malformed error, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection survives a malformed query");
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
 fn unknown_query_id_is_an_error_and_the_connection_survives() {
     let server = start_server(test_config());
     let mut client = connect(&server);

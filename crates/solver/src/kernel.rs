@@ -57,6 +57,20 @@
 //! [`program_compilation_count`] meters compilations so tests and benches
 //! can assert the warm path stays warm.
 //!
+//! **Free variables.** The same compiled machinery answers queries with
+//! free variables: [`AnswerProgram`] runs the tree DP over the
+//! free-adjoined decomposition
+//! ([`TreeDecomposition::answer_decomposition`](cq_decomp::TreeDecomposition::answer_decomposition)),
+//! grouping root rows by the free positions into a packed-key
+//! [`GroupTable`] whose keys *are* the answers (the answer count is the
+//! group count), and [`AnswerProgram::cursor`] enumerates those
+//! assignments in ascending lexicographic order with bounded delay — a
+//! pinned-prefix DFS whose every step is certified by one pinned decide,
+//! with no materialisation of the answer set.  Like counting, answers are
+//! not core-invariant, so answer programs compile against the original
+//! query; the width price of adjoining is at most the number of free
+//! elements.
+//!
 //! No `PartialHom` or `BTreeMap` is constructed in any per-assignment
 //! inner loop; the only per-row allocations are the surviving rows
 //! themselves.  The reference implementations remain exported — they are
@@ -995,6 +1009,450 @@ impl TreeDpProgram {
             tables[bag.id] = Some(table);
         }
         unreachable!("the root bag is last in children-before-parents order")
+    }
+}
+
+/// A compiled *answer* program for a query with free variables: the tree DP
+/// of [`TreeDpProgram`] over the free-connex closure of a decomposition
+/// ([`TreeDecomposition::answer_decomposition`] — every free element
+/// adjoined to every bag), plus the positions needed to group by and to pin
+/// the free elements.
+///
+/// Adjoining makes the root bag contain every free element, so one ordinary
+/// bottom-up pass yields the whole answer relation by grouping root rows;
+/// and it makes *every* bag contain every free element, so a prefix of free
+/// images can be pinned uniformly and certified by a single pinned decide.
+/// Two evaluation modes share the compiled program:
+///
+/// * [`AnswerProgram::answer_table`] — one bottom-up pass whose root rows
+///   are grouped by the free positions into a packed-key [`GroupTable`]:
+///   keys are the answers (free images in declared order), values the
+///   ⊕-aggregate over their existential extensions (`true` under
+///   [`BoolSemiring`], the extension count under [`CheckedNatSemiring`]).
+///   [`AnswerProgram::count_answers`] is its group count.
+/// * [`AnswerProgram::cursor`] — bounded-delay enumeration: a pinned-prefix
+///   DFS over the free elements in declared order, candidates ascending
+///   from the sorted prefilter domains, each prefix certified by a pinned
+///   decide.  Emits answers in lexicographically ascending order (the
+///   [`BTreeSet`] order of the brute-force projection oracle) without ever
+///   materialising the answer set; the work between consecutive answers is
+///   bounded by the domains and the DP size, independent of how many
+///   answers the query has in total.
+///
+/// The price of adjoining is width: the answer decomposition is wider than
+/// the counting one by at most the number of free elements — the honest
+/// cost of answer counting relative to boolean evaluation in the
+/// fine-classification setting.  Unweighted semirings only.
+pub struct AnswerProgram {
+    program: TreeDpProgram,
+    /// The free elements of the query, in declared (answer-column) order.
+    free: Vec<Element>,
+    /// `pin_depths[bag_pos][j]`: the depth of free element `j` in the
+    /// element order of `bags[bag_pos]` (present in every bag by
+    /// construction).
+    pin_depths: Vec<Vec<usize>>,
+    /// The root-row positions of the free elements, in declared order.
+    root_free_positions: Vec<u32>,
+    /// Sorted candidate images of each free element (prefilter domains).
+    free_domains: Vec<Vec<u32>>,
+    /// Width of the adjoined (answer) decomposition.
+    width: usize,
+}
+
+impl AnswerProgram {
+    /// Compile the answer program for `a` over a valid tree decomposition
+    /// `td` of its Gaifman graph, with `free` the canonical-structure
+    /// elements of the free variables in declared order (distinct).
+    pub fn compile(
+        a: &Structure,
+        index: &StructureIndex,
+        td: &TreeDecomposition,
+        free: &[Element],
+    ) -> AnswerProgram {
+        debug_assert!(
+            {
+                let mut seen = BTreeSet::new();
+                free.iter().all(|f| seen.insert(*f))
+            },
+            "free elements must be distinct"
+        );
+        let atd = td.answer_decomposition(free);
+        let width = atd.width();
+        let program = TreeDpProgram::compile(a, index, &atd);
+        let doms = QueryDomains::compile(a, index);
+        let pin_depths: Vec<Vec<usize>> = program
+            .bags
+            .iter()
+            .map(|bag| {
+                free.iter()
+                    .map(|f| {
+                        bag.program
+                            .elems
+                            .iter()
+                            .position(|e| e == f)
+                            .expect("free elements are adjoined to every bag")
+                    })
+                    .collect()
+            })
+            .collect();
+        let root_free_positions: Vec<u32> = pin_depths
+            .last()
+            .expect("decompositions have at least one bag")
+            .iter()
+            .map(|&d| d as u32)
+            .collect();
+        let free_domains = free.iter().map(|&f| doms.domain(f).to_vec()).collect();
+        AnswerProgram {
+            program,
+            free: free.to_vec(),
+            pin_depths,
+            root_free_positions,
+            free_domains,
+            width,
+        }
+    }
+
+    /// The identity of the index this program was compiled against.
+    pub fn index_id(&self) -> u64 {
+        self.program.index_id
+    }
+
+    /// Number of free elements (answer columns).
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Width of the adjoined decomposition the DP runs over (the counting
+    /// width plus at most the number of free elements).
+    pub fn answer_width(&self) -> usize {
+        self.width
+    }
+
+    /// The full answer relation in one bottom-up pass: root rows grouped by
+    /// the free positions.  Keys are answers (free images in declared
+    /// order), values the ⊕-aggregate of each answer's existential
+    /// extensions.  Iteration order is insertion order — use
+    /// [`AnswerProgram::cursor`] when order matters.
+    pub fn answer_table<S: Semiring>(&self, index: &StructureIndex) -> GroupTable<S::Value> {
+        debug_assert!(!S::WEIGHTED, "answer tables are unweighted-only");
+        let p = &self.program;
+        debug_assert_eq!(index.id(), p.index_id, "program run on a foreign index");
+        let mut out: GroupTable<S::Value> = GroupTable::with_capacity(self.free.len(), 16);
+        if !p.satisfiable {
+            return out;
+        }
+        let mut tables: Vec<Option<BagTable<S::Value>>> = (0..p.n_bags).map(|_| None).collect();
+        for bag in &p.bags {
+            let mut group_tables: Vec<GroupTable<S::Value>> = Vec::with_capacity(bag.edges.len());
+            let mut join_specs: Vec<(usize, &[u32])> = Vec::with_capacity(bag.edges.len());
+            let mut initial_acc = S::one();
+            let mut dead = false;
+            for edge in &bag.edges {
+                let child = tables[edge.child].take().expect("children before parents");
+                let table = child.group_sums::<S>(&edge.child_positions);
+                if edge.key_depths.is_empty() {
+                    match table.get(&[]) {
+                        Some(sum) if !S::is_zero(sum) => initial_acc = S::mul(&initial_acc, sum),
+                        _ => dead = true,
+                    }
+                    continue;
+                }
+                join_specs.push((edge.depth, &edge.key_depths));
+                group_tables.push(table);
+            }
+            let joins: Vec<Join<'_, S::Value>> = join_specs
+                .into_iter()
+                .zip(group_tables.iter())
+                .map(|((depth, key_depths), table)| Join {
+                    depth,
+                    key_depths: key_depths.to_vec(),
+                    table,
+                })
+                .collect();
+            if bag.is_root {
+                // Root rows are grouped by free assignment instead of being
+                // ⊕-folded into a scalar; no absorbing early exit — every
+                // group must be discovered.
+                let mut key: Vec<u32> = Vec::with_capacity(self.free.len());
+                if !dead {
+                    run_program::<S>(
+                        &bag.program,
+                        index,
+                        None,
+                        &joins,
+                        &mut |row, acc| {
+                            if !S::is_zero(&acc) {
+                                key.clear();
+                                key.extend(
+                                    self.root_free_positions.iter().map(|&p| row[p as usize]),
+                                );
+                                out.merge(&key, acc, |slot, v| *slot = S::add(slot, &v));
+                            }
+                            false
+                        },
+                        initial_acc,
+                    );
+                }
+                return out;
+            }
+            let mut table = BagTable {
+                stride: bag.program.elems.len(),
+                rows: Vec::new(),
+                values: Vec::new(),
+            };
+            if !dead {
+                run_program::<S>(
+                    &bag.program,
+                    index,
+                    None,
+                    &joins,
+                    &mut |row, acc| {
+                        if !S::is_zero(&acc) {
+                            table.rows.extend_from_slice(row);
+                            table.values.push(acc);
+                        }
+                        false
+                    },
+                    initial_acc,
+                );
+            }
+            if table.len() == 0 {
+                return out; // some bag admits nothing: no answers
+            }
+            tables[bag.id] = Some(table);
+        }
+        unreachable!("the root bag is last in children-before-parents order")
+    }
+
+    /// Number of distinct answers (free-variable assignments extendable to
+    /// a full homomorphism).
+    pub fn count_answers(&self, index: &StructureIndex) -> u64 {
+        self.answer_table::<BoolSemiring>(index).len() as u64
+    }
+
+    /// Does some homomorphism map the free elements to `prefix` (a prefix
+    /// of the declared free order)?  One bottom-up pass with the prefix
+    /// pinned in every bag — the certificate behind each cursor step.
+    fn pinned_decide(&self, index: &StructureIndex, prefix: &[u32]) -> bool {
+        type B = BoolSemiring;
+        let p = &self.program;
+        if !p.satisfiable {
+            return false;
+        }
+        let mut tables: Vec<Option<BagTable<bool>>> = (0..p.n_bags).map(|_| None).collect();
+        for (pos, bag) in p.bags.iter().enumerate() {
+            let mut group_tables: Vec<GroupTable<bool>> = Vec::with_capacity(bag.edges.len());
+            let mut join_specs: Vec<(usize, &[u32])> = Vec::with_capacity(bag.edges.len());
+            let mut initial_acc = true;
+            let mut dead = false;
+            for edge in &bag.edges {
+                let child = tables[edge.child].take().expect("children before parents");
+                let table = child.group_sums::<B>(&edge.child_positions);
+                if edge.key_depths.is_empty() {
+                    match table.get(&[]) {
+                        Some(sum) if !B::is_zero(sum) => initial_acc = B::mul(&initial_acc, sum),
+                        _ => dead = true,
+                    }
+                    continue;
+                }
+                join_specs.push((edge.depth, &edge.key_depths));
+                group_tables.push(table);
+            }
+            let joins: Vec<Join<'_, bool>> = join_specs
+                .into_iter()
+                .zip(group_tables.iter())
+                .map(|((depth, key_depths), table)| Join {
+                    depth,
+                    key_depths: key_depths.to_vec(),
+                    table,
+                })
+                .collect();
+            let mut pins: Vec<Option<u32>> = vec![None; bag.program.elems.len()];
+            for (j, &v) in prefix.iter().enumerate() {
+                pins[self.pin_depths[pos][j]] = Some(v);
+            }
+            let mut joins_at: Vec<Vec<usize>> = vec![Vec::new(); bag.program.elems.len().max(1)];
+            for (j, join) in joins.iter().enumerate() {
+                joins_at[join.depth].push(j);
+            }
+            let mut row = vec![0u32; bag.program.elems.len()];
+            let mut args = Vec::with_capacity(bag.program.max_arity);
+            let mut key = Vec::new();
+            if bag.is_root {
+                let mut found = false;
+                if !dead {
+                    enumerate_pinned::<B>(
+                        &bag.program,
+                        index,
+                        &joins_at,
+                        &joins,
+                        &pins,
+                        None,
+                        0,
+                        &mut row,
+                        &mut args,
+                        &mut key,
+                        &initial_acc,
+                        &mut |_, acc| {
+                            if acc {
+                                found = true;
+                            }
+                            found
+                        },
+                    );
+                }
+                return found;
+            }
+            let mut table = BagTable {
+                stride: bag.program.elems.len(),
+                rows: Vec::new(),
+                values: Vec::new(),
+            };
+            if !dead {
+                enumerate_pinned::<B>(
+                    &bag.program,
+                    index,
+                    &joins_at,
+                    &joins,
+                    &pins,
+                    None,
+                    0,
+                    &mut row,
+                    &mut args,
+                    &mut key,
+                    &initial_acc,
+                    &mut |r, acc| {
+                        if acc {
+                            table.rows.extend_from_slice(r);
+                            table.values.push(acc);
+                        }
+                        false
+                    },
+                );
+            }
+            if table.len() == 0 {
+                return false; // some bag admits nothing under these pins
+            }
+            tables[bag.id] = Some(table);
+        }
+        unreachable!("the root bag is last in children-before-parents order")
+    }
+
+    /// A bounded-delay cursor over the answers, in lexicographically
+    /// ascending order of the free images (declared free order, `u32`
+    /// element order within a column).
+    pub fn cursor<'a>(&'a self, index: &'a StructureIndex) -> AnswerCursor<'a> {
+        debug_assert_eq!(
+            index.id(),
+            self.program.index_id,
+            "cursor on a foreign index"
+        );
+        AnswerCursor {
+            program: self,
+            index,
+            stack: Vec::new(),
+            prefix: Vec::new(),
+            state: CursorState::Fresh,
+        }
+    }
+}
+
+enum CursorState {
+    /// No answer produced yet.
+    Fresh,
+    /// `stack`/`prefix` hold the last produced (full) answer.
+    Mid,
+    /// Exhausted.
+    Done,
+}
+
+/// Bounded-delay answer enumeration over an [`AnswerProgram`]: a DFS over
+/// the free elements in declared order whose every step is certified by a
+/// pinned decide, so the cursor only ever walks viable prefixes.  The work
+/// per produced answer is bounded by (free count) × (largest free domain) ×
+/// (one DP pass) — independent of the total number of answers, with no
+/// materialisation and no per-answer state beyond the current prefix.
+pub struct AnswerCursor<'a> {
+    program: &'a AnswerProgram,
+    index: &'a StructureIndex,
+    /// Candidate indices of the current viable prefix, one per free slot.
+    stack: Vec<usize>,
+    /// The images of the current prefix (parallel to `stack`).
+    prefix: Vec<u32>,
+    state: CursorState,
+}
+
+impl AnswerCursor<'_> {
+    /// Extend/advance the current viable prefix to the lexicographically
+    /// next full assignment, starting the top level at candidate index
+    /// `probe`.  Returns `false` when the enumeration is exhausted.
+    fn seek(&mut self, mut probe: usize) -> bool {
+        let k = self.program.free.len();
+        loop {
+            let level = self.stack.len();
+            debug_assert_eq!(self.prefix.len(), level);
+            let dom = &self.program.free_domains[level];
+            let mut found = false;
+            while probe < dom.len() {
+                self.prefix.push(dom[probe]);
+                if self.program.pinned_decide(self.index, &self.prefix) {
+                    found = true;
+                    break;
+                }
+                self.prefix.pop();
+                probe += 1;
+            }
+            if found {
+                self.stack.push(probe);
+                if self.stack.len() == k {
+                    return true;
+                }
+                probe = 0;
+            } else {
+                match self.stack.pop() {
+                    Some(prev) => {
+                        self.prefix.pop();
+                        probe = prev + 1;
+                    }
+                    None => return false,
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for AnswerCursor<'_> {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        match self.state {
+            CursorState::Done => None,
+            CursorState::Fresh => {
+                if self.program.free.is_empty() {
+                    // Zero free variables: the one empty answer iff the
+                    // boolean query holds.
+                    self.state = CursorState::Done;
+                    return self.program.pinned_decide(self.index, &[]).then(Vec::new);
+                }
+                self.state = CursorState::Mid;
+                if self.seek(0) {
+                    Some(self.prefix.clone())
+                } else {
+                    self.state = CursorState::Done;
+                    None
+                }
+            }
+            CursorState::Mid => {
+                let last = self.stack.pop().expect("Mid holds a full assignment");
+                self.prefix.pop();
+                if self.seek(last + 1) {
+                    Some(self.prefix.clone())
+                } else {
+                    self.state = CursorState::Done;
+                    None
+                }
+            }
+        }
     }
 }
 
@@ -2493,6 +2951,75 @@ mod tests {
             );
             let decide = hom_via_forest_indexed(&a, &index, &forest);
             assert_eq!(decide.exists, homomorphism_exists(&a, &b), "{a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn answer_program_matches_bruteforce_projection() {
+        use std::collections::BTreeMap;
+        for (a, b) in pairs() {
+            let (_, td) = treewidth_of_structure(&a);
+            let index = StructureIndex::new(&b);
+            let n = a.universe_size();
+            let mut free_sets: Vec<Vec<Element>> = vec![Vec::new(), vec![0], (0..n).collect()];
+            if n >= 2 {
+                // Marked order ≠ element order: answer columns follow it.
+                free_sets.push(vec![n - 1, 0]);
+            }
+            for free in free_sets {
+                let program = AnswerProgram::compile(&a, &index, &td, &free);
+                let expected = cq_structures::answers_bruteforce(&a, &b, &free);
+                assert_eq!(
+                    program.count_answers(&index) as usize,
+                    expected.len(),
+                    "count {a} -> {b} free {free:?}"
+                );
+                // The cursor reproduces the brute-force order exactly.
+                let got: Vec<Vec<u32>> = program.cursor(&index).collect();
+                let expected_u32: Vec<Vec<u32>> = expected
+                    .iter()
+                    .map(|r| r.iter().map(|&e| e as u32).collect())
+                    .collect();
+                assert_eq!(got, expected_u32, "cursor {a} -> {b} free {free:?}");
+                // Per-answer extension counts under the counting semiring.
+                let mut multiplicities: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
+                for h in homomorphisms_iter(&a, &b) {
+                    let key: Vec<u32> = free.iter().map(|&i| h[i] as u32).collect();
+                    *multiplicities.entry(key).or_insert(0) += 1;
+                }
+                let table = program.answer_table::<CheckedNatSemiring>(&index);
+                assert_eq!(
+                    table.len(),
+                    multiplicities.len(),
+                    "{a} -> {b} free {free:?}"
+                );
+                for (key, value) in table.iter() {
+                    assert_eq!(
+                        *value,
+                        Nat::Finite(multiplicities[key]),
+                        "multiplicity of {key:?} on {a} -> {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn answer_cursor_is_restartable_and_lazy() {
+        // Consecutive cursors over the same program agree, and taking a
+        // prefix of a cursor equals the prefix of the full enumeration (the
+        // pagination contract: pages are windows of one deterministic
+        // order).
+        let a = families::path(4);
+        let b = families::clique(4);
+        let (_, td) = treewidth_of_structure(&a);
+        let index = StructureIndex::new(&b);
+        let program = AnswerProgram::compile(&a, &index, &td, &[0, 3]);
+        let all: Vec<Vec<u32>> = program.cursor(&index).collect();
+        assert!(!all.is_empty());
+        for take in [0, 1, all.len() / 2, all.len(), all.len() + 7] {
+            let page: Vec<Vec<u32>> = program.cursor(&index).take(take).collect();
+            assert_eq!(page, all[..take.min(all.len())].to_vec());
         }
     }
 

@@ -44,9 +44,9 @@ pub use kernel::{
     aggregate_via_tree_decomposition_indexed, aggregate_with_forest_indexed, bag_rows_indexed,
     count_hom_via_tree_decomposition_indexed, count_via_staircase_indexed,
     count_with_forest_indexed, find_hom_indexed, hom_via_forest_indexed, hom_via_staircase_indexed,
-    hom_via_tree_decomposition_indexed, program_compilation_count, BagProgram, ForestProgram,
-    ForestRun, GroupTable, KernelSearchStats, QueryDomains, RetainedEvalStats, SearchProgram,
-    StairProgram, TreeDpProgram, TreeDpRun, TreeIncrementalState,
+    hom_via_tree_decomposition_indexed, program_compilation_count, AnswerCursor, AnswerProgram,
+    BagProgram, ForestProgram, ForestRun, GroupTable, KernelSearchStats, QueryDomains,
+    RetainedEvalStats, SearchProgram, StairProgram, TreeDpProgram, TreeDpRun, TreeIncrementalState,
 };
 pub use pathdp::{hom_via_path_decomposition, hom_via_staircase, PathDpReport};
 pub use problems::{has_k_cycle, has_k_path, st_path_at_most};

@@ -618,20 +618,77 @@ impl Decode for Structure {
 // Conjunctive queries
 // ---------------------------------------------------------------------------
 
+/// Sentinel that introduces the *versioned* query encoding.  The legacy
+/// (boolean-only) encoding starts with the variable count of a
+/// length-prefixed string list, and [`Reader::read_count`] rejects any count
+/// larger than the remaining input — so `u64::MAX` can never open a legacy
+/// value and is free to act as a format escape.
+const CQ_VERSIONED_MARKER: u64 = u64::MAX;
+
+/// Version of the extended query encoding behind [`CQ_VERSIONED_MARKER`].
+/// Version 2 appends the ordered free-variable list; bump on the next layout
+/// change.
+const CQ_CODEC_VERSION: u8 = 2;
+
 impl Encode for crate::cq::ConjunctiveQuery {
+    /// Queries without free variables keep the legacy layout byte for byte
+    /// (old decoders keep working, golden fixtures stay stable); queries with
+    /// free variables use the marker + version header and append the free
+    /// list.
     fn encode(&self, out: &mut Vec<u8>) {
+        let versioned = !self.free_variables().is_empty();
+        if versioned {
+            CQ_VERSIONED_MARKER.encode(out);
+            CQ_CODEC_VERSION.encode(out);
+        }
         self.variables().to_vec().encode(out);
         (self.atoms().len() as u64).encode(out);
         for atom in self.atoms() {
             atom.relation.encode(out);
             atom.variables.encode(out);
         }
+        if versioned {
+            self.free_variables().to_vec().encode(out);
+        }
     }
 }
 
 impl Decode for crate::cq::ConjunctiveQuery {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let variables = Vec::<String>::decode(r)?;
+        // Peek the leading word: the versioned marker, or the variable count
+        // of a legacy value (validated exactly as `read_count` would).
+        let first = r.read_u64()?;
+        let versioned = first == CQ_VERSIONED_MARKER;
+        if versioned {
+            let version = r.read_u8()?;
+            if version != CQ_CODEC_VERSION {
+                return Err(DecodeError::UnsupportedVersion {
+                    found: u32::from(version),
+                    supported: u32::from(CQ_CODEC_VERSION),
+                });
+            }
+        }
+        let variables = if versioned {
+            Vec::<String>::decode(r)?
+        } else {
+            let count: usize = first
+                .try_into()
+                .map_err(|_| DecodeError::LengthOutOfRange {
+                    what: "variable count",
+                    len: first,
+                })?;
+            if count > r.remaining() {
+                return Err(DecodeError::LengthOutOfRange {
+                    what: "variable count",
+                    len: first,
+                });
+            }
+            let mut vars = Vec::with_capacity(count);
+            for _ in 0..count {
+                vars.push(String::decode(r)?);
+            }
+            vars
+        };
         let atom_count = r.read_count("atom count")?;
         let mut q = crate::cq::ConjunctiveQuery::new();
         for v in &variables {
@@ -644,6 +701,19 @@ impl Decode for crate::cq::ConjunctiveQuery {
         }
         if q.variables() != variables {
             return Err(invalid("atom variables not declared up front"));
+        }
+        if versioned {
+            let free = Vec::<String>::decode(r)?;
+            if free.is_empty() {
+                return Err(invalid("versioned query with empty free list"));
+            }
+            for v in &free {
+                // `mark_free` re-establishes the free-list invariants
+                // (declared, duplicate-free) through the same checked
+                // constructor the rest of the workspace uses.
+                q.mark_free(v)
+                    .map_err(|_| invalid("free list not a duplicate-free subset of variables"))?;
+            }
         }
         Ok(q)
     }
@@ -708,6 +778,72 @@ mod tests {
         q.atom("E", &["y", "z"]);
         roundtrip(&q);
         roundtrip(&crate::cq::ConjunctiveQuery::new());
+    }
+
+    #[test]
+    fn conjunctive_query_free_list_roundtrips() {
+        let mut q = crate::cq::ConjunctiveQuery::new();
+        q.atom("E", &["x", "y"]);
+        q.atom("E", &["y", "z"]);
+        q.mark_free("z").unwrap();
+        q.mark_free("x").unwrap();
+        roundtrip(&q);
+        // The versioned encoding opens with the marker word.
+        let bytes = encode_to_vec(&q);
+        assert_eq!(&bytes[..8], &u64::MAX.to_le_bytes());
+    }
+
+    #[test]
+    fn conjunctive_query_boolean_encoding_is_unchanged() {
+        // A query without free variables must keep the legacy layout so old
+        // bytes decode and new boolean encodings decode under old readers:
+        // leading word is the variable count, not the marker.
+        let mut q = crate::cq::ConjunctiveQuery::new();
+        q.atom("E", &["x", "y"]);
+        let bytes = encode_to_vec(&q);
+        assert_eq!(&bytes[..8], &2u64.to_le_bytes());
+        let back: crate::cq::ConjunctiveQuery = decode_from_slice(&bytes).unwrap();
+        assert!(back.free_variables().is_empty());
+    }
+
+    #[test]
+    fn conjunctive_query_unknown_codec_version_rejected() {
+        let mut q = crate::cq::ConjunctiveQuery::new();
+        q.atom("E", &["x", "y"]);
+        q.mark_free("x").unwrap();
+        let mut bytes = encode_to_vec(&q);
+        // Byte 8 is the version byte behind the marker.
+        bytes[8] = 99;
+        match decode_from_slice::<crate::cq::ConjunctiveQuery>(&bytes) {
+            Err(DecodeError::UnsupportedVersion { found: 99, .. }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conjunctive_query_hostile_free_list_rejected() {
+        let mut q = crate::cq::ConjunctiveQuery::new();
+        q.atom("E", &["x", "y"]);
+        q.mark_free("x").unwrap();
+        let base = encode_to_vec(&q);
+        // Splice in a free list naming an undeclared variable.
+        let mut evil = base[..base.len() - encode_to_vec(&vec!["x".to_string()]).len()].to_vec();
+        encode_to_vec(&vec!["w".to_string()])
+            .iter()
+            .for_each(|b| evil.push(*b));
+        match decode_from_slice::<crate::cq::ConjunctiveQuery>(&evil) {
+            Err(DecodeError::Invalid { .. }) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // And one with a duplicate.
+        let mut dup = base[..base.len() - encode_to_vec(&vec!["x".to_string()]).len()].to_vec();
+        encode_to_vec(&vec!["x".to_string(), "x".to_string()])
+            .iter()
+            .for_each(|b| dup.push(*b));
+        match decode_from_slice::<crate::cq::ConjunctiveQuery>(&dup) {
+            Err(DecodeError::Invalid { .. }) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! paper).  The problems `EVAL(Φ)` and `HOM(A)` are equivalent through this
 //! correspondence, which is what the paper — and this crate — exploits to
 //! phrase everything in terms of structures.
+//!
+//! Queries may additionally mark an ordered subset of their variables as
+//! *free* ([`ConjunctiveQuery::mark_free`]).  The answers of such a query on
+//! a database `B` are exactly the projections of the homomorphisms
+//! `A_φ → B` onto the free coordinates — the setting classified by the
+//! answer-counting line of work (Chen–Mengel; Dell–Roth).  A query with an
+//! empty free list is the boolean case above.
 
 use crate::error::StructureError;
 use crate::structure::Structure;
@@ -42,14 +49,19 @@ impl fmt::Display for Atom {
     }
 }
 
-/// A boolean conjunctive query: all variables are (implicitly) existentially
-/// quantified and the body is a conjunction of atoms.
+/// A conjunctive query: the body is a conjunction of atoms, every variable
+/// not on the free list is existentially quantified, and the free list (empty
+/// for the boolean case) fixes the shape and order of answer rows.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ConjunctiveQuery {
     atoms: Vec<Atom>,
     /// Variables in first-occurrence order (also contains variables declared
     /// explicitly without occurring in an atom).
     variables: Vec<String>,
+    /// Free variables in the order they were marked; a subset of
+    /// `variables`, duplicate-free.  Answer rows are tuples aligned with
+    /// this order.
+    free: Vec<String>,
 }
 
 impl ConjunctiveQuery {
@@ -94,6 +106,42 @@ impl ConjunctiveQuery {
     /// Number of variables.
     pub fn variable_count(&self) -> usize {
         self.variables.len()
+    }
+
+    /// Mark a declared variable as free.  The free list is ordered: answer
+    /// rows list images in the order variables were marked.  Fails when the
+    /// variable was never declared ([`StructureError::UnknownVariable`]) or
+    /// is already free ([`StructureError::DuplicateFreeVariable`]).
+    pub fn mark_free(&mut self, name: impl AsRef<str>) -> Result<&mut Self, StructureError> {
+        let name = name.as_ref();
+        if !self.variables.iter().any(|v| v == name) {
+            return Err(StructureError::UnknownVariable(name.to_string()));
+        }
+        if self.free.iter().any(|v| v == name) {
+            return Err(StructureError::DuplicateFreeVariable(name.to_string()));
+        }
+        self.free.push(name.to_string());
+        Ok(self)
+    }
+
+    /// The free variables, in the order they were marked.
+    pub fn free_variables(&self) -> &[String] {
+        &self.free
+    }
+
+    /// The positions of the free variables (in marked order) within the
+    /// declared variable list — equivalently, the elements of the canonical
+    /// structure that answers project onto.
+    pub fn free_element_indices(&self) -> Vec<usize> {
+        self.free
+            .iter()
+            .map(|f| {
+                self.variables
+                    .iter()
+                    .position(|v| v == f)
+                    .expect("free list is a subset of the declared variables")
+            })
+            .collect()
     }
 
     /// The vocabulary used by the query (relation names with the arities they
@@ -171,9 +219,23 @@ impl ConjunctiveQuery {
 }
 
 impl fmt::Display for ConjunctiveQuery {
-    /// Writes the query in the usual logical notation.
+    /// Writes the query in the usual logical notation: free variables (if
+    /// any) as an answer head, then the existential block, then the body.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "∃ {} . ", self.variables.join(" "))?;
+        if self.free.is_empty() {
+            write!(f, "∃ {} . ", self.variables.join(" "))?;
+        } else {
+            write!(f, "({}) ← ", self.free.join(","))?;
+            let existential: Vec<&str> = self
+                .variables
+                .iter()
+                .filter(|v| !self.free.contains(v))
+                .map(String::as_str)
+                .collect();
+            if !existential.is_empty() {
+                write!(f, "∃ {} . ", existential.join(" "))?;
+            }
+        }
         if self.atoms.is_empty() {
             write!(f, "⊤")?;
         }
@@ -288,6 +350,56 @@ mod tests {
         assert!(!q.evaluate(&families::grid(3, 3)).unwrap());
         assert!(q.evaluate(&families::clique(3)).unwrap());
         assert!(q.evaluate(&families::clique(5)).unwrap());
+    }
+
+    #[test]
+    fn free_list_is_ordered_and_validated() {
+        let mut q = chain_query();
+        q.mark_free("z").unwrap();
+        q.mark_free("x").unwrap();
+        assert_eq!(q.free_variables(), &["z".to_string(), "x".to_string()]);
+        // Indices follow the marked order, not the declaration order.
+        assert_eq!(q.free_element_indices(), vec![2, 0]);
+        assert_eq!(
+            q.mark_free("w").unwrap_err(),
+            StructureError::UnknownVariable("w".into())
+        );
+        assert_eq!(
+            q.mark_free("z").unwrap_err(),
+            StructureError::DuplicateFreeVariable("z".into())
+        );
+    }
+
+    #[test]
+    fn free_list_changes_equality_but_not_canonical_structure() {
+        let boolean = chain_query();
+        let mut with_free = chain_query();
+        with_free.mark_free("x").unwrap();
+        assert_ne!(boolean, with_free);
+        // The canonical structure ignores quantification: same homomorphism
+        // instance either way.
+        assert_eq!(
+            boolean.canonical_structure().unwrap(),
+            with_free.canonical_structure().unwrap()
+        );
+    }
+
+    #[test]
+    fn display_with_free_variables() {
+        let mut q = chain_query();
+        q.mark_free("x").unwrap();
+        q.mark_free("z").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("(x,z) ←"), "got {s}");
+        assert!(s.contains("∃ y ."), "got {s}");
+        // Fully free query: no existential block at all.
+        let mut all_free = ConjunctiveQuery::new();
+        all_free.atom("E", &["x", "y"]);
+        all_free.mark_free("x").unwrap();
+        all_free.mark_free("y").unwrap();
+        let s = all_free.to_string();
+        assert!(s.contains("(x,y) ←"), "got {s}");
+        assert!(!s.contains('∃'), "got {s}");
     }
 
     #[test]

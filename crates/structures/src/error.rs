@@ -42,6 +42,12 @@ pub enum StructureError {
         /// Description of where the mismatch was found.
         detail: String,
     },
+    /// A variable was referenced (e.g. marked free) that the query never
+    /// declared.
+    UnknownVariable(String),
+    /// A variable was marked free more than once; the free list is an
+    /// ordered set.
+    DuplicateFreeVariable(String),
 }
 
 impl fmt::Display for StructureError {
@@ -70,6 +76,12 @@ impl fmt::Display for StructureError {
             ),
             StructureError::VocabularyMismatch { detail } => {
                 write!(f, "vocabulary mismatch: {detail}")
+            }
+            StructureError::UnknownVariable(v) => {
+                write!(f, "variable {v} is not declared by the query")
+            }
+            StructureError::DuplicateFreeVariable(v) => {
+                write!(f, "variable {v} is already marked free")
             }
         }
     }
@@ -123,5 +135,11 @@ mod tests {
         }
         .to_string()
         .contains("foo"));
+        assert!(StructureError::UnknownVariable("z".into())
+            .to_string()
+            .contains("not declared"));
+        assert!(StructureError::DuplicateFreeVariable("z".into())
+            .to_string()
+            .contains("already marked free"));
     }
 }

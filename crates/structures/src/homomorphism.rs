@@ -395,6 +395,24 @@ pub fn homomorphisms_iter(a: &Structure, b: &Structure) -> Vec<Vec<Element>> {
     all
 }
 
+/// The distinct projections of all homomorphisms `a → b` onto the element
+/// positions `free`, sorted lexicographically ascending and deduplicated —
+/// the brute-force *answer set* of a conjunctive query with free variables
+/// (via Chandra–Merlin, where `free` are the canonical-structure elements of
+/// the free variables in declared order).
+///
+/// Exponential in `|A|`; this is the differential-oracle baseline that the
+/// tree-decomposition answer kernel and the enumeration cursor are checked
+/// against.  The sorted order is deliberately the same order the cursor
+/// emits, so oracles can compare whole pages positionally.
+pub fn answers_bruteforce(a: &Structure, b: &Structure, free: &[usize]) -> Vec<Vec<Element>> {
+    let mut seen = std::collections::BTreeSet::new();
+    for h in homomorphisms_iter(a, b) {
+        seen.insert(free.iter().map(|&i| h[i]).collect::<Vec<Element>>());
+    }
+    seen.into_iter().collect()
+}
+
 /// Count homomorphisms from `a` to `b` by exhaustive enumeration.
 pub fn count_homomorphisms_bruteforce(a: &Structure, b: &Structure) -> u64 {
     let Some(search) = Search::new(a, b, false) else {

@@ -53,8 +53,9 @@ pub use cq::{Atom, ConjunctiveQuery};
 pub use delta::{AppliedDelta, DeltaBatch};
 pub use error::StructureError;
 pub use homomorphism::{
-    count_homomorphisms_bruteforce, embedding_exists, find_embedding, find_homomorphism,
-    homomorphism_exists, homomorphisms_iter, is_homomorphism, is_partial_homomorphism, PartialHom,
+    answers_bruteforce, count_homomorphisms_bruteforce, embedding_exists, find_embedding,
+    find_homomorphism, homomorphism_exists, homomorphisms_iter, is_homomorphism,
+    is_partial_homomorphism, PartialHom,
 };
 pub use index::{index_build_count, structure_hash, StructureIndex};
 pub use ops::{direct_product, disjoint_union, relabeled, star_expansion, symmetric_closure};
